@@ -1,0 +1,55 @@
+//! BFSCC: the Ligra-style BFS-based connectivity baseline (Table 3's
+//! "Other Systems" group). Computes each component with a parallel
+//! direction-optimizing BFS from the first uncovered vertex.
+
+use cc_graph::bfs::bfs_multi;
+use cc_graph::{CsrGraph, VertexId, NO_VERTEX};
+
+/// Computes connected components by repeated parallel BFS.
+pub fn bfscc(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut labels = vec![NO_VERTEX; n];
+    let mut next_start = 0usize;
+    while let Some(src) = (next_start..n).find(|&v| labels[v] == NO_VERTEX) {
+        next_start = src + 1;
+        let res = bfs_multi(g, &[src as VertexId]);
+        for v in 0..n {
+            if labels[v] == NO_VERTEX && res.parents[v] != NO_VERTEX {
+                labels[v] = src as VertexId;
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::{grid2d, rmat_default};
+    use cc_graph::stats::{component_stats, same_partition};
+    use cc_graph::build_undirected;
+
+    #[test]
+    fn bfscc_single_component() {
+        let g = grid2d(20, 20);
+        let labels = bfscc(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn bfscc_many_components() {
+        let el = rmat_default(10, 2_000, 6);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let labels = bfscc(&g);
+        assert!(same_partition(&component_stats(&g).labels, &labels));
+    }
+
+    #[test]
+    fn bfscc_isolated_vertices_label_themselves() {
+        let g = build_undirected(4, &[(1, 2)]);
+        let labels = bfscc(&g);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[3], 3);
+        assert_eq!(labels[1], labels[2]);
+    }
+}

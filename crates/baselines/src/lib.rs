@@ -1,0 +1,22 @@
+//! # cc-baselines
+//!
+//! The comparator systems of the ConnectIt evaluation, implemented in-repo:
+//! BFSCC (Ligra's BFS connectivity), the work-efficient LDD+contraction
+//! algorithm of Shun et al. (the pre-ConnectIt Hyperlink2012 record
+//! holder), and a STINGER-like streaming baseline for Table 5.
+//!
+//! The remaining Table 3 comparators are algorithmically equivalent to
+//! ConnectIt configurations and are exposed as such by the bench harness:
+//! PatwaryRM = `Union-Rem-Lock{SpliceAtomic}`, GAPBS-Afforest =
+//! kout-afforest sampling + Union-Async, MultiStep = BFS sampling +
+//! Label-Propagation, Galois = asynchronous label propagation.
+
+#![warn(missing_docs)]
+
+pub mod bfscc;
+pub mod stinger_sim;
+pub mod workefficient;
+
+pub use bfscc::bfscc;
+pub use stinger_sim::StingerSim;
+pub use workefficient::work_efficient_cc;

@@ -1,0 +1,110 @@
+//! WorkefficientCC: the provably work-efficient connectivity algorithm of
+//! Shun, Dhulipala, and Blelloch (SPAA 2014) — recursively apply a
+//! low-diameter decomposition and contract, until no inter-cluster edges
+//! remain. This held the pre-ConnectIt record on the Hyperlink2012 graph.
+
+use cc_graph::builder::build_undirected;
+use cc_graph::ldd::ldd;
+use cc_graph::{CsrGraph, VertexId};
+use cc_parallel::{parallel_tabulate, scan_exclusive};
+
+/// Maximum recursion depth guard (each level contracts the graph; real
+/// inputs finish in a handful of levels).
+const MAX_LEVELS: usize = 64;
+
+/// Computes connected components via recursive LDD + contraction.
+pub fn work_efficient_cc(g: &CsrGraph, beta: f64, seed: u64) -> Vec<VertexId> {
+    cc_recursive(g, beta, seed, 0)
+}
+
+fn cc_recursive(g: &CsrGraph, beta: f64, seed: u64, level: usize) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    if g.num_directed_edges() == 0 || level >= MAX_LEVELS {
+        return (0..n as u32).collect();
+    }
+    // Permute at every level: MPX's exponential activation schedule relies
+    // on randomized activation order (id order degenerates on id-local
+    // graphs, and contracted graphs inherit id locality).
+    let decomposition = ldd(g, beta, true, seed.wrapping_add(level as u64));
+    let cluster_of = decomposition.labels;
+
+    // Dense renumbering of cluster centers.
+    let mut is_center = vec![0usize; n];
+    for &c in &cluster_of {
+        is_center[c as usize] = 1;
+    }
+    let mut center_id = is_center;
+    let num_clusters = scan_exclusive(&mut center_id);
+    if num_clusters == n {
+        // No contraction happened (pathological beta); force progress by
+        // halving beta, which makes clusters strictly larger.
+        return cc_recursive(g, (beta * 0.5).max(1e-3), seed ^ 0x9E37, level + 1);
+    }
+
+    // Contracted multigraph: inter-cluster edges mapped through the dense
+    // renumbering. `build_undirected` deduplicates.
+    let inter: Vec<(u32, u32)> = {
+        let cluster_of = &cluster_of;
+        let center_id = &center_id;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for &v in g.neighbors(u) {
+                if u < v && cluster_of[u as usize] != cluster_of[v as usize] {
+                    edges.push((
+                        center_id[cluster_of[u as usize] as usize] as u32,
+                        center_id[cluster_of[v as usize] as usize] as u32,
+                    ));
+                }
+            }
+        }
+        edges
+    };
+    let contracted = build_undirected(num_clusters, &inter);
+    let sub_labels = cc_recursive(&contracted, beta, seed.wrapping_mul(31), level + 1);
+
+    // Map back: the label of v is the representative of its cluster's
+    // component in the contracted graph.
+    parallel_tabulate(n, |v| {
+        let c = center_id[cluster_of[v] as usize];
+        sub_labels[c]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::{grid2d, rmat_default};
+    use cc_graph::stats::{component_stats, same_partition};
+
+    #[test]
+    fn solves_grid() {
+        let g = grid2d(50, 50);
+        let labels = work_efficient_cc(&g, 0.2, 1);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn solves_rmat_multi_component() {
+        let el = rmat_default(12, 20_000, 5);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let labels = work_efficient_cc(&g, 0.2, 2);
+        assert!(same_partition(&component_stats(&g).labels, &labels));
+    }
+
+    #[test]
+    fn various_betas_agree() {
+        let g = grid2d(30, 30);
+        let expect = component_stats(&g).labels;
+        for beta in [0.05, 0.2, 0.8] {
+            let labels = work_efficient_cc(&g, beta, 7);
+            assert!(same_partition(&expect, &labels), "beta {beta}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = cc_graph::CsrGraph::empty(5);
+        let labels = work_efficient_cc(&g, 0.2, 0);
+        assert_eq!(labels, vec![0, 1, 2, 3, 4]);
+    }
+}

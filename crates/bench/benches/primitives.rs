@@ -1,0 +1,44 @@
+//! Criterion micro-version of Table 8 plus substrate primitives: MapEdges,
+//! GatherEdges, prefix sums, pack, compressed-CSR decode.
+
+use cc_graph::build_undirected;
+use cc_graph::compressed::CompressedCsr;
+use cc_graph::generators::rmat_default;
+use cc_graph::primitives::{gather_edges, map_edges};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bench_primitives(c: &mut Criterion) {
+    let el = rmat_default(14, 200_000, 1);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let data: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    let compressed = CompressedCsr::from_csr(&g);
+    let mut group = c.benchmark_group("table8_primitives");
+    group.sample_size(20);
+    group.bench_function("map_edges", |b| b.iter(|| black_box(map_edges(&g))));
+    group.bench_function("gather_edges", |b| b.iter(|| black_box(gather_edges(&g, &data))));
+    group.bench_function("compressed_edge_map", |b| {
+        b.iter(|| {
+            let count = AtomicUsize::new(0);
+            compressed.for_each_edge_par(|_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            black_box(count.load(Ordering::Relaxed))
+        })
+    });
+    group.bench_function("scan_exclusive_1m", |b| {
+        let base: Vec<usize> = (0..1_000_000).map(|i| i % 7).collect();
+        b.iter(|| {
+            let mut v = base.clone();
+            black_box(cc_parallel::scan_exclusive(&mut v))
+        })
+    });
+    group.bench_function("pack_indices_1m", |b| {
+        b.iter(|| black_box(cc_parallel::pack_indices(1_000_000, |i| i % 3 == 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

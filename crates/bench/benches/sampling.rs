@@ -1,0 +1,34 @@
+//! Criterion micro-version of Tables 6-7 / Figures 19-24: sampling-phase
+//! costs for k-out variants, BFS, and LDD.
+
+use cc_graph::build_undirected;
+use cc_graph::generators::{grid2d, rmat_default};
+use connectit::{run_sampling, KOutVariant, SamplingMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let el = rmat_default(14, 160_000, 9);
+    let social = build_undirected(el.num_vertices, &el.edges);
+    let road = grid2d(160, 160);
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    for (gname, g) in [("rmat", &social), ("grid", &road)] {
+        for variant in KOutVariant::ALL {
+            let m = SamplingMethod::KOut { k: 2, variant };
+            group.bench_function(format!("{gname}/{}", variant.name()), |b| {
+                b.iter(|| black_box(run_sampling(g, &m, 5, false).frequent_count))
+            });
+        }
+        group.bench_function(format!("{gname}/bfs"), |b| {
+            b.iter(|| black_box(run_sampling(g, &SamplingMethod::bfs_default(), 5, false).frequent_count))
+        });
+        group.bench_function(format!("{gname}/ldd"), |b| {
+            b.iter(|| black_box(run_sampling(g, &SamplingMethod::ldd_default(), 5, false).frequent_count))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-version of Table 3: the fastest finish under each
+//! sampling mode, plus the slower families, on a small RMAT graph.
+
+use cc_graph::build_undirected;
+use cc_graph::generators::rmat_default;
+use connectit::{connectivity_seeded, FinishMethod, LtScheme, SamplingMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_static(c: &mut Criterion) {
+    let el = rmat_default(14, 160_000, 7);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let mut group = c.benchmark_group("table3_static");
+    group.sample_size(10);
+    for (sname, sampling) in [
+        ("none", SamplingMethod::None),
+        ("kout", SamplingMethod::kout_default()),
+        ("bfs", SamplingMethod::bfs_default()),
+        ("ldd", SamplingMethod::ldd_default()),
+    ] {
+        group.bench_function(format!("rem_cas/{sname}"), |b| {
+            b.iter(|| {
+                black_box(connectivity_seeded(&g, &sampling, &FinishMethod::fastest(), 3))
+            })
+        });
+    }
+    for (fname, finish) in [
+        ("shiloach_vishkin", FinishMethod::ShiloachVishkin),
+        ("liu_tarjan_crfa", FinishMethod::LiuTarjan(LtScheme::crfa())),
+        ("stergiou", FinishMethod::Stergiou),
+        ("label_prop", FinishMethod::LabelPropagation),
+    ] {
+        group.bench_function(format!("{fname}/none"), |b| {
+            b.iter(|| black_box(connectivity_seeded(&g, &SamplingMethod::None, &finish, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static);
+criterion_main!(benches);

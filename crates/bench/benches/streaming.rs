@@ -1,0 +1,44 @@
+//! Criterion micro-version of Table 4 / Figure 4: batch-insert throughput
+//! per streaming algorithm family.
+
+use cc_graph::generators::rmat_default;
+use cc_unionfind::UfSpec;
+use connectit::{LtScheme, StreamAlgorithm, StreamingConnectivity, Update};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_streaming(c: &mut Criterion) {
+    let n = 1usize << 15;
+    let edges = rmat_default(15, n * 8, 3).edges;
+    let batch: Vec<Update> = edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+    let mut group = c.benchmark_group("table4_streaming");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for (name, alg) in [
+        ("rem_cas", StreamAlgorithm::UnionFind(UfSpec::fastest())),
+        ("async", StreamAlgorithm::UnionFind(UfSpec::new(cc_unionfind::UniteKind::Async, cc_unionfind::FindKind::Naive))),
+        ("shiloach_vishkin", StreamAlgorithm::ShiloachVishkin),
+        ("liu_tarjan_crfa", StreamAlgorithm::LiuTarjan(LtScheme::crfa())),
+    ] {
+        group.bench_function(format!("{name}/one_batch"), |b| {
+            b.iter(|| {
+                let s = StreamingConnectivity::new(n, &alg, 1);
+                s.process_batch(black_box(&batch));
+                black_box(s)
+            })
+        });
+        group.bench_function(format!("{name}/batches_of_10k"), |b| {
+            b.iter(|| {
+                let s = StreamingConnectivity::new(n, &alg, 1);
+                for chunk in batch.chunks(10_000) {
+                    s.process_batch(black_box(chunk));
+                }
+                black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

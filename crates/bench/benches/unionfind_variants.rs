@@ -1,0 +1,42 @@
+//! Criterion micro-version of Figure 3: representative union-find variants
+//! in the No Sampling setting.
+
+use cc_graph::build_undirected;
+use cc_graph::generators::rmat_default;
+use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
+use connectit::{connectivity_seeded, FinishMethod, SamplingMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_variants(c: &mut Criterion) {
+    let el = rmat_default(14, 160_000, 5);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let mut group = c.benchmark_group("fig3_unionfind");
+    group.sample_size(10);
+    let variants = [
+        UfSpec::fastest(),
+        UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive),
+        UfSpec::rem(UniteKind::RemLock, SpliceKind::SplitOne, FindKind::Naive),
+        UfSpec::new(UniteKind::Async, FindKind::Naive),
+        UfSpec::new(UniteKind::Async, FindKind::Compress),
+        UfSpec::new(UniteKind::Hooks, FindKind::Naive),
+        UfSpec::new(UniteKind::Early, FindKind::Naive),
+        UfSpec::new(UniteKind::Jtb, FindKind::TwoTrySplit),
+    ];
+    for spec in variants {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| {
+                black_box(connectivity_seeded(
+                    &g,
+                    &SamplingMethod::None,
+                    &FinishMethod::UnionFind(spec),
+                    3,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

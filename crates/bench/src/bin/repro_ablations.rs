@@ -1,0 +1,4 @@
+//! Reproduction binary: see `cc_bench::experiments::ablations`.
+fn main() {
+    cc_bench::experiments::ablations::run(cc_bench::datasets::bench_scale());
+}

@@ -1,0 +1,24 @@
+//! Runs every reproduction experiment in sequence.
+fn main() {
+    use cc_bench::experiments as e;
+    let s = cc_bench::datasets::bench_scale();
+    let t0 = std::time::Instant::now();
+    e::table2::run(s);
+    e::table1::run(s);
+    e::table3::run(s);
+    e::fig3::run(s);
+    e::fig6::run(s);
+    e::fig11::run(s);
+    e::table4::run(s);
+    e::fig4::run(s);
+    e::fig17::run(s);
+    e::fig18::run(s);
+    e::table5::run(s);
+    e::table6::run(s);
+    e::fig19::run(s);
+    e::fig22::run(s);
+    e::table8::run(s);
+    e::forest::run(s);
+    e::ablations::run(s);
+    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Reproduction binary: see `cc_bench::experiments::fig22`.
+fn main() {
+    cc_bench::experiments::fig22::run(cc_bench::datasets::bench_scale());
+}

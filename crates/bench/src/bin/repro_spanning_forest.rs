@@ -1,0 +1,4 @@
+//! Reproduction binary: see `cc_bench::experiments::forest`.
+fn main() {
+    cc_bench::experiments::forest::run(cc_bench::datasets::bench_scale());
+}

@@ -1,0 +1,142 @@
+//! The dataset registry: laptop-scale synthetic analogs of the paper's
+//! graph inputs (Table 2). See DESIGN.md §2 for the substitution rationale.
+//!
+//! Sizes scale with the `CC_BENCH_SCALE` environment variable
+//! (0 = quick default, 1 = medium, 2 = large).
+
+use cc_graph::builder::{build_undirected, build_undirected_ordered};
+use cc_graph::generators::{
+    barabasi_albert, clustered_web, disjoint_union, grid2d, rmat_default,
+};
+use cc_graph::{CsrGraph, EdgeList};
+
+/// A named benchmark graph.
+pub struct Dataset {
+    /// Registry name, e.g. `road_sim`.
+    pub name: &'static str,
+    /// Which paper input this stands in for.
+    pub analog_of: &'static str,
+    /// The symmetrized graph.
+    pub graph: CsrGraph,
+}
+
+/// Benchmark scale factor from `CC_BENCH_SCALE` (0, 1, or 2).
+pub fn bench_scale() -> u32 {
+    std::env::var("CC_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+        .min(2)
+}
+
+/// Builds the full registry at the given scale.
+pub fn registry(scale: u32) -> Vec<Dataset> {
+    let s = scale.min(2);
+    // Base exponent: scale 0 -> 2^15-ish graphs, scale 2 -> 2^19-ish.
+    let b = 15 + 2 * s;
+    vec![
+        Dataset {
+            name: "road_sim",
+            analog_of: "road_usa (high diameter, low degree)",
+            graph: grid2d(1 << (b / 2 + 1), 1 << (b / 2)),
+        },
+        Dataset {
+            name: "lj_sim",
+            analog_of: "LiveJournal (social, moderate density)",
+            graph: from_el(rmat_default(b, (1usize << b) * 9, 0x11)),
+        },
+        Dataset {
+            name: "orkut_sim",
+            analog_of: "com-Orkut (social, dense)",
+            graph: from_el(rmat_default(b - 1, (1usize << (b - 1)) * 38, 0x22)),
+        },
+        Dataset {
+            name: "twitter_sim",
+            analog_of: "Twitter (large, skewed)",
+            graph: from_el(rmat_default(b + 1, (1usize << (b + 1)) * 14, 0x33)),
+        },
+        Dataset {
+            name: "friendster_sim",
+            analog_of: "Friendster (large, flatter degree)",
+            graph: from_el(barabasi_albert(1 << (b + 1), 7, 0x44)),
+        },
+        Dataset {
+            name: "clueweb_sim",
+            analog_of: "ClueWeb (crawl-ordered web, many components)",
+            graph: web_like(1 << (b - 6), 0x55),
+        },
+        Dataset {
+            name: "hyperlink_sim",
+            analog_of: "Hyperlink2012/2014 (largest; crawl-ordered, many components)",
+            graph: web_like(1 << (b - 5), 0x66),
+        },
+    ]
+}
+
+/// A quick subset for the figure sweeps (mirrors the four graphs the paper
+/// plots in Figures 19–24).
+pub fn sweep_registry(scale: u32) -> Vec<Dataset> {
+    registry(scale)
+        .into_iter()
+        .filter(|d| matches!(d.name, "road_sim" | "friendster_sim" | "clueweb_sim" | "hyperlink_sim"))
+        .collect()
+}
+
+fn from_el(el: EdgeList) -> CsrGraph {
+    build_undirected(el.num_vertices, &el.edges)
+}
+
+/// Crawl-ordered web analog: a clustered web (domain-local adjacency
+/// ordering) plus a tail of small disconnected components, preserving both
+/// ClueWeb/Hyperlink phenomena the paper studies — the kout-afforest
+/// failure mode and the massive-component-plus-many-tiny structure.
+fn web_like(num_blocks: usize, seed: u64) -> CsrGraph {
+    let giant = clustered_web(num_blocks, 64, 8, 0.3, seed);
+    // Tail of small components: ~6% extra vertices in 48-vertex blobs.
+    let tail_blobs = (num_blocks * 64 / 800).max(2);
+    let mut parts = vec![giant];
+    for i in 0..tail_blobs {
+        parts.push(cc_graph::generators::erdos_renyi(48, 96, seed ^ (i as u64 + 1)));
+    }
+    let merged = disjoint_union(&parts);
+    build_undirected_ordered(merged.num_vertices, &merged.edges)
+}
+
+/// COO update stream for the streaming experiments: the graph's own edges
+/// (optionally subsampled), as the paper does for its Type-(i) inputs.
+pub fn update_stream(g: &CsrGraph, fraction: f64) -> Vec<(u32, u32)> {
+    let all = g.to_edge_list().edges;
+    if fraction >= 1.0 {
+        return all;
+    }
+    let keep = ((all.len() as f64) * fraction) as usize;
+    all.into_iter().take(keep).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_at_scale_zero() {
+        let datasets = registry(0);
+        assert_eq!(datasets.len(), 7);
+        for d in &datasets {
+            assert!(d.graph.num_vertices() > 1000, "{}", d.name);
+            assert!(d.graph.num_edges() > 1000, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn web_like_has_many_components_and_a_giant() {
+        let g = web_like(64, 1);
+        let st = cc_graph::stats::component_stats(&g);
+        assert!(st.num_components > 1);
+        assert!(st.largest_size * 2 > g.num_vertices());
+    }
+
+    #[test]
+    fn sweep_registry_is_a_subset() {
+        assert_eq!(sweep_registry(0).len(), 4);
+    }
+}

@@ -1,0 +1,60 @@
+//! Figures 11–12: relative performance of the sixteen Liu–Tarjan variants
+//! (connect rule x shortcut x alter, with/without RootUp), plus Stergiou,
+//! in the No Sampling setting.
+
+use crate::datasets::registry;
+use crate::harness::{fmt_ratio, geomean, reps, time_best_of, Table};
+use connectit::{connectivity_seeded, FinishMethod, LtScheme, SamplingMethod};
+
+/// Regenerates the Liu–Tarjan heatmap.
+pub fn run(scale: u32) {
+    let datasets = registry(scale);
+    let r = reps();
+    println!("== Figure 11: Liu-Tarjan variants, No Sampling ==");
+    println!("   (geomean slowdown vs fastest LT variant across {} graphs)\n", datasets.len());
+
+    let schemes = LtScheme::all_schemes();
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for scheme in &schemes {
+        let finish = FinishMethod::LiuTarjan(*scheme);
+        let per: Vec<f64> = datasets
+            .iter()
+            .map(|d| {
+                time_best_of(r, || connectivity_seeded(&d.graph, &SamplingMethod::None, &finish, 3)).0
+            })
+            .collect();
+        rows.push((scheme.name(), per));
+    }
+    // Stergiou as an extra row (the paper: "always slower than the fastest
+    // LT variant").
+    let stergiou: Vec<f64> = datasets
+        .iter()
+        .map(|d| {
+            time_best_of(r, || {
+                connectivity_seeded(&d.graph, &SamplingMethod::None, &FinishMethod::Stergiou, 3)
+            })
+            .0
+        })
+        .collect();
+
+    let nd = datasets.len();
+    let best: Vec<f64> = (0..nd)
+        .map(|i| rows.iter().map(|(_, v)| v[i]).fold(f64::INFINITY, f64::min))
+        .collect();
+    let slowdown = |per: &Vec<f64>| {
+        let ratios: Vec<f64> = per.iter().zip(&best).map(|(t, b)| t / b).collect();
+        geomean(&ratios)
+    };
+
+    let mut t = Table::new(vec!["Variant", "geomean slowdown"]);
+    let mut scored: Vec<(String, f64)> =
+        rows.iter().map(|(n, per)| (n.clone(), slowdown(per))).collect();
+    scored.push(("Stergiou".into(), slowdown(&stergiou)));
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    for (name, s) in &scored {
+        t.row(vec![name.clone(), fmt_ratio(*s)]);
+    }
+    t.print();
+    println!("\nPaper shape to verify: FullShortcut variants (PF/EF/PRF/ERF-style) fastest;");
+    println!("remaining variants ~1.3-1.5x; Stergiou slower than the best LT variant.");
+}

@@ -1,0 +1,79 @@
+//! Figure 17: streaming throughput of the Union-Rem-CAS variants as a
+//! function of the insert-to-query ratio, on permuted batches — the
+//! experiment showing compressing finds win at query-heavy mixes and
+//! FindNaive+SplitAtomicOne wins at insert-heavy mixes.
+
+use crate::datasets::registry;
+use crate::harness::{fmt_rate, Table};
+use cc_graph::generators::random_permutation;
+use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
+use connectit::{StreamAlgorithm, StreamingConnectivity, Update};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rem_cas_variants() -> Vec<(String, UfSpec)> {
+    let finds = [FindKind::Split, FindKind::Halve, FindKind::Naive];
+    let splices = [SpliceKind::SplitOne, SpliceKind::HalveOne, SpliceKind::Splice];
+    let mut out = Vec::new();
+    for f in finds {
+        for s in splices {
+            let spec = UfSpec::rem(UniteKind::RemCas, s, f);
+            if spec.is_valid() {
+                out.push((format!("{};{}", f.name(), s.name()), spec));
+            }
+        }
+    }
+    out
+}
+
+/// Regenerates the insert-to-query ratio sweep.
+pub fn run(scale: u32) {
+    let datasets: Vec<_> = registry(scale)
+        .into_iter()
+        .filter(|d| matches!(d.name, "orkut_sim" | "lj_sim"))
+        .collect();
+    let ratios = [0.05f64, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+    for d in datasets {
+        let n = d.graph.num_vertices();
+        let inserts = d.graph.to_edge_list().edges;
+        println!("\n== Figure 17: throughput vs insert-to-query ratio on {} ==\n", d.name);
+        let mut t = Table::new(
+            std::iter::once("Rem-CAS variant".to_string())
+                .chain(ratios.iter().map(|r| format!("ins={r}")))
+                .collect::<Vec<_>>(),
+        );
+        // Permuted insert order (the paper permutes mixed batches).
+        let perm = random_permutation(inserts.len(), 31);
+        for (name, spec) in rem_cas_variants() {
+            let alg = StreamAlgorithm::UnionFind(spec);
+            let mut cells = vec![name];
+            for &ratio in &ratios {
+                let mut rng = StdRng::seed_from_u64(7);
+                // Fixed inserts; queries generated to achieve the ratio.
+                let queries_per_insert = (1.0 / ratio - 1.0).max(0.0);
+                let mut batch: Vec<Update> = Vec::new();
+                let mut owed = 0.0f64;
+                for &pi in &perm {
+                    let (u, v) = inserts[pi as usize];
+                    batch.push(Update::Insert(u, v));
+                    owed += queries_per_insert;
+                    while owed >= 1.0 {
+                        batch.push(Update::Query(
+                            rng.gen_range(0..n as u32),
+                            rng.gen_range(0..n as u32),
+                        ));
+                        owed -= 1.0;
+                    }
+                }
+                let s = StreamingConnectivity::new(n, &alg, 1);
+                let t0 = std::time::Instant::now();
+                s.process_batch(&batch);
+                cells.push(fmt_rate(batch.len() as f64 / t0.elapsed().as_secs_f64()));
+            }
+            t.row(cells);
+        }
+        t.print();
+    }
+    println!("\nPaper shape to verify: compressing finds ahead at query-heavy mixes;");
+    println!("FindNaive variants ahead once the insert share passes ~0.6-0.7.");
+}

@@ -1,0 +1,81 @@
+//! Figure 18: per-batch latency while streaming the largest graph's update
+//! sample at several batch sizes — the paper reports medians within 1–2% of
+//! means (highly regular latency) and linear growth with batch size.
+
+use crate::datasets::{registry, update_stream};
+use crate::harness::Table;
+use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
+use connectit::{LtScheme, StreamAlgorithm, StreamingConnectivity, Update};
+
+fn latency_algorithms() -> Vec<(&'static str, StreamAlgorithm)> {
+    vec![
+        ("Union-Rem-CAS", StreamAlgorithm::UnionFind(UfSpec::fastest())),
+        (
+            "Union-Rem-Lock",
+            StreamAlgorithm::UnionFind(UfSpec::rem(
+                UniteKind::RemLock,
+                SpliceKind::SplitOne,
+                FindKind::Naive,
+            )),
+        ),
+        ("Union-Async", StreamAlgorithm::UnionFind(UfSpec::new(UniteKind::Async, FindKind::Naive))),
+        ("Liu-Tarjan (CRFA)", StreamAlgorithm::LiuTarjan(LtScheme::crfa())),
+    ]
+}
+
+/// Regenerates the latency distributions.
+pub fn run(scale: u32) {
+    let d = registry(scale)
+        .into_iter()
+        .find(|d| d.name == "hyperlink_sim")
+        .expect("registry contains hyperlink_sim");
+    // 10% sample, as in the paper.
+    let edges = update_stream(&d.graph, 0.1);
+    let n = d.graph.num_vertices();
+    println!(
+        "== Figure 18: per-batch latency on {} (10% sample, {} updates) ==\n",
+        d.name,
+        edges.len()
+    );
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "batch",
+        "batches",
+        "mean(s)",
+        "median(s)",
+        "p99(s)",
+        "median/mean",
+    ]);
+    for (name, alg) in latency_algorithms() {
+        for bs in [1_000usize, 10_000, 100_000] {
+            if bs > edges.len() {
+                continue;
+            }
+            let s = StreamingConnectivity::new(n, &alg, 1);
+            let mut lat: Vec<f64> = Vec::new();
+            for chunk in edges.chunks(bs) {
+                let batch: Vec<Update> =
+                    chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                let t0 = std::time::Instant::now();
+                s.process_batch(&batch);
+                lat.push(t0.elapsed().as_secs_f64());
+            }
+            lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+            let median = lat[lat.len() / 2];
+            let p99 = lat[(lat.len() as f64 * 0.99) as usize - 1];
+            t.row(vec![
+                name.to_string(),
+                bs.to_string(),
+                lat.len().to_string(),
+                format!("{mean:.2e}"),
+                format!("{median:.2e}"),
+                format!("{p99:.2e}"),
+                format!("{:.3}", median / mean),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nPaper shape to verify: median/mean near 1.0 (regular latency);");
+    println!("latency grows ~linearly with batch size; Rem-CAS lowest.");
+}

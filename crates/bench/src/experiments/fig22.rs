@@ -1,0 +1,40 @@
+//! Figures 22–24: k-out sampling study — running time, inter-component
+//! edge fraction (log-scale in the paper), and giant coverage, for the four
+//! selection variants at k = 1..5.
+
+use crate::datasets::sweep_registry;
+use crate::harness::{fmt_secs, reps, time_best_of, Table};
+use connectit::sampling::{inter_component_edges, run_sampling};
+use connectit::{KOutVariant, SamplingMethod};
+
+/// Regenerates the k sweep.
+pub fn run(scale: u32) {
+    let r = reps();
+    println!("== Figures 22-24: k-out sampling variants, k = 1..5 ==\n");
+    for d in sweep_registry(scale) {
+        let m = d.graph.num_directed_edges() as f64;
+        let n = d.graph.num_vertices() as f64;
+        println!("-- {} --", d.name);
+        let mut t = Table::new(vec!["variant", "k", "time(s)", "inter-comp %", "coverage %"]);
+        for variant in KOutVariant::ALL {
+            for k in 1usize..=5 {
+                let method = SamplingMethod::KOut { k, variant };
+                let (secs, out) = time_best_of(r, || run_sampling(&d.graph, &method, 5, false));
+                let ic = inter_component_edges(&d.graph, &out.labels) as f64;
+                t.row(vec![
+                    variant.name().to_string(),
+                    k.to_string(),
+                    fmt_secs(secs),
+                    format!("{:.4}", 100.0 * ic / m),
+                    format!("{:.2}", 100.0 * out.frequent_count as f64 / n),
+                ]);
+            }
+        }
+        t.print();
+        println!();
+    }
+    println!("Paper shape to verify: kout-afforest collapses on the crawl-ordered web");
+    println!("graphs (low coverage for every k) while kout-pure/hybrid recover by k=2;");
+    println!("kout-maxdeg is the slowest (degree reduction per vertex); k=1 is poor for");
+    println!("every randomized scheme; residues far below n/k.");
+}

@@ -1,0 +1,99 @@
+//! Figures 3, 13, 14, 15: relative performance heatmaps of every
+//! union-find variant (find option x unite/splice column), under no
+//! sampling and under each sampling scheme. Cells are geometric-mean
+//! slowdowns relative to the fastest variant, aggregated across datasets —
+//! exactly the paper's presentation.
+
+use crate::datasets::registry;
+use crate::harness::{geomean, reps, time_best_of};
+use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
+use connectit::{connectivity_seeded, FinishMethod, SamplingMethod};
+use std::collections::HashMap;
+
+/// Column order mirroring Figure 3.
+fn columns() -> Vec<(String, UniteKind, Option<SpliceKind>)> {
+    let mut cols = vec![("Union-JTB".to_string(), UniteKind::Jtb, None)];
+    for (u, label) in [(UniteKind::RemCas, "Union-Rem-CAS"), (UniteKind::RemLock, "Union-Rem-Lock")] {
+        for s in [SpliceKind::Splice, SpliceKind::SplitOne, SpliceKind::HalveOne] {
+            cols.push((format!("{label};{}", short_splice(s)), u, Some(s)));
+        }
+    }
+    cols.push(("Union-Early".to_string(), UniteKind::Early, None));
+    cols.push(("Union-Hooks".to_string(), UniteKind::Hooks, None));
+    cols.push(("Union-Async".to_string(), UniteKind::Async, None));
+    cols
+}
+
+fn short_splice(s: SpliceKind) -> &'static str {
+    match s {
+        SpliceKind::Splice => "Splice",
+        SpliceKind::SplitOne => "SplitOne",
+        SpliceKind::HalveOne => "HalveOne",
+    }
+}
+
+fn rows() -> Vec<(&'static str, FindKind)> {
+    vec![
+        ("TwoTry", FindKind::TwoTrySplit),
+        ("FindCompress", FindKind::Compress),
+        ("FindHalve", FindKind::Halve),
+        ("FindSplit", FindKind::Split),
+        ("FindNaive", FindKind::Naive),
+    ]
+}
+
+/// Regenerates the four heatmaps.
+pub fn run(scale: u32) {
+    let datasets = registry(scale);
+    let r = reps();
+    let samplings = [
+        ("Figure 3: No Sampling", SamplingMethod::None),
+        ("Figure 13: k-out Sampling", SamplingMethod::kout_default()),
+        ("Figure 14: BFS Sampling", SamplingMethod::bfs_default()),
+        ("Figure 15: LDD Sampling", SamplingMethod::ldd_default()),
+    ];
+    for (title, sampling) in samplings {
+        // Time every valid variant on every dataset.
+        let mut times: HashMap<UfSpec, Vec<f64>> = HashMap::new();
+        for spec in UfSpec::all_variants() {
+            let finish = FinishMethod::UnionFind(spec);
+            let per: Vec<f64> = datasets
+                .iter()
+                .map(|d| time_best_of(r, || connectivity_seeded(&d.graph, &sampling, &finish, 3)).0)
+                .collect();
+            times.insert(spec, per);
+        }
+        // Per-dataset normalization to the fastest variant, then geomean.
+        let nd = datasets.len();
+        let best: Vec<f64> = (0..nd)
+            .map(|i| times.values().map(|v| v[i]).fold(f64::INFINITY, f64::min))
+            .collect();
+        println!("\n== {title} ==");
+        println!("   (geomean slowdown vs fastest variant, across {nd} graphs; '-' = invalid combo)\n");
+        let cols = columns();
+        // Header.
+        print!("{:<14}", "");
+        for (label, _, _) in &cols {
+            print!(" {:>24}", label);
+        }
+        println!();
+        for (row_label, find) in rows() {
+            print!("{row_label:<14}");
+            for &(_, unite, splice) in &cols {
+                let spec = UfSpec { unite, find, splice };
+                let cell = if spec.is_valid() {
+                    let per = &times[&spec];
+                    let ratios: Vec<f64> =
+                        per.iter().zip(&best).map(|(t, b)| t / b).collect();
+                    format!("{:.2}", geomean(&ratios))
+                } else {
+                    "-".to_string()
+                };
+                print!(" {cell:>24}");
+            }
+            println!();
+        }
+    }
+    println!("\nPaper shape to verify: Rem-CAS with SplitOne/HalveOne + FindNaive ~1.0 without sampling;");
+    println!("Rem-Lock ~1.4-1.8x; JTB several x; with sampling (Figs 13-15) everything converges to ~1.0-1.3x.");
+}

@@ -1,0 +1,63 @@
+//! Figures 6–10: path-length instrumentation. For every union-find variant
+//! and dataset we report running time, Max Path Length, and Total Path
+//! Length, plus a software cache-proxy metric standing in for the LLC-miss
+//! counters of Figures 8–10 (see DESIGN.md's substitution table), and the
+//! Pearson correlations the paper computes (TPL ~0.738 vs MPL ~0.344).
+
+use crate::datasets::registry;
+use crate::harness::{fmt_secs, pearson, Table};
+use cc_unionfind::{UfSpec, UniteKind};
+use connectit::{connectivity_timed, FinishMethod, SamplingMethod};
+
+/// Regenerates the path-length analysis.
+pub fn run(scale: u32) {
+    let datasets = registry(scale);
+    println!("== Figures 6-10: union-find path-length analysis (No Sampling) ==\n");
+    let mut t = Table::new(vec!["Variant", "Graph", "Time(s)", "MPL", "TPL", "TPL/op"]);
+    let mut times = Vec::new();
+    let mut tpls = Vec::new();
+    let mut mpls = Vec::new();
+    for spec in UfSpec::all_variants() {
+        // One representative per (unite, splice) column, FindNaive rows
+        // carry the figure; keep all variants when scale > 0.
+        if scale == 0 && spec.find != cc_unionfind::FindKind::Naive && spec.unite != UniteKind::Jtb
+        {
+            continue;
+        }
+        let finish = FinishMethod::UnionFind(spec);
+        for d in &datasets {
+            let (_, stats) = connectivity_timed(&d.graph, &SamplingMethod::None, &finish, 13);
+            let ops = d.graph.num_directed_edges() as f64;
+            t.row(vec![
+                spec.name(),
+                d.name.to_string(),
+                fmt_secs(stats.finish_seconds),
+                stats.max_path_length.to_string(),
+                stats.total_path_length.to_string(),
+                format!("{:.2}", stats.total_path_length as f64 / ops),
+            ]);
+            times.push(stats.finish_seconds);
+            tpls.push(stats.total_path_length as f64);
+            mpls.push(stats.max_path_length as f64);
+        }
+    }
+    t.print();
+    println!(
+        "\nPearson correlation with running time: TPL = {:.3}, MPL = {:.3}",
+        pearson(&tpls, &times),
+        pearson(&mpls, &times)
+    );
+    println!("(paper: TPL 0.738, MPL 0.344 — TPL should correlate much more strongly)");
+
+    // Cache proxy (Figures 8-10 stand-in): random-access volume = edges
+    // processed x probability the parent read misses cache, approximated by
+    // the parent-array footprint vs a 32 MiB LLC.
+    println!("\n-- cache-proxy (Figures 8-10 substitution) --");
+    let mut t2 = Table::new(vec!["Graph", "parent array MiB", "expected locality"]);
+    for d in &datasets {
+        let mib = (d.graph.num_vertices() * 4) as f64 / (1024.0 * 1024.0);
+        let locality = if mib < 32.0 { "fits LLC (low miss rate)" } else { "exceeds LLC" };
+        t2.row(vec![d.name.to_string(), format!("{mib:.1}"), locality.to_string()]);
+    }
+    t2.print();
+}

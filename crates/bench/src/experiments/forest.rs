@@ -1,0 +1,48 @@
+//! Section 4 spanning-forest claim: the trends match connectivity and the
+//! average overhead of producing the forest is ~23.7%.
+
+use crate::datasets::registry;
+use crate::harness::{fmt_ratio, fmt_secs, geomean, reps, time_best_of, Table};
+use cc_unionfind::{FindKind, UfSpec, UniteKind};
+use connectit::{connectivity_seeded, spanning_forest, FinishMethod, SamplingMethod};
+
+/// Regenerates the spanning-forest overhead comparison.
+pub fn run(scale: u32) {
+    let datasets = registry(scale);
+    let r = reps();
+    println!("== Spanning forest vs connectivity (Section 4 claim: ~23.7% overhead) ==\n");
+    let finishes = [
+        FinishMethod::fastest(),
+        FinishMethod::UnionFind(UfSpec::new(UniteKind::Async, FindKind::Naive)),
+        FinishMethod::UnionFind(UfSpec::new(UniteKind::Hooks, FindKind::Naive)),
+        FinishMethod::ShiloachVishkin,
+    ];
+    let mut t = Table::new(vec!["Graph", "Finish", "CC(s)", "SF(s)", "overhead"]);
+    let mut overheads = Vec::new();
+    for d in &datasets {
+        for finish in &finishes {
+            let sampling = SamplingMethod::kout_default();
+            let (cc_t, _) =
+                time_best_of(r, || connectivity_seeded(&d.graph, &sampling, finish, 3));
+            let (sf_t, forest) =
+                time_best_of(r, || spanning_forest(&d.graph, &sampling, finish, 3));
+            assert!(
+                connectit::is_valid_spanning_forest(&d.graph, &forest),
+                "invalid forest from {} on {}",
+                finish.name(),
+                d.name
+            );
+            overheads.push(sf_t / cc_t);
+            t.row(vec![
+                d.name.to_string(),
+                finish.name(),
+                fmt_secs(cc_t),
+                fmt_secs(sf_t),
+                fmt_ratio(sf_t / cc_t),
+            ]);
+        }
+    }
+    t.print();
+    println!("\ngeomean SF/CC overhead: {}", fmt_ratio(geomean(&overheads)));
+    println!("(paper: ~1.24x on average)");
+}

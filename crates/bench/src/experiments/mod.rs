@@ -1,0 +1,19 @@
+//! One module per reproduced table/figure.
+
+pub mod ablations;
+pub mod fig11;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig22;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod forest;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table8;

@@ -1,0 +1,88 @@
+//! Table 1: the largest-graph comparison. The paper's rows are
+//! whole-system results on Hyperlink2012/2014 (quoted below verbatim); our
+//! measured rows run the same *algorithms* on the `hyperlink_sim` analog at
+//! local scale, showing the same ordering: ConnectIt's sampled Union-Rem-CAS
+//! beats BFS-based, LDD-contraction-based, and label-propagation systems.
+
+use crate::datasets::registry;
+use crate::harness::{fmt_secs, reps, time_best_of, Table};
+use cc_baselines::{bfscc, work_efficient_cc};
+use connectit::{connectivity_seeded, FinishMethod, SamplingMethod};
+
+/// Regenerates Table 1 (measured analog + quoted paper numbers).
+pub fn run(scale: u32) {
+    let d = registry(scale)
+        .into_iter()
+        .find(|d| d.name == "hyperlink_sim")
+        .expect("registry contains hyperlink_sim");
+    let r = reps();
+    println!(
+        "== Table 1 (measured on {}: n = {}, m = {}) ==\n",
+        d.name,
+        d.graph.num_vertices(),
+        d.graph.num_edges()
+    );
+    let mut t = Table::new(vec!["System (algorithm class)", "Time (s)"]);
+    let rows: Vec<(&str, f64)> = vec![
+        (
+            "BFS-based (FlashGraph/Mosaic class)",
+            time_best_of(r, || bfscc(&d.graph)).0,
+        ),
+        (
+            "LDD-contraction (GBBS record holder)",
+            time_best_of(r, || work_efficient_cc(&d.graph, 0.2, 5)).0,
+        ),
+        (
+            "Label propagation (Stergiou/Gluon class)",
+            time_best_of(r, || {
+                connectivity_seeded(&d.graph, &SamplingMethod::None, &FinishMethod::Stergiou, 5)
+            })
+            .0,
+        ),
+        (
+            "Shiloach-Vishkin (Zhang et al. class)",
+            time_best_of(r, || {
+                connectivity_seeded(&d.graph, &SamplingMethod::None, &FinishMethod::ShiloachVishkin, 5)
+            })
+            .0,
+        ),
+        (
+            "ConnectIt (k-out + Union-Rem-CAS)",
+            time_best_of(r, || {
+                connectivity_seeded(&d.graph, &SamplingMethod::kout_default(), &FinishMethod::fastest(), 5)
+            })
+            .0,
+        ),
+    ];
+    let best = rows.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+    for (name, secs) in rows {
+        let cell = if secs <= best * 1.0001 {
+            format!("[{}]", fmt_secs(secs))
+        } else {
+            fmt_secs(secs)
+        };
+        t.row(vec![name.to_string(), cell]);
+    }
+    t.print();
+
+    println!("\n-- paper-reported whole-system numbers (quoted, Hyperlink graphs) --");
+    let mut q = Table::new(vec!["System", "Graph", "Mem(TB)", "Threads", "Nodes", "Time(s)"]);
+    for row in [
+        ("Mosaic", "Hyperlink2014", "0.768", "1000", "1", "708"),
+        ("FlashGraph", "Hyperlink2012", "0.512", "64", "1", "461"),
+        ("GBBS", "Hyperlink2012", "1", "144", "1", "25.8"),
+        ("GBBS (NVRAM)", "Hyperlink2012", "0.376", "96", "1", "36.2"),
+        ("Galois (NVRAM)", "Hyperlink2012", "0.376", "96", "1", "76.0"),
+        ("Slota et al.", "Hyperlink2012", "16.3", "8192", "256", "63"),
+        ("Stergiou et al.", "Hyperlink2012", "128", "24000", "1000", "341"),
+        ("Gluon", "Hyperlink2012", "24", "69632", "256", "75.3"),
+        ("Zhang et al.", "Hyperlink2012", ">=256", "262000", "4096", "30"),
+        ("ConnectIt (paper)", "Hyperlink2014", "1", "144", "1", "2.83"),
+        ("ConnectIt (paper)", "Hyperlink2012", "1", "144", "1", "8.20"),
+    ] {
+        q.row(vec![row.0, row.1, row.2, row.3, row.4, row.5]);
+    }
+    q.print();
+    println!("\nShape to verify: ConnectIt's sampled union-find is the fastest class on");
+    println!("the web-graph analog, as it is on the real Hyperlink graphs in the paper.");
+}

@@ -1,0 +1,257 @@
+//! Table 3: running times of every ConnectIt finish family under the four
+//! sampling regimes, plus the "Other Systems" baselines.
+//!
+//! By default each family is represented by its paper-fastest variant; set
+//! `CC_BENCH_FULL=1` to time every union-find variant and report the best
+//! per family, exactly as the paper's "fastest out of all combinations of
+//! options" methodology.
+
+use crate::datasets::{registry, Dataset};
+use crate::harness::{fmt_secs, reps, time_best_of, Table};
+use cc_baselines::{bfscc, work_efficient_cc};
+use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
+use connectit::{connectivity_seeded, FinishMethod, LtScheme, SamplingMethod};
+
+/// One finish "family" (a Table 3 row).
+pub struct Family {
+    /// Row label.
+    pub name: &'static str,
+    /// Variants to time; the fastest is reported.
+    pub variants: Vec<FinishMethod>,
+}
+
+/// The nine ConnectIt rows of Table 3.
+pub fn families(full: bool) -> Vec<Family> {
+    let uf_family = |kind: UniteKind, default: UfSpec| -> Vec<FinishMethod> {
+        if full {
+            UfSpec::all_variants()
+                .into_iter()
+                .filter(|s| s.unite == kind)
+                .map(FinishMethod::UnionFind)
+                .collect()
+        } else {
+            vec![FinishMethod::UnionFind(default)]
+        }
+    };
+    let lt_family = || -> Vec<FinishMethod> {
+        if full {
+            LtScheme::all_schemes().into_iter().map(FinishMethod::LiuTarjan).collect()
+        } else {
+            // The paper's fastest static LT variants: one of {EF, PRF, PR, CRFA}.
+            vec![
+                FinishMethod::LiuTarjan(LtScheme::crfa()),
+                FinishMethod::LiuTarjan(LtScheme::new(
+                    connectit::LtConnect::ParentConnect,
+                    true,
+                    true,
+                    false,
+                )),
+            ]
+        }
+    };
+    vec![
+        Family {
+            name: "Union-Early",
+            variants: uf_family(UniteKind::Early, UfSpec::new(UniteKind::Early, FindKind::Naive)),
+        },
+        Family {
+            name: "Union-Hooks",
+            variants: uf_family(UniteKind::Hooks, UfSpec::new(UniteKind::Hooks, FindKind::Naive)),
+        },
+        Family {
+            name: "Union-Async",
+            variants: uf_family(UniteKind::Async, UfSpec::new(UniteKind::Async, FindKind::Naive)),
+        },
+        Family {
+            name: "Union-Rem-CAS",
+            variants: uf_family(UniteKind::RemCas, UfSpec::fastest()),
+        },
+        Family {
+            name: "Union-Rem-Lock",
+            variants: uf_family(
+                UniteKind::RemLock,
+                UfSpec::rem(UniteKind::RemLock, SpliceKind::SplitOne, FindKind::Naive),
+            ),
+        },
+        Family {
+            name: "Union-JTB",
+            variants: uf_family(
+                UniteKind::Jtb,
+                UfSpec::new(UniteKind::Jtb, FindKind::TwoTrySplit),
+            ),
+        },
+        Family { name: "Liu-Tarjan", variants: lt_family() },
+        Family { name: "Shiloach-Vishkin", variants: vec![FinishMethod::ShiloachVishkin] },
+        Family { name: "Label-Propagation", variants: vec![FinishMethod::LabelPropagation] },
+    ]
+}
+
+/// The four sampling groups of Table 3.
+pub fn sampling_groups() -> Vec<(&'static str, SamplingMethod)> {
+    vec![
+        ("No Sampling", SamplingMethod::None),
+        ("k-out Sampling", SamplingMethod::kout_default()),
+        ("BFS Sampling", SamplingMethod::bfs_default()),
+        ("LDD Sampling", SamplingMethod::ldd_default()),
+    ]
+}
+
+fn fastest_in_family(
+    d: &Dataset,
+    sampling: &SamplingMethod,
+    family: &Family,
+    r: usize,
+) -> f64 {
+    family
+        .variants
+        .iter()
+        .map(|finish| {
+            time_best_of(r, || connectivity_seeded(&d.graph, sampling, finish, 99)).0
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Regenerates Table 3.
+pub fn run(scale: u32) {
+    let full = std::env::var("CC_BENCH_FULL").is_ok_and(|v| v == "1");
+    let datasets = registry(scale);
+    let r = reps();
+    println!(
+        "== Table 3: static connectivity running times (seconds) ==\n   ({} variants per family; CC_BENCH_FULL=1 for the full space)\n",
+        if full { "all" } else { "representative" }
+    );
+    for (group, sampling) in sampling_groups() {
+        println!("-- {group} --");
+        let mut t = Table::new(
+            std::iter::once("Algorithm".to_string())
+                .chain(datasets.iter().map(|d| d.name.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        let fams = families(full);
+        let mut best_per_dataset = vec![f64::INFINITY; datasets.len()];
+        let mut cells: Vec<Vec<f64>> = Vec::new();
+        for family in &fams {
+            let row: Vec<f64> = datasets
+                .iter()
+                .map(|d| fastest_in_family(d, &sampling, family, r))
+                .collect();
+            for (b, &x) in best_per_dataset.iter_mut().zip(&row) {
+                *b = b.min(x);
+            }
+            cells.push(row);
+        }
+        for (family, row) in fams.iter().zip(&cells) {
+            t.row(
+                std::iter::once(family.name.to_string())
+                    .chain(row.iter().zip(&best_per_dataset).map(|(&x, &b)| {
+                        if x <= b * 1.0001 {
+                            format!("[{}]", fmt_secs(x)) // group-fastest marker
+                        } else {
+                            fmt_secs(x)
+                        }
+                    }))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        t.print();
+        println!();
+    }
+
+    // Other systems (implemented in-repo; see DESIGN.md for the mapping).
+    println!("-- Other Systems --");
+    let mut t = Table::new(
+        std::iter::once("System".to_string())
+            .chain(datasets.iter().map(|d| d.name.to_string()))
+            .collect::<Vec<_>>(),
+    );
+    let others: Vec<(&str, Box<dyn Fn(&Dataset) -> f64>)> = vec![
+        (
+            "BFSCC [Ligra]",
+            Box::new(move |d: &Dataset| time_best_of(r, || bfscc(&d.graph)).0),
+        ),
+        (
+            "WorkefficientCC [Shun et al.]",
+            Box::new(move |d: &Dataset| {
+                time_best_of(r, || work_efficient_cc(&d.graph, 0.2, 5)).0
+            }),
+        ),
+        (
+            "MultiStep (BFS+LP) [Slota et al.]",
+            Box::new(move |d: &Dataset| {
+                time_best_of(r, || {
+                    connectivity_seeded(
+                        &d.graph,
+                        &SamplingMethod::bfs_default(),
+                        &FinishMethod::LabelPropagation,
+                        5,
+                    )
+                })
+                .0
+            }),
+        ),
+        (
+            "Galois (async LP) [Nguyen et al.]",
+            Box::new(move |d: &Dataset| {
+                time_best_of(r, || {
+                    connectivity_seeded(
+                        &d.graph,
+                        &SamplingMethod::None,
+                        &FinishMethod::LabelPropagation,
+                        5,
+                    )
+                })
+                .0
+            }),
+        ),
+        (
+            "PatwaryRM (Rem-Lock+Splice)",
+            Box::new(move |d: &Dataset| {
+                let spec = UfSpec::rem(UniteKind::RemLock, SpliceKind::Splice, FindKind::Naive);
+                time_best_of(r, || {
+                    connectivity_seeded(
+                        &d.graph,
+                        &SamplingMethod::None,
+                        &FinishMethod::UnionFind(spec),
+                        5,
+                    )
+                })
+                .0
+            }),
+        ),
+        (
+            "GAPBS Shiloach-Vishkin (plain write)",
+            Box::new(move |d: &Dataset| {
+                let identity: Vec<u32> = (0..d.graph.num_vertices() as u32).collect();
+                time_best_of(r, || {
+                    connectit::shiloach_vishkin::shiloach_vishkin_plain_write(
+                        &d.graph, &identity,
+                    )
+                })
+                .0
+            }),
+        ),
+        (
+            "GAPBS Afforest",
+            Box::new(move |d: &Dataset| {
+                let sampling = SamplingMethod::KOut { k: 2, variant: connectit::KOutVariant::Afforest };
+                time_best_of(r, || {
+                    connectivity_seeded(
+                        &d.graph,
+                        &sampling,
+                        &FinishMethod::UnionFind(UfSpec::new(UniteKind::Async, FindKind::Naive)),
+                        5,
+                    )
+                })
+                .0
+            }),
+        ),
+    ];
+    for (name, f) in &others {
+        t.row(
+            std::iter::once(name.to_string())
+                .chain(datasets.iter().map(|d| fmt_secs(f(d))))
+                .collect::<Vec<_>>(),
+        );
+    }
+    t.print();
+}

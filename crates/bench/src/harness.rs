@@ -1,0 +1,154 @@
+//! Timing and table-formatting helpers shared by every `repro_*` binary.
+
+use std::time::Instant;
+
+/// Times `f`, returning the fastest of `reps` runs (the paper reports
+/// best-of-three style parallel timings) together with the last result.
+pub fn time_best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Number of timing repetitions from `CC_BENCH_REPS` (default 3).
+pub fn reps() -> usize {
+    std::env::var("CC_BENCH_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1)
+}
+
+/// Formats seconds like the paper's tables (`2.80e-2` / `0.316` / `13.9`).
+pub fn fmt_secs(s: f64) -> String {
+    if s == 0.0 {
+        "0".into()
+    } else if s < 0.095 {
+        format!("{s:.2e}")
+    } else if s < 10.0 {
+        format!("{s:.3}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+/// Formats a throughput like the paper's Table 4 (`7.16e9`).
+pub fn fmt_rate(r: f64) -> String {
+    format!("{r:.2e}")
+}
+
+/// Formats a ratio as a slowdown/speedup factor.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// A simple fixed-width text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{c:<w$}"));
+                } else {
+                    out.push_str(&format!("  {c:>w$}"));
+                }
+            }
+            println!("{out}");
+        };
+        line(&self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Geometric mean of a nonempty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_matches_paper_styles() {
+        assert_eq!(fmt_secs(0.028), "2.80e-2");
+        assert_eq!(fmt_secs(0.316), "0.316");
+        assert_eq!(fmt_secs(13.91), "13.9");
+    }
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x", "1"]);
+        t.print();
+    }
+
+    #[test]
+    fn time_best_of_runs() {
+        let (secs, v) = time_best_of(2, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

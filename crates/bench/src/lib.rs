@@ -1,0 +1,16 @@
+//! # cc-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! ConnectIt evaluation (see DESIGN.md §3 for the per-experiment index).
+//! Each experiment is a `run(scale)` function under [`experiments`], with a
+//! thin `repro_*` binary wrapper; `repro_all` runs the lot.
+//!
+//! Environment knobs: `CC_BENCH_SCALE` (0/1/2 graph sizes), `CC_BENCH_REPS`
+//! (timing repetitions), `CC_BENCH_FULL=1` (full variant space in Table 3),
+//! `CC_NUM_THREADS` (pool size).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,178 @@
+//! `connectit` — command-line connectivity on edge-list files.
+//!
+//! ```text
+//! connectit cc <edges.txt> [--sampling none|kout|bfs|ldd] [--finish rem-cas|sv|lt|lp]
+//! connectit forest <edges.txt> [-o out.txt]
+//! connectit stats <edges.txt>
+//! connectit gen <rmat|grid|ba> <scale> [-o out.txt]
+//! ```
+//!
+//! Edge lists are whitespace-separated `u v` pairs, `#`/`%` comments
+//! allowed. Output labelings are `vertex label` lines on stdout (or `-o`).
+
+use cc_graph::{build_undirected, io, CsrGraph};
+use connectit::{FinishMethod, LtScheme, SamplingMethod};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  connectit cc <edges.txt> [--sampling none|kout|bfs|ldd] \
+         [--finish rem-cas|sv|lt|lp] [-o out.txt]\n  connectit forest <edges.txt> [-o out.txt]\n  \
+         connectit stats <edges.txt>\n  connectit gen <rmat|grid|ba> <scale> [-o out.txt]"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    positional: Vec<String>,
+    sampling: SamplingMethod,
+    finish: FinishMethod,
+    out: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        positional: Vec::new(),
+        sampling: SamplingMethod::kout_default(),
+        finish: FinishMethod::fastest(),
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sampling" => {
+                let v = it.next().ok_or("--sampling needs a value")?;
+                opts.sampling = match v.as_str() {
+                    "none" => SamplingMethod::None,
+                    "kout" => SamplingMethod::kout_default(),
+                    "bfs" => SamplingMethod::bfs_default(),
+                    "ldd" => SamplingMethod::ldd_default(),
+                    other => return Err(format!("unknown sampling {other:?}")),
+                };
+            }
+            "--finish" => {
+                let v = it.next().ok_or("--finish needs a value")?;
+                opts.finish = match v.as_str() {
+                    "rem-cas" => FinishMethod::fastest(),
+                    "sv" => FinishMethod::ShiloachVishkin,
+                    "lt" => FinishMethod::LiuTarjan(LtScheme::crfa()),
+                    "lp" => FinishMethod::LabelPropagation,
+                    other => return Err(format!("unknown finish {other:?}")),
+                };
+            }
+            "-o" | "--output" => {
+                opts.out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let el = io::read_edge_list_file(path).map_err(|e| e.to_string())?;
+    Ok(build_undirected(el.num_vertices, &el.edges))
+}
+
+fn emit(out: &Option<String>, content: String) -> Result<(), String> {
+    match out {
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            f.write_all(content.as_bytes()).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_args(&args[1..])?;
+    match cmd.as_str() {
+        "cc" => {
+            let path = opts.positional.first().ok_or("missing edge-list path")?;
+            let g = load_graph(path)?;
+            let t0 = std::time::Instant::now();
+            let labels = connectit::connectivity(&g, &opts.sampling, &opts.finish);
+            eprintln!(
+                "n = {}, m = {}, components = {}, time = {:.4}s ({} + {})",
+                g.num_vertices(),
+                g.num_edges(),
+                cc_graph::stats::count_distinct_labels(&labels),
+                t0.elapsed().as_secs_f64(),
+                opts.sampling.name(),
+                opts.finish.name(),
+            );
+            let mut s = String::new();
+            for (v, l) in labels.iter().enumerate() {
+                s.push_str(&format!("{v} {l}\n"));
+            }
+            emit(&opts.out, s)
+        }
+        "forest" => {
+            let path = opts.positional.first().ok_or("missing edge-list path")?;
+            let g = load_graph(path)?;
+            let forest =
+                connectit::spanning_forest(&g, &opts.sampling, &FinishMethod::fastest(), 42);
+            eprintln!("spanning forest: {} edges", forest.len());
+            let mut s = String::new();
+            for (u, v) in &forest {
+                s.push_str(&format!("{u} {v}\n"));
+            }
+            emit(&opts.out, s)
+        }
+        "stats" => {
+            let path = opts.positional.first().ok_or("missing edge-list path")?;
+            let g = load_graph(path)?;
+            let st = cc_graph::stats::component_stats(&g);
+            let diam = cc_graph::bfs::approx_diameter(&g, 3, 7);
+            println!(
+                "n {}\nm {}\ncomponents {}\nlargest {}\ndiameter>= {}",
+                g.num_vertices(),
+                g.num_edges(),
+                st.num_components,
+                st.largest_size,
+                diam
+            );
+            Ok(())
+        }
+        "gen" => {
+            let kind = opts.positional.first().ok_or("missing generator kind")?;
+            let scale: u32 = opts
+                .positional
+                .get(1)
+                .ok_or("missing scale")?
+                .parse()
+                .map_err(|_| "scale must be an integer")?;
+            let el = match kind.as_str() {
+                "rmat" => cc_graph::generators::rmat_default(scale, (1 << scale) * 10, 42),
+                "ba" => cc_graph::generators::barabasi_albert(1 << scale, 5, 42),
+                "grid" => {
+                    let side = 1usize << (scale / 2);
+                    cc_graph::generators::grid2d(side, side).to_edge_list()
+                }
+                other => return Err(format!("unknown generator {other:?}")),
+            };
+            let mut buf = Vec::new();
+            io::write_edge_list(&mut buf, &el).map_err(|e| e.to_string())?;
+            emit(&opts.out, String::from_utf8(buf).expect("ascii"))
+        }
+        _ => Err(format!("unknown command {cmd:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The ConnectIt connectivity driver (Algorithm 1): sample, identify the
+//! frequent component, finish.
+
+use crate::label_prop::label_propagation_finish;
+use crate::liu_tarjan::{liu_tarjan_finish, stergiou_finish};
+use crate::options::{FinishMethod, SamplingMethod};
+use crate::sampling::run_sampling;
+use crate::shiloach_vishkin::shiloach_vishkin_finish;
+use cc_graph::{CsrGraph, VertexId};
+use cc_unionfind::parents::{parents_from_labels, snapshot_labels};
+use cc_unionfind::PathStats;
+use std::time::Instant;
+
+/// Timing and instrumentation for one connectivity run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Sampling-phase wall time in seconds.
+    pub sampling_seconds: f64,
+    /// Finish-phase wall time in seconds.
+    pub finish_seconds: f64,
+    /// Vertices covered by the most frequent sampled component.
+    pub frequent_count: usize,
+    /// Total Path Length over union-find operations (union-find finishes
+    /// only; 0 otherwise).
+    pub total_path_length: u64,
+    /// Max Path Length over union-find operations.
+    pub max_path_length: u64,
+}
+
+impl RunStats {
+    /// Total wall time.
+    pub fn total_seconds(&self) -> f64 {
+        self.sampling_seconds + self.finish_seconds
+    }
+}
+
+/// Computes connected components: the returned labeling satisfies
+/// `labels[u] == labels[v]` iff `u` and `v` are connected in `g`.
+///
+/// ```
+/// use cc_graph::build_undirected;
+/// use connectit::{connectivity, FinishMethod, SamplingMethod};
+/// let g = build_undirected(5, &[(0, 1), (1, 2), (3, 4)]);
+/// let labels = connectivity(&g, &SamplingMethod::None, &FinishMethod::fastest());
+/// assert_eq!(labels[0], labels[2]);
+/// assert_ne!(labels[0], labels[3]);
+/// ```
+pub fn connectivity(
+    g: &CsrGraph,
+    sampling: &SamplingMethod,
+    finish: &FinishMethod,
+) -> Vec<VertexId> {
+    connectivity_seeded(g, sampling, finish, 42)
+}
+
+/// [`connectivity`] with an explicit random seed (sampling choices, JTB
+/// ranks).
+pub fn connectivity_seeded(
+    g: &CsrGraph,
+    sampling: &SamplingMethod,
+    finish: &FinishMethod,
+    seed: u64,
+) -> Vec<VertexId> {
+    connectivity_timed(g, sampling, finish, seed).0
+}
+
+/// [`connectivity_seeded`] additionally reporting per-phase statistics.
+pub fn connectivity_timed(
+    g: &CsrGraph,
+    sampling: &SamplingMethod,
+    finish: &FinishMethod,
+    seed: u64,
+) -> (Vec<VertexId>, RunStats) {
+    let mut stats = RunStats::default();
+    let t0 = Instant::now();
+    let sample = run_sampling(g, sampling, seed, false);
+    stats.sampling_seconds = t0.elapsed().as_secs_f64();
+    stats.frequent_count = sample.frequent_count;
+
+    let t1 = Instant::now();
+    let path_stats = PathStats::new();
+    let labels = finish_components(g, finish, &sample.labels, sample.frequent, seed, &path_stats);
+    stats.finish_seconds = t1.elapsed().as_secs_f64();
+    stats.total_path_length = path_stats.total_path_length();
+    stats.max_path_length = path_stats.max_path_length();
+    (labels, stats)
+}
+
+/// The finish phase (`FINISHCOMPONENTS` of Algorithm 1): completes the
+/// sampled partial labeling, skipping work for the `frequent` component.
+pub fn finish_components(
+    g: &CsrGraph,
+    finish: &FinishMethod,
+    initial: &[VertexId],
+    frequent: VertexId,
+    seed: u64,
+    path_stats: &PathStats,
+) -> Vec<VertexId> {
+    match finish {
+        FinishMethod::UnionFind(spec) => {
+            let n = g.num_vertices();
+            let p = parents_from_labels(initial);
+            let uf = spec.instantiate(n, seed);
+            let uf = uf.as_ref();
+            // Hop counts aggregate per worker chunk: recording per edge on
+            // shared atomics would dominate the union work itself.
+            g.for_each_edge_par_ctx(
+                || (0u64, 0u64), // (total hops, max single-op hops)
+                |ctx, u, v| {
+                    if initial[u as usize] == frequent {
+                        return;
+                    }
+                    let mut hops = 0u64;
+                    uf.unite(&p, u, v, &mut hops);
+                    ctx.0 += hops;
+                    ctx.1 = ctx.1.max(hops);
+                },
+                |(total, max)| path_stats.record_bulk(total, max),
+            );
+            snapshot_labels(&p)
+        }
+        FinishMethod::ShiloachVishkin => shiloach_vishkin_finish(g, initial, frequent, None),
+        FinishMethod::LiuTarjan(scheme) => liu_tarjan_finish(g, *scheme, initial, frequent),
+        FinishMethod::Stergiou => stergiou_finish(g, initial, frequent),
+        FinishMethod::LabelPropagation => label_propagation_finish(g, initial, frequent),
+    }
+}
+
+/// Counts the connected components of `g` using the default algorithm.
+pub fn num_components(g: &CsrGraph) -> usize {
+    let labels = connectivity(g, &SamplingMethod::None, &FinishMethod::fastest());
+    cc_graph::stats::count_distinct_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liu_tarjan::LtScheme;
+    use cc_graph::generators::{grid2d, rmat_default};
+    use cc_graph::stats::{component_stats, same_partition};
+    use cc_graph::build_undirected;
+
+    fn all_finishes() -> Vec<FinishMethod> {
+        let mut out = vec![
+            FinishMethod::fastest(),
+            FinishMethod::ShiloachVishkin,
+            FinishMethod::Stergiou,
+            FinishMethod::LabelPropagation,
+        ];
+        out.push(FinishMethod::LiuTarjan(LtScheme::crfa()));
+        out.push(FinishMethod::LiuTarjan(LtScheme::pus()));
+        out
+    }
+
+    fn all_samplings() -> Vec<SamplingMethod> {
+        vec![
+            SamplingMethod::None,
+            SamplingMethod::kout_default(),
+            SamplingMethod::bfs_default(),
+            SamplingMethod::ldd_default(),
+        ]
+    }
+
+    #[test]
+    fn full_matrix_on_rmat() {
+        let el = rmat_default(11, 10_000, 17);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let expect = component_stats(&g).labels;
+        for sampling in all_samplings() {
+            for finish in all_finishes() {
+                let got = connectivity(&g, &sampling, &finish);
+                assert!(
+                    same_partition(&expect, &got),
+                    "{} + {}",
+                    sampling.name(),
+                    finish.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_matrix_on_grid() {
+        let g = grid2d(30, 30);
+        let expect = component_stats(&g).labels;
+        for sampling in all_samplings() {
+            for finish in all_finishes() {
+                let got = connectivity(&g, &sampling, &finish);
+                assert!(
+                    same_partition(&expect, &got),
+                    "{} + {}",
+                    sampling.name(),
+                    finish.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = grid2d(40, 40);
+        let (labels, stats) =
+            connectivity_timed(&g, &SamplingMethod::kout_default(), &FinishMethod::fastest(), 3);
+        assert_eq!(labels.len(), 1600);
+        assert!(stats.frequent_count > 0);
+        assert!(stats.total_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn num_components_counts() {
+        let g = build_undirected(7, &[(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(num_components(&g), 4); // {0,1},{2,3,4},{5},{6}
+    }
+}

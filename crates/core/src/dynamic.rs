@@ -1,0 +1,249 @@
+//! Fully-dynamic connectivity: the paper's stated future work ("we are
+//! interested in identifying practical parallel algorithms that support
+//! edge deletions"). This module provides the straightforward baseline such
+//! work would be measured against: insertions are incremental (wait-free
+//! union-find, exactly the streaming path), while a batch containing
+//! deletions falls back to recomputing connectivity over the surviving
+//! edge set with the static engine.
+//!
+//! The recompute path costs `O(n + m)` per deletion batch — fine for
+//! workloads where deletions are rare (the paper's motivation: only a few
+//! percent of tweets are ever deleted), and an honest baseline otherwise.
+
+use crate::options::{FinishMethod, SamplingMethod};
+use cc_graph::{build_undirected, VertexId};
+use cc_unionfind::parents::{find_root_readonly, parents_from_labels, snapshot_labels, Parents};
+use cc_unionfind::{UfSpec, Unite};
+use std::collections::HashSet;
+
+/// One fully-dynamic operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DynUpdate {
+    /// Insert undirected edge `{u, v}` (idempotent).
+    Insert(VertexId, VertexId),
+    /// Delete undirected edge `{u, v}` (no-op if absent).
+    Delete(VertexId, VertexId),
+    /// Ask whether `u` and `v` are currently connected.
+    Query(VertexId, VertexId),
+}
+
+#[inline]
+fn canon(u: VertexId, v: VertexId) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    (u64::from(a) << 32) | u64::from(b)
+}
+
+/// A fully-dynamic connectivity structure: incremental fast path, rebuild
+/// on deletion.
+pub struct DynamicConnectivity {
+    n: usize,
+    edges: HashSet<u64>,
+    parents: Box<Parents>,
+    uf: Box<dyn Unite>,
+    spec: UfSpec,
+    seed: u64,
+    rebuilds: usize,
+}
+
+impl DynamicConnectivity {
+    /// Creates an empty structure on `n` vertices using `spec` for the
+    /// incremental path.
+    pub fn new(n: usize, spec: UfSpec, seed: u64) -> Self {
+        assert!(
+            spec.splice != Some(cc_unionfind::SpliceKind::Splice),
+            "phase-concurrent Rem+Splice cannot serve interleaved queries"
+        );
+        DynamicConnectivity {
+            n,
+            edges: HashSet::new(),
+            parents: cc_unionfind::make_parents(n),
+            uf: spec.instantiate(n, seed),
+            spec,
+            seed,
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// How many deletion-triggered rebuilds have happened (for tests and
+    /// cost accounting).
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Applies a batch; returns query answers in order of appearance.
+    /// Operations within a batch are applied *sequentially* (unlike the
+    /// insert-only streaming path) so that deletions interleave
+    /// deterministically with queries.
+    pub fn process_batch(&mut self, batch: &[DynUpdate]) -> Vec<bool> {
+        let mut answers = Vec::new();
+        let mut dirty = false; // a deletion happened; labels are stale
+        for &op in batch {
+            match op {
+                DynUpdate::Insert(u, v) => {
+                    if u != v && self.edges.insert(canon(u, v)) && !dirty {
+                        let mut hops = 0u64;
+                        self.uf.unite(&self.parents, u, v, &mut hops);
+                    }
+                }
+                DynUpdate::Delete(u, v) => {
+                    if u != v && self.edges.remove(&canon(u, v)) {
+                        dirty = true;
+                    }
+                }
+                DynUpdate::Query(u, v) => {
+                    if dirty {
+                        self.rebuild();
+                        dirty = false;
+                    }
+                    answers.push(
+                        find_root_readonly(&self.parents, u)
+                            == find_root_readonly(&self.parents, v),
+                    );
+                }
+            }
+        }
+        if dirty {
+            self.rebuild();
+        }
+        answers
+    }
+
+    /// Single query against the current state.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        find_root_readonly(&self.parents, u) == find_root_readonly(&self.parents, v)
+    }
+
+    /// Current labeling snapshot.
+    pub fn labels(&self) -> Vec<VertexId> {
+        snapshot_labels(&self.parents)
+    }
+
+    /// Recomputes connectivity from the surviving edge set with the static
+    /// two-phase engine.
+    fn rebuild(&mut self) {
+        self.rebuilds += 1;
+        let edge_list: Vec<(VertexId, VertexId)> =
+            self.edges.iter().map(|&e| ((e >> 32) as u32, e as u32)).collect();
+        let g = build_undirected(self.n, &edge_list);
+        let labels = crate::connectivity_seeded(
+            &g,
+            &SamplingMethod::kout_default(),
+            &FinishMethod::UnionFind(self.spec),
+            self.seed,
+        );
+        self.parents = parents_from_labels(&labels);
+        // Fresh instance: stateful variants (hooks arrays) must reset.
+        self.uf = self.spec.instantiate(self.n, self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::stats::same_partition;
+    use cc_unionfind::{oracle_labels, SeqUnionFind};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn insert_then_delete_disconnects() {
+        let mut d = DynamicConnectivity::new(4, UfSpec::fastest(), 0);
+        let a = d.process_batch(&[
+            DynUpdate::Insert(0, 1),
+            DynUpdate::Insert(1, 2),
+            DynUpdate::Query(0, 2),
+            DynUpdate::Delete(1, 2),
+            DynUpdate::Query(0, 2),
+            DynUpdate::Query(0, 1),
+        ]);
+        assert_eq!(a, vec![true, false, true]);
+        assert_eq!(d.rebuilds(), 1);
+    }
+
+    #[test]
+    fn deleting_one_of_parallel_paths_keeps_connectivity() {
+        let mut d = DynamicConnectivity::new(4, UfSpec::fastest(), 1);
+        d.process_batch(&[
+            DynUpdate::Insert(0, 1),
+            DynUpdate::Insert(1, 3),
+            DynUpdate::Insert(0, 2),
+            DynUpdate::Insert(2, 3),
+        ]);
+        let a = d.process_batch(&[DynUpdate::Delete(1, 3), DynUpdate::Query(0, 3)]);
+        assert_eq!(a, vec![true]); // the 0-2-3 path survives
+    }
+
+    #[test]
+    fn duplicate_inserts_and_absent_deletes_are_noops() {
+        let mut d = DynamicConnectivity::new(3, UfSpec::fastest(), 2);
+        d.process_batch(&[DynUpdate::Insert(0, 1), DynUpdate::Insert(0, 1)]);
+        assert_eq!(d.num_edges(), 1);
+        d.process_batch(&[DynUpdate::Delete(1, 2)]); // absent
+        assert_eq!(d.rebuilds(), 0, "absent delete must not rebuild");
+        assert!(d.connected(0, 1));
+    }
+
+    #[test]
+    fn randomized_against_sequential_reference() {
+        let n = 200usize;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut d = DynamicConnectivity::new(n, UfSpec::fastest(), 3);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for _round in 0..30 {
+            let mut batch = Vec::new();
+            for _ in 0..40 {
+                let (u, v) = (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
+                match rng.gen_range(0..10) {
+                    0..=5 => batch.push(DynUpdate::Insert(u, v)),
+                    6..=7 if !live.is_empty() => {
+                        let (a, b) = live[rng.gen_range(0..live.len())];
+                        batch.push(DynUpdate::Delete(a, b));
+                    }
+                    _ => batch.push(DynUpdate::Query(u, v)),
+                }
+            }
+            // Maintain the reference edge multiset and compare answers.
+            let mut reference_edges: std::collections::HashSet<u64> =
+                live.iter().map(|&(a, b)| canon(a, b)).collect();
+            let mut expected = Vec::new();
+            for &op in &batch {
+                match op {
+                    DynUpdate::Insert(u, v) => {
+                        if u != v {
+                            reference_edges.insert(canon(u, v));
+                        }
+                    }
+                    DynUpdate::Delete(u, v) => {
+                        reference_edges.remove(&canon(u, v));
+                    }
+                    DynUpdate::Query(u, v) => {
+                        let mut uf = SeqUnionFind::new(n);
+                        for &e in &reference_edges {
+                            uf.union((e >> 32) as u32, e as u32);
+                        }
+                        expected.push(uf.connected(u, v));
+                    }
+                }
+            }
+            let got = d.process_batch(&batch);
+            assert_eq!(got, expected);
+            live = reference_edges
+                .iter()
+                .map(|&e| ((e >> 32) as u32, e as u32))
+                .collect();
+        }
+        // Final partition agreement.
+        let expect = oracle_labels(n, &live);
+        assert!(same_partition(&expect, &d.labels()));
+    }
+}

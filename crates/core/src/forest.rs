@@ -1,0 +1,106 @@
+//! Per-vertex spanning-forest edge slots (the `edges` array of
+//! Algorithm 2): each vertex holds at most one forest edge, assigned when
+//! that vertex is hooked as a root (union-find) or claimed as a BFS/LDD
+//! tree child.
+
+use cc_graph::VertexId;
+use cc_parallel::parallel_tabulate;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const EMPTY: u64 = u64::MAX;
+
+/// The per-vertex edge array. Slot `r` holds the edge whose application
+/// hooked vertex `r`; unassigned slots read as empty.
+pub struct ForestBuf {
+    slots: Box<[AtomicU64]>,
+}
+
+#[inline]
+fn encode(u: VertexId, v: VertexId) -> u64 {
+    (u64::from(u) << 32) | u64::from(v)
+}
+
+#[inline]
+fn decode(x: u64) -> (VertexId, VertexId) {
+    ((x >> 32) as u32, x as u32)
+}
+
+impl ForestBuf {
+    /// Creates an all-empty buffer for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        ForestBuf {
+            slots: parallel_tabulate(n, |_| AtomicU64::new(EMPTY)).into_boxed_slice(),
+        }
+    }
+
+    /// Assigns edge `(u, v)` to `owner`. Each owner is assigned at most
+    /// once per run by construction (roots hook once); debug builds check.
+    #[inline]
+    pub fn assign(&self, owner: VertexId, u: VertexId, v: VertexId) {
+        let prev = self.slots[owner as usize].swap(encode(u, v), Ordering::Relaxed);
+        debug_assert_eq!(prev, EMPTY, "vertex {owner} assigned twice");
+    }
+
+    /// Removes and returns `owner`'s edge, freeing the slot. Used when a
+    /// relabeling changes which vertex must keep its slot free
+    /// (Definition B.2 requirement 3).
+    pub fn take(&self, owner: VertexId) -> Option<(VertexId, VertexId)> {
+        let prev = self.slots[owner as usize].swap(EMPTY, Ordering::Relaxed);
+        (prev != EMPTY).then(|| decode(prev))
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slot is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Number of assigned slots.
+    pub fn count(&self) -> usize {
+        cc_parallel::parallel_count(self.slots.len(), |i| {
+            self.slots[i].load(Ordering::Relaxed) != EMPTY
+        })
+    }
+
+    /// Extracts the assigned edges (the FILTER step of Algorithm 2).
+    pub fn to_edges(&self) -> Vec<(VertexId, VertexId)> {
+        cc_parallel::pack_map(self.slots.len(), |i| {
+            let x = self.slots[i].load(Ordering::Relaxed);
+            (x != EMPTY).then(|| decode(x))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_extract() {
+        let f = ForestBuf::new(5);
+        f.assign(3, 1, 2);
+        f.assign(0, 0, 4);
+        assert_eq!(f.count(), 2);
+        let mut edges = f.to_edges();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 4), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let f = ForestBuf::new(10);
+        assert!(f.is_empty());
+        assert!(f.to_edges().is_empty());
+    }
+
+    #[test]
+    fn encode_roundtrip_extremes() {
+        let f = ForestBuf::new(2);
+        f.assign(0, u32::MAX - 1, 0);
+        assert_eq!(f.to_edges(), vec![(u32::MAX - 1, 0)]);
+    }
+}

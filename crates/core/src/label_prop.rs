@@ -1,0 +1,98 @@
+//! Folklore label propagation (Section B.2.6): frontier-based min-label
+//! spreading, the algorithm most graph systems (Pregel, Giraph, Galois,
+//! Ligra) implement for connectivity.
+
+use crate::minkey::MinKey;
+use cc_graph::{CsrGraph, VertexId};
+use cc_parallel::{pack_indices, parallel_for_chunks, parallel_tabulate};
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+/// Runs label propagation from sampled `initial` labels under the keyed
+/// order making `frequent` minimal. Vertices of the frequent component are
+/// never activated; their label reaches neighbors through the symmetric
+/// pull applied from the live side.
+pub fn label_propagation_finish(
+    g: &CsrGraph,
+    initial: &[VertexId],
+    frequent: VertexId,
+) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let key = MinKey::new(frequent);
+    let labels: Vec<AtomicU32> = parallel_tabulate(n, |v| AtomicU32::new(initial[v]));
+    // Initial frontier: every vertex outside the frequent component.
+    let mut frontier: Vec<VertexId> =
+        pack_indices(n, |v| initial[v] != frequent);
+    let mut rounds = 0usize;
+    while !frontier.is_empty() {
+        rounds += 1;
+        debug_assert!(rounds <= n + 1, "label propagation failed to converge");
+        let changed: Vec<AtomicU8> = parallel_tabulate(n, |_| AtomicU8::new(0));
+        parallel_for_chunks(frontier.len(), |r| {
+            for i in r {
+                let u = frontier[i];
+                let lu = labels[u as usize].load(Ordering::Acquire);
+                for &v in g.neighbors(u) {
+                    // Push our label to the neighbor...
+                    if key.write_min(&labels[v as usize], lu) {
+                        changed[v as usize].store(1, Ordering::Relaxed);
+                    }
+                    // ...and pull the neighbor's label (this is what lets a
+                    // skipped frequent vertex infect its boundary).
+                    let lv = labels[v as usize].load(Ordering::Acquire);
+                    if key.write_min(&labels[u as usize], lv) {
+                        changed[u as usize].store(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        frontier = pack_indices(n, |v| changed[v].load(Ordering::Relaxed) == 1);
+    }
+    cc_parallel::snapshot_u32(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::{grid2d, path, rmat_default};
+    use cc_graph::stats::{component_stats, same_partition};
+    use cc_graph::{build_undirected, NO_VERTEX};
+
+    fn identity(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn lp_solves_path() {
+        let g = path(200);
+        let got = label_propagation_finish(&g, &identity(200), NO_VERTEX);
+        assert!(got.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn lp_solves_grid_and_rmat() {
+        let g = grid2d(30, 30);
+        let got = label_propagation_finish(&g, &identity(900), NO_VERTEX);
+        assert!(same_partition(&component_stats(&g).labels, &got));
+
+        let el = rmat_default(11, 7_000, 2);
+        let g2 = build_undirected(el.num_vertices, &el.edges);
+        let got2 = label_propagation_finish(&g2, &identity(g2.num_vertices()), NO_VERTEX);
+        assert!(same_partition(&component_stats(&g2).labels, &got2));
+    }
+
+    #[test]
+    fn lp_frequent_component_label_wins() {
+        // One component; frequent = 3 (not the numeric minimum).
+        let g = build_undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let initial = vec![0, 1, 2, 3, 3];
+        let got = label_propagation_finish(&g, &initial, 3);
+        assert!(got.iter().all(|&l| l == 3), "{got:?}");
+    }
+
+    #[test]
+    fn lp_respects_components() {
+        let g = build_undirected(6, &[(0, 1), (2, 3), (4, 5)]);
+        let got = label_propagation_finish(&g, &identity(6), NO_VERTEX);
+        assert_eq!(got, vec![0, 0, 2, 2, 4, 4]);
+    }
+}

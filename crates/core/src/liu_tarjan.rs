@@ -1,0 +1,367 @@
+//! The Liu–Tarjan framework (Section 3.3.2, Appendix D): round-based
+//! min-labeling algorithms assembled from connect / root-filter / shortcut
+//! / alter options, covering all 16 expressible variants plus Stergiou et
+//! al.'s two-array algorithm.
+
+use crate::minkey::MinKey;
+use cc_graph::{CsrGraph, Edge, VertexId};
+use cc_parallel::{pack_map, parallel_for, parallel_for_chunks, parallel_tabulate};
+use cc_unionfind::parents::{parents_from_labels, snapshot_labels, Parents};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The connect rule: which candidates an edge contributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LtConnect {
+    /// Endpoints are candidates for each other (`C`); requires Alter.
+    Connect,
+    /// Parents of the endpoints are candidates (`P`).
+    ParentConnect,
+    /// Parents are candidates for the endpoints *and* their parents (`E`).
+    ExtendedConnect,
+}
+
+/// A fully-specified Liu–Tarjan variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LtScheme {
+    /// Connect rule.
+    pub connect: LtConnect,
+    /// Restrict parent updates to vertices that were roots at the start of
+    /// the round (`R`); the resulting algorithms are monotone (root-based).
+    pub root_up: bool,
+    /// Repeat the shortcut step to a fixpoint each round (`F` vs `S`).
+    pub full_shortcut: bool,
+    /// Rewrite edge endpoints to their labels after each round (`A`).
+    pub alter: bool,
+}
+
+impl LtScheme {
+    /// Constructs and validates a scheme.
+    pub fn new(connect: LtConnect, root_up: bool, full_shortcut: bool, alter: bool) -> Self {
+        let s = LtScheme { connect, root_up, full_shortcut, alter };
+        assert!(s.is_valid(), "invalid Liu-Tarjan scheme {s:?}");
+        s
+    }
+
+    /// Whether this combination is among the 16 the paper evaluates:
+    /// `Connect` requires `Alter` for correctness, and `ExtendedConnect`
+    /// is not combined with `RootUp`.
+    pub fn is_valid(&self) -> bool {
+        match self.connect {
+            LtConnect::Connect => self.alter,
+            LtConnect::ParentConnect => true,
+            LtConnect::ExtendedConnect => !self.root_up,
+        }
+    }
+
+    /// All 16 variants (Appendix D's list).
+    pub fn all_schemes() -> Vec<LtScheme> {
+        let mut out = Vec::new();
+        for connect in [LtConnect::Connect, LtConnect::ParentConnect, LtConnect::ExtendedConnect] {
+            for root_up in [false, true] {
+                for full_shortcut in [false, true] {
+                    for alter in [false, true] {
+                        let s = LtScheme { connect, root_up, full_shortcut, alter };
+                        if s.is_valid() {
+                            out.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's short code, e.g. `CRFA`, `PUS`, `EUF`.
+    pub fn name(&self) -> String {
+        let c = match self.connect {
+            LtConnect::Connect => 'C',
+            LtConnect::ParentConnect => 'P',
+            LtConnect::ExtendedConnect => 'E',
+        };
+        let r = if self.root_up { 'R' } else { 'U' };
+        let s = if self.full_shortcut { 'F' } else { 'S' };
+        let mut out = format!("{c}{r}{s}");
+        if self.alter {
+            out.push('A');
+        }
+        out
+    }
+
+    /// The variant the paper finds fastest in the streaming setting
+    /// (Connect, RootUp, FullShortcut, Alter).
+    pub fn crfa() -> Self {
+        LtScheme::new(LtConnect::Connect, true, true, true)
+    }
+
+    /// The basic `P` algorithm (ParentConnect, Update, Shortcut).
+    pub fn pus() -> Self {
+        LtScheme::new(LtConnect::ParentConnect, false, false, false)
+    }
+}
+
+/// One shortcut step over all vertices: `p[v] <- p[p[v]]`. Returns whether
+/// anything changed.
+fn shortcut(p: &Parents, key: &MinKey) -> bool {
+    let changed = AtomicBool::new(false);
+    parallel_for(p.len(), |v| {
+        let pv = p[v].load(Ordering::Acquire);
+        let ppv = p[pv as usize].load(Ordering::Acquire);
+        if key.less(ppv, pv) {
+            p[v].store(ppv, Ordering::Release);
+            changed.store(true, Ordering::Relaxed);
+        }
+    });
+    changed.load(Ordering::Relaxed)
+}
+
+/// Runs the scheme's rounds over an explicit (directed or undirected) edge
+/// list against an existing parent array. Shared by the static finish phase
+/// and the streaming Type (ii) path. Candidates are applied symmetrically
+/// per edge, so a one-directional list suffices.
+pub fn run_on_edges(p: &Parents, edges: Vec<Edge>, scheme: LtScheme, key: MinKey) {
+    let n = p.len();
+    let mut edges = edges;
+    loop {
+        // Snapshot roots when RootUp filters update targets.
+        let prev_root: Option<Vec<u8>> = scheme.root_up.then(|| {
+            parallel_tabulate(n, |v| u8::from(p[v].load(Ordering::Relaxed) == v as u32))
+        });
+        let changed = AtomicBool::new(false);
+        // Offer `candidate` on behalf of vertex `x`. Without RootUp, `x`'s
+        // own parent slot takes the min. With RootUp, the update instead
+        // targets `x`'s current parent — which, after shortcutting, is (at
+        // or near) the tree root — provided that target was a root at the
+        // start of the round. This is what keeps RootUp schemes monotone
+        // (only roots are relinked) *and* live: an edge between two
+        // non-roots still advances the merge through their roots.
+        let apply = |x: VertexId, candidate: VertexId| {
+            let target = match &prev_root {
+                None => x,
+                Some(roots) => {
+                    let t = p[x as usize].load(Ordering::Acquire);
+                    if roots[t as usize] == 0 {
+                        return;
+                    }
+                    t
+                }
+            };
+            if key.write_min(&p[target as usize], candidate) {
+                changed.store(true, Ordering::Relaxed);
+            }
+        };
+        parallel_for_chunks(edges.len(), |r| {
+            for i in r.clone() {
+                let (u, v) = edges[i];
+                if u == v {
+                    continue;
+                }
+                match scheme.connect {
+                    LtConnect::Connect => {
+                        apply(u, v);
+                        apply(v, u);
+                    }
+                    LtConnect::ParentConnect => {
+                        let pu = p[u as usize].load(Ordering::Acquire);
+                        let pv = p[v as usize].load(Ordering::Acquire);
+                        apply(u, pv);
+                        apply(v, pu);
+                    }
+                    LtConnect::ExtendedConnect => {
+                        let pu = p[u as usize].load(Ordering::Acquire);
+                        let pv = p[v as usize].load(Ordering::Acquire);
+                        apply(u, pv);
+                        apply(pu, pv);
+                        apply(v, pu);
+                        apply(pv, pu);
+                    }
+                }
+            }
+        });
+        // Shortcut phase. Shortcut progress must keep the loop alive: a
+        // RootUp round can be fully blocked on depth-2 trees that this
+        // phase flattens, enabling the next round's hooks.
+        let mut shortcut_changed = false;
+        if scheme.full_shortcut {
+            while shortcut(p, &key) {
+                shortcut_changed = true;
+            }
+        } else {
+            shortcut_changed = shortcut(p, &key);
+        }
+        // Alter phase: rewrite endpoints to current labels, dropping
+        // settled edges.
+        if scheme.alter {
+            edges = pack_map(edges.len(), |i| {
+                let (u, v) = edges[i];
+                let lu = p[u as usize].load(Ordering::Relaxed);
+                let lv = p[v as usize].load(Ordering::Relaxed);
+                (lu != lv).then_some((lu, lv))
+            });
+        }
+        if !changed.load(Ordering::Relaxed) && !shortcut_changed {
+            break;
+        }
+    }
+}
+
+/// The Liu–Tarjan finish method: runs `scheme` over the *contracted* edge
+/// set (endpoints mapped to their sampled labels, intra-cluster edges
+/// dropped — the paper's Theorem 4 view of sampling composition), starting
+/// from the sampled labels, and returns the final labeling.
+pub fn liu_tarjan_finish(
+    g: &CsrGraph,
+    scheme: LtScheme,
+    initial: &[VertexId],
+    frequent: VertexId,
+) -> Vec<VertexId> {
+    let key = MinKey::new(frequent);
+    let p = parents_from_labels(initial);
+    let edges = collect_active_edges(g, initial);
+    run_on_edges(&p, edges, scheme, key);
+    snapshot_labels(&p)
+}
+
+/// Stergiou et al.'s algorithm: ParentConnect against the *previous*
+/// round's parents (two arrays), then shortcut, until stable.
+pub fn stergiou_finish(
+    g: &CsrGraph,
+    initial: &[VertexId],
+    frequent: VertexId,
+) -> Vec<VertexId> {
+    let key = MinKey::new(frequent);
+    let cur = parents_from_labels(initial);
+    let edges = collect_active_edges(g, initial);
+    loop {
+        let prev: Vec<VertexId> = cc_parallel::snapshot_u32(&cur);
+        let changed = AtomicBool::new(false);
+        parallel_for_chunks(edges.len(), |r| {
+            for i in r.clone() {
+                let (u, v) = edges[i];
+                let pu = prev[u as usize];
+                let pv = prev[v as usize];
+                if key.write_min(&cur[u as usize], pv) {
+                    changed.store(true, Ordering::Relaxed);
+                }
+                if key.write_min(&cur[v as usize], pu) {
+                    changed.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        shortcut(&cur, &key);
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    snapshot_labels(&cur)
+}
+
+/// Collects the contracted inter-cluster edge set: each undirected edge
+/// once, with endpoints replaced by their sampled labels, dropping edges
+/// that fall inside one cluster. In particular every edge internal to the
+/// frequent component disappears, realizing the paper's "skip the frequent
+/// component" optimization; edges out of it keep the frequent label as an
+/// endpoint, which the keyed order prevents from ever moving.
+pub(crate) fn collect_active_edges(g: &CsrGraph, initial: &[VertexId]) -> Vec<Edge> {
+    use std::sync::atomic::AtomicU64;
+    let n = g.num_vertices();
+    let mapped = |u: VertexId, v: VertexId| -> Option<(VertexId, VertexId)> {
+        if u >= v {
+            return None;
+        }
+        let (lu, lv) = (initial[u as usize], initial[v as usize]);
+        (lu != lv).then_some((lu, lv))
+    };
+    let (offsets, total) = cc_parallel::flatten_offsets(n, |u| {
+        let u = u as VertexId;
+        g.neighbors(u).iter().filter(|&&v| mapped(u, v).is_some()).count()
+    });
+    let slots: Vec<AtomicU64> = parallel_tabulate(total, |_| AtomicU64::new(0));
+    parallel_for(n, |ui| {
+        let u = ui as VertexId;
+        let mut at = offsets[ui];
+        for &v in g.neighbors(u) {
+            if let Some((lu, lv)) = mapped(u, v) {
+                slots[at].store((u64::from(lu) << 32) | u64::from(lv), Ordering::Relaxed);
+                at += 1;
+            }
+        }
+    });
+    parallel_tabulate(total, |i| {
+        let x = slots[i].load(Ordering::Relaxed);
+        ((x >> 32) as u32, x as u32)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::{grid2d, rmat_default};
+    use cc_graph::stats::{component_stats, same_partition};
+    use cc_graph::{build_undirected, NO_VERTEX};
+
+    #[test]
+    fn sixteen_schemes() {
+        let all = LtScheme::all_schemes();
+        assert_eq!(all.len(), 16);
+        let names: Vec<String> = all.iter().map(|s| s.name()).collect();
+        for expected in ["CUSA", "CRFA", "PUS", "PRF", "EUF", "EUSA", "PRSA", "PUFA"] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn invalid_schemes_rejected() {
+        assert!(!LtScheme { connect: LtConnect::Connect, root_up: false, full_shortcut: false, alter: false }
+            .is_valid());
+        assert!(!LtScheme { connect: LtConnect::ExtendedConnect, root_up: true, full_shortcut: false, alter: false }
+            .is_valid());
+    }
+
+    #[test]
+    fn all_schemes_solve_small_graphs() {
+        let g = build_undirected(8, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)]);
+        let expect = component_stats(&g).labels;
+        let identity: Vec<u32> = (0..8).collect();
+        for scheme in LtScheme::all_schemes() {
+            let got = liu_tarjan_finish(&g, scheme, &identity, NO_VERTEX);
+            assert!(same_partition(&expect, &got), "scheme {}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn all_schemes_solve_rmat() {
+        let el = rmat_default(10, 8_000, 21);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let expect = component_stats(&g).labels;
+        let identity: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        for scheme in LtScheme::all_schemes() {
+            let got = liu_tarjan_finish(&g, scheme, &identity, NO_VERTEX);
+            assert!(same_partition(&expect, &got), "scheme {}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn stergiou_solves_grid() {
+        let g = grid2d(25, 25);
+        let expect = component_stats(&g).labels;
+        let identity: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let got = stergiou_finish(&g, &identity, NO_VERTEX);
+        assert!(same_partition(&expect, &got));
+    }
+
+    #[test]
+    fn keyed_order_keeps_frequent_fixed() {
+        // Path 0-1-2-3-4; pretend sampling found {2,3,4} with root 4
+        // (not the numeric minimum) as the frequent component.
+        let g = build_undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let initial = vec![0, 1, 4, 4, 4];
+        for scheme in LtScheme::all_schemes() {
+            let got = liu_tarjan_finish(&g, scheme, &initial, 4);
+            // Everything is one component; frequent-labeled vertices must
+            // still carry label 4 and the rest must have joined them.
+            assert!(got.iter().all(|&l| l == 4), "scheme {} -> {:?}", scheme.name(), got);
+        }
+        let got = stergiou_finish(&g, &initial, 4);
+        assert!(got.iter().all(|&l| l == 4), "stergiou -> {got:?}");
+    }
+}

@@ -1,0 +1,93 @@
+//! The label-order remapping that lets non-root-based min-based algorithms
+//! (Liu–Tarjan, Stergiou, Label-Propagation) skip the sampled giant
+//! component.
+//!
+//! The paper relabels the most frequent component "to have the smallest
+//! possible ID" so the min operator can never move its vertices
+//! (Section 3.3.2, Theorem 4). We realize the same total order without
+//! renumbering vertices: comparisons go through a key function under which
+//! the frequent label sorts below every other label.
+
+use cc_graph::{VertexId, NO_VERTEX};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A total order on vertex labels in which `frequent` is the global
+/// minimum. With `frequent == NO_VERTEX` this is the plain id order.
+#[derive(Clone, Copy, Debug)]
+pub struct MinKey {
+    frequent: VertexId,
+}
+
+impl MinKey {
+    /// Order with `frequent` as the minimum.
+    pub fn new(frequent: VertexId) -> Self {
+        MinKey { frequent }
+    }
+
+    /// Plain id order.
+    pub fn plain() -> Self {
+        MinKey { frequent: NO_VERTEX }
+    }
+
+    /// The rank of `x` in this order.
+    #[inline]
+    pub fn key(&self, x: VertexId) -> u64 {
+        if x == self.frequent {
+            0
+        } else {
+            u64::from(x) + 1
+        }
+    }
+
+    /// True iff `a` sorts strictly below `b`.
+    #[inline]
+    pub fn less(&self, a: VertexId, b: VertexId) -> bool {
+        self.key(a) < self.key(b)
+    }
+
+    /// `writeMin` under this order: atomically lowers `*loc` to `val` if
+    /// `val` sorts below the current value; returns whether it did.
+    #[inline]
+    pub fn write_min(&self, loc: &AtomicU32, val: VertexId) -> bool {
+        let mut cur = loc.load(Ordering::Relaxed);
+        while self.less(val, cur) {
+            match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_order_is_id_order() {
+        let k = MinKey::plain();
+        assert!(k.less(3, 5));
+        assert!(!k.less(5, 3));
+        assert!(!k.less(4, 4));
+    }
+
+    #[test]
+    fn frequent_is_global_minimum() {
+        let k = MinKey::new(100);
+        assert!(k.less(100, 0));
+        assert!(!k.less(0, 100));
+        assert!(k.less(1, 2));
+    }
+
+    #[test]
+    fn write_min_respects_key_order() {
+        let k = MinKey::new(7);
+        let loc = AtomicU32::new(3);
+        assert!(!k.write_min(&loc, 5)); // 5 above 3
+        assert!(k.write_min(&loc, 2));
+        assert!(k.write_min(&loc, 7)); // frequent beats everything
+        assert!(!k.write_min(&loc, 0));
+        assert_eq!(loc.load(Ordering::Relaxed), 7);
+    }
+}

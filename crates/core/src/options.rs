@@ -1,0 +1,162 @@
+//! User-facing configuration: the sampling and finish method selectors of
+//! Figure 1. A connectivity algorithm in ConnectIt is one
+//! `(SamplingMethod, FinishMethod)` pair.
+
+use crate::liu_tarjan::LtScheme;
+use cc_unionfind::UfSpec;
+
+/// How k-out sampling chooses its k edges per vertex (Appendix C.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KOutVariant {
+    /// First `k` edges in adjacency order (Sutton et al.'s Afforest).
+    Afforest,
+    /// `k` uniformly random incident edges (Holm et al.).
+    Pure,
+    /// First edge + `k - 1` random edges (this paper's default).
+    Hybrid,
+    /// Highest-degree neighbor + `k - 1` random edges.
+    MaxDegree,
+}
+
+impl KOutVariant {
+    /// All variants, in the order Figures 22–24 plot them.
+    pub const ALL: [KOutVariant; 4] = [
+        KOutVariant::Afforest,
+        KOutVariant::Pure,
+        KOutVariant::Hybrid,
+        KOutVariant::MaxDegree,
+    ];
+
+    /// Display name matching the paper's plots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KOutVariant::Afforest => "kout-afforest",
+            KOutVariant::Pure => "kout-pure",
+            KOutVariant::Hybrid => "kout-hybrid",
+            KOutVariant::MaxDegree => "kout-maxdeg",
+        }
+    }
+}
+
+/// The sampling phase selector (Section 3.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SamplingMethod {
+    /// Two-phase execution disabled; the finish method sees all edges.
+    None,
+    /// k-out sampling: contract a sampled subgraph with union-find.
+    KOut {
+        /// Edges sampled per vertex (paper default: 2).
+        k: usize,
+        /// Edge selection rule.
+        variant: KOutVariant,
+    },
+    /// Direction-optimizing BFS from up to `tries` random sources,
+    /// stopping early once a component covering > 10% of vertices is found.
+    Bfs {
+        /// Maximum number of sources to try (paper default: 3).
+        tries: usize,
+    },
+    /// One round of low-diameter decomposition.
+    Ldd {
+        /// The MPX parameter: clusters have diameter `O(log n / beta)` and
+        /// `O(beta * m)` edges are cut in expectation (paper default: 0.2).
+        beta: f64,
+        /// Whether to permute the start-time assignment order.
+        permute: bool,
+    },
+}
+
+impl SamplingMethod {
+    /// The paper's default k-out configuration (`k = 2`, hybrid).
+    pub fn kout_default() -> Self {
+        SamplingMethod::KOut { k: 2, variant: KOutVariant::Hybrid }
+    }
+
+    /// The paper's default BFS configuration (`c = 3`).
+    pub fn bfs_default() -> Self {
+        SamplingMethod::Bfs { tries: 3 }
+    }
+
+    /// The default LDD configuration (`beta = 0.2`). We default `permute`
+    /// to true: without it the activation order follows vertex ids, and on
+    /// inputs with strong id locality (e.g. row-major grids) the
+    /// decomposition degenerates into singletons (see the Figure 19–21
+    /// harness, which sweeps both settings).
+    pub fn ldd_default() -> Self {
+        SamplingMethod::Ldd { beta: 0.2, permute: true }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            SamplingMethod::None => "NoSampling".into(),
+            SamplingMethod::KOut { k, variant } => format!("{}(k={k})", variant.name()),
+            SamplingMethod::Bfs { tries } => format!("BFS(c={tries})"),
+            SamplingMethod::Ldd { beta, permute } => {
+                format!("LDD(beta={beta}{})", if *permute { ",permute" } else { "" })
+            }
+        }
+    }
+}
+
+/// The finish phase selector (Section 3.3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FinishMethod {
+    /// A concurrent union-find variant.
+    UnionFind(UfSpec),
+    /// Shiloach–Vishkin with writeMin root hooking.
+    ShiloachVishkin,
+    /// A Liu–Tarjan framework instantiation.
+    LiuTarjan(LtScheme),
+    /// Stergiou et al.'s two-array min propagation.
+    Stergiou,
+    /// Folklore frontier-based label propagation.
+    LabelPropagation,
+}
+
+impl FinishMethod {
+    /// The paper's overall fastest finish method.
+    pub fn fastest() -> Self {
+        FinishMethod::UnionFind(UfSpec::fastest())
+    }
+
+    /// Whether this method only links at tree roots (required for spanning
+    /// forest and for skip-based sampling composition without relabeling).
+    pub fn is_root_based(&self) -> bool {
+        match self {
+            FinishMethod::UnionFind(_) | FinishMethod::ShiloachVishkin => true,
+            FinishMethod::LiuTarjan(s) => s.root_up,
+            FinishMethod::Stergiou | FinishMethod::LabelPropagation => false,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            FinishMethod::UnionFind(s) => s.name(),
+            FinishMethod::ShiloachVishkin => "Shiloach-Vishkin".into(),
+            FinishMethod::LiuTarjan(s) => format!("Liu-Tarjan({})", s.name()),
+            FinishMethod::Stergiou => "Stergiou".into(),
+            FinishMethod::LabelPropagation => "Label-Propagation".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(SamplingMethod::kout_default().name(), "kout-hybrid(k=2)");
+        assert_eq!(SamplingMethod::None.name(), "NoSampling");
+        assert!(FinishMethod::fastest().name().contains("Union-Rem-CAS"));
+    }
+
+    #[test]
+    fn root_based_classification() {
+        assert!(FinishMethod::ShiloachVishkin.is_root_based());
+        assert!(!FinishMethod::LabelPropagation.is_root_based());
+        assert!(!FinishMethod::Stergiou.is_root_based());
+    }
+}

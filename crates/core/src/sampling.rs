@@ -1,0 +1,438 @@
+//! The sampling phase (Section 3.2, Algorithms 4–6): k-out, BFS, and LDD
+//! sampling, plus the `IDENTIFYFREQUENT` step of Algorithm 1.
+//!
+//! Every sampler produces a labeling satisfying Definition 3.1: each vertex
+//! either labels itself or points at a root that labels itself — i.e. a
+//! forest of depth-1 trees encoding a *partial* connectivity labeling.
+
+use crate::forest::ForestBuf;
+use crate::options::{KOutVariant, SamplingMethod};
+use cc_graph::bfs::bfs;
+use cc_graph::ldd::ldd;
+use cc_graph::{CsrGraph, VertexId, NO_VERTEX};
+use cc_parallel::{parallel_for, parallel_max_index, parallel_tabulate};
+use cc_unionfind::{make_parents, snapshot_labels, UfSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Output of the sampling phase.
+pub struct SampleOutcome {
+    /// Partial connectivity labeling satisfying Definition 3.1.
+    pub labels: Vec<VertexId>,
+    /// The most frequent label (`L_max`), or [`NO_VERTEX`] when the finish
+    /// phase should not skip anything (no sampling / degenerate sample).
+    pub frequent: VertexId,
+    /// Multiplicity of `frequent` (vertex coverage of the sampled giant).
+    pub frequent_count: usize,
+    /// Partial spanning forest, present when requested.
+    pub forest: Option<ForestBuf>,
+}
+
+impl SampleOutcome {
+    /// After normalizing labels to cluster minima, the free forest slot of
+    /// each cluster must move from the old center to the new (minimum)
+    /// root: the minimum's sampled tree edge is re-assigned to the center's
+    /// previously free slot. `is_center(v)` identifies pre-normalization
+    /// roots.
+    fn rehome_forest_slots(
+        forest: &ForestBuf,
+        normalized: &[VertexId],
+        is_center: impl Fn(usize) -> bool + Sync,
+    ) {
+        parallel_for(normalized.len(), |c| {
+            if is_center(c) {
+                let m = normalized[c];
+                if m != c as VertexId {
+                    if let Some((a, b)) = forest.take(m) {
+                        forest.assign(c as VertexId, a, b);
+                    }
+                }
+            }
+        });
+    }
+
+    fn identity(n: usize, want_forest: bool) -> Self {
+        SampleOutcome {
+            labels: (0..n as u32).collect(),
+            frequent: NO_VERTEX,
+            frequent_count: 0,
+            forest: want_forest.then(|| ForestBuf::new(n)),
+        }
+    }
+}
+
+/// Remaps a partial labeling so every cluster is labeled by its *minimum*
+/// member. BFS and LDD label clusters by their (arbitrary-id) source or
+/// center, which breaks the `parent <= self` invariant the root-based
+/// finish methods maintain for acyclicity; normalizing restores it without
+/// changing the partition. (k-out output is already min-labeled: its
+/// union-find links higher ids below lower ids.)
+pub fn normalize_labels_to_min(labels: &mut [VertexId]) {
+    let n = labels.len();
+    let mins: Vec<AtomicU32> = parallel_tabulate(n, |_| AtomicU32::new(u32::MAX));
+    parallel_for(n, |v| {
+        cc_parallel::write_min_u32(&mins[labels[v] as usize], v as u32);
+    });
+    let remapped: Vec<VertexId> =
+        parallel_tabulate(n, |v| mins[labels[v] as usize].load(Ordering::Relaxed));
+    labels.copy_from_slice(&remapped);
+}
+
+/// Finds the most frequent label and its multiplicity via an exact parallel
+/// histogram (labels are root vertex ids, so `n` buckets suffice).
+pub fn identify_frequent(labels: &[VertexId]) -> (VertexId, usize) {
+    let n = labels.len();
+    if n == 0 {
+        return (NO_VERTEX, 0);
+    }
+    let counts: Vec<AtomicU32> = parallel_tabulate(n, |_| AtomicU32::new(0));
+    parallel_for(n, |v| {
+        counts[labels[v] as usize].fetch_add(1, Ordering::Relaxed);
+    });
+    let idx = parallel_max_index(n, |i| counts[i].load(Ordering::Relaxed))
+        .expect("nonempty labels");
+    (idx as VertexId, counts[idx].load(Ordering::Relaxed) as usize)
+}
+
+/// Runs the configured sampling method. `want_forest` additionally emits
+/// the partial spanning forest (Definition B.2).
+pub fn run_sampling(
+    g: &CsrGraph,
+    method: &SamplingMethod,
+    seed: u64,
+    want_forest: bool,
+) -> SampleOutcome {
+    let n = g.num_vertices();
+    match *method {
+        SamplingMethod::None => SampleOutcome::identity(n, want_forest),
+        SamplingMethod::KOut { k, variant } => kout_sample(g, k, variant, seed, want_forest),
+        SamplingMethod::Bfs { tries } => bfs_sample(g, tries, seed, want_forest),
+        SamplingMethod::Ldd { beta, permute } => ldd_sample(g, beta, permute, seed, want_forest),
+    }
+}
+
+/// k-out sampling (Algorithm 4): contract `k` selected edges per vertex
+/// with the fastest union-find, then fully compress.
+fn kout_sample(
+    g: &CsrGraph,
+    k: usize,
+    variant: KOutVariant,
+    seed: u64,
+    want_forest: bool,
+) -> SampleOutcome {
+    let n = g.num_vertices();
+    let parents = make_parents(n);
+    let uf = UfSpec::fastest().instantiate(n, seed);
+    let forest = want_forest.then(|| ForestBuf::new(n));
+    let forest_ref = forest.as_ref();
+    parallel_for(n, |vi| {
+        let v = vi as VertexId;
+        let nbrs = g.neighbors(v);
+        if nbrs.is_empty() || k == 0 {
+            return;
+        }
+        let mut hops = 0u64;
+        let mut apply = |w: VertexId| {
+            if let Some(hooked) = uf.unite(&parents, v, w, &mut hops) {
+                if let Some(f) = forest_ref {
+                    f.assign(hooked, v, w);
+                }
+            }
+        };
+        // Per-vertex SplitMix64: seeding a cryptographic generator per
+        // vertex would dominate the entire sampling phase.
+        let mut rng =
+            cc_parallel::SplitMix64::new(seed ^ (vi as u64).wrapping_mul(0xA24BAED4963EE407));
+        match variant {
+            KOutVariant::Afforest => {
+                for &w in nbrs.iter().take(k) {
+                    apply(w);
+                }
+            }
+            KOutVariant::Pure => {
+                for _ in 0..k {
+                    apply(nbrs[rng.gen_range(nbrs.len())]);
+                }
+            }
+            KOutVariant::Hybrid => {
+                apply(nbrs[0]);
+                for _ in 1..k {
+                    apply(nbrs[rng.gen_range(nbrs.len())]);
+                }
+            }
+            KOutVariant::MaxDegree => {
+                let best = nbrs
+                    .iter()
+                    .copied()
+                    .max_by_key(|&w| g.degree(w))
+                    .expect("nonempty");
+                apply(best);
+                for _ in 1..k {
+                    apply(nbrs[rng.gen_range(nbrs.len())]);
+                }
+            }
+        }
+    });
+    let labels = snapshot_labels(&parents);
+    let (frequent, frequent_count) = identify_frequent(&labels);
+    SampleOutcome { labels, frequent, frequent_count, forest }
+}
+
+/// BFS sampling (Algorithm 5): explore from up to `tries` random sources;
+/// accept the first component covering more than 10% of the vertices.
+fn bfs_sample(g: &CsrGraph, tries: usize, seed: u64, want_forest: bool) -> SampleOutcome {
+    let n = g.num_vertices();
+    if n == 0 {
+        return SampleOutcome::identity(n, want_forest);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..tries.max(1) {
+        let src = rng.gen_range(0..n) as VertexId;
+        let res = bfs(g, src);
+        if res.num_visited * 10 > n {
+            let parents = res.parents;
+            let mut labels: Vec<VertexId> = parallel_tabulate(n, |v| {
+                if parents[v] != NO_VERTEX {
+                    src
+                } else {
+                    v as VertexId
+                }
+            });
+            normalize_labels_to_min(&mut labels);
+            let frequent = labels[src as usize];
+            let parents_ref = &parents;
+            let forest = want_forest.then(|| {
+                let f = ForestBuf::new(n);
+                parallel_for(n, |v| {
+                    let p = parents_ref[v];
+                    if p != NO_VERTEX && v as VertexId != src {
+                        // Tree edge (parent, child) assigned to the child.
+                        f.assign(v as VertexId, p, v as VertexId);
+                    }
+                });
+                // Pre-normalization roots: the BFS source and every
+                // unreached vertex.
+                SampleOutcome::rehome_forest_slots(&f, &labels, |v| {
+                    v as VertexId == src || parents_ref[v] == NO_VERTEX
+                });
+                f
+            });
+            return SampleOutcome {
+                frequent,
+                frequent_count: res.num_visited,
+                labels,
+                forest,
+            };
+        }
+    }
+    // No massive component found: fall back to the identity labeling.
+    SampleOutcome::identity(n, want_forest)
+}
+
+/// LDD sampling (Algorithm 6): one decomposition round; the most frequent
+/// cluster stands in for the massive component.
+fn ldd_sample(
+    g: &CsrGraph,
+    beta: f64,
+    permute: bool,
+    seed: u64,
+    want_forest: bool,
+) -> SampleOutcome {
+    let n = g.num_vertices();
+    if n == 0 {
+        return SampleOutcome::identity(n, want_forest);
+    }
+    let res = ldd(g, beta, permute, seed);
+    let mut labels = res.labels;
+    let pre = labels.clone();
+    normalize_labels_to_min(&mut labels);
+    let forest = want_forest.then(|| {
+        let f = ForestBuf::new(n);
+        parallel_for(n, |v| {
+            let p = res.parents[v];
+            if p != v as VertexId {
+                f.assign(v as VertexId, p, v as VertexId);
+            }
+        });
+        // Pre-normalization roots are the LDD cluster centers.
+        SampleOutcome::rehome_forest_slots(&f, &labels, |v| pre[v] == v as VertexId);
+        f
+    });
+    let (frequent, frequent_count) = identify_frequent(&labels);
+    SampleOutcome { labels, frequent, frequent_count, forest }
+}
+
+/// Counts directed edges whose endpoints carry different sampled labels —
+/// the "inter-component edges remaining" metric of Tables 6–7.
+pub fn inter_component_edges(g: &CsrGraph, labels: &[VertexId]) -> usize {
+    cc_graph::ldd::inter_cluster_edges(g, labels)
+}
+
+/// Checks Definition 3.1 structurally: every label is either the vertex
+/// itself or a self-labeled root.
+pub fn satisfies_sampling_contract(labels: &[VertexId]) -> bool {
+    cc_parallel::parallel_count(labels.len(), |v| {
+        let l = labels[v] as usize;
+        l == v || labels[l] == labels[v]
+    }) == labels.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::{clustered_web, grid2d, rmat_default};
+    use cc_graph::build_undirected;
+
+    fn rmat_graph() -> CsrGraph {
+        let el = rmat_default(12, 40_000, 33);
+        build_undirected(el.num_vertices, &el.edges)
+    }
+
+    #[test]
+    fn identify_frequent_majority() {
+        let labels = vec![2, 2, 2, 3, 4, 2];
+        assert_eq!(identify_frequent(&labels), (2, 4));
+    }
+
+    #[test]
+    fn normalization_relabels_by_minimum() {
+        // Cluster {0,1,2} labeled by 2, cluster {3,4} labeled by 4.
+        let mut labels = vec![2, 2, 2, 4, 4];
+        normalize_labels_to_min(&mut labels);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn sampled_labels_are_min_normalized() {
+        // The root-based finish methods rely on parent <= self; every
+        // sampler must emit min-labeled clusters.
+        let g = grid2d(40, 40);
+        for method in [
+            SamplingMethod::kout_default(),
+            SamplingMethod::bfs_default(),
+            SamplingMethod::ldd_default(),
+            SamplingMethod::Ldd { beta: 0.3, permute: true },
+        ] {
+            let out = run_sampling(&g, &method, 21, false);
+            assert!(
+                out.labels.iter().enumerate().all(|(v, &l)| (l as usize) <= v),
+                "{} emitted a non-minimal cluster label",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn union_early_with_ldd_regression() {
+        // Regression: LDD centers with ids above their members used to let
+        // Union-Early hook a root beneath its own descendant (parent
+        // cycle, infinite find). Must terminate and be correct.
+        use cc_unionfind::{FindKind, UfSpec, UniteKind};
+        let g = grid2d(50, 50);
+        let spec = UfSpec::new(UniteKind::Early, FindKind::Naive);
+        for seed in 0..5u64 {
+            let labels = crate::connectivity_seeded(
+                &g,
+                &SamplingMethod::Ldd { beta: 0.2, permute: true },
+                &crate::FinishMethod::UnionFind(spec),
+                seed,
+            );
+            assert!(labels.iter().all(|&l| l == labels[0]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_samplers_satisfy_contract() {
+        let g = rmat_graph();
+        for method in [
+            SamplingMethod::kout_default(),
+            SamplingMethod::bfs_default(),
+            SamplingMethod::ldd_default(),
+            SamplingMethod::KOut { k: 3, variant: KOutVariant::Pure },
+            SamplingMethod::KOut { k: 1, variant: KOutVariant::Afforest },
+            SamplingMethod::KOut { k: 2, variant: KOutVariant::MaxDegree },
+            SamplingMethod::Ldd { beta: 0.5, permute: true },
+        ] {
+            let out = run_sampling(&g, &method, 7, false);
+            assert!(
+                satisfies_sampling_contract(&out.labels),
+                "{} violates Definition 3.1",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_labels_are_partial_connectivity() {
+        // Sampled labels must never merge vertices from different true
+        // components.
+        let g = build_undirected(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]);
+        for method in [
+            SamplingMethod::kout_default(),
+            SamplingMethod::bfs_default(),
+            SamplingMethod::ldd_default(),
+        ] {
+            let out = run_sampling(&g, &method, 3, false);
+            for v in 0..4usize {
+                for w in 4..8usize {
+                    assert_ne!(out.labels[v], out.labels[w], "{}", method.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_sampling_finds_giant_component() {
+        let g = grid2d(60, 60);
+        let out = run_sampling(&g, &SamplingMethod::bfs_default(), 1, false);
+        assert_eq!(out.frequent_count, 3600);
+        assert_eq!(inter_component_edges(&g, &out.labels), 0);
+    }
+
+    #[test]
+    fn kout_hybrid_beats_afforest_on_clustered_web() {
+        // The headline of Figures 22–24: first-k sampling discovers only
+        // the local blocks on adversarially ordered graphs; hybrid escapes.
+        let el = clustered_web(200, 32, 6, 0.4, 9);
+        let g = cc_graph::builder::build_undirected_ordered(el.num_vertices, &el.edges);
+        let aff = run_sampling(
+            &g,
+            &SamplingMethod::KOut { k: 2, variant: KOutVariant::Afforest },
+            5,
+            false,
+        );
+        let hyb = run_sampling(
+            &g,
+            &SamplingMethod::KOut { k: 2, variant: KOutVariant::Hybrid },
+            5,
+            false,
+        );
+        assert!(
+            hyb.frequent_count > aff.frequent_count * 2,
+            "hybrid {} vs afforest {}",
+            hyb.frequent_count,
+            aff.frequent_count
+        );
+    }
+
+    #[test]
+    fn kout_forest_edges_match_contraction() {
+        let g = rmat_graph();
+        let out = run_sampling(&g, &SamplingMethod::kout_default(), 11, true);
+        let forest = out.forest.expect("requested");
+        let edges = forest.to_edges();
+        // Forest edges must induce exactly the sampled partition
+        // (Definition B.2 requirement 2).
+        let induced = cc_unionfind::oracle_labels(g.num_vertices(), &edges);
+        assert!(cc_graph::stats::same_partition(&induced, &out.labels));
+    }
+
+    #[test]
+    fn no_sampling_is_identity() {
+        let g = grid2d(5, 5);
+        let out = run_sampling(&g, &SamplingMethod::None, 0, false);
+        assert_eq!(out.frequent, NO_VERTEX);
+        assert!(out.labels.iter().enumerate().all(|(i, &l)| l == i as u32));
+    }
+}

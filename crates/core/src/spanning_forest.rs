@@ -1,0 +1,164 @@
+//! Spanning forest (Section 3.4, Algorithm 2): every sampling method
+//! composed with a root-based finish method yields a spanning forest by
+//! assigning to each hooked root the edge that hooked it.
+
+use crate::options::{FinishMethod, SamplingMethod};
+use crate::sampling::run_sampling;
+use crate::shiloach_vishkin::shiloach_vishkin_finish;
+use cc_graph::{CsrGraph, Edge};
+use cc_unionfind::parents::parents_from_labels;
+
+/// Whether `finish` can produce a spanning forest in this implementation:
+/// union-find variants whose splice cannot cross trees, and
+/// Shiloach–Vishkin (via one-shot CAS hooks).
+///
+/// Liu–Tarjan RootUp variants are root-based in the paper's taxonomy but
+/// their `writeMin` hooks can overwrite a root's parent several times per
+/// round, leaving the responsible edge ambiguous; they are excluded here
+/// (documented deviation, see DESIGN.md).
+pub fn supports_spanning_forest(finish: &FinishMethod) -> bool {
+    match finish {
+        FinishMethod::UnionFind(spec) => {
+            spec.splice != Some(cc_unionfind::SpliceKind::Splice)
+        }
+        FinishMethod::ShiloachVishkin => true,
+        _ => false,
+    }
+}
+
+/// Computes a spanning forest of `g`: one tree per connected component,
+/// returned as an edge list of original graph edges.
+///
+/// # Panics
+/// If `finish` does not support spanning forest
+/// (see [`supports_spanning_forest`]).
+pub fn spanning_forest(
+    g: &CsrGraph,
+    sampling: &SamplingMethod,
+    finish: &FinishMethod,
+    seed: u64,
+) -> Vec<Edge> {
+    assert!(
+        supports_spanning_forest(finish),
+        "{} does not support spanning forest",
+        finish.name()
+    );
+    let sample = run_sampling(g, sampling, seed, true);
+    let forest = sample.forest.expect("forest requested");
+    let initial = &sample.labels;
+    let frequent = sample.frequent;
+    match finish {
+        FinishMethod::UnionFind(spec) => {
+            let n = g.num_vertices();
+            let p = parents_from_labels(initial);
+            let uf = spec.instantiate(n, seed);
+            let uf = uf.as_ref();
+            debug_assert!(uf.supports_forest());
+            g.for_each_edge_par(|u, v| {
+                if initial[u as usize] == frequent {
+                    return;
+                }
+                let mut hops = 0u64;
+                if let Some(hooked) = uf.unite(&p, u, v, &mut hops) {
+                    forest.assign(hooked, u, v);
+                }
+            });
+        }
+        FinishMethod::ShiloachVishkin => {
+            shiloach_vishkin_finish(g, initial, frequent, Some(&forest));
+        }
+        _ => unreachable!("guarded by supports_spanning_forest"),
+    }
+    forest.to_edges()
+}
+
+/// Validates a forest against its graph: every edge exists in `g`, the
+/// forest is acyclic, and it spans every component (|F| = n − #components).
+/// Used by tests and the harness.
+pub fn is_valid_spanning_forest(g: &CsrGraph, forest: &[Edge]) -> bool {
+    let n = g.num_vertices();
+    // Every forest edge must be a real edge.
+    for &(u, v) in forest {
+        if !g.neighbors(u).contains(&v) {
+            return false;
+        }
+    }
+    // Acyclic: adding each edge must merge two distinct sets.
+    let mut uf = cc_unionfind::SeqUnionFind::new(n);
+    for &(u, v) in forest {
+        if !uf.union(u, v) {
+            return false;
+        }
+    }
+    // Spanning: same partition as the true components.
+    let truth = cc_graph::stats::component_stats(g);
+    forest.len() == n - truth.num_components
+        && cc_graph::stats::same_partition(&truth.labels, &uf.labels())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::{grid2d, rmat_default};
+    use cc_graph::build_undirected;
+    use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
+
+    fn samplings() -> Vec<SamplingMethod> {
+        vec![
+            SamplingMethod::None,
+            SamplingMethod::kout_default(),
+            SamplingMethod::bfs_default(),
+            SamplingMethod::ldd_default(),
+        ]
+    }
+
+    #[test]
+    fn forest_matrix_on_rmat() {
+        let el = rmat_default(10, 6_000, 4);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let finishes = [
+            FinishMethod::fastest(),
+            FinishMethod::UnionFind(UfSpec::new(UniteKind::Async, FindKind::Compress)),
+            FinishMethod::UnionFind(UfSpec::new(UniteKind::Hooks, FindKind::Naive)),
+            FinishMethod::ShiloachVishkin,
+        ];
+        for sampling in samplings() {
+            for finish in &finishes {
+                let f = spanning_forest(&g, &sampling, finish, 9);
+                assert!(
+                    is_valid_spanning_forest(&g, &f),
+                    "{} + {}",
+                    sampling.name(),
+                    finish.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forest_on_grid_with_ldd() {
+        let g = grid2d(25, 25);
+        let f = spanning_forest(&g, &SamplingMethod::ldd_default(), &FinishMethod::fastest(), 1);
+        assert!(is_valid_spanning_forest(&g, &f));
+        assert_eq!(f.len(), 624);
+    }
+
+    #[test]
+    fn splice_is_rejected() {
+        let spec = UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive);
+        assert!(!supports_spanning_forest(&FinishMethod::UnionFind(spec)));
+    }
+
+    #[test]
+    fn validator_catches_bad_forests() {
+        let g = build_undirected(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        // A cycle is not a forest.
+        assert!(!is_valid_spanning_forest(&g, &[(0, 1), (1, 2), (2, 3), (3, 0)]));
+        // Too few edges do not span.
+        assert!(!is_valid_spanning_forest(&g, &[(0, 1)]));
+        // A non-edge is rejected.
+        assert!(!is_valid_spanning_forest(&g, &[(0, 2), (0, 1), (1, 2)]));
+        // A real spanning tree passes.
+        assert!(is_valid_spanning_forest(&g, &[(0, 1), (1, 2), (2, 3)]));
+    }
+}

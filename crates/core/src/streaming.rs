@@ -1,0 +1,381 @@
+//! Streaming / batch-incremental connectivity (Section 3.5, Algorithm 3):
+//! batches mixing edge insertions and connectivity queries.
+//!
+//! Three algorithm types, as in the paper:
+//! - **Type (i)** — union-find variants other than Rem+Splice: the whole
+//!   batch (updates *and* queries) runs concurrently; operations are
+//!   wait-free and linearizable.
+//! - **Type (ii)** — Shiloach–Vishkin and root-based (RootUp) Liu–Tarjan:
+//!   updates are applied synchronously (rounds over the batch), queries are
+//!   then answered wait-free.
+//! - **Type (iii)** — Rem's algorithms with SpliceAtomic: phase-concurrent;
+//!   the batch is split into an update phase and a query phase separated by
+//!   a barrier (Theorem 3).
+
+use crate::liu_tarjan::{run_on_edges, LtScheme};
+use crate::minkey::MinKey;
+use crate::shiloach_vishkin::sv_rounds_on_edges;
+use cc_graph::{Edge, VertexId};
+use cc_parallel::{pack_map, parallel_for_chunks};
+use cc_unionfind::parents::{find_root_readonly, make_parents, snapshot_labels, Parents};
+use cc_unionfind::{UfSpec, Unite};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// One streamed operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Insert undirected edge `{u, v}`.
+    Insert(VertexId, VertexId),
+    /// Ask whether `u` and `v` are currently connected.
+    Query(VertexId, VertexId),
+}
+
+/// Which streaming algorithm backs a [`StreamingConnectivity`] instance.
+#[derive(Clone, Debug)]
+pub enum StreamAlgorithm {
+    /// Any union-find variant (Type (i), or Type (iii) for Rem+Splice).
+    UnionFind(UfSpec),
+    /// Shiloach–Vishkin (Type (ii)).
+    ShiloachVishkin,
+    /// A root-based (RootUp) Liu–Tarjan scheme (Type (ii)).
+    LiuTarjan(LtScheme),
+}
+
+impl StreamAlgorithm {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            StreamAlgorithm::UnionFind(s) => s.name(),
+            StreamAlgorithm::ShiloachVishkin => "Shiloach-Vishkin".into(),
+            StreamAlgorithm::LiuTarjan(s) => format!("Liu-Tarjan({})", s.name()),
+        }
+    }
+}
+
+/// The paper's streaming type taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamType {
+    /// Wait-free mixed updates and queries.
+    WaitFree,
+    /// Synchronous updates, wait-free queries.
+    SynchronousUpdates,
+    /// Phase-concurrent updates then queries.
+    PhaseConcurrent,
+}
+
+enum Backend {
+    UnionFind(Box<dyn Unite>),
+    Sv,
+    Lt(LtScheme),
+}
+
+/// A batch-incremental connectivity structure over `n` vertices.
+pub struct StreamingConnectivity {
+    parents: Box<Parents>,
+    backend: Backend,
+}
+
+impl StreamingConnectivity {
+    /// Creates the structure for an initially empty graph on `n` vertices.
+    ///
+    /// # Panics
+    /// For `StreamAlgorithm::LiuTarjan` schemes without `RootUp`: only the
+    /// root-based (monotone) schemes are sound when previous batches'
+    /// edges are not re-applied.
+    pub fn new(n: usize, algorithm: &StreamAlgorithm, seed: u64) -> Self {
+        let backend = match algorithm {
+            StreamAlgorithm::UnionFind(spec) => Backend::UnionFind(spec.instantiate(n, seed)),
+            StreamAlgorithm::ShiloachVishkin => Backend::Sv,
+            StreamAlgorithm::LiuTarjan(scheme) => {
+                assert!(
+                    scheme.root_up,
+                    "only root-based (RootUp) Liu-Tarjan schemes support streaming"
+                );
+                Backend::Lt(*scheme)
+            }
+        };
+        StreamingConnectivity { parents: make_parents(n), backend }
+    }
+
+    /// Seeds the structure with the components of an existing labeling
+    /// (e.g. from a static [`crate::connectivity()`] run over an initial
+    /// graph), mirroring Algorithm 3's `INITIALIZE`. Labels are normalized
+    /// so each component's representative is its minimum member, restoring
+    /// the acyclicity invariant the union algorithms maintain.
+    pub fn from_labels(labels: &[VertexId], algorithm: &StreamAlgorithm, seed: u64) -> Self {
+        let s = Self::new(labels.len(), algorithm, seed);
+        let mut normalized = labels.to_vec();
+        crate::sampling::normalize_labels_to_min(&mut normalized);
+        cc_parallel::parallel_for(normalized.len(), |v| {
+            s.parents[v].store(normalized[v], Ordering::Relaxed);
+        });
+        s
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// This instance's streaming type.
+    pub fn stream_type(&self) -> StreamType {
+        match &self.backend {
+            Backend::UnionFind(uf) => {
+                if uf.concurrent_finds() {
+                    StreamType::WaitFree
+                } else {
+                    StreamType::PhaseConcurrent
+                }
+            }
+            Backend::Sv | Backend::Lt(_) => StreamType::SynchronousUpdates,
+        }
+    }
+
+    /// Applies a batch of operations in parallel; returns the answers to
+    /// the queries, in their order of appearance within the batch.
+    pub fn process_batch(&self, batch: &[Update]) -> Vec<bool> {
+        // Assign each query its output slot.
+        let mut query_slot = vec![usize::MAX; batch.len()];
+        let mut num_queries = 0usize;
+        for (i, op) in batch.iter().enumerate() {
+            if matches!(op, Update::Query(..)) {
+                query_slot[i] = num_queries;
+                num_queries += 1;
+            }
+        }
+        let results: Vec<AtomicU8> =
+            cc_parallel::parallel_tabulate(num_queries, |_| AtomicU8::new(0));
+        let p = &self.parents;
+
+        match (&self.backend, self.stream_type()) {
+            (Backend::UnionFind(uf), StreamType::WaitFree) => {
+                let uf = uf.as_ref();
+                parallel_for_chunks(batch.len(), |r| {
+                    let mut hops = 0u64;
+                    for i in r {
+                        match batch[i] {
+                            Update::Insert(u, v) => {
+                                uf.unite(p, u, v, &mut hops);
+                            }
+                            Update::Query(u, v) => {
+                                let c = uf.find(p, u, &mut hops) == uf.find(p, v, &mut hops);
+                                results[query_slot[i]].store(u8::from(c), Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            (Backend::UnionFind(uf), _) => {
+                // Type (iii): update phase, barrier, query phase.
+                let uf = uf.as_ref();
+                parallel_for_chunks(batch.len(), |r| {
+                    let mut hops = 0u64;
+                    for i in r {
+                        if let Update::Insert(u, v) = batch[i] {
+                            uf.unite(p, u, v, &mut hops);
+                        }
+                    }
+                });
+                parallel_for_chunks(batch.len(), |r| {
+                    let mut hops = 0u64;
+                    for i in r {
+                        if let Update::Query(u, v) = batch[i] {
+                            let c = uf.find(p, u, &mut hops) == uf.find(p, v, &mut hops);
+                            results[query_slot[i]].store(u8::from(c), Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            (Backend::Sv | Backend::Lt(_), _) => {
+                let inserts: Vec<Edge> = pack_map(batch.len(), |i| match batch[i] {
+                    Update::Insert(u, v) => Some((u, v)),
+                    Update::Query(..) => None,
+                });
+                match &self.backend {
+                    Backend::Sv => sv_rounds_on_edges(p, &inserts, None),
+                    Backend::Lt(scheme) => {
+                        // RootUp schemes only update roots, so contract the
+                        // batch to current representatives first.
+                        let contracted: Vec<Edge> = pack_map(inserts.len(), |i| {
+                            let (u, v) = inserts[i];
+                            let (ru, rv) = (find_root_readonly(p, u), find_root_readonly(p, v));
+                            (ru != rv).then_some((ru, rv))
+                        });
+                        run_on_edges(p, contracted, *scheme, MinKey::plain());
+                    }
+                    Backend::UnionFind(_) => unreachable!(),
+                }
+                parallel_for_chunks(batch.len(), |r| {
+                    for i in r {
+                        if let Update::Query(u, v) = batch[i] {
+                            let c = find_root_readonly(p, u) == find_root_readonly(p, v);
+                            results[query_slot[i]].store(u8::from(c), Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        }
+        results.iter().map(|r| r.load(Ordering::Relaxed) == 1).collect()
+    }
+
+    /// Single asynchronous edge insertion, callable concurrently from many
+    /// threads. Only available for the wait-free union-find backends
+    /// (Section 3.5's "asynchronous updates and queries" subset).
+    ///
+    /// # Panics
+    /// For synchronous (SV / Liu–Tarjan) and phase-concurrent (Rem+Splice)
+    /// backends, which require batch processing.
+    pub fn insert(&self, u: VertexId, v: VertexId) {
+        match &self.backend {
+            Backend::UnionFind(uf) if uf.concurrent_finds() => {
+                let mut hops = 0u64;
+                uf.unite(&self.parents, u, v, &mut hops);
+            }
+            _ => panic!(
+                "single asynchronous inserts require a wait-free union-find backend; \
+                 use process_batch"
+            ),
+        }
+    }
+
+    /// Single wait-free connectivity query against the current state.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        find_root_readonly(&self.parents, u) == find_root_readonly(&self.parents, v)
+    }
+
+    /// Snapshot of the current component labeling (fully compressed).
+    pub fn labels(&self) -> Vec<VertexId> {
+        snapshot_labels(&self.parents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::rmat_default;
+    use cc_graph::stats::same_partition;
+    use cc_unionfind::oracle_labels;
+    use cc_unionfind::{FindKind, SpliceKind, UniteKind};
+
+    fn algorithms() -> Vec<StreamAlgorithm> {
+        vec![
+            StreamAlgorithm::UnionFind(UfSpec::fastest()),
+            StreamAlgorithm::UnionFind(UfSpec::new(UniteKind::Async, FindKind::Halve)),
+            StreamAlgorithm::UnionFind(UfSpec::rem(
+                UniteKind::RemCas,
+                SpliceKind::Splice,
+                FindKind::Naive,
+            )),
+            StreamAlgorithm::ShiloachVishkin,
+            StreamAlgorithm::LiuTarjan(LtScheme::crfa()),
+        ]
+    }
+
+    #[test]
+    fn stream_types_classified() {
+        let s1 = StreamingConnectivity::new(4, &StreamAlgorithm::UnionFind(UfSpec::fastest()), 0);
+        assert_eq!(s1.stream_type(), StreamType::WaitFree);
+        let splice = UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive);
+        let s2 = StreamingConnectivity::new(4, &StreamAlgorithm::UnionFind(splice), 0);
+        assert_eq!(s2.stream_type(), StreamType::PhaseConcurrent);
+        let s3 = StreamingConnectivity::new(4, &StreamAlgorithm::ShiloachVishkin, 0);
+        assert_eq!(s3.stream_type(), StreamType::SynchronousUpdates);
+    }
+
+    #[test]
+    #[should_panic(expected = "RootUp")]
+    fn non_rootup_lt_rejected() {
+        StreamingConnectivity::new(4, &StreamAlgorithm::LiuTarjan(LtScheme::pus()), 0);
+    }
+
+    #[test]
+    fn sequential_semantics_small() {
+        for alg in algorithms() {
+            let s = StreamingConnectivity::new(6, &alg, 1);
+            let r = s.process_batch(&[
+                Update::Query(0, 1),
+                Update::Insert(0, 1),
+                Update::Insert(2, 3),
+            ]);
+            // A query in the same batch as inserts may see them (batch
+            // operations are unordered); only its length is guaranteed.
+            assert_eq!(r.len(), 1);
+            let r2 = s.process_batch(&[Update::Query(0, 1), Update::Query(0, 2)]);
+            assert_eq!(r2, vec![true, false], "{}", alg.name());
+            s.process_batch(&[Update::Insert(1, 2)]);
+            assert!(s.connected(0, 3), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn batched_inserts_match_static_oracle() {
+        let el = rmat_default(11, 12_000, 3);
+        let n = el.num_vertices;
+        let expect = oracle_labels(n, &el.edges);
+        for alg in algorithms() {
+            let s = StreamingConnectivity::new(n, &alg, 7);
+            for chunk in el.edges.chunks(1000) {
+                let batch: Vec<Update> =
+                    chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                s.process_batch(&batch);
+            }
+            assert!(same_partition(&expect, &s.labels()), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn mixed_batches_answer_correctly_across_batches() {
+        // Queries about state established in *previous* batches have
+        // deterministic answers.
+        for alg in algorithms() {
+            let s = StreamingConnectivity::new(8, &alg, 5);
+            s.process_batch(&[Update::Insert(0, 1), Update::Insert(2, 3)]);
+            s.process_batch(&[Update::Insert(1, 2)]);
+            let r = s.process_batch(&[
+                Update::Query(0, 3),
+                Update::Query(0, 4),
+                Update::Insert(4, 5),
+                Update::Query(6, 7),
+            ]);
+            assert_eq!(r, vec![true, false, false], "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn async_single_ops_from_many_threads() {
+        let el = rmat_default(10, 5_000, 41);
+        let n = el.num_vertices;
+        let s = StreamingConnectivity::new(n, &StreamAlgorithm::UnionFind(UfSpec::fastest()), 3);
+        cc_parallel::parallel_for_chunks(el.edges.len(), |r| {
+            for i in r {
+                let (u, v) = el.edges[i];
+                s.insert(u, v);
+                // Interleaved wait-free queries must not wedge.
+                let _ = s.connected(u, v);
+            }
+        });
+        let expect = oracle_labels(n, &el.edges);
+        assert!(same_partition(&expect, &s.labels()));
+    }
+
+    #[test]
+    #[should_panic(expected = "wait-free")]
+    fn async_insert_rejected_for_synchronous_backend() {
+        let s = StreamingConnectivity::new(4, &StreamAlgorithm::ShiloachVishkin, 0);
+        s.insert(0, 1);
+    }
+
+    #[test]
+    fn from_labels_seeds_components() {
+        let labels = vec![0, 0, 0, 3, 3, 5];
+        let s = StreamingConnectivity::from_labels(
+            &labels,
+            &StreamAlgorithm::UnionFind(UfSpec::fastest()),
+            0,
+        );
+        assert!(s.connected(0, 2));
+        assert!(s.connected(3, 4));
+        assert!(!s.connected(0, 3));
+        assert!(!s.connected(5, 0));
+    }
+}

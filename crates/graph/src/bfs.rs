@@ -1,0 +1,230 @@
+//! Direction-optimizing breadth-first search (Beamer et al.), the traversal
+//! behind BFS sampling, BFSCC, and the diameter estimates.
+
+use crate::types::{CsrGraph, VertexId, NO_VERTEX};
+use cc_parallel::{pack_indices, parallel_for_chunks, parallel_sum, parallel_tabulate};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Result of a BFS traversal.
+pub struct BfsResult {
+    /// `parents[v]` is the BFS-tree parent of `v`, `v` itself for the
+    /// source, and [`NO_VERTEX`] for unreached vertices.
+    pub parents: Vec<VertexId>,
+    /// Number of vertices reached (including the source).
+    pub num_visited: usize,
+    /// Number of frontier rounds executed (a lower bound on eccentricity).
+    pub rounds: usize,
+}
+
+/// Fraction of `m` above which the traversal switches to the dense
+/// (bottom-up) direction; mirrors the standard Beamer heuristic.
+const DENSE_EDGE_FRACTION: usize = 20;
+/// Fraction of `n` below which a dense traversal switches back to sparse.
+const SPARSE_VERTEX_FRACTION: usize = 20;
+
+/// Runs a direction-optimizing BFS from `src`.
+pub fn bfs(g: &CsrGraph, src: VertexId) -> BfsResult {
+    bfs_multi(g, &[src])
+}
+
+/// Runs a BFS from multiple sources simultaneously (each reached vertex gets
+/// the parent that claimed it first). Used by LDD-style decompositions and
+/// by multi-sweep diameter estimation.
+pub fn bfs_multi(g: &CsrGraph, sources: &[VertexId]) -> BfsResult {
+    let n = g.num_vertices();
+    let m = g.num_directed_edges();
+    let parents: Vec<AtomicU32> = parallel_tabulate(n, |_| AtomicU32::new(NO_VERTEX));
+    let mut frontier: Vec<VertexId> = Vec::new();
+    for &s in sources {
+        if parents[s as usize]
+            .compare_exchange(NO_VERTEX, s, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            frontier.push(s);
+        }
+    }
+    let mut num_visited = frontier.len();
+    let mut rounds = 0usize;
+    let mut dense_mode = false;
+    // Round-stamped frontier flags, allocated once and never cleared:
+    // `flags[v] == round` means v is in the current frontier.
+    let mut flags: Vec<AtomicU32> = Vec::new();
+
+    while !frontier.is_empty() {
+        rounds += 1;
+        let frontier_edges: usize =
+            parallel_sum(frontier.len(), |i| g.degree(frontier[i]));
+        let go_dense = if dense_mode {
+            frontier.len() >= n / SPARSE_VERTEX_FRACTION
+        } else {
+            frontier_edges >= m / DENSE_EDGE_FRACTION.max(1)
+        };
+        if go_dense {
+            if flags.is_empty() {
+                flags = parallel_tabulate(n, |_| AtomicU32::new(0));
+            }
+            // Round stamps avoid clearing the flag array: `cur` marks the
+            // current frontier, `nxt` marks vertices claimed this round.
+            let cur = 2 * rounds as u32;
+            let nxt = cur + 1;
+            parallel_for_chunks(frontier.len(), |r| {
+                for i in r {
+                    flags[frontier[i] as usize].store(cur, Ordering::Relaxed);
+                }
+            });
+            // Bottom-up: unvisited vertices look for a frontier neighbor.
+            parallel_for_chunks(n, |r| {
+                for v in r {
+                    if parents[v].load(Ordering::Relaxed) == NO_VERTEX {
+                        for &u in g.neighbors(v as VertexId) {
+                            if flags[u as usize].load(Ordering::Relaxed) == cur {
+                                parents[v].store(u, Ordering::Relaxed);
+                                flags[v].store(nxt, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+            frontier = pack_indices(n, |v| flags[v].load(Ordering::Relaxed) == nxt);
+            dense_mode = true;
+        } else {
+            // Top-down: frontier vertices claim unvisited neighbors.
+            let locals: Mutex<Vec<Vec<VertexId>>> = Mutex::new(Vec::new());
+            parallel_for_chunks(frontier.len(), |r| {
+                let mut local = Vec::new();
+                for i in r {
+                    let u = frontier[i];
+                    for &v in g.neighbors(u) {
+                        if parents[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                            && parents[v as usize]
+                                .compare_exchange(
+                                    NO_VERTEX,
+                                    u,
+                                    Ordering::AcqRel,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                        {
+                            local.push(v);
+                        }
+                    }
+                }
+                if !local.is_empty() {
+                    locals.lock().push(local);
+                }
+            });
+            frontier = locals.into_inner().concat();
+            dense_mode = false;
+        }
+        num_visited += frontier.len();
+    }
+
+    BfsResult {
+        parents: cc_parallel::snapshot_u32(&parents),
+        num_visited,
+        rounds,
+    }
+}
+
+/// Estimates the graph's diameter with `sweeps` alternating BFS sweeps
+/// (double-sweep lower bound). Returns the largest eccentricity observed.
+pub fn approx_diameter(g: &CsrGraph, sweeps: usize, seed: u64) -> usize {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = 0usize;
+    let mut src = rng.gen_range(0..n) as VertexId;
+    for _ in 0..sweeps.max(1) {
+        let res = bfs(g, src);
+        if res.rounds == 0 {
+            break;
+        }
+        best = best.max(res.rounds.saturating_sub(1));
+        // Jump to a most-distant vertex: any vertex claimed in the last round.
+        let far = res
+            .parents
+            .iter()
+            .enumerate()
+            .filter(|(v, &p)| p != NO_VERTEX && *v as u32 != src)
+            .map(|(v, _)| v as VertexId)
+            .next_back();
+        match far {
+            Some(f) => src = f,
+            None => break,
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, path, star};
+
+    #[test]
+    fn bfs_reaches_component() {
+        let g = grid2d(30, 30);
+        let res = bfs(g_src(&g), 0);
+        assert_eq!(res.num_visited, 900);
+        assert!(res.parents.iter().all(|&p| p != NO_VERTEX));
+        // Grid eccentricity from corner = rows + cols - 2 = 58 → 59 rounds.
+        assert_eq!(res.rounds, 59);
+    }
+
+    fn g_src(g: &CsrGraph) -> &CsrGraph {
+        g
+    }
+
+    #[test]
+    fn bfs_parents_form_tree() {
+        let g = grid2d(20, 25);
+        let res = bfs(&g, 7);
+        assert_eq!(res.parents[7], 7);
+        for v in 0..g.num_vertices() as VertexId {
+            if v != 7 {
+                let p = res.parents[v as usize];
+                assert!(g.neighbors(v).contains(&p), "parent of {v} must be a neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_respects_components() {
+        let g = crate::builder::build_undirected(6, &[(0, 1), (1, 2), (3, 4)]);
+        let res = bfs(&g, 0);
+        assert_eq!(res.num_visited, 3);
+        assert_eq!(res.parents[3], NO_VERTEX);
+        assert_eq!(res.parents[5], NO_VERTEX);
+    }
+
+    #[test]
+    fn bfs_star_uses_dense_path() {
+        // A star forces a huge frontier after round one, exercising the
+        // dense (bottom-up) branch.
+        let g = star(100_000);
+        let res = bfs(&g, 0);
+        assert_eq!(res.num_visited, 100_000);
+        assert_eq!(res.rounds, 2);
+        assert!((1..100_000).all(|v| res.parents[v] == 0));
+    }
+
+    #[test]
+    fn bfs_multi_partitions() {
+        let g = path(100);
+        let res = bfs_multi(&g, &[0, 99]);
+        assert_eq!(res.num_visited, 100);
+        assert!(res.rounds <= 51);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = path(500);
+        let d = approx_diameter(&g, 4, 1);
+        assert_eq!(d, 499);
+    }
+}

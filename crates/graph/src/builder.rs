@@ -1,0 +1,242 @@
+//! Parallel CSR construction: symmetrize, bucket by source, sort, dedupe.
+//!
+//! Mirrors the preprocessing the paper applies to its (originally directed)
+//! web graphs: "we symmetrize them before applying our algorithms".
+
+use crate::types::{CsrGraph, Edge, VertexId};
+use cc_parallel::{
+    parallel_for, parallel_for_chunks, parallel_tabulate, scan_exclusive,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Builds a symmetric, sorted, deduplicated CSR graph from an undirected
+/// edge list. Self-loops are dropped; duplicate edges are merged.
+pub fn build_undirected(n: usize, edges: &[Edge]) -> CsrGraph {
+    let m2 = edges.len() * 2;
+    if m2 == 0 {
+        return CsrGraph::empty(n);
+    }
+    // Degree count over both directions, skipping self-loops.
+    let degs: Vec<AtomicUsize> = parallel_tabulate(n, |_| AtomicUsize::new(0));
+    parallel_for_chunks(edges.len(), |r| {
+        for i in r {
+            let (u, v) = edges[i];
+            if u != v {
+                degs[u as usize].fetch_add(1, Ordering::Relaxed);
+                degs[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+    let mut offsets: Vec<usize> = parallel_tabulate(n + 1, |i| {
+        if i < n {
+            degs[i].load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    });
+    let total = scan_exclusive(&mut offsets);
+    offsets[n] = total;
+    // Scatter both directions using per-vertex cursors.
+    let cursors: Vec<AtomicUsize> =
+        parallel_tabulate(n, |v| AtomicUsize::new(offsets[v]));
+    let mut nbrs: Vec<VertexId> = vec![0; total];
+    {
+        let slots: &[AtomicU32Cell] = unsafe {
+            // Safety: AtomicU32Cell is a repr(transparent) UnsafeCell view of
+            // u32 slots; every slot is written exactly once (cursor
+            // fetch_add hands out unique positions) before any read.
+            std::slice::from_raw_parts(nbrs.as_ptr() as *const AtomicU32Cell, total)
+        };
+        parallel_for_chunks(edges.len(), |r| {
+            for i in r {
+                let (u, v) = edges[i];
+                if u != v {
+                    let pu = cursors[u as usize].fetch_add(1, Ordering::Relaxed);
+                    slots[pu].set(v);
+                    let pv = cursors[v as usize].fetch_add(1, Ordering::Relaxed);
+                    slots[pv].set(u);
+                }
+            }
+        });
+    }
+    // Sort each adjacency list and mark duplicates.
+    let nbrs_ptr = SendMut(nbrs.as_mut_ptr());
+    parallel_for(n, |v| {
+        let (lo, hi) = (offsets[v], offsets[v + 1]);
+        // Safety: per-vertex ranges are disjoint.
+        let list = unsafe { std::slice::from_raw_parts_mut(nbrs_ptr.get().add(lo), hi - lo) };
+        list.sort_unstable();
+    });
+    // Compute deduplicated degrees, then compact.
+    let mut new_offsets: Vec<usize> = parallel_tabulate(n + 1, |v| {
+        if v >= n {
+            return 0;
+        }
+        let list = &nbrs[offsets[v]..offsets[v + 1]];
+        count_unique_sorted(list)
+    });
+    let new_total = scan_exclusive(&mut new_offsets);
+    new_offsets[n] = new_total;
+    let mut out: Vec<VertexId> = vec![0; new_total];
+    let out_ptr = SendMut(out.as_mut_ptr());
+    parallel_for(n, |v| {
+        let list = &nbrs[offsets[v]..offsets[v + 1]];
+        let mut at = new_offsets[v];
+        let mut prev = VertexId::MAX;
+        for &x in list {
+            if x != prev {
+                // Safety: output ranges per vertex are disjoint.
+                unsafe { out_ptr.get().add(at).write(x) };
+                at += 1;
+                prev = x;
+            }
+        }
+        debug_assert_eq!(at, new_offsets[v + 1]);
+    });
+    CsrGraph::from_parts(new_offsets, out)
+}
+
+/// Builds a symmetric CSR graph that *preserves edge-insertion order*
+/// within each adjacency list (no sorting, no deduplication; self-loops are
+/// still dropped).
+///
+/// This mirrors graphs whose on-disk adjacency order carries meaning — the
+/// paper's ClueWeb/Hyperlink inputs order neighbors by crawl locality,
+/// which is exactly what makes first-k (Afforest) sampling fail
+/// (Figures 22–24). The scatter runs sequentially so the order is
+/// deterministic: vertex `v`'s list contains its neighbors in the order
+/// the edges appear in `edges` (both directions of each pair).
+pub fn build_undirected_ordered(n: usize, edges: &[Edge]) -> CsrGraph {
+    let mut degs = vec![0usize; n];
+    for &(u, v) in edges {
+        if u != v {
+            degs[u as usize] += 1;
+            degs[v as usize] += 1;
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for d in &degs {
+        offsets.push(offsets.last().expect("nonempty") + d);
+    }
+    let total = offsets[n];
+    let mut cursors = offsets[..n].to_vec();
+    let mut nbrs: Vec<VertexId> = vec![0; total];
+    for &(u, v) in edges {
+        if u != v {
+            nbrs[cursors[u as usize]] = v;
+            cursors[u as usize] += 1;
+            nbrs[cursors[v as usize]] = u;
+            cursors[v as usize] += 1;
+        }
+    }
+    CsrGraph::from_parts(offsets, nbrs)
+}
+
+fn count_unique_sorted(list: &[VertexId]) -> usize {
+    let mut c = 0;
+    let mut prev = VertexId::MAX;
+    for &x in list {
+        if x != prev {
+            c += 1;
+            prev = x;
+        }
+    }
+    c
+}
+
+/// Shared-slot u32 cell for the single-writer scatter phase.
+#[repr(transparent)]
+struct AtomicU32Cell(std::cell::UnsafeCell<VertexId>);
+unsafe impl Sync for AtomicU32Cell {}
+impl AtomicU32Cell {
+    #[inline]
+    fn set(&self, v: VertexId) {
+        // Safety: callers guarantee unique writers per slot.
+        unsafe { *self.0.get() = v };
+    }
+}
+
+struct SendMut<T>(*mut T);
+impl<T> SendMut<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+unsafe impl<T: Send> Send for SendMut<T> {}
+unsafe impl<T: Send> Sync for SendMut<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrizes_and_sorts() {
+        let g = build_undirected(4, &[(2, 1), (0, 3), (1, 0)]);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn drops_self_loops_and_duplicates() {
+        let g = build_undirected(3, &[(0, 0), (0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn empty_edges() {
+        let g = build_undirected(5, &[]);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn ordered_builder_preserves_insertion_order() {
+        let g = build_undirected_ordered(5, &[(0, 3), (0, 1), (2, 0), (1, 1)]);
+        assert_eq!(g.neighbors(0), &[3, 1, 2]);
+        assert_eq!(g.neighbors(1), &[0]); // self-loop dropped
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(g.num_directed_edges(), 6);
+    }
+
+    #[test]
+    fn ordered_and_sorted_builders_agree_on_partition() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let edges: Vec<Edge> =
+            (0..5000).map(|_| (rng.gen_range(0..800u32), rng.gen_range(0..800u32))).collect();
+        let a = build_undirected(800, &edges);
+        let b = build_undirected_ordered(800, &edges);
+        let sa = crate::stats::component_stats(&a);
+        let sb = crate::stats::component_stats(&b);
+        assert_eq!(sa.num_components, sb.num_components);
+        assert!(crate::stats::same_partition(&sa.labels, &sb.labels));
+    }
+
+    #[test]
+    fn large_random_matches_reference() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 5000usize;
+        let edges: Vec<Edge> = (0..60_000)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        let g = build_undirected(n, &edges);
+        // Reference adjacency via BTreeSet.
+        let mut adj = vec![std::collections::BTreeSet::new(); n];
+        for &(u, v) in &edges {
+            if u != v {
+                adj[u as usize].insert(v);
+                adj[v as usize].insert(u);
+            }
+        }
+        for v in 0..n {
+            let expect: Vec<VertexId> = adj[v].iter().copied().collect();
+            assert_eq!(g.neighbors(v as VertexId), expect.as_slice(), "vertex {v}");
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Ligra-style frontier abstraction: `VertexSubset` + `edge_map` /
+//! `vertex_map`, the programming model the paper's C++ implementation
+//! builds on (ConnectIt is implemented inside Ligra/GBBS, Section 3.6).
+//!
+//! A [`VertexSubset`] is a set of vertices in either sparse (vertex list)
+//! or dense (flag array) representation; [`edge_map`] applies an update
+//! function over the out-edges of the subset and returns the subset of
+//! vertices the updates activated, choosing the traversal direction by the
+//! Beamer threshold exactly as Ligra does.
+
+use crate::types::{CsrGraph, VertexId};
+use cc_parallel::{pack_indices, parallel_for_chunks, parallel_sum, parallel_tabulate};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A subset of the vertices of a graph.
+pub enum VertexSubset {
+    /// Explicit vertex list (efficient when small).
+    Sparse(Vec<VertexId>),
+    /// Flag per vertex (efficient when large).
+    Dense(Vec<AtomicU8>),
+}
+
+impl VertexSubset {
+    /// The empty subset.
+    pub fn empty() -> Self {
+        VertexSubset::Sparse(Vec::new())
+    }
+
+    /// A subset holding a single vertex.
+    pub fn single(v: VertexId) -> Self {
+        VertexSubset::Sparse(vec![v])
+    }
+
+    /// A sparse subset from a vertex list.
+    pub fn from_vertices(vs: Vec<VertexId>) -> Self {
+        VertexSubset::Sparse(vs)
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse(v) => v.len(),
+            VertexSubset::Dense(flags) => {
+                parallel_sum(flags.len(), |i| usize::from(flags[i].load(Ordering::Relaxed) == 1))
+            }
+        }
+    }
+
+    /// True when the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            VertexSubset::Sparse(v) => v.is_empty(),
+            VertexSubset::Dense(_) => self.len() == 0,
+        }
+    }
+
+    /// Membership test (O(len) for sparse, O(1) for dense).
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            VertexSubset::Sparse(list) => list.contains(&v),
+            VertexSubset::Dense(flags) => flags[v as usize].load(Ordering::Relaxed) == 1,
+        }
+    }
+
+    /// Materializes the sparse representation.
+    pub fn to_sparse(&self) -> Vec<VertexId> {
+        match self {
+            VertexSubset::Sparse(v) => v.clone(),
+            VertexSubset::Dense(flags) => {
+                pack_indices(flags.len(), |v| flags[v].load(Ordering::Relaxed) == 1)
+            }
+        }
+    }
+
+    /// Materializes the dense representation for a graph on `n` vertices.
+    fn to_dense(&self, n: usize) -> Vec<AtomicU8> {
+        match self {
+            VertexSubset::Dense(_) => unreachable!("caller checks"),
+            VertexSubset::Sparse(list) => {
+                let flags: Vec<AtomicU8> = parallel_tabulate(n, |_| AtomicU8::new(0));
+                parallel_for_chunks(list.len(), |r| {
+                    for i in r {
+                        flags[list[i] as usize].store(1, Ordering::Relaxed);
+                    }
+                });
+                flags
+            }
+        }
+    }
+
+    /// Sum of out-degrees of the members.
+    pub fn out_degrees(&self, g: &CsrGraph) -> usize {
+        match self {
+            VertexSubset::Sparse(list) => parallel_sum(list.len(), |i| g.degree(list[i])),
+            VertexSubset::Dense(flags) => parallel_sum(flags.len(), |v| {
+                if flags[v].load(Ordering::Relaxed) == 1 {
+                    g.degree(v as VertexId)
+                } else {
+                    0
+                }
+            }),
+        }
+    }
+}
+
+/// Ligra's direction threshold: dense when frontier out-degrees exceed
+/// `m / 20`.
+const DIRECTION_THRESHOLD_DENOM: usize = 20;
+
+/// Applies `update(u, v)` over every edge `(u, v)` with `u` in `frontier`
+/// and `cond(v)` true. `update` returns whether `v` became active; the
+/// returned subset contains each activated vertex at most once (`update`
+/// must be atomic, i.e. return true for exactly one racing caller, like a
+/// successful CAS).
+///
+/// Direction is chosen automatically: sparse frontiers push, heavy
+/// frontiers are processed bottom-up (`v` pulls from any frontier
+/// neighbor, stopping at the first success).
+pub fn edge_map<U, C>(g: &CsrGraph, frontier: &VertexSubset, update: U, cond: C) -> VertexSubset
+where
+    U: Fn(VertexId, VertexId) -> bool + Sync,
+    C: Fn(VertexId) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    let m = g.num_directed_edges();
+    let heavy = frontier.out_degrees(g) >= m / DIRECTION_THRESHOLD_DENOM.max(1);
+    if heavy {
+        // Bottom-up (pull): candidates scan for a frontier neighbor.
+        let dense = match frontier {
+            VertexSubset::Dense(flags) => None.or(Some(flags as &[AtomicU8])),
+            VertexSubset::Sparse(_) => None,
+        };
+        let owned;
+        let flags: &[AtomicU8] = match dense {
+            Some(f) => f,
+            None => {
+                owned = frontier.to_dense(n);
+                &owned
+            }
+        };
+        let next: Vec<AtomicU8> = parallel_tabulate(n, |_| AtomicU8::new(0));
+        parallel_for_chunks(n, |r| {
+            for v in r {
+                let v = v as VertexId;
+                if !cond(v) {
+                    continue;
+                }
+                for &u in g.neighbors(v) {
+                    if flags[u as usize].load(Ordering::Relaxed) == 1 && update(u, v) {
+                        next[v as usize].store(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        });
+        VertexSubset::Dense(next)
+    } else {
+        // Top-down (push).
+        let sparse = frontier.to_sparse();
+        let locals: Mutex<Vec<Vec<VertexId>>> = Mutex::new(Vec::new());
+        parallel_for_chunks(sparse.len(), |r| {
+            let mut local = Vec::new();
+            for i in r {
+                let u = sparse[i];
+                for &v in g.neighbors(u) {
+                    if cond(v) && update(u, v) {
+                        local.push(v);
+                    }
+                }
+            }
+            if !local.is_empty() {
+                locals.lock().push(local);
+            }
+        });
+        VertexSubset::Sparse(locals.into_inner().concat())
+    }
+}
+
+/// Applies `f` to every member of the subset.
+pub fn vertex_map<F>(frontier: &VertexSubset, f: F)
+where
+    F: Fn(VertexId) + Sync,
+{
+    match frontier {
+        VertexSubset::Sparse(list) => {
+            parallel_for_chunks(list.len(), |r| {
+                for i in r {
+                    f(list[i]);
+                }
+            });
+        }
+        VertexSubset::Dense(flags) => {
+            parallel_for_chunks(flags.len(), |r| {
+                for v in r {
+                    if flags[v].load(Ordering::Relaxed) == 1 {
+                        f(v as VertexId);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// BFS written against the frontier abstraction (a Ligra program); used by
+/// tests to cross-validate [`crate::bfs::bfs`] and as the canonical
+/// example of the interface.
+pub fn bfs_with_edge_map(g: &CsrGraph, src: VertexId) -> Vec<VertexId> {
+    use crate::types::NO_VERTEX;
+    use std::sync::atomic::AtomicU32;
+    let n = g.num_vertices();
+    let parents: Vec<AtomicU32> = parallel_tabulate(n, |_| AtomicU32::new(NO_VERTEX));
+    parents[src as usize].store(src, Ordering::Relaxed);
+    let mut frontier = VertexSubset::single(src);
+    while !frontier.is_empty() {
+        frontier = edge_map(
+            g,
+            &frontier,
+            |u, v| {
+                parents[v as usize]
+                    .compare_exchange(NO_VERTEX, u, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            },
+            |v| parents[v as usize].load(Ordering::Relaxed) == NO_VERTEX,
+        );
+    }
+    cc_parallel::snapshot_u32(&parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, rmat_default, star};
+    use crate::types::NO_VERTEX;
+    use crate::builder::build_undirected;
+
+    #[test]
+    fn subset_representations_agree() {
+        let s = VertexSubset::from_vertices(vec![1, 5, 9]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(5));
+        assert!(!s.contains(2));
+        let d = VertexSubset::Dense(s.to_dense(12));
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(5));
+        assert!(!d.contains(2));
+        let mut back = d.to_sparse();
+        back.sort_unstable();
+        assert_eq!(back, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let e = VertexSubset::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn edge_map_bfs_matches_reference_bfs() {
+        for g in [grid2d(25, 25), star(5000)] {
+            let via_frontier = bfs_with_edge_map(&g, 0);
+            let reference = crate::bfs::bfs(&g, 0);
+            // Same reachability; parents may differ but must be valid.
+            for v in 0..g.num_vertices() {
+                assert_eq!(
+                    via_frontier[v] != NO_VERTEX,
+                    reference.parents[v] != NO_VERTEX
+                );
+                if via_frontier[v] != NO_VERTEX && v != 0 {
+                    assert!(g.neighbors(v as u32).contains(&via_frontier[v]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_map_bfs_on_rmat_components() {
+        let el = rmat_default(11, 8_000, 5);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let via_frontier = bfs_with_edge_map(&g, 3);
+        let reference = crate::bfs::bfs(&g, 3);
+        assert_eq!(
+            via_frontier.iter().filter(|&&p| p != NO_VERTEX).count(),
+            reference.num_visited
+        );
+    }
+
+    #[test]
+    fn vertex_map_visits_each_member_once() {
+        use std::sync::atomic::AtomicUsize;
+        let s = VertexSubset::from_vertices((0..1000).step_by(3).collect());
+        let count = AtomicUsize::new(0);
+        vertex_map(&s, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), s.len());
+    }
+}

@@ -1,0 +1,317 @@
+//! Synthetic graph generators.
+//!
+//! These provide the laptop-scale analogs of the paper's datasets (see
+//! DESIGN.md §2): RMAT and Barabási–Albert for the social networks used in
+//! the streaming experiments (Section 4.4 uses exactly these two families),
+//! a 2-D grid standing in for the high-diameter `road_usa`, and a
+//! "clustered web" generator that plants the adversarial vertex-ordering
+//! locality that makes first-k (Afforest) sampling fail on ClueWeb and the
+//! Hyperlink graphs (Figures 22–24).
+
+use crate::builder::build_undirected;
+use crate::types::{CsrGraph, Edge, EdgeList, VertexId};
+use cc_parallel::parallel_tabulate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RMAT recursive-matrix edge sampler with partition probabilities
+/// `(a, b, c)` (and `d = 1 - a - b - c`). `scale` gives `n = 2^scale`.
+///
+/// The paper's streaming experiments use `(a, b, c) = (0.5, 0.1, 0.1)`.
+pub fn rmat(scale: u32, num_edges: usize, a: f64, b: f64, c: f64, seed: u64) -> EdgeList {
+    assert!(scale <= 31, "u32 vertex ids");
+    assert!(a + b + c <= 1.0 + 1e-9);
+    let n = 1usize << scale;
+    let edges: Vec<Edge> = parallel_tabulate(num_edges, |i| {
+        let mut rng =
+            cc_parallel::SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen_f64();
+            if r < a {
+                // top-left: no bits set
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u, v)
+    });
+    EdgeList::new(n, edges)
+}
+
+/// RMAT with the paper's streaming parameters `(0.5, 0.1, 0.1)`.
+pub fn rmat_default(scale: u32, num_edges: usize, seed: u64) -> EdgeList {
+    rmat(scale, num_edges, 0.5, 0.1, 0.1, seed)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex draws `d`
+/// endpoints; with probability 1/2 a uniform previous vertex, otherwise an
+/// endpoint of a previous edge (degree-proportional).
+pub fn barabasi_albert(n: usize, d: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2 && d >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * d);
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * d);
+    edges.push((0, 1));
+    endpoints.extend_from_slice(&[0, 1]);
+    for v in 2..n as VertexId {
+        for _ in 0..d {
+            let target = if rng.gen_bool(0.5) {
+                rng.gen_range(0..v)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            edges.push((v, target));
+            endpoints.push(v);
+            endpoints.push(target);
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Erdős–Rényi G(n, m): `m` uniformly random edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> EdgeList {
+    let edges: Vec<Edge> = parallel_tabulate(m, |i| {
+        let mut rng =
+            cc_parallel::SplitMix64::new(seed ^ (i as u64).wrapping_mul(0xD1B54A32D192ED03));
+        (rng.gen_range(n) as u32, rng.gen_range(n) as u32)
+    });
+    EdgeList::new(n, edges)
+}
+
+/// 4-neighbor 2-D grid: the high-diameter, low-degree analog of a road
+/// network (`road_usa` in the paper).
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as VertexId;
+            if c + 1 < cols {
+                edges.push((v, v + 1));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols as VertexId));
+            }
+        }
+    }
+    build_undirected(n, &edges)
+}
+
+/// Path graph `0 - 1 - ... - (n-1)` (diameter `n - 1`).
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<Edge> = (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)).collect();
+    build_undirected(n, &edges)
+}
+
+/// Cycle on `n` vertices.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3);
+    let mut edges: Vec<Edge> = (0..n - 1).map(|i| (i as u32, i as u32 + 1)).collect();
+    edges.push((n as u32 - 1, 0));
+    build_undirected(n, &edges)
+}
+
+/// Star with center 0 and `n - 1` leaves.
+pub fn star(n: usize) -> CsrGraph {
+    let edges: Vec<Edge> = (1..n as u32).map(|v| (0, v)).collect();
+    build_undirected(n, &edges)
+}
+
+/// Complete graph on `n` vertices (small n only).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    build_undirected(n, &edges)
+}
+
+/// Disjoint union of edge lists: relabels each input into its own id range.
+/// Used to plant multi-component structure (the Hyperlink graphs have
+/// hundreds of millions of small components next to one massive one).
+pub fn disjoint_union(parts: &[EdgeList]) -> EdgeList {
+    let mut offset = 0u32;
+    let mut edges = Vec::new();
+    for p in parts {
+        edges.extend(p.edges.iter().map(|&(u, v)| (u + offset, v + offset)));
+        offset += p.num_vertices as u32;
+    }
+    EdgeList::new(offset as usize, edges)
+}
+
+/// Clustered "web" generator with adversarial adjacency-ordering locality.
+///
+/// `num_blocks` dense blocks of `block_size` contiguous-id vertices; each
+/// vertex gets `intra_deg` random intra-block edges, and each vertex
+/// independently gets one edge to a uniformly random vertex in another
+/// block with probability `inter_prob`. *All intra-block edges precede all
+/// inter-block edges in the list*, so when built with
+/// [`crate::builder::build_undirected_ordered`] every adjacency list leads
+/// with intra-block neighbors — like the crawl-ordered ClueWeb/Hyperlink
+/// inputs. A first-k (Afforest) sample then selects only intra-block edges
+/// and discovers nothing beyond the blocks, while randomized k-out escapes
+/// — reproducing the behaviour of Figures 22–24.
+pub fn clustered_web(
+    num_blocks: usize,
+    block_size: usize,
+    intra_deg: usize,
+    inter_prob: f64,
+    seed: u64,
+) -> EdgeList {
+    assert!(block_size >= 2 && num_blocks >= 2);
+    let n = num_blocks * block_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * (intra_deg + 1));
+    // Phase 1: intra-block edges (come first in every adjacency list).
+    for b in 0..num_blocks {
+        let base = (b * block_size) as u32;
+        for i in 0..block_size {
+            let v = base + i as u32;
+            // Ring edge keeps each block connected regardless of the random
+            // draws below.
+            edges.push((v, base + ((i + 1) % block_size) as u32));
+            for _ in 0..intra_deg {
+                let w = base + rng.gen_range(0..block_size) as u32;
+                if w != v {
+                    edges.push((v, w));
+                }
+            }
+        }
+    }
+    // Phase 2: sparse inter-block edges (land at the tail of both
+    // endpoints' adjacency lists).
+    for b in 0..num_blocks {
+        let base = b * block_size;
+        for i in 0..block_size {
+            let v = (base + i) as u32;
+            if rng.gen_bool(inter_prob) {
+                let tb = (b + rng.gen_range(1..num_blocks)) % num_blocks;
+                let w = (tb * block_size + rng.gen_range(0..block_size)) as u32;
+                edges.push((v, w));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Applies a pseudorandom relabeling to an edge list (destroys vertex
+/// ordering locality). Used to contrast "good" and "bad" orderings.
+pub fn shuffle_labels(el: &EdgeList, seed: u64) -> EdgeList {
+    let n = el.num_vertices;
+    let perm = random_permutation(n, seed);
+    let edges = el
+        .edges
+        .iter()
+        .map(|&(u, v)| (perm[u as usize], perm[v as usize]))
+        .collect();
+    EdgeList::new(n, edges)
+}
+
+/// Fisher–Yates permutation of `0..n` from `seed`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<VertexId> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::component_stats;
+
+    #[test]
+    fn rmat_bounds_and_determinism() {
+        let a = rmat_default(10, 5000, 42);
+        let b = rmat_default(10, 5000, 42);
+        assert_eq!(a, b);
+        assert!(a.edges.iter().all(|&(u, v)| u < 1024 && v < 1024));
+    }
+
+    #[test]
+    fn rmat_different_seeds_differ() {
+        let a = rmat_default(10, 1000, 1);
+        let b = rmat_default(10, 1000, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ba_is_connected() {
+        let el = barabasi_albert(2000, 3, 9);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let st = component_stats(&g);
+        assert_eq!(st.num_components, 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(10, 15);
+        assert_eq!(g.num_vertices(), 150);
+        // Interior vertex has degree 4.
+        assert_eq!(g.degree(16), 4);
+        // Corner has degree 2.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(component_stats(&g).num_components, 1);
+    }
+
+    #[test]
+    fn path_cycle_star_complete() {
+        assert_eq!(path(10).num_edges(), 9);
+        assert_eq!(cycle(10).num_edges(), 10);
+        assert_eq!(star(10).num_edges(), 9);
+        assert_eq!(complete(6).num_edges(), 15);
+    }
+
+    #[test]
+    fn disjoint_union_relabels() {
+        let a = EdgeList::new(3, vec![(0, 1)]);
+        let b = EdgeList::new(2, vec![(0, 1)]);
+        let u = disjoint_union(&[a, b]);
+        assert_eq!(u.num_vertices, 5);
+        assert_eq!(u.edges, vec![(0, 1), (3, 4)]);
+    }
+
+    #[test]
+    fn clustered_web_blocks_are_connected() {
+        let el = clustered_web(20, 16, 2, 0.5, 3);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let st = component_stats(&g);
+        // With inter_prob 0.5 per vertex the blocks almost surely chain up.
+        assert!(st.num_components <= 3, "components: {}", st.num_components);
+    }
+
+    #[test]
+    fn clustered_web_ordered_adjacency_leads_with_intra_block() {
+        let el = clustered_web(10, 16, 3, 0.5, 7);
+        let g = crate::builder::build_undirected_ordered(el.num_vertices, &el.edges);
+        // For every vertex, the first neighbor is in the same block.
+        for v in 0..g.num_vertices() {
+            let block = v / 16;
+            if let Some(&first) = g.neighbors(v as u32).first() {
+                assert_eq!(first as usize / 16, block, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijection() {
+        let p = random_permutation(1000, 5);
+        let mut seen = vec![false; 1000];
+        for &x in &p {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Plain-text edge-list I/O (the de-facto interchange format of SNAP /
+//! DIMACS-style datasets): one `u v` pair per line, `#` comments, blank
+//! lines ignored.
+
+use crate::types::{Edge, EdgeList};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A malformed edge-list input.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is not `u v` with integer endpoints.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::BadLine { line, content } => {
+                write!(f, "malformed edge at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses an edge list from a reader. The vertex-count bound is
+/// `max(endpoint) + 1` unless `min_vertices` is larger.
+pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<EdgeList, ParseError> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_v = 0u32;
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u32> { tok?.parse().ok() };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => {
+                max_v = max_v.max(u).max(v);
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(ParseError::BadLine { line: i + 1, content: trimmed.to_string() })
+            }
+        }
+    }
+    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 }.max(min_vertices);
+    Ok(EdgeList::new(n, edges))
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<EdgeList, ParseError> {
+    read_edge_list(std::fs::File::open(path)?, 0)
+}
+
+/// Writes an edge list as text (`# n m` header then one edge per line).
+pub fn write_edge_list<W: Write>(writer: W, el: &EdgeList) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {} edges {}", el.num_vertices, el.edges.len())?;
+    for &(u, v) in &el.edges {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes an edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(path: P, el: &EdgeList) -> std::io::Result<()> {
+    write_edge_list(std::fs::File::create(path)?, el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_with_comments() {
+        let input = "# a comment\n0 1\n\n2 3\n% another\n1 2\n";
+        let el = read_edge_list(input.as_bytes(), 0).expect("parses");
+        assert_eq!(el.num_vertices, 4);
+        assert_eq!(el.edges, vec![(0, 1), (2, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = read_edge_list("0 1\nfoo bar\n".as_bytes(), 0).unwrap_err();
+        match err {
+            ParseError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn min_vertices_extends_bound() {
+        let el = read_edge_list("0 1\n".as_bytes(), 10).expect("parses");
+        assert_eq!(el.num_vertices, 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        let el = read_edge_list("".as_bytes(), 0).expect("parses");
+        assert!(el.is_empty());
+        assert_eq!(el.num_vertices, 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let el = crate::generators::rmat_default(8, 500, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &el).expect("writes");
+        let back = read_edge_list(buf.as_slice(), el.num_vertices).expect("parses");
+        assert_eq!(back.edges, el.edges);
+        assert_eq!(back.num_vertices, el.num_vertices);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let el = crate::generators::rmat_default(7, 200, 9);
+        let path = std::env::temp_dir().join("cc_graph_io_test.el");
+        write_edge_list_file(&path, &el).expect("writes");
+        let back = read_edge_list_file(&path).expect("reads");
+        assert_eq!(back.edges, el.edges);
+        let _ = std::fs::remove_file(&path);
+    }
+}

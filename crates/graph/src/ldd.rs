@@ -1,0 +1,222 @@
+//! Low-diameter decomposition (Miller–Peng–Xu) with exponential start
+//! times, as used by LDD sampling (Section 3.2) and the work-efficient
+//! connectivity baseline of Shun et al.
+
+use crate::types::{CsrGraph, VertexId, NO_VERTEX};
+use cc_parallel::{parallel_for_chunks, parallel_tabulate, snapshot_u32};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Result of one LDD round.
+pub struct LddResult {
+    /// `labels[v]` = the cluster center that claimed `v`. Every vertex is
+    /// claimed (isolated vertices form their own clusters).
+    pub labels: Vec<VertexId>,
+    /// BFS-tree parents within each cluster (`parents[center] == center`);
+    /// used for spanning-forest sampling.
+    pub parents: Vec<VertexId>,
+    /// Number of synchronous rounds executed.
+    pub rounds: usize,
+}
+
+/// Computes a `beta`-decomposition: clusters have strong diameter
+/// `O(log n / beta)` and at most `O(beta * m)` inter-cluster edges in
+/// expectation.
+///
+/// Following the paper (and prior work it cites), sampling from the
+/// exponential distribution is simulated by adding vertices as cluster
+/// centers over rounds in a fixed order — `permute = false` uses vertex-id
+/// order, `permute = true` a pseudorandom permutation — such that the
+/// number of centers started by round `r` is `n * (1 - exp(-beta * r))`.
+pub fn ldd(g: &CsrGraph, beta: f64, permute: bool, seed: u64) -> LddResult {
+    assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+    let n = g.num_vertices();
+    if n == 0 {
+        return LddResult { labels: vec![], parents: vec![], rounds: 0 };
+    }
+    let order: Vec<VertexId> = if permute {
+        crate::generators::random_permutation(n, seed)
+    } else {
+        (0..n as u32).collect()
+    };
+    let labels: Vec<AtomicU32> = parallel_tabulate(n, |_| AtomicU32::new(NO_VERTEX));
+    let parents: Vec<AtomicU32> = parallel_tabulate(n, |_| AtomicU32::new(NO_VERTEX));
+
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut started = 0usize; // prefix of `order` already activated
+    let mut round = 0usize;
+    loop {
+        // Number of centers that should have started by this round. MPX
+        // shifts are δ_v ~ Exp(beta), and vertex v wakes at time
+        // (max δ) − δ_v, so the number awake by round r grows like
+        // e^{beta * r}: the first center starts (nearly) alone and later
+        // centers only claim what the early balls have not reached.
+        // Round 0 starts exactly one center (floor of e^0), guaranteeing
+        // that every graph contracts: a later center only forms where the
+        // first ball has not arrived.
+        let exponent = beta * round as f64;
+        let target = if exponent > (n as f64).ln() + 1.0 {
+            n
+        } else {
+            exponent.exp().floor() as usize
+        }
+        .clamp(1, n);
+        // Activate new centers among still-unclaimed vertices.
+        while started < target {
+            let v = order[started];
+            started += 1;
+            if labels[v as usize]
+                .compare_exchange(NO_VERTEX, v, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                parents[v as usize].store(v, Ordering::Relaxed);
+                frontier.push(v);
+            }
+        }
+        if frontier.is_empty() {
+            if started >= n {
+                break;
+            }
+            round += 1;
+            continue;
+        }
+        round += 1;
+        // Expand every cluster by one hop.
+        let locals: Mutex<Vec<Vec<VertexId>>> = Mutex::new(Vec::new());
+        parallel_for_chunks(frontier.len(), |r| {
+            let mut local = Vec::new();
+            for i in r.clone() {
+                let u = frontier[i];
+                let lu = labels[u as usize].load(Ordering::Relaxed);
+                for &v in g.neighbors(u) {
+                    if labels[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                        && labels[v as usize]
+                            .compare_exchange(NO_VERTEX, lu, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
+                    {
+                        parents[v as usize].store(u, Ordering::Relaxed);
+                        local.push(v);
+                    }
+                }
+            }
+            if !local.is_empty() {
+                locals.lock().push(local);
+            }
+        });
+        frontier = locals.into_inner().concat();
+    }
+
+    LddResult {
+        labels: snapshot_u32(&labels),
+        parents: snapshot_u32(&parents),
+        rounds: round,
+    }
+}
+
+/// Counts the directed edges whose endpoints lie in different clusters.
+pub fn inter_cluster_edges(g: &CsrGraph, labels: &[VertexId]) -> usize {
+    use std::sync::atomic::AtomicUsize;
+    let count = AtomicUsize::new(0);
+    g.for_each_edge_par(|u, v| {
+        if labels[u as usize] != labels[v as usize] {
+            count.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    count.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, rmat_default};
+    use crate::builder::build_undirected;
+
+    fn check_clusters_valid(g: &CsrGraph, res: &LddResult) {
+        let n = g.num_vertices();
+        // Every vertex claimed; every center labels itself.
+        for v in 0..n {
+            let l = res.labels[v];
+            assert_ne!(l, NO_VERTEX);
+            assert_eq!(res.labels[l as usize], l, "center labels itself");
+            let p = res.parents[v];
+            assert_ne!(p, NO_VERTEX);
+            if v as u32 != l {
+                assert!(g.neighbors(v as u32).contains(&p), "parent is a neighbor");
+                assert_eq!(res.labels[p as usize], l, "parent in same cluster");
+            } else {
+                assert_eq!(p, v as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn ldd_covers_grid() {
+        let g = grid2d(40, 40);
+        let res = ldd(&g, 0.2, false, 1);
+        check_clusters_valid(&g, &res);
+    }
+
+    #[test]
+    fn ldd_covers_rmat_permuted() {
+        let el = rmat_default(12, 40_000, 5);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let res = ldd(&g, 0.2, true, 3);
+        check_clusters_valid(&g, &res);
+    }
+
+    #[test]
+    fn beta_one_makes_many_small_clusters() {
+        // beta = 1 ramps up centers very quickly; clusters stay small.
+        let g = grid2d(20, 20);
+        let res = ldd(&g, 1.0, false, 1);
+        check_clusters_valid(&g, &res);
+        let distinct: std::collections::HashSet<_> = res.labels.iter().collect();
+        assert!(distinct.len() > 40, "got {} clusters", distinct.len());
+    }
+
+    #[test]
+    fn low_diameter_graph_yields_massive_cluster() {
+        // The observation motivating LDD sampling (Section 3.2): one round
+        // of LDD on a low-diameter graph leaves a single massive cluster.
+        let el = rmat_default(13, 120_000, 3);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        let res = ldd(&g, 0.2, false, 2);
+        check_clusters_valid(&g, &res);
+        let (_, count) = crate::stats::most_frequent_label(&res.labels);
+        assert!(
+            count * 2 > g.num_vertices(),
+            "largest cluster covers {count} of {}",
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn small_beta_fewer_clusters_than_large_beta() {
+        let g = grid2d(60, 60);
+        let few = ldd(&g, 0.05, false, 1);
+        let many = ldd(&g, 0.8, false, 1);
+        let d_few: std::collections::HashSet<_> = few.labels.iter().collect();
+        let d_many: std::collections::HashSet<_> = many.labels.iter().collect();
+        assert!(d_few.len() < d_many.len());
+    }
+
+    #[test]
+    fn inter_cluster_edge_count_consistency() {
+        let g = grid2d(30, 30);
+        let res = ldd(&g, 0.2, false, 7);
+        let ic = inter_cluster_edges(&g, &res.labels);
+        // Symmetric graph → even count, bounded by total directed edges.
+        assert_eq!(ic % 2, 0);
+        assert!(ic <= g.num_directed_edges());
+    }
+
+    #[test]
+    fn clusters_never_cross_components() {
+        let g = build_undirected(7, &[(0, 1), (1, 2), (4, 5), (5, 6)]);
+        let res = ldd(&g, 0.3, false, 2);
+        check_clusters_valid(&g, &res);
+        // Vertices in different components must have different labels.
+        assert_ne!(res.labels[0], res.labels[4]);
+        assert_ne!(res.labels[3], res.labels[0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cc-graph
+//!
+//! Graph substrate for the `connectit-rs` workspace: CSR/COO formats with a
+//! parallel builder, synthetic generators standing in for the paper's
+//! datasets, direction-optimizing BFS, low-diameter decomposition, byte
+//! compression, edge-map lower-bound primitives, and the sequential
+//! connectivity oracle used by every test.
+//!
+//! ```
+//! use cc_graph::{builder::build_undirected, stats::component_stats};
+//! let g = build_undirected(5, &[(0, 1), (1, 2), (3, 4)]);
+//! let st = component_stats(&g);
+//! assert_eq!(st.num_components, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod builder;
+pub mod compressed;
+pub mod frontier;
+pub mod generators;
+pub mod io;
+pub mod ldd;
+pub mod primitives;
+pub mod stats;
+pub mod types;
+
+pub use builder::build_undirected;
+pub use types::{CsrGraph, Edge, EdgeList, VertexId, NO_VERTEX};

@@ -1,0 +1,61 @@
+//! The MapEdges / GatherEdges baseline primitives of Appendix C.4.1
+//! (Table 8): empirical lower bounds on the cost of any connectivity
+//! algorithm that must touch every edge.
+
+use crate::types::{CsrGraph, VertexId};
+use cc_parallel::parallel_tabulate;
+
+/// MapEdges: maps over all vertices in parallel, reducing a constant over
+/// each vertex's incident edges (i.e., computes degrees after reading every
+/// edge). Models "read and process the graph, store one output per vertex".
+pub fn map_edges(g: &CsrGraph) -> Vec<u64> {
+    parallel_tabulate(g.num_vertices(), |v| {
+        let mut acc = 0u64;
+        for &w in g.neighbors(v as VertexId) {
+            // Consume the neighbor id so the read is not optimized away.
+            acc += u64::from(w & 1) + 1;
+        }
+        acc
+    })
+}
+
+/// GatherEdges: like [`map_edges`] but performs an indirect read into
+/// `data` at each neighbor — the access pattern every parent-array
+/// connectivity algorithm must pay for at least once per edge.
+pub fn gather_edges(g: &CsrGraph, data: &[u32]) -> Vec<u64> {
+    assert_eq!(data.len(), g.num_vertices());
+    parallel_tabulate(g.num_vertices(), |v| {
+        let mut acc = 0u64;
+        for &w in g.neighbors(v as VertexId) {
+            acc += u64::from(data[w as usize]);
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::grid2d;
+
+    #[test]
+    fn map_edges_counts_degrees() {
+        let g = grid2d(10, 10);
+        let out = map_edges(&g);
+        let total: u64 = out.iter().sum();
+        // acc adds 1 or 2 per edge; must be between m and 2m directed edges.
+        assert!(total >= g.num_directed_edges() as u64);
+        assert!(total <= 2 * g.num_directed_edges() as u64);
+    }
+
+    #[test]
+    fn gather_edges_sums_neighbor_data() {
+        let g = crate::builder::build_undirected(4, &[(0, 1), (0, 2), (2, 3)]);
+        let data = vec![10, 20, 30, 40];
+        let out = gather_edges(&g, &data);
+        assert_eq!(out[0], 50); // neighbors 1,2
+        assert_eq!(out[1], 10);
+        assert_eq!(out[2], 50); // neighbors 0,3
+        assert_eq!(out[3], 30);
+    }
+}

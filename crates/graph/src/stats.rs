@@ -1,0 +1,158 @@
+//! Exact component statistics (sequential oracle) and dataset summaries —
+//! the machinery behind Table 2 and behind every correctness check in the
+//! test suites.
+
+use crate::types::{CsrGraph, VertexId, NO_VERTEX};
+
+/// Exact connectivity statistics for a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentStats {
+    /// Number of connected components (isolated vertices count).
+    pub num_components: usize,
+    /// Size of the largest component.
+    pub largest_size: usize,
+    /// A canonical labeling: `labels[v]` is the smallest vertex id in `v`'s
+    /// component.
+    pub labels: Vec<VertexId>,
+}
+
+/// Computes exact components with a sequential traversal. This is the
+/// trusted oracle: simple enough to be obviously correct.
+pub fn component_stats(g: &CsrGraph) -> ComponentStats {
+    let n = g.num_vertices();
+    let mut labels = vec![NO_VERTEX; n];
+    let mut num_components = 0usize;
+    let mut largest = 0usize;
+    let mut stack: Vec<VertexId> = Vec::new();
+    for s in 0..n {
+        if labels[s] != NO_VERTEX {
+            continue;
+        }
+        num_components += 1;
+        let mut size = 0usize;
+        labels[s] = s as VertexId;
+        stack.push(s as VertexId);
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == NO_VERTEX {
+                    labels[v as usize] = s as VertexId;
+                    stack.push(v);
+                }
+            }
+        }
+        largest = largest.max(size);
+    }
+    ComponentStats { num_components, largest_size: largest, labels }
+}
+
+/// Checks whether two labelings induce the same partition of `0..n`.
+///
+/// Parallel connectivity algorithms are free to pick any representative per
+/// component, so correctness is "same partition", not "same labels".
+pub fn same_partition(a: &[VertexId], b: &[VertexId]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let n = a.len();
+    // Map each a-label to the b-label of its first occurrence and vice versa.
+    let mut a2b: std::collections::HashMap<VertexId, VertexId> = std::collections::HashMap::new();
+    let mut b2a: std::collections::HashMap<VertexId, VertexId> = std::collections::HashMap::new();
+    for i in 0..n {
+        match a2b.entry(a[i]) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != b[i] {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(b[i]);
+            }
+        }
+        match b2a.entry(b[i]) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != a[i] {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(a[i]);
+            }
+        }
+    }
+    true
+}
+
+/// Counts distinct labels in a labeling.
+pub fn count_distinct_labels(labels: &[VertexId]) -> usize {
+    let mut set: Vec<VertexId> = labels.to_vec();
+    set.sort_unstable();
+    set.dedup();
+    set.len()
+}
+
+/// The most frequent label and its multiplicity.
+pub fn most_frequent_label(labels: &[VertexId]) -> (VertexId, usize) {
+    let mut counts: std::collections::HashMap<VertexId, usize> = std::collections::HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .map(|(l, c)| (l, c))
+        .unwrap_or((NO_VERTEX, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_undirected;
+    use crate::generators::{grid2d, star};
+
+    #[test]
+    fn stats_on_two_components() {
+        let g = build_undirected(6, &[(0, 1), (1, 2), (3, 4)]);
+        let st = component_stats(&g);
+        assert_eq!(st.num_components, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(st.largest_size, 3);
+        assert_eq!(st.labels[0], st.labels[2]);
+        assert_ne!(st.labels[0], st.labels[3]);
+        assert_eq!(st.labels[5], 5);
+    }
+
+    #[test]
+    fn stats_on_connected() {
+        assert_eq!(component_stats(&grid2d(15, 15)).num_components, 1);
+        assert_eq!(component_stats(&star(100)).largest_size, 100);
+    }
+
+    #[test]
+    fn same_partition_accepts_relabeling() {
+        let a = vec![0, 0, 2, 2, 4];
+        let b = vec![9, 9, 7, 7, 1];
+        assert!(same_partition(&a, &b));
+    }
+
+    #[test]
+    fn same_partition_rejects_merge_and_split() {
+        let a = vec![0, 0, 2, 2];
+        let merged = vec![0, 0, 0, 0];
+        let split = vec![0, 1, 2, 2];
+        assert!(!same_partition(&a, &merged));
+        assert!(!same_partition(&a, &split));
+        assert!(!same_partition(&a, &[0, 0, 2]));
+    }
+
+    #[test]
+    fn most_frequent_majority() {
+        let labels = vec![3, 3, 3, 1, 2, 3];
+        assert_eq!(most_frequent_label(&labels), (3, 4));
+    }
+
+    #[test]
+    fn distinct_count() {
+        assert_eq!(count_distinct_labels(&[1, 1, 2, 5, 5, 5]), 3);
+        assert_eq!(count_distinct_labels(&[]), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Core graph types: COO edge lists and the CSR (compressed sparse row)
+//! format used by every algorithm in the workspace.
+
+use cc_parallel::{parallel_for_chunks, parallel_sum};
+use std::ops::Range;
+
+/// Vertex identifier. Graphs in this workspace are bounded by `u32` ids,
+/// matching the paper's experimental scale per machine word economy.
+pub type VertexId = u32;
+
+/// Sentinel meaning "no vertex" (used for unvisited markers, absent forest
+/// edges, etc.).
+pub const NO_VERTEX: VertexId = u32::MAX;
+
+/// An edge as an ordered pair of endpoints.
+pub type Edge = (VertexId, VertexId);
+
+/// A coordinate-format (COO) edge list together with the vertex-count bound.
+///
+/// This is the "Data Format: COO" input of Figure 1 and the representation
+/// of streaming batches in Section 4.4.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices; all edge endpoints are `< num_vertices`.
+    pub num_vertices: usize,
+    /// The edges. Undirected semantics: `(u, v)` connects both directions.
+    pub edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Creates an edge list, validating endpoints in debug builds.
+    pub fn new(num_vertices: usize, edges: Vec<Edge>) -> Self {
+        debug_assert!(edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < num_vertices && (v as usize) < num_vertices));
+        EdgeList { num_vertices, edges }
+    }
+
+    /// Number of (undirected) edges in the list.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the list holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// An undirected graph in compressed sparse row format.
+///
+/// The representation is *symmetric*: every undirected edge `{u, v}` is
+/// stored as both `(u, v)` and `(v, u)`. Adjacency lists are sorted and
+/// duplicate-free, and self-loops are removed at construction.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds from raw parts. `offsets` has length `n + 1` with
+    /// `offsets[n] == neighbors.len()`; callers must guarantee the symmetric
+    /// sorted-dedup invariant documented on the type (the builder in
+    /// [`crate::builder`] does).
+    pub(crate) fn from_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().expect("nonempty"), neighbors.len());
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// An edgeless graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph { offsets: vec![0; n + 1], neighbors: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *directed* edges stored (twice the undirected edge count).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted, duplicate-free neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// The CSR offset array (length `n + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat neighbor array.
+    #[inline]
+    pub fn neighbor_array(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// Edge-balanced parallel iteration: invokes `f(u, v)` for every
+    /// directed edge `(u, v)`, partitioning work by *edge* count so that
+    /// skewed degree distributions stay balanced.
+    pub fn for_each_edge_par<F>(&self, f: F)
+    where
+        F: Fn(VertexId, VertexId) + Sync,
+    {
+        let m = self.neighbors.len();
+        let offsets = &self.offsets;
+        let neighbors = &self.neighbors;
+        parallel_for_chunks(m, |r: Range<usize>| {
+            // Locate the source vertex of the first edge in this chunk.
+            let mut u = match offsets.binary_search(&r.start) {
+                Ok(mut i) => {
+                    // Skip zero-degree vertices that share this offset.
+                    while i + 1 < offsets.len() && offsets[i + 1] == r.start {
+                        i += 1;
+                    }
+                    i
+                }
+                Err(i) => i - 1,
+            };
+            for e in r {
+                while offsets[u + 1] <= e {
+                    u += 1;
+                }
+                f(u as VertexId, neighbors[e]);
+            }
+        });
+    }
+
+    /// Edge-balanced parallel iteration restricted to edges whose source
+    /// satisfies `keep`. Used by the finish phase to skip the frequent
+    /// component.
+    pub fn for_each_edge_par_filtered<K, F>(&self, keep: K, f: F)
+    where
+        K: Fn(VertexId) -> bool + Sync,
+        F: Fn(VertexId, VertexId) + Sync,
+    {
+        self.for_each_edge_par(|u, v| {
+            if keep(u) {
+                f(u, v);
+            }
+        });
+    }
+
+    /// Edge-balanced parallel iteration with per-chunk context: `make_ctx`
+    /// builds a worker-local accumulator, `f` processes each directed edge
+    /// against it, and `drain` observes it once per chunk. Keeps hot loops
+    /// free of shared-counter contention (e.g. path-length statistics).
+    pub fn for_each_edge_par_ctx<C, M, F, D>(&self, make_ctx: M, f: F, drain: D)
+    where
+        M: Fn() -> C + Sync,
+        F: Fn(&mut C, VertexId, VertexId) + Sync,
+        D: Fn(C) + Sync,
+    {
+        let m = self.neighbors.len();
+        let offsets = &self.offsets;
+        let neighbors = &self.neighbors;
+        parallel_for_chunks(m, |r: Range<usize>| {
+            let mut ctx = make_ctx();
+            let mut u = match offsets.binary_search(&r.start) {
+                Ok(mut i) => {
+                    while i + 1 < offsets.len() && offsets[i + 1] == r.start {
+                        i += 1;
+                    }
+                    i
+                }
+                Err(i) => i - 1,
+            };
+            for e in r {
+                while offsets[u + 1] <= e {
+                    u += 1;
+                }
+                f(&mut ctx, u as VertexId, neighbors[e]);
+            }
+            drain(ctx);
+        });
+    }
+
+    /// Sum of degrees computed in parallel; sanity primitive used by tests.
+    pub fn degree_sum(&self) -> usize {
+        parallel_sum(self.num_vertices(), |v| self.degree(v as VertexId))
+    }
+
+    /// Converts the graph to a COO edge list with each undirected edge
+    /// appearing once (`u < v`).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_vertices() as VertexId {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        EdgeList::new(self.num_vertices(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_undirected;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tiny() -> CsrGraph {
+        build_undirected(6, &[(0, 1), (1, 2), (3, 4), (0, 2)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = tiny();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_directed_edges(), 8);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn for_each_edge_par_visits_all_directed_edges() {
+        let g = crate::generators::grid2d(40, 40);
+        let count = AtomicUsize::new(0);
+        g.for_each_edge_par(|u, v| {
+            assert!(g.neighbors(u).contains(&v));
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), g.num_directed_edges());
+    }
+
+    #[test]
+    fn for_each_edge_par_handles_isolated_vertices() {
+        // Vertices 0 and 2 isolated; edges only among 1,3.
+        let g = build_undirected(5, &[(1, 3)]);
+        let count = AtomicUsize::new(0);
+        g.for_each_edge_par(|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn to_edge_list_roundtrip() {
+        let g = tiny();
+        let el = g.to_edge_list();
+        let g2 = build_undirected(el.num_vertices, &el.edges);
+        assert_eq!(g.offsets(), g2.offsets());
+        assert_eq!(g.neighbor_array(), g2.neighbor_array());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the graph substrate: builder vs reference adjacency,
+//! compression roundtrips, I/O roundtrips, and BFS distances vs a
+//! sequential reference.
+
+use cc_graph::builder::{build_undirected, build_undirected_ordered};
+use cc_graph::compressed::CompressedCsr;
+use cc_graph::{Edge, EdgeList, NO_VERTEX};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, VecDeque};
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<Edge>)> {
+    (2usize..150).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..400))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn builder_matches_reference((n, edges) in arb_edges()) {
+        let g = build_undirected(n, &edges);
+        let mut adj = vec![BTreeSet::new(); n];
+        for &(u, v) in &edges {
+            if u != v {
+                adj[u as usize].insert(v);
+                adj[v as usize].insert(u);
+            }
+        }
+        for v in 0..n {
+            let expect: Vec<u32> = adj[v].iter().copied().collect();
+            prop_assert_eq!(g.neighbors(v as u32), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn ordered_builder_same_multiset((n, edges) in arb_edges()) {
+        let g = build_undirected_ordered(n, &edges);
+        let expect_m: usize = edges.iter().filter(|&&(u, v)| u != v).count() * 2;
+        prop_assert_eq!(g.num_directed_edges(), expect_m);
+        // Each direction present.
+        for &(u, v) in &edges {
+            if u != v {
+                prop_assert!(g.neighbors(u).contains(&v));
+                prop_assert!(g.neighbors(v).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn compression_roundtrip((n, edges) in arb_edges()) {
+        let g = build_undirected(n, &edges);
+        let c = CompressedCsr::from_csr(&g);
+        let mut buf = Vec::new();
+        for v in 0..n as u32 {
+            c.decode_neighbors(v, &mut buf);
+            prop_assert_eq!(buf.as_slice(), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn compression_roundtrip_unsorted((n, edges) in arb_edges()) {
+        // Signed-delta encoding must handle insertion-ordered adjacency.
+        let g = build_undirected_ordered(n, &edges);
+        let c = CompressedCsr::from_csr(&g);
+        let mut buf = Vec::new();
+        for v in 0..n as u32 {
+            c.decode_neighbors(v, &mut buf);
+            prop_assert_eq!(buf.as_slice(), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn io_roundtrip((n, edges) in arb_edges()) {
+        let el = EdgeList::new(n, edges);
+        let mut buf = Vec::new();
+        cc_graph::io::write_edge_list(&mut buf, &el).expect("write");
+        let back = cc_graph::io::read_edge_list(buf.as_slice(), n).expect("read");
+        prop_assert_eq!(back.edges, el.edges);
+    }
+
+    #[test]
+    fn bfs_distances_match_sequential((n, edges) in arb_edges(), src_raw in any::<u32>()) {
+        let g = build_undirected(n, &edges);
+        let src = src_raw % n as u32;
+        let res = cc_graph::bfs::bfs(&g, src);
+        // Sequential reference distances.
+        let mut dist = vec![usize::MAX; n];
+        let mut q = VecDeque::new();
+        dist[src as usize] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &w in g.neighbors(u) {
+                if dist[w as usize] == usize::MAX {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        for v in 0..n {
+            let reached = res.parents[v] != NO_VERTEX;
+            prop_assert_eq!(reached, dist[v] != usize::MAX, "reachability of {}", v);
+            if reached && v as u32 != src {
+                // Parent must be exactly one level closer.
+                let p = res.parents[v] as usize;
+                prop_assert_eq!(dist[p] + 1, dist[v], "parent level of {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn ldd_clusters_are_connected_subsets((n, edges) in arb_edges(), beta in 1u32..10) {
+        let g = build_undirected(n, &edges);
+        let res = cc_graph::ldd::ldd(&g, beta as f64 / 10.0, true, 7);
+        // Walking parents from any vertex stays in its cluster and reaches
+        // the center.
+        for v in 0..n as u32 {
+            let mut cur = v;
+            let mut steps = 0;
+            while res.parents[cur as usize] != cur {
+                prop_assert_eq!(res.labels[cur as usize], res.labels[v as usize]);
+                cur = res.parents[cur as usize];
+                steps += 1;
+                prop_assert!(steps <= n, "parent chain cycle");
+            }
+            prop_assert_eq!(cur, res.labels[v as usize]);
+        }
+    }
+}

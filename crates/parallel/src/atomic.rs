@@ -1,0 +1,110 @@
+//! Atomic helpers: `write_min`/`write_max` (priority updates) and small
+//! conveniences over atomic slices.
+//!
+//! `write_min` is the primitive the paper calls `writeMin` (Shun et al.,
+//! "Reducing Contention Through Priority Updates"): atomically replace the
+//! value at a location with `val` iff `val` is smaller, reporting whether a
+//! replacement happened.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Atomically sets `*loc = val` if `val < *loc`. Returns `true` iff this
+/// call performed the update.
+#[inline]
+pub fn write_min_u32(loc: &AtomicU32, val: u32) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val < cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+/// Atomically sets `*loc = val` if `val > *loc`. Returns `true` iff this
+/// call performed the update.
+#[inline]
+pub fn write_max_u32(loc: &AtomicU32, val: u32) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val > cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+/// `write_min` over `u64` locations.
+#[inline]
+pub fn write_min_u64(loc: &AtomicU64, val: u64) -> bool {
+    let mut cur = loc.load(Ordering::Relaxed);
+    while val < cur {
+        match loc.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+/// Allocates a boxed slice of `n` atomics initialized via `f(i)`.
+pub fn atomic_u32_slice(n: usize, f: impl Fn(usize) -> u32 + Sync) -> Box<[AtomicU32]> {
+    crate::ops::parallel_tabulate(n, |i| AtomicU32::new(f(i))).into_boxed_slice()
+}
+
+/// Snapshots an atomic slice into a plain vector (relaxed loads).
+pub fn snapshot_u32(slice: &[AtomicU32]) -> Vec<u32> {
+    crate::ops::parallel_tabulate(slice.len(), |i| slice[i].load(Ordering::Relaxed))
+}
+
+/// Allocates a zeroed boxed slice of `AtomicUsize`.
+pub fn atomic_usize_slice(n: usize) -> Box<[AtomicUsize]> {
+    crate::ops::parallel_tabulate(n, |_| AtomicUsize::new(0)).into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::parallel_for;
+
+    #[test]
+    fn write_min_takes_global_min() {
+        let loc = AtomicU32::new(u32::MAX);
+        parallel_for(100_000, |i| {
+            write_min_u32(&loc, (i as u32).wrapping_mul(2654435761) % 1_000_003);
+        });
+        let expect = (0..100_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 1_000_003)
+            .min()
+            .unwrap();
+        assert_eq!(loc.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn write_min_reports_update() {
+        let loc = AtomicU32::new(10);
+        assert!(!write_min_u32(&loc, 10));
+        assert!(!write_min_u32(&loc, 11));
+        assert!(write_min_u32(&loc, 9));
+        assert_eq!(loc.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn write_max_takes_global_max() {
+        let loc = AtomicU32::new(0);
+        parallel_for(50_000, |i| {
+            write_max_u32(&loc, (i as u32) ^ 0xABCD);
+        });
+        let expect = (0..50_000u32).map(|i| i ^ 0xABCD).max().unwrap();
+        assert_eq!(loc.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let s = atomic_u32_slice(1000, |i| i as u32 * 3);
+        let v = snapshot_u32(&s);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 * 3));
+    }
+}

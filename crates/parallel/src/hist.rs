@@ -1,0 +1,128 @@
+//! Parallel histogram / counting primitives.
+
+use crate::ops::{parallel_for_chunks, parallel_tabulate};
+use crate::scan::scan_exclusive;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of buckets below which per-thread local histograms (merged at the
+/// end) beat shared atomic counters.
+const LOCAL_HIST_MAX_BUCKETS: usize = 1 << 14;
+
+/// Counts key occurrences: `out[b] = |{ i : key(i) == b }|` for
+/// `b in 0..buckets`. Keys outside `0..buckets` are a logic error and panic
+/// in debug builds (they are ignored in release).
+pub fn histogram<K>(n: usize, buckets: usize, key: K) -> Vec<usize>
+where
+    K: Fn(usize) -> u32 + Sync,
+{
+    if buckets == 0 || n == 0 {
+        return vec![0; buckets];
+    }
+    if buckets <= LOCAL_HIST_MAX_BUCKETS {
+        let partials: Mutex<Vec<usize>> = Mutex::new(vec![0; buckets]);
+        parallel_for_chunks(n, |r| {
+            let mut local = vec![0usize; buckets];
+            for i in r {
+                let b = key(i) as usize;
+                debug_assert!(b < buckets, "key {b} out of range {buckets}");
+                if b < buckets {
+                    local[b] += 1;
+                }
+            }
+            let mut g = partials.lock();
+            for (dst, src) in g.iter_mut().zip(local) {
+                *dst += src;
+            }
+        });
+        partials.into_inner()
+    } else {
+        let counts: Vec<AtomicUsize> = parallel_tabulate(buckets, |_| AtomicUsize::new(0));
+        parallel_for_chunks(n, |r| {
+            for i in r {
+                let b = key(i) as usize;
+                debug_assert!(b < buckets, "key {b} out of range {buckets}");
+                if b < buckets {
+                    counts[b].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        parallel_tabulate(buckets, |b| counts[b].load(Ordering::Relaxed))
+    }
+}
+
+/// Stable-by-bucket parallel counting sort. Returns a permutation `perm`
+/// such that iterating `perm` visits all indices with key 0, then key 1,
+/// etc. (order within a bucket is unspecified), along with the exclusive
+/// bucket offsets (length `buckets + 1`).
+pub fn counting_sort_indices<K>(n: usize, buckets: usize, key: K) -> (Vec<u32>, Vec<usize>)
+where
+    K: Fn(usize) -> u32 + Sync,
+{
+    let mut counts = histogram(n, buckets, &key);
+    counts.push(0);
+    let total = scan_exclusive(&mut counts);
+    debug_assert_eq!(total, n);
+    *counts.last_mut().expect("nonempty") = n;
+    let cursors: Vec<AtomicUsize> =
+        parallel_tabulate(buckets, |b| AtomicUsize::new(counts[b]));
+    let perm_slots: Vec<AtomicUsize> = parallel_tabulate(n, |_| AtomicUsize::new(0));
+    parallel_for_chunks(n, |r| {
+        for i in r {
+            let b = key(i) as usize;
+            let at = cursors[b].fetch_add(1, Ordering::Relaxed);
+            perm_slots[at].store(i, Ordering::Relaxed);
+        }
+    });
+    let perm = parallel_tabulate(n, |i| perm_slots[i].load(Ordering::Relaxed) as u32);
+    (perm, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_small_buckets() {
+        let n = 200_000;
+        let h = histogram(n, 7, |i| (i % 7) as u32);
+        for (b, &c) in h.iter().enumerate() {
+            let expect = (0..n).filter(|i| i % 7 == b).count();
+            assert_eq!(c, expect);
+        }
+    }
+
+    #[test]
+    fn histogram_large_buckets() {
+        let n = 100_000;
+        let buckets = 1 << 16;
+        let h = histogram(n, buckets, |i| (i % buckets) as u32);
+        assert_eq!(h.iter().sum::<usize>(), n);
+        assert_eq!(h[5], (0..n).filter(|i| i % buckets == 5).count());
+    }
+
+    #[test]
+    fn histogram_empty() {
+        assert_eq!(histogram(0, 4, |_| 0), vec![0; 4]);
+        assert!(histogram(10, 0, |_| 0).is_empty());
+    }
+
+    #[test]
+    fn counting_sort_groups_by_key() {
+        let n = 100_000;
+        let keys: Vec<u32> = (0..n).map(|i| ((i * 7919) % 101) as u32).collect();
+        let (perm, offs) = counting_sort_indices(n, 101, |i| keys[i]);
+        assert_eq!(perm.len(), n);
+        assert_eq!(offs.len(), 102);
+        // Every bucket range contains exactly the indices with that key.
+        let mut seen = vec![false; n];
+        for b in 0..101 {
+            for &i in &perm[offs[b]..offs[b + 1]] {
+                assert_eq!(keys[i as usize], b as u32);
+                assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

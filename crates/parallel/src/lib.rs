@@ -1,0 +1,34 @@
+//! # cc-parallel
+//!
+//! The parallelism substrate for the `connectit-rs` workspace: a persistent
+//! broadcast fork-join pool (standing in for the ConnectIt authors'
+//! Cilk-like scheduler) plus the PRAM-style sequence primitives the graph
+//! algorithms are written against: `parallel_for`, reductions, prefix sums,
+//! packs, histograms, and `write_min`-style priority updates.
+//!
+//! Thread count defaults to the machine; set `CC_NUM_THREADS` to override
+//! (e.g. `CC_NUM_THREADS=1` for deterministic sequential debugging).
+//!
+//! ```
+//! let squares = cc_parallel::parallel_tabulate(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod hist;
+pub mod ops;
+pub mod pool;
+pub mod rng;
+pub mod scan;
+
+pub use atomic::{atomic_u32_slice, atomic_usize_slice, snapshot_u32, write_max_u32, write_min_u32, write_min_u64};
+pub use hist::{counting_sort_indices, histogram};
+pub use ops::{
+    parallel_count, parallel_for, parallel_for_chunks, parallel_for_chunks_grained,
+    parallel_for_grained, parallel_max_index, parallel_reduce, parallel_sum, parallel_tabulate,
+};
+pub use rng::SplitMix64;
+pub use pool::{global_pool, num_threads, ThreadPool};
+pub use scan::{flatten_offsets, pack_indices, pack_map, scan_exclusive};

@@ -1,0 +1,268 @@
+//! Data-parallel loop and reduction primitives built on the broadcast pool.
+
+use crate::pool::global_pool;
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this size a loop runs inline: the dispatch cost outweighs any win.
+pub const SEQ_THRESHOLD: usize = 2048;
+
+/// How many chunks per thread a dynamic loop creates. More chunks = better
+/// balance under skew, more counter traffic.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Computes the default chunk (grain) size for an `n`-iteration loop.
+fn default_grain(n: usize, threads: usize) -> usize {
+    (n / (threads * CHUNKS_PER_THREAD)).max(1)
+}
+
+/// Runs `f(i)` for every `i in 0..n` in parallel with dynamic load
+/// balancing. Iterations must be independent; `f` observes shared state
+/// only through `Sync` types.
+pub fn parallel_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_grained(n, 0, f);
+}
+
+/// [`parallel_for`] with an explicit grain (minimum chunk size). A grain of
+/// `0` picks a default based on the pool size.
+pub fn parallel_for_grained<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_chunks_grained(n, grain, |range| {
+        for i in range {
+            f(i);
+        }
+    });
+}
+
+/// Runs `f(range)` over disjoint chunks covering `0..n` in parallel. Useful
+/// when per-chunk setup (e.g. a scratch buffer) amortizes better than
+/// per-iteration calls.
+pub fn parallel_for_chunks<F>(n: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    parallel_for_chunks_grained(n, 0, f);
+}
+
+/// [`parallel_for_chunks`] with an explicit grain.
+pub fn parallel_for_chunks_grained<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let pool = global_pool();
+    let threads = pool.threads();
+    if n <= SEQ_THRESHOLD.max(grain) || threads == 1 {
+        f(0..n);
+        return;
+    }
+    let grain = if grain == 0 { default_grain(n, threads) } else { grain };
+    let nchunks = n.div_ceil(grain);
+    let next = AtomicUsize::new(0);
+    pool.broadcast(&|| loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= nchunks {
+            break;
+        }
+        let lo = c * grain;
+        let hi = (lo + grain).min(n);
+        f(lo..hi);
+    });
+}
+
+/// Parallel map-reduce: computes `combine` over `map(i)` for `i in 0..n`,
+/// starting from `identity`. `combine` must be associative and commutative
+/// (chunk results are folded in a nondeterministic order).
+pub fn parallel_reduce<T, M, C>(n: usize, identity: T, map: M, combine: C) -> T
+where
+    T: Clone + Send + Sync,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync + Send,
+{
+    if n == 0 {
+        return identity;
+    }
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+    parallel_for_chunks(n, |range| {
+        let mut acc = identity.clone();
+        for i in range {
+            acc = combine(acc, map(i));
+        }
+        partials.lock().push(acc);
+    });
+    partials
+        .into_inner()
+        .into_iter()
+        .fold(identity, combine)
+}
+
+/// Sums `map(i)` over `0..n` in parallel.
+pub fn parallel_sum<M>(n: usize, map: M) -> usize
+where
+    M: Fn(usize) -> usize + Sync,
+{
+    parallel_reduce(n, 0usize, map, |a, b| a + b)
+}
+
+/// Counts the `i in 0..n` for which `pred(i)` holds.
+pub fn parallel_count<P>(n: usize, pred: P) -> usize
+where
+    P: Fn(usize) -> bool + Sync,
+{
+    parallel_sum(n, |i| usize::from(pred(i)))
+}
+
+/// Returns the index of a maximum of `key(i)` over `0..n`, or `None` for an
+/// empty range. Ties break towards an arbitrary index.
+pub fn parallel_max_index<K, T>(n: usize, key: K) -> Option<usize>
+where
+    T: PartialOrd + Send + Sync + Clone,
+    K: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return None;
+    }
+    let best = parallel_reduce(
+        n,
+        None::<(usize, T)>,
+        |i| Some((i, key(i))),
+        |a, b| match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some((ia, ka)), Some((ib, kb))) => {
+                if kb > ka {
+                    Some((ib, kb))
+                } else {
+                    Some((ia, ka))
+                }
+            }
+        },
+    );
+    best.map(|(i, _)| i)
+}
+
+/// Fills `out[i] = f(i)` in parallel and returns the vector.
+pub fn parallel_tabulate<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    {
+        let ptr = SendPtr::new(out.as_mut_ptr());
+        parallel_for_chunks(n, |range| {
+            for i in range {
+                // Safety: disjoint chunks write disjoint slots, all in
+                // capacity; set_len afterwards makes them visible.
+                unsafe { ptr.get().add(i).write(f(i)) };
+            }
+        });
+    }
+    // Safety: every slot in 0..n was initialized exactly once above.
+    unsafe { out.set_len(n) };
+    out
+}
+
+/// A `Send + Sync + Copy` raw-pointer wrapper for disjoint parallel writes.
+///
+/// The pointer is private and only reachable through [`SendPtr::get`], so
+/// edition-2021 disjoint closure capture grabs the whole (Sync) wrapper
+/// rather than the raw pointer field.
+pub(crate) struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    pub(crate) fn new(p: *mut T) -> Self {
+        SendPtr(p)
+    }
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let n = 100_000;
+        let marks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(n, |i| {
+            marks[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_zero_and_small() {
+        parallel_for(0, |_| panic!("must not run"));
+        let count = AtomicUsize::new(0);
+        parallel_for(7, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn chunks_are_disjoint_and_cover() {
+        let n = 50_000;
+        let marks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_chunks_grained(n, 97, |r| {
+            for i in r {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let n = 123_457;
+        let s = parallel_sum(n, |i| i);
+        assert_eq!(s, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn reduce_empty_returns_identity() {
+        assert_eq!(parallel_sum(0, |_| 1), 0);
+    }
+
+    #[test]
+    fn max_index_finds_max() {
+        let v: Vec<u64> = (0..10_000).map(|i| (i * 2654435761u64) % 99991).collect();
+        let idx = parallel_max_index(v.len(), |i| v[i]).unwrap();
+        let expect = v.iter().enumerate().max_by_key(|(_, x)| **x).unwrap().0;
+        assert_eq!(v[idx], v[expect]);
+    }
+
+    #[test]
+    fn max_index_empty_is_none() {
+        assert_eq!(parallel_max_index(0, |i| i), None);
+    }
+
+    #[test]
+    fn tabulate_matches_sequential() {
+        let v = parallel_tabulate(100_000, |i| i * 3 + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3 + 1));
+    }
+
+    #[test]
+    fn parallel_count_counts() {
+        assert_eq!(parallel_count(100_000, |i| i % 3 == 0), 33_334);
+    }
+}

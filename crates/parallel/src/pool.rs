@@ -1,0 +1,344 @@
+//! A broadcast fork-join thread pool.
+//!
+//! The ConnectIt paper runs on the authors' Cilk-like work-stealing
+//! scheduler. All of the algorithms in this repository only require flat
+//! data-parallel loops with *dynamic load balancing* (skewed degree
+//! distributions make static partitioning insufficient). We therefore use a
+//! simpler, easier-to-verify design: a persistent pool of workers that all
+//! participate in one *broadcast job* at a time. A parallel loop splits its
+//! iteration space into many more chunks than threads and every participant
+//! claims chunks from a shared atomic counter until the space is exhausted.
+//!
+//! Deviation from the paper (documented in DESIGN.md): there are no
+//! per-worker deques. At the chunk granularities used here the shared
+//! counter is uncontended, and the behaviour (greedy dynamic scheduling) is
+//! the same.
+//!
+//! Dispatch latency matters for round-based algorithms (BFS, LDD,
+//! Liu–Tarjan run hundreds of loops), so workers spin briefly on an atomic
+//! epoch before parking on a condvar, and the broadcaster spins briefly on
+//! the completion counter before blocking; parked waits use timeouts as a
+//! lost-wakeup backstop.
+//!
+//! Nested calls: a `parallel_for` issued from inside a worker thread runs
+//! sequentially. The algorithms in this workspace are written as flat loops
+//! (edge-balanced where degree skew matters), so nesting only occurs by
+//! accident and degrades gracefully instead of deadlocking.
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+thread_local! {
+    /// Set while a pool worker (or a caller participating in a broadcast)
+    /// is executing job code; used to serialize nested parallel calls.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns true when the current thread is already executing inside a
+/// parallel region (worker thread or participating caller).
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL.with(|f| f.get())
+}
+
+/// Lifetime-erased reference to the per-epoch job. The job closure is
+/// "participate until there is no work left"; it must be safe to call from
+/// many threads concurrently and must return only when this thread can do
+/// no more work for the job.
+type JobRef = &'static (dyn Fn() + Sync);
+
+/// Wrapper making the erased job reference transferable across threads.
+///
+/// Safety: the broadcasting thread keeps the referent alive (it blocks
+/// until every worker reports done), and the referent is `Sync`.
+#[derive(Clone, Copy)]
+struct SendJob(JobRef);
+unsafe impl Send for SendJob {}
+
+/// Spin iterations before a worker parks waiting for a new epoch.
+const WORKER_SPINS: usize = 4_000;
+/// Spin iterations before the broadcaster parks waiting for completion.
+const DONE_SPINS: usize = 10_000;
+
+struct Shared {
+    /// Bumped for every broadcast; workers run each epoch exactly once.
+    /// The job slot is written *before* the bump (release/acquire pairing).
+    epoch: AtomicU64,
+    /// Number of workers that have finished the current epoch.
+    done: AtomicUsize,
+    job: Mutex<Option<SendJob>>,
+    work_mx: Mutex<()>,
+    work_cv: Condvar,
+    done_mx: Mutex<()>,
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    workers: usize,
+    /// Guards against concurrent broadcasts from multiple non-worker
+    /// threads (the loser runs its job sequentially).
+    broadcasting: AtomicBool,
+}
+
+/// A persistent fork-join pool. Most users never construct one directly and
+/// instead go through [`crate::parallel_for`] and friends, which use the
+/// process-global pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` total participants (the broadcasting
+    /// thread counts as one, so `threads - 1` workers are spawned).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            job: Mutex::new(None),
+            work_mx: Mutex::new(()),
+            work_cv: Condvar::new(),
+            done_mx: Mutex::new(()),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers: threads - 1,
+            broadcasting: AtomicBool::new(false),
+        });
+        let handles = (0..threads - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn cc-parallel worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Total number of participants (workers + broadcaster).
+    pub fn threads(&self) -> usize {
+        self.shared.workers + 1
+    }
+
+    /// Runs `job` on every pool thread and the calling thread, returning
+    /// once all of them have finished. `job` must itself coordinate work
+    /// division (see [`crate::parallel_for`] for the chunk-claiming loop).
+    ///
+    /// If called from inside a parallel region, or while another thread is
+    /// broadcasting, `job` simply runs on the calling thread alone: the
+    /// chunk-claiming loop then consumes everything sequentially, which is
+    /// correct, just not parallel.
+    pub fn broadcast(&self, job: &(dyn Fn() + Sync)) {
+        let sh = &*self.shared;
+        if sh.workers == 0 || in_parallel_region() {
+            run_marked(job);
+            return;
+        }
+        if sh
+            .broadcasting
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            run_marked(job);
+            return;
+        }
+        // Erase the lifetime of `job`. Safe because this function does not
+        // return until every worker has reported completion of this epoch,
+        // so no worker can observe the reference after the borrow ends.
+        let job_ref: SendJob =
+            SendJob(unsafe { std::mem::transmute::<&(dyn Fn() + Sync), JobRef>(job) });
+        *sh.job.lock() = Some(job_ref);
+        sh.done.store(0, Ordering::Release);
+        sh.epoch.fetch_add(1, Ordering::Release);
+        {
+            // Lock/notify pairing prevents a worker from sleeping through
+            // the epoch bump.
+            let _g = sh.work_mx.lock();
+            sh.work_cv.notify_all();
+        }
+        // Participate.
+        run_marked(job);
+        // Wait for all workers: spin first, then park with a timeout
+        // backstop.
+        let mut spins = 0usize;
+        while sh.done.load(Ordering::Acquire) < sh.workers {
+            spins += 1;
+            if spins < DONE_SPINS {
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            } else {
+                let mut g = sh.done_mx.lock();
+                if sh.done.load(Ordering::Acquire) < sh.workers {
+                    sh.done_cv.wait_for(&mut g, Duration::from_micros(200));
+                }
+            }
+        }
+        *sh.job.lock() = None;
+        sh.broadcasting.store(false, Ordering::Release);
+    }
+}
+
+fn run_marked(job: &(dyn Fn() + Sync)) {
+    let was = IN_PARALLEL.with(|f| f.replace(true));
+    job();
+    IN_PARALLEL.with(|f| f.set(was));
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        // Wait for a new epoch: spin, then park.
+        let mut spins = 0usize;
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen_epoch {
+                seen_epoch = e;
+                break;
+            }
+            spins += 1;
+            if spins < WORKER_SPINS {
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            } else {
+                let mut g = shared.work_mx.lock();
+                if shared.epoch.load(Ordering::Acquire) == seen_epoch
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    shared.work_cv.wait_for(&mut g, Duration::from_millis(1));
+                }
+            }
+        }
+        // The job slot was written before the epoch bump and stays set
+        // until every worker (including us) reports done.
+        let job = shared.job.lock().expect("job set for current epoch");
+        run_marked(job.0);
+        if shared.done.fetch_add(1, Ordering::AcqRel) + 1 == shared.workers {
+            let _g = shared.done_mx.lock();
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.work_mx.lock();
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+static GLOBAL_POOL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Returns the process-global pool, creating it on first use.
+///
+/// The thread count is taken from the `CC_NUM_THREADS` environment variable
+/// if set, otherwise from [`std::thread::available_parallelism`].
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL_POOL.get_or_init(|| {
+        let threads = std::env::var("CC_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                // Broadcast synchronization cost grows with participant
+                // count; past ~16 threads the memory-bound kernels in this
+                // workspace gain nothing. Explicit CC_NUM_THREADS overrides.
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+            });
+        ThreadPool::new(threads)
+    })
+}
+
+/// Number of threads the global pool uses.
+pub fn num_threads() -> usize {
+    global_pool().threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_runs_on_all_threads() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn broadcast_single_thread_pool() {
+        let pool = ThreadPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn repeated_broadcasts_each_run_everywhere() {
+        let pool = ThreadPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.broadcast(&|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 1500);
+    }
+
+    #[test]
+    fn nested_broadcast_degrades_to_sequential() {
+        let pool = ThreadPool::new(4);
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        pool.broadcast(&|| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            // Nested: should run only on this thread.
+            pool.broadcast(&|| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 4);
+        assert_eq!(inner.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(8);
+        pool.broadcast(&|| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn broadcast_after_idle_period() {
+        // Workers park after the spin budget; a late broadcast must still
+        // wake them all.
+        let pool = ThreadPool::new(4);
+        std::thread::sleep(Duration::from_millis(30));
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+}

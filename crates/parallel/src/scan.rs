@@ -1,0 +1,216 @@
+//! Parallel prefix sums (scan) and pack/filter primitives.
+//!
+//! These are the classic PRAM building blocks used throughout the graph
+//! substrate: CSR construction, frontier compaction, and the sampling
+//! statistics all reduce to scans and packs.
+
+use crate::ops::{parallel_for_chunks_grained, SendPtr};
+use crate::pool::global_pool;
+use parking_lot::Mutex;
+
+/// In-place exclusive prefix sum over `data`, returning the total.
+///
+/// `data[i]` becomes `sum(data[0..i])`; the grand total is returned. Uses a
+/// two-pass blocked algorithm: per-chunk sums, a sequential scan over chunk
+/// sums, then a per-chunk local scan.
+pub fn scan_exclusive(data: &mut [usize]) -> usize {
+    let n = data.len();
+    if n == 0 {
+        return 0;
+    }
+    let threads = global_pool().threads();
+    if n < 4096 || threads == 1 {
+        let mut acc = 0usize;
+        for x in data.iter_mut() {
+            let v = *x;
+            *x = acc;
+            acc += v;
+        }
+        return acc;
+    }
+    let grain = n.div_ceil(threads * 4);
+    let nchunks = n.div_ceil(grain);
+    // Pass 1: chunk sums.
+    let sums: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::with_capacity(nchunks));
+    {
+        let data_ref: &[usize] = data;
+        parallel_for_chunks_grained(n, grain, |r| {
+            let s: usize = data_ref[r.clone()].iter().sum();
+            sums.lock().push((r.start / grain, s));
+        });
+    }
+    let mut sums = sums.into_inner();
+    sums.sort_unstable_by_key(|&(c, _)| c);
+    debug_assert_eq!(sums.len(), nchunks);
+    // Sequential scan over chunk sums.
+    let mut offsets = vec![0usize; nchunks];
+    let mut acc = 0usize;
+    for (c, s) in sums {
+        offsets[c] = acc;
+        acc += s;
+    }
+    let total = acc;
+    // Pass 2: local scans.
+    {
+        let offsets_ref: &[usize] = &offsets;
+        let ptr = SendPtr::new(data.as_mut_ptr());
+        parallel_for_chunks_grained(n, grain, move |r| {
+            let mut acc = offsets_ref[r.start / grain];
+            for i in r {
+                // Safety: chunks are disjoint.
+                unsafe {
+                    let slot = ptr.get().add(i);
+                    let v = *slot;
+                    *slot = acc;
+                    acc += v;
+                }
+            }
+        });
+    }
+    total
+}
+
+/// Returns the indices `i in 0..n` with `pred(i)`, in increasing order.
+pub fn pack_indices<P>(n: usize, pred: P) -> Vec<u32>
+where
+    P: Fn(usize) -> bool + Sync,
+{
+    pack_map(n, |i| if pred(i) { Some(i as u32) } else { None })
+}
+
+/// Order-preserving parallel filter-map over `0..n`.
+///
+/// Returns `f(i)` for every `i` where `f(i)` is `Some`, ordered by `i`.
+pub fn pack_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = global_pool().threads();
+    if n < 4096 || threads == 1 {
+        return (0..n).filter_map(f).collect();
+    }
+    let grain = n.div_ceil(threads * 8);
+    let nchunks = n.div_ceil(grain);
+    // Pass 1: count survivors per chunk.
+    let mut counts = vec![0usize; nchunks];
+    {
+        let counts_ptr = SendPtr::new(counts.as_mut_ptr());
+        let f = &f;
+        parallel_for_chunks_grained(n, grain, move |r| {
+            let c = r.clone().filter(|&i| f(i).is_some()).count();
+            // Safety: one writer per chunk slot.
+            unsafe { counts_ptr.get().add(r.start / grain).write(c) };
+        });
+    }
+    let total = scan_exclusive(&mut counts);
+    // Pass 2: write survivors at their offsets.
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    {
+        let out_ptr = SendPtr::new(out.as_mut_ptr());
+        let counts_ref: &[usize] = &counts;
+        let f = &f;
+        parallel_for_chunks_grained(n, grain, move |r| {
+            let mut at = counts_ref[r.start / grain];
+            for i in r {
+                if let Some(v) = f(i) {
+                    // Safety: disjoint output ranges per chunk, within capacity.
+                    unsafe { out_ptr.get().add(at).write(v) };
+                    at += 1;
+                }
+            }
+        });
+    }
+    // Safety: exactly `total` slots initialized.
+    unsafe { out.set_len(total) };
+    out
+}
+
+/// Parallel flatten: given per-index output counts, computes offsets and
+/// invokes `fill(i, offset)` so callers can write variable-sized output for
+/// each index into a shared buffer. Returns the offsets array (exclusive
+/// scan of counts) and the total size.
+pub fn flatten_offsets<C>(n: usize, count: C) -> (Vec<usize>, usize)
+where
+    C: Fn(usize) -> usize + Sync,
+{
+    let mut counts: Vec<usize> = crate::ops::parallel_tabulate(n, &count);
+    let total = scan_exclusive(&mut counts);
+    (counts, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_matches_sequential_small() {
+        let mut a: Vec<usize> = (0..100).map(|i| i % 7).collect();
+        let mut b = a.clone();
+        let total = scan_exclusive(&mut a);
+        let mut acc = 0;
+        for x in b.iter_mut() {
+            let v = *x;
+            *x = acc;
+            acc += v;
+        }
+        assert_eq!(a, b);
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn scan_matches_sequential_large() {
+        let n = 1_000_000;
+        let mut a: Vec<usize> = (0..n).map(|i| (i * 31) % 11).collect();
+        let expect_total: usize = a.iter().sum();
+        let b = a.clone();
+        let total = scan_exclusive(&mut a);
+        assert_eq!(total, expect_total);
+        // Spot-check prefix property.
+        for &i in &[0usize, 1, 4095, 4096, 12345, n - 1] {
+            let expect: usize = b[..i].iter().sum();
+            assert_eq!(a[i], expect, "prefix at {i}");
+        }
+    }
+
+    #[test]
+    fn scan_empty() {
+        let mut a: Vec<usize> = vec![];
+        assert_eq!(scan_exclusive(&mut a), 0);
+    }
+
+    #[test]
+    fn pack_preserves_order() {
+        let n = 300_000;
+        let got = pack_indices(n, |i| i % 17 == 3);
+        let expect: Vec<u32> = (0..n as u32).filter(|i| i % 17 == 3).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pack_all_and_none() {
+        assert_eq!(pack_indices(10_000, |_| false), Vec::<u32>::new());
+        let all = pack_indices(10_000, |_| true);
+        assert_eq!(all.len(), 10_000);
+        assert_eq!(all[9999], 9999);
+    }
+
+    #[test]
+    fn pack_map_transforms() {
+        let got = pack_map(100_000, |i| (i % 1000 == 0).then_some(i * 2));
+        let expect: Vec<usize> = (0..100_000).filter(|i| i % 1000 == 0).map(|i| i * 2).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn flatten_offsets_totals() {
+        let (offs, total) = flatten_offsets(1000, |i| i % 5);
+        assert_eq!(total, (0..1000).map(|i| i % 5).sum::<usize>());
+        assert_eq!(offs[0], 0);
+        assert_eq!(offs[1], 0);
+        assert_eq!(offs[2], 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: every primitive must agree with its obvious sequential
+//! reference on arbitrary inputs.
+
+use cc_parallel::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scan_matches_reference(mut data in proptest::collection::vec(0usize..1000, 0..5000)) {
+        let mut reference = data.clone();
+        let total = scan_exclusive(&mut data);
+        let mut acc = 0usize;
+        for x in reference.iter_mut() {
+            let v = *x;
+            *x = acc;
+            acc += v;
+        }
+        prop_assert_eq!(total, acc);
+        prop_assert_eq!(data, reference);
+    }
+
+    #[test]
+    fn pack_matches_filter(data in proptest::collection::vec(any::<u16>(), 0..5000), m in 1u16..64) {
+        let got = pack_indices(data.len(), |i| data[i] % m == 0);
+        let expect: Vec<u32> =
+            (0..data.len() as u32).filter(|&i| data[i as usize] % m == 0).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn histogram_matches_reference(keys in proptest::collection::vec(0u32..256, 0..5000)) {
+        let got = histogram(keys.len(), 256, |i| keys[i]);
+        let mut expect = vec![0usize; 256];
+        for &k in &keys {
+            expect[k as usize] += 1;
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn counting_sort_is_a_grouping_permutation(
+        keys in proptest::collection::vec(0u32..50, 1..3000)
+    ) {
+        let (perm, offs) = counting_sort_indices(keys.len(), 50, |i| keys[i]);
+        // Permutation property.
+        let mut seen = vec![false; keys.len()];
+        for &i in &perm {
+            prop_assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        // Grouping property.
+        for b in 0..50 {
+            for &i in &perm[offs[b]..offs[b + 1]] {
+                prop_assert_eq!(keys[i as usize], b as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_is_order_insensitive(data in proptest::collection::vec(any::<i32>(), 0..5000)) {
+        let sum = parallel_reduce(data.len(), 0i64, |i| data[i] as i64, |a, b| a + b);
+        let expect: i64 = data.iter().map(|&x| x as i64).sum();
+        prop_assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn tabulate_matches(n in 0usize..10000, mult in 1usize..7) {
+        let v = parallel_tabulate(n, |i| i * mult);
+        prop_assert!(v.iter().enumerate().all(|(i, &x)| x == i * mult));
+    }
+
+    #[test]
+    fn write_min_is_min(vals in proptest::collection::vec(any::<u32>(), 1..2000)) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let loc = AtomicU32::new(u32::MAX);
+        parallel_for(vals.len(), |i| {
+            write_min_u32(&loc, vals[i]);
+        });
+        prop_assert_eq!(loc.load(Ordering::Relaxed), *vals.iter().min().expect("nonempty"));
+    }
+}

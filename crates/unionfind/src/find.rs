@@ -1,0 +1,237 @@
+//! Find implementations (Algorithm 8 of the paper): naive, path-splitting,
+//! path-halving, full path compression, and Jayanti–Tarjan–Boix two-try
+//! splitting.
+//!
+//! Every find reports the number of parent-pointer hops it traversed via the
+//! `hops` out-parameter; the harness aggregates these into the Total/Max
+//! Path Length statistics of Figures 6–7.
+
+use crate::parents::Parents;
+use std::sync::atomic::Ordering;
+
+/// A find strategy: locates the root of `u`, possibly compressing the path.
+pub trait Find: Send + Sync + 'static {
+    /// Human-readable name matching the paper.
+    const NAME: &'static str;
+    /// Whether this strategy mutates the structure (used to skip pointless
+    /// post-union finds for `FindNaive`).
+    const COMPRESSES: bool;
+    /// Returns the root of `u`, adding traversed hops to `*hops`.
+    fn find(p: &Parents, u: u32, hops: &mut u64) -> u32;
+}
+
+/// No compression: follow parent pointers to the root.
+pub struct FindNaive;
+
+impl Find for FindNaive {
+    const NAME: &'static str = "FindNaive";
+    const COMPRESSES: bool = false;
+    #[inline]
+    fn find(p: &Parents, mut u: u32, hops: &mut u64) -> u32 {
+        loop {
+            let v = p[u as usize].load(Ordering::Acquire);
+            if v == u {
+                return v;
+            }
+            *hops += 1;
+            u = v;
+        }
+    }
+}
+
+/// Atomic path splitting: every visited vertex is re-pointed at its
+/// grandparent; the walk advances to the old parent.
+pub struct FindSplit;
+
+impl Find for FindSplit {
+    const NAME: &'static str = "FindSplit";
+    const COMPRESSES: bool = true;
+    #[inline]
+    fn find(p: &Parents, mut u: u32, hops: &mut u64) -> u32 {
+        loop {
+            let v = p[u as usize].load(Ordering::Acquire);
+            let w = p[v as usize].load(Ordering::Acquire);
+            if v == w {
+                return v;
+            }
+            *hops += 1;
+            let _ = p[u as usize].compare_exchange(v, w, Ordering::AcqRel, Ordering::Relaxed);
+            u = v;
+        }
+    }
+}
+
+/// Atomic path halving: like splitting but the walk advances two levels.
+pub struct FindHalve;
+
+impl Find for FindHalve {
+    const NAME: &'static str = "FindHalve";
+    const COMPRESSES: bool = true;
+    #[inline]
+    fn find(p: &Parents, mut u: u32, hops: &mut u64) -> u32 {
+        loop {
+            let v = p[u as usize].load(Ordering::Acquire);
+            let w = p[v as usize].load(Ordering::Acquire);
+            if v == w {
+                return v;
+            }
+            *hops += 1;
+            let _ = p[u as usize].compare_exchange(v, w, Ordering::AcqRel, Ordering::Relaxed);
+            u = p[u as usize].load(Ordering::Acquire);
+        }
+    }
+}
+
+/// Full path compression: find the root, then re-point every vertex on the
+/// walk directly at it. The second pass only overwrites larger values with
+/// the (smaller) root, preserving the monotone invariant under concurrency.
+pub struct FindCompress;
+
+impl Find for FindCompress {
+    const NAME: &'static str = "FindCompress";
+    const COMPRESSES: bool = true;
+    #[inline]
+    fn find(p: &Parents, u: u32, hops: &mut u64) -> u32 {
+        let mut r = u;
+        loop {
+            let v = p[r as usize].load(Ordering::Acquire);
+            if v == r {
+                break;
+            }
+            *hops += 1;
+            r = v;
+        }
+        // Second pass: compress. Walk from u, re-pointing at r while the
+        // current parent is above r in id order.
+        let mut cur = u;
+        loop {
+            let v = p[cur as usize].load(Ordering::Acquire);
+            if v <= r || v == cur {
+                break;
+            }
+            let _ = p[cur as usize].compare_exchange(v, r, Ordering::AcqRel, Ordering::Relaxed);
+            cur = v;
+        }
+        r
+    }
+}
+
+/// Two-try splitting find (Jayanti–Tarjan–Boix-Adserà): attempts the split
+/// CAS at most twice per vertex before advancing, which yields their
+/// work bounds under a random linking order.
+#[inline]
+pub fn find_two_try_split(p: &Parents, mut u: u32, hops: &mut u64) -> u32 {
+    loop {
+        let v = p[u as usize].load(Ordering::Acquire);
+        let w = p[v as usize].load(Ordering::Acquire);
+        if v == w {
+            return v;
+        }
+        *hops += 1;
+        // Try 1.
+        if p[u as usize]
+            .compare_exchange(v, w, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            // Try 2 with refreshed values.
+            let v2 = p[u as usize].load(Ordering::Acquire);
+            let w2 = p[v2 as usize].load(Ordering::Acquire);
+            if v2 == w2 {
+                return v2;
+            }
+            let _ = p[u as usize].compare_exchange(v2, w2, Ordering::AcqRel, Ordering::Relaxed);
+        }
+        u = p[u as usize].load(Ordering::Acquire);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parents::{make_parents, parent};
+    use std::sync::atomic::Ordering;
+
+    fn chain(n: usize) -> Box<Parents> {
+        // n-1 -> n-2 -> ... -> 0
+        let p = make_parents(n);
+        for v in 1..n {
+            p[v].store(v as u32 - 1, Ordering::Relaxed);
+        }
+        p
+    }
+
+    fn check_find<F: Find>() {
+        let p = chain(50);
+        let mut hops = 0;
+        assert_eq!(F::find(&p, 49, &mut hops), 0);
+        // Hop accounting varies by strategy (halving advances two levels
+        // per recorded hop) but a length-49 path costs at least ~half that.
+        assert!((24..=49).contains(&hops), "hops = {hops}");
+        // Roots answer themselves.
+        let mut h2 = 0;
+        assert_eq!(F::find(&p, 0, &mut h2), 0);
+        assert_eq!(h2, 0);
+        // Second find is never slower than the first.
+        let mut h3 = 0;
+        assert_eq!(F::find(&p, 49, &mut h3), 0);
+        assert!(h3 <= hops);
+        if F::COMPRESSES {
+            assert!(h3 < hops, "{} should shorten the path", F::NAME);
+        }
+    }
+
+    #[test]
+    fn naive_find() {
+        check_find::<FindNaive>();
+        // Naive must not mutate.
+        let p = chain(10);
+        let mut h = 0;
+        FindNaive::find(&p, 9, &mut h);
+        assert_eq!(parent(&p, 9), 8);
+    }
+
+    #[test]
+    fn split_find() {
+        check_find::<FindSplit>();
+    }
+
+    #[test]
+    fn halve_find() {
+        check_find::<FindHalve>();
+    }
+
+    #[test]
+    fn compress_find_points_directly_at_root() {
+        check_find::<FindCompress>();
+        let p = chain(20);
+        let mut h = 0;
+        FindCompress::find(&p, 19, &mut h);
+        for v in 1..20u32 {
+            assert_eq!(parent(&p, v), 0, "vertex {v} fully compressed");
+        }
+    }
+
+    #[test]
+    fn two_try_split_reaches_root() {
+        let p = chain(64);
+        let mut h = 0;
+        assert_eq!(find_two_try_split(&p, 63, &mut h), 0);
+        let mut h2 = 0;
+        assert_eq!(find_two_try_split(&p, 63, &mut h2), 0);
+        assert!(h2 < h);
+    }
+
+    #[test]
+    fn concurrent_finds_agree() {
+        use cc_parallel::parallel_for;
+        let p = chain(1000);
+        parallel_for(1000, |v| {
+            let mut h = 0;
+            assert_eq!(FindSplit::find(&p, v as u32, &mut h), 0);
+        });
+        // Structure stays rooted at 0.
+        for v in 0..1000u32 {
+            assert_eq!(crate::parents::find_root_readonly(&p, v), 0);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The shared atomic parent array underlying every union-find variant.
+//!
+//! Invariant maintained by all ID-linking variants (everything except
+//! Union-JTB, which links by random rank): `parent(x) <= x`, so parent
+//! chains strictly decrease and the structure is acyclic by construction.
+//! Union-JTB maintains acyclicity through its rank order instead.
+
+use cc_parallel::{parallel_for, parallel_tabulate};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The concurrent parent array. `p[v] == v` marks a root.
+pub type Parents = [AtomicU32];
+
+/// Allocates a parent array with every vertex its own root.
+pub fn make_parents(n: usize) -> Box<Parents> {
+    parallel_tabulate(n, |i| AtomicU32::new(i as u32)).into_boxed_slice()
+}
+
+/// Allocates a parent array initialized from an existing labeling (used to
+/// seed the finish phase with sampled labels).
+pub fn parents_from_labels(labels: &[u32]) -> Box<Parents> {
+    parallel_tabulate(labels.len(), |i| AtomicU32::new(labels[i])).into_boxed_slice()
+}
+
+/// Loads `p[v]` (relaxed).
+#[inline]
+pub fn parent(p: &Parents, v: u32) -> u32 {
+    p[v as usize].load(Ordering::Relaxed)
+}
+
+/// Chases parent pointers to the root without modifying anything.
+#[inline]
+pub fn find_root_readonly(p: &Parents, mut v: u32) -> u32 {
+    loop {
+        let pv = parent(p, v);
+        if pv == v {
+            return v;
+        }
+        v = pv;
+    }
+}
+
+/// Fully compresses the structure in parallel: afterwards every vertex
+/// points directly at its root. Safe to run concurrently with reads (writes
+/// only replace a parent by an ancestor); must not run concurrently with
+/// unions.
+pub fn flatten(p: &Parents) {
+    parallel_for(p.len(), |v| {
+        let root = find_root_readonly(p, v as u32);
+        p[v].store(root, Ordering::Relaxed);
+    });
+}
+
+/// Snapshots the fully-compressed labeling: flattens, then copies out.
+pub fn snapshot_labels(p: &Parents) -> Vec<u32> {
+    flatten(p);
+    cc_parallel::snapshot_u32(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_parents_are_roots() {
+        let p = make_parents(100);
+        assert!((0..100u32).all(|v| parent(&p, v) == v));
+        assert_eq!(find_root_readonly(&p, 55), 55);
+    }
+
+    #[test]
+    fn flatten_points_everyone_at_root() {
+        let p = make_parents(6);
+        // Chain 5 -> 4 -> 3 -> 0, and 2 -> 1.
+        p[5].store(4, Ordering::Relaxed);
+        p[4].store(3, Ordering::Relaxed);
+        p[3].store(0, Ordering::Relaxed);
+        p[2].store(1, Ordering::Relaxed);
+        flatten(&p);
+        let labels = cc_parallel::snapshot_u32(&p);
+        assert_eq!(labels, vec![0, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn labels_from_snapshot() {
+        let p = parents_from_labels(&[0, 0, 2, 2]);
+        let labels = snapshot_labels(&p);
+        assert_eq!(labels, vec![0, 0, 2, 2]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Runtime descriptors for union-find variants: enumeration of the full
+//! valid combination space and a factory that instantiates the matching
+//! monomorphized implementation.
+//!
+//! This is the Rust counterpart of the paper's "instantiate any supported
+//! combination with one line of code" template machinery, and is what the
+//! benchmark harness iterates over to produce the Figure 3 / 13–15
+//! heatmaps.
+
+use crate::find::{FindCompress, FindHalve, FindNaive, FindSplit};
+use crate::splice::{HalveAtomicOne, SpliceAtomic, SplitAtomicOne};
+use crate::unite::{
+    JtbFind, UnionAsync, UnionEarly, UnionHooks, UnionJtb, UnionRemCas, UnionRemLock, Unite,
+};
+
+/// Union algorithm family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UniteKind {
+    /// Classic asynchronous union-find (Jayanti–Tarjan).
+    Async,
+    /// CAS on an auxiliary hooks array, uncontended parent writes.
+    Hooks,
+    /// Eager hooking while walking both paths together.
+    Early,
+    /// Lock-free concurrent Rem's algorithm.
+    RemCas,
+    /// Lock-based concurrent Rem's algorithm (Patwary et al.).
+    RemLock,
+    /// Randomized two-try linking (Jayanti–Tarjan–Boix-Adserà).
+    Jtb,
+}
+
+impl UniteKind {
+    /// All families.
+    pub const ALL: [UniteKind; 6] = [
+        UniteKind::Async,
+        UniteKind::Hooks,
+        UniteKind::Early,
+        UniteKind::RemCas,
+        UniteKind::RemLock,
+        UniteKind::Jtb,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UniteKind::Async => "Union-Async",
+            UniteKind::Hooks => "Union-Hooks",
+            UniteKind::Early => "Union-Early",
+            UniteKind::RemCas => "Union-Rem-CAS",
+            UniteKind::RemLock => "Union-Rem-Lock",
+            UniteKind::Jtb => "Union-JTB",
+        }
+    }
+}
+
+/// Find strategy selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FindKind {
+    /// No compression.
+    Naive,
+    /// Atomic path splitting.
+    Split,
+    /// Atomic path halving.
+    Halve,
+    /// Full path compression.
+    Compress,
+    /// JTB two-try splitting (Union-JTB only).
+    TwoTrySplit,
+}
+
+impl FindKind {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FindKind::Naive => "FindNaive",
+            FindKind::Split => "FindSplit",
+            FindKind::Halve => "FindHalve",
+            FindKind::Compress => "FindCompress",
+            FindKind::TwoTrySplit => "FindTwoTrySplit",
+        }
+    }
+}
+
+/// Splice strategy selector (Rem's algorithms only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpliceKind {
+    /// One path-splitting step.
+    SplitOne,
+    /// One path-halving step.
+    HalveOne,
+    /// Rem's splice into the other tree.
+    Splice,
+}
+
+impl SpliceKind {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpliceKind::SplitOne => "SplitAtomicOne",
+            SpliceKind::HalveOne => "HalveAtomicOne",
+            SpliceKind::Splice => "SpliceAtomic",
+        }
+    }
+}
+
+/// A fully-specified union-find variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct UfSpec {
+    /// Union family.
+    pub unite: UniteKind,
+    /// Find strategy.
+    pub find: FindKind,
+    /// Splice strategy; `Some` iff `unite` is a Rem family.
+    pub splice: Option<SpliceKind>,
+}
+
+impl UfSpec {
+    /// Convenience constructor for non-Rem variants.
+    pub fn new(unite: UniteKind, find: FindKind) -> Self {
+        UfSpec { unite, find, splice: None }
+    }
+
+    /// Convenience constructor for Rem variants.
+    pub fn rem(unite: UniteKind, splice: SpliceKind, find: FindKind) -> Self {
+        UfSpec { unite, find, splice: Some(splice) }
+    }
+
+    /// The paper's fastest overall variant: Union-Rem-CAS with
+    /// SplitAtomicOne and FindNaive (Section 4.1 takeaway).
+    pub fn fastest() -> Self {
+        UfSpec::rem(UniteKind::RemCas, SpliceKind::SplitOne, FindKind::Naive)
+    }
+
+    /// Whether this combination is expressible (mirrors the paper's rules:
+    /// Rem requires a splice and forbids `FindCompress` with
+    /// `SpliceAtomic`; JTB only pairs with Simple/TwoTry finds; TwoTry only
+    /// pairs with JTB).
+    pub fn is_valid(&self) -> bool {
+        match self.unite {
+            UniteKind::Async | UniteKind::Hooks | UniteKind::Early => {
+                self.splice.is_none() && self.find != FindKind::TwoTrySplit
+            }
+            UniteKind::RemCas | UniteKind::RemLock => {
+                let Some(s) = self.splice else { return false };
+                if self.find == FindKind::TwoTrySplit {
+                    return false;
+                }
+                // The one excluded combination (Appendix B.2.3).
+                !(s == SpliceKind::Splice && self.find == FindKind::Compress)
+            }
+            UniteKind::Jtb => {
+                self.splice.is_none()
+                    && matches!(self.find, FindKind::Naive | FindKind::TwoTrySplit)
+            }
+        }
+    }
+
+    /// Enumerates every valid variant (the full Figure 3 matrix).
+    pub fn all_variants() -> Vec<UfSpec> {
+        let finds = [
+            FindKind::Naive,
+            FindKind::Split,
+            FindKind::Halve,
+            FindKind::Compress,
+            FindKind::TwoTrySplit,
+        ];
+        let splices = [
+            None,
+            Some(SpliceKind::SplitOne),
+            Some(SpliceKind::HalveOne),
+            Some(SpliceKind::Splice),
+        ];
+        let mut out = Vec::new();
+        for unite in UniteKind::ALL {
+            for find in finds {
+                for splice in splices {
+                    let spec = UfSpec { unite, find, splice };
+                    if spec.is_valid() {
+                        out.push(spec);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Display name, e.g. `Union-Rem-CAS{SplitAtomicOne; FindNaive}`.
+    pub fn name(&self) -> String {
+        match self.splice {
+            Some(s) => format!("{}{{{}; {}}}", self.unite.name(), s.name(), self.find.name()),
+            None => format!("{}{{{}}}", self.unite.name(), self.find.name()),
+        }
+    }
+
+    /// Instantiates the monomorphized implementation. `n` is the vertex
+    /// count (needed by stateful variants), `seed` feeds JTB's ranks.
+    pub fn instantiate(&self, n: usize, seed: u64) -> Box<dyn Unite> {
+        assert!(self.is_valid(), "invalid variant {self:?}");
+        use FindKind as F;
+        
+        use UniteKind as U;
+        match (self.unite, self.splice, self.find) {
+            (U::Async, None, F::Naive) => Box::new(UnionAsync::<FindNaive>::new()),
+            (U::Async, None, F::Split) => Box::new(UnionAsync::<FindSplit>::new()),
+            (U::Async, None, F::Halve) => Box::new(UnionAsync::<FindHalve>::new()),
+            (U::Async, None, F::Compress) => Box::new(UnionAsync::<FindCompress>::new()),
+            (U::Hooks, None, F::Naive) => Box::new(UnionHooks::<FindNaive>::new(n)),
+            (U::Hooks, None, F::Split) => Box::new(UnionHooks::<FindSplit>::new(n)),
+            (U::Hooks, None, F::Halve) => Box::new(UnionHooks::<FindHalve>::new(n)),
+            (U::Hooks, None, F::Compress) => Box::new(UnionHooks::<FindCompress>::new(n)),
+            (U::Early, None, F::Naive) => Box::new(UnionEarly::<FindNaive>::new()),
+            (U::Early, None, F::Split) => Box::new(UnionEarly::<FindSplit>::new()),
+            (U::Early, None, F::Halve) => Box::new(UnionEarly::<FindHalve>::new()),
+            (U::Early, None, F::Compress) => Box::new(UnionEarly::<FindCompress>::new()),
+            (U::RemCas, Some(s), f) => rem_cas(s, f),
+            (U::RemLock, Some(s), f) => rem_lock(n, s, f),
+            (U::Jtb, None, F::Naive) => Box::new(UnionJtb::new(n, JtbFind::Simple, seed)),
+            (U::Jtb, None, F::TwoTrySplit) => {
+                Box::new(UnionJtb::new(n, JtbFind::TwoTrySplit, seed))
+            }
+            _ => unreachable!("is_valid filtered this combination"),
+        }
+    }
+}
+
+fn rem_cas(s: SpliceKind, f: FindKind) -> Box<dyn Unite> {
+    use FindKind as F;
+    use SpliceKind as S;
+    match (s, f) {
+        (S::SplitOne, F::Naive) => Box::new(UnionRemCas::<SplitAtomicOne, FindNaive>::new()),
+        (S::SplitOne, F::Split) => Box::new(UnionRemCas::<SplitAtomicOne, FindSplit>::new()),
+        (S::SplitOne, F::Halve) => Box::new(UnionRemCas::<SplitAtomicOne, FindHalve>::new()),
+        (S::SplitOne, F::Compress) => Box::new(UnionRemCas::<SplitAtomicOne, FindCompress>::new()),
+        (S::HalveOne, F::Naive) => Box::new(UnionRemCas::<HalveAtomicOne, FindNaive>::new()),
+        (S::HalveOne, F::Split) => Box::new(UnionRemCas::<HalveAtomicOne, FindSplit>::new()),
+        (S::HalveOne, F::Halve) => Box::new(UnionRemCas::<HalveAtomicOne, FindHalve>::new()),
+        (S::HalveOne, F::Compress) => Box::new(UnionRemCas::<HalveAtomicOne, FindCompress>::new()),
+        (S::Splice, F::Naive) => Box::new(UnionRemCas::<SpliceAtomic, FindNaive>::new()),
+        (S::Splice, F::Split) => Box::new(UnionRemCas::<SpliceAtomic, FindSplit>::new()),
+        (S::Splice, F::Halve) => Box::new(UnionRemCas::<SpliceAtomic, FindHalve>::new()),
+        _ => unreachable!("invalid Rem-CAS combination"),
+    }
+}
+
+fn rem_lock(n: usize, s: SpliceKind, f: FindKind) -> Box<dyn Unite> {
+    use FindKind as F;
+    use SpliceKind as S;
+    match (s, f) {
+        (S::SplitOne, F::Naive) => Box::new(UnionRemLock::<SplitAtomicOne, FindNaive>::new(n)),
+        (S::SplitOne, F::Split) => Box::new(UnionRemLock::<SplitAtomicOne, FindSplit>::new(n)),
+        (S::SplitOne, F::Halve) => Box::new(UnionRemLock::<SplitAtomicOne, FindHalve>::new(n)),
+        (S::SplitOne, F::Compress) => {
+            Box::new(UnionRemLock::<SplitAtomicOne, FindCompress>::new(n))
+        }
+        (S::HalveOne, F::Naive) => Box::new(UnionRemLock::<HalveAtomicOne, FindNaive>::new(n)),
+        (S::HalveOne, F::Split) => Box::new(UnionRemLock::<HalveAtomicOne, FindSplit>::new(n)),
+        (S::HalveOne, F::Halve) => Box::new(UnionRemLock::<HalveAtomicOne, FindHalve>::new(n)),
+        (S::HalveOne, F::Compress) => {
+            Box::new(UnionRemLock::<HalveAtomicOne, FindCompress>::new(n))
+        }
+        (S::Splice, F::Naive) => Box::new(UnionRemLock::<SpliceAtomic, FindNaive>::new(n)),
+        (S::Splice, F::Split) => Box::new(UnionRemLock::<SpliceAtomic, FindSplit>::new(n)),
+        (S::Splice, F::Halve) => Box::new(UnionRemLock::<SpliceAtomic, FindHalve>::new(n)),
+        _ => unreachable!("invalid Rem-Lock combination"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_count_matches_paper_matrix() {
+        let all = UfSpec::all_variants();
+        // Async/Hooks/Early: 4 finds each = 12.
+        // Rem-CAS/Rem-Lock: 3 splices x 4 finds - 1 excluded = 11 each.
+        // JTB: 2 finds.
+        assert_eq!(all.len(), 12 + 22 + 2);
+        // All unique names.
+        let mut names: Vec<String> = all.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn excluded_combination_rejected() {
+        let bad = UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Compress);
+        assert!(!bad.is_valid());
+        let bad2 = UfSpec::new(UniteKind::Async, FindKind::TwoTrySplit);
+        assert!(!bad2.is_valid());
+        let bad3 = UfSpec::new(UniteKind::RemCas, FindKind::Naive);
+        assert!(!bad3.is_valid());
+    }
+
+    #[test]
+    fn every_variant_instantiates_and_unions() {
+        use crate::parents::{make_parents, snapshot_labels};
+        for spec in UfSpec::all_variants() {
+            let u = spec.instantiate(6, 42);
+            let p = make_parents(6);
+            let mut h = 0;
+            u.unite(&p, 0, 1, &mut h);
+            u.unite(&p, 1, 2, &mut h);
+            u.unite(&p, 4, 5, &mut h);
+            let labels = snapshot_labels(&p);
+            assert_eq!(labels[0], labels[2], "{}", spec.name());
+            assert_eq!(labels[4], labels[5], "{}", spec.name());
+            assert_ne!(labels[0], labels[4], "{}", spec.name());
+            assert_eq!(labels[3], 3, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn fastest_is_valid() {
+        assert!(UfSpec::fastest().is_valid());
+        assert_eq!(
+            UfSpec::fastest().name(),
+            "Union-Rem-CAS{SplitAtomicOne; FindNaive}"
+        );
+    }
+}

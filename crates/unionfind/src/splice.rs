@@ -1,0 +1,132 @@
+//! Splice strategies for Rem's algorithms (Algorithm 9 of the paper):
+//! the step taken when the union walk sits at a *non-root* vertex.
+//!
+//! `SplitAtomicOne` and `HalveAtomicOne` perform one step of path
+//! splitting / halving (staying inside the current tree); `SpliceAtomic`
+//! performs Rem's splice, re-pointing the vertex into the *other* tree.
+//! Because a splice can merge trees at a non-root, Rem + `SpliceAtomic` is
+//! only phase-concurrent (Theorem 3) and is excluded from spanning forest.
+
+use crate::parents::Parents;
+use std::sync::atomic::Ordering;
+
+/// One step of the Rem union walk at non-root `ru` (with observed parent
+/// `pu`), against the other side's parent `pv` (with `pv < pu`). Returns the
+/// vertex the walk should continue from.
+pub trait Splice: Send + Sync + 'static {
+    /// Human-readable name matching the paper.
+    const NAME: &'static str;
+    /// Whether this strategy can re-point a vertex into the other tree
+    /// (true only for [`SpliceAtomic`]), which disables spanning forest and
+    /// requires phase-concurrency.
+    const CROSSES_TREES: bool;
+    /// Performs the step.
+    fn step(p: &Parents, ru: u32, pu: u32, pv: u32, hops: &mut u64) -> u32;
+}
+
+/// One atomic path-splitting step: `p[ru]` re-pointed at its grandparent,
+/// walk advances to the old parent.
+pub struct SplitAtomicOne;
+
+impl Splice for SplitAtomicOne {
+    const NAME: &'static str = "SplitAtomicOne";
+    const CROSSES_TREES: bool = false;
+    #[inline]
+    fn step(p: &Parents, ru: u32, pu: u32, _pv: u32, hops: &mut u64) -> u32 {
+        let w = p[pu as usize].load(Ordering::Acquire);
+        *hops += 1;
+        if pu != w {
+            let _ = p[ru as usize].compare_exchange(pu, w, Ordering::AcqRel, Ordering::Relaxed);
+        }
+        pu
+    }
+}
+
+/// One atomic path-halving step: like splitting, but the walk advances two
+/// levels (to the grandparent).
+pub struct HalveAtomicOne;
+
+impl Splice for HalveAtomicOne {
+    const NAME: &'static str = "HalveAtomicOne";
+    const CROSSES_TREES: bool = false;
+    #[inline]
+    fn step(p: &Parents, ru: u32, pu: u32, _pv: u32, hops: &mut u64) -> u32 {
+        let w = p[pu as usize].load(Ordering::Acquire);
+        *hops += 1;
+        if pu != w {
+            let _ = p[ru as usize].compare_exchange(pu, w, Ordering::AcqRel, Ordering::Relaxed);
+        }
+        w
+    }
+}
+
+/// Rem's splice: `p[ru]` re-pointed at the other side's parent `pv`
+/// (strictly smaller, preserving the monotone invariant); the walk advances
+/// to the old parent `pu`.
+pub struct SpliceAtomic;
+
+impl Splice for SpliceAtomic {
+    const NAME: &'static str = "SpliceAtomic";
+    const CROSSES_TREES: bool = true;
+    #[inline]
+    fn step(p: &Parents, ru: u32, pu: u32, pv: u32, hops: &mut u64) -> u32 {
+        debug_assert!(pv < pu);
+        *hops += 1;
+        let _ = p[ru as usize].compare_exchange(pu, pv, Ordering::AcqRel, Ordering::Relaxed);
+        pu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parents::{make_parents, parent};
+
+    fn setup() -> Box<Parents> {
+        // 4 -> 3 -> 1 -> 0, and 2 -> 0.
+        let p = make_parents(5);
+        p[4].store(3, Ordering::Relaxed);
+        p[3].store(1, Ordering::Relaxed);
+        p[1].store(0, Ordering::Relaxed);
+        p[2].store(0, Ordering::Relaxed);
+        p
+    }
+
+    #[test]
+    fn split_one_repoints_to_grandparent() {
+        let p = setup();
+        let mut h = 0;
+        let next = SplitAtomicOne::step(&p, 4, 3, 0, &mut h);
+        assert_eq!(next, 3);
+        assert_eq!(parent(&p, 4), 1); // grandparent of 4
+    }
+
+    #[test]
+    fn halve_one_advances_two_levels() {
+        let p = setup();
+        let mut h = 0;
+        let next = HalveAtomicOne::step(&p, 4, 3, 0, &mut h);
+        assert_eq!(next, 1); // grandparent
+        assert_eq!(parent(&p, 4), 1);
+    }
+
+    #[test]
+    fn splice_crosses_to_other_parent() {
+        let p = setup();
+        let mut h = 0;
+        let next = SpliceAtomic::step(&p, 4, 3, 2, &mut h);
+        assert_eq!(next, 3);
+        assert_eq!(parent(&p, 4), 2);
+    }
+
+    #[test]
+    fn steps_at_almost_root_are_safe() {
+        // ru's parent is the root: split/halve find pu == w and leave the
+        // structure unchanged.
+        let p = setup();
+        let mut h = 0;
+        let next = SplitAtomicOne::step(&p, 1, 0, 0, &mut h);
+        assert_eq!(next, 0);
+        assert_eq!(parent(&p, 1), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Path-length instrumentation: the Total Path Length (TPL) and Max Path
+//! Length (MPL) statistics the paper uses to explain union-find performance
+//! (Section 4.1.1, Figures 6–7).
+
+use cc_parallel::write_min_u64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe aggregator for per-operation path lengths.
+#[derive(Debug, Default)]
+pub struct PathStats {
+    total: AtomicU64,
+    max: AtomicU64,
+    operations: AtomicU64,
+}
+
+impl PathStats {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the hop count of one union/find operation.
+    #[inline]
+    pub fn record(&self, hops: u64) {
+        if hops == 0 {
+            self.operations.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.total.fetch_add(hops, Ordering::Relaxed);
+        self.operations.fetch_add(1, Ordering::Relaxed);
+        // write_max over u64 via negated write_min would obscure intent;
+        // do the CAS loop directly.
+        let mut cur = self.max.load(Ordering::Relaxed);
+        while hops > cur {
+            match self.max.compare_exchange_weak(cur, hops, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        // Suppress unused-import pattern: write_min_u64 is exported for
+        // symmetric use-cases.
+        let _ = write_min_u64;
+    }
+
+    /// Records a pre-aggregated batch: `total` hops across some operations
+    /// whose longest single operation was `max`. Used by chunked edge loops
+    /// to avoid per-edge shared-counter traffic.
+    pub fn record_bulk(&self, total: u64, max: u64) {
+        if total == 0 && max == 0 {
+            return;
+        }
+        self.total.fetch_add(total, Ordering::Relaxed);
+        let mut cur = self.max.load(Ordering::Relaxed);
+        while max > cur {
+            match self.max.compare_exchange_weak(cur, max, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Total Path Length: sum of all recorded hop counts.
+    pub fn total_path_length(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Max Path Length: the longest single operation.
+    pub fn max_path_length(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Number of operations recorded.
+    pub fn operations(&self) -> u64 {
+        self.operations.load(Ordering::Relaxed)
+    }
+
+    /// Mean hops per operation.
+    pub fn mean_path_length(&self) -> f64 {
+        let ops = self.operations();
+        if ops == 0 {
+            0.0
+        } else {
+            self.total_path_length() as f64 / ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_parallel::parallel_for;
+
+    #[test]
+    fn records_totals_and_max() {
+        let s = PathStats::new();
+        s.record(3);
+        s.record(0);
+        s.record(7);
+        assert_eq!(s.total_path_length(), 10);
+        assert_eq!(s.max_path_length(), 7);
+        assert_eq!(s.operations(), 3);
+        assert!((s.mean_path_length() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let s = PathStats::new();
+        parallel_for(10_000, |i| s.record((i % 5) as u64));
+        assert_eq!(s.operations(), 10_000);
+        assert_eq!(s.total_path_length(), 2000 * (1 + 2 + 3 + 4));
+        assert_eq!(s.max_path_length(), 4);
+    }
+}

@@ -1,0 +1,540 @@
+//! The union algorithms of Section 3.3.1: Union-Async, Union-Hooks,
+//! Union-Early, Union-Rem-CAS, Union-Rem-Lock, and Union-JTB.
+//!
+//! Every algorithm is generic over a [`Find`] strategy (and the Rem
+//! algorithms over a [`Splice`] strategy), mirroring the paper's template
+//! specialization. All of them are *root-based*: a merge happens only by
+//! changing the parent pointer of a tree root (Rem + `SpliceAtomic` being
+//! the documented exception), which is what makes spanning forest and the
+//! monotonicity proofs work.
+//!
+//! `unite` returns `Some(r)` when this call hooked root `r` (each vertex is
+//! hooked at most once over the lifetime of the structure), letting callers
+//! attribute spanning-forest edges; `None` means the endpoints were already
+//! connected or another operation performed the merge.
+
+use crate::find::{find_two_try_split, Find, FindNaive};
+use crate::parents::Parents;
+use crate::splice::Splice;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sentinel for "not hooked yet" in the hooks array.
+const UNHOOKED: u32 = u32::MAX;
+
+/// A concurrent union-find algorithm instance.
+///
+/// Implementations may carry per-instance state (hook arrays, locks, random
+/// ranks); the parent array itself is passed in so one structure can be
+/// shared across phases (sampling → finish → streaming).
+pub trait Unite: Send + Sync {
+    /// Merges the sets of `u` and `v`. Returns the root this call hooked,
+    /// if any. Adds traversed parent-pointer hops to `*hops`.
+    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32>;
+
+    /// Finds the representative of `u` using this algorithm's find strategy.
+    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32;
+
+    /// Algorithm name, e.g. `"Union-Rem-CAS{SplitAtomicOne; FindNaive}"`.
+    fn name(&self) -> String;
+
+    /// False when the splice strategy can merge trees at non-roots
+    /// (Rem + `SpliceAtomic`), which rules out spanning forest.
+    fn supports_forest(&self) -> bool {
+        true
+    }
+
+    /// False when finds may not run concurrently with unions and the
+    /// algorithm must be used phase-concurrently (Rem + `SpliceAtomic`,
+    /// Theorem 3 / streaming Type (iii)).
+    fn concurrent_finds(&self) -> bool {
+        true
+    }
+}
+
+/// Union-Async: the classic asynchronous union-find of Jayanti–Tarjan,
+/// linking higher-id roots below lower-id vertices.
+pub struct UnionAsync<F: Find = FindNaive>(PhantomData<F>);
+
+impl<F: Find> UnionAsync<F> {
+    /// Creates an instance (stateless).
+    pub fn new() -> Self {
+        UnionAsync(PhantomData)
+    }
+}
+
+impl<F: Find> Default for UnionAsync<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Find> Unite for UnionAsync<F> {
+    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+        let mut pu = F::find(p, u, hops);
+        let mut pv = F::find(p, v, hops);
+        while pu != pv {
+            if pu < pv {
+                std::mem::swap(&mut pu, &mut pv);
+            }
+            // pu > pv: hook pu beneath pv if pu is still a root.
+            if p[pu as usize].load(Ordering::Acquire) == pu
+                && p[pu as usize]
+                    .compare_exchange(pu, pv, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Some(pu);
+            }
+            pu = F::find(p, pu, hops);
+            pv = F::find(p, pv, hops);
+        }
+        None
+    }
+
+    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
+        F::find(p, u, hops)
+    }
+
+    fn name(&self) -> String {
+        format!("Union-Async{{{}}}", F::NAME)
+    }
+}
+
+/// Union-Hooks: like Union-Async, but the winning CAS happens on an
+/// auxiliary hooks array; the parent write itself is then uncontended.
+pub struct UnionHooks<F: Find = FindNaive> {
+    hooks: Box<[AtomicU32]>,
+    _find: PhantomData<F>,
+}
+
+impl<F: Find> UnionHooks<F> {
+    /// Creates an instance for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        UnionHooks {
+            hooks: cc_parallel::parallel_tabulate(n, |_| AtomicU32::new(UNHOOKED))
+                .into_boxed_slice(),
+            _find: PhantomData,
+        }
+    }
+}
+
+impl<F: Find> Unite for UnionHooks<F> {
+    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+        loop {
+            let pu = F::find(p, u, hops);
+            let pv = F::find(p, v, hops);
+            if pu == pv {
+                return None;
+            }
+            let (big, small) = if pu > pv { (pu, pv) } else { (pv, pu) };
+            if self.hooks[big as usize]
+                .compare_exchange(UNHOOKED, small, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // We own the one-shot right to hook `big`; the store cannot
+                // race with another hook of the same vertex.
+                p[big as usize].store(small, Ordering::Release);
+                return Some(big);
+            }
+            // Someone else hooked `big` concurrently; re-find and retry.
+        }
+    }
+
+    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
+        F::find(p, u, hops)
+    }
+
+    fn name(&self) -> String {
+        format!("Union-Hooks{{{}}}", F::NAME)
+    }
+}
+
+/// Union-Early: walks both endpoints upward together and eagerly hooks as
+/// soon as the larger current vertex is observed to be a root.
+pub struct UnionEarly<F: Find = FindNaive>(PhantomData<F>);
+
+impl<F: Find> UnionEarly<F> {
+    /// Creates an instance (stateless).
+    pub fn new() -> Self {
+        UnionEarly(PhantomData)
+    }
+}
+
+impl<F: Find> Default for UnionEarly<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Find> Unite for UnionEarly<F> {
+    fn unite(&self, p: &Parents, u0: u32, v0: u32, hops: &mut u64) -> Option<u32> {
+        let (mut u, mut v) = (u0, v0);
+        let mut hooked = None;
+        loop {
+            if u == v {
+                break;
+            }
+            if v < u {
+                std::mem::swap(&mut u, &mut v);
+            }
+            // v > u: if v is a root, hooking it beneath u keeps the
+            // monotone invariant (roots are the minima of their trees, so
+            // v > u proves they are in different trees).
+            let pv = p[v as usize].load(Ordering::Acquire);
+            if pv == v {
+                if p[v as usize]
+                    .compare_exchange(v, u, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    hooked = Some(v);
+                    break;
+                }
+                continue; // lost a race; re-observe
+            }
+            // One splitting step on v, then climb.
+            *hops += 1;
+            let w = p[pv as usize].load(Ordering::Acquire);
+            if pv != w {
+                let _ = p[v as usize].compare_exchange(pv, w, Ordering::AcqRel, Ordering::Relaxed);
+            }
+            v = pv;
+        }
+        if F::COMPRESSES {
+            F::find(p, u0, hops);
+            F::find(p, v0, hops);
+        }
+        hooked
+    }
+
+    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
+        F::find(p, u, hops)
+    }
+
+    fn name(&self) -> String {
+        format!("Union-Early{{{}}}", F::NAME)
+    }
+}
+
+/// Union-Rem-CAS: the lock-free concurrent Rem's algorithm, generic over
+/// the splice strategy used at non-roots and the find strategy applied to
+/// the endpoints after the union completes.
+pub struct UnionRemCas<S: Splice, F: Find = FindNaive>(PhantomData<(S, F)>);
+
+impl<S: Splice, F: Find> UnionRemCas<S, F> {
+    /// Creates an instance (stateless).
+    pub fn new() -> Self {
+        UnionRemCas(PhantomData)
+    }
+}
+
+impl<S: Splice, F: Find> Default for UnionRemCas<S, F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Splice, F: Find> Unite for UnionRemCas<S, F> {
+    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+        let (mut ru, mut rv) = (u, v);
+        let hooked = loop {
+            let pu = p[ru as usize].load(Ordering::Acquire);
+            let pv = p[rv as usize].load(Ordering::Acquire);
+            if pu == pv {
+                break None;
+            }
+            // Work on the side with the larger parent.
+            let (wu, wpu, wpv) = if pu > pv { (ru, pu, pv) } else { (rv, pv, pu) };
+            if wu == wpu {
+                // wu is a root with id larger than wpv: hook it.
+                if p[wu as usize]
+                    .compare_exchange(wu, wpv, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break Some(wu);
+                }
+                // Lost a race; re-observe.
+            } else {
+                let next = S::step(p, wu, wpu, wpv, hops);
+                if pu > pv {
+                    ru = next;
+                } else {
+                    rv = next;
+                }
+            }
+        };
+        if F::COMPRESSES {
+            F::find(p, u, hops);
+            F::find(p, v, hops);
+        }
+        hooked
+    }
+
+    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
+        F::find(p, u, hops)
+    }
+
+    fn name(&self) -> String {
+        format!("Union-Rem-CAS{{{}; {}}}", S::NAME, F::NAME)
+    }
+
+    fn supports_forest(&self) -> bool {
+        !S::CROSSES_TREES
+    }
+
+    fn concurrent_finds(&self) -> bool {
+        !S::CROSSES_TREES
+    }
+}
+
+/// Union-Rem-Lock: Patwary et al.'s lock-based Rem's algorithm. Every
+/// modification of a vertex's parent takes that vertex's lock and
+/// revalidates the observed parent before writing.
+pub struct UnionRemLock<S: Splice, F: Find = FindNaive> {
+    locks: Box<[Mutex<()>]>,
+    _ops: PhantomData<(S, F)>,
+}
+
+impl<S: Splice, F: Find> UnionRemLock<S, F> {
+    /// Creates an instance with one lock per vertex.
+    pub fn new(n: usize) -> Self {
+        UnionRemLock {
+            locks: (0..n).map(|_| Mutex::new(())).collect::<Vec<_>>().into_boxed_slice(),
+            _ops: PhantomData,
+        }
+    }
+}
+
+impl<S: Splice, F: Find> Unite for UnionRemLock<S, F> {
+    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+        let (mut ru, mut rv) = (u, v);
+        let hooked = loop {
+            let pu = p[ru as usize].load(Ordering::Acquire);
+            let pv = p[rv as usize].load(Ordering::Acquire);
+            if pu == pv {
+                break None;
+            }
+            let (wu, wpu, wpv) = if pu > pv { (ru, pu, pv) } else { (rv, pv, pu) };
+            if wu == wpu {
+                let guard = self.locks[wu as usize].lock();
+                let still_root = p[wu as usize].load(Ordering::Acquire) == wu;
+                if still_root {
+                    p[wu as usize].store(wpv, Ordering::Release);
+                }
+                drop(guard);
+                if still_root {
+                    break Some(wu);
+                }
+            } else {
+                // Lock-guarded splice step: revalidate the observed parent,
+                // then apply the same relink the atomic strategy would.
+                let next = {
+                    let _guard = self.locks[wu as usize].lock();
+                    let cur = p[wu as usize].load(Ordering::Acquire);
+                    if cur == wpu {
+                        S::step(p, wu, wpu, wpv, hops)
+                    } else {
+                        // Parent moved under us; resume from the new parent.
+                        cur
+                    }
+                };
+                if pu > pv {
+                    ru = next;
+                } else {
+                    rv = next;
+                }
+            }
+        };
+        if F::COMPRESSES {
+            F::find(p, u, hops);
+            F::find(p, v, hops);
+        }
+        hooked
+    }
+
+    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
+        F::find(p, u, hops)
+    }
+
+    fn name(&self) -> String {
+        format!("Union-Rem-Lock{{{}; {}}}", S::NAME, F::NAME)
+    }
+
+    fn supports_forest(&self) -> bool {
+        !S::CROSSES_TREES
+    }
+
+    fn concurrent_finds(&self) -> bool {
+        !S::CROSSES_TREES
+    }
+}
+
+/// Find strategy selector for [`UnionJtb`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JtbFind {
+    /// No compression during finds ("FindSimple" in the paper).
+    Simple,
+    /// Randomized two-try splitting, the provably-efficient option.
+    TwoTrySplit,
+}
+
+/// Union-JTB: Jayanti–Tarjan–Boix-Adserà randomized concurrent set union.
+/// Links by random rank (ties broken by id), so unlike the other variants
+/// the root of a tree is not its minimum id.
+pub struct UnionJtb {
+    ranks: Box<[u32]>,
+    find: JtbFind,
+}
+
+impl UnionJtb {
+    /// Creates an instance with random ranks drawn from `seed`.
+    pub fn new(n: usize, find: JtbFind, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ranks = (0..n).map(|_| rng.gen::<u32>()).collect::<Vec<_>>().into_boxed_slice();
+        UnionJtb { ranks, find }
+    }
+
+    #[inline]
+    fn priority(&self, v: u32) -> (u32, u32) {
+        (self.ranks[v as usize], v)
+    }
+
+    #[inline]
+    fn do_find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
+        match self.find {
+            JtbFind::Simple => FindNaive::find(p, u, hops),
+            JtbFind::TwoTrySplit => find_two_try_split(p, u, hops),
+        }
+    }
+}
+
+impl Unite for UnionJtb {
+    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+        loop {
+            let ru = self.do_find(p, u, hops);
+            let rv = self.do_find(p, v, hops);
+            if ru == rv {
+                return None;
+            }
+            // Hook the lower-priority root beneath the higher-priority one.
+            let (lo, hi) = if self.priority(ru) < self.priority(rv) {
+                (ru, rv)
+            } else {
+                (rv, ru)
+            };
+            if p[lo as usize]
+                .compare_exchange(lo, hi, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(lo);
+            }
+        }
+    }
+
+    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
+        self.do_find(p, u, hops)
+    }
+
+    fn name(&self) -> String {
+        let f = match self.find {
+            JtbFind::Simple => "FindSimple",
+            JtbFind::TwoTrySplit => "FindTwoTrySplit",
+        };
+        format!("Union-JTB{{{f}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find::{FindCompress, FindHalve, FindSplit};
+    use crate::parents::{make_parents, snapshot_labels};
+    use crate::splice::{HalveAtomicOne, SpliceAtomic, SplitAtomicOne};
+
+    fn exercise(u: &dyn Unite) {
+        let p = make_parents(8);
+        let mut h = 0;
+        // Two components: {0..4}, {5..8}.
+        assert!(u.unite(&p, 0, 1, &mut h).is_some());
+        assert!(u.unite(&p, 1, 2, &mut h).is_some());
+        assert!(u.unite(&p, 2, 3, &mut h).is_some());
+        assert!(u.unite(&p, 5, 6, &mut h).is_some());
+        assert!(u.unite(&p, 6, 7, &mut h).is_some());
+        // Redundant unions return None.
+        assert!(u.unite(&p, 0, 3, &mut h).is_none());
+        assert!(u.unite(&p, 3, 3, &mut h).is_none());
+        // Find agreement within and across components.
+        let mut h2 = 0;
+        assert_eq!(u.find(&p, 0, &mut h2), u.find(&p, 3, &mut h2));
+        assert_eq!(u.find(&p, 5, &mut h2), u.find(&p, 7, &mut h2));
+        assert_ne!(u.find(&p, 0, &mut h2), u.find(&p, 5, &mut h2));
+        // Labels partition correctly.
+        let labels = snapshot_labels(&p);
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[5], labels[7]);
+        assert_ne!(labels[0], labels[5]);
+        assert_eq!(labels[4], 4);
+    }
+
+    #[test]
+    fn union_async_all_finds() {
+        exercise(&UnionAsync::<FindNaive>::new());
+        exercise(&UnionAsync::<FindSplit>::new());
+        exercise(&UnionAsync::<FindHalve>::new());
+        exercise(&UnionAsync::<FindCompress>::new());
+    }
+
+    #[test]
+    fn union_hooks_and_early() {
+        exercise(&UnionHooks::<FindNaive>::new(8));
+        exercise(&UnionHooks::<FindCompress>::new(8));
+        exercise(&UnionEarly::<FindNaive>::new());
+        exercise(&UnionEarly::<FindHalve>::new());
+    }
+
+    #[test]
+    fn union_rem_cas_all_splices() {
+        exercise(&UnionRemCas::<SplitAtomicOne, FindNaive>::new());
+        exercise(&UnionRemCas::<HalveAtomicOne, FindSplit>::new());
+        exercise(&UnionRemCas::<SpliceAtomic, FindNaive>::new());
+    }
+
+    #[test]
+    fn union_rem_lock_all_splices() {
+        exercise(&UnionRemLock::<SplitAtomicOne, FindNaive>::new(8));
+        exercise(&UnionRemLock::<HalveAtomicOne, FindCompress>::new(8));
+        exercise(&UnionRemLock::<SpliceAtomic, FindNaive>::new(8));
+    }
+
+    #[test]
+    fn union_jtb_both_finds() {
+        exercise(&UnionJtb::new(8, JtbFind::Simple, 1));
+        exercise(&UnionJtb::new(8, JtbFind::TwoTrySplit, 2));
+    }
+
+    #[test]
+    fn forest_support_flags() {
+        assert!(UnionAsync::<FindNaive>::new().supports_forest());
+        assert!(UnionRemCas::<SplitAtomicOne, FindNaive>::new().supports_forest());
+        assert!(!UnionRemCas::<SpliceAtomic, FindNaive>::new().supports_forest());
+        assert!(!UnionRemLock::<SpliceAtomic, FindNaive>::new(4).concurrent_finds());
+    }
+
+    #[test]
+    fn hooked_root_is_reported_once() {
+        let u = UnionAsync::<FindNaive>::new();
+        let p = make_parents(4);
+        let mut h = 0;
+        let mut hooked = Vec::new();
+        for (a, b) in [(0, 1), (2, 3), (1, 3)] {
+            if let Some(r) = u.unite(&p, a, b, &mut h) {
+                hooked.push(r);
+            }
+        }
+        hooked.sort_unstable();
+        hooked.dedup();
+        assert_eq!(hooked.len(), 3, "three merges, three distinct hooked roots");
+    }
+}

@@ -1,0 +1,84 @@
+//! Concurrency stress tests: every union-find variant, driven by a real
+//! parallel loop over random and structured edge sets, must produce the
+//! oracle partition.
+
+use cc_graph::generators::{grid2d, rmat_default};
+use cc_graph::stats::same_partition;
+use cc_unionfind::oracle::oracle_labels;
+use cc_unionfind::parents::{make_parents, snapshot_labels};
+use cc_unionfind::spec::UfSpec;
+
+fn run_variant_parallel(spec: UfSpec, n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let uf = spec.instantiate(n, 99);
+    let p = make_parents(n);
+    cc_parallel::parallel_for_chunks(edges.len(), |r| {
+        let mut hops = 0u64;
+        for i in r {
+            let (u, v) = edges[i];
+            uf.unite(&p, u, v, &mut hops);
+        }
+    });
+    snapshot_labels(&p)
+}
+
+#[test]
+fn all_variants_match_oracle_on_rmat() {
+    let el = rmat_default(12, 30_000, 1234);
+    let expect = oracle_labels(el.num_vertices, &el.edges);
+    for spec in UfSpec::all_variants() {
+        let got = run_variant_parallel(spec, el.num_vertices, &el.edges);
+        assert!(same_partition(&expect, &got), "variant {}", spec.name());
+    }
+}
+
+#[test]
+fn all_variants_match_oracle_on_grid() {
+    let g = grid2d(100, 100);
+    let el = g.to_edge_list();
+    let expect = oracle_labels(el.num_vertices, &el.edges);
+    for spec in UfSpec::all_variants() {
+        let got = run_variant_parallel(spec, el.num_vertices, &el.edges);
+        assert!(same_partition(&expect, &got), "variant {}", spec.name());
+    }
+}
+
+#[test]
+fn repeated_runs_are_partition_stable() {
+    // Different interleavings must never change the partition.
+    let el = rmat_default(10, 8_000, 77);
+    let expect = oracle_labels(el.num_vertices, &el.edges);
+    let spec = UfSpec::fastest();
+    for _ in 0..20 {
+        let got = run_variant_parallel(spec, el.num_vertices, &el.edges);
+        assert!(same_partition(&expect, &got));
+    }
+}
+
+#[test]
+fn concurrent_mixed_finds_and_unions() {
+    // Wait-free variants allow finds interleaved with unions; the find
+    // results must always be *some* vertex (no crash/livelock) and the
+    // final partition must be correct.
+    let el = rmat_default(11, 15_000, 5);
+    let n = el.num_vertices;
+    let expect = oracle_labels(n, &el.edges);
+    for spec in UfSpec::all_variants() {
+        let uf = spec.instantiate(n, 3);
+        if !uf.concurrent_finds() {
+            continue; // Rem+Splice is phase-concurrent only
+        }
+        let p = make_parents(n);
+        cc_parallel::parallel_for_chunks(el.edges.len(), |r| {
+            let mut hops = 0u64;
+            for i in r {
+                let (u, v) = el.edges[i];
+                uf.unite(&p, u, v, &mut hops);
+                // Interleave a find.
+                let root = uf.find(&p, u, &mut hops);
+                assert!((root as usize) < n);
+            }
+        });
+        let got = snapshot_labels(&p);
+        assert!(same_partition(&expect, &got), "variant {}", spec.name());
+    }
+}

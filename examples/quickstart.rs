@@ -1,0 +1,50 @@
+//! Quickstart: build a graph, compute connected components, a spanning
+//! forest, and answer streaming queries — the whole public API in ~60
+//! lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cc_graph::build_undirected;
+use connectit::{
+    connectivity, spanning_forest, FinishMethod, SamplingMethod, StreamAlgorithm,
+    StreamingConnectivity, Update,
+};
+
+fn main() {
+    // A small undirected graph: two triangles joined by a bridge, plus an
+    // isolated vertex.
+    //
+    //   0 - 1        4 - 5
+    //    \ /          \ /
+    //     2 --bridge-- 3        6
+    let edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+    let g = build_undirected(7, &edges);
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    // 1. Static connectivity with the paper's fastest configuration:
+    //    k-out sampling + Union-Rem-CAS{SplitAtomicOne}.
+    let labels = connectivity(&g, &SamplingMethod::kout_default(), &FinishMethod::fastest());
+    println!("labels: {labels:?}");
+    assert_eq!(labels[0], labels[5], "the bridge joins the triangles");
+    assert_ne!(labels[0], labels[6], "vertex 6 is isolated");
+
+    // 2. A spanning forest: one tree per component.
+    let forest = spanning_forest(&g, &SamplingMethod::None, &FinishMethod::fastest(), 42);
+    println!("spanning forest ({} edges): {forest:?}", forest.len());
+    assert_eq!(forest.len(), 5); // 7 vertices, 2 components
+
+    // 3. Incremental connectivity: stream inserts and queries in batches.
+    let stream = StreamingConnectivity::new(
+        7,
+        &StreamAlgorithm::UnionFind(cc_unionfind::UfSpec::fastest()),
+        0,
+    );
+    stream.process_batch(&[Update::Insert(0, 1), Update::Insert(1, 2)]);
+    let answers = stream.process_batch(&[Update::Query(0, 2), Update::Query(0, 6)]);
+    println!("streaming answers: {answers:?}");
+    assert_eq!(answers, vec![true, false]);
+
+    println!("quickstart OK");
+}

@@ -1,0 +1,64 @@
+//! Social-network scenario: an RMAT graph (the paper's model for Twitter /
+//! Friendster-style inputs), comparing finish methods and sampling
+//! strategies and reporting the speedups two-phase execution buys.
+//!
+//! ```sh
+//! cargo run --release --example social_network [scale]
+//! ```
+
+use cc_graph::generators::rmat_default;
+use cc_graph::build_undirected;
+use connectit::{connectivity_timed, FinishMethod, LtScheme, SamplingMethod};
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(17);
+    let num_edges = (1usize << scale) * 10;
+    eprintln!("generating RMAT scale {scale} with {num_edges} edges...");
+    let el = rmat_default(scale, num_edges, 42);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    println!(
+        "graph: n = {}, m = {} (symmetrized, deduped)",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let finishes = [
+        FinishMethod::fastest(),
+        FinishMethod::ShiloachVishkin,
+        FinishMethod::LiuTarjan(LtScheme::crfa()),
+        FinishMethod::LabelPropagation,
+    ];
+    let samplings = [
+        SamplingMethod::None,
+        SamplingMethod::kout_default(),
+        SamplingMethod::bfs_default(),
+        SamplingMethod::ldd_default(),
+    ];
+
+    println!(
+        "\n{:<42} {:>14} {:>10} {:>10} {:>10}",
+        "finish", "no-sampling", "k-out", "BFS", "LDD"
+    );
+    for finish in &finishes {
+        print!("{:<42}", finish.name());
+        let mut base = 0.0;
+        for (i, sampling) in samplings.iter().enumerate() {
+            let (_, stats) = connectivity_timed(&g, sampling, finish, 7);
+            let t = stats.total_seconds();
+            if i == 0 {
+                base = t;
+                print!(" {:>13.4}s", t);
+            } else {
+                print!(" {:>6.4}s({:>1.2}x)", t, base / t);
+            }
+        }
+        println!();
+    }
+
+    // Verify all configurations agree on the answer.
+    let reference = connectit::connectivity(&g, &SamplingMethod::None, &FinishMethod::fastest());
+    let check = connectit::connectivity(&g, &SamplingMethod::kout_default(), &FinishMethod::LabelPropagation);
+    assert!(cc_graph::stats::same_partition(&reference, &check));
+    let comps = cc_graph::stats::count_distinct_labels(&reference);
+    println!("\ncomponents: {comps}");
+}

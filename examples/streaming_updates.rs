@@ -1,0 +1,86 @@
+//! Streaming scenario: ingest a live edge stream in batches, mixing
+//! insertions with connectivity queries — the Section 4.4 workload.
+//! Reports per-batch latency and sustained throughput for several
+//! streaming algorithm types.
+//!
+//! ```sh
+//! cargo run --release --example streaming_updates [scale]
+//! ```
+
+use cc_graph::generators::rmat_default;
+use cc_unionfind::UfSpec;
+use connectit::{LtScheme, StreamAlgorithm, StreamingConnectivity, Update};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(18);
+    let n = 1usize << scale;
+    let num_edges = n * 8;
+    eprintln!("sampling {num_edges} RMAT edge updates over {n} vertices...");
+    let stream_edges = rmat_default(scale, num_edges, 9).edges;
+
+    let algorithms = [
+        StreamAlgorithm::UnionFind(UfSpec::fastest()),
+        StreamAlgorithm::UnionFind(UfSpec::new(
+            cc_unionfind::UniteKind::Async,
+            cc_unionfind::FindKind::Halve,
+        )),
+        StreamAlgorithm::ShiloachVishkin,
+        StreamAlgorithm::LiuTarjan(LtScheme::crfa()),
+    ];
+
+    // Pure-insert throughput at several batch sizes (Figure 4's axes).
+    println!("\ninsert-only throughput (edges/second):");
+    print!("{:<44}", "algorithm");
+    let batch_sizes = [1_000usize, 100_000, num_edges];
+    for bs in batch_sizes {
+        print!(" {:>12}", format!("batch={bs}"));
+    }
+    println!();
+    for alg in &algorithms {
+        print!("{:<44}", alg.name());
+        for &bs in &batch_sizes {
+            let s = StreamingConnectivity::new(n, alg, 1);
+            let t0 = Instant::now();
+            for chunk in stream_edges.chunks(bs) {
+                let batch: Vec<Update> =
+                    chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                s.process_batch(&batch);
+            }
+            let rate = num_edges as f64 / t0.elapsed().as_secs_f64();
+            print!(" {:>12.3e}", rate);
+        }
+        println!();
+    }
+
+    // Mixed workload: 70% inserts / 30% queries (Figure 17's regime).
+    println!("\nmixed 70/30 insert/query workload, batch = 100k:");
+    let mut rng = StdRng::seed_from_u64(5);
+    for alg in &algorithms {
+        let s = StreamingConnectivity::new(n, alg, 2);
+        let mut connected = 0usize;
+        let mut ops = 0usize;
+        let t0 = Instant::now();
+        for chunk in stream_edges.chunks(70_000) {
+            let mut batch: Vec<Update> =
+                chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+            for _ in 0..chunk.len() * 3 / 7 {
+                batch.push(Update::Query(
+                    rng.gen_range(0..n as u32),
+                    rng.gen_range(0..n as u32),
+                ));
+            }
+            ops += batch.len();
+            connected += s.process_batch(&batch).iter().filter(|&&c| c).count();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<44} {:>10.3e} ops/s   ({} queries answered 'connected')",
+            alg.name(),
+            ops as f64 / dt,
+            connected
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `connectit` CLI binary: generate → stats →
+//! cc → forest round trips through real process invocations.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_connectit"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("connectit_cli_test_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn gen_stats_cc_forest_roundtrip() {
+    let el = tmp("g.el");
+    let labels = tmp("labels.txt");
+    let forest = tmp("forest.el");
+
+    // gen
+    let out = cli()
+        .args(["gen", "rmat", "10", "-o", el.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // stats
+    let out = cli().args(["stats", el.to_str().expect("utf8")]).output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("n 1024"), "{stdout}");
+    let components: usize = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("components "))
+        .expect("components line")
+        .parse()
+        .expect("number");
+
+    // cc: label count must equal n; distinct labels must equal components.
+    let out = cli()
+        .args([
+            "cc",
+            el.to_str().expect("utf8"),
+            "--sampling",
+            "kout",
+            "--finish",
+            "rem-cas",
+            "-o",
+            labels.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&labels).expect("labels written");
+    let mut distinct: Vec<&str> =
+        text.lines().map(|l| l.split_whitespace().nth(1).expect("label")).collect();
+    assert_eq!(distinct.len(), 1024);
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert_eq!(distinct.len(), components);
+
+    // forest: n - components edges.
+    let out = cli()
+        .args(["forest", el.to_str().expect("utf8"), "-o", forest.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let forest_edges = std::fs::read_to_string(&forest).expect("forest written");
+    assert_eq!(forest_edges.lines().count(), 1024 - components);
+
+    for f in [el, labels, forest] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn cc_agrees_across_configurations() {
+    let el = tmp("g2.el");
+    let out =
+        cli().args(["gen", "grid", "12", "-o", el.to_str().expect("utf8")]).output().expect("spawn");
+    assert!(out.status.success());
+    let mut label_sets = Vec::new();
+    for (s, f) in [("none", "rem-cas"), ("bfs", "lp"), ("ldd", "sv"), ("kout", "lt")] {
+        let out = cli()
+            .args(["cc", el.to_str().expect("utf8"), "--sampling", s, "--finish", f])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{s}+{f}");
+        let labels: Vec<u32> = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(|l| l.split_whitespace().nth(1).expect("label").parse().expect("u32"))
+            .collect();
+        label_sets.push(labels);
+    }
+    for w in label_sets.windows(2) {
+        assert!(cc_graph::stats::same_partition(&w[0], &w[1]));
+    }
+    let _ = std::fs::remove_file(el);
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let out = cli().args(["cc", "/nonexistent/file.el"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

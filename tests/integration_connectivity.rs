@@ -1,0 +1,157 @@
+//! End-to-end correctness: every finish method x every sampling method must
+//! reproduce the oracle partition on structurally diverse graphs.
+
+use cc_graph::generators::{clustered_web, grid2d, path, rmat_default, star};
+use cc_graph::stats::{component_stats, same_partition};
+use cc_graph::{build_undirected, CsrGraph};
+use cc_unionfind::UfSpec;
+use connectit::{connectivity_seeded, FinishMethod, LtScheme, SamplingMethod};
+
+fn every_finish_method() -> Vec<FinishMethod> {
+    let mut out: Vec<FinishMethod> =
+        UfSpec::all_variants().into_iter().map(FinishMethod::UnionFind).collect();
+    out.push(FinishMethod::ShiloachVishkin);
+    out.extend(LtScheme::all_schemes().into_iter().map(FinishMethod::LiuTarjan));
+    out.push(FinishMethod::Stergiou);
+    out.push(FinishMethod::LabelPropagation);
+    out
+}
+
+fn every_sampling_method() -> Vec<SamplingMethod> {
+    vec![
+        SamplingMethod::None,
+        SamplingMethod::kout_default(),
+        SamplingMethod::bfs_default(),
+        SamplingMethod::ldd_default(),
+    ]
+}
+
+fn check_graph(g: &CsrGraph, tag: &str) {
+    let expect = component_stats(g).labels;
+    for sampling in every_sampling_method() {
+        for finish in every_finish_method() {
+            let got = connectivity_seeded(g, &sampling, &finish, 1234);
+            assert!(
+                same_partition(&expect, &got),
+                "{tag}: {} + {}",
+                sampling.name(),
+                finish.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_rmat_social() {
+    let el = rmat_default(10, 6_000, 11);
+    check_graph(&build_undirected(el.num_vertices, &el.edges), "rmat");
+}
+
+#[test]
+fn matrix_grid_high_diameter() {
+    check_graph(&grid2d(24, 24), "grid");
+}
+
+#[test]
+fn matrix_multi_component() {
+    // Several medium components + isolated vertices.
+    let a = rmat_default(8, 1_200, 3);
+    let b = rmat_default(7, 500, 4);
+    let el = cc_graph::generators::disjoint_union(&[
+        a,
+        b,
+        cc_graph::EdgeList::new(10, vec![]),
+    ]);
+    check_graph(&build_undirected(el.num_vertices, &el.edges), "multi");
+}
+
+#[test]
+fn matrix_clustered_web_ordered() {
+    let el = clustered_web(30, 16, 3, 0.3, 2);
+    let g = cc_graph::builder::build_undirected_ordered(el.num_vertices, &el.edges);
+    // Only a representative subset here (the ordered adjacency is the
+    // interesting part; the full matrix runs above).
+    let expect = component_stats(&g).labels;
+    for sampling in every_sampling_method() {
+        for finish in [
+            FinishMethod::fastest(),
+            FinishMethod::ShiloachVishkin,
+            FinishMethod::LiuTarjan(LtScheme::crfa()),
+            FinishMethod::LabelPropagation,
+        ] {
+            let got = connectivity_seeded(&g, &sampling, &finish, 7);
+            assert!(same_partition(&expect, &got), "{} + {}", sampling.name(), finish.name());
+        }
+    }
+}
+
+#[test]
+fn degenerate_graphs() {
+    for g in [
+        CsrGraph::empty(0),
+        CsrGraph::empty(1),
+        CsrGraph::empty(100),
+        path(2),
+        star(3),
+    ] {
+        let expect = component_stats(&g).labels;
+        for finish in [
+            FinishMethod::fastest(),
+            FinishMethod::ShiloachVishkin,
+            FinishMethod::LiuTarjan(LtScheme::crfa()),
+            FinishMethod::Stergiou,
+            FinishMethod::LabelPropagation,
+        ] {
+            for sampling in every_sampling_method() {
+                let got = connectivity_seeded(&g, &sampling, &finish, 0);
+                assert!(
+                    same_partition(&expect, &got),
+                    "n={} {} + {}",
+                    g.num_vertices(),
+                    sampling.name(),
+                    finish.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn different_seeds_same_partition() {
+    let el = rmat_default(10, 5_000, 9);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let expect = component_stats(&g).labels;
+    for seed in [0u64, 1, 99, u64::MAX] {
+        for sampling in every_sampling_method() {
+            let got = connectivity_seeded(&g, &sampling, &FinishMethod::fastest(), seed);
+            assert!(same_partition(&expect, &got), "seed {seed} {}", sampling.name());
+        }
+    }
+}
+
+#[test]
+fn kout_parameter_sweep_correctness() {
+    let el = rmat_default(10, 4_000, 21);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let expect = component_stats(&g).labels;
+    for k in [1usize, 2, 3, 5] {
+        for variant in connectit::KOutVariant::ALL {
+            let sampling = SamplingMethod::KOut { k, variant };
+            let got = connectivity_seeded(&g, &sampling, &FinishMethod::fastest(), 5);
+            assert!(same_partition(&expect, &got), "k={k} {}", variant.name());
+        }
+    }
+}
+
+#[test]
+fn ldd_parameter_sweep_correctness() {
+    let g = grid2d(30, 30);
+    let expect = component_stats(&g).labels;
+    for beta in [0.05, 0.2, 0.5, 1.0] {
+        for permute in [false, true] {
+            let sampling = SamplingMethod::Ldd { beta, permute };
+            let got = connectivity_seeded(&g, &sampling, &FinishMethod::fastest(), 3);
+            assert!(same_partition(&expect, &got), "beta={beta} permute={permute}");
+        }
+    }
+}

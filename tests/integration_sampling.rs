@@ -1,0 +1,172 @@
+//! Sampling-phase contracts across graph families: Definition 3.1
+//! structure, partial-labeling soundness, coverage behaviour, and the
+//! quality metrics reported in Tables 6–7.
+
+use cc_graph::builder::build_undirected_ordered;
+use cc_graph::generators::{clustered_web, grid2d, rmat_default, shuffle_labels};
+use cc_graph::{build_undirected, CsrGraph, NO_VERTEX};
+use connectit::sampling::{
+    identify_frequent, inter_component_edges, run_sampling, satisfies_sampling_contract,
+};
+use connectit::{KOutVariant, SamplingMethod};
+
+fn graphs() -> Vec<(String, CsrGraph)> {
+    let rmat = rmat_default(11, 30_000, 3);
+    let web = clustered_web(100, 24, 4, 0.4, 5);
+    vec![
+        ("grid".into(), grid2d(50, 50)),
+        ("rmat".into(), build_undirected(rmat.num_vertices, &rmat.edges)),
+        ("web-ordered".into(), build_undirected_ordered(web.num_vertices, &web.edges)),
+    ]
+}
+
+fn all_methods() -> Vec<SamplingMethod> {
+    let mut out = vec![
+        SamplingMethod::bfs_default(),
+        SamplingMethod::ldd_default(),
+        SamplingMethod::Ldd { beta: 0.5, permute: true },
+    ];
+    for k in [1usize, 2, 4] {
+        for variant in KOutVariant::ALL {
+            out.push(SamplingMethod::KOut { k, variant });
+        }
+    }
+    out
+}
+
+#[test]
+fn definition_3_1_holds_everywhere() {
+    for (tag, g) in graphs() {
+        for method in all_methods() {
+            let out = run_sampling(&g, &method, 17, false);
+            assert!(
+                satisfies_sampling_contract(&out.labels),
+                "{tag}: {}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_never_merges_distinct_components() {
+    let a = rmat_default(9, 2_000, 1);
+    let b = rmat_default(9, 2_000, 2);
+    let el = cc_graph::generators::disjoint_union(&[a, b]);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let half = 512usize; // vertices of part a
+    for method in all_methods() {
+        let out = run_sampling(&g, &method, 9, false);
+        for u in (0..half).step_by(37) {
+            for v in (half..g.num_vertices()).step_by(41) {
+                assert_ne!(out.labels[u], out.labels[v], "{}", method.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn frequent_label_is_exact() {
+    for (_, g) in graphs() {
+        let out = run_sampling(&g, &SamplingMethod::kout_default(), 23, false);
+        let (f, c) = identify_frequent(&out.labels);
+        let expect = cc_graph::stats::most_frequent_label(&out.labels);
+        assert_eq!(c, expect.1);
+        assert_eq!(out.labels.iter().filter(|&&l| l == f).count(), c);
+    }
+}
+
+#[test]
+fn kout_quality_improves_with_k() {
+    let el = rmat_default(12, 60_000, 7);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let mut prev_ic = usize::MAX;
+    for k in [1usize, 2, 4] {
+        let out = run_sampling(
+            &g,
+            &SamplingMethod::KOut { k, variant: KOutVariant::Hybrid },
+            3,
+            false,
+        );
+        let ic = inter_component_edges(&g, &out.labels);
+        assert!(ic <= prev_ic, "k={k}: {ic} > {prev_ic}");
+        prev_ic = ic;
+    }
+    // At k=4 on a social network nearly everything is contracted.
+    assert!(prev_ic * 10 < g.num_directed_edges());
+}
+
+#[test]
+fn afforest_fails_and_hybrid_recovers_on_ordered_web() {
+    // Figures 22–24 headline. Same underlying graph, adversarial order.
+    let web = clustered_web(200, 32, 6, 0.4, 11);
+    let g = build_undirected_ordered(web.num_vertices, &web.edges);
+    let aff = run_sampling(
+        &g,
+        &SamplingMethod::KOut { k: 2, variant: KOutVariant::Afforest },
+        5,
+        false,
+    );
+    let hyb = run_sampling(
+        &g,
+        &SamplingMethod::KOut { k: 2, variant: KOutVariant::Hybrid },
+        5,
+        false,
+    );
+    let pure = run_sampling(
+        &g,
+        &SamplingMethod::KOut { k: 2, variant: KOutVariant::Pure },
+        5,
+        false,
+    );
+    // Afforest's giant is at most a few blocks; the randomized variants
+    // find a giant spanning a large fraction of the graph.
+    assert!(aff.frequent_count < g.num_vertices() / 10, "afforest {}", aff.frequent_count);
+    assert!(hyb.frequent_count > g.num_vertices() / 2, "hybrid {}", hyb.frequent_count);
+    assert!(pure.frequent_count > g.num_vertices() / 2, "pure {}", pure.frequent_count);
+    // And relabeling the graph randomly repairs Afforest (the ordering is
+    // the problem, not the topology).
+    let shuffled = shuffle_labels(&web, 13);
+    let g2 = build_undirected(shuffled.num_vertices, &shuffled.edges);
+    let aff2 = run_sampling(
+        &g2,
+        &SamplingMethod::KOut { k: 2, variant: KOutVariant::Afforest },
+        5,
+        false,
+    );
+    assert!(aff2.frequent_count > g2.num_vertices() / 2, "shuffled afforest {}", aff2.frequent_count);
+}
+
+#[test]
+fn bfs_sampling_covers_connected_graphs_fully() {
+    let g = grid2d(40, 40);
+    let out = run_sampling(&g, &SamplingMethod::bfs_default(), 2, false);
+    assert_eq!(out.frequent_count, g.num_vertices());
+    assert_eq!(inter_component_edges(&g, &out.labels), 0);
+}
+
+#[test]
+fn bfs_sampling_falls_back_without_giant() {
+    // 20 components of 50 vertices each: no component exceeds 10%.
+    let parts: Vec<cc_graph::EdgeList> =
+        (0..20).map(|i| rmat_default(6, 300, i as u64).clone()).collect();
+    let merged = cc_graph::generators::disjoint_union(&parts);
+    let g = build_undirected(merged.num_vertices, &merged.edges);
+    let out = run_sampling(&g, &SamplingMethod::Bfs { tries: 3 }, 1, false);
+    // Fallback = identity labeling, frequent disabled.
+    assert_eq!(out.frequent, NO_VERTEX);
+    assert!(out.labels.iter().enumerate().all(|(i, &l)| l == i as u32));
+}
+
+#[test]
+fn ldd_beta_controls_cut_edges() {
+    let g = grid2d(80, 80);
+    let small = run_sampling(&g, &SamplingMethod::Ldd { beta: 0.05, permute: false }, 3, false);
+    let large = run_sampling(&g, &SamplingMethod::Ldd { beta: 0.8, permute: false }, 3, false);
+    let ic_small = inter_component_edges(&g, &small.labels);
+    let ic_large = inter_component_edges(&g, &large.labels);
+    assert!(
+        ic_small < ic_large,
+        "beta 0.05 cuts {ic_small}, beta 0.8 cuts {ic_large}"
+    );
+}

@@ -1,0 +1,98 @@
+//! Spanning forest end-to-end: every supported finish x sampling
+//! combination must produce a valid spanning forest (acyclic, real edges,
+//! spans every component with exactly n - #components edges).
+
+use cc_graph::generators::{disjoint_union, grid2d, rmat_default};
+use cc_graph::build_undirected;
+use cc_unionfind::{SpliceKind, UfSpec};
+use connectit::{
+    is_valid_spanning_forest, spanning_forest, supports_spanning_forest, FinishMethod,
+    SamplingMethod,
+};
+
+fn forest_finishes() -> Vec<FinishMethod> {
+    let mut out: Vec<FinishMethod> = UfSpec::all_variants()
+        .into_iter()
+        .filter(|s| s.splice != Some(SpliceKind::Splice))
+        .map(FinishMethod::UnionFind)
+        .collect();
+    out.push(FinishMethod::ShiloachVishkin);
+    out
+}
+
+fn samplings() -> Vec<SamplingMethod> {
+    vec![
+        SamplingMethod::None,
+        SamplingMethod::kout_default(),
+        SamplingMethod::bfs_default(),
+        SamplingMethod::ldd_default(),
+    ]
+}
+
+#[test]
+fn forest_matrix_rmat() {
+    let el = rmat_default(10, 5_000, 13);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    for sampling in samplings() {
+        for finish in forest_finishes() {
+            let f = spanning_forest(&g, &sampling, &finish, 77);
+            assert!(
+                is_valid_spanning_forest(&g, &f),
+                "{} + {}",
+                sampling.name(),
+                finish.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn forest_matrix_grid() {
+    let g = grid2d(20, 20);
+    for sampling in samplings() {
+        for finish in [FinishMethod::fastest(), FinishMethod::ShiloachVishkin] {
+            let f = spanning_forest(&g, &sampling, &finish, 3);
+            assert!(is_valid_spanning_forest(&g, &f), "{} + {}", sampling.name(), finish.name());
+            assert_eq!(f.len(), 399);
+        }
+    }
+}
+
+#[test]
+fn forest_multi_component_counts() {
+    let el = disjoint_union(&[
+        rmat_default(8, 900, 1),
+        rmat_default(8, 900, 2),
+        cc_graph::EdgeList::new(5, vec![]),
+    ]);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let truth = cc_graph::stats::component_stats(&g);
+    let f = spanning_forest(&g, &SamplingMethod::kout_default(), &FinishMethod::fastest(), 5);
+    assert!(is_valid_spanning_forest(&g, &f));
+    assert_eq!(f.len(), g.num_vertices() - truth.num_components);
+}
+
+#[test]
+fn forest_support_classification() {
+    assert!(supports_spanning_forest(&FinishMethod::fastest()));
+    assert!(supports_spanning_forest(&FinishMethod::ShiloachVishkin));
+    assert!(!supports_spanning_forest(&FinishMethod::LabelPropagation));
+    assert!(!supports_spanning_forest(&FinishMethod::Stergiou));
+    let splice = UfSpec::rem(
+        cc_unionfind::UniteKind::RemCas,
+        SpliceKind::Splice,
+        cc_unionfind::FindKind::Naive,
+    );
+    assert!(!supports_spanning_forest(&FinishMethod::UnionFind(splice)));
+}
+
+#[test]
+fn forest_repeated_runs_always_valid() {
+    // Nondeterministic scheduling must never yield an invalid forest.
+    let el = rmat_default(10, 8_000, 5);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    for seed in 0..10u64 {
+        let f = spanning_forest(&g, &SamplingMethod::kout_default(), &FinishMethod::fastest(), seed);
+        assert!(is_valid_spanning_forest(&g, &f), "seed {seed}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Streaming end-to-end: batch-incremental results must agree with static
+//! connectivity, for every stream algorithm type, batch size, and
+//! insert/query mix.
+
+use cc_graph::generators::{barabasi_albert, rmat_default};
+use cc_graph::stats::same_partition;
+use cc_unionfind::{oracle_labels, FindKind, SeqUnionFind, SpliceKind, UfSpec, UniteKind};
+use connectit::{LtScheme, StreamAlgorithm, StreamingConnectivity, Update};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn algorithms() -> Vec<StreamAlgorithm> {
+    vec![
+        StreamAlgorithm::UnionFind(UfSpec::fastest()),
+        StreamAlgorithm::UnionFind(UfSpec::new(UniteKind::Async, FindKind::Compress)),
+        StreamAlgorithm::UnionFind(UfSpec::new(UniteKind::Hooks, FindKind::Split)),
+        StreamAlgorithm::UnionFind(UfSpec::new(UniteKind::Early, FindKind::Naive)),
+        StreamAlgorithm::UnionFind(UfSpec::new(UniteKind::Jtb, FindKind::TwoTrySplit)),
+        StreamAlgorithm::UnionFind(UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive)),
+        StreamAlgorithm::UnionFind(UfSpec::rem(UniteKind::RemLock, SpliceKind::HalveOne, FindKind::Halve)),
+        StreamAlgorithm::ShiloachVishkin,
+        StreamAlgorithm::LiuTarjan(LtScheme::crfa()),
+    ]
+}
+
+#[test]
+fn insert_only_stream_matches_oracle_across_batch_sizes() {
+    let el = rmat_default(11, 10_000, 19);
+    let n = el.num_vertices;
+    let expect = oracle_labels(n, &el.edges);
+    for alg in algorithms() {
+        for batch_size in [1usize, 17, 1000, el.edges.len()] {
+            let s = StreamingConnectivity::new(n, &alg, 4);
+            for chunk in el.edges.chunks(batch_size) {
+                let batch: Vec<Update> =
+                    chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                s.process_batch(&batch);
+            }
+            assert!(
+                same_partition(&expect, &s.labels()),
+                "{} batch_size={batch_size}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn queries_between_batches_match_sequential_reference() {
+    // Apply batches of inserts; between batches, issue queries whose
+    // answers are deterministic and compare with a sequential union-find.
+    let el = barabasi_albert(2_000, 2, 3);
+    let n = el.num_vertices;
+    let mut rng = StdRng::seed_from_u64(11);
+    for alg in algorithms() {
+        let s = StreamingConnectivity::new(n, &alg, 6);
+        let mut reference = SeqUnionFind::new(n);
+        for chunk in el.edges.chunks(500) {
+            let batch: Vec<Update> = chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+            s.process_batch(&batch);
+            for &(u, v) in chunk {
+                reference.union(u, v);
+            }
+            // Pure-query batch: answers must match the reference exactly.
+            let queries: Vec<(u32, u32)> = (0..50)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let batch: Vec<Update> = queries.iter().map(|&(u, v)| Update::Query(u, v)).collect();
+            let answers = s.process_batch(&batch);
+            for (i, &(u, v)) in queries.iter().enumerate() {
+                assert_eq!(
+                    answers[i],
+                    reference.connected(u, v),
+                    "{} query ({u},{v})",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_batches_are_safe_and_converge() {
+    // Mixed insert/query batches: answers within a batch are
+    // implementation-defined (unordered), but must never crash, and the
+    // final structure must be correct.
+    let el = rmat_default(10, 6_000, 23);
+    let n = el.num_vertices;
+    let expect = oracle_labels(n, &el.edges);
+    let mut rng = StdRng::seed_from_u64(29);
+    for alg in algorithms() {
+        let s = StreamingConnectivity::new(n, &alg, 8);
+        let mut at = 0usize;
+        while at < el.edges.len() {
+            let end = (at + 700).min(el.edges.len());
+            let mut batch: Vec<Update> =
+                el.edges[at..end].iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+            for _ in 0..100 {
+                let q = Update::Query(rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
+                batch.insert(rng.gen_range(0..=batch.len()), q);
+            }
+            let answers = s.process_batch(&batch);
+            assert_eq!(answers.len(), 100, "{}", alg.name());
+            at = end;
+        }
+        assert!(same_partition(&expect, &s.labels()), "{}", alg.name());
+    }
+}
+
+#[test]
+fn query_only_workload_on_prebuilt_graph() {
+    let el = rmat_default(10, 8_000, 31);
+    let n = el.num_vertices;
+    let truth = oracle_labels(n, &el.edges);
+    for alg in algorithms() {
+        let s = StreamingConnectivity::new(n, &alg, 2);
+        let batch: Vec<Update> = el.edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+        s.process_batch(&batch);
+        // Exhaustive pairwise spot-check on a sample.
+        for u in (0..n as u32).step_by(97) {
+            for v in (0..n as u32).step_by(131) {
+                assert_eq!(
+                    s.connected(u, v),
+                    truth[u as usize] == truth[v as usize],
+                    "{} ({u},{v})",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn throughput_counters_sane() {
+    // A smoke test that large single batches work (the Table 4 workload).
+    let el = barabasi_albert(5_000, 3, 5);
+    let n = el.num_vertices;
+    let s = StreamingConnectivity::new(n, &StreamAlgorithm::UnionFind(UfSpec::fastest()), 0);
+    let batch: Vec<Update> = el.edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+    let t0 = std::time::Instant::now();
+    s.process_batch(&batch);
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(dt < 10.0, "single large batch took {dt}s");
+    assert!(same_partition(&oracle_labels(n, &el.edges), &s.labels()));
+}

@@ -1,0 +1,121 @@
+//! Property-based tests over the whole framework: random graphs, random
+//! variant choices, random batch splits — the partition must always match
+//! the sequential oracle and forests must always be valid.
+
+use cc_graph::build_undirected;
+use cc_graph::stats::same_partition;
+use cc_unionfind::{oracle_labels, UfSpec};
+use connectit::{
+    connectivity_seeded, is_valid_spanning_forest, spanning_forest, FinishMethod, LtScheme,
+    SamplingMethod, StreamAlgorithm, StreamingConnectivity, Update,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random small graph as (n, edges).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..120).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..300))
+    })
+}
+
+fn arb_finish() -> impl Strategy<Value = FinishMethod> {
+    let ufs = UfSpec::all_variants();
+    let lts = LtScheme::all_schemes();
+    (0usize..(ufs.len() + lts.len() + 3)).prop_map(move |i| {
+        if i < ufs.len() {
+            FinishMethod::UnionFind(ufs[i])
+        } else if i < ufs.len() + lts.len() {
+            FinishMethod::LiuTarjan(lts[i - ufs.len()])
+        } else {
+            match i - ufs.len() - lts.len() {
+                0 => FinishMethod::ShiloachVishkin,
+                1 => FinishMethod::Stergiou,
+                _ => FinishMethod::LabelPropagation,
+            }
+        }
+    })
+}
+
+fn arb_sampling() -> impl Strategy<Value = SamplingMethod> {
+    prop_oneof![
+        Just(SamplingMethod::None),
+        (1usize..5, 0usize..4).prop_map(|(k, v)| SamplingMethod::KOut {
+            k,
+            variant: connectit::KOutVariant::ALL[v],
+        }),
+        (1usize..4).prop_map(|tries| SamplingMethod::Bfs { tries }),
+        (1u32..10, any::<bool>())
+            .prop_map(|(b, p)| SamplingMethod::Ldd { beta: b as f64 / 10.0, permute: p }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn connectivity_matches_oracle(
+        (n, edges) in arb_graph(),
+        finish in arb_finish(),
+        sampling in arb_sampling(),
+        seed in any::<u64>(),
+    ) {
+        let g = build_undirected(n, &edges);
+        let expect = oracle_labels(n, &edges);
+        let got = connectivity_seeded(&g, &sampling, &finish, seed);
+        prop_assert!(
+            same_partition(&expect, &got),
+            "{} + {}", sampling.name(), finish.name()
+        );
+    }
+
+    #[test]
+    fn spanning_forest_always_valid(
+        (n, edges) in arb_graph(),
+        sampling in arb_sampling(),
+        seed in any::<u64>(),
+    ) {
+        let g = build_undirected(n, &edges);
+        let f = spanning_forest(&g, &sampling, &FinishMethod::fastest(), seed);
+        prop_assert!(is_valid_spanning_forest(&g, &f));
+    }
+
+    #[test]
+    fn streaming_matches_static(
+        (n, edges) in arb_graph(),
+        batch_size in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let expect = oracle_labels(n, &edges);
+        for alg in [
+            StreamAlgorithm::UnionFind(UfSpec::fastest()),
+            StreamAlgorithm::ShiloachVishkin,
+            StreamAlgorithm::LiuTarjan(LtScheme::crfa()),
+        ] {
+            let s = StreamingConnectivity::new(n, &alg, seed);
+            for chunk in edges.chunks(batch_size) {
+                let batch: Vec<Update> =
+                    chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                s.process_batch(&batch);
+            }
+            prop_assert!(same_partition(&expect, &s.labels()), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn sampling_contract_random_graphs(
+        (n, edges) in arb_graph(),
+        sampling in arb_sampling(),
+        seed in any::<u64>(),
+    ) {
+        let g = build_undirected(n, &edges);
+        let out = connectit::run_sampling(&g, &sampling, seed, false);
+        prop_assert!(connectit::sampling::satisfies_sampling_contract(&out.labels));
+        // Partial labeling: never merges true components.
+        let truth = oracle_labels(n, &edges);
+        for v in 0..n {
+            let l = out.labels[v] as usize;
+            prop_assert_eq!(truth[v], truth[l], "sample merged distinct components");
+        }
+    }
+}
