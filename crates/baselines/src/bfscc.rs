@@ -13,9 +13,9 @@ pub fn bfscc(g: &CsrGraph) -> Vec<VertexId> {
     while let Some(src) = (next_start..n).find(|&v| labels[v] == NO_VERTEX) {
         next_start = src + 1;
         let res = bfs_multi(g, &[src as VertexId]);
-        for v in 0..n {
-            if labels[v] == NO_VERTEX && res.parents[v] != NO_VERTEX {
-                labels[v] = src as VertexId;
+        for (l, &p) in labels.iter_mut().zip(&res.parents) {
+            if *l == NO_VERTEX && p != NO_VERTEX {
+                *l = src as VertexId;
             }
         }
     }

@@ -164,7 +164,8 @@ pub fn run(scale: u32) {
             .chain(datasets.iter().map(|d| d.name.to_string()))
             .collect::<Vec<_>>(),
     );
-    let others: Vec<(&str, Box<dyn Fn(&Dataset) -> f64>)> = vec![
+    type SystemRow<'a> = (&'a str, Box<dyn Fn(&Dataset) -> f64>);
+    let others: Vec<SystemRow> = vec![
         (
             "BFSCC [Ligra]",
             Box::new(move |d: &Dataset| time_best_of(r, || bfscc(&d.graph)).0),

@@ -33,8 +33,11 @@ pub fn stream_algorithms() -> Vec<(&'static str, StreamAlgorithm)> {
     ]
 }
 
+/// One named edge stream: (name, vertex count, updates).
+type Stream = (String, usize, Vec<(u32, u32)>);
+
 /// Streams to measure: per-dataset edge streams + synthetic generators.
-fn streams(scale: u32) -> Vec<(String, usize, Vec<(u32, u32)>)> {
+fn streams(scale: u32) -> Vec<Stream> {
     let mut out = Vec::new();
     for d in registry(scale) {
         // The paper subsamples 10% for its three largest graphs; our

@@ -1,0 +1,263 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! this crate implements the subset of the criterion API the workspace's
+//! benches use — `Criterion::benchmark_group`, `BenchmarkGroup::{
+//! sample_size, throughput, bench_function, finish}`, `Bencher::iter`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a deliberately simple measurement loop: per sample, one timed run of the
+//! closure, reporting min/median/mean over the samples in criterion-style
+//! human units. Statistical analysis, warm-up tuning, and HTML reports are
+//! out of scope; swap the real crate back in for those.
+//!
+//! Like real criterion binaries, a bench accepts an optional substring
+//! filter as its first non-flag CLI argument and a `--test` flag (run each
+//! benchmark closure once, for CI smoke coverage, without timing loops).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (per-iteration work volume).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        // Mirror the argument shapes cargo-bench passes through: `--bench`
+        // (injected by cargo), `--test`, and a positional filter string.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark (stand-in for
+    /// `Criterion::bench_function`).
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named collection of benchmarks sharing sample-count and throughput
+/// settings (stand-in for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput, reported as elem/s or B/s.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures `f` and prints one result line.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let full = if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { samples: Vec::new(), test_mode: self.criterion.test_mode };
+        if self.criterion.test_mode {
+            f(&mut bencher);
+            println!("{full}: test ok");
+            return;
+        }
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut per_iter: Vec<f64> = bencher.samples;
+        if per_iter.is_empty() {
+            println!("{full}: no samples (closure never called Bencher::iter)");
+            return;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let mut line = format!(
+            "{full}: min {} / median {} / mean {} ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            per_iter.len(),
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if median > 0.0 {
+                line.push_str(&format!(", {} {unit}", fmt_si(count / (median * 1e-9))));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (stand-in for `BenchmarkGroup::finish`; nothing to
+    /// flush in this implementation).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload
+/// (stand-in for `criterion::Bencher`).
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per `iter` call.
+    samples: Vec<f64>,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        black_box(routine());
+        let elapsed = start.elapsed();
+        self.samples.push(duration_ns(elapsed));
+    }
+}
+
+fn duration_ns(d: Duration) -> f64 {
+    d.as_secs() as f64 * 1e9 + d.subsec_nanos() as f64
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn fmt_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declares the benchmark entry list (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_prints() {
+        let mut c = Criterion { filter: None, test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0;
+        group.bench_function("work", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("other".into()), test_mode: false };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("work", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        let mut runs = 0;
+        group.bench_function("work", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for [`rand`](https://docs.rs/rand) 0.8.
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! this crate implements exactly the subset of the `rand` 0.8 API the
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::{gen, gen_range, gen_bool}` over integer ranges. The generator
+//! behind `StdRng` is splitmix64 (Steele et al., "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014) — not ChaCha12 like the
+//! real `StdRng`, so streams differ from upstream `rand`, but every use in
+//! this workspace only needs a seeded, deterministic, well-mixed stream.
+
+#![warn(missing_docs)]
+
+/// Random number generators (mirrors `rand::rngs`).
+pub mod rngs {
+    /// A deterministic seeded RNG standing in for `rand::rngs::StdRng`.
+    ///
+    /// Backed by splitmix64: passes BigCrush on 64-bit outputs, one u64 of
+    /// state, and `seed_from_u64` is the identity on the state — ideal for
+    /// reproducible tests and generators.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64: golden-gamma increment then two xor-shift-multiply
+            // finalization rounds.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A seedable RNG (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically seeded from a `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw 64-bit output source backing [`Rng`] (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random value methods (subset of `rand::Rng`).
+///
+/// Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its full range (subset of
+    /// `rand::Rng::gen` over the `Standard` distribution).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// Panics if the range is empty, like the real `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`, like the real `rand`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        // 53 uniform mantissa bits, exactly the precision of an f64 in [0,1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from their full value range via [`Rng::gen`] (stands in
+/// for `rand`'s `Standard` distribution).
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`] (stands in for
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from `self`.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Integers uniformly samplable over a `[low, high]` span.
+pub trait UniformInt: Copy {
+    /// Uniform draw from the inclusive span `[low, high]`; `high >= low`.
+    fn uniform_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// `self - 1`; callers guarantee `self` is not the minimum value.
+    fn pred(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn uniform_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 span: every output is in range.
+                    return rng.next_u64() as $t;
+                }
+                // Debiased modular reduction (rejection sampling on the
+                // tail), as in Lemire 2019 but without the 128-bit multiply:
+                // reject draws from the final partial copy of `span`.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return low.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+            fn pred(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn uniform_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = ((high as i64).wrapping_sub(low as i64) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full i64 span: every output is in range.
+                    return rng.next_u64() as $t;
+                }
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return low.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+            fn pred(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+impl_uniform_int_signed!(i8, i16, i32, i64, isize);
+
+impl<T: UniformInt + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // end > start, so end has a representable predecessor in the span.
+        T::uniform_inclusive(rng, self.start, self.end.pred())
+    }
+}
+
+impl<T: UniformInt + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::uniform_inclusive(rng, low, high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values hit in 1000 draws");
+        for _ in 0..1000 {
+            let v = rng.gen_range(5..=6u32);
+            assert!(v == 5 || v == 6);
+        }
+        // Single-value ranges are legal.
+        assert_eq!(rng.gen_range(3..4u32), 3);
+        assert_eq!(rng.gen_range(9..=9usize), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_balance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "p=0.5 heads={heads}");
+    }
+}

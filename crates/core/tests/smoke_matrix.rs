@@ -1,0 +1,76 @@
+//! Workspace smoke test: every (sampling, finish) combination ConnectIt
+//! exposes must produce the same partition as the sequential oracle.
+//!
+//! This is the exhaustive companion to the randomized `prop_framework`
+//! tests: those sample the combination space, this walks all of it — every
+//! valid union-find variant, all sixteen Liu–Tarjan schemes,
+//! Shiloach–Vishkin, Stergiou, and label propagation, each under no
+//! sampling, all four k-out variants, BFS, and LDD.
+
+use cc_graph::generators::{grid2d, rmat_default};
+use cc_graph::stats::same_partition;
+use cc_graph::{build_undirected, CsrGraph};
+use cc_unionfind::{oracle_labels, UfSpec};
+use connectit::{
+    connectivity_seeded, FinishMethod, KOutVariant, LtScheme, SamplingMethod,
+};
+
+fn all_finish_methods() -> Vec<FinishMethod> {
+    let mut out: Vec<FinishMethod> =
+        UfSpec::all_variants().into_iter().map(FinishMethod::UnionFind).collect();
+    out.extend(LtScheme::all_schemes().into_iter().map(FinishMethod::LiuTarjan));
+    out.push(FinishMethod::ShiloachVishkin);
+    out.push(FinishMethod::Stergiou);
+    out.push(FinishMethod::LabelPropagation);
+    out
+}
+
+fn all_sampling_methods() -> Vec<SamplingMethod> {
+    let mut out = vec![SamplingMethod::None];
+    out.extend(
+        KOutVariant::ALL.iter().map(|&variant| SamplingMethod::KOut { k: 2, variant }),
+    );
+    out.push(SamplingMethod::bfs_default());
+    out.push(SamplingMethod::ldd_default());
+    out
+}
+
+fn check_matrix(name: &str, g: &CsrGraph, truth: &[u32]) {
+    let mut combos = 0usize;
+    for finish in all_finish_methods() {
+        for sampling in all_sampling_methods() {
+            let labels = connectivity_seeded(g, &sampling, &finish, 7);
+            assert!(
+                same_partition(truth, &labels),
+                "{name}: {} + {} disagrees with the sequential oracle",
+                sampling.name(),
+                finish.name()
+            );
+            combos += 1;
+        }
+    }
+    // 36 union-find variants + 16 Liu-Tarjan schemes + SV/Stergiou/LP,
+    // each under 7 sampling configurations.
+    assert_eq!(combos, 55 * 7, "{name}: combination space changed; update this count");
+}
+
+#[test]
+fn every_combination_matches_oracle_on_rmat() {
+    let el = rmat_default(8, 1_500, 42);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let truth = oracle_labels(el.num_vertices, &el.edges);
+    check_matrix("rmat", &g, &truth);
+}
+
+#[test]
+fn every_combination_matches_oracle_on_grid() {
+    // Row-major grid: high diameter and strong vertex-id locality, the
+    // adversarial regime for LDD sampling and label propagation.
+    let g = grid2d(16, 16);
+    let edges: Vec<(u32, u32)> = (0..g.num_vertices() as u32)
+        .flat_map(|u| g.neighbors(u).iter().map(move |&v| (u, v)).collect::<Vec<_>>())
+        .filter(|&(u, v)| u < v)
+        .collect();
+    let truth = oracle_labels(g.num_vertices(), &edges);
+    check_matrix("grid", &g, &truth);
+}

@@ -234,8 +234,8 @@ mod tests {
                 adj[v as usize].insert(u);
             }
         }
-        for v in 0..n {
-            let expect: Vec<VertexId> = adj[v].iter().copied().collect();
+        for (v, set) in adj.iter().enumerate() {
+            let expect: Vec<VertexId> = set.iter().copied().collect();
             assert_eq!(g.neighbors(v as VertexId), expect.as_slice(), "vertex {v}");
         }
     }

@@ -262,13 +262,10 @@ mod tests {
             let via_frontier = bfs_with_edge_map(&g, 0);
             let reference = crate::bfs::bfs(&g, 0);
             // Same reachability; parents may differ but must be valid.
-            for v in 0..g.num_vertices() {
-                assert_eq!(
-                    via_frontier[v] != NO_VERTEX,
-                    reference.parents[v] != NO_VERTEX
-                );
-                if via_frontier[v] != NO_VERTEX && v != 0 {
-                    assert!(g.neighbors(v as u32).contains(&via_frontier[v]));
+            for (v, &parent) in via_frontier.iter().enumerate() {
+                assert_eq!(parent != NO_VERTEX, reference.parents[v] != NO_VERTEX);
+                if parent != NO_VERTEX && v != 0 {
+                    assert!(g.neighbors(v as u32).contains(&parent));
                 }
             }
         }

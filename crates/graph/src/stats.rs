@@ -100,7 +100,6 @@ pub fn most_frequent_label(labels: &[VertexId]) -> (VertexId, usize) {
     counts
         .into_iter()
         .max_by_key(|&(_, c)| c)
-        .map(|(l, c)| (l, c))
         .unwrap_or((NO_VERTEX, 0))
 }
 

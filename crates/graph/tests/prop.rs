@@ -28,8 +28,8 @@ proptest! {
                 adj[v as usize].insert(u);
             }
         }
-        for v in 0..n {
-            let expect: Vec<u32> = adj[v].iter().copied().collect();
+        for (v, set) in adj.iter().enumerate() {
+            let expect: Vec<u32> = set.iter().copied().collect();
             prop_assert_eq!(g.neighbors(v as u32), expect.as_slice());
         }
     }
