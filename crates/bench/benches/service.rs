@@ -1,0 +1,85 @@
+//! Service-layer benchmark: mixed insert/query throughput of the sharded
+//! engine (shard-count sweep, wait-free vs phased) and of the full
+//! service stack including the batch former and reply fan-out.
+
+use cc_parallel::SplitMix64;
+use cc_server::{Client, ExecMode, Service, ServiceConfig, ShardedEngine};
+use cc_unionfind::UfSpec;
+use connectit::Update;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn mixed_batch(n: usize, ops: usize, seed: u64) -> Vec<Update> {
+    let mut rng = SplitMix64::new(seed);
+    (0..ops)
+        .map(|_| {
+            let u = (rng.next_u64() % n as u64) as u32;
+            let v = (rng.next_u64() % n as u64) as u32;
+            if rng.next_u64().is_multiple_of(2) {
+                Update::Insert(u, v)
+            } else {
+                Update::Query(u, v)
+            }
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let n = 1usize << 16;
+    let ops = 1usize << 14;
+    let mut group = c.benchmark_group("service_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ops as u64));
+    for shards in [1usize, 4, 8] {
+        group.bench_function(format!("waitfree/shards_{shards}"), |b| {
+            b.iter(|| {
+                let e = ShardedEngine::new(n, shards, &UfSpec::fastest(), ExecMode::Auto, 1)
+                    .expect("engine");
+                for (i, chunk) in mixed_batch(n, ops, 9).chunks(4096).enumerate() {
+                    black_box(e.process_batch(black_box(chunk)));
+                    black_box(i);
+                }
+                black_box(e)
+            })
+        });
+    }
+    group.bench_function("phased/shards_4", |b| {
+        b.iter(|| {
+            let e = ShardedEngine::new(n, 4, &UfSpec::fastest(), ExecMode::Phased, 1)
+                .expect("engine");
+            for chunk in mixed_batch(n, ops, 9).chunks(4096) {
+                black_box(e.process_batch(black_box(chunk)));
+            }
+            black_box(e)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_service(c: &mut Criterion) {
+    let n = 1usize << 16;
+    let ops = 1usize << 14;
+    let mut group = c.benchmark_group("service_full_stack");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ops as u64));
+    group.bench_function("submit_4096_chunks", |b| {
+        let svc = Service::start(ServiceConfig {
+            n,
+            shards: 4,
+            batch_max_wait: Duration::from_micros(20),
+            ..ServiceConfig::default()
+        })
+        .expect("service");
+        let client: Client = svc.client();
+        b.iter(|| {
+            for chunk in mixed_batch(n, ops, 23).chunks(4096) {
+                black_box(client.submit(chunk.to_vec()).expect("submit"));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_full_service);
+criterion_main!(benches);

@@ -17,7 +17,10 @@ use crate::minkey::MinKey;
 use crate::shiloach_vishkin::sv_rounds_on_edges;
 use cc_graph::{Edge, VertexId};
 use cc_parallel::{pack_map, parallel_for_chunks};
-use cc_unionfind::parents::{find_root_readonly, make_parents, snapshot_labels, Parents};
+use cc_unionfind::parents::{
+    count_roots, find_root_readonly, make_parents, parent, snapshot_labels,
+    snapshot_labels_readonly, Parents,
+};
 use cc_unionfind::{UfSpec, Unite};
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -67,6 +70,32 @@ enum Backend {
     UnionFind(Box<dyn Unite>),
     Sv,
     Lt(LtScheme),
+}
+
+/// Linearizable same-set check, safe concurrently with unions (Type (i)):
+/// if the two finds disagree, the answer is only trustworthy when the
+/// first root is still a root at that moment — a union may have migrated
+/// `u`'s component under `v`'s root between the two finds. Retrying until
+/// `ru` is observed as a live root pins a linearization point (the instant
+/// `rv` was read, `u` and `v` provably had different roots). Terminates:
+/// every retry means a root lost root status, which happens at most `n`
+/// times.
+fn same_set_with<F: FnMut(VertexId) -> VertexId>(
+    p: &Parents,
+    mut find: F,
+    u: VertexId,
+    v: VertexId,
+) -> bool {
+    loop {
+        let ru = find(u);
+        let rv = find(v);
+        if ru == rv {
+            return true;
+        }
+        if parent(p, ru) == ru {
+            return false;
+        }
+    }
 }
 
 /// A batch-incremental connectivity structure over `n` vertices.
@@ -158,7 +187,8 @@ impl StreamingConnectivity {
                                 uf.unite(p, u, v, &mut hops);
                             }
                             Update::Query(u, v) => {
-                                let c = uf.find(p, u, &mut hops) == uf.find(p, v, &mut hops);
+                                let c =
+                                    same_set_with(p, |x| uf.find(p, x, &mut hops), u, v);
                                 results[query_slot[i]].store(u8::from(c), Ordering::Relaxed);
                             }
                         }
@@ -238,14 +268,65 @@ impl StreamingConnectivity {
         }
     }
 
-    /// Single wait-free connectivity query against the current state.
+    /// Edge insertion for phase-concurrent (Type (iii)) use: may be called
+    /// concurrently with other inserts from many threads, but the caller
+    /// must guarantee no query ([`Self::connected`], [`Self::current_label`],
+    /// snapshots) runs until the update phase is over (Theorem 3's barrier).
+    /// Unlike [`Self::insert`] this is available for *every* union-find
+    /// backend, including Rem + `SpliceAtomic`; the protocol obligation is
+    /// the caller's.
+    ///
+    /// # Panics
+    /// For synchronous (SV / Liu–Tarjan) backends, which require batch
+    /// processing.
+    pub fn insert_phase_concurrent(&self, u: VertexId, v: VertexId) {
+        match &self.backend {
+            Backend::UnionFind(uf) => {
+                let mut hops = 0u64;
+                uf.unite(&self.parents, u, v, &mut hops);
+            }
+            _ => panic!(
+                "phase-concurrent inserts require a union-find backend; use process_batch"
+            ),
+        }
+    }
+
+    /// Single linearizable connectivity query against the current state.
+    /// Wait-free alongside concurrent [`Self::insert`] calls on Type (i)
+    /// backends (uses the root-recheck retry loop, so a concurrent merge
+    /// can never produce a stale `false` for already-connected vertices).
     pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
-        find_root_readonly(&self.parents, u) == find_root_readonly(&self.parents, v)
+        let p = &self.parents;
+        same_set_with(p, |x| find_root_readonly(p, x), u, v)
+    }
+
+    /// The current representative label of `v`, without snapshotting the
+    /// whole labeling. Read-only; exact when quiescent. Between batches,
+    /// two vertices are in the same component iff their labels match.
+    pub fn current_label(&self, v: VertexId) -> VertexId {
+        find_root_readonly(&self.parents, v)
+    }
+
+    /// Number of connected components in the current state, computed as a
+    /// read-only root count — no label snapshot is allocated. Exact when
+    /// quiescent (e.g. between batches); during concurrent insertions it is
+    /// an upper bound on the post-batch count.
+    pub fn num_components(&self) -> usize {
+        count_roots(&self.parents)
     }
 
     /// Snapshot of the current component labeling (fully compressed).
     pub fn labels(&self) -> Vec<VertexId> {
         snapshot_labels(&self.parents)
+    }
+
+    /// Read-only labeling snapshot: like [`Self::labels`] but writes
+    /// nothing, so it can run while other threads hold live references and
+    /// is safe concurrently with wait-free queries. Concurrent insertions
+    /// may tear it; exact when quiescent (the service layer snapshots
+    /// between batches).
+    pub fn labels_readonly(&self) -> Vec<VertexId> {
+        snapshot_labels_readonly(&self.parents)
     }
 }
 
@@ -363,6 +444,44 @@ mod tests {
     fn async_insert_rejected_for_synchronous_backend() {
         let s = StreamingConnectivity::new(4, &StreamAlgorithm::ShiloachVishkin, 0);
         s.insert(0, 1);
+    }
+
+    #[test]
+    fn accessors_report_state_without_snapshot() {
+        let s = StreamingConnectivity::new(6, &StreamAlgorithm::UnionFind(UfSpec::fastest()), 0);
+        assert_eq!(s.num_components(), 6);
+        s.process_batch(&[Update::Insert(0, 1), Update::Insert(2, 3)]);
+        assert_eq!(s.num_components(), 4);
+        assert_eq!(s.current_label(0), s.current_label(1));
+        assert_ne!(s.current_label(0), s.current_label(2));
+        assert_eq!(s.current_label(4), 4);
+        let ro = s.labels_readonly();
+        assert_eq!(ro, s.labels());
+    }
+
+    #[test]
+    fn phase_concurrent_inserts_for_splice_backend() {
+        let splice = UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive);
+        let el = rmat_default(10, 4_000, 17);
+        let n = el.num_vertices;
+        let s = StreamingConnectivity::new(n, &StreamAlgorithm::UnionFind(splice), 0);
+        // Update phase: concurrent unites, no finds.
+        cc_parallel::parallel_for_chunks(el.edges.len(), |r| {
+            for i in r {
+                let (u, v) = el.edges[i];
+                s.insert_phase_concurrent(u, v);
+            }
+        });
+        // Barrier (parallel_for_chunks returned), then query phase.
+        let expect = oracle_labels(n, &el.edges);
+        assert!(same_partition(&expect, &s.labels()));
+    }
+
+    #[test]
+    #[should_panic(expected = "union-find backend")]
+    fn phase_concurrent_insert_rejected_for_sv() {
+        let s = StreamingConnectivity::new(4, &StreamAlgorithm::ShiloachVishkin, 0);
+        s.insert_phase_concurrent(0, 1);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Property-based linearizability tests for Type (i) streaming: mixed
+//! insert/query batches over every wait-free union-find variant, checked
+//! against the sequential oracle by *bracketing*.
+//!
+//! Connectivity is monotone (no deletions), so for a query inside a batch
+//! there are exactly two cases against the oracle state before/after that
+//! batch's insertions:
+//!
+//! - stable (`before == after`): every linearization of the batch gives
+//!   the same answer, so the structure's answer is forced;
+//! - transition (`false` before, `true` after): the query may legally be
+//!   linearized on either side of the merging insertions, so both answers
+//!   are accepted.
+//!
+//! Batches run on the real thread pool, so these cases also exercise true
+//! concurrent interleavings of `unite` and the root-recheck query loop.
+
+use cc_graph::stats::same_partition;
+use cc_unionfind::{SeqUnionFind, UfSpec};
+use connectit::{StreamAlgorithm, StreamType, StreamingConnectivity, Update};
+use proptest::prelude::*;
+
+/// All union-find variants whose finds may run concurrently with unions
+/// (paper Type (i)) — everything except Rem + `SpliceAtomic`.
+fn wait_free_variants() -> Vec<UfSpec> {
+    UfSpec::all_variants()
+        .into_iter()
+        .filter(|spec| {
+            StreamingConnectivity::new(2, &StreamAlgorithm::UnionFind(*spec), 1).stream_type()
+                == StreamType::WaitFree
+        })
+        .collect()
+}
+
+/// Strategy: vertex count, a flat op script over it, a batch size to cut
+/// the script into, and an index selecting the union-find variant.
+#[allow(clippy::type_complexity)]
+fn arb_case() -> impl Strategy<Value = (usize, Vec<(bool, u32, u32)>, usize, usize)> {
+    (2usize..80).prop_flat_map(|n| {
+        let op = (any::<bool>(), 0..n as u32, 0..n as u32);
+        (
+            Just(n),
+            proptest::collection::vec(op, 1..250),
+            1usize..40,
+            0usize..1000,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn type_i_mixed_batches_are_linearizable(
+        (n, script, batch_size, variant_pick) in arb_case(),
+    ) {
+        let variants = wait_free_variants();
+        let spec = variants[variant_pick % variants.len()];
+        let s = StreamingConnectivity::new(n, &StreamAlgorithm::UnionFind(spec), 11);
+        let mut oracle = SeqUnionFind::new(n);
+        for chunk in script.chunks(batch_size) {
+            let batch: Vec<Update> = chunk
+                .iter()
+                .map(|&(q, u, v)| if q { Update::Query(u, v) } else { Update::Insert(u, v) })
+                .collect();
+            let before: Vec<bool> = chunk
+                .iter()
+                .filter(|&&(q, ..)| q)
+                .map(|&(_, u, v)| oracle.connected(u, v))
+                .collect();
+            let answers = s.process_batch(&batch);
+            prop_assert_eq!(answers.len(), before.len());
+            for &(q, u, v) in chunk {
+                if !q {
+                    oracle.union(u, v);
+                }
+            }
+            for (qi, (&(_, u, v), got)) in chunk
+                .iter()
+                .filter(|&&(q, ..)| q)
+                .zip(&answers)
+                .enumerate()
+            {
+                let was = before[qi];
+                let now = oracle.connected(u, v);
+                if was == now {
+                    prop_assert_eq!(
+                        *got,
+                        was,
+                        "query({}, {}) answered {} but the oracle says {} on both sides \
+                         of the batch ({})",
+                        u,
+                        v,
+                        got,
+                        was,
+                        spec.name()
+                    );
+                } else {
+                    prop_assert!(!was && now, "connectivity regressed in the oracle");
+                }
+            }
+        }
+        // After the full script the partitions must agree exactly.
+        prop_assert!(
+            same_partition(&oracle.labels(), &s.labels()),
+            "final partition diverged for {}",
+            spec.name()
+        );
+    }
+
+    #[test]
+    fn accessors_agree_with_oracle_between_batches(
+        (n, script, batch_size, variant_pick) in arb_case(),
+    ) {
+        let variants = wait_free_variants();
+        let spec = variants[variant_pick % variants.len()];
+        let s = StreamingConnectivity::new(n, &StreamAlgorithm::UnionFind(spec), 3);
+        let mut oracle = SeqUnionFind::new(n);
+        for chunk in script.chunks(batch_size) {
+            let batch: Vec<Update> = chunk
+                .iter()
+                .filter(|&&(q, ..)| !q)
+                .map(|&(_, u, v)| Update::Insert(u, v))
+                .collect();
+            s.process_batch(&batch);
+            for &(q, u, v) in chunk {
+                if !q {
+                    oracle.union(u, v);
+                }
+            }
+        }
+        // Quiescent: the cheap accessors must be exact.
+        prop_assert_eq!(s.num_components(), oracle.num_components());
+        for v in 0..n as u32 {
+            prop_assert_eq!(
+                s.current_label(v) == s.current_label(0),
+                oracle.connected(v, 0)
+            );
+        }
+        prop_assert!(same_partition(&oracle.labels(), &s.labels_readonly()));
+    }
+}

@@ -33,9 +33,35 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl ParseError {
+    /// The 1-based line number of a malformed line, if this is a parse
+    /// (rather than I/O) failure.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ParseError::Io(_) => None,
+            ParseError::BadLine { line, .. } => Some(*line),
+        }
+    }
+}
+
 impl From<std::io::Error> for ParseError {
     fn from(e: std::io::Error) -> Self {
         ParseError::Io(e)
+    }
+}
+
+/// A malformed line converts to a proper `InvalidData` [`std::io::Error`]
+/// whose message carries the line number, so callers plumbing edge-list
+/// loading through `io::Result` (the server's dataset loading does) keep
+/// the diagnostic instead of panicking mid-parse.
+impl From<ParseError> for std::io::Error {
+    fn from(e: ParseError) -> Self {
+        match e {
+            ParseError::Io(io) => io,
+            bad @ ParseError::BadLine { .. } => {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, bad.to_string())
+            }
+        }
     }
 }
 
@@ -105,6 +131,43 @@ mod tests {
             ParseError::BadLine { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected: {other}"),
         }
+    }
+
+    #[test]
+    fn parse_rejects_truncated_line() {
+        // A file cut off mid-edge: the final line has one endpoint.
+        let err = read_edge_list("0 1\n2 3\n4".as_bytes(), 0).unwrap_err();
+        assert_eq!(err.line(), Some(3));
+        // And a lone trailing digit fragment mid-number parses as a valid
+        // (if surprising) vertex id only when paired; alone it is an error.
+        assert!(read_edge_list("7 8\n9\n".as_bytes(), 0).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_negative_and_overflow() {
+        let err = read_edge_list("-1 2\n".as_bytes(), 0).unwrap_err();
+        assert_eq!(err.line(), Some(1));
+        let err = read_edge_list("0 1\n99999999999 3\n".as_bytes(), 0).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn parse_error_converts_to_io_error_with_line() {
+        let err = read_edge_list("0 1\n\u{0} garbage\n".as_bytes(), 0).unwrap_err();
+        let io_err: std::io::Error = err.into();
+        assert_eq!(io_err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = io_err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        // Blank comment-only files stay fine through the io::Error path.
+        let ok: Result<_, std::io::Error> =
+            read_edge_list("# only comments\n".as_bytes(), 0).map_err(Into::into);
+        assert_eq!(ok.expect("parses").num_vertices, 0);
+    }
+
+    #[test]
+    fn parse_error_line_accessor() {
+        let io_side = ParseError::Io(std::io::Error::other("boom"));
+        assert_eq!(io_side.line(), None);
     }
 
     #[test]

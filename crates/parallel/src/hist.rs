@@ -1,9 +1,12 @@
-//! Parallel histogram / counting primitives.
+//! Parallel histogram / counting primitives, plus a concurrent
+//! log-bucketed latency histogram with percentile extraction
+//! ([`LatencyHist`]) used by the service layer and benches.
 
 use crate::ops::{parallel_for_chunks, parallel_tabulate};
 use crate::scan::scan_exclusive;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Number of buckets below which per-thread local histograms (merged at the
 /// end) beat shared atomic counters.
@@ -78,6 +81,200 @@ where
     (perm, counts)
 }
 
+/// Sub-bucket resolution bits of [`LatencyHist`]: each power-of-two value
+/// range is split into `2^SUB_BITS` linear sub-buckets, bounding the
+/// relative quantization error by `2^-SUB_BITS` (~3% at 5 bits).
+const SUB_BITS: u32 = 5;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` value range at `SUB_BITS`
+/// resolution (values below `2^SUB_BITS` are recorded exactly).
+const HIST_BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) << SUB_BITS;
+
+/// Maps a value to its bucket index (monotone in the value).
+#[inline]
+fn latency_bucket(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = (v >> (exp - SUB_BITS)) & (SUBS - 1);
+    (((exp - SUB_BITS + 1) as u64 * SUBS) | sub) as usize
+}
+
+/// Lower bound of a bucket's value range (inverse of [`latency_bucket`]).
+#[inline]
+fn bucket_lower(idx: usize) -> u64 {
+    let group = idx as u64 / SUBS;
+    let sub = idx as u64 & (SUBS - 1);
+    if group <= 1 {
+        return idx as u64;
+    }
+    let exp = (group - 1) + SUB_BITS as u64;
+    (1u64 << exp) | (sub << (exp - SUB_BITS as u64))
+}
+
+/// A concurrent, log-bucketed histogram of `u64` samples (nanoseconds by
+/// convention) with cheap percentile extraction.
+///
+/// Recording is wait-free (one relaxed `fetch_add` per sample plus min/max
+/// maintenance), so many threads — e.g. the service's batch former and its
+/// protocol threads — can record into one shared instance. Values are
+/// quantized to ~3% relative error; `min`/`max` are tracked exactly.
+///
+/// The `Display` implementation prints a one-line summary with count, mean,
+/// p50/p90/p99/p999 and max, formatted as durations:
+///
+/// ```
+/// use cc_parallel::hist::LatencyHist;
+/// let h = LatencyHist::new();
+/// for i in 1..=1000u64 {
+///     h.record(i * 1_000); // 1µs .. 1ms
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let line = h.to_string();
+/// assert!(line.contains("p50=") && line.contains("p999="));
+/// ```
+pub struct LatencyHist {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            counts: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (nanoseconds by convention).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of the same value in O(1) (used when every
+    /// operation of a batch shares the batch's completion latency).
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[latency_bucket(v)].fetch_add(n, Ordering::Relaxed);
+        self.total.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] sample in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) of the recorded samples, e.g.
+    /// `quantile(0.99)` for p99. Returns the lower bound of the bucket
+    /// holding the target rank, clamped to the exact recorded min/max; 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        // Snapshot min/max once; a concurrent `record_n` updates counts
+        // before min/max, so the pair can be transiently inverted — fall
+        // back to the raw bucket bound rather than a panicking clamp.
+        let (lo, hi) = (self.min.load(Ordering::Relaxed), self.max());
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                let b = bucket_lower(i);
+                return if lo <= hi { b.clamp(lo, hi) } else { b };
+            }
+        }
+        hi
+    }
+
+    /// p50 / p90 / p99 / p999 in one call (one pass per percentile).
+    pub fn percentiles(&self) -> [u64; 4] {
+        [self.quantile(0.50), self.quantile(0.90), self.quantile(0.99), self.quantile(0.999)]
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&self, other: &LatencyHist) {
+        for (dst, src) in self.counts.iter().zip(&other.counts) {
+            let c = src.load(Ordering::Relaxed);
+            if c > 0 {
+                dst.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.total.fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Formats nanoseconds with a human time unit (`ns`/`µs`/`ms`/`s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+impl std::fmt::Display for LatencyHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [p50, p90, p99, p999] = self.percentiles();
+        write!(
+            f,
+            "n={} mean={} p50={} p90={} p99={} p999={} max={}",
+            self.count(),
+            fmt_ns(self.mean()),
+            fmt_ns(p50),
+            fmt_ns(p90),
+            fmt_ns(p99),
+            fmt_ns(p999),
+            fmt_ns(self.max())
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +302,69 @@ mod tests {
     fn histogram_empty() {
         assert_eq!(histogram(0, 4, |_| 0), vec![0; 4]);
         assert!(histogram(10, 0, |_| 0).is_empty());
+    }
+
+    #[test]
+    fn latency_bucket_monotone_and_invertible() {
+        let values: Vec<u64> =
+            (0..60).flat_map(|shift| [0u64, 1, 3].map(|off| (1u64 << shift) + off)).collect();
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let mut prev = 0usize;
+        for v in sorted {
+            let b = latency_bucket(v);
+            assert!(b >= prev, "bucket not monotone at {v}");
+            prev = b;
+            assert!(bucket_lower(b) <= v, "lower bound above value at {v}");
+        }
+        // Small values are exact.
+        for v in 0..SUBS * 2 {
+            assert_eq!(bucket_lower(latency_bucket(v)), v);
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_uniform() {
+        let h = LatencyHist::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 10_000);
+        let [p50, p90, p99, p999] = h.percentiles();
+        // ~3% quantization error plus rank rounding.
+        let close = |got: u64, want: u64| (got as f64 - want as f64).abs() / (want as f64) < 0.08;
+        assert!(close(p50, 5_000_000), "p50={p50}");
+        assert!(close(p90, 9_000_000), "p90={p90}");
+        assert!(close(p99, 9_900_000), "p99={p99}");
+        assert!(close(p999, 9_990_000), "p999={p999}");
+        assert_eq!(h.max(), 10_000_000);
+        assert!(h.quantile(0.0) >= 1000);
+        assert!(close(h.quantile(1.0), 10_000_000));
+    }
+
+    #[test]
+    fn latency_record_n_and_merge() {
+        let a = LatencyHist::new();
+        let b = LatencyHist::new();
+        a.record_n(100, 50);
+        b.record_n(1_000_000, 50);
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert!(a.quantile(0.25) <= 104);
+        let p99 = a.quantile(0.99);
+        assert!(p99 >= 970_000, "p99={p99}");
+        let line = a.to_string();
+        assert!(line.starts_with("n=100 "), "{line}");
+        assert!(line.contains("max=1.00ms"), "{line}");
+    }
+
+    #[test]
+    fn latency_empty_is_benign() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        assert!(h.to_string().contains("n=0"));
     }
 
     #[test]

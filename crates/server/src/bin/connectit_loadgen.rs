@@ -1,0 +1,375 @@
+//! `connectit-loadgen` — closed-loop load generator and correctness
+//! checker for the connectivity service.
+//!
+//! Each client thread owns a private slice of the vertex space (so its
+//! traffic never interferes with other clients'), keeps a sequential
+//! union-find oracle over that slice, and submits mixed insert/query
+//! batches. Every answered query is validated against the oracle by
+//! *bracketing*: a query whose oracle answer is identical before and
+//! after its batch's insertions has exactly one legal answer; a query
+//! whose component forms within its own batch may legally answer either
+//! way (batch operations are concurrent). Connectivity is monotone, so
+//! those two cases are exhaustive. Throughput is reported over the whole
+//! closed loop, oracle maintenance included.
+//!
+//! ```text
+//! connectit-loadgen [--mode inproc|tcp] [--addr HOST:PORT] [--n N]
+//!                   [--shards S] [--clients C] [--batches B] [--batch-ops K]
+//!                   [--query-frac F] [--layout blocked|strided]
+//!                   [--alg fastest|async|rem-splice] [--phased]
+//!                   [--seed X] [--shutdown]
+//! ```
+//!
+//! Exits non-zero on any oracle mismatch or zero throughput. In `tcp`
+//! mode, `--n` must match the server's vertex count.
+
+use cc_parallel::SplitMix64;
+use cc_server::{parse_alg, ExecMode, Service, ServiceConfig, TcpClient};
+use cc_unionfind::{SeqUnionFind, UfSpec};
+use connectit::Update;
+use std::process::ExitCode;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct GenOpts {
+    tcp_addr: Option<String>,
+    n: usize,
+    shards: usize,
+    clients: usize,
+    batches: usize,
+    batch_ops: usize,
+    query_frac: f64,
+    strided: bool,
+    spec: UfSpec,
+    phased: bool,
+    seed: u64,
+    send_shutdown: bool,
+}
+
+impl Default for GenOpts {
+    fn default() -> Self {
+        GenOpts {
+            tcp_addr: None,
+            n: 1 << 20,
+            shards: 4,
+            clients: 8,
+            batches: 64,
+            batch_ops: 8192,
+            query_frac: 0.5,
+            strided: false,
+            spec: UfSpec::fastest(),
+            phased: false,
+            seed: 0x10ad,
+            send_shutdown: false,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: connectit-loadgen [--mode inproc|tcp] [--addr HOST:PORT] [--n N]\n\
+         \x20                        [--shards S] [--clients C] [--batches B] [--batch-ops K]\n\
+         \x20                        [--query-frac F] [--layout blocked|strided]\n\
+         \x20                        [--alg fastest|async|rem-splice] [--phased]\n\
+         \x20                        [--seed X] [--shutdown]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(args: &[String]) -> Result<GenOpts, String> {
+    let mut o = GenOpts::default();
+    let mut it = args.iter();
+    let next_val = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match next_val(a, &mut it)?.as_str() {
+                "inproc" => o.tcp_addr = None,
+                "tcp" => {
+                    o.tcp_addr.get_or_insert_with(|| "127.0.0.1:7411".to_string());
+                }
+                other => return Err(format!("unknown --mode {other:?}")),
+            },
+            "--addr" => o.tcp_addr = Some(next_val(a, &mut it)?),
+            "--n" => o.n = next_val(a, &mut it)?.parse().map_err(|_| "bad --n")?,
+            "--shards" => o.shards = next_val(a, &mut it)?.parse().map_err(|_| "bad --shards")?,
+            "--clients" => {
+                o.clients = next_val(a, &mut it)?.parse().map_err(|_| "bad --clients")?
+            }
+            "--batches" => {
+                o.batches = next_val(a, &mut it)?.parse().map_err(|_| "bad --batches")?
+            }
+            "--batch-ops" => {
+                o.batch_ops = next_val(a, &mut it)?.parse().map_err(|_| "bad --batch-ops")?
+            }
+            "--query-frac" => {
+                o.query_frac = next_val(a, &mut it)?.parse().map_err(|_| "bad --query-frac")?
+            }
+            "--layout" => match next_val(a, &mut it)?.as_str() {
+                "blocked" => o.strided = false,
+                "strided" => o.strided = true,
+                other => return Err(format!("unknown --layout {other:?}")),
+            },
+            "--alg" => o.spec = parse_alg(&next_val(a, &mut it)?)?,
+            "--phased" => o.phased = true,
+            "--seed" => o.seed = next_val(a, &mut it)?.parse().map_err(|_| "bad --seed")?,
+            "--shutdown" => o.send_shutdown = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if o.clients == 0 || o.n / o.clients < 2 {
+        return Err("need n / clients >= 2".to_string());
+    }
+    if !(0.0..=1.0).contains(&o.query_frac) {
+        return Err("--query-frac must be in [0, 1]".to_string());
+    }
+    Ok(o)
+}
+
+/// One transport connection, in-process or TCP.
+enum Conn {
+    InProc(cc_server::Client),
+    Tcp(Box<TcpClient>),
+}
+
+impl Conn {
+    fn submit(&mut self, ops: &[Update]) -> Result<Vec<bool>, String> {
+        match self {
+            Conn::InProc(c) => c.submit(ops.to_vec()).map_err(|e| e.to_string()),
+            Conn::Tcp(c) => c.submit(ops).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+#[derive(Default)]
+struct WorkerReport {
+    ops: u64,
+    queries: u64,
+    exact: u64,
+    transitions: u64,
+    mismatches: u64,
+    first_mismatch: Option<String>,
+}
+
+/// The closed loop for one client thread.
+fn run_worker(o: &GenOpts, idx: usize, mut conn: Conn) -> Result<WorkerReport, String> {
+    let sz = o.n / o.clients;
+    let to_global = |l: usize| -> u32 {
+        if o.strided {
+            (idx + l * o.clients) as u32
+        } else {
+            (idx * sz + l) as u32
+        }
+    };
+    let mut oracle = SeqUnionFind::new(sz);
+    let mut rng = SplitMix64::new(o.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(idx as u64 + 1)));
+    let mut rep = WorkerReport::default();
+    let mut local_ops: Vec<(bool, u32, u32)> = Vec::with_capacity(o.batch_ops);
+    let mut wire_ops: Vec<Update> = Vec::with_capacity(o.batch_ops);
+    let mut before: Vec<bool> = Vec::new();
+    let query_cut = (o.query_frac * (1u64 << 32) as f64) as u64;
+    for _ in 0..o.batches {
+        local_ops.clear();
+        wire_ops.clear();
+        before.clear();
+        for _ in 0..o.batch_ops {
+            let r = rng.next_u64();
+            let lu = (r >> 32) as usize % sz;
+            let lv = (rng.next_u64() >> 32) as usize % sz;
+            let is_query = (r & 0xffff_ffff) < query_cut;
+            local_ops.push((is_query, lu as u32, lv as u32));
+            let (gu, gv) = (to_global(lu), to_global(lv));
+            if is_query {
+                before.push(oracle.connected(lu as u32, lv as u32));
+                wire_ops.push(Update::Query(gu, gv));
+            } else {
+                wire_ops.push(Update::Insert(gu, gv));
+            }
+        }
+        let answers = conn.submit(&wire_ops)?;
+        // Advance the oracle past this batch's insertions.
+        for &(is_query, lu, lv) in &local_ops {
+            if !is_query {
+                oracle.union(lu, lv);
+            }
+        }
+        // Bracket-check every answer.
+        let mut qi = 0usize;
+        for &(is_query, lu, lv) in &local_ops {
+            if !is_query {
+                continue;
+            }
+            let got = *answers
+                .get(qi)
+                .ok_or_else(|| format!("short answer vector: {} < …", answers.len()))?;
+            let was = before[qi];
+            let now = oracle.connected(lu, lv);
+            qi += 1;
+            rep.queries += 1;
+            if was == now {
+                rep.exact += 1;
+                if got != was {
+                    rep.mismatches += 1;
+                    rep.first_mismatch.get_or_insert_with(|| {
+                        format!(
+                            "client {idx}: query({}, {}) answered {got}, oracle says {was} \
+                             (stable across the batch)",
+                            to_global(lu as usize),
+                            to_global(lv as usize)
+                        )
+                    });
+                }
+            } else {
+                // false -> true within this batch: either answer is a
+                // valid linearization.
+                rep.transitions += 1;
+            }
+        }
+        if qi != answers.len() {
+            return Err(format!("answer count {} != queries {qi}", answers.len()));
+        }
+        rep.ops += o.batch_ops as u64;
+    }
+    Ok(rep)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let o = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("connectit-loadgen: {e}");
+            return usage();
+        }
+    };
+
+    // In-process mode hosts its own service; TCP mode talks to a running
+    // connectit-serve.
+    let mut service: Option<Service> = None;
+    if o.tcp_addr.is_none() {
+        let cfg = ServiceConfig {
+            n: o.n,
+            shards: o.shards,
+            spec: o.spec,
+            mode: if o.phased { ExecMode::Phased } else { ExecMode::Auto },
+            ..ServiceConfig::default()
+        };
+        match Service::start(cfg) {
+            Ok(s) => service = Some(s),
+            Err(e) => {
+                eprintln!("connectit-loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let reports: Vec<Result<WorkerReport, String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for idx in 0..o.clients {
+            let o = o.clone();
+            let conn = match (&service, &o.tcp_addr) {
+                (Some(svc), _) => Ok(Conn::InProc(svc.client())),
+                (None, Some(addr)) => {
+                    TcpClient::connect(addr.as_str()).map(|c| Conn::Tcp(Box::new(c)))
+                }
+                (None, None) => unreachable!("inproc mode always has a service"),
+            };
+            handles.push(scope.spawn(move || {
+                let conn = conn.map_err(|e| format!("connect failed: {e}"))?;
+                run_worker(&o, idx, conn)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut total = WorkerReport::default();
+    let mut failed = false;
+    for (i, r) in reports.into_iter().enumerate() {
+        match r {
+            Ok(r) => {
+                total.ops += r.ops;
+                total.queries += r.queries;
+                total.exact += r.exact;
+                total.transitions += r.transitions;
+                total.mismatches += r.mismatches;
+                if total.first_mismatch.is_none() {
+                    total.first_mismatch = r.first_mismatch;
+                }
+            }
+            Err(e) => {
+                eprintln!("connectit-loadgen: client {i} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let ops_per_sec = (total.ops as f64 / elapsed.as_secs_f64()) as u64;
+    let mode = if o.tcp_addr.is_some() { "tcp" } else { "inproc" };
+    let layout = if o.strided { "strided" } else { "blocked" };
+    println!(
+        "connectit-loadgen: mode={mode} n={} shards={} clients={} batches={} batch_ops={} \
+         query_frac={} layout={layout} alg={}",
+        o.n,
+        o.shards,
+        o.clients,
+        o.batches,
+        o.batch_ops,
+        o.query_frac,
+        o.spec.name()
+    );
+    println!(
+        "ops={} elapsed={:.3}s ops_per_sec={ops_per_sec} verified_queries={} exact={} \
+         intra_batch_transitions={} mismatches={}",
+        total.ops,
+        elapsed.as_secs_f64(),
+        total.queries,
+        total.exact,
+        total.transitions,
+        total.mismatches
+    );
+    if let Some(m) = &total.first_mismatch {
+        eprintln!("connectit-loadgen: FIRST MISMATCH: {m}");
+    }
+
+    // Final server-side stats (and optional remote shutdown). A failed
+    // `--shutdown` delivery is fatal: the caller (e.g. CI) is about to
+    // `wait` on the server process.
+    match (&service, &o.tcp_addr) {
+        (Some(svc), _) => println!("server: {}", svc.client().stats()),
+        (None, Some(addr)) => match TcpClient::connect(addr.as_str()) {
+            Ok(mut c) => {
+                if let Ok(s) = c.stats_line() {
+                    println!("server: {s}");
+                }
+                if o.send_shutdown {
+                    if let Err(e) = c.shutdown_server() {
+                        eprintln!("connectit-loadgen: SHUTDOWN delivery failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("connectit-loadgen: final connection failed: {e}");
+                if o.send_shutdown {
+                    failed = true;
+                }
+            }
+        },
+        (None, None) => {}
+    }
+    if let Some(mut svc) = service {
+        svc.shutdown();
+    }
+
+    if failed || total.mismatches > 0 || ops_per_sec == 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,119 @@
+//! `connectit-serve` — the long-running sharded connectivity daemon.
+//!
+//! ```text
+//! connectit-serve [--n N] [--shards S] [--bind ADDR] [--port P]
+//!                 [--alg fastest|async|rem-splice] [--phased]
+//!                 [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]
+//! ```
+//!
+//! Serves the line protocol documented in `cc_server::net` until a client
+//! sends `SHUTDOWN`, then prints final stats and exits.
+
+use cc_server::{parse_alg, serve, ExecMode, Service, ServiceConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: connectit-serve [--n N] [--shards S] [--bind ADDR] [--port P]\n\
+         \x20                      [--alg fastest|async|rem-splice] [--phased]\n\
+         \x20                      [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    cfg: ServiceConfig,
+    bind: String,
+    port: u16,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        cfg: ServiceConfig { n: 1 << 20, shards: 4, ..ServiceConfig::default() },
+        bind: "127.0.0.1".to_string(),
+        port: 7411,
+    };
+    let mut it = args.iter();
+    let next_val = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => {
+                opts.cfg.n = next_val(a, &mut it)?.parse().map_err(|_| "bad --n".to_string())?
+            }
+            "--shards" => {
+                opts.cfg.shards =
+                    next_val(a, &mut it)?.parse().map_err(|_| "bad --shards".to_string())?
+            }
+            "--bind" => opts.bind = next_val(a, &mut it)?,
+            "--port" => {
+                opts.port =
+                    next_val(a, &mut it)?.parse().map_err(|_| "bad --port".to_string())?
+            }
+            "--alg" => opts.cfg.spec = parse_alg(&next_val(a, &mut it)?)?,
+            "--phased" => opts.cfg.mode = ExecMode::Phased,
+            "--batch-ops" => {
+                opts.cfg.batch_max_ops =
+                    next_val(a, &mut it)?.parse().map_err(|_| "bad --batch-ops".to_string())?
+            }
+            "--batch-wait-us" => {
+                let us: u64 = next_val(a, &mut it)?
+                    .parse()
+                    .map_err(|_| "bad --batch-wait-us".to_string())?;
+                opts.cfg.batch_max_wait = Duration::from_micros(us);
+            }
+            "--snapshot-every" => {
+                opts.cfg.snapshot_every = next_val(a, &mut it)?
+                    .parse()
+                    .map_err(|_| "bad --snapshot-every".to_string())?
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("connectit-serve: {e}");
+            return usage();
+        }
+    };
+    let mut service = match Service::start(opts.cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connectit-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let client = service.client();
+    let mut server = match serve(&service, (opts.bind.as_str(), opts.port)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connectit-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "connectit-serve listening on {} n={} shards={} alg={} mode={} batch_ops={} batch_wait={:?}",
+        server.local_addr(),
+        client.num_vertices(),
+        client.num_shards(),
+        opts.cfg.spec.name(),
+        client.mode(),
+        opts.cfg.batch_max_ops,
+        opts.cfg.batch_max_wait,
+    );
+    server.wait_shutdown();
+    service.shutdown();
+    println!("connectit-serve: shutdown; final stats: {}", client.stats());
+    ExitCode::SUCCESS
+}

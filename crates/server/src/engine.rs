@@ -1,0 +1,477 @@
+//! The sharded connectivity engine: vertex-range shards, each backed by a
+//! [`StreamingConnectivity`] over its local id space, stitched together by
+//! a shared union-find *spine* over the full vertex set.
+//!
+//! ## Why this is correct
+//!
+//! The spine receives (a) every cross-shard edge and (b) every intra-shard
+//! edge that was *novel* — not already connected inside its shard — at the
+//! time its batch was classified. By induction over batches, the spine's
+//! equivalence relation equals the whole graph's connectivity relation: an
+//! intra-shard edge is dropped only when its endpoints were already
+//! locally connected, i.e. joined by a chain of earlier intra-shard edges
+//! each of which was novel when applied and therefore forwarded. Queries
+//! are answered from the spine alone (with a same-shard local fast path);
+//! component counts and label snapshots also come from the spine.
+//!
+//! ## Why this is fast
+//!
+//! Each shard's parent array covers only its vertex range, so the hot
+//! arrays for intra-shard traffic are small and per-shard, and a shard
+//! can absorb any number of *redundant* intra-shard edges without ever
+//! touching shared state. Spine traffic from intra-shard edges is
+//! amortized: an edge forwards at most once per batch (duplicates are
+//! deduplicated at classification) and never again once its endpoints
+//! are locally connected, so a shard's lifetime forwards track its
+//! distinct novel edges — close to its merge count (`w - 1` for a shard
+//! of `w` vertices, plus per-batch novel cycles) — not its raw edge
+//! volume. Over-forwarding is harmless (the spine union is idempotent).
+//!
+//! ## Execution modes
+//!
+//! - [`ExecMode::WaitFree`] (paper Type (i)): the whole batch — updates
+//!   *and* queries — runs in one parallel pass; queries use the
+//!   linearizable root-recheck loop.
+//! - [`ExecMode::Phased`] (paper Type (iii), Theorem 3): an update phase
+//!   over all shards and the spine, a barrier, then a query phase. This is
+//!   the configurable fast path that unlocks the Rem + `SpliceAtomic`
+//!   variants, which forbid finds concurrent with unions.
+
+use cc_unionfind::UfSpec;
+use connectit::{StreamAlgorithm, StreamType, StreamingConnectivity, Update};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Requested batch-execution discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Pick [`ExecMode::WaitFree`] when the variant supports concurrent
+    /// finds, [`ExecMode::Phased`] otherwise.
+    Auto,
+    /// Type (i): one concurrent pass over the whole mixed batch.
+    WaitFree,
+    /// Type (iii): update phase, barrier, query phase.
+    Phased,
+}
+
+/// Resolved execution discipline (no `Auto`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunMode {
+    /// Type (i) single-pass execution.
+    WaitFree,
+    /// Type (iii) phase-concurrent execution.
+    Phased,
+}
+
+impl std::fmt::Display for RunMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunMode::WaitFree => write!(f, "wait-free"),
+            RunMode::Phased => write!(f, "phased"),
+        }
+    }
+}
+
+/// An invalid engine configuration.
+#[derive(Debug)]
+pub enum EngineError {
+    /// `n` must be at least 1.
+    EmptyVertexSet,
+    /// Wait-free execution was requested for a variant whose finds may not
+    /// run concurrently with unions (Rem + `SpliceAtomic`).
+    NotWaitFreeCapable(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::EmptyVertexSet => write!(f, "engine needs at least one vertex"),
+            EngineError::NotWaitFreeCapable(name) => {
+                write!(f, "{name} is phase-concurrent only; use ExecMode::Phased or Auto")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Monotone operation counters, readable at any time.
+#[derive(Default)]
+pub struct EngineCounters {
+    /// Insertions whose endpoints shared a shard.
+    pub intra_inserts: AtomicU64,
+    /// Insertions spanning two shards (applied to the spine directly).
+    pub cross_inserts: AtomicU64,
+    /// Intra-shard insertions also forwarded to the spine because they
+    /// were novel at classification time.
+    pub forwarded: AtomicU64,
+}
+
+/// One classified batch operation (see [`ShardedEngine::process_batch`]).
+enum EngineOp {
+    /// Intra-shard insert, pre-translated to shard-local ids; `forward`
+    /// carries the novelty verdict from classification.
+    Local { shard: u32, lu: u32, lv: u32, gu: u32, gv: u32, forward: bool },
+    /// Cross-shard insert, applied to the spine.
+    Spine { u: u32, v: u32 },
+    /// Connectivity query, answered into `slot`.
+    Query { u: u32, v: u32, slot: u32 },
+}
+
+/// A sharded, batch-incremental connectivity structure over `n` vertices.
+///
+/// `process_batch` must not be called concurrently with itself (the
+/// service layer's batch former serializes batches); in wait-free mode,
+/// read-side methods ([`Self::connected`], [`Self::current_label`],
+/// [`Self::num_components`], [`Self::labels_readonly`]) may run
+/// concurrently with an in-flight batch.
+pub struct ShardedEngine {
+    n: usize,
+    shard_width: usize,
+    shards: Vec<StreamingConnectivity>,
+    spine: StreamingConnectivity,
+    mode: RunMode,
+    counters: EngineCounters,
+}
+
+impl ShardedEngine {
+    /// Builds an engine over `n` vertices split into (at most) `shards`
+    /// contiguous vertex ranges, every shard and the spine running the
+    /// union-find variant `spec`.
+    pub fn new(
+        n: usize,
+        shards: usize,
+        spec: &UfSpec,
+        mode: ExecMode,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        if n == 0 {
+            return Err(EngineError::EmptyVertexSet);
+        }
+        let shards = shards.clamp(1, n);
+        let shard_width = n.div_ceil(shards);
+        let num_shards = n.div_ceil(shard_width);
+        let alg = StreamAlgorithm::UnionFind(*spec);
+        let spine = StreamingConnectivity::new(n, &alg, seed);
+        let wait_free_capable = spine.stream_type() == StreamType::WaitFree;
+        let mode = match mode {
+            ExecMode::Auto => {
+                if wait_free_capable {
+                    RunMode::WaitFree
+                } else {
+                    RunMode::Phased
+                }
+            }
+            ExecMode::WaitFree => {
+                if !wait_free_capable {
+                    return Err(EngineError::NotWaitFreeCapable(spec.name()));
+                }
+                RunMode::WaitFree
+            }
+            ExecMode::Phased => RunMode::Phased,
+        };
+        let shards = (0..num_shards)
+            .map(|s| {
+                let lo = s * shard_width;
+                let size = shard_width.min(n - lo);
+                StreamingConnectivity::new(size, &alg, seed.wrapping_add(1 + s as u64))
+            })
+            .collect();
+        Ok(ShardedEngine {
+            n,
+            shard_width,
+            shards,
+            spine,
+            mode,
+            counters: EngineCounters::default(),
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The resolved execution discipline.
+    pub fn mode(&self) -> RunMode {
+        self.mode
+    }
+
+    /// The monotone operation counters.
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    #[inline]
+    fn shard_of(&self, v: u32) -> usize {
+        v as usize / self.shard_width
+    }
+
+    /// Applies a mixed batch; returns query answers in order of appearance.
+    ///
+    /// Queries may observe any subset of the same batch's insertions
+    /// (operations within a batch are concurrent); state from previous
+    /// batches is always fully visible.
+    pub fn process_batch(&self, batch: &[Update]) -> Vec<bool> {
+        // Classify on the (quiescent) pre-batch state: route every op,
+        // translate intra-shard edges to local ids, and decide spine
+        // forwarding via the local novelty check. `fwd_seen` suppresses
+        // duplicate copies of the same novel edge within this batch (the
+        // novelty check alone runs against the pre-batch state, so every
+        // copy would otherwise look novel); it only ever holds this
+        // batch's novel edges, so it stays small.
+        let mut ops: Vec<EngineOp> = Vec::with_capacity(batch.len());
+        let mut fwd_seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        let mut num_queries = 0u32;
+        let (mut intra, mut cross, mut fwd) = (0u64, 0u64, 0u64);
+        for &op in batch {
+            match op {
+                Update::Insert(u, v) => {
+                    let (su, sv) = (self.shard_of(u), self.shard_of(v));
+                    if su == sv {
+                        let lo = (su * self.shard_width) as u32;
+                        let (lu, lv) = (u - lo, v - lo);
+                        let forward = !self.shards[su].connected(lu, lv)
+                            && fwd_seen.insert((u.min(v), u.max(v)));
+                        intra += 1;
+                        fwd += u64::from(forward);
+                        ops.push(EngineOp::Local { shard: su as u32, lu, lv, gu: u, gv: v, forward });
+                    } else {
+                        cross += 1;
+                        ops.push(EngineOp::Spine { u, v });
+                    }
+                }
+                Update::Query(u, v) => {
+                    ops.push(EngineOp::Query { u, v, slot: num_queries });
+                    num_queries += 1;
+                }
+            }
+        }
+        self.counters.intra_inserts.fetch_add(intra, Ordering::Relaxed);
+        self.counters.cross_inserts.fetch_add(cross, Ordering::Relaxed);
+        self.counters.forwarded.fetch_add(fwd, Ordering::Relaxed);
+
+        let results: Vec<AtomicU8> =
+            (0..num_queries).map(|_| AtomicU8::new(0)).collect();
+        match self.mode {
+            RunMode::WaitFree => {
+                cc_parallel::parallel_for_chunks(ops.len(), |r| {
+                    for i in r {
+                        match ops[i] {
+                            EngineOp::Local { shard, lu, lv, gu, gv, forward } => {
+                                self.shards[shard as usize].insert(lu, lv);
+                                if forward {
+                                    self.spine.insert(gu, gv);
+                                }
+                            }
+                            EngineOp::Spine { u, v } => self.spine.insert(u, v),
+                            EngineOp::Query { u, v, slot } => {
+                                let c = self.connected(u, v);
+                                results[slot as usize].store(u8::from(c), Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            RunMode::Phased => {
+                // Update phase: unions only, across shards and spine.
+                cc_parallel::parallel_for_chunks(ops.len(), |r| {
+                    for i in r {
+                        match ops[i] {
+                            EngineOp::Local { shard, lu, lv, gu, gv, forward } => {
+                                self.shards[shard as usize].insert_phase_concurrent(lu, lv);
+                                if forward {
+                                    self.spine.insert_phase_concurrent(gu, gv);
+                                }
+                            }
+                            EngineOp::Spine { u, v } => {
+                                self.spine.insert_phase_concurrent(u, v)
+                            }
+                            EngineOp::Query { .. } => {}
+                        }
+                    }
+                });
+                // Barrier fell out of the parallel region; query phase.
+                cc_parallel::parallel_for_chunks(ops.len(), |r| {
+                    for i in r {
+                        if let EngineOp::Query { u, v, slot } = ops[i] {
+                            let c = self.connected(u, v);
+                            results[slot as usize].store(u8::from(c), Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        }
+        results.iter().map(|r| r.load(Ordering::Relaxed) == 1).collect()
+    }
+
+    /// Linearizable connectivity query. Same-shard pairs that are locally
+    /// connected short-circuit without touching the spine; everything else
+    /// is answered by the spine, whose relation equals global
+    /// connectivity (see module docs). Safe concurrently with an
+    /// in-flight wait-free batch.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        let (su, sv) = (self.shard_of(u), self.shard_of(v));
+        if su == sv {
+            let lo = (su * self.shard_width) as u32;
+            if self.shards[su].connected(u - lo, v - lo) {
+                return true;
+            }
+        }
+        self.spine.connected(u, v)
+    }
+
+    /// Current global component label of `v` (a spine representative).
+    /// Exact when quiescent.
+    pub fn current_label(&self, v: u32) -> u32 {
+        self.spine.current_label(v)
+    }
+
+    /// Number of global connected components (read-only spine root count;
+    /// exact when quiescent).
+    pub fn num_components(&self) -> usize {
+        self.spine.num_components()
+    }
+
+    /// Read-only snapshot of the global component labeling: vertices are
+    /// in the same component iff their labels match. Never blocks or
+    /// perturbs writers.
+    pub fn labels_readonly(&self) -> Vec<u32> {
+        self.spine.labels_readonly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::rmat_default;
+    use cc_graph::stats::same_partition;
+    use cc_unionfind::{oracle_labels, FindKind, SpliceKind, UniteKind};
+
+    fn splice_spec() -> UfSpec {
+        UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive)
+    }
+
+    #[test]
+    fn mode_resolution() {
+        let e = ShardedEngine::new(8, 2, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        assert_eq!(e.mode(), RunMode::WaitFree);
+        let e = ShardedEngine::new(8, 2, &splice_spec(), ExecMode::Auto, 0).expect("ok");
+        assert_eq!(e.mode(), RunMode::Phased);
+        let e = ShardedEngine::new(8, 2, &UfSpec::fastest(), ExecMode::Phased, 0).expect("ok");
+        assert_eq!(e.mode(), RunMode::Phased);
+        assert!(ShardedEngine::new(8, 2, &splice_spec(), ExecMode::WaitFree, 0).is_err());
+        assert!(ShardedEngine::new(0, 2, &UfSpec::fastest(), ExecMode::Auto, 0).is_err());
+    }
+
+    #[test]
+    fn shard_count_clamps_to_n() {
+        let e = ShardedEngine::new(3, 16, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        assert!(e.num_shards() <= 3);
+        e.process_batch(&[Update::Insert(0, 2)]);
+        assert!(e.connected(0, 2));
+    }
+
+    #[test]
+    fn matches_oracle_across_shard_counts_and_modes() {
+        let el = rmat_default(11, 14_000, 5);
+        let n = el.num_vertices;
+        let expect = oracle_labels(n, &el.edges);
+        for shards in [1usize, 3, 4, 8] {
+            for (spec, mode) in [
+                (UfSpec::fastest(), ExecMode::WaitFree),
+                (UfSpec::fastest(), ExecMode::Phased),
+                (splice_spec(), ExecMode::Phased),
+            ] {
+                let e = ShardedEngine::new(n, shards, &spec, mode, 42).expect("ok");
+                for chunk in el.edges.chunks(997) {
+                    let batch: Vec<Update> =
+                        chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                    e.process_batch(&batch);
+                }
+                assert!(
+                    same_partition(&expect, &e.labels_readonly()),
+                    "shards={shards} spec={} mode={mode:?}",
+                    spec.name()
+                );
+                assert_eq!(
+                    e.num_components(),
+                    cc_graph::stats::count_distinct_labels(&expect),
+                    "shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_chains_answer_correctly() {
+        // A path that zig-zags across every shard boundary.
+        let n = 64usize;
+        let e = ShardedEngine::new(n, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        let mut batch = Vec::new();
+        for i in 0..(n as u32 - 17) {
+            batch.push(Update::Insert(i, i + 17)); // 17 and 16-wide shards: mostly cross
+        }
+        let answers = e.process_batch(&batch);
+        assert!(answers.is_empty());
+        // Everything reachable by +17 steps from 0 is one component.
+        assert!(e.connected(0, 17));
+        assert!(e.connected(0, 34));
+        assert!(e.connected(17, 51));
+        let c = e.counters();
+        assert!(c.cross_inserts.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn forwarding_is_amortized() {
+        let n = 1024usize;
+        let e = ShardedEngine::new(n, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        // Hammer one shard with the same spanning path many times over.
+        for _ in 0..10 {
+            let batch: Vec<Update> =
+                (0..255u32).map(|i| Update::Insert(i, i + 1)).collect();
+            e.process_batch(&batch);
+        }
+        let c = e.counters();
+        assert_eq!(c.intra_inserts.load(Ordering::Relaxed), 2550);
+        // Only the first pass was novel; later passes forward nothing.
+        assert_eq!(c.forwarded.load(Ordering::Relaxed), 255);
+        assert!(e.connected(0, 255));
+        assert!(!e.connected(0, 256));
+    }
+
+    #[test]
+    fn duplicate_edges_within_a_batch_forward_once() {
+        let e = ShardedEngine::new(64, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        // 20 copies of the same novel intra-shard edge in one batch: the
+        // pre-state novelty check alone would forward all of them.
+        let batch: Vec<Update> = (0..20).map(|_| Update::Insert(2, 3)).collect();
+        e.process_batch(&batch);
+        let c = e.counters();
+        assert_eq!(c.intra_inserts.load(Ordering::Relaxed), 20);
+        assert_eq!(c.forwarded.load(Ordering::Relaxed), 1);
+        assert!(e.connected(2, 3));
+    }
+
+    #[test]
+    fn mixed_batches_cross_batch_determinism() {
+        let e = ShardedEngine::new(40, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        e.process_batch(&[Update::Insert(0, 39), Update::Insert(10, 20)]);
+        let r = e.process_batch(&[
+            Update::Query(0, 39),
+            Update::Query(39, 10),
+            Update::Insert(20, 39),
+            Update::Query(5, 6),
+        ]);
+        assert_eq!(r.len(), 3);
+        assert!(r[0]);
+        assert!(!r[2]);
+        let r2 = e.process_batch(&[Update::Query(0, 10), Update::Query(0, 5)]);
+        assert_eq!(r2, vec![true, false]);
+        assert_eq!(e.current_label(0), e.current_label(10));
+    }
+}

@@ -1,0 +1,63 @@
+//! # cc-server
+//!
+//! A sharded, concurrent connectivity *service* over the ConnectIt
+//! streaming engine: the batch-incremental machinery of Section 3.5 turned
+//! into a long-running system serving heavy mixed insert/query traffic.
+//!
+//! Layers, bottom up:
+//!
+//! - [`engine::ShardedEngine`] — vertex-range shards, each a
+//!   [`connectit::StreamingConnectivity`] over its local id space, plus a
+//!   shared union-find *spine* over the full vertex set that receives
+//!   cross-shard edges and novel intra-shard merges (so spine work per
+//!   shard is amortized by the shard's vertex count, not its edge
+//!   traffic). Batches run wait-free (paper Type (i)) or phase-concurrent
+//!   (Type (iii)) on the shared `cc_parallel` pool.
+//! - [`service::Service`] — a time/size-bounded batch former coalescing
+//!   many clients' submissions into engine batches, epoch-versioned
+//!   `Arc`-swapped label snapshots (reads never block writers),
+//!   per-operation latency tracking via `cc_parallel::hist::LatencyHist`,
+//!   and a cloneable in-process [`service::Client`].
+//! - [`net`] — a minimal line-based TCP protocol (`I`/`Q`/`B`/`STATS`/…),
+//!   a one-thread-per-connection server, and a blocking [`net::TcpClient`].
+//!
+//! Binaries: `connectit-serve` (the daemon) and `connectit-loadgen` (a
+//! closed-loop load generator that validates every answered query against
+//! the sequential oracle while measuring throughput). See the README for
+//! a quickstart and the protocol reference, and DESIGN.md §5 for the
+//! architecture discussion.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod net;
+pub mod service;
+
+pub use engine::{EngineCounters, EngineError, ExecMode, RunMode, ShardedEngine};
+pub use net::{serve, TcpClient, TcpServer};
+pub use service::{Client, LabelSnapshot, Service, ServiceConfig, ServiceError, ServiceStats};
+
+/// Parses the CLI `--alg` vocabulary shared by `connectit-serve` and
+/// `connectit-loadgen` into a union-find variant:
+/// `fastest`/`rem-cas` (wait-free), `async` (wait-free), or `rem-splice`
+/// (phase-concurrent only).
+pub fn parse_alg(name: &str) -> Result<cc_unionfind::UfSpec, String> {
+    use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
+    match name {
+        "fastest" | "rem-cas" => Ok(UfSpec::fastest()),
+        "async" => Ok(UfSpec::new(UniteKind::Async, FindKind::Halve)),
+        "rem-splice" => Ok(UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive)),
+        other => Err(format!("unknown --alg {other:?} (fastest|async|rem-splice)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alg_vocabulary() {
+        assert_eq!(super::parse_alg("fastest").unwrap(), super::parse_alg("rem-cas").unwrap());
+        assert!(super::parse_alg("async").is_ok());
+        assert!(super::parse_alg("rem-splice").is_ok());
+        assert!(super::parse_alg("nope").is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! Minimal line-based TCP protocol over the service (std-only — the
+//! workspace has no crates.io access, so there is no async runtime; one
+//! thread per connection, which is plenty for the batched protocol).
+//!
+//! ## Protocol
+//!
+//! Requests are single `\n`-terminated ASCII lines; every request gets
+//! exactly one reply line (except `QUIT`, which closes the connection).
+//!
+//! | Request              | Reply                                | Meaning |
+//! |----------------------|--------------------------------------|---------|
+//! | `I u v`              | `OK`                                 | insert edge `{u, v}` |
+//! | `Q u v`              | `1` / `0`                            | connectivity query |
+//! | `B k` + `k` op lines | `OK <bits>`                          | submit `k` ops (`I u v` / `Q u v` lines) as one unit; `<bits>` answers the queries in order |
+//! | `LABEL v`            | `L <label>`                          | current component label of `v` |
+//! | `COMPONENTS`         | `C <count>`                          | current component count |
+//! | `EPOCH`              | `E <epoch>`                          | completed batches |
+//! | `STATS`              | `S <key=value ...>`                  | one-line stats dump |
+//! | `PING`               | `PONG`                               | liveness |
+//! | `QUIT`               | — (connection closes)                | end this connection |
+//! | `SHUTDOWN`           | `BYE`                                | stop accepting; wake [`TcpServer::wait_shutdown`] |
+//!
+//! Malformed requests get `ERR <reason>` and the connection stays open.
+
+use crate::service::{Client, Service, ServiceError};
+use connectit::Update;
+use parking_lot::{Condvar, Mutex};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Request {
+    Insert(u32, u32),
+    Query(u32, u32),
+    Batch(usize),
+    Label(u32),
+    Components,
+    Epoch,
+    Stats,
+    Ping,
+    Quit,
+    Shutdown,
+}
+
+/// Upper bound on `B k` batch sizes, so a hostile header cannot trigger an
+/// unbounded allocation. [`TcpClient::submit`] enforces it client-side.
+pub const MAX_WIRE_BATCH: usize = 1 << 22;
+
+fn parse_u32(tok: Option<&str>) -> Result<u32, String> {
+    tok.ok_or_else(|| "missing argument".to_string())?
+        .parse()
+        .map_err(|_| "argument is not a 32-bit unsigned integer".to_string())
+}
+
+fn parse_request(line: &str) -> Result<Request, String> {
+    let mut it = line.split_whitespace();
+    let cmd = it.next().ok_or_else(|| "empty request".to_string())?;
+    let req = match cmd {
+        "I" => Request::Insert(parse_u32(it.next())?, parse_u32(it.next())?),
+        "Q" => Request::Query(parse_u32(it.next())?, parse_u32(it.next())?),
+        "B" => {
+            let k = parse_u32(it.next())? as usize;
+            if k > MAX_WIRE_BATCH {
+                return Err(format!("batch too large (max {MAX_WIRE_BATCH})"));
+            }
+            Request::Batch(k)
+        }
+        "LABEL" => Request::Label(parse_u32(it.next())?),
+        "COMPONENTS" => Request::Components,
+        "EPOCH" => Request::Epoch,
+        "STATS" => Request::Stats,
+        "PING" => Request::Ping,
+        "QUIT" => Request::Quit,
+        "SHUTDOWN" => Request::Shutdown,
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    if it.next().is_some() {
+        return Err(format!("trailing arguments after {cmd}"));
+    }
+    Ok(req)
+}
+
+/// Parses one `I u v` / `Q u v` line of a `B` batch body.
+fn parse_batch_op(line: &str) -> Result<Update, String> {
+    let mut it = line.split_whitespace();
+    let op = match it.next() {
+        Some("I") => Update::Insert(parse_u32(it.next())?, parse_u32(it.next())?),
+        Some("Q") => Update::Query(parse_u32(it.next())?, parse_u32(it.next())?),
+        _ => return Err("batch op must be `I u v` or `Q u v`".to_string()),
+    };
+    if it.next().is_some() {
+        return Err("trailing arguments in batch op".to_string());
+    }
+    Ok(op)
+}
+
+fn err_line(e: &ServiceError) -> String {
+    format!("ERR {e}")
+}
+
+struct ServerShared {
+    shutdown: AtomicBool,
+    done_mx: Mutex<bool>,
+    done_cv: Condvar,
+    local_addr: SocketAddr,
+}
+
+impl ServerShared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        *self.done_mx.lock() = true;
+        self.done_cv.notify_all();
+        // The accept loop polls the flag (non-blocking listener), so no
+        // wake-up connection is needed — shutdown works even when the
+        // bound address is not self-connectable (e.g. 0.0.0.0).
+    }
+}
+
+/// A running TCP front-end over a [`Service`]. Connections are served one
+/// thread each; the accept loop stops when a `SHUTDOWN` request arrives or
+/// [`TcpServer::stop`] is called.
+pub struct TcpServer {
+    shared: Arc<ServerShared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Blocks until a `SHUTDOWN` request arrives (or [`TcpServer::stop`]
+    /// is called from another thread), then joins the accept loop.
+    pub fn wait_shutdown(&mut self) {
+        {
+            let mut g = self.shared.done_mx.lock();
+            while !*g {
+                self.shared.done_cv.wait_for(&mut g, Duration::from_millis(50));
+            }
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Initiates shutdown from the hosting process.
+    pub fn stop(&mut self) {
+        self.shared.request_shutdown();
+        self.wait_shutdown();
+    }
+}
+
+/// Binds `addr` and serves the given service over the line protocol.
+/// Returns immediately; the accept loop runs on a background thread.
+pub fn serve(service: &Service, addr: impl ToSocketAddrs) -> std::io::Result<TcpServer> {
+    let listener = TcpListener::bind(addr)?;
+    // Non-blocking accept with a short poll on the shutdown flag: the
+    // loop exits promptly on SHUTDOWN without needing to receive (or
+    // fabricate) another connection.
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(ServerShared {
+        shutdown: AtomicBool::new(false),
+        done_mx: Mutex::new(false),
+        done_cv: Condvar::new(),
+        local_addr: listener.local_addr()?,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let client = service.client();
+    let accept = std::thread::Builder::new().name("cc-accept".into()).spawn(move || {
+        while !accept_shared.shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let conn_client = client.clone();
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let _ = std::thread::Builder::new().name("cc-conn".into()).spawn(
+                        move || {
+                            let _ = handle_connection(stream, &conn_client, &conn_shared);
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    })?;
+    Ok(TcpServer { shared, accept: Some(accept) })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    client: &Client,
+    shared: &ServerShared,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut w = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(line.trim()) {
+            Err(msg) => {
+                writeln!(w, "ERR {msg}")?;
+                // A rejected `B` header is a framing error: the peer is
+                // about to stream body lines we cannot delimit, so
+                // interpreting them as top-level requests would both
+                // execute a rejected batch and desynchronize every later
+                // reply. Close instead.
+                if line.split_whitespace().next() == Some("B") {
+                    return w.flush();
+                }
+            }
+            Ok(Request::Insert(u, v)) => match client.insert(u, v) {
+                Ok(()) => writeln!(w, "OK")?,
+                Err(e) => writeln!(w, "{}", err_line(&e))?,
+            },
+            Ok(Request::Query(u, v)) => match client.query(u, v) {
+                Ok(c) => writeln!(w, "{}", u8::from(c))?,
+                Err(e) => writeln!(w, "{}", err_line(&e))?,
+            },
+            Ok(Request::Batch(k)) => {
+                let mut ops = Vec::with_capacity(k.min(1 << 16));
+                let mut bad: Option<String> = None;
+                for _ in 0..k {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        return Ok(()); // truncated batch: peer went away
+                    }
+                    match parse_batch_op(line.trim()) {
+                        Ok(op) => ops.push(op),
+                        Err(msg) => bad = bad.or(Some(msg)),
+                    }
+                }
+                if let Some(msg) = bad {
+                    writeln!(w, "ERR {msg}")?;
+                } else {
+                    match client.submit(ops) {
+                        Ok(answers) => {
+                            let bits: String =
+                                answers.iter().map(|&a| if a { '1' } else { '0' }).collect();
+                            if bits.is_empty() {
+                                writeln!(w, "OK")?;
+                            } else {
+                                writeln!(w, "OK {bits}")?;
+                            }
+                        }
+                        Err(e) => writeln!(w, "{}", err_line(&e))?,
+                    }
+                }
+            }
+            Ok(Request::Label(v)) => match client.current_label(v) {
+                Ok(l) => writeln!(w, "L {l}")?,
+                Err(e) => writeln!(w, "{}", err_line(&e))?,
+            },
+            Ok(Request::Components) => writeln!(w, "C {}", client.num_components())?,
+            Ok(Request::Epoch) => writeln!(w, "E {}", client.epoch())?,
+            Ok(Request::Stats) => writeln!(w, "S {}", client.stats())?,
+            Ok(Request::Ping) => writeln!(w, "PONG")?,
+            Ok(Request::Quit) => return w.flush(),
+            Ok(Request::Shutdown) => {
+                writeln!(w, "BYE")?;
+                w.flush()?;
+                shared.request_shutdown();
+                return Ok(());
+            }
+        }
+        w.flush()?;
+    }
+}
+
+/// A blocking client for the line protocol, used by the load generator,
+/// the end-to-end tests, and anyone scripting against `connectit-serve`.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn proto_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+impl TcpClient {
+    /// Connects to a `connectit-serve` instance.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(proto_err("connection closed by server"));
+        }
+        let line = line.trim_end().to_string();
+        if let Some(msg) = line.strip_prefix("ERR ") {
+            return Err(proto_err(format!("server error: {msg}")));
+        }
+        Ok(line)
+    }
+
+    fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    /// `I u v`.
+    pub fn insert(&mut self, u: u32, v: u32) -> std::io::Result<()> {
+        let r = self.roundtrip(&format!("I {u} {v}"))?;
+        if r == "OK" {
+            Ok(())
+        } else {
+            Err(proto_err(format!("unexpected reply {r:?}")))
+        }
+    }
+
+    /// `Q u v`.
+    pub fn query(&mut self, u: u32, v: u32) -> std::io::Result<bool> {
+        match self.roundtrip(&format!("Q {u} {v}"))?.as_str() {
+            "1" => Ok(true),
+            "0" => Ok(false),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `B k`: submits a group of operations as one unit; returns the
+    /// query answers in order. Groups larger than [`MAX_WIRE_BATCH`] are
+    /// rejected locally (the server would refuse the header and close).
+    pub fn submit(&mut self, ops: &[Update]) -> std::io::Result<Vec<bool>> {
+        if ops.len() > MAX_WIRE_BATCH {
+            return Err(proto_err(format!(
+                "batch of {} ops exceeds the wire limit of {MAX_WIRE_BATCH}; split it",
+                ops.len()
+            )));
+        }
+        writeln!(self.writer, "B {}", ops.len())?;
+        for op in ops {
+            match *op {
+                Update::Insert(u, v) => writeln!(self.writer, "I {u} {v}")?,
+                Update::Query(u, v) => writeln!(self.writer, "Q {u} {v}")?,
+            }
+        }
+        self.writer.flush()?;
+        let reply = self.read_reply()?;
+        let rest = reply
+            .strip_prefix("OK")
+            .ok_or_else(|| proto_err(format!("unexpected reply {reply:?}")))?;
+        Ok(rest.trim().chars().map(|c| c == '1').collect())
+    }
+
+    /// `LABEL v`.
+    pub fn label(&mut self, v: u32) -> std::io::Result<u32> {
+        let r = self.roundtrip(&format!("LABEL {v}"))?;
+        r.strip_prefix("L ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
+    /// `COMPONENTS`.
+    pub fn components(&mut self) -> std::io::Result<usize> {
+        let r = self.roundtrip("COMPONENTS")?;
+        r.strip_prefix("C ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
+    /// `EPOCH`.
+    pub fn epoch(&mut self) -> std::io::Result<u64> {
+        let r = self.roundtrip("EPOCH")?;
+        r.strip_prefix("E ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
+    /// `STATS` (raw one-line dump).
+    pub fn stats_line(&mut self) -> std::io::Result<String> {
+        let r = self.roundtrip("STATS")?;
+        r.strip_prefix("S ")
+            .map(str::to_string)
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
+    /// `PING`.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        match self.roundtrip("PING")?.as_str() {
+            "PONG" => Ok(()),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `SHUTDOWN`: asks the server process to stop accepting and exit.
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        match self.roundtrip("SHUTDOWN")?.as_str() {
+            "BYE" => Ok(()),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_grammar() {
+        assert_eq!(parse_request("I 3 4"), Ok(Request::Insert(3, 4)));
+        assert_eq!(parse_request("Q 0 9"), Ok(Request::Query(0, 9)));
+        assert_eq!(parse_request("B 128"), Ok(Request::Batch(128)));
+        assert_eq!(parse_request("LABEL 7"), Ok(Request::Label(7)));
+        assert_eq!(parse_request("  PING "), Ok(Request::Ping));
+        assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+        assert!(parse_request("I 3").is_err());
+        assert!(parse_request("I 3 4 5").is_err());
+        assert!(parse_request("Q -1 4").is_err());
+        assert!(parse_request("NOPE").is_err());
+        assert!(parse_request("B 99999999999").is_err());
+        assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn batch_op_grammar() {
+        assert_eq!(parse_batch_op("I 1 2"), Ok(Update::Insert(1, 2)));
+        assert_eq!(parse_batch_op("Q 5 6"), Ok(Update::Query(5, 6)));
+        assert!(parse_batch_op("X 1 2").is_err());
+        assert!(parse_batch_op("I one 2").is_err());
+        assert!(parse_batch_op("I 1 2 3").is_err());
+    }
+}

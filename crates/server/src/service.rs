@@ -1,0 +1,645 @@
+//! The long-running connectivity service: a time/size-bounded batch
+//! former in front of a [`ShardedEngine`], with epoch-versioned label
+//! snapshots and per-operation latency tracking.
+//!
+//! Clients ([`Client`], cheaply cloneable) enqueue submissions — each a
+//! small vector of [`Update`]s — and block on a per-submission reply
+//! slot. A dedicated batch-former thread drains the queue, lingering up
+//! to [`ServiceConfig::batch_max_wait`] to coalesce traffic from many
+//! clients into one engine batch of at most
+//! [`ServiceConfig::batch_max_ops`] operations, then runs it through
+//! [`ShardedEngine::process_batch`] on the shared `cc_parallel` pool (the
+//! same pool the rest of the workspace reuses — no second thread fleet)
+//! and fans the query answers back out. Every completed batch bumps the
+//! service epoch; label snapshots are published as `Arc`-swapped
+//! immutable values, so readers never block writers and writers never
+//! wait for readers.
+
+use crate::engine::{EngineError, ExecMode, RunMode, ShardedEngine};
+use cc_parallel::hist::LatencyHist;
+use cc_unionfind::UfSpec;
+use connectit::Update;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of vertices (fixed for the lifetime of the service).
+    pub n: usize,
+    /// Number of vertex-range shards.
+    pub shards: usize,
+    /// Union-find variant backing every shard and the spine.
+    pub spec: UfSpec,
+    /// Batch execution discipline.
+    pub mode: ExecMode,
+    /// Soft cap on operations per formed batch: the former stops taking
+    /// whole submissions once the cap is reached (a single oversized
+    /// submission still runs as one batch).
+    pub batch_max_ops: usize,
+    /// How long the former lingers for more traffic before running a
+    /// partially-filled batch.
+    pub batch_max_wait: Duration,
+    /// Publish a label snapshot every this many batches (0 disables
+    /// periodic snapshots; [`Client::snapshot_now`] always works).
+    pub snapshot_every: u64,
+    /// Seed for the union-find variants that use randomness.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            n: 1 << 20,
+            shards: 4,
+            spec: UfSpec::fastest(),
+            mode: ExecMode::Auto,
+            batch_max_ops: 1 << 16,
+            batch_max_wait: Duration::from_micros(100),
+            snapshot_every: 0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Why a service call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service has been shut down.
+    Closed,
+    /// An operation referenced a vertex outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        v: u32,
+        /// The service's vertex count.
+        n: usize,
+    },
+    /// The configuration was rejected at startup.
+    Config(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Closed => write!(f, "service is shut down"),
+            ServiceError::VertexOutOfRange { v, n } => {
+                write!(f, "vertex {v} out of range (n = {n})")
+            }
+            ServiceError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Config(e.to_string())
+    }
+}
+
+/// An immutable, epoch-versioned snapshot of the global labeling.
+pub struct LabelSnapshot {
+    /// The epoch (number of completed batches) the snapshot was taken at.
+    pub epoch: u64,
+    /// Component label per vertex: same label iff same component.
+    pub labels: Vec<u32>,
+    /// Number of connected components in the snapshot.
+    pub num_components: usize,
+}
+
+/// A point-in-time view of the service's counters and latency profile.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Completed batches (equals the current epoch).
+    pub epoch: u64,
+    /// Operations processed so far.
+    pub ops: u64,
+    /// Insert operations processed so far.
+    pub inserts: u64,
+    /// Query operations processed so far.
+    pub queries: u64,
+    /// Intra-shard insertions.
+    pub intra_inserts: u64,
+    /// Cross-shard insertions (spine direct).
+    pub cross_inserts: u64,
+    /// Intra-shard insertions forwarded to the spine (novel at
+    /// classification).
+    pub forwarded: u64,
+    /// Current number of connected components (read-only root count; may
+    /// lag an in-flight batch).
+    pub num_components: usize,
+    /// `[p50, p90, p99, p999]` submission-to-completion latency, ns.
+    pub latency_ns: [u64; 4],
+    /// One-line human latency summary (see `cc_parallel::hist`).
+    pub latency_summary: String,
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch={} ops={} inserts={} queries={} intra={} cross={} forwarded={} \
+             components={} latency[{}]",
+            self.epoch,
+            self.ops,
+            self.inserts,
+            self.queries,
+            self.intra_inserts,
+            self.cross_inserts,
+            self.forwarded,
+            self.num_components,
+            self.latency_summary,
+        )
+    }
+}
+
+/// One client submission awaiting batching.
+struct Pending {
+    ops: Vec<Update>,
+    num_queries: usize,
+    enqueued: Instant,
+    reply: Arc<ReplySlot>,
+}
+
+/// A single-use reply mailbox a submitting thread blocks on.
+struct ReplySlot {
+    state: Mutex<Option<Result<Vec<bool>, ServiceError>>>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplySlot { state: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn fulfill(&self, r: Result<Vec<bool>, ServiceError>) {
+        *self.state.lock() = Some(r);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Vec<bool>, ServiceError> {
+        let mut g = self.state.lock();
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            // Timeout is a lost-wakeup backstop, mirroring the pool.
+            self.cv.wait_for(&mut g, Duration::from_millis(10));
+        }
+    }
+}
+
+struct SubmitQueue {
+    queue: VecDeque<Pending>,
+    queued_ops: usize,
+    closed: bool,
+}
+
+struct Inner {
+    engine: ShardedEngine,
+    cfg: ServiceConfig,
+    q: Mutex<SubmitQueue>,
+    work_cv: Condvar,
+    epoch: AtomicU64,
+    inserts: AtomicU64,
+    queries: AtomicU64,
+    latency: LatencyHist,
+    snapshot: Mutex<Arc<LabelSnapshot>>,
+}
+
+impl Inner {
+    fn publish_snapshot(&self, epoch: u64) -> Arc<LabelSnapshot> {
+        // Built outside the swap lock from the read-only spine path, so
+        // neither writers nor snapshot readers are ever blocked on O(n)
+        // work. The O(n) build can race another publisher (an on-demand
+        // `snapshot_now` vs the periodic batcher snapshot), so the swap
+        // is guarded to keep the published epoch monotone.
+        let labels = self.engine.labels_readonly();
+        let num_components = cc_graph::stats::count_distinct_labels(&labels);
+        let snap = Arc::new(LabelSnapshot { epoch, labels, num_components });
+        let mut published = self.snapshot.lock();
+        if published.epoch <= epoch {
+            *published = Arc::clone(&snap);
+        }
+        snap
+    }
+}
+
+/// The batch former: runs on a dedicated thread until the service closes
+/// and the queue drains.
+fn run_batcher(inner: &Arc<Inner>) {
+    loop {
+        let mut pendings: Vec<Pending> = Vec::new();
+        {
+            let mut q = inner.q.lock();
+            loop {
+                if !q.queue.is_empty() {
+                    break;
+                }
+                if q.closed {
+                    return;
+                }
+                inner.work_cv.wait_for(&mut q, Duration::from_millis(5));
+            }
+            // Time/size-bounded forming: linger for more traffic while
+            // below the size cap and within the time bound.
+            let deadline = Instant::now() + inner.cfg.batch_max_wait;
+            while q.queued_ops < inner.cfg.batch_max_ops && !q.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                if inner.work_cv.wait_for(&mut q, deadline - now).timed_out() {
+                    break;
+                }
+            }
+            let mut took = 0usize;
+            while let Some(front) = q.queue.front() {
+                if took > 0 && took + front.ops.len() > inner.cfg.batch_max_ops {
+                    break;
+                }
+                let p = q.queue.pop_front().expect("front exists");
+                q.queued_ops -= p.ops.len();
+                took += p.ops.len();
+                pendings.push(p);
+            }
+        }
+
+        let total: usize = pendings.iter().map(|p| p.ops.len()).sum();
+        let mut batch = Vec::with_capacity(total);
+        for p in &pendings {
+            batch.extend_from_slice(&p.ops);
+        }
+        let answers = inner.engine.process_batch(&batch);
+
+        // Account everything *before* fulfilling any reply, so a client
+        // that returns from `submit` observes stats covering its batch.
+        let done_at = Instant::now();
+        let (mut ins, mut qrs) = (0u64, 0u64);
+        for p in &pendings {
+            qrs += p.num_queries as u64;
+            ins += (p.ops.len() - p.num_queries) as u64;
+            let elapsed = done_at.saturating_duration_since(p.enqueued);
+            inner.latency.record_n(
+                u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                p.ops.len() as u64,
+            );
+        }
+        inner.inserts.fetch_add(ins, Ordering::Relaxed);
+        inner.queries.fetch_add(qrs, Ordering::Relaxed);
+        let epoch = inner.epoch.fetch_add(1, Ordering::Release) + 1;
+        if inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(inner.cfg.snapshot_every) {
+            inner.publish_snapshot(epoch);
+        }
+        let mut qi = 0usize;
+        for p in pendings {
+            let res = answers[qi..qi + p.num_queries].to_vec();
+            qi += p.num_queries;
+            p.reply.fulfill(Ok(res));
+        }
+    }
+}
+
+/// A running connectivity service. Dropping it (or calling
+/// [`Service::shutdown`]) closes the submission queue, drains what is
+/// already enqueued, and joins the batch-former thread.
+pub struct Service {
+    inner: Arc<Inner>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the service: builds the sharded engine and spawns the batch
+    /// former.
+    pub fn start(cfg: ServiceConfig) -> Result<Service, ServiceError> {
+        if cfg.batch_max_ops == 0 {
+            return Err(ServiceError::Config("batch_max_ops must be at least 1".into()));
+        }
+        let engine = ShardedEngine::new(cfg.n, cfg.shards, &cfg.spec, cfg.mode, cfg.seed)?;
+        let initial = Arc::new(LabelSnapshot {
+            epoch: 0,
+            labels: (0..cfg.n as u32).collect(),
+            num_components: cfg.n,
+        });
+        let inner = Arc::new(Inner {
+            engine,
+            cfg,
+            q: Mutex::new(SubmitQueue {
+                queue: VecDeque::new(),
+                queued_ops: 0,
+                closed: false,
+            }),
+            work_cv: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            latency: LatencyHist::new(),
+            snapshot: Mutex::new(initial),
+        });
+        let b_inner = Arc::clone(&inner);
+        let batcher = std::thread::Builder::new()
+            .name("cc-batch-former".into())
+            .spawn(move || run_batcher(&b_inner))
+            .map_err(|e| ServiceError::Config(format!("failed to spawn batch former: {e}")))?;
+        Ok(Service { inner, batcher: Some(batcher) })
+    }
+
+    /// A handle for submitting operations; clone freely across threads.
+    pub fn client(&self) -> Client {
+        Client { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Closes the queue, drains already-enqueued submissions, and joins
+    /// the batch former. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = self.inner.q.lock();
+            q.closed = true;
+        }
+        self.inner.work_cv.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A cheap, cloneable handle for talking to a [`Service`] in-process.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<Inner>,
+}
+
+impl Client {
+    /// Number of vertices the service was started with.
+    pub fn num_vertices(&self) -> usize {
+        self.inner.engine.num_vertices()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.engine.num_shards()
+    }
+
+    /// The engine's resolved execution discipline.
+    pub fn mode(&self) -> RunMode {
+        self.inner.engine.mode()
+    }
+
+    /// Submits a group of operations as one unit and blocks until the
+    /// batch containing them completes. Returns the answers to the
+    /// submission's queries, in order. Queries may observe other
+    /// operations grouped into the same service batch (batch semantics
+    /// are concurrent); all earlier completed submissions are visible.
+    pub fn submit(&self, ops: Vec<Update>) -> Result<Vec<bool>, ServiceError> {
+        let n = self.num_vertices();
+        let mut num_queries = 0usize;
+        for op in &ops {
+            let (Update::Insert(u, v) | Update::Query(u, v)) = *op;
+            for x in [u, v] {
+                if x as usize >= n {
+                    return Err(ServiceError::VertexOutOfRange { v: x, n });
+                }
+            }
+            num_queries += usize::from(matches!(op, Update::Query(..)));
+        }
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reply = ReplySlot::new();
+        {
+            let mut q = self.inner.q.lock();
+            if q.closed {
+                return Err(ServiceError::Closed);
+            }
+            q.queued_ops += ops.len();
+            q.queue.push_back(Pending {
+                num_queries,
+                ops,
+                enqueued: Instant::now(),
+                reply: Arc::clone(&reply),
+            });
+        }
+        self.inner.work_cv.notify_all();
+        reply.wait()
+    }
+
+    /// Inserts one edge (batched like any submission).
+    pub fn insert(&self, u: u32, v: u32) -> Result<(), ServiceError> {
+        self.submit(vec![Update::Insert(u, v)]).map(|_| ())
+    }
+
+    /// Asks whether `u` and `v` are connected (batched like any
+    /// submission; linearized at its batch).
+    pub fn query(&self, u: u32, v: u32) -> Result<bool, ServiceError> {
+        Ok(self.submit(vec![Update::Query(u, v)])?[0])
+    }
+
+    /// Lock-free read-side query: answered directly against the live
+    /// structure without going through the batch former. On wait-free
+    /// engines this runs concurrently with in-flight batches (Type (i));
+    /// on phased engines it falls back to a batched [`Self::query`].
+    pub fn query_now(&self, u: u32, v: u32) -> Result<bool, ServiceError> {
+        let n = self.num_vertices();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(ServiceError::VertexOutOfRange { v: x, n });
+            }
+        }
+        match self.inner.engine.mode() {
+            RunMode::WaitFree => Ok(self.inner.engine.connected(u, v)),
+            RunMode::Phased => self.query(u, v),
+        }
+    }
+
+    /// The current component label of `v` without snapshotting the whole
+    /// labeling. Exact between batches.
+    pub fn current_label(&self, v: u32) -> Result<u32, ServiceError> {
+        let n = self.num_vertices();
+        if v as usize >= n {
+            return Err(ServiceError::VertexOutOfRange { v, n });
+        }
+        Ok(self.inner.engine.current_label(v))
+    }
+
+    /// Current number of connected components (read-only; may lag an
+    /// in-flight batch).
+    pub fn num_components(&self) -> usize {
+        self.inner.engine.num_components()
+    }
+
+    /// Number of completed batches (the current epoch).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// The most recently published label snapshot (the identity labeling
+    /// at epoch 0 before any snapshot is published). Never blocks
+    /// writers: this only clones an `Arc` under a short pointer lock.
+    pub fn snapshot(&self) -> Arc<LabelSnapshot> {
+        Arc::clone(&self.inner.snapshot.lock())
+    }
+
+    /// Builds and publishes a fresh snapshot from the read-only spine
+    /// path right now. Exact if no batch is in flight; a concurrent
+    /// wait-free batch may tear it (labels then mix pre/post-merge
+    /// values for that batch only). The stamped epoch is a lower bound:
+    /// the labels contain at least every batch up to it. The published
+    /// snapshot's epoch never goes backwards, so a newer periodic
+    /// snapshot is not overwritten by a slower on-demand build.
+    pub fn snapshot_now(&self) -> Arc<LabelSnapshot> {
+        self.inner.publish_snapshot(self.epoch())
+    }
+
+    /// A point-in-time stats view.
+    pub fn stats(&self) -> ServiceStats {
+        let c = self.inner.engine.counters();
+        let inserts = self.inner.inserts.load(Ordering::Relaxed);
+        let queries = self.inner.queries.load(Ordering::Relaxed);
+        ServiceStats {
+            epoch: self.epoch(),
+            ops: inserts + queries,
+            inserts,
+            queries,
+            intra_inserts: c.intra_inserts.load(Ordering::Relaxed),
+            cross_inserts: c.cross_inserts.load(Ordering::Relaxed),
+            forwarded: c.forwarded.load(Ordering::Relaxed),
+            num_components: self.inner.engine.num_components(),
+            latency_ns: self.inner.latency.percentiles(),
+            latency_summary: self.inner.latency.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_service() -> Service {
+        Service::start(ServiceConfig {
+            n: 64,
+            shards: 4,
+            batch_max_wait: Duration::from_micros(50),
+            ..ServiceConfig::default()
+        })
+        .expect("service starts")
+    }
+
+    #[test]
+    fn insert_then_query_roundtrip() {
+        let mut svc = small_service();
+        let c = svc.client();
+        c.insert(1, 2).expect("insert");
+        c.insert(2, 3).expect("insert");
+        assert!(c.query(1, 3).expect("query"));
+        assert!(!c.query(1, 4).expect("query"));
+        assert!(c.query_now(1, 3).expect("query_now"));
+        assert_eq!(c.current_label(1).expect("label"), c.current_label(3).expect("label"));
+        assert_eq!(c.num_components(), 62);
+        let stats = c.stats();
+        assert_eq!(stats.inserts, 2);
+        assert!(stats.queries >= 2);
+        assert!(stats.epoch >= 1);
+        assert!(stats.latency_summary.contains("p999="));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_validates_and_preserves_query_order() {
+        let mut svc = small_service();
+        let c = svc.client();
+        let r = c
+            .submit(vec![
+                Update::Insert(0, 1),
+                Update::Query(0, 1),
+                Update::Insert(2, 3),
+                Update::Query(63, 0),
+            ])
+            .expect("submit");
+        assert_eq!(r.len(), 2);
+        assert!(!r[1], "63 is isolated from 0 in every linearization");
+        assert_eq!(
+            c.submit(vec![Update::Insert(0, 64)]),
+            Err(ServiceError::VertexOutOfRange { v: 64, n: 64 })
+        );
+        assert_eq!(c.submit(Vec::new()).expect("empty"), Vec::new());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_queue() {
+        let mut svc = small_service();
+        let c = svc.client();
+        c.insert(0, 1).expect("insert");
+        svc.shutdown();
+        svc.shutdown(); // idempotent
+        assert_eq!(c.insert(2, 3), Err(ServiceError::Closed));
+        assert_eq!(c.query(4, 5), Err(ServiceError::Closed));
+        // Read paths stay alive after shutdown.
+        assert!(c.query_now(0, 1).expect("read"));
+    }
+
+    #[test]
+    fn snapshots_are_epoch_versioned() {
+        let mut svc = Service::start(ServiceConfig {
+            n: 16,
+            shards: 2,
+            snapshot_every: 1,
+            batch_max_wait: Duration::from_micros(10),
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
+        let c = svc.client();
+        let s0 = c.snapshot();
+        assert_eq!(s0.epoch, 0);
+        assert_eq!(s0.num_components, 16);
+        c.insert(3, 4).expect("insert");
+        c.insert(4, 5).expect("insert");
+        let s = c.snapshot_now();
+        assert_eq!(s.num_components, 14);
+        assert_eq!(s.labels[3], s.labels[5]);
+        assert!(s.epoch >= 1);
+        // The periodic snapshot advanced with the batches too.
+        let published = c.snapshot();
+        assert!(published.epoch >= 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn many_threads_one_service() {
+        let mut svc = Service::start(ServiceConfig {
+            n: 4096,
+            shards: 4,
+            batch_max_wait: Duration::from_micros(200),
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
+        let c = svc.client();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = c.clone();
+                s.spawn(move || {
+                    // Each thread links its own arithmetic progression.
+                    let base = t * 1024;
+                    for i in 0..255u32 {
+                        c.insert(base + i, base + i + 1).expect("insert");
+                    }
+                    assert!(c.query(base, base + 255).expect("query"));
+                    assert!(!c.query(base, (base + 1024) % 4096).expect("query"));
+                });
+            }
+        });
+        let stats = c.stats();
+        assert_eq!(stats.inserts, 4 * 255);
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end tests: a live service under concurrent multi-client load,
+//! in-process and over TCP, validated against the sequential oracle.
+
+use cc_parallel::SplitMix64;
+use cc_server::{serve, ExecMode, Service, ServiceConfig, TcpClient};
+use cc_unionfind::{FindKind, SeqUnionFind, SpliceKind, UfSpec, UniteKind};
+use connectit::Update;
+use std::time::Duration;
+
+/// Drives `clients` concurrent closed loops against `svc`, each with a
+/// private vertex slice and its own oracle; returns (queries, mismatches).
+fn drive_clients(svc: &Service, n: usize, clients: usize, batches: usize) -> (u64, u64) {
+    let results: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|idx| {
+                let client = svc.client();
+                s.spawn(move || {
+                    let sz = n / clients;
+                    let base = (idx * sz) as u32;
+                    let mut oracle = SeqUnionFind::new(sz);
+                    let mut rng = SplitMix64::new(idx as u64 + 99);
+                    let (mut queries, mut mismatches) = (0u64, 0u64);
+                    for _ in 0..batches {
+                        let mut script = Vec::new();
+                        let mut wire = Vec::new();
+                        let mut before = Vec::new();
+                        for _ in 0..256 {
+                            let lu = (rng.next_u64() % sz as u64) as u32;
+                            let lv = (rng.next_u64() % sz as u64) as u32;
+                            let is_query = rng.next_u64().is_multiple_of(2);
+                            script.push((is_query, lu, lv));
+                            if is_query {
+                                before.push(oracle.connected(lu, lv));
+                                wire.push(Update::Query(base + lu, base + lv));
+                            } else {
+                                wire.push(Update::Insert(base + lu, base + lv));
+                            }
+                        }
+                        let answers = client.submit(wire).expect("submit");
+                        for &(is_query, lu, lv) in &script {
+                            if !is_query {
+                                oracle.union(lu, lv);
+                            }
+                        }
+                        let mut qi = 0;
+                        for &(is_query, lu, lv) in &script {
+                            if !is_query {
+                                continue;
+                            }
+                            let got = answers[qi];
+                            let was = before[qi];
+                            qi += 1;
+                            queries += 1;
+                            // Bracketing: stable answers are forced; a
+                            // within-batch false->true transition is free.
+                            if was == oracle.connected(lu, lv) && got != was {
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                    (queries, mismatches)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    results.into_iter().fold((0, 0), |(q, m), (dq, dm)| (q + dq, m + dm))
+}
+
+#[test]
+fn concurrent_clients_linearizable_waitfree() {
+    let n = 4096;
+    let mut svc = Service::start(ServiceConfig {
+        n,
+        shards: 4,
+        batch_max_wait: Duration::from_micros(100),
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let (queries, mismatches) = drive_clients(&svc, n, 4, 20);
+    assert!(queries > 1000, "drove {queries} queries");
+    assert_eq!(mismatches, 0);
+    // The published view agrees with a per-slice oracle rebuild: every
+    // client's slice is internally consistent.
+    let stats = svc.client().stats();
+    assert_eq!(stats.ops, 4 * 20 * 256);
+    assert!(stats.epoch > 0);
+    svc.shutdown();
+}
+
+#[test]
+fn concurrent_clients_linearizable_phased() {
+    let n = 2048;
+    let mut svc = Service::start(ServiceConfig {
+        n,
+        shards: 4,
+        spec: UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive),
+        mode: ExecMode::Phased,
+        batch_max_wait: Duration::from_micros(100),
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let (queries, mismatches) = drive_clients(&svc, n, 4, 12);
+    assert!(queries > 500);
+    assert_eq!(mismatches, 0);
+    svc.shutdown();
+}
+
+#[test]
+fn snapshot_matches_oracle_after_quiescence() {
+    let n = 512;
+    let mut svc = Service::start(ServiceConfig {
+        n,
+        shards: 3,
+        snapshot_every: 1,
+        batch_max_wait: Duration::from_micros(10),
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let client = svc.client();
+    let mut rng = SplitMix64::new(7);
+    let mut oracle = SeqUnionFind::new(n);
+    let mut batch = Vec::new();
+    for _ in 0..600 {
+        let u = (rng.next_u64() % n as u64) as u32;
+        let v = (rng.next_u64() % n as u64) as u32;
+        oracle.union(u, v);
+        batch.push(Update::Insert(u, v));
+    }
+    client.submit(batch).expect("submit");
+    let snap = client.snapshot_now();
+    assert!(cc_graph::stats::same_partition(&oracle.labels(), &snap.labels));
+    assert_eq!(snap.num_components, oracle.num_components());
+    assert_eq!(client.num_components(), oracle.num_components());
+    svc.shutdown();
+}
+
+#[test]
+fn tcp_protocol_end_to_end() {
+    let mut svc = Service::start(ServiceConfig {
+        n: 1024,
+        shards: 4,
+        batch_max_wait: Duration::from_micros(50),
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let mut server = serve(&svc, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // A couple of concurrent connections hammering the same server.
+    std::thread::scope(|s| {
+        for t in 0..3u32 {
+            s.spawn(move || {
+                let mut c = TcpClient::connect(addr).expect("connect");
+                c.ping().expect("ping");
+                let base = t * 300;
+                c.insert(base, base + 1).expect("insert");
+                c.insert(base + 1, base + 2).expect("insert");
+                assert!(c.query(base, base + 2).expect("query"));
+                assert!(!c.query(base, base + 250).expect("query"));
+                let answers = c
+                    .submit(&[
+                        Update::Insert(base + 2, base + 3),
+                        Update::Query(base, base + 3),
+                        Update::Query(base + 100, base + 101),
+                    ])
+                    .expect("batch");
+                assert_eq!(answers.len(), 2);
+                assert!(!answers[1]);
+                assert_eq!(c.label(base).expect("label"), c.label(base + 3).expect("label"));
+                assert!(c.epoch().expect("epoch") > 0);
+                let comps = c.components().expect("components");
+                assert!(comps < 1024);
+                let stats = c.stats_line().expect("stats");
+                assert!(stats.contains("epoch="), "{stats}");
+            });
+        }
+    });
+
+    // Malformed input gets an ERR, connection survives.
+    let mut c = TcpClient::connect(addr).expect("connect");
+    assert!(c.query(5000, 0).is_err(), "out-of-range vertex is a server-side error");
+    c.ping().expect("connection still alive after ERR");
+
+    // An oversized batch is rejected locally, before any bytes go out.
+    let huge = vec![Update::Insert(0, 1); cc_server::net::MAX_WIRE_BATCH + 1];
+    assert!(c.submit(&huge).is_err());
+    c.ping().expect("connection still in sync after local rejection");
+
+    // Clean shutdown via the protocol.
+    c.shutdown_server().expect("shutdown");
+    server.wait_shutdown();
+    svc.shutdown();
+}
+
+#[test]
+fn tcp_server_stop_from_host() {
+    let mut svc = Service::start(ServiceConfig { n: 16, shards: 2, ..ServiceConfig::default() })
+        .expect("service");
+    let mut server = serve(&svc, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let mut c = TcpClient::connect(addr).expect("connect");
+    c.insert(0, 1).expect("insert");
+    server.stop();
+    svc.shutdown();
+    // New connections are refused or die promptly after stop.
+    let alive = TcpClient::connect(addr).and_then(|mut c2| c2.ping());
+    assert!(alive.is_err(), "server accepted after stop");
+}

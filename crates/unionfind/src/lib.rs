@@ -29,7 +29,10 @@ pub mod unite;
 
 pub use find::{Find, FindCompress, FindHalve, FindNaive, FindSplit};
 pub use oracle::{oracle_labels, SeqUnionFind};
-pub use parents::{make_parents, parents_from_labels, snapshot_labels, Parents};
+pub use parents::{
+    count_roots, make_parents, parents_from_labels, snapshot_labels, snapshot_labels_readonly,
+    Parents,
+};
 pub use spec::{FindKind, SpliceKind, UfSpec, UniteKind};
 pub use splice::{HalveAtomicOne, Splice, SpliceAtomic, SplitAtomicOne};
 pub use stats::PathStats;

@@ -57,6 +57,25 @@ pub fn snapshot_labels(p: &Parents) -> Vec<u32> {
     cc_parallel::snapshot_u32(p)
 }
 
+/// Read-only labeling snapshot: computes every vertex's current root by
+/// pointer chasing, writing nothing. Unlike [`snapshot_labels`] this never
+/// mutates the structure, so a monitoring thread can snapshot while the
+/// owner keeps the right to run `flatten` elsewhere. Concurrent *unions*
+/// may tear the snapshot across the merge boundary (one side labeled
+/// pre-merge, the other post-merge); the result is exact when the
+/// structure is quiescent, which is how the service layer uses it
+/// (between batches).
+pub fn snapshot_labels_readonly(p: &Parents) -> Vec<u32> {
+    parallel_tabulate(p.len(), |v| find_root_readonly(p, v as u32))
+}
+
+/// Counts the current roots (`p[v] == v`) without modifying anything.
+/// When the structure is quiescent this is exactly the number of disjoint
+/// sets; during concurrent unions it is an upper bound on the final count.
+pub fn count_roots(p: &Parents) -> usize {
+    cc_parallel::parallel_count(p.len(), |v| parent(p, v as u32) == v as u32)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +105,29 @@ mod tests {
         let p = parents_from_labels(&[0, 0, 2, 2]);
         let labels = snapshot_labels(&p);
         assert_eq!(labels, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn readonly_snapshot_does_not_compress() {
+        let p = make_parents(5);
+        // Chain 4 -> 3 -> 2 -> 0.
+        p[4].store(3, Ordering::Relaxed);
+        p[3].store(2, Ordering::Relaxed);
+        p[2].store(0, Ordering::Relaxed);
+        let labels = snapshot_labels_readonly(&p);
+        assert_eq!(labels, vec![0, 1, 0, 0, 0]);
+        // The chain is untouched.
+        assert_eq!(parent(&p, 4), 3);
+        assert_eq!(parent(&p, 3), 2);
+        assert_eq!(count_roots(&p), 2);
+    }
+
+    #[test]
+    fn count_roots_fresh_and_merged() {
+        let p = make_parents(8);
+        assert_eq!(count_roots(&p), 8);
+        p[7].store(0, Ordering::Relaxed);
+        p[6].store(0, Ordering::Relaxed);
+        assert_eq!(count_roots(&p), 6);
     }
 }
