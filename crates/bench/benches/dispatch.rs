@@ -1,0 +1,137 @@
+//! Dyn vs. static dispatch, side by side: times the union-find finish
+//! phase through (a) the pre-refactor hot loop — a `Box<dyn Unite>` with
+//! one virtual call and a mandatory `&mut u64` hop write per edge — and
+//! (b) the monomorphized driver behind `UfSpec::dispatch` with telemetry
+//! compiled out, for a set of representative variants.
+//!
+//! Prints a table and emits `BENCH_dispatch.json`
+//! (`{variant, dyn_ns_per_edge, static_ns_per_edge, speedup}` per row) so
+//! future PRs can compare perf trajectories. Accepts the criterion-style
+//! `--test` flag (one tiny verification run per variant, no timing claims)
+//! and an optional substring filter, so `cargo bench -- --test` smoke-runs
+//! it in CI.
+
+use cc_bench::harness::{json_escape, time_best_of, write_bench_json, Table};
+use cc_graph::generators::rmat_default;
+use cc_graph::stats::same_partition;
+use cc_graph::{build_undirected, CsrGraph, NO_VERTEX};
+use cc_unionfind::parents::{parents_from_labels, snapshot_labels};
+use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
+use connectit::{finish_components, FinishMethod};
+
+/// The pre-refactor finish loop, kept verbatim as the dyn baseline: a
+/// boxed `Unite` with per-edge virtual dispatch and the then-mandatory
+/// hop accounting.
+fn dyn_finish(g: &CsrGraph, initial: &[u32], spec: UfSpec, seed: u64) -> Vec<u32> {
+    let stats = cc_unionfind::PathStats::new();
+    let p = parents_from_labels(initial);
+    let uf = spec.instantiate(g.num_vertices(), seed);
+    let uf = uf.as_ref();
+    g.for_each_edge_par_ctx(
+        || (0u64, 0u64),
+        |ctx, u, v| {
+            let mut hops = 0u64;
+            uf.unite(&p, u, v, &mut hops);
+            ctx.0 += hops;
+            ctx.1 = ctx.1.max(hops);
+        },
+        |(total, max)| stats.record_bulk(total, max, 0),
+    );
+    snapshot_labels(&p)
+}
+
+/// The post-refactor hot path: the public monomorphized driver with
+/// telemetry off.
+fn static_finish(g: &CsrGraph, initial: &[u32], spec: UfSpec, seed: u64) -> Vec<u32> {
+    finish_components(g, &FinishMethod::UnionFind(spec), initial, NO_VERTEX, seed, None)
+}
+
+fn measured_variants() -> Vec<UfSpec> {
+    vec![
+        UfSpec::fastest(), // Union-Rem-CAS{SplitAtomicOne; FindNaive}: the default
+        UfSpec::rem(UniteKind::RemCas, SpliceKind::HalveOne, FindKind::Halve),
+        UfSpec::rem(UniteKind::RemLock, SpliceKind::SplitOne, FindKind::Naive),
+        UfSpec::new(UniteKind::Async, FindKind::Naive),
+        UfSpec::new(UniteKind::Async, FindKind::Compress),
+        UfSpec::new(UniteKind::Hooks, FindKind::Naive),
+        UfSpec::new(UniteKind::Early, FindKind::Naive),
+        UfSpec::new(UniteKind::Jtb, FindKind::TwoTrySplit),
+    ]
+}
+
+fn main() {
+    let mut test_mode = false;
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => test_mode = true,
+            s if s.starts_with('-') => {}
+            s => filter = Some(s.to_string()),
+        }
+    }
+
+    let (scale, edges_factor, reps) = if test_mode { (10, 4, 1) } else { (14, 10, 5) };
+    let el = rmat_default(scale, (1usize << scale) * edges_factor, 7);
+    let g = build_undirected(el.num_vertices, &el.edges);
+    let m = g.num_directed_edges();
+    let initial: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    let expect = cc_unionfind::oracle_labels(el.num_vertices, &el.edges);
+
+    println!(
+        "== dispatch: dyn (Box<dyn Unite> + hop write) vs static (monomorphized, NoCount) ==",
+    );
+    println!("graph: rmat scale={scale}, {m} directed edges; best of {reps} runs\n");
+
+    let mut t = Table::new(vec!["Variant", "dyn ns/edge", "static ns/edge", "speedup"]);
+    let mut rows = Vec::new();
+    for spec in measured_variants() {
+        let name = spec.name();
+        if let Some(f) = &filter {
+            if !name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let (dyn_secs, dyn_labels) = time_best_of(reps, || dyn_finish(&g, &initial, spec, 3));
+        let (static_secs, static_labels) =
+            time_best_of(reps, || static_finish(&g, &initial, spec, 3));
+        assert!(same_partition(&expect, &dyn_labels), "{name}: dyn path wrong");
+        assert!(same_partition(&expect, &static_labels), "{name}: static path wrong");
+        let dyn_ns = dyn_secs * 1e9 / m as f64;
+        let static_ns = static_secs * 1e9 / m as f64;
+        let speedup = dyn_ns / static_ns;
+        t.row(vec![
+            name.clone(),
+            format!("{dyn_ns:.3}"),
+            format!("{static_ns:.3}"),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push(format!(
+            "    {{\"variant\": \"{}\", \"dyn_ns_per_edge\": {:.4}, \
+             \"static_ns_per_edge\": {:.4}, \"speedup\": {:.4}}}",
+            json_escape(&name),
+            dyn_ns,
+            static_ns,
+            speedup
+        ));
+    }
+    if test_mode {
+        println!("dispatch: test ok ({} variants verified against the oracle)", rows.len());
+    } else {
+        t.print();
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"dispatch\",\n  \"test_mode\": {},\n  \"graph\": \
+         {{\"generator\": \"rmat\", \"scale\": {}, \"directed_edges\": {}}},\n  \
+         \"best_of\": {},\n  \"variants\": [\n{}\n  ]\n}}\n",
+        test_mode,
+        scale,
+        m,
+        reps,
+        rows.join(",\n")
+    );
+    match write_bench_json("BENCH_dispatch.json", &json) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("dispatch: could not write BENCH_dispatch.json: {e}"),
+    }
+}

@@ -3,7 +3,7 @@
 //! service stack including the batch former and reply fan-out.
 
 use cc_parallel::SplitMix64;
-use cc_server::{Client, ExecMode, Service, ServiceConfig, ShardedEngine};
+use cc_server::{build_engine, Client, ExecMode, Service, ServiceConfig};
 use cc_unionfind::UfSpec;
 use connectit::Update;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -34,7 +34,7 @@ fn bench_engine(c: &mut Criterion) {
     for shards in [1usize, 4, 8] {
         group.bench_function(format!("waitfree/shards_{shards}"), |b| {
             b.iter(|| {
-                let e = ShardedEngine::new(n, shards, &UfSpec::fastest(), ExecMode::Auto, 1)
+                let e = build_engine(n, shards, &UfSpec::fastest(), ExecMode::Auto, 1)
                     .expect("engine");
                 for (i, chunk) in mixed_batch(n, ops, 9).chunks(4096).enumerate() {
                     black_box(e.process_batch(black_box(chunk)));
@@ -46,7 +46,7 @@ fn bench_engine(c: &mut Criterion) {
     }
     group.bench_function("phased/shards_4", |b| {
         b.iter(|| {
-            let e = ShardedEngine::new(n, 4, &UfSpec::fastest(), ExecMode::Phased, 1)
+            let e = build_engine(n, 4, &UfSpec::fastest(), ExecMode::Phased, 1)
                 .expect("engine");
             for chunk in mixed_batch(n, ops, 9).chunks(4096) {
                 black_box(e.process_batch(black_box(chunk)));

@@ -1,9 +1,16 @@
 //! Figure 18: per-batch latency while streaming the largest graph's update
 //! sample at several batch sizes — the paper reports medians within 1–2% of
 //! means (highly regular latency) and linear growth with batch size.
+//!
+//! Each run finishes with a query batch whose find-walk hop counts are
+//! recorded by the streaming structure
+//! ([`StreamingConnectivity::query_path_lengths`]): the mean/max
+//! query-path lengths explain the latency differences between variants
+//! (the Figures 6–7 argument applied to the query side).
 
 use crate::datasets::{registry, update_stream};
 use crate::harness::Table;
+use cc_parallel::SplitMix64;
 use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
 use connectit::{LtScheme, StreamAlgorithm, StreamingConnectivity, Update};
 
@@ -46,6 +53,13 @@ pub fn run(scale: u32) {
         "p99(s)",
         "median/mean",
     ]);
+    let mut qt = Table::new(vec![
+        "Algorithm",
+        "queries",
+        "query-batch(s)",
+        "mean path",
+        "max path",
+    ]);
     for (name, alg) in latency_algorithms() {
         for bs in [1_000usize, 10_000, 100_000] {
             if bs > edges.len() {
@@ -73,9 +87,41 @@ pub fn run(scale: u32) {
                 format!("{p99:.2e}"),
                 format!("{:.3}", median / mean),
             ]);
+            if bs == 10_000 {
+                // One query batch against the loaded structure: the
+                // recorded find-walk hops are the query-path statistic.
+                let mut rng = SplitMix64::new(0xf1618);
+                let queries: Vec<Update> = (0..50_000)
+                    .map(|_| {
+                        let u = (rng.next_u64() % n as u64) as u32;
+                        let v = (rng.next_u64() % n as u64) as u32;
+                        Update::Query(u, v)
+                    })
+                    .collect();
+                let t0 = std::time::Instant::now();
+                s.process_batch(&queries);
+                let qsecs = t0.elapsed().as_secs_f64();
+                let pl = s.query_path_lengths();
+                let (mean_s, max_s) = if pl.operations == 0 {
+                    ("-".to_string(), "-".to_string())
+                } else {
+                    (format!("{:.3}", pl.mean()), pl.max.to_string())
+                };
+                qt.row(vec![
+                    name.to_string(),
+                    queries.len().to_string(),
+                    format!("{qsecs:.2e}"),
+                    mean_s,
+                    max_s,
+                ]);
+            }
         }
     }
     t.print();
+    println!("\n== Query-path lengths (hops per query find, 10k-insert batches) ==\n");
+    qt.print();
     println!("\nPaper shape to verify: median/mean near 1.0 (regular latency);");
-    println!("latency grows ~linearly with batch size; Rem-CAS lowest.");
+    println!("latency grows ~linearly with batch size; Rem-CAS lowest;");
+    println!("query-path lengths track query latency (synchronous variants answer");
+    println!("from depth-1 trees and report no union-find query walks).");
 }

@@ -1,4 +1,6 @@
-//! Timing and table-formatting helpers shared by every `repro_*` binary.
+//! Timing and table-formatting helpers shared by every `repro_*` binary,
+//! plus machine-readable artifact emission (`BENCH_*.json`) so future
+//! sessions have a perf trajectory to compare against.
 
 use std::time::Instant;
 
@@ -90,6 +92,31 @@ impl Table {
             line(row);
         }
     }
+}
+
+/// Writes a machine-readable benchmark artifact named `name` (e.g.
+/// `BENCH_dispatch.json`) into `CC_BENCH_JSON_DIR` (default: the current
+/// directory) and returns the path written.
+pub fn write_bench_json(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("CC_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Escapes a string for embedding in a JSON document (the workspace has
+/// no serde; bench artifacts are assembled by hand).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Geometric mean of a nonempty slice.

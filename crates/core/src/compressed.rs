@@ -4,13 +4,14 @@
 //! Ligra+-compressed inputs — decode and process per block without ever
 //! materializing the uncompressed graph. This module provides the same
 //! capability: two-phase (k-out sampled) union-find connectivity over a
-//! [`CompressedCsr`], decoding adjacency on the fly.
+//! [`CompressedCsr`], decoding adjacency on the fly with a kernel
+//! monomorphized through [`UfSpec::dispatch`].
 
 use cc_graph::compressed::CompressedCsr;
 use cc_graph::VertexId;
 use cc_parallel::parallel_for_chunks;
 use cc_unionfind::parents::{make_parents, snapshot_labels};
-use cc_unionfind::UfSpec;
+use cc_unionfind::{KernelVisitor, NoCount, UfSpec, UniteKernel};
 
 /// Computes connected components of a compressed graph using k-out(hybrid)
 /// sampling followed by the given union-find variant, never materializing
@@ -22,57 +23,68 @@ pub fn connectivity_compressed(
     k: usize,
     seed: u64,
 ) -> Vec<VertexId> {
-    let n = g.num_vertices();
-    let parents = make_parents(n);
-    let uf = spec.instantiate(n, seed);
-    let uf = uf.as_ref();
+    spec.dispatch(g.num_vertices(), seed, CompressedVisitor { g, k, seed })
+}
 
-    // Sampling phase: k-out hybrid, decoding each vertex once.
-    if k > 0 {
+struct CompressedVisitor<'a> {
+    g: &'a CompressedCsr,
+    k: usize,
+    seed: u64,
+}
+
+impl KernelVisitor for CompressedVisitor<'_> {
+    type Out = Vec<VertexId>;
+    fn visit<K: UniteKernel>(self, kernel: K) -> Vec<VertexId> {
+        let CompressedVisitor { g, k, seed } = self;
+        let n = g.num_vertices();
+        let parents = make_parents(n);
+        let kernel = &kernel;
+
+        // Sampling phase: k-out hybrid, decoding each vertex once.
+        if k > 0 {
+            parallel_for_chunks(n, |r| {
+                let mut buf: Vec<VertexId> = Vec::new();
+                for vi in r {
+                    let v = vi as VertexId;
+                    g.decode_neighbors(v, &mut buf);
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    let mut rng = cc_parallel::SplitMix64::new(
+                        seed ^ (vi as u64).wrapping_mul(0xA24BAED4963EE407),
+                    );
+                    kernel.unite(&parents, v, buf[0], &mut NoCount);
+                    for _ in 1..k {
+                        let w = buf[rng.gen_range(buf.len())];
+                        kernel.unite(&parents, v, w, &mut NoCount);
+                    }
+                }
+            });
+        }
+        // Identify the frequent component from the (compressed) sample.
+        let sampled = snapshot_labels(&parents);
+        let frequent = if k > 0 {
+            crate::sampling::identify_frequent(&sampled).0
+        } else {
+            cc_graph::NO_VERTEX
+        };
+
+        // Finish phase: stream all edges, skipping the frequent component.
         parallel_for_chunks(n, |r| {
             let mut buf: Vec<VertexId> = Vec::new();
-            let mut hops = 0u64;
             for vi in r {
-                let v = vi as VertexId;
-                g.decode_neighbors(v, &mut buf);
-                if buf.is_empty() {
+                if sampled[vi] == frequent {
                     continue;
                 }
-                let mut rng = cc_parallel::SplitMix64::new(
-                    seed ^ (vi as u64).wrapping_mul(0xA24BAED4963EE407),
-                );
-                uf.unite(&parents, v, buf[0], &mut hops);
-                for _ in 1..k {
-                    let w = buf[rng.gen_range(buf.len())];
-                    uf.unite(&parents, v, w, &mut hops);
+                let v = vi as VertexId;
+                g.decode_neighbors(v, &mut buf);
+                for &w in &buf {
+                    kernel.unite(&parents, v, w, &mut NoCount);
                 }
             }
         });
+        snapshot_labels(&parents)
     }
-    // Identify the frequent component from the (compressed) sample.
-    let sampled = snapshot_labels(&parents);
-    let frequent = if k > 0 {
-        crate::sampling::identify_frequent(&sampled).0
-    } else {
-        cc_graph::NO_VERTEX
-    };
-
-    // Finish phase: stream all edges, skipping the frequent component.
-    parallel_for_chunks(n, |r| {
-        let mut buf: Vec<VertexId> = Vec::new();
-        let mut hops = 0u64;
-        for vi in r {
-            if sampled[vi] == frequent {
-                continue;
-            }
-            let v = vi as VertexId;
-            g.decode_neighbors(v, &mut buf);
-            for &w in &buf {
-                uf.unite(&parents, v, w, &mut hops);
-            }
-        }
-    });
-    snapshot_labels(&parents)
 }
 
 #[cfg(test)]

@@ -1,5 +1,12 @@
 //! The ConnectIt connectivity driver (Algorithm 1): sample, identify the
 //! frequent component, finish.
+//!
+//! The union-find finish phase is a generic function monomorphized per
+//! (variant, telemetry) pair through [`cc_unionfind::UfSpec::dispatch`]:
+//! the per-edge
+//! loop contains no virtual calls, and when path-length statistics are
+//! not requested the hop accounting is compiled out entirely
+//! (`NoCount`).
 
 use crate::label_prop::label_propagation_finish;
 use crate::liu_tarjan::{liu_tarjan_finish, stergiou_finish};
@@ -8,7 +15,7 @@ use crate::sampling::run_sampling;
 use crate::shiloach_vishkin::shiloach_vishkin_finish;
 use cc_graph::{CsrGraph, VertexId};
 use cc_unionfind::parents::{parents_from_labels, snapshot_labels};
-use cc_unionfind::PathStats;
+use cc_unionfind::{CountHops, KernelVisitor, NoCount, PathStats, Telemetry, UniteKernel};
 use std::time::Instant;
 
 /// Timing and instrumentation for one connectivity run.
@@ -54,22 +61,35 @@ pub fn connectivity(
 }
 
 /// [`connectivity`] with an explicit random seed (sampling choices, JTB
-/// ranks).
+/// ranks). Runs the telemetry-free kernels; use [`connectivity_timed`]
+/// when path-length statistics are wanted.
 pub fn connectivity_seeded(
     g: &CsrGraph,
     sampling: &SamplingMethod,
     finish: &FinishMethod,
     seed: u64,
 ) -> Vec<VertexId> {
-    connectivity_timed(g, sampling, finish, seed).0
+    run(g, sampling, finish, seed, None).0
 }
 
-/// [`connectivity_seeded`] additionally reporting per-phase statistics.
+/// [`connectivity_seeded`] additionally reporting per-phase statistics
+/// (the counting-telemetry kernels).
 pub fn connectivity_timed(
     g: &CsrGraph,
     sampling: &SamplingMethod,
     finish: &FinishMethod,
     seed: u64,
+) -> (Vec<VertexId>, RunStats) {
+    let path_stats = PathStats::new();
+    run(g, sampling, finish, seed, Some(&path_stats))
+}
+
+fn run(
+    g: &CsrGraph,
+    sampling: &SamplingMethod,
+    finish: &FinishMethod,
+    seed: u64,
+    path_stats: Option<&PathStats>,
 ) -> (Vec<VertexId>, RunStats) {
     let mut stats = RunStats::default();
     let t0 = Instant::now();
@@ -78,47 +98,87 @@ pub fn connectivity_timed(
     stats.frequent_count = sample.frequent_count;
 
     let t1 = Instant::now();
-    let path_stats = PathStats::new();
-    let labels = finish_components(g, finish, &sample.labels, sample.frequent, seed, &path_stats);
+    let labels = finish_components(g, finish, &sample.labels, sample.frequent, seed, path_stats);
     stats.finish_seconds = t1.elapsed().as_secs_f64();
-    stats.total_path_length = path_stats.total_path_length();
-    stats.max_path_length = path_stats.max_path_length();
+    if let Some(ps) = path_stats {
+        stats.total_path_length = ps.total_path_length();
+        stats.max_path_length = ps.max_path_length();
+    }
     (labels, stats)
+}
+
+/// The monomorphized union-find finish loop. With `T = NoCount` the
+/// telemetry plumbing folds away; with `T = CountHops` hop counts
+/// aggregate per worker chunk (recording per edge on shared atomics would
+/// dominate the union work itself).
+fn uf_finish<K: UniteKernel, T: Telemetry>(
+    g: &CsrGraph,
+    kernel: &K,
+    initial: &[VertexId],
+    frequent: VertexId,
+    path_stats: Option<&PathStats>,
+) -> Vec<VertexId> {
+    let p = parents_from_labels(initial);
+    g.for_each_edge_par_ctx(
+        || (0u64, 0u64), // (total hops, max single-op hops)
+        |ctx, u, v| {
+            if initial[u as usize] == frequent {
+                return;
+            }
+            let mut t = T::default();
+            kernel.unite(&p, u, v, &mut t);
+            if T::ENABLED {
+                ctx.0 += t.hops();
+                ctx.1 = ctx.1.max(t.hops());
+            }
+        },
+        |(total, max)| {
+            if T::ENABLED {
+                if let Some(ps) = path_stats {
+                    ps.record_bulk(total, max, 0);
+                }
+            }
+        },
+    );
+    snapshot_labels(&p)
+}
+
+struct FinishVisitor<'a> {
+    g: &'a CsrGraph,
+    initial: &'a [VertexId],
+    frequent: VertexId,
+    path_stats: Option<&'a PathStats>,
+}
+
+impl KernelVisitor for FinishVisitor<'_> {
+    type Out = Vec<VertexId>;
+    fn visit<K: UniteKernel>(self, kernel: K) -> Vec<VertexId> {
+        if self.path_stats.is_some() {
+            uf_finish::<K, CountHops>(self.g, &kernel, self.initial, self.frequent, self.path_stats)
+        } else {
+            uf_finish::<K, NoCount>(self.g, &kernel, self.initial, self.frequent, None)
+        }
+    }
 }
 
 /// The finish phase (`FINISHCOMPONENTS` of Algorithm 1): completes the
 /// sampled partial labeling, skipping work for the `frequent` component.
+/// Pass `path_stats` to run the counting-telemetry kernels; with `None`
+/// the hop accounting costs nothing.
 pub fn finish_components(
     g: &CsrGraph,
     finish: &FinishMethod,
     initial: &[VertexId],
     frequent: VertexId,
     seed: u64,
-    path_stats: &PathStats,
+    path_stats: Option<&PathStats>,
 ) -> Vec<VertexId> {
     match finish {
-        FinishMethod::UnionFind(spec) => {
-            let n = g.num_vertices();
-            let p = parents_from_labels(initial);
-            let uf = spec.instantiate(n, seed);
-            let uf = uf.as_ref();
-            // Hop counts aggregate per worker chunk: recording per edge on
-            // shared atomics would dominate the union work itself.
-            g.for_each_edge_par_ctx(
-                || (0u64, 0u64), // (total hops, max single-op hops)
-                |ctx, u, v| {
-                    if initial[u as usize] == frequent {
-                        return;
-                    }
-                    let mut hops = 0u64;
-                    uf.unite(&p, u, v, &mut hops);
-                    ctx.0 += hops;
-                    ctx.1 = ctx.1.max(hops);
-                },
-                |(total, max)| path_stats.record_bulk(total, max),
-            );
-            snapshot_labels(&p)
-        }
+        FinishMethod::UnionFind(spec) => spec.dispatch(
+            g.num_vertices(),
+            seed,
+            FinishVisitor { g, initial, frequent, path_stats },
+        ),
         FinishMethod::ShiloachVishkin => shiloach_vishkin_finish(g, initial, frequent, None),
         FinishMethod::LiuTarjan(scheme) => liu_tarjan_finish(g, *scheme, initial, frequent),
         FinishMethod::Stergiou => stergiou_finish(g, initial, frequent),
@@ -204,6 +264,23 @@ mod tests {
         assert_eq!(labels.len(), 1600);
         assert!(stats.frequent_count > 0);
         assert!(stats.total_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn timed_and_untimed_agree() {
+        // The NoCount and CountHops monomorphizations must compute the
+        // same partition; only the instrumentation differs.
+        let g = grid2d(25, 25);
+        // Union-Async + FindNaive walks to the root on every union, so the
+        // counting run must report nonzero path lengths.
+        let finish = FinishMethod::UnionFind(cc_unionfind::UfSpec::new(
+            cc_unionfind::UniteKind::Async,
+            cc_unionfind::FindKind::Naive,
+        ));
+        let plain = connectivity_seeded(&g, &SamplingMethod::None, &finish, 9);
+        let (timed, stats) = connectivity_timed(&g, &SamplingMethod::None, &finish, 9);
+        assert!(same_partition(&plain, &timed));
+        assert!(stats.total_path_length > 0, "a 25x25 grid forces real walks");
     }
 
     #[test]

@@ -13,8 +13,48 @@
 use crate::options::{FinishMethod, SamplingMethod};
 use cc_graph::{build_undirected, VertexId};
 use cc_unionfind::parents::{find_root_readonly, parents_from_labels, snapshot_labels, Parents};
-use cc_unionfind::{UfSpec, Unite};
+use cc_unionfind::{KernelVisitor, NoCount, UfSpec, UniteKernel};
 use std::collections::HashSet;
+
+/// The incremental fast path's kernel, erased at *operation* granularity
+/// (deletion batches are sequential anyway): one virtual call per insert
+/// with the fully monomorphized, telemetry-free union underneath. Built
+/// through [`UfSpec::dispatch`]; `fresh` rebuilds the same variant with
+/// cleared per-instance state after a rebuild.
+trait DynKernel: Send + Sync {
+    fn unite(&self, p: &Parents, u: VertexId, v: VertexId);
+    fn fresh(&self) -> Box<dyn DynKernel>;
+}
+
+struct KernelHolder<K: UniteKernel> {
+    kernel: K,
+    n: usize,
+    seed: u64,
+}
+
+impl<K: UniteKernel> DynKernel for KernelHolder<K> {
+    fn unite(&self, p: &Parents, u: VertexId, v: VertexId) {
+        self.kernel.unite(p, u, v, &mut NoCount);
+    }
+
+    fn fresh(&self) -> Box<dyn DynKernel> {
+        Box::new(KernelHolder { kernel: K::build(self.n, self.seed), n: self.n, seed: self.seed })
+    }
+}
+
+fn build_kernel(spec: &UfSpec, n: usize, seed: u64) -> Box<dyn DynKernel> {
+    struct Boxer {
+        n: usize,
+        seed: u64,
+    }
+    impl KernelVisitor for Boxer {
+        type Out = Box<dyn DynKernel>;
+        fn visit<K: UniteKernel>(self, kernel: K) -> Box<dyn DynKernel> {
+            Box::new(KernelHolder { kernel, n: self.n, seed: self.seed })
+        }
+    }
+    spec.dispatch(n, seed, Boxer { n, seed })
+}
 
 /// One fully-dynamic operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,7 +79,7 @@ pub struct DynamicConnectivity {
     n: usize,
     edges: HashSet<u64>,
     parents: Box<Parents>,
-    uf: Box<dyn Unite>,
+    uf: Box<dyn DynKernel>,
     spec: UfSpec,
     seed: u64,
     rebuilds: usize,
@@ -57,7 +97,7 @@ impl DynamicConnectivity {
             n,
             edges: HashSet::new(),
             parents: cc_unionfind::make_parents(n),
-            uf: spec.instantiate(n, seed),
+            uf: build_kernel(&spec, n, seed),
             spec,
             seed,
             rebuilds: 0,
@@ -91,8 +131,7 @@ impl DynamicConnectivity {
             match op {
                 DynUpdate::Insert(u, v) => {
                     if u != v && self.edges.insert(canon(u, v)) && !dirty {
-                        let mut hops = 0u64;
-                        self.uf.unite(&self.parents, u, v, &mut hops);
+                        self.uf.unite(&self.parents, u, v);
                     }
                 }
                 DynUpdate::Delete(u, v) => {
@@ -143,7 +182,7 @@ impl DynamicConnectivity {
         );
         self.parents = parents_from_labels(&labels);
         // Fresh instance: stateful variants (hooks arrays) must reset.
-        self.uf = self.spec.instantiate(self.n, self.seed);
+        self.uf = self.uf.fresh();
     }
 }
 

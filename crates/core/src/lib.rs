@@ -40,4 +40,4 @@ pub use liu_tarjan::{LtConnect, LtScheme};
 pub use options::{FinishMethod, KOutVariant, SamplingMethod};
 pub use sampling::{identify_frequent, inter_component_edges, run_sampling, SampleOutcome};
 pub use spanning_forest::{is_valid_spanning_forest, spanning_forest, supports_spanning_forest};
-pub use streaming::{StreamAlgorithm, StreamType, StreamingConnectivity, Update};
+pub use streaming::{StreamAlgorithm, StreamType, StreamingConnectivity, UfStreaming, Update};

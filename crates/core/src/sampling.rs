@@ -11,7 +11,7 @@ use cc_graph::bfs::bfs;
 use cc_graph::ldd::ldd;
 use cc_graph::{CsrGraph, VertexId, NO_VERTEX};
 use cc_parallel::{parallel_for, parallel_max_index, parallel_tabulate};
-use cc_unionfind::{make_parents, snapshot_labels, UfSpec};
+use cc_unionfind::{make_parents, snapshot_labels, FastestKernel, NoCount, UniteKernel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -123,7 +123,9 @@ fn kout_sample(
 ) -> SampleOutcome {
     let n = g.num_vertices();
     let parents = make_parents(n);
-    let uf = UfSpec::fastest().instantiate(n, seed);
+    // The sampler's variant is fixed (the paper's fastest), so the kernel
+    // is named at compile time — no dispatch, no virtual calls.
+    let uf = FastestKernel::build(n, seed);
     let forest = want_forest.then(|| ForestBuf::new(n));
     let forest_ref = forest.as_ref();
     parallel_for(n, |vi| {
@@ -132,9 +134,8 @@ fn kout_sample(
         if nbrs.is_empty() || k == 0 {
             return;
         }
-        let mut hops = 0u64;
-        let mut apply = |w: VertexId| {
-            if let Some(hooked) = uf.unite(&parents, v, w, &mut hops) {
+        let apply = |w: VertexId| {
+            if let Some(hooked) = uf.unite(&parents, v, w, &mut NoCount) {
                 if let Some(f) = forest_ref {
                     f.assign(hooked, v, w);
                 }

@@ -2,11 +2,13 @@
 //! composed with a root-based finish method yields a spanning forest by
 //! assigning to each hooked root the edge that hooked it.
 
+use crate::forest::ForestBuf;
 use crate::options::{FinishMethod, SamplingMethod};
 use crate::sampling::run_sampling;
 use crate::shiloach_vishkin::shiloach_vishkin_finish;
-use cc_graph::{CsrGraph, Edge};
+use cc_graph::{CsrGraph, Edge, VertexId};
 use cc_unionfind::parents::parents_from_labels;
+use cc_unionfind::{KernelVisitor, NoCount, UniteKernel};
 
 /// Whether `finish` can produce a spanning forest in this implementation:
 /// union-find variants whose splice cannot cross trees, and
@@ -49,20 +51,11 @@ pub fn spanning_forest(
     let frequent = sample.frequent;
     match finish {
         FinishMethod::UnionFind(spec) => {
-            let n = g.num_vertices();
-            let p = parents_from_labels(initial);
-            let uf = spec.instantiate(n, seed);
-            let uf = uf.as_ref();
-            debug_assert!(uf.supports_forest());
-            g.for_each_edge_par(|u, v| {
-                if initial[u as usize] == frequent {
-                    return;
-                }
-                let mut hops = 0u64;
-                if let Some(hooked) = uf.unite(&p, u, v, &mut hops) {
-                    forest.assign(hooked, u, v);
-                }
-            });
+            spec.dispatch(
+                g.num_vertices(),
+                seed,
+                ForestVisitor { g, initial, frequent, forest: &forest },
+            );
         }
         FinishMethod::ShiloachVishkin => {
             shiloach_vishkin_finish(g, initial, frequent, Some(&forest));
@@ -70,6 +63,30 @@ pub fn spanning_forest(
         _ => unreachable!("guarded by supports_spanning_forest"),
     }
     forest.to_edges()
+}
+
+struct ForestVisitor<'a> {
+    g: &'a CsrGraph,
+    initial: &'a [VertexId],
+    frequent: VertexId,
+    forest: &'a ForestBuf,
+}
+
+impl KernelVisitor for ForestVisitor<'_> {
+    type Out = ();
+    fn visit<K: UniteKernel>(self, kernel: K) {
+        debug_assert!(kernel.supports_forest());
+        let p = parents_from_labels(self.initial);
+        let (initial, frequent, forest) = (self.initial, self.frequent, self.forest);
+        self.g.for_each_edge_par(|u, v| {
+            if initial[u as usize] == frequent {
+                return;
+            }
+            if let Some(hooked) = kernel.unite(&p, u, v, &mut NoCount) {
+                forest.assign(hooked, u, v);
+            }
+        });
+    }
 }
 
 /// Validates a forest against its graph: every edge exists in `g`, the

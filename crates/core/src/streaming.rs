@@ -11,6 +11,15 @@
 //! - **Type (iii)** — Rem's algorithms with SpliceAtomic: phase-concurrent;
 //!   the batch is split into an update phase and a query phase separated by
 //!   a barrier (Theorem 3).
+//!
+//! Union-find execution is monomorphized: [`UfStreaming`] is generic over
+//! the [`UniteKernel`], so the per-edge batch loops contain no virtual
+//! calls and insert-side hop accounting is compiled out (`NoCount`).
+//! Query-side finds run with counting telemetry and aggregate into a
+//! [`PathStats`] ([`UfStreaming::query_path_lengths`]), the statistic the
+//! Figure 18 latency harness reports. The runtime-configured
+//! [`StreamingConnectivity`] facade dispatches once at construction and
+//! erases the kernel at *batch* granularity only.
 
 use crate::liu_tarjan::{run_on_edges, LtScheme};
 use crate::minkey::MinKey;
@@ -21,7 +30,9 @@ use cc_unionfind::parents::{
     count_roots, find_root_readonly, make_parents, parent, snapshot_labels,
     snapshot_labels_readonly, Parents,
 };
-use cc_unionfind::{UfSpec, Unite};
+use cc_unionfind::{
+    CountHops, KernelVisitor, NoCount, PathLengths, PathStats, UfSpec, UniteKernel,
+};
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// One streamed operation.
@@ -66,12 +77,6 @@ pub enum StreamType {
     PhaseConcurrent,
 }
 
-enum Backend {
-    UnionFind(Box<dyn Unite>),
-    Sv,
-    Lt(LtScheme),
-}
-
 /// Linearizable same-set check, safe concurrently with unions (Type (i)):
 /// if the two finds disagree, the answer is only trustworthy when the
 /// first root is still a root at that moment — a union may have migrated
@@ -98,10 +103,284 @@ fn same_set_with<F: FnMut(VertexId) -> VertexId>(
     }
 }
 
-/// A batch-incremental connectivity structure over `n` vertices.
-pub struct StreamingConnectivity {
+/// Assigns each query in `batch` its output slot; returns the slot map and
+/// the query count.
+fn query_slots(batch: &[Update]) -> (Vec<usize>, usize) {
+    let mut query_slot = vec![usize::MAX; batch.len()];
+    let mut num_queries = 0usize;
+    for (i, op) in batch.iter().enumerate() {
+        if matches!(op, Update::Query(..)) {
+            query_slot[i] = num_queries;
+            num_queries += 1;
+        }
+    }
+    (query_slot, num_queries)
+}
+
+/// A batch-incremental connectivity structure over a *statically chosen*
+/// union-find kernel: every per-edge loop below is monomorphized for `K`.
+/// This is the building block `cc-server`'s sharded engine instantiates;
+/// for runtime variant selection use [`StreamingConnectivity`], which
+/// dispatches onto this type once at construction.
+pub struct UfStreaming<K: UniteKernel> {
     parents: Box<Parents>,
-    backend: Backend,
+    kernel: K,
+    query_paths: PathStats,
+}
+
+impl<K: UniteKernel> UfStreaming<K> {
+    /// Creates the structure for an initially empty graph on `n` vertices,
+    /// building the kernel from `(n, seed)`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_kernel(n, K::build(n, seed))
+    }
+
+    /// Creates the structure around an existing kernel instance (the
+    /// dispatch path).
+    pub fn with_kernel(n: usize, kernel: K) -> Self {
+        UfStreaming { parents: make_parents(n), kernel, query_paths: PathStats::new() }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// This instance's streaming type: Type (i) wait-free, or Type (iii)
+    /// phase-concurrent for kernels whose finds may not run concurrently
+    /// with unions.
+    pub fn stream_type(&self) -> StreamType {
+        if self.kernel.concurrent_finds() {
+            StreamType::WaitFree
+        } else {
+            StreamType::PhaseConcurrent
+        }
+    }
+
+    /// Seeds the structure with the components of an existing labeling,
+    /// mirroring Algorithm 3's `INITIALIZE`. Labels are normalized so each
+    /// component's representative is its minimum member, restoring the
+    /// acyclicity invariant the union algorithms maintain.
+    pub fn seed_from_labels(&self, labels: &[VertexId]) {
+        assert_eq!(labels.len(), self.parents.len());
+        let mut normalized = labels.to_vec();
+        crate::sampling::normalize_labels_to_min(&mut normalized);
+        cc_parallel::parallel_for(normalized.len(), |v| {
+            self.parents[v].store(normalized[v], Ordering::Relaxed);
+        });
+    }
+
+    /// Applies a batch of operations in parallel; returns the answers to
+    /// the queries, in their order of appearance within the batch.
+    /// Insert-side kernels run telemetry-free; query-side finds aggregate
+    /// per-chunk hop counts into [`Self::query_path_lengths`].
+    pub fn process_batch(&self, batch: &[Update]) -> Vec<bool> {
+        let (query_slot, num_queries) = query_slots(batch);
+        let results: Vec<AtomicU8> =
+            cc_parallel::parallel_tabulate(num_queries, |_| AtomicU8::new(0));
+        let p = &self.parents;
+        let kernel = &self.kernel;
+
+        if kernel.concurrent_finds() {
+            // Type (i): one concurrent pass over the mixed batch.
+            parallel_for_chunks(batch.len(), |r| {
+                let (mut qt, mut qm, mut qn) = (0u64, 0u64, 0u64);
+                for i in r {
+                    match batch[i] {
+                        Update::Insert(u, v) => {
+                            kernel.unite(p, u, v, &mut NoCount);
+                        }
+                        Update::Query(u, v) => {
+                            let mut t = CountHops::default();
+                            let c = same_set_with(p, |x| kernel.find(p, x, &mut t), u, v);
+                            results[query_slot[i]].store(u8::from(c), Ordering::Relaxed);
+                            qt += t.0;
+                            qm = qm.max(t.0);
+                            qn += 1;
+                        }
+                    }
+                }
+                self.query_paths.record_bulk(qt, qm, qn);
+            });
+        } else {
+            // Type (iii): update phase, barrier, query phase.
+            parallel_for_chunks(batch.len(), |r| {
+                for i in r {
+                    if let Update::Insert(u, v) = batch[i] {
+                        kernel.unite(p, u, v, &mut NoCount);
+                    }
+                }
+            });
+            parallel_for_chunks(batch.len(), |r| {
+                let (mut qt, mut qm, mut qn) = (0u64, 0u64, 0u64);
+                for i in r {
+                    if let Update::Query(u, v) = batch[i] {
+                        let mut t = CountHops::default();
+                        let c = kernel.find(p, u, &mut t) == kernel.find(p, v, &mut t);
+                        results[query_slot[i]].store(u8::from(c), Ordering::Relaxed);
+                        qt += t.0;
+                        qm = qm.max(t.0);
+                        qn += 1;
+                    }
+                }
+                self.query_paths.record_bulk(qt, qm, qn);
+            });
+        }
+        results.iter().map(|r| r.load(Ordering::Relaxed) == 1).collect()
+    }
+
+    /// Single asynchronous edge insertion, callable concurrently from many
+    /// threads (Type (i) only).
+    ///
+    /// # Panics
+    /// For phase-concurrent (Rem+Splice) kernels, which require
+    /// [`Self::insert_phase_concurrent`] under the caller's barrier.
+    pub fn insert(&self, u: VertexId, v: VertexId) {
+        assert!(
+            self.kernel.concurrent_finds(),
+            "single asynchronous inserts require a wait-free union-find backend; \
+             use process_batch"
+        );
+        self.kernel.unite(&self.parents, u, v, &mut NoCount);
+    }
+
+    /// Edge insertion for phase-concurrent (Type (iii)) use: may be called
+    /// concurrently with other inserts from many threads, but the caller
+    /// must guarantee no query ([`Self::connected`], [`Self::current_label`],
+    /// snapshots) runs until the update phase is over (Theorem 3's
+    /// barrier). Available for *every* kernel; the protocol obligation is
+    /// the caller's.
+    pub fn insert_phase_concurrent(&self, u: VertexId, v: VertexId) {
+        self.kernel.unite(&self.parents, u, v, &mut NoCount);
+    }
+
+    /// Single linearizable connectivity query against the current state.
+    /// Wait-free alongside concurrent [`Self::insert`] calls on Type (i)
+    /// kernels (uses the root-recheck retry loop, so a concurrent merge
+    /// can never produce a stale `false` for already-connected vertices).
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        let p = &self.parents;
+        same_set_with(p, |x| find_root_readonly(p, x), u, v)
+    }
+
+    /// The current representative label of `v`, without snapshotting the
+    /// whole labeling. Read-only; exact when quiescent.
+    pub fn current_label(&self, v: VertexId) -> VertexId {
+        find_root_readonly(&self.parents, v)
+    }
+
+    /// Number of connected components in the current state (read-only
+    /// root count; exact when quiescent).
+    pub fn num_components(&self) -> usize {
+        count_roots(&self.parents)
+    }
+
+    /// Snapshot of the current component labeling (fully compressed).
+    pub fn labels(&self) -> Vec<VertexId> {
+        snapshot_labels(&self.parents)
+    }
+
+    /// Read-only labeling snapshot: like [`Self::labels`] but writes
+    /// nothing. Concurrent insertions may tear it; exact when quiescent.
+    pub fn labels_readonly(&self) -> Vec<VertexId> {
+        snapshot_labels_readonly(&self.parents)
+    }
+
+    /// Accumulated query-path statistics: hop counts of every batched
+    /// query's finds (Total/Max Path Length over the query side). Insert
+    /// paths are telemetry-free and contribute nothing.
+    pub fn query_path_lengths(&self) -> PathLengths {
+        self.query_paths.snapshot()
+    }
+
+    /// The kernel's display name, e.g.
+    /// `Union-Rem-CAS{SplitAtomicOne; FindNaive}`.
+    pub fn algorithm_name(&self) -> String {
+        self.kernel.name()
+    }
+}
+
+/// The object-safe face of [`UfStreaming`] the runtime facade holds:
+/// erasure happens at batch / single-operation granularity, so every
+/// per-edge loop underneath stays monomorphized.
+trait UfStreamDyn: Send + Sync {
+    fn num_vertices(&self) -> usize;
+    fn stream_type(&self) -> StreamType;
+    fn seed_from_labels(&self, labels: &[VertexId]);
+    fn process_batch(&self, batch: &[Update]) -> Vec<bool>;
+    fn insert(&self, u: VertexId, v: VertexId);
+    fn insert_phase_concurrent(&self, u: VertexId, v: VertexId);
+    fn connected(&self, u: VertexId, v: VertexId) -> bool;
+    fn current_label(&self, v: VertexId) -> VertexId;
+    fn num_components(&self) -> usize;
+    fn labels(&self) -> Vec<VertexId>;
+    fn labels_readonly(&self) -> Vec<VertexId>;
+    fn query_path_lengths(&self) -> PathLengths;
+}
+
+impl<K: UniteKernel> UfStreamDyn for UfStreaming<K> {
+    fn num_vertices(&self) -> usize {
+        UfStreaming::num_vertices(self)
+    }
+    fn stream_type(&self) -> StreamType {
+        UfStreaming::stream_type(self)
+    }
+    fn seed_from_labels(&self, labels: &[VertexId]) {
+        UfStreaming::seed_from_labels(self, labels)
+    }
+    fn process_batch(&self, batch: &[Update]) -> Vec<bool> {
+        UfStreaming::process_batch(self, batch)
+    }
+    fn insert(&self, u: VertexId, v: VertexId) {
+        UfStreaming::insert(self, u, v)
+    }
+    fn insert_phase_concurrent(&self, u: VertexId, v: VertexId) {
+        UfStreaming::insert_phase_concurrent(self, u, v)
+    }
+    fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        UfStreaming::connected(self, u, v)
+    }
+    fn current_label(&self, v: VertexId) -> VertexId {
+        UfStreaming::current_label(self, v)
+    }
+    fn num_components(&self) -> usize {
+        UfStreaming::num_components(self)
+    }
+    fn labels(&self) -> Vec<VertexId> {
+        UfStreaming::labels(self)
+    }
+    fn labels_readonly(&self) -> Vec<VertexId> {
+        UfStreaming::labels_readonly(self)
+    }
+    fn query_path_lengths(&self) -> PathLengths {
+        UfStreaming::query_path_lengths(self)
+    }
+}
+
+/// The synchronous (Type (ii)) backends, which share one parent array.
+enum ClassicAlg {
+    Sv,
+    Lt(LtScheme),
+}
+
+struct Classic {
+    parents: Box<Parents>,
+    alg: ClassicAlg,
+}
+
+enum Inner {
+    /// A monomorphized union-find stream behind a batch-granular vtable.
+    Uf(Box<dyn UfStreamDyn>),
+    /// Shiloach–Vishkin / Liu–Tarjan synchronous execution.
+    Classic(Classic),
+}
+
+/// A batch-incremental connectivity structure over `n` vertices with the
+/// algorithm chosen at runtime. Union-find configurations dispatch to a
+/// monomorphized [`UfStreaming`] kernel once, here at construction; no
+/// per-edge virtual calls remain.
+pub struct StreamingConnectivity {
+    inner: Inner,
 }
 
 impl StreamingConnectivity {
@@ -112,18 +391,29 @@ impl StreamingConnectivity {
     /// root-based (monotone) schemes are sound when previous batches'
     /// edges are not re-applied.
     pub fn new(n: usize, algorithm: &StreamAlgorithm, seed: u64) -> Self {
-        let backend = match algorithm {
-            StreamAlgorithm::UnionFind(spec) => Backend::UnionFind(spec.instantiate(n, seed)),
-            StreamAlgorithm::ShiloachVishkin => Backend::Sv,
+        struct Boxer {
+            n: usize,
+        }
+        impl KernelVisitor for Boxer {
+            type Out = Box<dyn UfStreamDyn>;
+            fn visit<K: UniteKernel>(self, kernel: K) -> Box<dyn UfStreamDyn> {
+                Box::new(UfStreaming::with_kernel(self.n, kernel))
+            }
+        }
+        let inner = match algorithm {
+            StreamAlgorithm::UnionFind(spec) => Inner::Uf(spec.dispatch(n, seed, Boxer { n })),
+            StreamAlgorithm::ShiloachVishkin => {
+                Inner::Classic(Classic { parents: make_parents(n), alg: ClassicAlg::Sv })
+            }
             StreamAlgorithm::LiuTarjan(scheme) => {
                 assert!(
                     scheme.root_up,
                     "only root-based (RootUp) Liu-Tarjan schemes support streaming"
                 );
-                Backend::Lt(*scheme)
+                Inner::Classic(Classic { parents: make_parents(n), alg: ClassicAlg::Lt(*scheme) })
             }
         };
-        StreamingConnectivity { parents: make_parents(n), backend }
+        StreamingConnectivity { inner }
     }
 
     /// Seeds the structure with the components of an existing labeling
@@ -133,118 +423,71 @@ impl StreamingConnectivity {
     /// the acyclicity invariant the union algorithms maintain.
     pub fn from_labels(labels: &[VertexId], algorithm: &StreamAlgorithm, seed: u64) -> Self {
         let s = Self::new(labels.len(), algorithm, seed);
-        let mut normalized = labels.to_vec();
-        crate::sampling::normalize_labels_to_min(&mut normalized);
-        cc_parallel::parallel_for(normalized.len(), |v| {
-            s.parents[v].store(normalized[v], Ordering::Relaxed);
-        });
+        match &s.inner {
+            Inner::Uf(uf) => uf.seed_from_labels(labels),
+            Inner::Classic(c) => {
+                let mut normalized = labels.to_vec();
+                crate::sampling::normalize_labels_to_min(&mut normalized);
+                cc_parallel::parallel_for(normalized.len(), |v| {
+                    c.parents[v].store(normalized[v], Ordering::Relaxed);
+                });
+            }
+        }
         s
     }
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.parents.len()
+        match &self.inner {
+            Inner::Uf(uf) => uf.num_vertices(),
+            Inner::Classic(c) => c.parents.len(),
+        }
     }
 
     /// This instance's streaming type.
     pub fn stream_type(&self) -> StreamType {
-        match &self.backend {
-            Backend::UnionFind(uf) => {
-                if uf.concurrent_finds() {
-                    StreamType::WaitFree
-                } else {
-                    StreamType::PhaseConcurrent
-                }
-            }
-            Backend::Sv | Backend::Lt(_) => StreamType::SynchronousUpdates,
+        match &self.inner {
+            Inner::Uf(uf) => uf.stream_type(),
+            Inner::Classic(_) => StreamType::SynchronousUpdates,
         }
     }
 
     /// Applies a batch of operations in parallel; returns the answers to
     /// the queries, in their order of appearance within the batch.
     pub fn process_batch(&self, batch: &[Update]) -> Vec<bool> {
-        // Assign each query its output slot.
-        let mut query_slot = vec![usize::MAX; batch.len()];
-        let mut num_queries = 0usize;
-        for (i, op) in batch.iter().enumerate() {
-            if matches!(op, Update::Query(..)) {
-                query_slot[i] = num_queries;
-                num_queries += 1;
-            }
-        }
+        let c = match &self.inner {
+            Inner::Uf(uf) => return uf.process_batch(batch),
+            Inner::Classic(c) => c,
+        };
+        let (query_slot, num_queries) = query_slots(batch);
         let results: Vec<AtomicU8> =
             cc_parallel::parallel_tabulate(num_queries, |_| AtomicU8::new(0));
-        let p = &self.parents;
-
-        match (&self.backend, self.stream_type()) {
-            (Backend::UnionFind(uf), StreamType::WaitFree) => {
-                let uf = uf.as_ref();
-                parallel_for_chunks(batch.len(), |r| {
-                    let mut hops = 0u64;
-                    for i in r {
-                        match batch[i] {
-                            Update::Insert(u, v) => {
-                                uf.unite(p, u, v, &mut hops);
-                            }
-                            Update::Query(u, v) => {
-                                let c =
-                                    same_set_with(p, |x| uf.find(p, x, &mut hops), u, v);
-                                results[query_slot[i]].store(u8::from(c), Ordering::Relaxed);
-                            }
-                        }
-                    }
+        let p = &c.parents;
+        let inserts: Vec<Edge> = pack_map(batch.len(), |i| match batch[i] {
+            Update::Insert(u, v) => Some((u, v)),
+            Update::Query(..) => None,
+        });
+        match &c.alg {
+            ClassicAlg::Sv => sv_rounds_on_edges(p, &inserts, None),
+            ClassicAlg::Lt(scheme) => {
+                // RootUp schemes only update roots, so contract the
+                // batch to current representatives first.
+                let contracted: Vec<Edge> = pack_map(inserts.len(), |i| {
+                    let (u, v) = inserts[i];
+                    let (ru, rv) = (find_root_readonly(p, u), find_root_readonly(p, v));
+                    (ru != rv).then_some((ru, rv))
                 });
-            }
-            (Backend::UnionFind(uf), _) => {
-                // Type (iii): update phase, barrier, query phase.
-                let uf = uf.as_ref();
-                parallel_for_chunks(batch.len(), |r| {
-                    let mut hops = 0u64;
-                    for i in r {
-                        if let Update::Insert(u, v) = batch[i] {
-                            uf.unite(p, u, v, &mut hops);
-                        }
-                    }
-                });
-                parallel_for_chunks(batch.len(), |r| {
-                    let mut hops = 0u64;
-                    for i in r {
-                        if let Update::Query(u, v) = batch[i] {
-                            let c = uf.find(p, u, &mut hops) == uf.find(p, v, &mut hops);
-                            results[query_slot[i]].store(u8::from(c), Ordering::Relaxed);
-                        }
-                    }
-                });
-            }
-            (Backend::Sv | Backend::Lt(_), _) => {
-                let inserts: Vec<Edge> = pack_map(batch.len(), |i| match batch[i] {
-                    Update::Insert(u, v) => Some((u, v)),
-                    Update::Query(..) => None,
-                });
-                match &self.backend {
-                    Backend::Sv => sv_rounds_on_edges(p, &inserts, None),
-                    Backend::Lt(scheme) => {
-                        // RootUp schemes only update roots, so contract the
-                        // batch to current representatives first.
-                        let contracted: Vec<Edge> = pack_map(inserts.len(), |i| {
-                            let (u, v) = inserts[i];
-                            let (ru, rv) = (find_root_readonly(p, u), find_root_readonly(p, v));
-                            (ru != rv).then_some((ru, rv))
-                        });
-                        run_on_edges(p, contracted, *scheme, MinKey::plain());
-                    }
-                    Backend::UnionFind(_) => unreachable!(),
-                }
-                parallel_for_chunks(batch.len(), |r| {
-                    for i in r {
-                        if let Update::Query(u, v) = batch[i] {
-                            let c = find_root_readonly(p, u) == find_root_readonly(p, v);
-                            results[query_slot[i]].store(u8::from(c), Ordering::Relaxed);
-                        }
-                    }
-                });
+                run_on_edges(p, contracted, *scheme, MinKey::plain());
             }
         }
+        parallel_for_chunks(batch.len(), |r| {
+            for i in r {
+                if let Update::Query(u, v) = batch[i] {
+                    let conn = find_root_readonly(p, u) == find_root_readonly(p, v);
+                    results[query_slot[i]].store(u8::from(conn), Ordering::Relaxed);
+                }
+            }
+        });
         results.iter().map(|r| r.load(Ordering::Relaxed) == 1).collect()
     }
 
@@ -256,12 +499,9 @@ impl StreamingConnectivity {
     /// For synchronous (SV / Liu–Tarjan) and phase-concurrent (Rem+Splice)
     /// backends, which require batch processing.
     pub fn insert(&self, u: VertexId, v: VertexId) {
-        match &self.backend {
-            Backend::UnionFind(uf) if uf.concurrent_finds() => {
-                let mut hops = 0u64;
-                uf.unite(&self.parents, u, v, &mut hops);
-            }
-            _ => panic!(
+        match &self.inner {
+            Inner::Uf(uf) => uf.insert(u, v),
+            Inner::Classic(_) => panic!(
                 "single asynchronous inserts require a wait-free union-find backend; \
                  use process_batch"
             ),
@@ -280,12 +520,9 @@ impl StreamingConnectivity {
     /// For synchronous (SV / Liu–Tarjan) backends, which require batch
     /// processing.
     pub fn insert_phase_concurrent(&self, u: VertexId, v: VertexId) {
-        match &self.backend {
-            Backend::UnionFind(uf) => {
-                let mut hops = 0u64;
-                uf.unite(&self.parents, u, v, &mut hops);
-            }
-            _ => panic!(
+        match &self.inner {
+            Inner::Uf(uf) => uf.insert_phase_concurrent(u, v),
+            Inner::Classic(_) => panic!(
                 "phase-concurrent inserts require a union-find backend; use process_batch"
             ),
         }
@@ -296,15 +533,23 @@ impl StreamingConnectivity {
     /// backends (uses the root-recheck retry loop, so a concurrent merge
     /// can never produce a stale `false` for already-connected vertices).
     pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
-        let p = &self.parents;
-        same_set_with(p, |x| find_root_readonly(p, x), u, v)
+        match &self.inner {
+            Inner::Uf(uf) => uf.connected(u, v),
+            Inner::Classic(c) => {
+                let p = &c.parents;
+                same_set_with(p, |x| find_root_readonly(p, x), u, v)
+            }
+        }
     }
 
     /// The current representative label of `v`, without snapshotting the
     /// whole labeling. Read-only; exact when quiescent. Between batches,
     /// two vertices are in the same component iff their labels match.
     pub fn current_label(&self, v: VertexId) -> VertexId {
-        find_root_readonly(&self.parents, v)
+        match &self.inner {
+            Inner::Uf(uf) => uf.current_label(v),
+            Inner::Classic(c) => find_root_readonly(&c.parents, v),
+        }
     }
 
     /// Number of connected components in the current state, computed as a
@@ -312,12 +557,18 @@ impl StreamingConnectivity {
     /// quiescent (e.g. between batches); during concurrent insertions it is
     /// an upper bound on the post-batch count.
     pub fn num_components(&self) -> usize {
-        count_roots(&self.parents)
+        match &self.inner {
+            Inner::Uf(uf) => uf.num_components(),
+            Inner::Classic(c) => count_roots(&c.parents),
+        }
     }
 
     /// Snapshot of the current component labeling (fully compressed).
     pub fn labels(&self) -> Vec<VertexId> {
-        snapshot_labels(&self.parents)
+        match &self.inner {
+            Inner::Uf(uf) => uf.labels(),
+            Inner::Classic(c) => snapshot_labels(&c.parents),
+        }
     }
 
     /// Read-only labeling snapshot: like [`Self::labels`] but writes
@@ -326,7 +577,21 @@ impl StreamingConnectivity {
     /// may tear it; exact when quiescent (the service layer snapshots
     /// between batches).
     pub fn labels_readonly(&self) -> Vec<VertexId> {
-        snapshot_labels_readonly(&self.parents)
+        match &self.inner {
+            Inner::Uf(uf) => uf.labels_readonly(),
+            Inner::Classic(c) => snapshot_labels_readonly(&c.parents),
+        }
+    }
+
+    /// Accumulated query-path statistics (Total/Max Path Length over the
+    /// find walks of every batched query). Union-find backends record
+    /// these per batch; the synchronous backends answer queries from
+    /// depth-1 trees and report zeros.
+    pub fn query_path_lengths(&self) -> PathLengths {
+        match &self.inner {
+            Inner::Uf(uf) => uf.query_path_lengths(),
+            Inner::Classic(_) => PathLengths::default(),
+        }
     }
 }
 
@@ -447,6 +712,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "wait-free")]
+    fn async_insert_rejected_for_splice_backend() {
+        let splice = UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive);
+        let s = StreamingConnectivity::new(4, &StreamAlgorithm::UnionFind(splice), 0);
+        s.insert(0, 1);
+    }
+
+    #[test]
     fn accessors_report_state_without_snapshot() {
         let s = StreamingConnectivity::new(6, &StreamAlgorithm::UnionFind(UfSpec::fastest()), 0);
         assert_eq!(s.num_components(), 6);
@@ -457,6 +730,33 @@ mod tests {
         assert_eq!(s.current_label(4), 4);
         let ro = s.labels_readonly();
         assert_eq!(ro, s.labels());
+    }
+
+    #[test]
+    fn query_path_lengths_accumulate() {
+        // Build a long path with FindNaive (no compaction on inserts),
+        // then query across it: the recorded query paths must be nonzero
+        // and grow with more queries.
+        let spec = UfSpec::new(UniteKind::Async, FindKind::Naive);
+        let s = StreamingConnectivity::new(64, &StreamAlgorithm::UnionFind(spec), 0);
+        let inserts: Vec<Update> = (0..63).map(|i| Update::Insert(i, i + 1)).collect();
+        s.process_batch(&inserts);
+        assert_eq!(s.query_path_lengths(), PathLengths::default(), "inserts record nothing");
+        let r = s.process_batch(&[Update::Query(0, 63), Update::Query(40, 50)]);
+        assert_eq!(r, vec![true, true]);
+        let pl = s.query_path_lengths();
+        assert_eq!(pl.operations, 2);
+        assert!(pl.total > 0, "deep-tree queries must walk hops: {pl}");
+        assert!(pl.max <= pl.total);
+        let before = pl.total;
+        s.process_batch(&[Update::Query(0, 1)]);
+        let after = s.query_path_lengths();
+        assert_eq!(after.operations, 3);
+        assert!(after.total >= before);
+        // Synchronous backends report zeros.
+        let sv = StreamingConnectivity::new(8, &StreamAlgorithm::ShiloachVishkin, 0);
+        sv.process_batch(&[Update::Insert(0, 1), Update::Query(0, 1)]);
+        assert_eq!(sv.query_path_lengths(), PathLengths::default());
     }
 
     #[test]
@@ -487,14 +787,32 @@ mod tests {
     #[test]
     fn from_labels_seeds_components() {
         let labels = vec![0, 0, 0, 3, 3, 5];
-        let s = StreamingConnectivity::from_labels(
-            &labels,
-            &StreamAlgorithm::UnionFind(UfSpec::fastest()),
-            0,
-        );
+        for alg in [
+            StreamAlgorithm::UnionFind(UfSpec::fastest()),
+            StreamAlgorithm::ShiloachVishkin,
+        ] {
+            let s = StreamingConnectivity::from_labels(&labels, &alg, 0);
+            assert!(s.connected(0, 2), "{}", alg.name());
+            assert!(s.connected(3, 4));
+            assert!(!s.connected(0, 3));
+            assert!(!s.connected(5, 0));
+        }
+    }
+
+    #[test]
+    fn generic_ufstreaming_direct_use() {
+        // The monomorphized building block is usable without the facade.
+        let s: UfStreaming<cc_unionfind::FastestKernel> = UfStreaming::new(8, 0);
+        s.insert(0, 1);
+        s.insert(1, 2);
         assert!(s.connected(0, 2));
-        assert!(s.connected(3, 4));
         assert!(!s.connected(0, 3));
-        assert!(!s.connected(5, 0));
+        assert_eq!(s.num_components(), 6);
+        let r = s.process_batch(&[Update::Insert(3, 4), Update::Query(3, 4)]);
+        assert_eq!(r, vec![true]);
+        s.seed_from_labels(&[0, 0, 0, 0, 0, 5, 5, 7]);
+        assert!(s.connected(0, 4));
+        assert!(s.connected(5, 6));
+        assert!(!s.connected(5, 7));
     }
 }

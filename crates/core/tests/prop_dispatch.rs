@@ -1,0 +1,82 @@
+//! Property: the monomorphized dispatch path and the object-safe
+//! `Box<dyn Unite>` adapter are observationally identical — same
+//! partitions on every valid variant, and the same spanning-forest edge
+//! counts where forests are supported — on RMAT and grid inputs.
+
+use cc_graph::generators::{grid2d, rmat_default};
+use cc_graph::stats::same_partition;
+use cc_graph::{build_undirected, CsrGraph};
+use cc_unionfind::parents::{make_parents, snapshot_labels};
+use cc_unionfind::{SpliceKind, UfSpec};
+use connectit::{
+    connectivity_seeded, spanning_forest, FinishMethod, SamplingMethod,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The finish phase through the dyn adapter: one virtual call and a
+/// mandatory hop write per edge (the pre-refactor execution model).
+fn dyn_finish(g: &CsrGraph, spec: UfSpec, seed: u64) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let p = make_parents(n);
+    let uf = spec.instantiate(n, seed);
+    let uf = uf.as_ref();
+    let hooks = AtomicUsize::new(0);
+    g.for_each_edge_par(|u, v| {
+        let mut hops = 0u64;
+        if uf.unite(&p, u, v, &mut hops).is_some() {
+            hooks.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    (snapshot_labels(&p), hooks.load(Ordering::Relaxed))
+}
+
+fn check_graph(g: &CsrGraph, seed: u64) -> Result<(), TestCaseError> {
+    for spec in UfSpec::all_variants() {
+        let finish = FinishMethod::UnionFind(spec);
+        let static_labels = connectivity_seeded(g, &SamplingMethod::None, &finish, seed);
+        let (dyn_labels, dyn_hooks) = dyn_finish(g, spec, seed);
+        prop_assert!(
+            same_partition(&static_labels, &dyn_labels),
+            "partition mismatch for {}",
+            spec.name()
+        );
+        // Each component of size s hooks exactly s - 1 roots over its
+        // lifetime, so the hook count is partition-determined and must
+        // agree with the spanning-forest edge count of the static path.
+        if spec.splice != Some(SpliceKind::Splice) {
+            let forest = spanning_forest(g, &SamplingMethod::None, &finish, seed);
+            prop_assert_eq!(
+                forest.len(),
+                dyn_hooks,
+                "forest edge count mismatch for {}",
+                spec.name()
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn monomorphized_and_dyn_agree_on_rmat(
+        seed in any::<u64>(),
+        edges in 200usize..900,
+    ) {
+        let el = rmat_default(8, edges, seed ^ 0x5a);
+        let g = build_undirected(el.num_vertices, &el.edges);
+        check_graph(&g, seed)?;
+    }
+
+    #[test]
+    fn monomorphized_and_dyn_agree_on_grid(
+        seed in any::<u64>(),
+        w in 6usize..14,
+        h in 6usize..14,
+    ) {
+        let g = grid2d(w, h);
+        check_graph(&g, seed)?;
+    }
+}

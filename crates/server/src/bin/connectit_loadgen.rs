@@ -16,9 +16,14 @@
 //! connectit-loadgen [--mode inproc|tcp] [--addr HOST:PORT] [--n N]
 //!                   [--shards S] [--clients C] [--batches B] [--batch-ops K]
 //!                   [--query-frac F] [--layout blocked|strided]
-//!                   [--alg fastest|async|rem-splice] [--phased]
+//!                   [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]
 //!                   [--seed X] [--shutdown]
 //! ```
+//!
+//! `--finish` (pass-through to the in-process service, mirroring
+//! `connectit-serve`) accepts any valid union-find variant as
+//! `unite[+splice][+find]`; invalid combinations are rejected with the
+//! rule they violate.
 //!
 //! Exits non-zero on any oracle mismatch or zero throughput. In `tcp`
 //! mode, `--n` must match the server's vertex count.
@@ -70,8 +75,10 @@ fn usage() -> ExitCode {
         "usage: connectit-loadgen [--mode inproc|tcp] [--addr HOST:PORT] [--n N]\n\
          \x20                        [--shards S] [--clients C] [--batches B] [--batch-ops K]\n\
          \x20                        [--query-frac F] [--layout blocked|strided]\n\
-         \x20                        [--alg fastest|async|rem-splice] [--phased]\n\
-         \x20                        [--seed X] [--shutdown]"
+         \x20                        [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]\n\
+         \x20                        [--seed X] [--shutdown]\n\
+         \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress (see\n\
+         \x20        connectit-serve --help)"
     );
     ExitCode::from(2)
 }
@@ -112,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
                 other => return Err(format!("unknown --layout {other:?}")),
             },
             "--alg" => o.spec = parse_alg(&next_val(a, &mut it)?)?,
+            "--finish" => o.spec = next_val(a, &mut it)?.parse()?,
             "--phased" => o.phased = true,
             "--seed" => o.seed = next_val(a, &mut it)?.parse().map_err(|_| "bad --seed")?,
             "--shutdown" => o.send_shutdown = true,

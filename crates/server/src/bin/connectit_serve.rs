@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! connectit-serve [--n N] [--shards S] [--bind ADDR] [--port P]
-//!                 [--alg fastest|async|rem-splice] [--phased]
+//!                 [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]
 //!                 [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]
 //! ```
+//!
+//! `--finish` accepts any valid union-find variant as
+//! `unite[+splice][+find]` (e.g. `rem-lock+halve-one+compress`,
+//! `async+split`, `jtb+two-try`), superseding the `--alg` shorthand;
+//! invalid combinations are rejected with the rule they violate.
 //!
 //! Serves the line protocol documented in `cc_server::net` until a client
 //! sends `SHUTDOWN`, then prints final stats and exits.
@@ -16,8 +21,10 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: connectit-serve [--n N] [--shards S] [--bind ADDR] [--port P]\n\
-         \x20                      [--alg fastest|async|rem-splice] [--phased]\n\
-         \x20                      [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]"
+         \x20                      [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]\n\
+         \x20                      [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]\n\
+         \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress, async+split,\n\
+         \x20        jtb+two-try (unites: async|hooks|early|rem-cas|rem-lock|jtb)"
     );
     ExitCode::from(2)
 }
@@ -53,6 +60,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     next_val(a, &mut it)?.parse().map_err(|_| "bad --port".to_string())?
             }
             "--alg" => opts.cfg.spec = parse_alg(&next_val(a, &mut it)?)?,
+            "--finish" => opts.cfg.spec = next_val(a, &mut it)?.parse()?,
             "--phased" => opts.cfg.mode = ExecMode::Phased,
             "--batch-ops" => {
                 opts.cfg.batch_max_ops =

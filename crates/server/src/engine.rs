@@ -1,6 +1,13 @@
 //! The sharded connectivity engine: vertex-range shards, each backed by a
-//! [`StreamingConnectivity`] over its local id space, stitched together by
-//! a shared union-find *spine* over the full vertex set.
+//! [`connectit::UfStreaming`] over its local id space, stitched together
+//! by a shared union-find *spine* over the full vertex set.
+//!
+//! [`ShardedEngine`] is generic over the union-find kernel: the whole
+//! batch loop — shard inserts, spine forwards, queries — is monomorphized
+//! per variant through [`cc_unionfind::UfSpec::dispatch`]
+//! ([`build_engine`]), so no per-edge virtual calls survive anywhere in
+//! the service. The service layer holds the engine behind the
+//! batch-granular [`Engine`] trait.
 //!
 //! ## Why this is correct
 //!
@@ -37,8 +44,8 @@
 //!   the configurable fast path that unlocks the Rem + `SpliceAtomic`
 //!   variants, which forbid finds concurrent with unions.
 
-use cc_unionfind::UfSpec;
-use connectit::{StreamAlgorithm, StreamType, StreamingConnectivity, Update};
+use cc_unionfind::{KernelVisitor, UfSpec, UniteKernel};
+use connectit::{StreamType, UfStreaming, Update};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Requested batch-execution discipline.
@@ -106,6 +113,65 @@ pub struct EngineCounters {
     pub forwarded: AtomicU64,
 }
 
+/// The batch-granular, object-safe face of [`ShardedEngine`] the service
+/// layer holds: one virtual call per batch (or per read-side operation),
+/// with the monomorphized per-edge loops underneath.
+pub trait Engine: Send + Sync {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+    /// Number of shards.
+    fn num_shards(&self) -> usize;
+    /// The resolved execution discipline.
+    fn mode(&self) -> RunMode;
+    /// The union-find variant's display name.
+    fn algorithm_name(&self) -> String;
+    /// The monotone operation counters.
+    fn counters(&self) -> &EngineCounters;
+    /// Applies a mixed batch; returns query answers in order of appearance.
+    fn process_batch(&self, batch: &[Update]) -> Vec<bool>;
+    /// Linearizable connectivity query.
+    fn connected(&self, u: u32, v: u32) -> bool;
+    /// Current global component label of `v` (exact when quiescent).
+    fn current_label(&self, v: u32) -> u32;
+    /// Number of global connected components (exact when quiescent).
+    fn num_components(&self) -> usize;
+    /// Read-only snapshot of the global component labeling.
+    fn labels_readonly(&self) -> Vec<u32>;
+}
+
+/// Builds a [`ShardedEngine`] for the runtime-selected variant `spec`,
+/// monomorphized through the dispatcher and erased at batch granularity.
+pub fn build_engine(
+    n: usize,
+    shards: usize,
+    spec: &UfSpec,
+    mode: ExecMode,
+    seed: u64,
+) -> Result<Box<dyn Engine>, EngineError> {
+    struct Builder {
+        n: usize,
+        shards: usize,
+        mode: ExecMode,
+        seed: u64,
+    }
+    impl KernelVisitor for Builder {
+        type Out = Result<Box<dyn Engine>, EngineError>;
+        fn visit<K: UniteKernel>(self, kernel: K) -> Self::Out {
+            // The dispatched kernel was built for (n, seed) — exactly the
+            // spine's parameters; stateful kernels (locks, ranks, hooks)
+            // are O(n) to build, so reuse it rather than rebuilding.
+            let e =
+                ShardedEngine::with_spine_kernel(self.n, self.shards, self.mode, self.seed, kernel)?;
+            Ok(Box::new(e))
+        }
+    }
+    if n == 0 {
+        // Reject before dispatch: kernels for n = 0 are legal but useless.
+        return Err(EngineError::EmptyVertexSet);
+    }
+    spec.dispatch(n, seed, Builder { n, shards, mode, seed })
+}
+
 /// One classified batch operation (see [`ShardedEngine::process_batch`]).
 enum EngineOp {
     /// Intra-shard insert, pre-translated to shard-local ids; `forward`
@@ -117,32 +183,48 @@ enum EngineOp {
     Query { u: u32, v: u32, slot: u32 },
 }
 
-/// A sharded, batch-incremental connectivity structure over `n` vertices.
+/// A sharded, batch-incremental connectivity structure over `n` vertices,
+/// monomorphized over the union-find kernel `K`.
 ///
 /// `process_batch` must not be called concurrently with itself (the
 /// service layer's batch former serializes batches); in wait-free mode,
-/// read-side methods ([`Self::connected`], [`Self::current_label`],
-/// [`Self::num_components`], [`Self::labels_readonly`]) may run
+/// read-side methods ([`Engine::connected`], [`Engine::current_label`],
+/// [`Engine::num_components`], [`Engine::labels_readonly`]) may run
 /// concurrently with an in-flight batch.
-pub struct ShardedEngine {
+pub struct ShardedEngine<K: UniteKernel> {
     n: usize,
     shard_width: usize,
-    shards: Vec<StreamingConnectivity>,
-    spine: StreamingConnectivity,
+    shards: Vec<UfStreaming<K>>,
+    spine: UfStreaming<K>,
     mode: RunMode,
     counters: EngineCounters,
 }
 
-impl ShardedEngine {
+impl<K: UniteKernel> ShardedEngine<K> {
     /// Builds an engine over `n` vertices split into (at most) `shards`
     /// contiguous vertex ranges, every shard and the spine running the
-    /// union-find variant `spec`.
+    /// kernel `K` (built from `seed`).
     pub fn new(
         n: usize,
         shards: usize,
-        spec: &UfSpec,
         mode: ExecMode,
         seed: u64,
+    ) -> Result<Self, EngineError> {
+        if n == 0 {
+            return Err(EngineError::EmptyVertexSet);
+        }
+        Self::with_spine_kernel(n, shards, mode, seed, K::build(n, seed))
+    }
+
+    /// [`Self::new`] with the spine's kernel instance supplied by the
+    /// caller (it must have been built for `(n, seed)`); the dispatch
+    /// path uses this to avoid constructing a second O(n) kernel.
+    pub fn with_spine_kernel(
+        n: usize,
+        shards: usize,
+        mode: ExecMode,
+        seed: u64,
+        spine_kernel: K,
     ) -> Result<Self, EngineError> {
         if n == 0 {
             return Err(EngineError::EmptyVertexSet);
@@ -150,8 +232,7 @@ impl ShardedEngine {
         let shards = shards.clamp(1, n);
         let shard_width = n.div_ceil(shards);
         let num_shards = n.div_ceil(shard_width);
-        let alg = StreamAlgorithm::UnionFind(*spec);
-        let spine = StreamingConnectivity::new(n, &alg, seed);
+        let spine: UfStreaming<K> = UfStreaming::with_kernel(n, spine_kernel);
         let wait_free_capable = spine.stream_type() == StreamType::WaitFree;
         let mode = match mode {
             ExecMode::Auto => {
@@ -163,7 +244,7 @@ impl ShardedEngine {
             }
             ExecMode::WaitFree => {
                 if !wait_free_capable {
-                    return Err(EngineError::NotWaitFreeCapable(spec.name()));
+                    return Err(EngineError::NotWaitFreeCapable(spine.algorithm_name()));
                 }
                 RunMode::WaitFree
             }
@@ -173,7 +254,7 @@ impl ShardedEngine {
             .map(|s| {
                 let lo = s * shard_width;
                 let size = shard_width.min(n - lo);
-                StreamingConnectivity::new(size, &alg, seed.wrapping_add(1 + s as u64))
+                UfStreaming::new(size, seed.wrapping_add(1 + s as u64))
             })
             .collect();
         Ok(ShardedEngine {
@@ -186,29 +267,31 @@ impl ShardedEngine {
         })
     }
 
-    /// Number of vertices.
-    pub fn num_vertices(&self) -> usize {
-        self.n
-    }
-
-    /// Number of shards.
-    pub fn num_shards(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// The resolved execution discipline.
-    pub fn mode(&self) -> RunMode {
-        self.mode
-    }
-
-    /// The monotone operation counters.
-    pub fn counters(&self) -> &EngineCounters {
-        &self.counters
-    }
-
     #[inline]
     fn shard_of(&self, v: u32) -> usize {
         v as usize / self.shard_width
+    }
+}
+
+impl<K: UniteKernel> Engine for ShardedEngine<K> {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn mode(&self) -> RunMode {
+        self.mode
+    }
+
+    fn algorithm_name(&self) -> String {
+        self.spine.algorithm_name()
+    }
+
+    fn counters(&self) -> &EngineCounters {
+        &self.counters
     }
 
     /// Applies a mixed batch; returns query answers in order of appearance.
@@ -216,7 +299,7 @@ impl ShardedEngine {
     /// Queries may observe any subset of the same batch's insertions
     /// (operations within a batch are concurrent); state from previous
     /// batches is always fully visible.
-    pub fn process_batch(&self, batch: &[Update]) -> Vec<bool> {
+    fn process_batch(&self, batch: &[Update]) -> Vec<bool> {
         // Classify on the (quiescent) pre-batch state: route every op,
         // translate intra-shard edges to local ids, and decide spine
         // forwarding via the local novelty check. `fwd_seen` suppresses
@@ -314,7 +397,7 @@ impl ShardedEngine {
     /// is answered by the spine, whose relation equals global
     /// connectivity (see module docs). Safe concurrently with an
     /// in-flight wait-free batch.
-    pub fn connected(&self, u: u32, v: u32) -> bool {
+    fn connected(&self, u: u32, v: u32) -> bool {
         let (su, sv) = (self.shard_of(u), self.shard_of(v));
         if su == sv {
             let lo = (su * self.shard_width) as u32;
@@ -325,22 +408,15 @@ impl ShardedEngine {
         self.spine.connected(u, v)
     }
 
-    /// Current global component label of `v` (a spine representative).
-    /// Exact when quiescent.
-    pub fn current_label(&self, v: u32) -> u32 {
+    fn current_label(&self, v: u32) -> u32 {
         self.spine.current_label(v)
     }
 
-    /// Number of global connected components (read-only spine root count;
-    /// exact when quiescent).
-    pub fn num_components(&self) -> usize {
+    fn num_components(&self) -> usize {
         self.spine.num_components()
     }
 
-    /// Read-only snapshot of the global component labeling: vertices are
-    /// in the same component iff their labels match. Never blocks or
-    /// perturbs writers.
-    pub fn labels_readonly(&self) -> Vec<u32> {
+    fn labels_readonly(&self) -> Vec<u32> {
         self.spine.labels_readonly()
     }
 }
@@ -358,19 +434,25 @@ mod tests {
 
     #[test]
     fn mode_resolution() {
-        let e = ShardedEngine::new(8, 2, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        let e = build_engine(8, 2, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
         assert_eq!(e.mode(), RunMode::WaitFree);
-        let e = ShardedEngine::new(8, 2, &splice_spec(), ExecMode::Auto, 0).expect("ok");
+        let e = build_engine(8, 2, &splice_spec(), ExecMode::Auto, 0).expect("ok");
         assert_eq!(e.mode(), RunMode::Phased);
-        let e = ShardedEngine::new(8, 2, &UfSpec::fastest(), ExecMode::Phased, 0).expect("ok");
+        let e = build_engine(8, 2, &UfSpec::fastest(), ExecMode::Phased, 0).expect("ok");
         assert_eq!(e.mode(), RunMode::Phased);
-        assert!(ShardedEngine::new(8, 2, &splice_spec(), ExecMode::WaitFree, 0).is_err());
-        assert!(ShardedEngine::new(0, 2, &UfSpec::fastest(), ExecMode::Auto, 0).is_err());
+        assert!(build_engine(8, 2, &splice_spec(), ExecMode::WaitFree, 0).is_err());
+        assert!(build_engine(0, 2, &UfSpec::fastest(), ExecMode::Auto, 0).is_err());
+    }
+
+    #[test]
+    fn engine_reports_algorithm_name() {
+        let e = build_engine(8, 2, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        assert_eq!(e.algorithm_name(), UfSpec::fastest().name());
     }
 
     #[test]
     fn shard_count_clamps_to_n() {
-        let e = ShardedEngine::new(3, 16, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        let e = build_engine(3, 16, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
         assert!(e.num_shards() <= 3);
         e.process_batch(&[Update::Insert(0, 2)]);
         assert!(e.connected(0, 2));
@@ -386,8 +468,10 @@ mod tests {
                 (UfSpec::fastest(), ExecMode::WaitFree),
                 (UfSpec::fastest(), ExecMode::Phased),
                 (splice_spec(), ExecMode::Phased),
+                (UfSpec::rem(UniteKind::RemLock, SpliceKind::SplitOne, FindKind::Naive),
+                 ExecMode::WaitFree),
             ] {
-                let e = ShardedEngine::new(n, shards, &spec, mode, 42).expect("ok");
+                let e = build_engine(n, shards, &spec, mode, 42).expect("ok");
                 for chunk in el.edges.chunks(997) {
                     let batch: Vec<Update> =
                         chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
@@ -408,10 +492,20 @@ mod tests {
     }
 
     #[test]
+    fn generic_engine_direct_use() {
+        // The monomorphized engine is usable without the boxed erasure.
+        let e = ShardedEngine::<cc_unionfind::FastestKernel>::new(64, 4, ExecMode::Auto, 0)
+            .expect("ok");
+        e.process_batch(&[Update::Insert(0, 63), Update::Insert(1, 2)]);
+        assert!(e.connected(0, 63));
+        assert!(!e.connected(0, 1));
+    }
+
+    #[test]
     fn cross_shard_chains_answer_correctly() {
         // A path that zig-zags across every shard boundary.
         let n = 64usize;
-        let e = ShardedEngine::new(n, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        let e = build_engine(n, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
         let mut batch = Vec::new();
         for i in 0..(n as u32 - 17) {
             batch.push(Update::Insert(i, i + 17)); // 17 and 16-wide shards: mostly cross
@@ -429,7 +523,7 @@ mod tests {
     #[test]
     fn forwarding_is_amortized() {
         let n = 1024usize;
-        let e = ShardedEngine::new(n, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        let e = build_engine(n, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
         // Hammer one shard with the same spanning path many times over.
         for _ in 0..10 {
             let batch: Vec<Update> =
@@ -446,7 +540,7 @@ mod tests {
 
     #[test]
     fn duplicate_edges_within_a_batch_forward_once() {
-        let e = ShardedEngine::new(64, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        let e = build_engine(64, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
         // 20 copies of the same novel intra-shard edge in one batch: the
         // pre-state novelty check alone would forward all of them.
         let batch: Vec<Update> = (0..20).map(|_| Update::Insert(2, 3)).collect();
@@ -459,7 +553,7 @@ mod tests {
 
     #[test]
     fn mixed_batches_cross_batch_determinism() {
-        let e = ShardedEngine::new(40, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
+        let e = build_engine(40, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
         e.process_batch(&[Update::Insert(0, 39), Update::Insert(10, 20)]);
         let r = e.process_batch(&[
             Update::Query(0, 39),

@@ -33,7 +33,7 @@ pub mod engine;
 pub mod net;
 pub mod service;
 
-pub use engine::{EngineCounters, EngineError, ExecMode, RunMode, ShardedEngine};
+pub use engine::{build_engine, Engine, EngineCounters, EngineError, ExecMode, RunMode, ShardedEngine};
 pub use net::{serve, TcpClient, TcpServer};
 pub use service::{Client, LabelSnapshot, Service, ServiceConfig, ServiceError, ServiceStats};
 

@@ -1,6 +1,8 @@
 //! The long-running connectivity service: a time/size-bounded batch
-//! former in front of a [`ShardedEngine`], with epoch-versioned label
-//! snapshots and per-operation latency tracking.
+//! former in front of a [`crate::engine::ShardedEngine`] (held behind
+//! the batch-granular [`Engine`] trait, so the per-edge loops stay
+//! monomorphized), with epoch-versioned label snapshots and
+//! per-operation latency tracking.
 //!
 //! Clients ([`Client`], cheaply cloneable) enqueue submissions — each a
 //! small vector of [`Update`]s — and block on a per-submission reply
@@ -8,14 +10,14 @@
 //! to [`ServiceConfig::batch_max_wait`] to coalesce traffic from many
 //! clients into one engine batch of at most
 //! [`ServiceConfig::batch_max_ops`] operations, then runs it through
-//! [`ShardedEngine::process_batch`] on the shared `cc_parallel` pool (the
+//! [`Engine::process_batch`] on the shared `cc_parallel` pool (the
 //! same pool the rest of the workspace reuses — no second thread fleet)
 //! and fans the query answers back out. Every completed batch bumps the
 //! service epoch; label snapshots are published as `Arc`-swapped
 //! immutable values, so readers never block writers and writers never
 //! wait for readers.
 
-use crate::engine::{EngineError, ExecMode, RunMode, ShardedEngine};
+use crate::engine::{build_engine, Engine, EngineError, ExecMode, RunMode};
 use cc_parallel::hist::LatencyHist;
 use cc_unionfind::UfSpec;
 use connectit::Update;
@@ -200,7 +202,7 @@ struct SubmitQueue {
 }
 
 struct Inner {
-    engine: ShardedEngine,
+    engine: Box<dyn Engine>,
     cfg: ServiceConfig,
     q: Mutex<SubmitQueue>,
     work_cv: Condvar,
@@ -319,7 +321,7 @@ impl Service {
         if cfg.batch_max_ops == 0 {
             return Err(ServiceError::Config("batch_max_ops must be at least 1".into()));
         }
-        let engine = ShardedEngine::new(cfg.n, cfg.shards, &cfg.spec, cfg.mode, cfg.seed)?;
+        let engine = build_engine(cfg.n, cfg.shards, &cfg.spec, cfg.mode, cfg.seed)?;
         let initial = Arc::new(LabelSnapshot {
             epoch: 0,
             labels: (0..cfg.n as u32).collect(),

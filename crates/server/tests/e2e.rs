@@ -107,6 +107,31 @@ fn concurrent_clients_linearizable_phased() {
 }
 
 #[test]
+fn finish_spec_vocabulary_serves_any_variant() {
+    // The --finish CLI path: arbitrary parsed variants (beyond the --alg
+    // shorthand) must serve verified traffic end to end.
+    for spec_str in ["rem-lock+halve-one+compress", "hooks+split", "jtb+two-try"] {
+        let spec: UfSpec = spec_str.parse().expect("valid spec");
+        let n = 1024;
+        let mut svc = Service::start(ServiceConfig {
+            n,
+            shards: 4,
+            spec,
+            batch_max_wait: Duration::from_micros(50),
+            ..ServiceConfig::default()
+        })
+        .expect("service");
+        let (queries, mismatches) = drive_clients(&svc, n, 2, 6);
+        assert!(queries > 100, "{spec_str}");
+        assert_eq!(mismatches, 0, "{spec_str}");
+        svc.shutdown();
+    }
+    // Invalid combos surface the validation rule.
+    let err = "rem-cas+splice+compress".parse::<UfSpec>().unwrap_err();
+    assert!(err.contains("FindCompress"), "{err}");
+}
+
+#[test]
 fn snapshot_matches_oracle_after_quiescence() {
     let n = 512;
     let mut svc = Service::start(ServiceConfig {

@@ -2,11 +2,14 @@
 //! path-halving, full path compression, and Jayanti–Tarjan–Boix two-try
 //! splitting.
 //!
-//! Every find reports the number of parent-pointer hops it traversed via the
-//! `hops` out-parameter; the harness aggregates these into the Total/Max
-//! Path Length statistics of Figures 6–7.
+//! Every find reports the number of parent-pointer hops it traversed via a
+//! [`Telemetry`] parameter; with [`crate::telemetry::CountHops`] the
+//! harness aggregates these into the Total/Max Path Length statistics of
+//! Figures 6–7, with [`crate::telemetry::NoCount`] the accounting is
+//! compiled out of the monomorphized kernel.
 
 use crate::parents::Parents;
+use crate::telemetry::Telemetry;
 use std::sync::atomic::Ordering;
 
 /// A find strategy: locates the root of `u`, possibly compressing the path.
@@ -16,8 +19,8 @@ pub trait Find: Send + Sync + 'static {
     /// Whether this strategy mutates the structure (used to skip pointless
     /// post-union finds for `FindNaive`).
     const COMPRESSES: bool;
-    /// Returns the root of `u`, adding traversed hops to `*hops`.
-    fn find(p: &Parents, u: u32, hops: &mut u64) -> u32;
+    /// Returns the root of `u`, adding traversed hops to `t`.
+    fn find<T: Telemetry>(p: &Parents, u: u32, t: &mut T) -> u32;
 }
 
 /// No compression: follow parent pointers to the root.
@@ -27,13 +30,13 @@ impl Find for FindNaive {
     const NAME: &'static str = "FindNaive";
     const COMPRESSES: bool = false;
     #[inline]
-    fn find(p: &Parents, mut u: u32, hops: &mut u64) -> u32 {
+    fn find<T: Telemetry>(p: &Parents, mut u: u32, t: &mut T) -> u32 {
         loop {
             let v = p[u as usize].load(Ordering::Acquire);
             if v == u {
                 return v;
             }
-            *hops += 1;
+            t.add(1);
             u = v;
         }
     }
@@ -47,14 +50,14 @@ impl Find for FindSplit {
     const NAME: &'static str = "FindSplit";
     const COMPRESSES: bool = true;
     #[inline]
-    fn find(p: &Parents, mut u: u32, hops: &mut u64) -> u32 {
+    fn find<T: Telemetry>(p: &Parents, mut u: u32, t: &mut T) -> u32 {
         loop {
             let v = p[u as usize].load(Ordering::Acquire);
             let w = p[v as usize].load(Ordering::Acquire);
             if v == w {
                 return v;
             }
-            *hops += 1;
+            t.add(1);
             let _ = p[u as usize].compare_exchange(v, w, Ordering::AcqRel, Ordering::Relaxed);
             u = v;
         }
@@ -68,14 +71,14 @@ impl Find for FindHalve {
     const NAME: &'static str = "FindHalve";
     const COMPRESSES: bool = true;
     #[inline]
-    fn find(p: &Parents, mut u: u32, hops: &mut u64) -> u32 {
+    fn find<T: Telemetry>(p: &Parents, mut u: u32, t: &mut T) -> u32 {
         loop {
             let v = p[u as usize].load(Ordering::Acquire);
             let w = p[v as usize].load(Ordering::Acquire);
             if v == w {
                 return v;
             }
-            *hops += 1;
+            t.add(1);
             let _ = p[u as usize].compare_exchange(v, w, Ordering::AcqRel, Ordering::Relaxed);
             u = p[u as usize].load(Ordering::Acquire);
         }
@@ -91,14 +94,14 @@ impl Find for FindCompress {
     const NAME: &'static str = "FindCompress";
     const COMPRESSES: bool = true;
     #[inline]
-    fn find(p: &Parents, u: u32, hops: &mut u64) -> u32 {
+    fn find<T: Telemetry>(p: &Parents, u: u32, t: &mut T) -> u32 {
         let mut r = u;
         loop {
             let v = p[r as usize].load(Ordering::Acquire);
             if v == r {
                 break;
             }
-            *hops += 1;
+            t.add(1);
             r = v;
         }
         // Second pass: compress. Walk from u, re-pointing at r while the
@@ -120,14 +123,14 @@ impl Find for FindCompress {
 /// CAS at most twice per vertex before advancing, which yields their
 /// work bounds under a random linking order.
 #[inline]
-pub fn find_two_try_split(p: &Parents, mut u: u32, hops: &mut u64) -> u32 {
+pub fn find_two_try_split<T: Telemetry>(p: &Parents, mut u: u32, t: &mut T) -> u32 {
     loop {
         let v = p[u as usize].load(Ordering::Acquire);
         let w = p[v as usize].load(Ordering::Acquire);
         if v == w {
             return v;
         }
-        *hops += 1;
+        t.add(1);
         // Try 1.
         if p[u as usize]
             .compare_exchange(v, w, Ordering::AcqRel, Ordering::Relaxed)
@@ -149,6 +152,7 @@ pub fn find_two_try_split(p: &Parents, mut u: u32, hops: &mut u64) -> u32 {
 mod tests {
     use super::*;
     use crate::parents::{make_parents, parent};
+    use crate::telemetry::CountHops;
     use std::sync::atomic::Ordering;
 
     fn chain(n: usize) -> Box<Parents> {
@@ -162,21 +166,21 @@ mod tests {
 
     fn check_find<F: Find>() {
         let p = chain(50);
-        let mut hops = 0;
+        let mut hops = CountHops::default();
         assert_eq!(F::find(&p, 49, &mut hops), 0);
         // Hop accounting varies by strategy (halving advances two levels
         // per recorded hop) but a length-49 path costs at least ~half that.
-        assert!((24..=49).contains(&hops), "hops = {hops}");
+        assert!((24..=49).contains(&hops.0), "hops = {}", hops.0);
         // Roots answer themselves.
-        let mut h2 = 0;
+        let mut h2 = CountHops::default();
         assert_eq!(F::find(&p, 0, &mut h2), 0);
-        assert_eq!(h2, 0);
+        assert_eq!(h2.0, 0);
         // Second find is never slower than the first.
-        let mut h3 = 0;
+        let mut h3 = CountHops::default();
         assert_eq!(F::find(&p, 49, &mut h3), 0);
-        assert!(h3 <= hops);
+        assert!(h3.0 <= hops.0);
         if F::COMPRESSES {
-            assert!(h3 < hops, "{} should shorten the path", F::NAME);
+            assert!(h3.0 < hops.0, "{} should shorten the path", F::NAME);
         }
     }
 
@@ -185,7 +189,7 @@ mod tests {
         check_find::<FindNaive>();
         // Naive must not mutate.
         let p = chain(10);
-        let mut h = 0;
+        let mut h = CountHops::default();
         FindNaive::find(&p, 9, &mut h);
         assert_eq!(parent(&p, 9), 8);
     }
@@ -204,7 +208,7 @@ mod tests {
     fn compress_find_points_directly_at_root() {
         check_find::<FindCompress>();
         let p = chain(20);
-        let mut h = 0;
+        let mut h = CountHops::default();
         FindCompress::find(&p, 19, &mut h);
         for v in 1..20u32 {
             assert_eq!(parent(&p, v), 0, "vertex {v} fully compressed");
@@ -212,13 +216,21 @@ mod tests {
     }
 
     #[test]
+    fn nocount_find_still_reaches_root() {
+        use crate::telemetry::NoCount;
+        let p = chain(30);
+        assert_eq!(FindSplit::find(&p, 29, &mut NoCount), 0);
+        assert_eq!(FindNaive::find(&p, 29, &mut NoCount), 0);
+    }
+
+    #[test]
     fn two_try_split_reaches_root() {
         let p = chain(64);
-        let mut h = 0;
+        let mut h = CountHops::default();
         assert_eq!(find_two_try_split(&p, 63, &mut h), 0);
-        let mut h2 = 0;
+        let mut h2 = CountHops::default();
         assert_eq!(find_two_try_split(&p, 63, &mut h2), 0);
-        assert!(h2 < h);
+        assert!(h2.0 < h.0);
     }
 
     #[test]
@@ -226,7 +238,7 @@ mod tests {
         use cc_parallel::parallel_for;
         let p = chain(1000);
         parallel_for(1000, |v| {
-            let mut h = 0;
+            let mut h = CountHops::default();
             assert_eq!(FindSplit::find(&p, v as u32, &mut h), 0);
         });
         // Structure stays rooted at 0.

@@ -6,6 +6,12 @@
 //! of Algorithm 8 and the splice strategies of Algorithm 9, plus a
 //! sequential oracle and path-length instrumentation.
 //!
+//! Hot paths select a variant at configuration time through
+//! [`UfSpec::dispatch`], which monomorphizes the caller's
+//! [`KernelVisitor`] for one of the 36 valid kernels (the paper's
+//! template-specialization story); the object-safe [`Unite`] adapter
+//! remains for variant enumeration and tests.
+//!
 //! ```
 //! use cc_unionfind::{parents::make_parents, spec::UfSpec};
 //! let p = make_parents(4);
@@ -25,6 +31,7 @@ pub mod parents;
 pub mod spec;
 pub mod splice;
 pub mod stats;
+pub mod telemetry;
 pub mod unite;
 
 pub use find::{Find, FindCompress, FindHalve, FindNaive, FindSplit};
@@ -33,7 +40,11 @@ pub use parents::{
     count_roots, make_parents, parents_from_labels, snapshot_labels, snapshot_labels_readonly,
     Parents,
 };
-pub use spec::{FindKind, SpliceKind, UfSpec, UniteKind};
+pub use spec::{FastestKernel, FindKind, KernelVisitor, SpliceKind, UfSpec, UniteKind};
 pub use splice::{HalveAtomicOne, Splice, SpliceAtomic, SplitAtomicOne};
-pub use stats::PathStats;
-pub use unite::{JtbFind, UnionAsync, UnionEarly, UnionHooks, UnionJtb, UnionRemCas, UnionRemLock, Unite};
+pub use stats::{PathLengths, PathStats};
+pub use telemetry::{CountHops, NoCount, Telemetry};
+pub use unite::{
+    JtbFindStrategy, JtbSimple, JtbTwoTry, UnionAsync, UnionEarly, UnionHooks, UnionJtb,
+    UnionRemCas, UnionRemLock, Unite, UniteKernel,
+};

@@ -1,17 +1,27 @@
 //! Runtime descriptors for union-find variants: enumeration of the full
-//! valid combination space and a factory that instantiates the matching
-//! monomorphized implementation.
+//! valid combination space, a macro-generated static dispatcher that
+//! monomorphizes any generic driver for the chosen variant, and a factory
+//! for the object-safe adapter.
 //!
 //! This is the Rust counterpart of the paper's "instantiate any supported
-//! combination with one line of code" template machinery, and is what the
-//! benchmark harness iterates over to produce the Figure 3 / 13–15
-//! heatmaps.
+//! combination with one line of code" template machinery: the benchmark
+//! harness iterates [`UfSpec::all_variants`] to produce the Figure 3 /
+//! 13–15 heatmaps, and every hot path routes through
+//! [`UfSpec::dispatch`], which selects one of the 36 monomorphized
+//! kernels at configuration time so the per-edge loops carry no virtual
+//! calls.
 
 use crate::find::{FindCompress, FindHalve, FindNaive, FindSplit};
 use crate::splice::{HalveAtomicOne, SpliceAtomic, SplitAtomicOne};
 use crate::unite::{
-    JtbFind, UnionAsync, UnionEarly, UnionHooks, UnionJtb, UnionRemCas, UnionRemLock, Unite,
+    JtbSimple, JtbTwoTry, UnionAsync, UnionEarly, UnionHooks, UnionJtb, UnionRemCas,
+    UnionRemLock, Unite, UniteKernel,
 };
+
+/// The paper's fastest overall kernel type (Section 4.1 takeaway),
+/// usable directly where the variant is fixed at compile time (the k-out
+/// sampler, the compressed-graph sampler).
+pub type FastestKernel = UnionRemCas<SplitAtomicOne, FindNaive>;
 
 /// Union algorithm family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -115,6 +125,127 @@ pub struct UfSpec {
     pub splice: Option<SpliceKind>,
 }
 
+/// A generic computation to run against a monomorphized kernel: the
+/// visitor's `visit` is instantiated once per valid variant, exactly like
+/// the paper's templated drivers.
+///
+/// ```
+/// use cc_unionfind::{parents::make_parents, KernelVisitor, UfSpec, UniteKernel, NoCount};
+/// struct CountComponents { n: usize }
+/// impl KernelVisitor for CountComponents {
+///     type Out = usize;
+///     fn visit<K: UniteKernel>(self, kernel: K) -> usize {
+///         let p = make_parents(self.n);
+///         kernel.unite(&p, 0, 1, &mut NoCount);
+///         cc_unionfind::count_roots(&p)
+///     }
+/// }
+/// let roots = UfSpec::fastest().dispatch(4, 0, CountComponents { n: 4 });
+/// assert_eq!(roots, 3);
+/// ```
+pub trait KernelVisitor {
+    /// The result produced by the generic computation.
+    type Out;
+    /// Runs the computation with the selected kernel.
+    fn visit<K: UniteKernel>(self, kernel: K) -> Self::Out;
+}
+
+/// The valid (unite, splice, find) → kernel-type table. `$apply` is a
+/// callback macro receiving the concrete kernel type of the selected
+/// variant; everything expanded from it is monomorphized for that type.
+/// This is the single source of truth the dispatcher (and through it the
+/// boxed factory) is generated from.
+macro_rules! dispatch_match {
+    ($unite:expr, $splice:expr, $find:expr, $apply:ident) => {{
+        use FindKind as F;
+        use SpliceKind as S;
+        use UniteKind as U;
+        match ($unite, $splice, $find) {
+            (U::Async, None, F::Naive) => $apply!(UnionAsync<FindNaive>),
+            (U::Async, None, F::Split) => $apply!(UnionAsync<FindSplit>),
+            (U::Async, None, F::Halve) => $apply!(UnionAsync<FindHalve>),
+            (U::Async, None, F::Compress) => $apply!(UnionAsync<FindCompress>),
+            (U::Hooks, None, F::Naive) => $apply!(UnionHooks<FindNaive>),
+            (U::Hooks, None, F::Split) => $apply!(UnionHooks<FindSplit>),
+            (U::Hooks, None, F::Halve) => $apply!(UnionHooks<FindHalve>),
+            (U::Hooks, None, F::Compress) => $apply!(UnionHooks<FindCompress>),
+            (U::Early, None, F::Naive) => $apply!(UnionEarly<FindNaive>),
+            (U::Early, None, F::Split) => $apply!(UnionEarly<FindSplit>),
+            (U::Early, None, F::Halve) => $apply!(UnionEarly<FindHalve>),
+            (U::Early, None, F::Compress) => $apply!(UnionEarly<FindCompress>),
+            (U::RemCas, Some(S::SplitOne), F::Naive) => {
+                $apply!(UnionRemCas<SplitAtomicOne, FindNaive>)
+            }
+            (U::RemCas, Some(S::SplitOne), F::Split) => {
+                $apply!(UnionRemCas<SplitAtomicOne, FindSplit>)
+            }
+            (U::RemCas, Some(S::SplitOne), F::Halve) => {
+                $apply!(UnionRemCas<SplitAtomicOne, FindHalve>)
+            }
+            (U::RemCas, Some(S::SplitOne), F::Compress) => {
+                $apply!(UnionRemCas<SplitAtomicOne, FindCompress>)
+            }
+            (U::RemCas, Some(S::HalveOne), F::Naive) => {
+                $apply!(UnionRemCas<HalveAtomicOne, FindNaive>)
+            }
+            (U::RemCas, Some(S::HalveOne), F::Split) => {
+                $apply!(UnionRemCas<HalveAtomicOne, FindSplit>)
+            }
+            (U::RemCas, Some(S::HalveOne), F::Halve) => {
+                $apply!(UnionRemCas<HalveAtomicOne, FindHalve>)
+            }
+            (U::RemCas, Some(S::HalveOne), F::Compress) => {
+                $apply!(UnionRemCas<HalveAtomicOne, FindCompress>)
+            }
+            (U::RemCas, Some(S::Splice), F::Naive) => {
+                $apply!(UnionRemCas<SpliceAtomic, FindNaive>)
+            }
+            (U::RemCas, Some(S::Splice), F::Split) => {
+                $apply!(UnionRemCas<SpliceAtomic, FindSplit>)
+            }
+            (U::RemCas, Some(S::Splice), F::Halve) => {
+                $apply!(UnionRemCas<SpliceAtomic, FindHalve>)
+            }
+            (U::RemLock, Some(S::SplitOne), F::Naive) => {
+                $apply!(UnionRemLock<SplitAtomicOne, FindNaive>)
+            }
+            (U::RemLock, Some(S::SplitOne), F::Split) => {
+                $apply!(UnionRemLock<SplitAtomicOne, FindSplit>)
+            }
+            (U::RemLock, Some(S::SplitOne), F::Halve) => {
+                $apply!(UnionRemLock<SplitAtomicOne, FindHalve>)
+            }
+            (U::RemLock, Some(S::SplitOne), F::Compress) => {
+                $apply!(UnionRemLock<SplitAtomicOne, FindCompress>)
+            }
+            (U::RemLock, Some(S::HalveOne), F::Naive) => {
+                $apply!(UnionRemLock<HalveAtomicOne, FindNaive>)
+            }
+            (U::RemLock, Some(S::HalveOne), F::Split) => {
+                $apply!(UnionRemLock<HalveAtomicOne, FindSplit>)
+            }
+            (U::RemLock, Some(S::HalveOne), F::Halve) => {
+                $apply!(UnionRemLock<HalveAtomicOne, FindHalve>)
+            }
+            (U::RemLock, Some(S::HalveOne), F::Compress) => {
+                $apply!(UnionRemLock<HalveAtomicOne, FindCompress>)
+            }
+            (U::RemLock, Some(S::Splice), F::Naive) => {
+                $apply!(UnionRemLock<SpliceAtomic, FindNaive>)
+            }
+            (U::RemLock, Some(S::Splice), F::Split) => {
+                $apply!(UnionRemLock<SpliceAtomic, FindSplit>)
+            }
+            (U::RemLock, Some(S::Splice), F::Halve) => {
+                $apply!(UnionRemLock<SpliceAtomic, FindHalve>)
+            }
+            (U::Jtb, None, F::Naive) => $apply!(UnionJtb<JtbSimple>),
+            (U::Jtb, None, F::TwoTrySplit) => $apply!(UnionJtb<JtbTwoTry>),
+            _ => unreachable!("is_valid filtered this combination"),
+        }
+    }};
+}
+
 impl UfSpec {
     /// Convenience constructor for non-Rem variants.
     pub fn new(unite: UniteKind, find: FindKind) -> Self {
@@ -127,7 +258,8 @@ impl UfSpec {
     }
 
     /// The paper's fastest overall variant: Union-Rem-CAS with
-    /// SplitAtomicOne and FindNaive (Section 4.1 takeaway).
+    /// SplitAtomicOne and FindNaive (Section 4.1 takeaway). Its kernel
+    /// type is [`FastestKernel`].
     pub fn fastest() -> Self {
         UfSpec::rem(UniteKind::RemCas, SpliceKind::SplitOne, FindKind::Naive)
     }
@@ -137,23 +269,54 @@ impl UfSpec {
     /// `SpliceAtomic`; JTB only pairs with Simple/TwoTry finds; TwoTry only
     /// pairs with JTB).
     pub fn is_valid(&self) -> bool {
+        self.validate().is_ok()
+    }
+
+    /// [`Self::is_valid`] with the violated rule spelled out, for CLI and
+    /// config surfaces that must explain a rejection.
+    pub fn validate(&self) -> Result<(), String> {
         match self.unite {
             UniteKind::Async | UniteKind::Hooks | UniteKind::Early => {
-                self.splice.is_none() && self.find != FindKind::TwoTrySplit
+                if self.splice.is_some() {
+                    return Err(format!(
+                        "{} takes no splice strategy (splices exist only in the Rem walks)",
+                        self.unite.name()
+                    ));
+                }
+                if self.find == FindKind::TwoTrySplit {
+                    return Err("FindTwoTrySplit pairs only with Union-JTB".into());
+                }
             }
             UniteKind::RemCas | UniteKind::RemLock => {
-                let Some(s) = self.splice else { return false };
+                let Some(s) = self.splice else {
+                    return Err(format!(
+                        "{} requires a splice strategy (split-one, halve-one, or splice)",
+                        self.unite.name()
+                    ));
+                };
                 if self.find == FindKind::TwoTrySplit {
-                    return false;
+                    return Err("FindTwoTrySplit pairs only with Union-JTB".into());
                 }
                 // The one excluded combination (Appendix B.2.3).
-                !(s == SpliceKind::Splice && self.find == FindKind::Compress)
+                if s == SpliceKind::Splice && self.find == FindKind::Compress {
+                    return Err(
+                        "SpliceAtomic cannot combine with FindCompress (Appendix B.2.3)".into()
+                    );
+                }
             }
             UniteKind::Jtb => {
-                self.splice.is_none()
-                    && matches!(self.find, FindKind::Naive | FindKind::TwoTrySplit)
+                if self.splice.is_some() {
+                    return Err("Union-JTB takes no splice strategy".into());
+                }
+                if !matches!(self.find, FindKind::Naive | FindKind::TwoTrySplit) {
+                    return Err(
+                        "Union-JTB pairs only with FindNaive (FindSimple) or FindTwoTrySplit"
+                            .into(),
+                    );
+                }
             }
         }
+        Ok(())
     }
 
     /// Enumerates every valid variant (the full Figure 3 matrix).
@@ -193,76 +356,95 @@ impl UfSpec {
         }
     }
 
-    /// Instantiates the monomorphized implementation. `n` is the vertex
-    /// count (needed by stateful variants), `seed` feeds JTB's ranks.
+    /// Monomorphizes `visitor` for this variant and runs it: the static
+    /// dispatch entry point every per-edge hot path uses. `n` is the
+    /// vertex count (needed by stateful variants), `seed` feeds JTB's
+    /// ranks. The match below is generated from the variant table in the
+    /// `dispatch_match!` macro, so the dispatcher and the enumeration can
+    /// never drift apart.
+    ///
+    /// # Panics
+    /// If the variant is invalid (see [`Self::validate`]).
+    pub fn dispatch<V: KernelVisitor>(&self, n: usize, seed: u64, visitor: V) -> V::Out {
+        if let Err(e) = self.validate() {
+            panic!("invalid variant {self:?}: {e}");
+        }
+        macro_rules! apply {
+            ($k:ty) => {
+                visitor.visit(<$k as UniteKernel>::build(n, seed))
+            };
+        }
+        dispatch_match!(self.unite, self.splice, self.find, apply)
+    }
+
+    /// Instantiates the object-safe adapter ([`Unite`]) for this variant.
+    /// One virtual call per operation with a mandatory hop count — kept
+    /// for variant-enumeration tests and tools; hot paths use
+    /// [`Self::dispatch`].
     pub fn instantiate(&self, n: usize, seed: u64) -> Box<dyn Unite> {
-        assert!(self.is_valid(), "invalid variant {self:?}");
-        use FindKind as F;
-        
-        use UniteKind as U;
-        match (self.unite, self.splice, self.find) {
-            (U::Async, None, F::Naive) => Box::new(UnionAsync::<FindNaive>::new()),
-            (U::Async, None, F::Split) => Box::new(UnionAsync::<FindSplit>::new()),
-            (U::Async, None, F::Halve) => Box::new(UnionAsync::<FindHalve>::new()),
-            (U::Async, None, F::Compress) => Box::new(UnionAsync::<FindCompress>::new()),
-            (U::Hooks, None, F::Naive) => Box::new(UnionHooks::<FindNaive>::new(n)),
-            (U::Hooks, None, F::Split) => Box::new(UnionHooks::<FindSplit>::new(n)),
-            (U::Hooks, None, F::Halve) => Box::new(UnionHooks::<FindHalve>::new(n)),
-            (U::Hooks, None, F::Compress) => Box::new(UnionHooks::<FindCompress>::new(n)),
-            (U::Early, None, F::Naive) => Box::new(UnionEarly::<FindNaive>::new()),
-            (U::Early, None, F::Split) => Box::new(UnionEarly::<FindSplit>::new()),
-            (U::Early, None, F::Halve) => Box::new(UnionEarly::<FindHalve>::new()),
-            (U::Early, None, F::Compress) => Box::new(UnionEarly::<FindCompress>::new()),
-            (U::RemCas, Some(s), f) => rem_cas(s, f),
-            (U::RemLock, Some(s), f) => rem_lock(n, s, f),
-            (U::Jtb, None, F::Naive) => Box::new(UnionJtb::new(n, JtbFind::Simple, seed)),
-            (U::Jtb, None, F::TwoTrySplit) => {
-                Box::new(UnionJtb::new(n, JtbFind::TwoTrySplit, seed))
+        struct Boxer;
+        impl KernelVisitor for Boxer {
+            type Out = Box<dyn Unite>;
+            fn visit<K: UniteKernel>(self, kernel: K) -> Box<dyn Unite> {
+                Box::new(kernel)
             }
-            _ => unreachable!("is_valid filtered this combination"),
         }
+        self.dispatch(n, seed, Boxer)
     }
 }
 
-fn rem_cas(s: SpliceKind, f: FindKind) -> Box<dyn Unite> {
-    use FindKind as F;
-    use SpliceKind as S;
-    match (s, f) {
-        (S::SplitOne, F::Naive) => Box::new(UnionRemCas::<SplitAtomicOne, FindNaive>::new()),
-        (S::SplitOne, F::Split) => Box::new(UnionRemCas::<SplitAtomicOne, FindSplit>::new()),
-        (S::SplitOne, F::Halve) => Box::new(UnionRemCas::<SplitAtomicOne, FindHalve>::new()),
-        (S::SplitOne, F::Compress) => Box::new(UnionRemCas::<SplitAtomicOne, FindCompress>::new()),
-        (S::HalveOne, F::Naive) => Box::new(UnionRemCas::<HalveAtomicOne, FindNaive>::new()),
-        (S::HalveOne, F::Split) => Box::new(UnionRemCas::<HalveAtomicOne, FindSplit>::new()),
-        (S::HalveOne, F::Halve) => Box::new(UnionRemCas::<HalveAtomicOne, FindHalve>::new()),
-        (S::HalveOne, F::Compress) => Box::new(UnionRemCas::<HalveAtomicOne, FindCompress>::new()),
-        (S::Splice, F::Naive) => Box::new(UnionRemCas::<SpliceAtomic, FindNaive>::new()),
-        (S::Splice, F::Split) => Box::new(UnionRemCas::<SpliceAtomic, FindSplit>::new()),
-        (S::Splice, F::Halve) => Box::new(UnionRemCas::<SpliceAtomic, FindHalve>::new()),
-        _ => unreachable!("invalid Rem-CAS combination"),
-    }
-}
+impl std::str::FromStr for UfSpec {
+    type Err = String;
 
-fn rem_lock(n: usize, s: SpliceKind, f: FindKind) -> Box<dyn Unite> {
-    use FindKind as F;
-    use SpliceKind as S;
-    match (s, f) {
-        (S::SplitOne, F::Naive) => Box::new(UnionRemLock::<SplitAtomicOne, FindNaive>::new(n)),
-        (S::SplitOne, F::Split) => Box::new(UnionRemLock::<SplitAtomicOne, FindSplit>::new(n)),
-        (S::SplitOne, F::Halve) => Box::new(UnionRemLock::<SplitAtomicOne, FindHalve>::new(n)),
-        (S::SplitOne, F::Compress) => {
-            Box::new(UnionRemLock::<SplitAtomicOne, FindCompress>::new(n))
+    /// Parses the CLI vocabulary: `unite[+splice][+find]` with `+`, `:`,
+    /// or `,` as separators, e.g. `rem-cas+split-one+naive`,
+    /// `async:compress`, `jtb,two-try`. The find defaults to `naive` when
+    /// omitted; Rem families require an explicit splice. Invalid
+    /// combinations are rejected with the [`UfSpec::validate`] message.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = s
+            .split(['+', ':', ','])
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .collect();
+        let mut it = tokens.iter();
+        let unite = match it.next().copied() {
+            Some("async") => UniteKind::Async,
+            Some("hooks") => UniteKind::Hooks,
+            Some("early") => UniteKind::Early,
+            Some("rem-cas") => UniteKind::RemCas,
+            Some("rem-lock") => UniteKind::RemLock,
+            Some("jtb") => UniteKind::Jtb,
+            other => {
+                return Err(format!(
+                    "unknown union family {other:?} \
+                     (async|hooks|early|rem-cas|rem-lock|jtb)"
+                ))
+            }
+        };
+        let mut splice = None;
+        let mut find = None;
+        for tok in it {
+            match *tok {
+                "split-one" => splice = Some(SpliceKind::SplitOne),
+                "halve-one" => splice = Some(SpliceKind::HalveOne),
+                "splice" => splice = Some(SpliceKind::Splice),
+                "naive" | "simple" => find = Some(FindKind::Naive),
+                "split" => find = Some(FindKind::Split),
+                "halve" => find = Some(FindKind::Halve),
+                "compress" => find = Some(FindKind::Compress),
+                "two-try" | "two-try-split" => find = Some(FindKind::TwoTrySplit),
+                other => {
+                    return Err(format!(
+                        "unknown token {other:?} (splices: split-one|halve-one|splice; \
+                         finds: naive|split|halve|compress|two-try)"
+                    ))
+                }
+            }
         }
-        (S::HalveOne, F::Naive) => Box::new(UnionRemLock::<HalveAtomicOne, FindNaive>::new(n)),
-        (S::HalveOne, F::Split) => Box::new(UnionRemLock::<HalveAtomicOne, FindSplit>::new(n)),
-        (S::HalveOne, F::Halve) => Box::new(UnionRemLock::<HalveAtomicOne, FindHalve>::new(n)),
-        (S::HalveOne, F::Compress) => {
-            Box::new(UnionRemLock::<HalveAtomicOne, FindCompress>::new(n))
-        }
-        (S::Splice, F::Naive) => Box::new(UnionRemLock::<SpliceAtomic, FindNaive>::new(n)),
-        (S::Splice, F::Split) => Box::new(UnionRemLock::<SpliceAtomic, FindSplit>::new(n)),
-        (S::Splice, F::Halve) => Box::new(UnionRemLock::<SpliceAtomic, FindHalve>::new(n)),
-        _ => unreachable!("invalid Rem-Lock combination"),
+        let spec = UfSpec { unite, find: find.unwrap_or(FindKind::Naive), splice };
+        spec.validate().map_err(|e| format!("invalid combination {s:?}: {e}"))?;
+        Ok(spec)
     }
 }
 
@@ -288,10 +470,12 @@ mod tests {
     fn excluded_combination_rejected() {
         let bad = UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Compress);
         assert!(!bad.is_valid());
+        assert!(bad.validate().unwrap_err().contains("FindCompress"));
         let bad2 = UfSpec::new(UniteKind::Async, FindKind::TwoTrySplit);
         assert!(!bad2.is_valid());
         let bad3 = UfSpec::new(UniteKind::RemCas, FindKind::Naive);
         assert!(!bad3.is_valid());
+        assert!(bad3.validate().unwrap_err().contains("splice"));
     }
 
     #[test]
@@ -313,11 +497,85 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_reaches_every_variant_with_matching_name() {
+        struct NameOf;
+        impl KernelVisitor for NameOf {
+            type Out = String;
+            fn visit<K: UniteKernel>(self, kernel: K) -> String {
+                kernel.name()
+            }
+        }
+        for spec in UfSpec::all_variants() {
+            // JTB spells FindKind::Naive as the paper's "FindSimple".
+            let expect = spec.name().replace("Union-JTB{FindNaive}", "Union-JTB{FindSimple}");
+            assert_eq!(spec.dispatch(4, 7, NameOf), expect);
+        }
+    }
+
+    #[test]
+    fn dispatch_flags_match_spec_rules() {
+        struct Flags;
+        impl KernelVisitor for Flags {
+            type Out = (bool, bool);
+            fn visit<K: UniteKernel>(self, kernel: K) -> (bool, bool) {
+                (kernel.supports_forest(), kernel.concurrent_finds())
+            }
+        }
+        for spec in UfSpec::all_variants() {
+            let (forest, conc) = spec.dispatch(4, 7, Flags);
+            let splicey = spec.splice == Some(SpliceKind::Splice);
+            assert_eq!(forest, !splicey, "{}", spec.name());
+            assert_eq!(conc, !splicey, "{}", spec.name());
+        }
+    }
+
+    #[test]
     fn fastest_is_valid() {
         assert!(UfSpec::fastest().is_valid());
         assert_eq!(
             UfSpec::fastest().name(),
             "Union-Rem-CAS{SplitAtomicOne; FindNaive}"
         );
+        // The compile-time alias names the same kernel.
+        assert_eq!(
+            UniteKernel::name(&FastestKernel::build(4, 0)),
+            UfSpec::fastest().name()
+        );
+    }
+
+    #[test]
+    fn parses_cli_vocabulary() {
+        assert_eq!("rem-cas+split-one+naive".parse::<UfSpec>().unwrap(), UfSpec::fastest());
+        assert_eq!(
+            "rem-cas+split-one".parse::<UfSpec>().unwrap(),
+            UfSpec::fastest(),
+            "find defaults to naive"
+        );
+        assert_eq!(
+            "async:compress".parse::<UfSpec>().unwrap(),
+            UfSpec::new(UniteKind::Async, FindKind::Compress)
+        );
+        assert_eq!(
+            "jtb,two-try".parse::<UfSpec>().unwrap(),
+            UfSpec::new(UniteKind::Jtb, FindKind::TwoTrySplit)
+        );
+        // Every valid variant round-trips through some spelling; spot
+        // check the full Rem-Lock form.
+        assert_eq!(
+            "rem-lock+halve-one+compress".parse::<UfSpec>().unwrap(),
+            UfSpec::rem(UniteKind::RemLock, SpliceKind::HalveOne, FindKind::Compress)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_with_validation_message() {
+        let e = "rem-cas+splice+compress".parse::<UfSpec>().unwrap_err();
+        assert!(e.contains("FindCompress"), "{e}");
+        let e = "rem-cas".parse::<UfSpec>().unwrap_err();
+        assert!(e.contains("splice"), "{e}");
+        let e = "async+two-try".parse::<UfSpec>().unwrap_err();
+        assert!(e.contains("Union-JTB"), "{e}");
+        assert!("warp-drive".parse::<UfSpec>().is_err());
+        assert!("async+bogus".parse::<UfSpec>().is_err());
     }
 }

@@ -8,6 +8,7 @@
 //! only phase-concurrent (Theorem 3) and is excluded from spanning forest.
 
 use crate::parents::Parents;
+use crate::telemetry::Telemetry;
 use std::sync::atomic::Ordering;
 
 /// One step of the Rem union walk at non-root `ru` (with observed parent
@@ -21,7 +22,7 @@ pub trait Splice: Send + Sync + 'static {
     /// requires phase-concurrency.
     const CROSSES_TREES: bool;
     /// Performs the step.
-    fn step(p: &Parents, ru: u32, pu: u32, pv: u32, hops: &mut u64) -> u32;
+    fn step<T: Telemetry>(p: &Parents, ru: u32, pu: u32, pv: u32, t: &mut T) -> u32;
 }
 
 /// One atomic path-splitting step: `p[ru]` re-pointed at its grandparent,
@@ -32,9 +33,9 @@ impl Splice for SplitAtomicOne {
     const NAME: &'static str = "SplitAtomicOne";
     const CROSSES_TREES: bool = false;
     #[inline]
-    fn step(p: &Parents, ru: u32, pu: u32, _pv: u32, hops: &mut u64) -> u32 {
+    fn step<T: Telemetry>(p: &Parents, ru: u32, pu: u32, _pv: u32, t: &mut T) -> u32 {
         let w = p[pu as usize].load(Ordering::Acquire);
-        *hops += 1;
+        t.add(1);
         if pu != w {
             let _ = p[ru as usize].compare_exchange(pu, w, Ordering::AcqRel, Ordering::Relaxed);
         }
@@ -50,9 +51,9 @@ impl Splice for HalveAtomicOne {
     const NAME: &'static str = "HalveAtomicOne";
     const CROSSES_TREES: bool = false;
     #[inline]
-    fn step(p: &Parents, ru: u32, pu: u32, _pv: u32, hops: &mut u64) -> u32 {
+    fn step<T: Telemetry>(p: &Parents, ru: u32, pu: u32, _pv: u32, t: &mut T) -> u32 {
         let w = p[pu as usize].load(Ordering::Acquire);
-        *hops += 1;
+        t.add(1);
         if pu != w {
             let _ = p[ru as usize].compare_exchange(pu, w, Ordering::AcqRel, Ordering::Relaxed);
         }
@@ -69,9 +70,9 @@ impl Splice for SpliceAtomic {
     const NAME: &'static str = "SpliceAtomic";
     const CROSSES_TREES: bool = true;
     #[inline]
-    fn step(p: &Parents, ru: u32, pu: u32, pv: u32, hops: &mut u64) -> u32 {
+    fn step<T: Telemetry>(p: &Parents, ru: u32, pu: u32, pv: u32, t: &mut T) -> u32 {
         debug_assert!(pv < pu);
-        *hops += 1;
+        t.add(1);
         let _ = p[ru as usize].compare_exchange(pu, pv, Ordering::AcqRel, Ordering::Relaxed);
         pu
     }
@@ -81,6 +82,7 @@ impl Splice for SpliceAtomic {
 mod tests {
     use super::*;
     use crate::parents::{make_parents, parent};
+    use crate::telemetry::CountHops;
 
     fn setup() -> Box<Parents> {
         // 4 -> 3 -> 1 -> 0, and 2 -> 0.
@@ -95,16 +97,17 @@ mod tests {
     #[test]
     fn split_one_repoints_to_grandparent() {
         let p = setup();
-        let mut h = 0;
+        let mut h = CountHops::default();
         let next = SplitAtomicOne::step(&p, 4, 3, 0, &mut h);
         assert_eq!(next, 3);
         assert_eq!(parent(&p, 4), 1); // grandparent of 4
+        assert_eq!(h.0, 1);
     }
 
     #[test]
     fn halve_one_advances_two_levels() {
         let p = setup();
-        let mut h = 0;
+        let mut h = CountHops::default();
         let next = HalveAtomicOne::step(&p, 4, 3, 0, &mut h);
         assert_eq!(next, 1); // grandparent
         assert_eq!(parent(&p, 4), 1);
@@ -113,7 +116,7 @@ mod tests {
     #[test]
     fn splice_crosses_to_other_parent() {
         let p = setup();
-        let mut h = 0;
+        let mut h = CountHops::default();
         let next = SpliceAtomic::step(&p, 4, 3, 2, &mut h);
         assert_eq!(next, 3);
         assert_eq!(parent(&p, 4), 2);
@@ -124,7 +127,7 @@ mod tests {
         // ru's parent is the root: split/halve find pu == w and leave the
         // structure unchanged.
         let p = setup();
-        let mut h = 0;
+        let mut h = CountHops::default();
         let next = SplitAtomicOne::step(&p, 1, 0, 0, &mut h);
         assert_eq!(next, 0);
         assert_eq!(parent(&p, 1), 0);

@@ -5,6 +5,36 @@
 use cc_parallel::write_min_u64;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// An owned point-in-time copy of a [`PathStats`] aggregator, for
+/// surfacing path-length telemetry through value-returning APIs (e.g.
+/// streaming query-path statistics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathLengths {
+    /// Total Path Length: sum of all recorded hop counts.
+    pub total: u64,
+    /// Max Path Length: the longest single operation.
+    pub max: u64,
+    /// Number of operations recorded (0 when only bulk records were made).
+    pub operations: u64,
+}
+
+impl PathLengths {
+    /// Mean hops per operation (0 when no per-operation counts exist).
+    pub fn mean(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.operations as f64
+        }
+    }
+}
+
+impl std::fmt::Display for PathLengths {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tpl={} mpl={} ops={}", self.total, self.max, self.operations)
+    }
+}
+
 /// Thread-safe aggregator for per-operation path lengths.
 #[derive(Debug, Default)]
 pub struct PathStats {
@@ -42,10 +72,13 @@ impl PathStats {
         let _ = write_min_u64;
     }
 
-    /// Records a pre-aggregated batch: `total` hops across some operations
+    /// Records a pre-aggregated batch: `total` hops across `ops` operations
     /// whose longest single operation was `max`. Used by chunked edge loops
     /// to avoid per-edge shared-counter traffic.
-    pub fn record_bulk(&self, total: u64, max: u64) {
+    pub fn record_bulk(&self, total: u64, max: u64, ops: u64) {
+        if ops != 0 {
+            self.operations.fetch_add(ops, Ordering::Relaxed);
+        }
         if total == 0 && max == 0 {
             return;
         }
@@ -81,6 +114,15 @@ impl PathStats {
             0.0
         } else {
             self.total_path_length() as f64 / ops as f64
+        }
+    }
+
+    /// An owned point-in-time copy of the counters.
+    pub fn snapshot(&self) -> PathLengths {
+        PathLengths {
+            total: self.total_path_length(),
+            max: self.max_path_length(),
+            operations: self.operations(),
         }
     }
 }

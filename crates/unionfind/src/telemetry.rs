@@ -1,0 +1,85 @@
+//! Zero-cost path-length telemetry selectors.
+//!
+//! The paper's union-find kernels are instrumented to report Total/Max
+//! Path Length (Figures 6–7), but the instrumentation must cost nothing
+//! when the statistics are not wanted — the per-edge hop write would
+//! otherwise tax every hot loop in the framework. The selector is a
+//! *type* parameter threaded through [`crate::find::Find`],
+//! [`crate::splice::Splice`], and [`crate::unite::UniteKernel`]:
+//! monomorphization specializes every kernel twice, once counting
+//! ([`CountHops`]) and once with the counter compiled out entirely
+//! ([`NoCount`]).
+
+/// A hop counter handed to union-find kernels. Implementations are either
+/// a real accumulator ([`CountHops`]) or a no-op whose calls the compiler
+/// deletes ([`NoCount`]).
+pub trait Telemetry: Default + Send + 'static {
+    /// Whether this selector records anything. Drivers use it to skip
+    /// aggregation plumbing around the kernel calls.
+    const ENABLED: bool;
+
+    /// Adds `n` traversed parent-pointer hops.
+    fn add(&mut self, n: u64);
+
+    /// The accumulated hop count (always 0 for [`NoCount`]).
+    fn hops(&self) -> u64;
+}
+
+/// Counting telemetry: a plain `u64` accumulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountHops(pub u64);
+
+impl Telemetry for CountHops {
+    const ENABLED: bool = true;
+
+    #[inline(always)]
+    fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    #[inline(always)]
+    fn hops(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Disabled telemetry: every call is a no-op, so the monomorphized kernel
+/// carries no counter at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoCount;
+
+impl Telemetry for NoCount {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn add(&mut self, _n: u64) {}
+
+    #[inline(always)]
+    fn hops(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accumulate<T: Telemetry>() -> u64 {
+        let mut t = T::default();
+        t.add(3);
+        t.add(4);
+        t.hops()
+    }
+
+    #[test]
+    fn counting_accumulates() {
+        assert_eq!(accumulate::<CountHops>(), 7);
+        const { assert!(CountHops::ENABLED) }
+    }
+
+    #[test]
+    fn nocount_is_inert() {
+        assert_eq!(accumulate::<NoCount>(), 0);
+        const { assert!(!NoCount::ENABLED) }
+    }
+}

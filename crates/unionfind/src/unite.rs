@@ -3,19 +3,28 @@
 //!
 //! Every algorithm is generic over a [`Find`] strategy (and the Rem
 //! algorithms over a [`Splice`] strategy), mirroring the paper's template
-//! specialization. All of them are *root-based*: a merge happens only by
-//! changing the parent pointer of a tree root (Rem + `SpliceAtomic` being
-//! the documented exception), which is what makes spanning forest and the
-//! monotonicity proofs work.
+//! specialization, and implements the static-dispatch [`UniteKernel`]
+//! trait whose methods are additionally generic over a [`Telemetry`]
+//! selector: instantiated with [`crate::telemetry::NoCount`], the
+//! path-length accounting is
+//! compiled out of the kernel entirely. All of them are *root-based*: a
+//! merge happens only by changing the parent pointer of a tree root (Rem +
+//! `SpliceAtomic` being the documented exception), which is what makes
+//! spanning forest and the monotonicity proofs work.
 //!
 //! `unite` returns `Some(r)` when this call hooked root `r` (each vertex is
 //! hooked at most once over the lifetime of the structure), letting callers
 //! attribute spanning-forest edges; `None` means the endpoints were already
 //! connected or another operation performed the merge.
+//!
+//! The object-safe [`Unite`] trait survives as a thin adapter (a blanket
+//! impl over every kernel) for variant enumeration and tests; hot paths
+//! go through [`crate::spec::UfSpec::dispatch`] instead.
 
 use crate::find::{find_two_try_split, Find, FindNaive};
 use crate::parents::Parents;
 use crate::splice::Splice;
+use crate::telemetry::{CountHops, Telemetry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,18 +34,28 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// Sentinel for "not hooked yet" in the hooks array.
 const UNHOOKED: u32 = u32::MAX;
 
-/// A concurrent union-find algorithm instance.
+/// A concurrent union-find kernel with static dispatch: the generic
+/// counterpart of [`Unite`], monomorphized per (union family, find,
+/// splice, telemetry) combination exactly like the paper's C++ templates.
 ///
-/// Implementations may carry per-instance state (hook arrays, locks, random
-/// ranks); the parent array itself is passed in so one structure can be
-/// shared across phases (sampling → finish → streaming).
-pub trait Unite: Send + Sync {
-    /// Merges the sets of `u` and `v`. Returns the root this call hooked,
-    /// if any. Adds traversed parent-pointer hops to `*hops`.
-    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32>;
+/// Implementations may carry per-instance state (hook arrays, locks,
+/// random ranks); the parent array itself is passed in so one structure
+/// can be shared across phases (sampling → finish → streaming).
+pub trait UniteKernel: Send + Sync + 'static {
+    /// Creates an instance for `n` vertices. `seed` feeds the variants
+    /// that use randomness (Union-JTB ranks); stateless kernels ignore
+    /// both arguments.
+    fn build(n: usize, seed: u64) -> Self
+    where
+        Self: Sized;
 
-    /// Finds the representative of `u` using this algorithm's find strategy.
-    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32;
+    /// Merges the sets of `u` and `v`. Returns the root this call hooked,
+    /// if any. Adds traversed parent-pointer hops to `t`.
+    fn unite<T: Telemetry>(&self, p: &Parents, u: u32, v: u32, t: &mut T) -> Option<u32>;
+
+    /// Finds the representative of `u` using this algorithm's find
+    /// strategy, adding traversed hops to `t`.
+    fn find<T: Telemetry>(&self, p: &Parents, u: u32, t: &mut T) -> u32;
 
     /// Algorithm name, e.g. `"Union-Rem-CAS{SplitAtomicOne; FindNaive}"`.
     fn name(&self) -> String;
@@ -52,6 +71,56 @@ pub trait Unite: Send + Sync {
     /// Theorem 3 / streaming Type (iii)).
     fn concurrent_finds(&self) -> bool {
         true
+    }
+}
+
+/// An object-safe union-find handle: one virtual call per operation with a
+/// mandatory hop count. Kept as the *adapter* over [`UniteKernel`] for
+/// variant enumeration (`UfSpec::instantiate`) and tests; every per-edge
+/// hot loop in the workspace uses the monomorphized kernels instead.
+pub trait Unite: Send + Sync {
+    /// Merges the sets of `u` and `v`. Returns the root this call hooked,
+    /// if any. Adds traversed parent-pointer hops to `*hops`.
+    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32>;
+
+    /// Finds the representative of `u` using this algorithm's find strategy.
+    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32;
+
+    /// Algorithm name, e.g. `"Union-Rem-CAS{SplitAtomicOne; FindNaive}"`.
+    fn name(&self) -> String;
+
+    /// See [`UniteKernel::supports_forest`].
+    fn supports_forest(&self) -> bool;
+
+    /// See [`UniteKernel::concurrent_finds`].
+    fn concurrent_finds(&self) -> bool;
+}
+
+impl<K: UniteKernel> Unite for K {
+    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+        let mut t = CountHops::default();
+        let r = UniteKernel::unite(self, p, u, v, &mut t);
+        *hops += t.0;
+        r
+    }
+
+    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
+        let mut t = CountHops::default();
+        let r = UniteKernel::find(self, p, u, &mut t);
+        *hops += t.0;
+        r
+    }
+
+    fn name(&self) -> String {
+        UniteKernel::name(self)
+    }
+
+    fn supports_forest(&self) -> bool {
+        UniteKernel::supports_forest(self)
+    }
+
+    fn concurrent_finds(&self) -> bool {
+        UniteKernel::concurrent_finds(self)
     }
 }
 
@@ -72,10 +141,15 @@ impl<F: Find> Default for UnionAsync<F> {
     }
 }
 
-impl<F: Find> Unite for UnionAsync<F> {
-    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
-        let mut pu = F::find(p, u, hops);
-        let mut pv = F::find(p, v, hops);
+impl<F: Find> UniteKernel for UnionAsync<F> {
+    fn build(_n: usize, _seed: u64) -> Self {
+        Self::new()
+    }
+
+    #[inline]
+    fn unite<T: Telemetry>(&self, p: &Parents, u: u32, v: u32, t: &mut T) -> Option<u32> {
+        let mut pu = F::find(p, u, t);
+        let mut pv = F::find(p, v, t);
         while pu != pv {
             if pu < pv {
                 std::mem::swap(&mut pu, &mut pv);
@@ -88,14 +162,15 @@ impl<F: Find> Unite for UnionAsync<F> {
             {
                 return Some(pu);
             }
-            pu = F::find(p, pu, hops);
-            pv = F::find(p, pv, hops);
+            pu = F::find(p, pu, t);
+            pv = F::find(p, pv, t);
         }
         None
     }
 
-    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
-        F::find(p, u, hops)
+    #[inline]
+    fn find<T: Telemetry>(&self, p: &Parents, u: u32, t: &mut T) -> u32 {
+        F::find(p, u, t)
     }
 
     fn name(&self) -> String {
@@ -121,11 +196,16 @@ impl<F: Find> UnionHooks<F> {
     }
 }
 
-impl<F: Find> Unite for UnionHooks<F> {
-    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+impl<F: Find> UniteKernel for UnionHooks<F> {
+    fn build(n: usize, _seed: u64) -> Self {
+        Self::new(n)
+    }
+
+    #[inline]
+    fn unite<T: Telemetry>(&self, p: &Parents, u: u32, v: u32, t: &mut T) -> Option<u32> {
         loop {
-            let pu = F::find(p, u, hops);
-            let pv = F::find(p, v, hops);
+            let pu = F::find(p, u, t);
+            let pv = F::find(p, v, t);
             if pu == pv {
                 return None;
             }
@@ -143,8 +223,9 @@ impl<F: Find> Unite for UnionHooks<F> {
         }
     }
 
-    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
-        F::find(p, u, hops)
+    #[inline]
+    fn find<T: Telemetry>(&self, p: &Parents, u: u32, t: &mut T) -> u32 {
+        F::find(p, u, t)
     }
 
     fn name(&self) -> String {
@@ -169,8 +250,13 @@ impl<F: Find> Default for UnionEarly<F> {
     }
 }
 
-impl<F: Find> Unite for UnionEarly<F> {
-    fn unite(&self, p: &Parents, u0: u32, v0: u32, hops: &mut u64) -> Option<u32> {
+impl<F: Find> UniteKernel for UnionEarly<F> {
+    fn build(_n: usize, _seed: u64) -> Self {
+        Self::new()
+    }
+
+    #[inline]
+    fn unite<T: Telemetry>(&self, p: &Parents, u0: u32, v0: u32, t: &mut T) -> Option<u32> {
         let (mut u, mut v) = (u0, v0);
         let mut hooked = None;
         loop {
@@ -195,7 +281,7 @@ impl<F: Find> Unite for UnionEarly<F> {
                 continue; // lost a race; re-observe
             }
             // One splitting step on v, then climb.
-            *hops += 1;
+            t.add(1);
             let w = p[pv as usize].load(Ordering::Acquire);
             if pv != w {
                 let _ = p[v as usize].compare_exchange(pv, w, Ordering::AcqRel, Ordering::Relaxed);
@@ -203,14 +289,15 @@ impl<F: Find> Unite for UnionEarly<F> {
             v = pv;
         }
         if F::COMPRESSES {
-            F::find(p, u0, hops);
-            F::find(p, v0, hops);
+            F::find(p, u0, t);
+            F::find(p, v0, t);
         }
         hooked
     }
 
-    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
-        F::find(p, u, hops)
+    #[inline]
+    fn find<T: Telemetry>(&self, p: &Parents, u: u32, t: &mut T) -> u32 {
+        F::find(p, u, t)
     }
 
     fn name(&self) -> String {
@@ -236,8 +323,13 @@ impl<S: Splice, F: Find> Default for UnionRemCas<S, F> {
     }
 }
 
-impl<S: Splice, F: Find> Unite for UnionRemCas<S, F> {
-    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+impl<S: Splice, F: Find> UniteKernel for UnionRemCas<S, F> {
+    fn build(_n: usize, _seed: u64) -> Self {
+        Self::new()
+    }
+
+    #[inline]
+    fn unite<T: Telemetry>(&self, p: &Parents, u: u32, v: u32, t: &mut T) -> Option<u32> {
         let (mut ru, mut rv) = (u, v);
         let hooked = loop {
             let pu = p[ru as usize].load(Ordering::Acquire);
@@ -257,7 +349,7 @@ impl<S: Splice, F: Find> Unite for UnionRemCas<S, F> {
                 }
                 // Lost a race; re-observe.
             } else {
-                let next = S::step(p, wu, wpu, wpv, hops);
+                let next = S::step(p, wu, wpu, wpv, t);
                 if pu > pv {
                     ru = next;
                 } else {
@@ -266,14 +358,15 @@ impl<S: Splice, F: Find> Unite for UnionRemCas<S, F> {
             }
         };
         if F::COMPRESSES {
-            F::find(p, u, hops);
-            F::find(p, v, hops);
+            F::find(p, u, t);
+            F::find(p, v, t);
         }
         hooked
     }
 
-    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
-        F::find(p, u, hops)
+    #[inline]
+    fn find<T: Telemetry>(&self, p: &Parents, u: u32, t: &mut T) -> u32 {
+        F::find(p, u, t)
     }
 
     fn name(&self) -> String {
@@ -307,8 +400,13 @@ impl<S: Splice, F: Find> UnionRemLock<S, F> {
     }
 }
 
-impl<S: Splice, F: Find> Unite for UnionRemLock<S, F> {
-    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+impl<S: Splice, F: Find> UniteKernel for UnionRemLock<S, F> {
+    fn build(n: usize, _seed: u64) -> Self {
+        Self::new(n)
+    }
+
+    #[inline]
+    fn unite<T: Telemetry>(&self, p: &Parents, u: u32, v: u32, t: &mut T) -> Option<u32> {
         let (mut ru, mut rv) = (u, v);
         let hooked = loop {
             let pu = p[ru as usize].load(Ordering::Acquire);
@@ -334,7 +432,7 @@ impl<S: Splice, F: Find> Unite for UnionRemLock<S, F> {
                     let _guard = self.locks[wu as usize].lock();
                     let cur = p[wu as usize].load(Ordering::Acquire);
                     if cur == wpu {
-                        S::step(p, wu, wpu, wpv, hops)
+                        S::step(p, wu, wpu, wpv, t)
                     } else {
                         // Parent moved under us; resume from the new parent.
                         cur
@@ -348,14 +446,15 @@ impl<S: Splice, F: Find> Unite for UnionRemLock<S, F> {
             }
         };
         if F::COMPRESSES {
-            F::find(p, u, hops);
-            F::find(p, v, hops);
+            F::find(p, u, t);
+            F::find(p, v, t);
         }
         hooked
     }
 
-    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
-        F::find(p, u, hops)
+    #[inline]
+    fn find<T: Telemetry>(&self, p: &Parents, u: u32, t: &mut T) -> u32 {
+        F::find(p, u, t)
     }
 
     fn name(&self) -> String {
@@ -371,50 +470,70 @@ impl<S: Splice, F: Find> Unite for UnionRemLock<S, F> {
     }
 }
 
-/// Find strategy selector for [`UnionJtb`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum JtbFind {
-    /// No compression during finds ("FindSimple" in the paper).
-    Simple,
-    /// Randomized two-try splitting, the provably-efficient option.
-    TwoTrySplit,
+/// Find strategy selector for [`UnionJtb`], lifted to the type level so
+/// the per-find `match` of the old runtime selector disappears from the
+/// monomorphized kernel.
+pub trait JtbFindStrategy: Send + Sync + 'static {
+    /// Human-readable name matching the paper.
+    const NAME: &'static str;
+    /// Performs the find.
+    fn find<T: Telemetry>(p: &Parents, u: u32, t: &mut T) -> u32;
+}
+
+/// No compression during finds ("FindSimple" in the paper).
+pub struct JtbSimple;
+
+impl JtbFindStrategy for JtbSimple {
+    const NAME: &'static str = "FindSimple";
+    #[inline]
+    fn find<T: Telemetry>(p: &Parents, u: u32, t: &mut T) -> u32 {
+        FindNaive::find(p, u, t)
+    }
+}
+
+/// Randomized two-try splitting, the provably-efficient option.
+pub struct JtbTwoTry;
+
+impl JtbFindStrategy for JtbTwoTry {
+    const NAME: &'static str = "FindTwoTrySplit";
+    #[inline]
+    fn find<T: Telemetry>(p: &Parents, u: u32, t: &mut T) -> u32 {
+        find_two_try_split(p, u, t)
+    }
 }
 
 /// Union-JTB: Jayanti–Tarjan–Boix-Adserà randomized concurrent set union.
 /// Links by random rank (ties broken by id), so unlike the other variants
 /// the root of a tree is not its minimum id.
-pub struct UnionJtb {
+pub struct UnionJtb<J: JtbFindStrategy = JtbSimple> {
     ranks: Box<[u32]>,
-    find: JtbFind,
+    _find: PhantomData<J>,
 }
 
-impl UnionJtb {
+impl<J: JtbFindStrategy> UnionJtb<J> {
     /// Creates an instance with random ranks drawn from `seed`.
-    pub fn new(n: usize, find: JtbFind, seed: u64) -> Self {
+    pub fn new(n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let ranks = (0..n).map(|_| rng.gen::<u32>()).collect::<Vec<_>>().into_boxed_slice();
-        UnionJtb { ranks, find }
+        UnionJtb { ranks, _find: PhantomData }
     }
 
     #[inline]
     fn priority(&self, v: u32) -> (u32, u32) {
         (self.ranks[v as usize], v)
     }
-
-    #[inline]
-    fn do_find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
-        match self.find {
-            JtbFind::Simple => FindNaive::find(p, u, hops),
-            JtbFind::TwoTrySplit => find_two_try_split(p, u, hops),
-        }
-    }
 }
 
-impl Unite for UnionJtb {
-    fn unite(&self, p: &Parents, u: u32, v: u32, hops: &mut u64) -> Option<u32> {
+impl<J: JtbFindStrategy> UniteKernel for UnionJtb<J> {
+    fn build(n: usize, seed: u64) -> Self {
+        Self::new(n, seed)
+    }
+
+    #[inline]
+    fn unite<T: Telemetry>(&self, p: &Parents, u: u32, v: u32, t: &mut T) -> Option<u32> {
         loop {
-            let ru = self.do_find(p, u, hops);
-            let rv = self.do_find(p, v, hops);
+            let ru = J::find(p, u, t);
+            let rv = J::find(p, v, t);
             if ru == rv {
                 return None;
             }
@@ -433,16 +552,13 @@ impl Unite for UnionJtb {
         }
     }
 
-    fn find(&self, p: &Parents, u: u32, hops: &mut u64) -> u32 {
-        self.do_find(p, u, hops)
+    #[inline]
+    fn find<T: Telemetry>(&self, p: &Parents, u: u32, t: &mut T) -> u32 {
+        J::find(p, u, t)
     }
 
     fn name(&self) -> String {
-        let f = match self.find {
-            JtbFind::Simple => "FindSimple",
-            JtbFind::TwoTrySplit => "FindTwoTrySplit",
-        };
-        format!("Union-JTB{{{f}}}")
+        format!("Union-JTB{{{}}}", J::NAME)
     }
 }
 
@@ -452,6 +568,7 @@ mod tests {
     use crate::find::{FindCompress, FindHalve, FindSplit};
     use crate::parents::{make_parents, snapshot_labels};
     use crate::splice::{HalveAtomicOne, SpliceAtomic, SplitAtomicOne};
+    use crate::telemetry::NoCount;
 
     fn exercise(u: &dyn Unite) {
         let p = make_parents(8);
@@ -510,16 +627,22 @@ mod tests {
 
     #[test]
     fn union_jtb_both_finds() {
-        exercise(&UnionJtb::new(8, JtbFind::Simple, 1));
-        exercise(&UnionJtb::new(8, JtbFind::TwoTrySplit, 2));
+        exercise(&UnionJtb::<JtbSimple>::new(8, 1));
+        exercise(&UnionJtb::<JtbTwoTry>::new(8, 2));
     }
 
     #[test]
     fn forest_support_flags() {
-        assert!(UnionAsync::<FindNaive>::new().supports_forest());
-        assert!(UnionRemCas::<SplitAtomicOne, FindNaive>::new().supports_forest());
-        assert!(!UnionRemCas::<SpliceAtomic, FindNaive>::new().supports_forest());
-        assert!(!UnionRemLock::<SpliceAtomic, FindNaive>::new(4).concurrent_finds());
+        assert!(UniteKernel::supports_forest(&UnionAsync::<FindNaive>::new()));
+        assert!(UniteKernel::supports_forest(
+            &UnionRemCas::<SplitAtomicOne, FindNaive>::new()
+        ));
+        assert!(!UniteKernel::supports_forest(
+            &UnionRemCas::<SpliceAtomic, FindNaive>::new()
+        ));
+        assert!(!UniteKernel::concurrent_finds(
+            &UnionRemLock::<SpliceAtomic, FindNaive>::new(4)
+        ));
     }
 
     #[test]
@@ -529,12 +652,43 @@ mod tests {
         let mut h = 0;
         let mut hooked = Vec::new();
         for (a, b) in [(0, 1), (2, 3), (1, 3)] {
-            if let Some(r) = u.unite(&p, a, b, &mut h) {
+            if let Some(r) = Unite::unite(&u, &p, a, b, &mut h) {
                 hooked.push(r);
             }
         }
         hooked.sort_unstable();
         hooked.dedup();
         assert_eq!(hooked.len(), 3, "three merges, three distinct hooked roots");
+    }
+
+    #[test]
+    fn kernel_nocount_matches_counting() {
+        // The NoCount monomorphization must compute the same partition.
+        let k = UnionRemCas::<SplitAtomicOne, FindNaive>::build(8, 0);
+        let p = make_parents(8);
+        for (a, b) in [(0, 1), (1, 2), (4, 5), (6, 7), (5, 6)] {
+            UniteKernel::unite(&k, &p, a, b, &mut NoCount);
+        }
+        let labels = snapshot_labels(&p);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[4], labels[7]);
+        assert_ne!(labels[0], labels[4]);
+        assert_eq!(labels[3], 3);
+        assert_eq!(UniteKernel::find(&k, &p, 7, &mut NoCount), labels[7]);
+    }
+
+    #[test]
+    fn dyn_adapter_reports_hops() {
+        // The blanket Unite impl must surface the kernel's hop counts.
+        let k = UnionAsync::<FindNaive>::new();
+        let p = make_parents(6);
+        let mut h = 0u64;
+        let u: &dyn Unite = &k;
+        u.unite(&p, 0, 1, &mut h);
+        u.unite(&p, 1, 2, &mut h);
+        u.unite(&p, 2, 3, &mut h);
+        let mut hq = 0u64;
+        assert_eq!(u.find(&p, 3, &mut hq), 0);
+        assert!(hq > 0, "a non-root find must report hops");
     }
 }
