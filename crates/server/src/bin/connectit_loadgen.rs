@@ -27,13 +27,34 @@
 //!
 //! Exits non-zero on any oracle mismatch or zero throughput. In `tcp`
 //! mode, `--n` must match the server's vertex count.
+//!
+//! ## Crash-drill mode (`--kill-after` / `--resume`)
+//!
+//! The loadgen can act as one logical load session spanning a server
+//! crash. `--kill-after B --state FILE` runs `B` batches per client,
+//! checkpoints every client's oracle (via the `cc_graph::io::binary`
+//! codec) to `FILE`, and exits with the server still running — the
+//! harness then hard-kills and restarts the server from its `--wal-dir`.
+//! `--resume --state FILE` reloads the checkpoint, first re-validates the
+//! restored oracle against the recovered server (every intra-slice
+//! connectivity fact must have survived, positives and negatives), then
+//! continues the remaining batches under full validation. `--resume`
+//! also makes in-flight failures survivable: a dropped connection is
+//! retried for `--retry-secs`, the interrupted batch's insertions are
+//! resubmitted (inserts are idempotent), and only that batch's query
+//! answers are skipped.
 
+use cc_graph::io::binary;
 use cc_parallel::SplitMix64;
 use cc_server::{parse_alg, ExecMode, Service, ServiceConfig, TcpClient};
 use cc_unionfind::{SeqUnionFind, UfSpec};
 use connectit::Update;
+use std::io::Write;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Magic prefix of the `--state` checkpoint file.
+const STATE_MAGIC: &[u8; 8] = b"CCLGST01";
 
 #[derive(Clone)]
 struct GenOpts {
@@ -49,6 +70,10 @@ struct GenOpts {
     phased: bool,
     seed: u64,
     send_shutdown: bool,
+    kill_after: Option<usize>,
+    resume: bool,
+    state: Option<String>,
+    retry_secs: u64,
 }
 
 impl Default for GenOpts {
@@ -66,6 +91,10 @@ impl Default for GenOpts {
             phased: false,
             seed: 0x10ad,
             send_shutdown: false,
+            kill_after: None,
+            resume: false,
+            state: None,
+            retry_secs: 30,
         }
     }
 }
@@ -77,8 +106,14 @@ fn usage() -> ExitCode {
          \x20                        [--query-frac F] [--layout blocked|strided]\n\
          \x20                        [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]\n\
          \x20                        [--seed X] [--shutdown]\n\
+         \x20                        [--kill-after B --state FILE] [--resume [--state FILE]]\n\
+         \x20                        [--retry-secs S]\n\
          \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress (see\n\
-         \x20        connectit-serve --help)"
+         \x20        connectit-serve --help)\n\
+         \x20  --kill-after B: stop after B batches/client and checkpoint the oracle to\n\
+         \x20        --state FILE (tcp mode; the harness then kills/restarts the server)\n\
+         \x20  --resume: survive server restarts (reconnect + resubmit in-flight inserts);\n\
+         \x20        with --state FILE, first restore and re-validate the checkpoint"
     );
     ExitCode::from(2)
 }
@@ -123,6 +158,15 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
             "--phased" => o.phased = true,
             "--seed" => o.seed = next_val(a, &mut it)?.parse().map_err(|_| "bad --seed")?,
             "--shutdown" => o.send_shutdown = true,
+            "--kill-after" => {
+                o.kill_after =
+                    Some(next_val(a, &mut it)?.parse().map_err(|_| "bad --kill-after")?)
+            }
+            "--resume" => o.resume = true,
+            "--state" => o.state = Some(next_val(a, &mut it)?),
+            "--retry-secs" => {
+                o.retry_secs = next_val(a, &mut it)?.parse().map_err(|_| "bad --retry-secs")?
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -132,7 +176,82 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
     if !(0.0..=1.0).contains(&o.query_frac) {
         return Err("--query-frac must be in [0, 1]".to_string());
     }
+    if (o.kill_after.is_some() || o.resume) && o.tcp_addr.is_none() {
+        return Err("--kill-after/--resume need --mode tcp (the server must outlive us)".into());
+    }
+    if o.kill_after.is_some() && o.state.is_none() {
+        return Err("--kill-after needs --state FILE to checkpoint the oracle into".into());
+    }
+    if o.kill_after == Some(0) {
+        return Err("--kill-after must be at least 1".into());
+    }
+    if o.kill_after.is_some() && o.send_shutdown {
+        return Err("--kill-after keeps the server running; drop --shutdown".into());
+    }
     Ok(o)
+}
+
+/// Writes the crash-drill checkpoint: a header record (run parameters +
+/// batches completed) then one label-array record per client oracle.
+fn write_state(
+    path: &str,
+    o: &GenOpts,
+    batches_done: usize,
+    oracles: &[Vec<u32>],
+) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    binary::write_magic(&mut w, STATE_MAGIC)?;
+    let mut header = Vec::new();
+    header.extend_from_slice(&(o.n as u64).to_le_bytes());
+    header.extend_from_slice(&(o.clients as u64).to_le_bytes());
+    header.extend_from_slice(&(batches_done as u64).to_le_bytes());
+    header.extend_from_slice(&o.seed.to_le_bytes());
+    header.push(u8::from(o.strided));
+    binary::append_record(&mut w, &header)?;
+    for (idx, labels) in oracles.iter().enumerate() {
+        binary::append_record(&mut w, &binary::encode_labels(idx as u64, labels))?;
+    }
+    w.flush()?;
+    w.get_ref().sync_data()
+}
+
+/// Reads a [`write_state`] checkpoint back, validating it against the
+/// current run parameters. Returns `(batches_done, per-client labels)`.
+fn read_state(path: &str, o: &GenOpts) -> Result<(usize, Vec<Vec<u32>>), String> {
+    let fail = |e: &dyn std::fmt::Display| format!("state file {path}: {e}");
+    let file = std::fs::File::open(path).map_err(|e| fail(&e))?;
+    let mut reader = std::io::BufReader::new(file);
+    binary::read_magic(&mut reader, STATE_MAGIC).map_err(|e| fail(&e))?;
+    let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
+    let header = records
+        .next()
+        .map_err(|e| fail(&e))?
+        .ok_or_else(|| fail(&"missing header record"))?;
+    if header.len() != 33 {
+        return Err(fail(&format!("header is {} bytes, want 33", header.len())));
+    }
+    let word = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("8 bytes"));
+    let (n, clients, batches_done, seed) = (word(0), word(8), word(16), word(24));
+    let strided = header[32] != 0;
+    if n != o.n as u64 || clients != o.clients as u64 || seed != o.seed || strided != o.strided {
+        return Err(fail(&format!(
+            "checkpointed run (n={n} clients={clients} seed={seed} strided={strided}) does \
+             not match the flags of this run; resume with the original parameters"
+        )));
+    }
+    let mut oracles = Vec::with_capacity(o.clients);
+    while let Some(payload) = records.next().map_err(|e| fail(&e))? {
+        let (idx, labels) =
+            binary::decode_labels(&payload, records.offset()).map_err(|e| fail(&e))?;
+        if idx as usize != oracles.len() || labels.len() != o.n / o.clients {
+            return Err(fail(&"client records out of order or mis-sized"));
+        }
+        oracles.push(labels);
+    }
+    if oracles.len() != o.clients {
+        return Err(fail(&format!("{} client records, want {}", oracles.len(), o.clients)));
+    }
+    Ok((batches_done as usize, oracles))
 }
 
 /// One transport connection, in-process or TCP.
@@ -157,11 +276,125 @@ struct WorkerReport {
     exact: u64,
     transitions: u64,
     mismatches: u64,
+    /// Batches whose query answers were skipped because the connection
+    /// died mid-submit and the inserts were replayed after reconnecting.
+    skipped_batches: u64,
+    /// Post-restore sweep queries validating the checkpointed oracle
+    /// against the recovered server.
+    sweep_checks: u64,
     first_mismatch: Option<String>,
+    /// The oracle labeling at exit, captured for `--kill-after`
+    /// checkpointing.
+    final_labels: Option<Vec<u32>>,
 }
 
-/// The closed loop for one client thread.
-fn run_worker(o: &GenOpts, idx: usize, mut conn: Conn) -> Result<WorkerReport, String> {
+/// Submits with crash resilience: on a transport error in `--resume`
+/// mode, reconnects (for up to `--retry-secs`) and resubmits the batch's
+/// insertions — idempotent, so a partially-applied first attempt is
+/// harmless. Returns `Ok(None)` for such a replayed batch (its query
+/// answers are unknowable and must be skipped).
+fn submit_resilient(
+    o: &GenOpts,
+    conn: &mut Conn,
+    wire_ops: &[Update],
+) -> Result<Option<Vec<bool>>, String> {
+    let first_err = match conn.submit(wire_ops) {
+        Ok(answers) => return Ok(Some(answers)),
+        Err(e) => e,
+    };
+    let (true, Some(addr)) = (o.resume, o.tcp_addr.as_deref()) else {
+        return Err(first_err);
+    };
+    let inserts: Vec<Update> = wire_ops
+        .iter()
+        .filter(|op| matches!(op, Update::Insert(..)))
+        .copied()
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(o.retry_secs);
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        if let Ok(mut c) = TcpClient::connect(addr) {
+            if c.submit(&inserts).is_ok() {
+                *conn = Conn::Tcp(Box::new(c));
+                return Ok(None);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "connection lost ({first_err}) and not restored within {}s",
+                o.retry_secs
+            ));
+        }
+    }
+}
+
+/// Re-validates a restored oracle against the recovered server: every
+/// `v ~ rep(v)` fact must still hold, and representatives of distinct
+/// components must still be disconnected (slices are private, so both
+/// directions are forced). Returns `(checks, mismatches)`.
+fn revalidate_restored(
+    o: &GenOpts,
+    idx: usize,
+    conn: &mut Conn,
+    oracle: &mut SeqUnionFind,
+    to_global: &impl Fn(usize) -> u32,
+    rep: &mut WorkerReport,
+) -> Result<(), String> {
+    let sz = o.n / o.clients;
+    let labels = oracle.labels();
+    let mut expected: Vec<bool> = Vec::new();
+    let mut wire: Vec<Update> = Vec::new();
+    // Positives: vertex ~ its component representative.
+    for (v, &label) in labels.iter().enumerate() {
+        let l = label as usize;
+        if l != v {
+            wire.push(Update::Query(to_global(v), to_global(l)));
+            expected.push(true);
+        }
+    }
+    // Negatives: consecutive distinct representatives are disconnected.
+    let mut reps: Vec<usize> = (0..sz).filter(|&v| labels[v] as usize == v).collect();
+    reps.truncate(2048);
+    for pair in reps.windows(2) {
+        wire.push(Update::Query(to_global(pair[0]), to_global(pair[1])));
+        expected.push(false);
+    }
+    for (chunk, expect_chunk) in wire.chunks(4096).zip(expected.chunks(4096)) {
+        let answers = conn.submit(chunk)?;
+        if answers.len() != expect_chunk.len() {
+            return Err(format!(
+                "sweep answer count {} != queries {}",
+                answers.len(),
+                expect_chunk.len()
+            ));
+        }
+        for (i, (&got, &want)) in answers.iter().zip(expect_chunk).enumerate() {
+            rep.sweep_checks += 1;
+            if got != want {
+                rep.mismatches += 1;
+                rep.first_mismatch.get_or_insert_with(|| {
+                    let (Update::Query(u, v) | Update::Insert(u, v)) = chunk[i];
+                    format!(
+                        "client {idx}: restored-oracle sweep: query({u}, {v}) answered \
+                         {got}, checkpoint says {want} — recovery lost or invented an edge"
+                    )
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The closed loop for one client thread. `start_batch` and `restored`
+/// carry `--resume` checkpoint state; the loop runs batches
+/// `start_batch..end` where `end` honors `--kill-after`.
+fn run_worker(
+    o: &GenOpts,
+    idx: usize,
+    mut conn: Conn,
+    start_batch: usize,
+    restored: Option<Vec<u32>>,
+) -> Result<WorkerReport, String> {
     let sz = o.n / o.clients;
     let to_global = |l: usize| -> u32 {
         if o.strided {
@@ -171,13 +404,31 @@ fn run_worker(o: &GenOpts, idx: usize, mut conn: Conn) -> Result<WorkerReport, S
         }
     };
     let mut oracle = SeqUnionFind::new(sz);
-    let mut rng = SplitMix64::new(o.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(idx as u64 + 1)));
     let mut rep = WorkerReport::default();
+    if let Some(labels) = restored {
+        for (v, &l) in labels.iter().enumerate() {
+            if l as usize != v {
+                oracle.union(v as u32, l);
+            }
+        }
+        revalidate_restored(o, idx, &mut conn, &mut oracle, &to_global, &mut rep)?;
+    }
+    // Phase-distinct RNG stream: a resumed run must not replay the
+    // pre-checkpoint op sequence.
+    let mut rng = SplitMix64::new(
+        o.seed
+            ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(idx as u64 + 1))
+            ^ (0x2545_f491_4f6c_dd1du64.wrapping_mul(start_batch as u64)),
+    );
     let mut local_ops: Vec<(bool, u32, u32)> = Vec::with_capacity(o.batch_ops);
     let mut wire_ops: Vec<Update> = Vec::with_capacity(o.batch_ops);
     let mut before: Vec<bool> = Vec::new();
     let query_cut = (o.query_frac * (1u64 << 32) as f64) as u64;
-    for _ in 0..o.batches {
+    let end_batch = match o.kill_after {
+        Some(k) => o.batches.min(start_batch + k),
+        None => o.batches,
+    };
+    for _ in start_batch..end_batch {
         local_ops.clear();
         wire_ops.clear();
         before.clear();
@@ -195,13 +446,19 @@ fn run_worker(o: &GenOpts, idx: usize, mut conn: Conn) -> Result<WorkerReport, S
                 wire_ops.push(Update::Insert(gu, gv));
             }
         }
-        let answers = conn.submit(&wire_ops)?;
-        // Advance the oracle past this batch's insertions.
+        let answers = submit_resilient(o, &mut conn, &wire_ops)?;
+        // Advance the oracle past this batch's insertions (a replayed
+        // batch applied exactly these inserts too).
         for &(is_query, lu, lv) in &local_ops {
             if !is_query {
                 oracle.union(lu, lv);
             }
         }
+        rep.ops += o.batch_ops as u64;
+        let Some(answers) = answers else {
+            rep.skipped_batches += 1;
+            continue;
+        };
         // Bracket-check every answer.
         let mut qi = 0usize;
         for &(is_query, lu, lv) in &local_ops {
@@ -237,7 +494,9 @@ fn run_worker(o: &GenOpts, idx: usize, mut conn: Conn) -> Result<WorkerReport, S
         if qi != answers.len() {
             return Err(format!("answer count {} != queries {qi}", answers.len()));
         }
-        rep.ops += o.batch_ops as u64;
+    }
+    if o.kill_after.is_some() {
+        rep.final_labels = Some(oracle.labels());
     }
     Ok(rep)
 }
@@ -254,6 +513,32 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+
+    // A --resume run restores the checkpointed per-client oracles first.
+    let (start_batch, mut restored): (usize, Vec<Option<Vec<u32>>>) =
+        match (o.resume, &o.state) {
+            (true, Some(path)) => match read_state(path, &o) {
+                Ok((done, oracles)) => {
+                    println!(
+                        "connectit-loadgen: resuming from {path}: {done} batches/client \
+                         already validated before the restart"
+                    );
+                    (done, oracles.into_iter().map(Some).collect())
+                }
+                Err(e) => {
+                    eprintln!("connectit-loadgen: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => (0, vec![None; o.clients]),
+        };
+    if start_batch >= o.batches {
+        eprintln!(
+            "connectit-loadgen: checkpoint already covers {start_batch} batches; \
+             raise --batches past it"
+        );
+        return ExitCode::FAILURE;
+    }
 
     // In-process mode hosts its own service; TCP mode talks to a running
     // connectit-serve.
@@ -280,6 +565,7 @@ fn main() -> ExitCode {
         let mut handles = Vec::new();
         for idx in 0..o.clients {
             let o = o.clone();
+            let restored = restored[idx].take();
             let conn = match (&service, &o.tcp_addr) {
                 (Some(svc), _) => Ok(Conn::InProc(svc.client())),
                 (None, Some(addr)) => {
@@ -289,7 +575,7 @@ fn main() -> ExitCode {
             };
             handles.push(scope.spawn(move || {
                 let conn = conn.map_err(|e| format!("connect failed: {e}"))?;
-                run_worker(&o, idx, conn)
+                run_worker(&o, idx, conn, start_batch, restored)
             }));
         }
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
@@ -298,20 +584,43 @@ fn main() -> ExitCode {
 
     let mut total = WorkerReport::default();
     let mut failed = false;
+    let mut final_oracles: Vec<Vec<u32>> = Vec::with_capacity(o.clients);
     for (i, r) in reports.into_iter().enumerate() {
         match r {
-            Ok(r) => {
+            Ok(mut r) => {
                 total.ops += r.ops;
                 total.queries += r.queries;
                 total.exact += r.exact;
                 total.transitions += r.transitions;
                 total.mismatches += r.mismatches;
+                total.skipped_batches += r.skipped_batches;
+                total.sweep_checks += r.sweep_checks;
                 if total.first_mismatch.is_none() {
                     total.first_mismatch = r.first_mismatch;
+                }
+                if let Some(labels) = r.final_labels.take() {
+                    final_oracles.push(labels);
                 }
             }
             Err(e) => {
                 eprintln!("connectit-loadgen: client {i} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    // Crash-drill checkpoint: persist every client oracle so a --resume
+    // run can re-validate across the server restart.
+    if let (Some(k), Some(path), false) = (o.kill_after, &o.state, failed) {
+        let done = o.batches.min(start_batch + k);
+        match write_state(path, &o, done, &final_oracles) {
+            Ok(()) => println!(
+                "connectit-loadgen: checkpoint: {done} batches/client validated, oracle \
+                 state saved to {path}; kill/restart the server, then rerun with \
+                 --resume --state {path}"
+            ),
+            Err(e) => {
+                eprintln!("connectit-loadgen: checkpoint write to {path} failed: {e}");
                 failed = true;
             }
         }
@@ -333,12 +642,14 @@ fn main() -> ExitCode {
     );
     println!(
         "ops={} elapsed={:.3}s ops_per_sec={ops_per_sec} verified_queries={} exact={} \
-         intra_batch_transitions={} mismatches={}",
+         intra_batch_transitions={} sweep_checks={} skipped_batches={} mismatches={}",
         total.ops,
         elapsed.as_secs_f64(),
         total.queries,
         total.exact,
         total.transitions,
+        total.sweep_checks,
+        total.skipped_batches,
         total.mismatches
     );
     if let Some(m) = &total.first_mismatch {

@@ -4,6 +4,7 @@
 //! connectit-serve [--n N] [--shards S] [--bind ADDR] [--port P]
 //!                 [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]
 //!                 [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]
+//!                 [--wal-dir DIR] [--fsync always|batch|off]
 //! ```
 //!
 //! `--finish` accepts any valid union-find variant as
@@ -11,10 +12,18 @@
 //! `async+split`, `jtb+two-try`), superseding the `--alg` shorthand;
 //! invalid combinations are rejected with the rule they violate.
 //!
+//! `--wal-dir` turns on durability: every applied batch is logged to a
+//! segmented, checksummed write-ahead log before it commits, and startup
+//! recovers whatever state (snapshot + WAL suffix) the directory already
+//! holds, resuming at the recovered epoch. `--fsync` picks the sync
+//! discipline (see `cc_server::wal`); with a WAL, `--snapshot-every`
+//! also writes a *durable* label snapshot on that epoch cadence, which
+//! bounds replay and prunes covered segments.
+//!
 //! Serves the line protocol documented in `cc_server::net` until a client
 //! sends `SHUTDOWN`, then prints final stats and exits.
 
-use cc_server::{parse_alg, serve, ExecMode, Service, ServiceConfig};
+use cc_server::{parse_alg, serve, DurabilityConfig, ExecMode, Service, ServiceConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -23,8 +32,11 @@ fn usage() -> ExitCode {
         "usage: connectit-serve [--n N] [--shards S] [--bind ADDR] [--port P]\n\
          \x20                      [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]\n\
          \x20                      [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]\n\
+         \x20                      [--wal-dir DIR] [--fsync always|batch|off]\n\
          \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress, async+split,\n\
-         \x20        jtb+two-try (unites: async|hooks|early|rem-cas|rem-lock|jtb)"
+         \x20        jtb+two-try (unites: async|hooks|early|rem-cas|rem-lock|jtb)\n\
+         \x20  --wal-dir enables the write-ahead log + crash recovery; --snapshot-every\n\
+         \x20  then also controls the durable snapshot cadence"
     );
     ExitCode::from(2)
 }
@@ -33,6 +45,8 @@ struct Opts {
     cfg: ServiceConfig,
     bind: String,
     port: u16,
+    wal_dir: Option<String>,
+    fsync: cc_server::FsyncPolicy,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -40,6 +54,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         cfg: ServiceConfig { n: 1 << 20, shards: 4, ..ServiceConfig::default() },
         bind: "127.0.0.1".to_string(),
         port: 7411,
+        wal_dir: None,
+        fsync: cc_server::FsyncPolicy::Batch,
     };
     let mut it = args.iter();
     let next_val = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -77,8 +93,19 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "bad --snapshot-every".to_string())?
             }
+            "--wal-dir" => opts.wal_dir = Some(next_val(a, &mut it)?),
+            "--fsync" => opts.fsync = next_val(a, &mut it)?.parse()?,
             other => return Err(format!("unknown argument {other:?}")),
         }
+    }
+    if let Some(dir) = &opts.wal_dir {
+        opts.cfg.durability = Some(DurabilityConfig {
+            fsync: opts.fsync,
+            // With durability on, the snapshot cadence also writes
+            // epoch-keyed snapshots to disk (bounding recovery replay).
+            snapshot_every: opts.cfg.snapshot_every,
+            ..DurabilityConfig::new(dir)
+        });
     }
     Ok(opts)
 }
@@ -110,8 +137,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let wal_info = match &opts.wal_dir {
+        Some(dir) => format!(" wal_dir={dir} fsync={} recovered_epoch={}", opts.fsync, client.epoch()),
+        None => String::new(),
+    };
     println!(
-        "connectit-serve listening on {} n={} shards={} alg={} mode={} batch_ops={} batch_wait={:?}",
+        "connectit-serve listening on {} n={} shards={} alg={} mode={} batch_ops={} batch_wait={:?}{wal_info}",
         server.local_addr(),
         client.num_vertices(),
         client.num_shards(),
@@ -123,5 +154,8 @@ fn main() -> ExitCode {
     server.wait_shutdown();
     service.shutdown();
     println!("connectit-serve: shutdown; final stats: {}", client.stats());
+    if let Ok(wal) = client.wal_stats() {
+        println!("connectit-serve: final wal stats: {wal}");
+    }
     ExitCode::SUCCESS
 }

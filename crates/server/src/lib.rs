@@ -18,24 +18,50 @@
 //!   `Arc`-swapped label snapshots (reads never block writers),
 //!   per-operation latency tracking via `cc_parallel::hist::LatencyHist`,
 //!   and a cloneable in-process [`service::Client`].
-//! - [`net`] — a minimal line-based TCP protocol (`I`/`Q`/`B`/`STATS`/…),
-//!   a one-thread-per-connection server, and a blocking [`net::TcpClient`].
+//! - [`wal`] / [`snapshot`] — the durability subsystem: a segmented,
+//!   checksummed, group-committed write-ahead log recording each applied
+//!   batch at its epoch boundary, plus epoch-keyed durable label
+//!   snapshots so recovery replays only the WAL suffix. Both share the
+//!   binary record codec in `cc_graph::io::binary`.
+//! - [`net`] — a minimal line-based TCP protocol (`I`/`Q`/`B`/`STATS`/
+//!   `FLUSH`/`SNAPSHOT`/`WALSTATS`/…), a one-thread-per-connection
+//!   server, and a blocking [`net::TcpClient`].
 //!
-//! Binaries: `connectit-serve` (the daemon) and `connectit-loadgen` (a
-//! closed-loop load generator that validates every answered query against
-//! the sequential oracle while measuring throughput). See the README for
-//! a quickstart and the protocol reference, and DESIGN.md §5 for the
-//! architecture discussion.
+//! Binaries: `connectit-serve` (the daemon; `--wal-dir` turns on
+//! durability) and `connectit-loadgen` (a closed-loop load generator that
+//! validates every answered query against the sequential oracle while
+//! measuring throughput, and whose `--kill-after`/`--resume` checkpoint
+//! mode re-validates that oracle across a server crash and restart). See
+//! the README for a quickstart and the protocol reference, and DESIGN.md
+//! §5/§7 for the architecture and durability discussions.
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod net;
 pub mod service;
+pub mod snapshot;
+pub mod wal;
 
 pub use engine::{build_engine, Engine, EngineCounters, EngineError, ExecMode, RunMode, ShardedEngine};
 pub use net::{serve, TcpClient, TcpServer};
 pub use service::{Client, LabelSnapshot, Service, ServiceConfig, ServiceError, ServiceStats};
+pub use wal::{DurabilityConfig, FsyncPolicy, RecoveryReport, Wal, WalError, WalStats};
+
+/// Creates a unique scratch directory under the system temp dir (pid +
+/// nanosecond stamped). Shared by this crate's durability tests and the
+/// WAL bench; not part of the service API.
+#[doc(hidden)]
+pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_nanos();
+    let dir =
+        std::env::temp_dir().join(format!("cc_{tag}_{}_{nanos}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir creation");
+    dir
+}
 
 /// Parses the CLI `--alg` vocabulary shared by `connectit-serve` and
 /// `connectit-loadgen` into a union-find variant:

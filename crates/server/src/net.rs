@@ -16,11 +16,16 @@
 //! | `COMPONENTS`         | `C <count>`                          | current component count |
 //! | `EPOCH`              | `E <epoch>`                          | completed batches |
 //! | `STATS`              | `S <key=value ...>`                  | one-line stats dump |
+//! | `FLUSH`              | `OK`                                 | fsync the WAL now, regardless of policy |
+//! | `SNAPSHOT`           | `SNAP <epoch>`                       | write a durable label snapshot at the next batch boundary |
+//! | `WALSTATS`           | `W <key=value ...>`                  | one-line WAL stats dump |
 //! | `PING`               | `PONG`                               | liveness |
 //! | `QUIT`               | — (connection closes)                | end this connection |
 //! | `SHUTDOWN`           | `BYE`                                | stop accepting; wake [`TcpServer::wait_shutdown`] |
 //!
-//! Malformed requests get `ERR <reason>` and the connection stays open.
+//! The three durability verbs answer `ERR durability is not enabled …`
+//! when the server runs without `--wal-dir`. Malformed requests get
+//! `ERR <reason>` and the connection stays open.
 
 use crate::service::{Client, Service, ServiceError};
 use connectit::Update;
@@ -41,6 +46,9 @@ enum Request {
     Components,
     Epoch,
     Stats,
+    Flush,
+    Snapshot,
+    WalStats,
     Ping,
     Quit,
     Shutdown,
@@ -73,6 +81,9 @@ fn parse_request(line: &str) -> Result<Request, String> {
         "COMPONENTS" => Request::Components,
         "EPOCH" => Request::Epoch,
         "STATS" => Request::Stats,
+        "FLUSH" => Request::Flush,
+        "SNAPSHOT" => Request::Snapshot,
+        "WALSTATS" => Request::WalStats,
         "PING" => Request::Ping,
         "QUIT" => Request::Quit,
         "SHUTDOWN" => Request::Shutdown,
@@ -267,6 +278,18 @@ fn handle_connection(
             Ok(Request::Components) => writeln!(w, "C {}", client.num_components())?,
             Ok(Request::Epoch) => writeln!(w, "E {}", client.epoch())?,
             Ok(Request::Stats) => writeln!(w, "S {}", client.stats())?,
+            Ok(Request::Flush) => match client.flush_wal() {
+                Ok(()) => writeln!(w, "OK")?,
+                Err(e) => writeln!(w, "{}", err_line(&e))?,
+            },
+            Ok(Request::Snapshot) => match client.durable_snapshot() {
+                Ok(epoch) => writeln!(w, "SNAP {epoch}")?,
+                Err(e) => writeln!(w, "{}", err_line(&e))?,
+            },
+            Ok(Request::WalStats) => match client.wal_stats() {
+                Ok(s) => writeln!(w, "W {s}")?,
+                Err(e) => writeln!(w, "{}", err_line(&e))?,
+            },
             Ok(Request::Ping) => writeln!(w, "PONG")?,
             Ok(Request::Quit) => return w.flush(),
             Ok(Request::Shutdown) => {
@@ -396,6 +419,30 @@ impl TcpClient {
             .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
     }
 
+    /// `FLUSH`: fsync the server's WAL now, regardless of policy.
+    pub fn flush_wal(&mut self) -> std::io::Result<()> {
+        match self.roundtrip("FLUSH")?.as_str() {
+            "OK" => Ok(()),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `SNAPSHOT`: write a durable label snapshot; returns its epoch.
+    pub fn durable_snapshot(&mut self) -> std::io::Result<u64> {
+        let r = self.roundtrip("SNAPSHOT")?;
+        r.strip_prefix("SNAP ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
+    /// `WALSTATS` (raw one-line dump).
+    pub fn wal_stats_line(&mut self) -> std::io::Result<String> {
+        let r = self.roundtrip("WALSTATS")?;
+        r.strip_prefix("W ")
+            .map(str::to_string)
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
     /// `PING`.
     pub fn ping(&mut self) -> std::io::Result<()> {
         match self.roundtrip("PING")?.as_str() {
@@ -425,6 +472,11 @@ mod tests {
         assert_eq!(parse_request("LABEL 7"), Ok(Request::Label(7)));
         assert_eq!(parse_request("  PING "), Ok(Request::Ping));
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+        assert_eq!(parse_request("FLUSH"), Ok(Request::Flush));
+        assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
+        assert_eq!(parse_request("WALSTATS"), Ok(Request::WalStats));
+        assert!(parse_request("FLUSH now").is_err());
+        assert!(parse_request("SNAPSHOT 3").is_err());
         assert!(parse_request("I 3").is_err());
         assert!(parse_request("I 3 4 5").is_err());
         assert!(parse_request("Q -1 4").is_err());

@@ -18,6 +18,8 @@
 //! wait for readers.
 
 use crate::engine::{build_engine, Engine, EngineError, ExecMode, RunMode};
+use crate::snapshot;
+use crate::wal::{DurabilityConfig, Wal, WalError};
 use cc_parallel::hist::LatencyHist;
 use cc_unionfind::UfSpec;
 use connectit::Update;
@@ -26,6 +28,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Chunk size for replaying recovered state into the engine.
+const REPLAY_CHUNK: usize = 1 << 16;
 
 /// Configuration of a [`Service`].
 #[derive(Clone, Debug)]
@@ -50,6 +55,10 @@ pub struct ServiceConfig {
     pub snapshot_every: u64,
     /// Seed for the union-find variants that use randomness.
     pub seed: u64,
+    /// Durability: `Some` turns on the write-ahead log (and durable
+    /// snapshots) in the given directory, including crash recovery from
+    /// whatever that directory already holds at startup.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +72,7 @@ impl Default for ServiceConfig {
             batch_max_wait: Duration::from_micros(100),
             snapshot_every: 0,
             seed: 0x5eed,
+            durability: None,
         }
     }
 }
@@ -81,6 +91,12 @@ pub enum ServiceError {
     },
     /// The configuration was rejected at startup.
     Config(String),
+    /// The write-ahead log or snapshot store failed (the message carries
+    /// file and offset context from [`WalError`]).
+    Durability(String),
+    /// A durability-only operation (`FLUSH`, `SNAPSHOT`, `WALSTATS`) was
+    /// requested but the service runs without a WAL.
+    DurabilityDisabled,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -91,6 +107,10 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "vertex {v} out of range (n = {n})")
             }
             ServiceError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            ServiceError::Durability(msg) => write!(f, "durability failure: {msg}"),
+            ServiceError::DurabilityDisabled => {
+                write!(f, "durability is not enabled (start the service with a wal dir)")
+            }
         }
     }
 }
@@ -100,6 +120,12 @@ impl std::error::Error for ServiceError {}
 impl From<EngineError> for ServiceError {
     fn from(e: EngineError) -> Self {
         ServiceError::Config(e.to_string())
+    }
+}
+
+impl From<WalError> for ServiceError {
+    fn from(e: WalError) -> Self {
+        ServiceError::Durability(e.to_string())
     }
 }
 
@@ -165,6 +191,9 @@ struct Pending {
     num_queries: usize,
     enqueued: Instant,
     reply: Arc<ReplySlot>,
+    /// Ask the batcher to write a durable snapshot after the batch this
+    /// submission lands in (the `SNAPSHOT` control path).
+    durable_snapshot: bool,
 }
 
 /// A single-use reply mailbox a submitting thread blocks on.
@@ -211,6 +240,13 @@ struct Inner {
     queries: AtomicU64,
     latency: LatencyHist,
     snapshot: Mutex<Arc<LabelSnapshot>>,
+    /// The write-ahead log, when durability is on. Locked by the batcher
+    /// for appends and by clients for `FLUSH`/`WALSTATS`.
+    wal: Option<Mutex<Wal>>,
+    /// Epoch of the newest durable snapshot on disk.
+    durable_snapshot_epoch: AtomicU64,
+    /// The most recent durability failure, surfaced through `WALSTATS`.
+    last_wal_error: Mutex<Option<String>>,
 }
 
 impl Inner {
@@ -229,6 +265,47 @@ impl Inner {
         }
         snap
     }
+
+    fn note_wal_error(&self, msg: &str) {
+        *self.last_wal_error.lock() = Some(msg.to_string());
+    }
+
+    /// The batcher's idle tick: sync pending WAL bytes once the
+    /// group-commit window lapses with no append to piggyback on. Must
+    /// be called without the queue lock held — an `fdatasync` can take
+    /// milliseconds and clients block on that lock to submit.
+    fn maybe_sync_wal(&self) {
+        if let Some(w) = &self.wal {
+            if let Err(e) = w.lock().sync_if_due() {
+                self.note_wal_error(&e.to_string());
+            }
+        }
+    }
+
+    /// Writes a durable snapshot of the current labeling, keyed by
+    /// `epoch`. Called only from the batcher between batches, so the
+    /// engine is quiescent and the labels are exact for that epoch. On
+    /// success the WAL rolls its active segment and prunes everything the
+    /// snapshot covers.
+    fn write_durable_snapshot(&self, epoch: u64) -> Result<(), ServiceError> {
+        let dcfg = self
+            .cfg
+            .durability
+            .as_ref()
+            .expect("durable snapshot requested without durability config");
+        let labels = self.engine.labels_readonly();
+        snapshot::write_snapshot(&dcfg.dir, epoch, &labels).map_err(|e| {
+            ServiceError::Durability(format!("snapshot write in {}: {e}", dcfg.dir.display()))
+        })?;
+        self.durable_snapshot_epoch.store(epoch, Ordering::Release);
+        snapshot::prune_older_than(&dcfg.dir, epoch);
+        if let Some(w) = &self.wal {
+            let mut w = w.lock();
+            w.roll()?;
+            w.prune_covered_by(epoch);
+        }
+        Ok(())
+    }
 }
 
 /// The batch former: runs on a dedicated thread until the service closes
@@ -245,7 +322,16 @@ fn run_batcher(inner: &Arc<Inner>) {
                 if q.closed {
                     return;
                 }
-                inner.work_cv.wait_for(&mut q, Duration::from_millis(5));
+                if inner.work_cv.wait_for(&mut q, Duration::from_millis(5)).timed_out() {
+                    // Idle tick: the group-commit window may have lapsed
+                    // with no new append to piggyback on, so sync the
+                    // pending WAL bytes — with the queue lock released,
+                    // because clients block on it to submit and an
+                    // fdatasync can take milliseconds.
+                    drop(q);
+                    inner.maybe_sync_wal();
+                    q = inner.q.lock();
+                }
             }
             // Time/size-bounded forming: linger for more traffic while
             // below the size cap and within the time bound.
@@ -276,6 +362,30 @@ fn run_batcher(inner: &Arc<Inner>) {
         for p in &pendings {
             batch.extend_from_slice(&p.ops);
         }
+
+        // Write-ahead: log the batch's insertions under the epoch it is
+        // about to commit as, *before* touching the engine. If the log
+        // cannot take the record, the batch is rejected wholesale (the
+        // engine is not mutated), so the in-memory state never runs ahead
+        // of what a restart could reconstruct.
+        let next_epoch = inner.epoch.load(Ordering::Relaxed) + 1;
+        if let Some(w) = &inner.wal {
+            let edges: Vec<(u32, u32)> = batch
+                .iter()
+                .filter_map(|op| match *op {
+                    Update::Insert(u, v) => Some((u, v)),
+                    Update::Query(..) => None,
+                })
+                .collect();
+            if let Err(e) = w.lock().append(next_epoch, &edges) {
+                let err = ServiceError::from(e);
+                inner.note_wal_error(&err.to_string());
+                for p in pendings {
+                    p.reply.fulfill(Err(err.clone()));
+                }
+                continue;
+            }
+        }
         let answers = inner.engine.process_batch(&batch);
 
         // Account everything *before* fulfilling any reply, so a client
@@ -294,14 +404,36 @@ fn run_batcher(inner: &Arc<Inner>) {
         inner.inserts.fetch_add(ins, Ordering::Relaxed);
         inner.queries.fetch_add(qrs, Ordering::Relaxed);
         let epoch = inner.epoch.fetch_add(1, Ordering::Release) + 1;
+        debug_assert_eq!(epoch, next_epoch);
         if inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(inner.cfg.snapshot_every) {
             inner.publish_snapshot(epoch);
         }
+
+        // Durable snapshots: on the configured epoch cadence, or when a
+        // `SNAPSHOT` control submission rode this batch. A failure is
+        // reported to the requesting submissions (and WALSTATS); the
+        // batch itself already committed.
+        let durable_cadence = inner.cfg.durability.as_ref().map_or(0, |d| d.snapshot_every);
+        let snapshot_requested = pendings.iter().any(|p| p.durable_snapshot);
+        let mut snapshot_err: Option<ServiceError> = None;
+        if inner.wal.is_some()
+            && (snapshot_requested
+                || (durable_cadence > 0 && epoch.is_multiple_of(durable_cadence)))
+        {
+            if let Err(e) = inner.write_durable_snapshot(epoch) {
+                inner.note_wal_error(&e.to_string());
+                snapshot_err = Some(e);
+            }
+        }
+
         let mut qi = 0usize;
         for p in pendings {
             let res = answers[qi..qi + p.num_queries].to_vec();
             qi += p.num_queries;
-            p.reply.fulfill(Ok(res));
+            match (&snapshot_err, p.durable_snapshot) {
+                (Some(e), true) => p.reply.fulfill(Err(e.clone())),
+                _ => p.reply.fulfill(Ok(res)),
+            }
         }
     }
 }
@@ -314,19 +446,101 @@ pub struct Service {
     batcher: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Applies recovered edges to the engine in bounded batches, validating
+/// the vertex range first (`what` names the source for the error).
+fn replay_edges(
+    engine: &dyn Engine,
+    edges: &[(u32, u32)],
+    n: usize,
+    what: &str,
+) -> Result<(), ServiceError> {
+    for &(u, v) in edges {
+        if u as usize >= n || v as usize >= n {
+            return Err(ServiceError::Config(format!(
+                "{what} references vertex {} but the service was started with n = {n}; \
+                 restart with the original vertex count",
+                u.max(v)
+            )));
+        }
+    }
+    for chunk in edges.chunks(REPLAY_CHUNK) {
+        let batch: Vec<Update> = chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+        engine.process_batch(&batch);
+    }
+    Ok(())
+}
+
 impl Service {
-    /// Starts the service: builds the sharded engine and spawns the batch
-    /// former.
+    /// Starts the service: builds the sharded engine, and — when
+    /// durability is configured — rebuilds it from the newest durable
+    /// snapshot plus the WAL suffix past it, resuming at the recovered
+    /// epoch before spawning the batch former.
     pub fn start(cfg: ServiceConfig) -> Result<Service, ServiceError> {
         if cfg.batch_max_ops == 0 {
             return Err(ServiceError::Config("batch_max_ops must be at least 1".into()));
         }
         let engine = build_engine(cfg.n, cfg.shards, &cfg.spec, cfg.mode, cfg.seed)?;
-        let initial = Arc::new(LabelSnapshot {
-            epoch: 0,
-            labels: (0..cfg.n as u32).collect(),
-            num_components: cfg.n,
-        });
+
+        let mut recovered_epoch = 0u64;
+        let mut snap_epoch = 0u64;
+        let mut wal = None;
+        if let Some(dcfg) = &cfg.durability {
+            // Scan (and re-open) the log first — this also creates the
+            // directory — then seed from the newest snapshot and replay
+            // only the records past its epoch.
+            let (w, report) = Wal::open(dcfg)?;
+            if let Some(snap) = snapshot::load_latest(&dcfg.dir)? {
+                if snap.labels.len() != cfg.n {
+                    return Err(ServiceError::Config(format!(
+                        "snapshot in {} covers {} vertices but the service was started \
+                         with n = {}; restart with the original vertex count",
+                        dcfg.dir.display(),
+                        snap.labels.len(),
+                        cfg.n
+                    )));
+                }
+                let spanning: Vec<(u32, u32)> = snap
+                    .labels
+                    .iter()
+                    .enumerate()
+                    .filter(|&(v, &l)| l as usize != v)
+                    .map(|(v, &l)| (v as u32, l))
+                    .collect();
+                replay_edges(
+                    engine.as_ref(),
+                    &spanning,
+                    cfg.n,
+                    &format!("snapshot at epoch {}", snap.epoch),
+                )?;
+                snap_epoch = snap.epoch;
+                recovered_epoch = snap.epoch;
+            }
+            for (epoch, edges) in &report.batches {
+                if *epoch <= snap_epoch {
+                    continue; // covered by the snapshot
+                }
+                replay_edges(
+                    engine.as_ref(),
+                    edges,
+                    cfg.n,
+                    &format!("wal record at epoch {epoch}"),
+                )?;
+                recovered_epoch = recovered_epoch.max(*epoch);
+            }
+            wal = Some(Mutex::new(w));
+        }
+
+        let initial = if recovered_epoch > 0 {
+            let labels = engine.labels_readonly();
+            let num_components = cc_graph::stats::count_distinct_labels(&labels);
+            Arc::new(LabelSnapshot { epoch: recovered_epoch, labels, num_components })
+        } else {
+            Arc::new(LabelSnapshot {
+                epoch: 0,
+                labels: (0..cfg.n as u32).collect(),
+                num_components: cfg.n,
+            })
+        };
         let inner = Arc::new(Inner {
             engine,
             cfg,
@@ -336,11 +550,14 @@ impl Service {
                 closed: false,
             }),
             work_cv: Condvar::new(),
-            epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(recovered_epoch),
             inserts: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             latency: LatencyHist::new(),
             snapshot: Mutex::new(initial),
+            wal,
+            durable_snapshot_epoch: AtomicU64::new(snap_epoch),
+            last_wal_error: Mutex::new(None),
         });
         let b_inner = Arc::clone(&inner);
         let batcher = std::thread::Builder::new()
@@ -355,8 +572,9 @@ impl Service {
         Client { inner: Arc::clone(&self.inner) }
     }
 
-    /// Closes the queue, drains already-enqueued submissions, and joins
-    /// the batch former. Idempotent.
+    /// Closes the queue, drains already-enqueued submissions, joins the
+    /// batch former, and (when durability is on) syncs the WAL so a clean
+    /// shutdown leaves nothing in volatile buffers. Idempotent.
     pub fn shutdown(&mut self) {
         {
             let mut q = self.inner.q.lock();
@@ -365,6 +583,11 @@ impl Service {
         self.inner.work_cv.notify_all();
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
+        }
+        if let Some(w) = &self.inner.wal {
+            if let Err(e) = w.lock().flush() {
+                self.inner.note_wal_error(&e.to_string());
+            }
         }
     }
 }
@@ -417,6 +640,17 @@ impl Client {
         if ops.is_empty() {
             return Ok(Vec::new());
         }
+        self.enqueue(ops, num_queries, false)
+    }
+
+    /// Queues a submission (or a zero-op control carrying only a
+    /// durable-snapshot request) and blocks for its batch.
+    fn enqueue(
+        &self,
+        ops: Vec<Update>,
+        num_queries: usize,
+        durable_snapshot: bool,
+    ) -> Result<Vec<bool>, ServiceError> {
         let reply = ReplySlot::new();
         {
             let mut q = self.inner.q.lock();
@@ -429,6 +663,7 @@ impl Client {
                 ops,
                 enqueued: Instant::now(),
                 reply: Arc::clone(&reply),
+                durable_snapshot,
             });
         }
         self.inner.work_cv.notify_all();
@@ -502,6 +737,52 @@ impl Client {
         self.inner.publish_snapshot(self.epoch())
     }
 
+    /// Whether the service runs with a write-ahead log.
+    pub fn wal_enabled(&self) -> bool {
+        self.inner.wal.is_some()
+    }
+
+    /// Forces the WAL to disk right now, regardless of the fsync policy
+    /// (the `FLUSH` protocol verb). Everything acknowledged before this
+    /// returns survives a machine crash.
+    pub fn flush_wal(&self) -> Result<(), ServiceError> {
+        let w = self.inner.wal.as_ref().ok_or(ServiceError::DurabilityDisabled)?;
+        w.lock().flush().map_err(|e| {
+            let err = ServiceError::from(e);
+            self.inner.note_wal_error(&err.to_string());
+            err
+        })
+    }
+
+    /// Writes a durable label snapshot at the next batch boundary and
+    /// blocks until it is on disk (the `SNAPSHOT` protocol verb); returns
+    /// the epoch it is keyed by. Recovery from that epoch replays only
+    /// the WAL suffix past it, and fully-covered segments are pruned.
+    pub fn durable_snapshot(&self) -> Result<u64, ServiceError> {
+        if !self.wal_enabled() {
+            return Err(ServiceError::DurabilityDisabled);
+        }
+        self.enqueue(Vec::new(), 0, true)?;
+        Ok(self.inner.durable_snapshot_epoch.load(Ordering::Acquire))
+    }
+
+    /// One-line WAL statistics (the `WALSTATS` protocol verb): policy,
+    /// segment/record/byte/sync counters, the last logged and
+    /// last-snapshotted epochs, torn bytes dropped by recovery, and the
+    /// most recent durability error if any.
+    pub fn wal_stats(&self) -> Result<String, ServiceError> {
+        let w = self.inner.wal.as_ref().ok_or(ServiceError::DurabilityDisabled)?;
+        let stats = w.lock().stats();
+        let snap_epoch = self.inner.durable_snapshot_epoch.load(Ordering::Acquire);
+        let last_error = self
+            .inner
+            .last_wal_error
+            .lock()
+            .as_deref()
+            .map_or_else(|| "-".to_string(), |e| format!("{e:?}"));
+        Ok(format!("{stats} snap_epoch={snap_epoch} last_error={last_error}"))
+    }
+
     /// A point-in-time stats view.
     pub fn stats(&self) -> ServiceStats {
         let c = self.inner.engine.counters();
@@ -525,6 +806,117 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::FsyncPolicy;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        crate::scratch_dir(&format!("svc_{tag}"))
+    }
+
+    fn durable_cfg(n: usize, dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig {
+            n,
+            shards: 2,
+            batch_max_wait: Duration::from_micros(20),
+            durability: Some(DurabilityConfig {
+                fsync: FsyncPolicy::Off,
+                ..DurabilityConfig::new(dir)
+            }),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_service_survives_restart() {
+        let dir = tmp_dir("restart");
+        {
+            let mut svc = Service::start(durable_cfg(32, &dir)).expect("service");
+            let c = svc.client();
+            c.insert(1, 2).expect("insert");
+            c.insert(2, 3).expect("insert");
+            c.insert(10, 11).expect("insert");
+            assert!(c.wal_enabled());
+            c.flush_wal().expect("flush");
+            assert_eq!(c.epoch(), 3);
+            svc.shutdown();
+        }
+        let mut svc = Service::start(durable_cfg(32, &dir)).expect("recovers");
+        let c = svc.client();
+        // Epoch resumes where the durable history ended; state is exact.
+        // (Read-side queries, so nothing here forms new batches.)
+        assert_eq!(c.epoch(), 3);
+        assert!(c.query_now(1, 3).expect("query"));
+        assert!(c.query_now(10, 11).expect("query"));
+        assert!(!c.query_now(1, 10).expect("query"));
+        assert_eq!(c.num_components(), 32 - 3);
+        // The initial published snapshot reflects the recovered state.
+        let snap = c.snapshot();
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.num_components, 32 - 3);
+        // New traffic continues the epoch sequence durably.
+        c.insert(3, 4).expect("insert");
+        assert_eq!(c.epoch(), 4);
+        svc.shutdown();
+        let mut svc = Service::start(durable_cfg(32, &dir)).expect("recovers again");
+        assert!(svc.client().query_now(1, 4).expect("query"));
+        assert_eq!(svc.client().epoch(), 4);
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_snapshot_bounds_replay_and_prunes() {
+        let dir = tmp_dir("snap");
+        {
+            let mut svc = Service::start(durable_cfg(16, &dir)).expect("service");
+            let c = svc.client();
+            c.insert(0, 1).expect("insert");
+            c.insert(1, 2).expect("insert");
+            let se = c.durable_snapshot().expect("snapshot");
+            assert!(se >= 2, "snapshot epoch {se}");
+            c.insert(8, 9).expect("insert past the snapshot");
+            let stats = c.wal_stats().expect("wal stats");
+            assert!(stats.contains("snap_epoch="), "{stats}");
+            assert!(stats.contains("last_error=-"), "{stats}");
+            svc.shutdown();
+        }
+        // Recovery = snapshot + suffix: both the pre- and post-snapshot
+        // edges are there.
+        let mut svc = Service::start(durable_cfg(16, &dir)).expect("recovers");
+        let c = svc.client();
+        assert!(c.query(0, 2).expect("query"));
+        assert!(c.query(8, 9).expect("query"));
+        assert!(!c.query(0, 8).expect("query"));
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durability_disabled_is_typed() {
+        let mut svc = small_service();
+        let c = svc.client();
+        assert!(!c.wal_enabled());
+        assert_eq!(c.flush_wal(), Err(ServiceError::DurabilityDisabled));
+        assert_eq!(c.durable_snapshot(), Err(ServiceError::DurabilityDisabled));
+        assert_eq!(c.wal_stats(), Err(ServiceError::DurabilityDisabled));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn restart_with_wrong_n_is_rejected_with_context() {
+        let dir = tmp_dir("wrong_n");
+        {
+            let mut svc = Service::start(durable_cfg(16, &dir)).expect("service");
+            svc.client().insert(14, 15).expect("insert");
+            svc.shutdown();
+        }
+        let err = match Service::start(durable_cfg(8, &dir)) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("recovery with a smaller n must fail"),
+        };
+        assert!(err.contains("n = 8"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     fn small_service() -> Service {
         Service::start(ServiceConfig {

@@ -1,0 +1,252 @@
+//! Durable, epoch-keyed label snapshots: the analytical-side artifact of
+//! the durability split. A snapshot freezes the whole component labeling
+//! at an epoch boundary so recovery replays only the WAL suffix past it
+//! (and sealed segments below it can be pruned).
+//!
+//! One file per snapshot, `snap-<epoch>.ccsnap`: the magic `CCSNAP01`
+//! followed by a single [`cc_graph::io::binary`] record whose payload is
+//! [`cc_graph::io::binary::encode_labels`] — `(epoch, labels)`. Files are
+//! written to a `.tmp` sibling, fsynced, then renamed, so a crash
+//! mid-write never leaves a plausible-but-partial snapshot under the real
+//! name; stray `.tmp` files are ignored (and cleaned) by the loader.
+//! Loading walks epochs downward and skips undecodable files, so a
+//! corrupt latest snapshot degrades to the previous one plus a longer WAL
+//! replay, never to a wrong labeling.
+
+use crate::wal::WalError;
+use cc_graph::io::binary;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"CCSNAP01";
+
+/// The snapshot file name for an epoch.
+pub fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snap-{epoch:020}.ccsnap"))
+}
+
+fn parse_snapshot_epoch(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?.strip_suffix(".ccsnap")?.parse().ok()
+}
+
+/// A snapshot recovered from disk.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The epoch the labeling was frozen at.
+    pub epoch: u64,
+    /// Component label per vertex at that epoch.
+    pub labels: Vec<u32>,
+    /// Newer snapshot files that failed to decode and were skipped (a
+    /// non-zero count means recovery fell back and will replay more WAL).
+    pub skipped_corrupt: usize,
+}
+
+/// Atomically writes the labeling at `epoch` into `dir`; returns the
+/// final path. The directory itself is fsynced after the rename: the
+/// caller prunes the previous snapshot and covered WAL segments next,
+/// and a machine crash must never journal those unlinks without the
+/// rename that justified them.
+pub fn write_snapshot(dir: &Path, epoch: u64, labels: &[u32]) -> std::io::Result<PathBuf> {
+    let final_path = snapshot_path(dir, epoch);
+    let tmp_path = final_path.with_extension("ccsnap.tmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp_path)?);
+        binary::write_magic(&mut w, SNAPSHOT_MAGIC)?;
+        binary::append_record(&mut w, &binary::encode_labels(epoch, labels))?;
+        w.flush()?;
+        w.get_ref().sync_data()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    File::open(dir)?.sync_all()?;
+    Ok(final_path)
+}
+
+/// Reads and fully validates one snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u32>), WalError> {
+    let codec = |source: binary::CodecError| WalError::Codec { path: path.to_path_buf(), source };
+    let file = File::open(path)
+        .map_err(|e| WalError::Io { path: path.to_path_buf(), source: e })?;
+    let mut reader = BufReader::new(file);
+    binary::read_magic(&mut reader, SNAPSHOT_MAGIC).map_err(codec)?;
+    let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
+    let payload = records.next().map_err(codec)?.ok_or_else(|| WalError::Corrupt {
+        path: path.to_path_buf(),
+        detail: "snapshot has no record".into(),
+    })?;
+    let (epoch, labels) = binary::decode_labels(&payload, binary::MAGIC_LEN as u64).map_err(codec)?;
+    Ok((epoch, labels))
+}
+
+/// Loads the newest decodable snapshot in `dir` (`Ok(None)` if there is
+/// none), skipping corrupt files and sweeping stray `.tmp` leftovers.
+///
+/// Snapshot files present but **none** decodable is a hard error, not
+/// `Ok(None)`: older snapshots and covered WAL segments are pruned, so
+/// "no snapshot" and "all snapshots corrupt" recover very different
+/// histories — silently picking the empty one would serve a wrong
+/// partition.
+pub fn load_latest(dir: &Path) -> Result<Option<LoadedSnapshot>, WalError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(WalError::Io { path: dir.to_path_buf(), source: e }),
+    };
+    let mut epochs: Vec<u64> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            // An interrupted write; the real name was never created.
+            let _ = std::fs::remove_file(entry.path());
+            continue;
+        }
+        if let Some(e) = parse_snapshot_epoch(name) {
+            epochs.push(e);
+        }
+    }
+    epochs.sort_unstable();
+    let mut skipped_corrupt = 0;
+    let mut last_err: Option<WalError> = None;
+    for &epoch in epochs.iter().rev() {
+        let path = snapshot_path(dir, epoch);
+        match read_snapshot(&path) {
+            Ok((stored_epoch, labels)) if stored_epoch == epoch => {
+                return Ok(Some(LoadedSnapshot { epoch, labels, skipped_corrupt }));
+            }
+            Ok((stored_epoch, _)) => {
+                skipped_corrupt += 1;
+                last_err = Some(WalError::Corrupt {
+                    path,
+                    detail: format!("snapshot named for epoch {epoch} stores {stored_epoch}"),
+                });
+            }
+            Err(e) => {
+                skipped_corrupt += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    match last_err {
+        None => Ok(None),
+        Some(e) => Err(WalError::Corrupt {
+            path: dir.to_path_buf(),
+            detail: format!(
+                "{} snapshot file(s) present but none decodable (last failure: {e}); \
+                 refusing to recover as if no snapshot was ever taken"
+            , skipped_corrupt),
+        }),
+    }
+}
+
+/// Removes snapshots with epochs below `epoch` (best-effort; called
+/// after a successful snapshot write, keeping only the newest).
+pub fn prune_older_than(dir: &Path, epoch: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(e) = parse_snapshot_epoch(name) {
+            if e < epoch {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        crate::scratch_dir(&format!("snap_{tag}"))
+    }
+
+    #[test]
+    fn write_load_roundtrip_prefers_newest() {
+        let dir = tmp_dir("roundtrip");
+        let old: Vec<u32> = (0..10).collect();
+        let new: Vec<u32> = vec![0; 10];
+        write_snapshot(&dir, 3, &old).expect("write");
+        write_snapshot(&dir, 8, &new).expect("write");
+        let snap = load_latest(&dir).expect("load").expect("some");
+        assert_eq!(snap.epoch, 8);
+        assert_eq!(snap.labels, new);
+        assert_eq!(snap.skipped_corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = tmp_dir("fallback");
+        let good: Vec<u32> = (0..6).collect();
+        write_snapshot(&dir, 2, &good).expect("write");
+        write_snapshot(&dir, 5, &[9; 6]).expect("write");
+        // Flip a byte in the newest snapshot's payload.
+        let newest = snapshot_path(&dir, 5);
+        let mut bytes = std::fs::read(&newest).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newest, &bytes).expect("write");
+        let snap = load_latest(&dir).expect("load").expect("some");
+        assert_eq!(snap.epoch, 2);
+        assert_eq!(snap.labels, good);
+        assert_eq!(snap.skipped_corrupt, 1);
+        // Direct reads of the corrupt file surface typed context.
+        let err = read_snapshot(&newest).unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_is_a_hard_error_not_fresh_start() {
+        let dir = tmp_dir("allcorrupt");
+        write_snapshot(&dir, 7, &[0, 0, 2]).expect("write");
+        let path = snapshot_path(&dir, 7);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write");
+        // Older snapshots are pruned in normal operation, so treating
+        // "only snapshot corrupt" as "no snapshot" would silently lose
+        // every pre-snapshot edge.
+        let err = match load_latest(&dir) {
+            Err(e) => e.to_string(),
+            Ok(s) => panic!("must not recover: got {s:?}"),
+        };
+        assert!(err.contains("none decodable"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_leftovers_are_ignored_and_swept() {
+        let dir = tmp_dir("tmp");
+        std::fs::write(dir.join("snap-00000000000000000009.ccsnap.tmp"), b"partial")
+            .expect("write");
+        assert!(load_latest(&dir).expect("load").is_none());
+        assert!(!dir.join("snap-00000000000000000009.ccsnap.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_missing_dir_is_none() {
+        let dir = tmp_dir("empty");
+        assert!(load_latest(&dir).expect("load").is_none());
+        assert!(load_latest(&dir.join("nope")).expect("load").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_drops_only_older() {
+        let dir = tmp_dir("prune");
+        for e in [1u64, 4, 9] {
+            write_snapshot(&dir, e, &[0, 1]).expect("write");
+        }
+        prune_older_than(&dir, 9);
+        assert!(!snapshot_path(&dir, 1).exists());
+        assert!(!snapshot_path(&dir, 4).exists());
+        assert!(snapshot_path(&dir, 9).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,773 @@
+//! The write-ahead log: segmented, checksummed, group-committed batch
+//! durability for the connectivity service.
+//!
+//! ## Format
+//!
+//! A WAL directory holds numbered segments `wal-<seq>.log`. Each segment
+//! starts with the magic `CCWALS01` and is a sequence of
+//! [`cc_graph::io::binary`] records whose payloads are
+//! [`cc_graph::io::binary::encode_edge_batch`] — `(epoch, inserts)` for
+//! one applied service batch. Epochs are strictly increasing across
+//! records; a batch with no insertions still gets a (12-byte) record so
+//! the recovered epoch matches the served epoch exactly.
+//!
+//! ## Commit protocol
+//!
+//! The batch former appends one record per *formed* batch — the group
+//! commit: every client submission coalesced into that batch shares the
+//! one append (and at most one fsync). The append happens **before** the
+//! batch is applied to the engine and long before any client reply, so an
+//! acknowledged operation is always recoverable. How hard "recoverable"
+//! is depends on [`FsyncPolicy`]:
+//!
+//! - [`FsyncPolicy::Always`] — `fdatasync` after every record: survives
+//!   machine crashes.
+//! - [`FsyncPolicy::Batch`] — flushed to the OS after every record,
+//!   `fdatasync` at most every [`DurabilityConfig::group_sync_interval`]:
+//!   survives process kills outright; a machine crash can lose at most
+//!   the last interval of acknowledged batches.
+//! - [`FsyncPolicy::Off`] — flushed to the OS only: survives process
+//!   kills; machine-crash durability is whenever the kernel writes back.
+//!
+//! ## Recovery
+//!
+//! [`Wal::open`] scans existing segments in sequence order and returns
+//! every decodable `(epoch, edges)` record. A decode failure in the
+//! *final* segment is a torn tail — the crash interrupted an append — so
+//! the tail is dropped (reported in [`RecoveryReport`]) **and physically
+//! truncated away**, so the segment scans clean on every later restart
+//! even once it is no longer final. A decode failure in any earlier
+//! segment therefore cannot be explained by a crash mid-append and is
+//! surfaced as a typed [`WalError`] with segment and offset context.
+//! Appends always go to a fresh segment, never after a torn tail.
+
+use cc_graph::io::binary::{self, CodecError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Magic prefix of every WAL segment.
+pub const WAL_MAGIC: &[u8; 8] = b"CCWALS01";
+
+/// When to `fdatasync` the log (see the module docs for the guarantees).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every appended record.
+    Always,
+    /// Sync on a bounded time cadence (group commit across batches).
+    Batch,
+    /// Never sync; only flush to the OS.
+    Off,
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Batch => write!(f, "batch"),
+            FsyncPolicy::Off => write!(f, "off"),
+        }
+    }
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "batch" => Ok(FsyncPolicy::Batch),
+            "off" => Ok(FsyncPolicy::Off),
+            other => Err(format!("unknown fsync policy {other:?} (always|batch|off)")),
+        }
+    }
+}
+
+/// Configuration of the durability subsystem (WAL + durable snapshots).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments and snapshots; created on start.
+    pub dir: PathBuf,
+    /// Fsync discipline for the log.
+    pub fsync: FsyncPolicy,
+    /// Write a durable label snapshot every this many epochs (0 = only on
+    /// explicit `SNAPSHOT` requests). Snapshots bound recovery replay to
+    /// the WAL suffix past the snapshot epoch and let older segments be
+    /// pruned.
+    pub snapshot_every: u64,
+    /// Roll to a new segment once the active one exceeds this many bytes.
+    pub segment_max_bytes: u64,
+    /// Maximum time acknowledged batches ride the OS cache before a sync
+    /// under [`FsyncPolicy::Batch`].
+    pub group_sync_interval: Duration,
+}
+
+impl DurabilityConfig {
+    /// A config with production-shaped defaults: `batch` fsync, 64 MiB
+    /// segments, a 5 ms group-sync window, periodic snapshots off.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Batch,
+            snapshot_every: 0,
+            segment_max_bytes: 64 << 20,
+            group_sync_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// A durability failure, always carrying which file (and where in it)
+/// went wrong.
+#[derive(Debug)]
+pub enum WalError {
+    /// I/O failure against a specific path.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A codec failure inside a segment or snapshot, with byte offset
+    /// context from [`CodecError`].
+    Codec {
+        /// The file that failed to decode.
+        path: PathBuf,
+        /// The typed decode failure (carries the offset).
+        source: CodecError,
+    },
+    /// A structurally impossible WAL state (e.g. corruption in a sealed,
+    /// non-final segment).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { path, source } => {
+                write!(f, "wal i/o error on {}: {source}", path.display())
+            }
+            WalError::Codec { path, source } => {
+                write!(f, "wal decode error in {}: {source}", path.display())
+            }
+            WalError::Corrupt { path, detail } => {
+                write!(f, "wal corruption in {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err(path: &Path, source: std::io::Error) -> WalError {
+    WalError::Io { path: path.to_path_buf(), source }
+}
+
+/// A finished (no longer written) segment the log still tracks so a later
+/// snapshot can prune it.
+#[derive(Clone, Debug)]
+pub struct SealedSegment {
+    /// Segment sequence number.
+    pub seq: u64,
+    /// Segment file path.
+    pub path: PathBuf,
+    /// The highest record epoch in the segment (0 if it has no records).
+    pub last_epoch: u64,
+}
+
+/// What a [`Wal::open`] recovery scan found.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Decoded `(epoch, inserts)` records across all segments, in order.
+    pub batches: Vec<(u64, Vec<(u32, u32)>)>,
+    /// Segments scanned.
+    pub segments_scanned: usize,
+    /// Bytes dropped from a torn final-segment tail (0 for a clean log).
+    pub torn_bytes: u64,
+    /// Human description of the torn tail, when one was dropped.
+    pub torn_detail: Option<String>,
+    /// Where the torn tail started (segment path, byte offset); the
+    /// opener physically truncates it away so the segment, once no
+    /// longer final, scans clean on every later restart.
+    torn_at: Option<(PathBuf, u64)>,
+}
+
+/// Statistics of a live [`Wal`], one-line formatted for the `WALSTATS`
+/// protocol verb.
+#[derive(Clone, Debug)]
+pub struct WalStats {
+    /// Fsync policy in force.
+    pub policy: FsyncPolicy,
+    /// Segment files the log currently tracks (sealed + active).
+    pub segments: u64,
+    /// Records appended since open.
+    pub records: u64,
+    /// Bytes appended since open.
+    pub appended_bytes: u64,
+    /// `fdatasync` calls since open.
+    pub syncs: u64,
+    /// Highest epoch ever logged (including recovered history).
+    pub last_epoch: u64,
+    /// Bytes dropped as a torn tail by the opening recovery scan.
+    pub torn_bytes: u64,
+}
+
+impl std::fmt::Display for WalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "policy={} segments={} records={} bytes={} syncs={} last_epoch={} torn_bytes={}",
+            self.policy,
+            self.segments,
+            self.records,
+            self.appended_bytes,
+            self.syncs,
+            self.last_epoch,
+            self.torn_bytes,
+        )
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.log"))
+}
+
+fn parse_segment_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Scans one segment file, appending decoded records to `out` and
+/// returning the segment's last epoch. `is_last` selects torn-tail
+/// tolerance: errors in the final segment truncate (and describe) the
+/// tail; anywhere else they are fatal.
+fn scan_segment(path: &Path, is_last: bool, report: &mut RecoveryReport) -> Result<u64, WalError> {
+    let file = File::open(path).map_err(|e| io_err(path, e))?;
+    let file_len = file.metadata().map_err(|e| io_err(path, e))?.len();
+    let mut reader = BufReader::new(file);
+    let mut last_epoch = 0u64;
+    let torn = |report: &mut RecoveryReport, at: u64, e: &CodecError| {
+        report.torn_bytes += file_len.saturating_sub(at);
+        report.torn_detail =
+            Some(format!("{}: dropped torn tail at offset {at}: {e}", path.display()));
+        report.torn_at = Some((path.to_path_buf(), at));
+    };
+    if let Err(e) = binary::read_magic(&mut reader, WAL_MAGIC) {
+        // A file torn inside (or before) its magic is an interrupted
+        // segment creation; a complete-but-wrong magic is corruption.
+        if is_last && e.is_truncation() {
+            torn(report, 0, &e);
+            return Ok(0);
+        }
+        return Err(WalError::Codec { path: path.to_path_buf(), source: e });
+    }
+    let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
+    loop {
+        let at = records.offset();
+        match records.next() {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                let (epoch, edges) = binary::decode_edge_batch(&payload, at)
+                    .map_err(|e| WalError::Codec { path: path.to_path_buf(), source: e })?;
+                if epoch <= last_epoch {
+                    return Err(WalError::Corrupt {
+                        path: path.to_path_buf(),
+                        detail: format!(
+                            "record epoch {epoch} at offset {at} does not increase past \
+                             {last_epoch}"
+                        ),
+                    });
+                }
+                last_epoch = epoch;
+                report.batches.push((epoch, edges));
+            }
+            Err(e) => {
+                // Any malformed record ends the scan: a torn tail in the
+                // final segment is the crash we exist to absorb; the same
+                // bytes in a sealed segment mean the disk lied.
+                if is_last {
+                    torn(report, at, &e);
+                    return Ok(last_epoch);
+                }
+                return Err(WalError::Codec { path: path.to_path_buf(), source: e });
+            }
+        }
+    }
+    Ok(last_epoch)
+}
+
+/// A live, appendable write-ahead log.
+pub struct Wal {
+    cfg: DurabilityConfig,
+    file: BufWriter<File>,
+    seg_path: PathBuf,
+    seg_seq: u64,
+    seg_bytes: u64,
+    sealed: Vec<SealedSegment>,
+    last_epoch: u64,
+    records: u64,
+    appended_bytes: u64,
+    syncs: u64,
+    torn_bytes: u64,
+    last_sync: Instant,
+    /// Records flushed to the OS but not yet fsynced (Batch policy).
+    dirty: bool,
+    /// Set when a failed append could not be rolled back: the active
+    /// segment's contents are undefined past `seg_bytes`, so further
+    /// appends would be written after garbage and lost at recovery.
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens (creating the directory if needed) the log at `cfg.dir`:
+    /// scans every existing segment for recovery, then starts a fresh
+    /// active segment after the highest existing sequence number.
+    pub fn open(cfg: &DurabilityConfig) -> Result<(Wal, RecoveryReport), WalError> {
+        std::fs::create_dir_all(&cfg.dir).map_err(|e| io_err(&cfg.dir, e))?;
+        let mut seqs: Vec<u64> = std::fs::read_dir(&cfg.dir)
+            .map_err(|e| io_err(&cfg.dir, e))?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                parse_segment_seq(entry.file_name().to_str()?)
+            })
+            .collect();
+        seqs.sort_unstable();
+
+        let mut report = RecoveryReport::default();
+        let mut sealed = Vec::with_capacity(seqs.len());
+        let mut last_epoch = 0u64;
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = segment_path(&cfg.dir, seq);
+            let is_last = i + 1 == seqs.len();
+            let seg_last = scan_segment(&path, is_last, &mut report)?;
+            last_epoch = last_epoch.max(seg_last);
+            report.segments_scanned += 1;
+            sealed.push(SealedSegment { seq, path, last_epoch: seg_last });
+        }
+
+        // A torn tail was only *skipped* above; make the drop physical.
+        // The segment stops being the final one as soon as the fresh
+        // active segment below exists, and a sealed segment must scan
+        // clean on every later restart.
+        if let Some((torn_path, at)) = &report.torn_at {
+            if *at == 0 {
+                std::fs::remove_file(torn_path).map_err(|e| io_err(torn_path, e))?;
+                sealed.retain(|s| &s.path != torn_path);
+            } else {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(torn_path)
+                    .map_err(|e| io_err(torn_path, e))?;
+                f.set_len(*at).map_err(|e| io_err(torn_path, e))?;
+                f.sync_data().map_err(|e| io_err(torn_path, e))?;
+            }
+        }
+
+        let seg_seq = seqs.last().map_or(0, |s| s + 1);
+        let seg_path = segment_path(&cfg.dir, seg_seq);
+        let mut file = BufWriter::new(
+            OpenOptions::new()
+                .create_new(true)
+                .write(true)
+                .open(&seg_path)
+                .map_err(|e| io_err(&seg_path, e))?,
+        );
+        binary::write_magic(&mut file, WAL_MAGIC).map_err(|e| io_err(&seg_path, e))?;
+        file.flush().map_err(|e| io_err(&seg_path, e))?;
+
+        let wal = Wal {
+            cfg: cfg.clone(),
+            file,
+            seg_path,
+            seg_seq,
+            seg_bytes: binary::MAGIC_LEN as u64,
+            sealed,
+            last_epoch,
+            records: 0,
+            appended_bytes: 0,
+            syncs: 0,
+            torn_bytes: report.torn_bytes,
+            last_sync: Instant::now(),
+            dirty: false,
+            poisoned: false,
+        };
+        Ok((wal, report))
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.syncs += 1;
+        self.last_sync = Instant::now();
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Restores the active segment to its last known-good length after a
+    /// failed append: the partial (or durably-indeterminate) record is
+    /// physically truncated away, so the next append — which reuses the
+    /// rejected batch's epoch — never lands after garbage or a duplicate.
+    /// If the restore itself fails, the log is poisoned: every later
+    /// append errors out instead of silently writing records recovery
+    /// would drop.
+    fn restore_active_segment(&mut self) {
+        let res = (|| -> std::io::Result<()> {
+            let file = OpenOptions::new().write(true).open(&self.seg_path)?;
+            // Swap the failed writer out and dismantle it WITHOUT
+            // flushing: its buffer may still hold the rejected record's
+            // bytes, and a Drop-time re-flush after the truncate below
+            // would resurrect a batch whose clients were told Err.
+            let failed = std::mem::replace(&mut self.file, BufWriter::new(file));
+            let _ = failed.into_parts();
+            self.file.get_ref().set_len(self.seg_bytes)?;
+            std::io::Seek::seek(self.file.get_mut(), std::io::SeekFrom::End(0))?;
+            Ok(())
+        })();
+        if res.is_err() {
+            self.poisoned = true;
+        }
+    }
+
+    /// Appends one batch record (the group commit for every submission in
+    /// the batch) and makes it as durable as the policy promises. The
+    /// bytes always reach the OS before this returns, so acknowledged
+    /// batches survive a process kill under every policy. On failure the
+    /// caller's batch is rejected and the segment is physically rolled
+    /// back to its pre-append length, so the retried epoch never lands
+    /// after garbage or a duplicate; an unrecoverable rollback poisons
+    /// the log (all later appends fail fast).
+    pub fn append(&mut self, epoch: u64, edges: &[(u32, u32)]) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Corrupt {
+                path: self.seg_path.clone(),
+                detail: "log is poisoned after an unrecoverable append failure; \
+                         restart the service to recover from disk"
+                    .into(),
+            });
+        }
+        let payload = binary::encode_edge_batch(epoch, edges);
+        let res = (|| -> std::io::Result<u64> {
+            let written = binary::append_record(&mut self.file, &payload)?;
+            self.file.flush()?;
+            match self.cfg.fsync {
+                FsyncPolicy::Always => self.sync()?,
+                FsyncPolicy::Batch => {
+                    self.dirty = true;
+                    if self.last_sync.elapsed() >= self.cfg.group_sync_interval {
+                        self.sync()?;
+                    }
+                }
+                FsyncPolicy::Off => {}
+            }
+            Ok(written)
+        })();
+        let written = match res {
+            Ok(w) => w,
+            Err(e) => {
+                self.restore_active_segment();
+                return Err(io_err(&self.seg_path.clone(), e));
+            }
+        };
+        self.seg_bytes += written;
+        self.appended_bytes += written;
+        self.records += 1;
+        self.last_epoch = epoch;
+        if self.seg_bytes >= self.cfg.segment_max_bytes {
+            self.roll()?;
+        }
+        Ok(())
+    }
+
+    /// Syncs pending bytes if the group-commit window has lapsed with no
+    /// new append to piggyback on (the batcher calls this while idle, so
+    /// the [`FsyncPolicy::Batch`] loss bound holds even when traffic
+    /// pauses).
+    pub fn sync_if_due(&mut self) -> Result<(), WalError> {
+        if self.dirty
+            && self.cfg.fsync == FsyncPolicy::Batch
+            && self.last_sync.elapsed() >= self.cfg.group_sync_interval
+        {
+            self.sync().map_err(|e| io_err(&self.seg_path.clone(), e))?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and syncs the active segment regardless of policy (the
+    /// `FLUSH` protocol verb, and shutdown).
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        self.sync().map_err(|e| io_err(&self.seg_path.clone(), e))
+    }
+
+    /// Seals the active segment and starts the next one. Called on size
+    /// overflow and at durable snapshots (so pruning can retire whole
+    /// segments).
+    pub fn roll(&mut self) -> Result<(), WalError> {
+        self.sync().map_err(|e| io_err(&self.seg_path.clone(), e))?;
+        self.sealed.push(SealedSegment {
+            seq: self.seg_seq,
+            path: self.seg_path.clone(),
+            last_epoch: self.last_epoch,
+        });
+        self.seg_seq += 1;
+        self.seg_path = segment_path(&self.cfg.dir, self.seg_seq);
+        let mut file = BufWriter::new(
+            OpenOptions::new()
+                .create_new(true)
+                .write(true)
+                .open(&self.seg_path)
+                .map_err(|e| io_err(&self.seg_path, e))?,
+        );
+        binary::write_magic(&mut file, WAL_MAGIC).map_err(|e| io_err(&self.seg_path, e))?;
+        file.flush().map_err(|e| io_err(&self.seg_path, e))?;
+        self.file = file;
+        self.seg_bytes = binary::MAGIC_LEN as u64;
+        Ok(())
+    }
+
+    /// Deletes sealed segments whose every record is covered by a durable
+    /// snapshot at `epoch`; returns how many were removed. Best-effort:
+    /// an undeletable file stays tracked and is retried at the next
+    /// snapshot.
+    pub fn prune_covered_by(&mut self, epoch: u64) -> usize {
+        let mut removed = 0;
+        self.sealed.retain(|seg| {
+            if seg.last_epoch <= epoch && std::fs::remove_file(&seg.path).is_ok() {
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            policy: self.cfg.fsync,
+            segments: self.sealed.len() as u64 + 1,
+            records: self.records,
+            appended_bytes: self.appended_bytes,
+            syncs: self.syncs,
+            last_epoch: self.last_epoch,
+            torn_bytes: self.torn_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        crate::scratch_dir(&format!("wal_{tag}"))
+    }
+
+    fn small_cfg(dir: &Path) -> DurabilityConfig {
+        DurabilityConfig { fsync: FsyncPolicy::Off, ..DurabilityConfig::new(dir) }
+    }
+
+    #[test]
+    fn append_and_recover_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let cfg = small_cfg(&dir);
+        {
+            let (mut wal, rep) = Wal::open(&cfg).expect("open");
+            assert!(rep.batches.is_empty());
+            wal.append(1, &[(0, 1), (2, 3)]).expect("append");
+            wal.append(2, &[]).expect("append empty");
+            wal.append(3, &[(1, 2)]).expect("append");
+            wal.flush().expect("flush");
+            assert_eq!(wal.stats().records, 3);
+            assert_eq!(wal.stats().last_epoch, 3);
+        }
+        let (wal, rep) = Wal::open(&cfg).expect("reopen");
+        assert_eq!(
+            rep.batches,
+            vec![(1, vec![(0, 1), (2, 3)]), (2, vec![]), (3, vec![(1, 2)])]
+        );
+        assert_eq!(rep.torn_bytes, 0);
+        assert_eq!(wal.stats().last_epoch, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_in_final_segment_is_dropped() {
+        let dir = tmp_dir("torn");
+        let cfg = small_cfg(&dir);
+        {
+            let (mut wal, _) = Wal::open(&cfg).expect("open");
+            wal.append(1, &[(0, 1)]).expect("append");
+            wal.append(2, &[(2, 3)]).expect("append");
+            wal.flush().expect("flush");
+        }
+        // Chop 5 bytes off the only segment: record 2 becomes a torn tail.
+        let seg = segment_path(&dir, 0);
+        let bytes = std::fs::read(&seg).expect("read");
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).expect("truncate");
+        let (wal, rep) = Wal::open(&cfg).expect("reopen");
+        assert_eq!(rep.batches, vec![(1, vec![(0, 1)])]);
+        // Record 2 is 8 (frame) + 20 (epoch + count + 1 edge) bytes; 5
+        // were chopped, so 23 torn bytes remain on disk and are dropped.
+        assert_eq!(rep.torn_bytes, 23);
+        assert!(rep.torn_detail.as_deref().expect("detail").contains("offset"));
+        assert!(wal.stats().torn_bytes > 0);
+        // The drop was physical: the torn segment is no longer final
+        // after this open created a fresh one, yet every later restart
+        // must keep scanning it clean.
+        drop(wal);
+        for round in 0..2 {
+            let (_, rep) = Wal::open(&cfg).expect("torn tail must not brick later restarts");
+            assert_eq!(rep.batches, vec![(1, vec![(0, 1)])], "round {round}");
+            assert_eq!(rep.torn_bytes, 0, "round {round}: tail was truncated away");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_magic_segment_is_removed_not_resurfaced() {
+        let dir = tmp_dir("torn_magic");
+        let cfg = small_cfg(&dir);
+        {
+            let (mut wal, _) = Wal::open(&cfg).expect("open");
+            wal.append(1, &[(0, 1)]).expect("append");
+        }
+        // A second segment torn inside its magic (creation crashed).
+        std::fs::write(segment_path(&dir, 1), b"CCW").expect("write");
+        let (_, rep) = Wal::open(&cfg).expect("open tolerates torn magic");
+        assert_eq!(rep.batches, vec![(1, vec![(0, 1)])]);
+        assert!(rep.torn_bytes > 0);
+        assert!(!segment_path(&dir, 1).exists(), "torn-magic file removed");
+        let (_, rep) = Wal::open(&cfg).expect("and later restarts stay clean");
+        assert_eq!(rep.torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_in_sealed_segment_is_fatal_with_context() {
+        let dir = tmp_dir("sealed");
+        let mut cfg = small_cfg(&dir);
+        cfg.segment_max_bytes = 1; // roll after every record
+        {
+            let (mut wal, _) = Wal::open(&cfg).expect("open");
+            wal.append(1, &[(0, 1)]).expect("append");
+            wal.append(2, &[(2, 3)]).expect("append");
+        }
+        // Flip a payload byte in the FIRST (sealed, non-final) segment.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&seg, &bytes).expect("write");
+        let msg = match Wal::open(&cfg) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("sealed-segment corruption must be fatal"),
+        };
+        assert!(msg.contains("wal-00000000.log"), "{msg}");
+        assert!(msg.contains("offset"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_roll_and_prune() {
+        let dir = tmp_dir("roll");
+        let mut cfg = small_cfg(&dir);
+        cfg.segment_max_bytes = 64; // a couple of records per segment
+        let (mut wal, _) = Wal::open(&cfg).expect("open");
+        for e in 1..=10u64 {
+            wal.append(e, &[(e as u32, e as u32 + 1)]).expect("append");
+        }
+        let stats = wal.stats();
+        assert!(stats.segments > 2, "expected several segments, got {}", stats.segments);
+        // A snapshot at epoch 10 covers everything sealed.
+        let sealed_before = stats.segments - 1;
+        let removed = wal.prune_covered_by(10);
+        assert_eq!(removed as u64, sealed_before);
+        // Reopen: only the suffix past the prune point remains on disk.
+        drop(wal);
+        let (_, rep) = Wal::open(&cfg).expect("reopen");
+        assert!(rep.batches.iter().all(|(e, _)| *e > 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_spans_multiple_segments_in_order() {
+        let dir = tmp_dir("multi");
+        let mut cfg = small_cfg(&dir);
+        cfg.segment_max_bytes = 48;
+        {
+            let (mut wal, _) = Wal::open(&cfg).expect("open");
+            for e in 1..=7u64 {
+                wal.append(e, &[(0, e as u32)]).expect("append");
+            }
+        }
+        let (_, rep) = Wal::open(&cfg).expect("reopen");
+        let epochs: Vec<u64> = rep.batches.iter().map(|(e, _)| *e).collect();
+        assert_eq!(epochs, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert!(rep.segments_scanned > 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policies_parse_and_sync_counts_move() {
+        assert_eq!("always".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Always);
+        assert_eq!("batch".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Batch);
+        assert_eq!("off".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Off);
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+
+        let dir = tmp_dir("fsync");
+        let cfg = DurabilityConfig { fsync: FsyncPolicy::Always, ..DurabilityConfig::new(&dir) };
+        let (mut wal, _) = Wal::open(&cfg).expect("open");
+        wal.append(1, &[(0, 1)]).expect("append");
+        wal.append(2, &[(1, 2)]).expect("append");
+        assert_eq!(wal.stats().syncs, 2);
+
+        let dir2 = tmp_dir("fsync_off");
+        let (mut wal, _) = Wal::open(&small_cfg(&dir2)).expect("open");
+        wal.append(1, &[(0, 1)]).expect("append");
+        assert_eq!(wal.stats().syncs, 0);
+        wal.flush().expect("explicit flush still syncs");
+        assert_eq!(wal.stats().syncs, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn idle_sync_bounds_the_batch_window() {
+        let dir = tmp_dir("idle");
+        let cfg = DurabilityConfig {
+            fsync: FsyncPolicy::Batch,
+            group_sync_interval: Duration::from_millis(1),
+            ..DurabilityConfig::new(&dir)
+        };
+        let (mut wal, _) = Wal::open(&cfg).expect("open");
+        // First append starts with a fresh window: no sync yet, bytes
+        // dirty in the OS cache.
+        wal.append(1, &[(0, 1)]).expect("append");
+        let syncs_after_append = wal.stats().syncs;
+        std::thread::sleep(Duration::from_millis(3));
+        // The idle tick syncs once the window lapses with no new append
+        // to piggyback on...
+        wal.sync_if_due().expect("idle sync");
+        assert_eq!(wal.stats().syncs, syncs_after_append + 1);
+        // ...and is a no-op while clean.
+        wal.sync_if_due().expect("idle sync");
+        assert_eq!(wal.stats().syncs, syncs_after_append + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_line_is_parseable() {
+        let dir = tmp_dir("stats");
+        let (wal, _) = Wal::open(&small_cfg(&dir)).expect("open");
+        let line = wal.stats().to_string();
+        for key in ["policy=", "segments=", "records=", "syncs=", "last_epoch=", "torn_bytes="] {
+            assert!(line.contains(key), "{line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,11 +1,74 @@
 //! End-to-end tests: a live service under concurrent multi-client load,
-//! in-process and over TCP, validated against the sequential oracle.
+//! in-process and over TCP, validated against the sequential oracle —
+//! including full crash drills that SIGKILL a real `connectit-serve`
+//! process and verify recovery from its `--wal-dir`.
 
 use cc_parallel::SplitMix64;
-use cc_server::{serve, ExecMode, Service, ServiceConfig, TcpClient};
+use cc_server::{serve, DurabilityConfig, ExecMode, FsyncPolicy, Service, ServiceConfig, TcpClient};
 use cc_unionfind::{FindKind, SeqUnionFind, SpliceKind, UfSpec, UniteKind};
 use connectit::Update;
-use std::time::Duration;
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    cc_server::scratch_dir(&format!("e2e_{tag}"))
+}
+
+/// Spawns a real `connectit-serve` process and parses its startup line;
+/// keep the returned reader alive (the server's final prints need a live
+/// pipe) and drain it before waiting on the child.
+fn spawn_serve(args: &[&str]) -> (Child, SocketAddr, u64, BufReader<ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_connectit-serve"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn connectit-serve");
+    let mut reader = BufReader::new(child.stdout.take().expect("serve stdout"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("serve startup line");
+    assert!(line.contains("listening on"), "unexpected startup line: {line:?}");
+    let mut it = line.split_whitespace();
+    let addr: SocketAddr = it
+        .by_ref()
+        .skip_while(|t| *t != "on")
+        .nth(1)
+        .expect("addr token")
+        .parse()
+        .expect("addr parses");
+    let recovered_epoch = line
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("recovered_epoch=")?.parse().ok())
+        .unwrap_or(0);
+    (child, addr, recovered_epoch, reader)
+}
+
+/// Runs `connectit-loadgen` with the given args; returns (success,
+/// stdout).
+fn run_loadgen(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_connectit-loadgen"))
+        .args(args)
+        .stderr(Stdio::inherit())
+        .output()
+        .expect("run connectit-loadgen");
+    (out.status.success(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// SIGKILLs a serve child — the crash under test — and reaps it.
+fn hard_kill(mut child: Child) {
+    child.kill().expect("SIGKILL serve");
+    child.wait().expect("reap serve");
+}
+
+fn drain_and_wait(mut child: Child, mut reader: BufReader<ChildStdout>) {
+    let mut rest = String::new();
+    let _ = reader.read_to_string(&mut rest);
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited non-zero; tail: {rest}");
+}
 
 /// Drives `clients` concurrent closed loops against `svc`, each with a
 /// private vertex slice and its own oracle; returns (queries, mismatches).
@@ -216,6 +279,203 @@ fn tcp_protocol_end_to_end() {
     c.shutdown_server().expect("shutdown");
     server.wait_shutdown();
     svc.shutdown();
+}
+
+#[test]
+fn tcp_durability_verbs_end_to_end() {
+    let dir = tmp_dir("verbs");
+    let mut svc = Service::start(ServiceConfig {
+        n: 256,
+        shards: 2,
+        batch_max_wait: Duration::from_micros(50),
+        durability: Some(DurabilityConfig {
+            fsync: FsyncPolicy::Off,
+            ..DurabilityConfig::new(&dir)
+        }),
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let mut server = serve(&svc, "127.0.0.1:0").expect("bind");
+    let mut c = TcpClient::connect(server.local_addr()).expect("connect");
+    c.insert(1, 2).expect("insert");
+    c.flush_wal().expect("FLUSH");
+    let snap_epoch = c.durable_snapshot().expect("SNAPSHOT");
+    assert!(snap_epoch >= 1);
+    let stats = c.wal_stats_line().expect("WALSTATS");
+    for key in ["policy=off", "records=", "snap_epoch=", "last_error=-"] {
+        assert!(stats.contains(key), "{stats}");
+    }
+    server.stop();
+    svc.shutdown();
+
+    // The same verbs against a WAL-less server are typed errors, and the
+    // connection survives them.
+    let mut svc = Service::start(ServiceConfig { n: 16, ..ServiceConfig::default() })
+        .expect("service");
+    let mut server = serve(&svc, "127.0.0.1:0").expect("bind");
+    let mut c = TcpClient::connect(server.local_addr()).expect("connect");
+    for r in [c.flush_wal().unwrap_err(), c.durable_snapshot().unwrap_err()] {
+        assert!(r.to_string().contains("durability is not enabled"), "{r}");
+    }
+    assert!(c.wal_stats_line().is_err());
+    c.ping().expect("connection survives durability ERRs");
+    server.stop();
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The deterministic crash drill: loadgen checkpoints its oracle with
+/// `--kill-after`, the server is SIGKILLed and restarted from the same
+/// `--wal-dir`, and the `--resume` run re-validates the checkpoint across
+/// the restart. Zero mismatches and a monotone epoch are required.
+#[test]
+fn binaries_kill_restart_checkpoint_resume() {
+    let dir = tmp_dir("drill");
+    let wal = dir.join("wal");
+    let wal = wal.to_str().expect("utf8 path");
+    let state = dir.join("lg.state");
+    let state = state.to_str().expect("utf8 path");
+    let serve_args = |port: &str| {
+        vec![
+            "--n".to_string(),
+            "20000".into(),
+            "--shards".into(),
+            "4".into(),
+            "--port".into(),
+            port.to_string(),
+            "--wal-dir".into(),
+            wal.to_string(),
+            "--fsync".into(),
+            "batch".into(),
+            "--snapshot-every".into(),
+            "8".into(),
+        ]
+    };
+    let args0 = serve_args("0");
+    let (child, addr, recovered, reader) =
+        spawn_serve(&args0.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(recovered, 0, "fresh wal dir");
+    drop(reader);
+
+    let addr_s = addr.to_string();
+    let (ok, out) = run_loadgen(&[
+        "--mode", "tcp", "--addr", &addr_s, "--n", "20000", "--clients", "2", "--batches",
+        "24", "--batch-ops", "400", "--kill-after", "12", "--state", state,
+    ]);
+    assert!(ok, "checkpoint phase failed:\n{out}");
+    assert!(out.contains(" mismatches=0"), "{out}");
+
+    // Observe the epoch the durable history reached, then crash.
+    let epoch_before = {
+        let mut c = TcpClient::connect(addr).expect("connect");
+        c.epoch().expect("epoch")
+    };
+    assert!(epoch_before > 0);
+    hard_kill(child);
+
+    // Restart from the same wal dir on the same port.
+    let port_s = addr.port().to_string();
+    let args1 = serve_args(&port_s);
+    let (child, addr2, recovered, reader) =
+        spawn_serve(&args1.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(addr2, addr);
+    assert!(
+        recovered >= epoch_before,
+        "recovered epoch {recovered} regressed below the observed {epoch_before}"
+    );
+
+    // Resume: restore the oracle checkpoint, sweep-validate it against
+    // the recovered server, then finish the remaining batches. (No
+    // --shutdown: the epoch check below needs the server answering.)
+    let (ok, out) = run_loadgen(&[
+        "--mode", "tcp", "--addr", &addr_s, "--n", "20000", "--clients", "2", "--batches",
+        "24", "--batch-ops", "400", "--resume", "--state", state,
+    ]);
+    assert!(ok, "resume phase failed:\n{out}");
+    assert!(out.contains(" mismatches=0"), "{out}");
+    let sweeps: u64 = out
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("sweep_checks=")?.parse().ok())
+        .expect("sweep_checks in output");
+    assert!(sweeps > 0, "resume must re-validate the restored oracle:\n{out}");
+    let mut c = TcpClient::connect(addr).expect("server still serving");
+    let epoch_after = c.epoch().expect("epoch");
+    assert!(epoch_after >= epoch_before, "epoch regressed across the restart");
+    c.shutdown_server().expect("shutdown");
+    drain_and_wait(child, reader);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The mid-load crash drill: the server is SIGKILLed while loadgen is
+/// actively driving it; `--resume` reconnects, resubmits the in-flight
+/// insertions, and the run finishes with zero mismatches.
+#[test]
+fn binaries_kill_mid_load_and_reconnect() {
+    let dir = tmp_dir("midload");
+    let wal = dir.join("wal");
+    let wal = wal.to_str().expect("utf8 path").to_string();
+    let base = vec![
+        "--n".to_string(),
+        "8000".into(),
+        "--shards".into(),
+        "4".into(),
+        "--wal-dir".into(),
+        wal,
+        "--fsync".into(),
+        "batch".into(),
+    ];
+    let mut args0: Vec<String> = base.clone();
+    args0.extend(["--port".into(), "0".into()]);
+    let (child, addr, _, reader) =
+        spawn_serve(&args0.iter().map(String::as_str).collect::<Vec<_>>());
+    drop(reader);
+
+    // Loadgen runs in the background with reconnect-resilience on.
+    let addr_s = addr.to_string();
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_connectit-loadgen"))
+        .args([
+            "--mode", "tcp", "--addr", &addr_s, "--n", "8000", "--clients", "2", "--batches",
+            "300", "--batch-ops", "150", "--resume", "--retry-secs", "60",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn loadgen");
+
+    // Wait until the load is demonstrably mid-flight, then crash.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let epoch_before = loop {
+        assert!(Instant::now() < deadline, "load never reached epoch 5");
+        if let Ok(mut c) = TcpClient::connect(addr) {
+            if let Ok(e) = c.epoch() {
+                if e >= 5 {
+                    break e;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    hard_kill(child);
+
+    let mut args1: Vec<String> = base.clone();
+    args1.extend(["--port".into(), addr.port().to_string()]);
+    let (child, _, recovered, reader) =
+        spawn_serve(&args1.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(
+        recovered >= epoch_before,
+        "recovered epoch {recovered} regressed below the observed {epoch_before}"
+    );
+
+    let out = loadgen.wait_with_output().expect("loadgen exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "mid-load drill failed:\n{stdout}");
+    assert!(stdout.contains(" mismatches=0"), "{stdout}");
+
+    let mut c = TcpClient::connect(addr).expect("connect");
+    assert!(c.epoch().expect("epoch") >= epoch_before);
+    c.shutdown_server().expect("shutdown");
+    drain_and_wait(child, reader);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,266 @@
+//! Crash-point property tests for the durability subsystem: random op
+//! sequences are served through a durable service, then the WAL is
+//! truncated at **every** record boundary (and at points mid-record,
+//! including mid-magic) and recovered. For each crash point the recovered
+//! partition must equal the sequential oracle over exactly the durable
+//! prefix — torn tails are detected and dropped, never replayed — and
+//! the resumed epoch must match the number of surviving batches.
+//!
+//! Truncation points (and the epoch each surviving record carries) are
+//! computed here with an independent walk of the segment frames, so a
+//! recovery scan that kept one record too many or too few fails against
+//! the oracle, not against itself.
+
+use cc_graph::io::binary;
+use cc_graph::stats::same_partition;
+use cc_server::{DurabilityConfig, FsyncPolicy, Service, ServiceConfig};
+use cc_unionfind::SeqUnionFind;
+use connectit::Update;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    cc_server::scratch_dir(&format!("prop_rec_{tag}"))
+}
+
+fn durable_cfg(n: usize, dir: &Path, snapshot_every: u64) -> ServiceConfig {
+    ServiceConfig {
+        n,
+        shards: 2,
+        batch_max_wait: Duration::from_micros(10),
+        durability: Some(DurabilityConfig {
+            fsync: FsyncPolicy::Off,
+            snapshot_every,
+            ..DurabilityConfig::new(dir)
+        }),
+        ..ServiceConfig::default()
+    }
+}
+
+/// One record of a WAL segment, as seen by an independent frame walk.
+struct Extent {
+    start: u64,
+    end: u64,
+    epoch: u64,
+}
+
+/// Walks a segment's frames without the recovery code path.
+fn walk_segment(path: &Path) -> (Vec<Extent>, u64) {
+    let bytes = std::fs::read(path).expect("segment readable");
+    let mut cur = std::io::Cursor::new(&bytes[binary::MAGIC_LEN..]);
+    let mut r = binary::RecordReader::new(&mut cur, binary::MAGIC_LEN as u64);
+    let mut extents = Vec::new();
+    loop {
+        let start = r.offset();
+        match r.next().expect("untruncated segment decodes") {
+            None => break,
+            Some(payload) => {
+                let (epoch, _) = binary::decode_edge_batch(&payload, start).expect("edge batch");
+                extents.push(Extent { start, end: r.offset(), epoch });
+            }
+        }
+    }
+    (extents, bytes.len() as u64)
+}
+
+/// Sorted WAL segment paths in `dir`.
+fn segment_paths(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("wal dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Newest durable snapshot epoch in `dir` (by filename), 0 if none.
+fn latest_snapshot_epoch(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .expect("wal dir")
+        .flatten()
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()?
+                .strip_prefix("snap-")?
+                .strip_suffix(".ccsnap")?
+                .parse()
+                .ok()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Oracle labeling after the inserts of batches `0..prefix`.
+fn oracle_prefix(n: usize, batches: &[Vec<Update>], prefix: usize) -> Vec<u32> {
+    let mut oracle = SeqUnionFind::new(n);
+    for batch in &batches[..prefix] {
+        for op in batch {
+            if let Update::Insert(u, v) = *op {
+                oracle.union(u, v);
+            }
+        }
+    }
+    oracle.labels()
+}
+
+/// Strategy: vertex count, a flat op script, a batch size to cut it
+/// into, and a durable-snapshot cadence (0 = none).
+#[allow(clippy::type_complexity)]
+fn arb_case() -> impl Strategy<Value = (usize, Vec<(bool, u32, u32)>, usize, u64)> {
+    (8usize..48).prop_flat_map(|n| {
+        let op = (any::<bool>(), 0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(op, 20..160), 1usize..25, 0u64..4)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn any_crash_point_recovers_exactly_the_durable_prefix(
+        (n, script, batch_size, snapshot_every) in arb_case(),
+    ) {
+        let base = tmp_dir("run");
+        let wal_dir = base.join("wal");
+        let batches: Vec<Vec<Update>> = script
+            .chunks(batch_size)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&(q, u, v)| if q { Update::Query(u, v) } else { Update::Insert(u, v) })
+                    .collect()
+            })
+            .collect();
+
+        // Serve the whole script, one submission (= one batch = one WAL
+        // record) at a time.
+        {
+            let mut svc = Service::start(durable_cfg(n, &wal_dir, snapshot_every))
+                .expect("durable service");
+            let client = svc.client();
+            for batch in &batches {
+                client.submit(batch.clone()).expect("submit");
+            }
+            prop_assert_eq!(client.epoch(), batches.len() as u64,
+                "sequential submissions must map 1:1 to batches");
+            svc.shutdown();
+        }
+
+        // Independent frame walk of the final segment; earlier segments
+        // (sealed at durable snapshots) stay intact across every crash
+        // point, so their last epoch is part of every durable prefix.
+        let segments = segment_paths(&wal_dir);
+        let last_seg = segments.last().expect("at least one segment").clone();
+        let (extents, file_len) = walk_segment(&last_seg);
+        let earlier_last_epoch: u64 = segments[..segments.len() - 1]
+            .iter()
+            .map(|p| walk_segment(p).0.last().map_or(0, |e| e.epoch))
+            .max()
+            .unwrap_or(0);
+        let snap_epoch = latest_snapshot_epoch(&wal_dir);
+        let last_bytes = std::fs::read(&last_seg).expect("read last segment");
+
+        // Crash points: inside the magic, at the empty-segment boundary,
+        // at every record boundary, and twice inside every record.
+        let mut cuts: Vec<u64> = vec![3.min(file_len), binary::MAGIC_LEN as u64];
+        for e in &extents {
+            cuts.push(e.end);
+            cuts.push(e.start + 1);
+            cuts.push(e.start + (e.end - e.start) / 2);
+        }
+        cuts.retain(|&c| c <= file_len);
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        // A final segment holding records yields boundary + two
+        // mid-record cuts per record; one rolled empty at the last
+        // snapshot still yields the mid-magic and clean-empty cuts.
+        prop_assert!(
+            cuts.len() >= if extents.is_empty() { 2 } else { 4 },
+            "every case must exercise several crash points"
+        );
+        let boundary_cuts: std::collections::HashSet<u64> =
+            std::iter::once(binary::MAGIC_LEN as u64).chain(extents.iter().map(|e| e.end)).collect();
+
+        for (ci, &cut) in cuts.iter().enumerate() {
+            // Rebuild the directory with the final segment truncated at
+            // the crash point.
+            let crash_dir = base.join(format!("crash-{ci}"));
+            std::fs::create_dir_all(&crash_dir).expect("mkdir");
+            for entry in std::fs::read_dir(&wal_dir).expect("dir").flatten() {
+                let from = entry.path();
+                let to = crash_dir.join(entry.file_name());
+                if from == last_seg {
+                    std::fs::write(&to, &last_bytes[..cut as usize]).expect("truncate");
+                } else {
+                    std::fs::copy(&from, &to).expect("copy");
+                }
+            }
+
+            // The durable prefix: everything in earlier segments and the
+            // snapshot, plus final-segment records wholly before the cut.
+            let survived = extents.iter().filter(|e| e.end <= cut).map(|e| e.epoch).max();
+            let durable_epoch =
+                survived.unwrap_or(0).max(earlier_last_epoch).max(snap_epoch);
+            let expect = oracle_prefix(n, &batches, durable_epoch as usize);
+
+            let mut svc = Service::start(durable_cfg(n, &crash_dir, 0))
+                .expect("recovery from a crash point never fails");
+            let client = svc.client();
+            prop_assert_eq!(client.epoch(), durable_epoch, "cut at byte {}", cut);
+            let recovered = client.snapshot_now();
+            prop_assert!(
+                same_partition(&expect, &recovered.labels),
+                "cut at byte {} (of {}): recovered partition diverges from the oracle \
+                 over the {}-batch durable prefix",
+                cut,
+                file_len,
+                durable_epoch
+            );
+            // A mid-record cut is a torn tail and must be reported as
+            // one; a boundary cut is clean.
+            let stats = client.wal_stats().expect("wal stats");
+            let torn = !boundary_cuts.contains(&cut);
+            prop_assert_eq!(
+                stats.contains("torn_bytes=0 "),
+                !torn,
+                "cut at byte {}: {}",
+                cut,
+                stats
+            );
+            svc.shutdown();
+
+            // Second restart from the same directory: the torn tail was
+            // physically truncated by the first recovery, so the (now
+            // sealed) segment must keep scanning clean and the state
+            // must be identical — a crash survivor that can only boot
+            // once is not recovered.
+            let mut svc = Service::start(durable_cfg(n, &crash_dir, 0))
+                .expect("second restart after a crash must also succeed");
+            let client = svc.client();
+            prop_assert_eq!(client.epoch(), durable_epoch, "second restart, cut {}", cut);
+            prop_assert!(
+                same_partition(&expect, &client.snapshot_now().labels),
+                "cut at byte {}: second restart diverged",
+                cut
+            );
+            let stats = client.wal_stats().expect("wal stats");
+            prop_assert!(
+                stats.contains("torn_bytes=0 "),
+                "cut at byte {}: tail must have been truncated by the first recovery: {}",
+                cut,
+                stats
+            );
+            svc.shutdown();
+            std::fs::remove_dir_all(&crash_dir).expect("cleanup");
+        }
+        std::fs::remove_dir_all(&base).expect("cleanup");
+    }
+}

@@ -467,6 +467,81 @@ mod tests {
     }
 
     #[test]
+    fn validate_spells_the_rule_for_every_invalid_combination() {
+        // Non-Rem families reject splices by name.
+        for unite in [UniteKind::Async, UniteKind::Hooks, UniteKind::Early] {
+            let err = UfSpec { unite, find: FindKind::Naive, splice: Some(SpliceKind::SplitOne) }
+                .validate()
+                .unwrap_err();
+            assert!(err.contains(unite.name()), "{err}");
+            assert!(err.contains("no splice"), "{err}");
+            // ...and two-try splitting is JTB-only.
+            let err = UfSpec::new(unite, FindKind::TwoTrySplit).validate().unwrap_err();
+            assert!(err.contains("Union-JTB"), "{err}");
+        }
+        // Rem families demand a splice, spelling out the choices.
+        for unite in [UniteKind::RemCas, UniteKind::RemLock] {
+            let err = UfSpec::new(unite, FindKind::Halve).validate().unwrap_err();
+            assert!(err.contains(unite.name()), "{err}");
+            assert!(err.contains("split-one, halve-one, or splice"), "{err}");
+            // Two-try with a splice still names the JTB-only rule.
+            let err = UfSpec::rem(unite, SpliceKind::SplitOne, FindKind::TwoTrySplit)
+                .validate()
+                .unwrap_err();
+            assert!(err.contains("Union-JTB"), "{err}");
+            // The one excluded splice/find pairing cites the appendix.
+            let err = UfSpec::rem(unite, SpliceKind::Splice, FindKind::Compress)
+                .validate()
+                .unwrap_err();
+            assert!(err.contains("SpliceAtomic"), "{err}");
+            assert!(err.contains("Appendix B.2.3"), "{err}");
+        }
+        // JTB rejects splices and non-simple/two-try finds.
+        let err = UfSpec::rem(UniteKind::Jtb, SpliceKind::Splice, FindKind::Naive)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("Union-JTB takes no splice"), "{err}");
+        for find in [FindKind::Split, FindKind::Halve, FindKind::Compress] {
+            let err = UfSpec::new(UniteKind::Jtb, find).validate().unwrap_err();
+            assert!(err.contains("pairs only with FindNaive"), "{err}");
+        }
+    }
+
+    #[test]
+    fn from_str_error_paths_carry_vocabulary_and_rules() {
+        // Unknown union family lists the vocabulary.
+        let err = "quickfind+split".parse::<UfSpec>().unwrap_err();
+        assert!(err.contains("unknown union family"), "{err}");
+        assert!(err.contains("async|hooks|early|rem-cas|rem-lock|jtb"), "{err}");
+        // An empty spec is a missing family, not a panic.
+        let err = "".parse::<UfSpec>().unwrap_err();
+        assert!(err.contains("unknown union family"), "{err}");
+        // Unknown later tokens list both splice and find vocabularies.
+        let err = "rem-cas+compress-hard".parse::<UfSpec>().unwrap_err();
+        assert!(err.contains("unknown token"), "{err}");
+        assert!(err.contains("split-one|halve-one|splice"), "{err}");
+        assert!(err.contains("naive|split|halve|compress|two-try"), "{err}");
+        // Structurally valid grammar but invalid combination: the
+        // validate() rule text rides along with the offending input.
+        let err = "rem-cas+splice+compress".parse::<UfSpec>().unwrap_err();
+        assert!(err.contains("invalid combination"), "{err}");
+        assert!(err.contains("rem-cas+splice+compress"), "{err}");
+        assert!(err.contains("Appendix B.2.3"), "{err}");
+        let err = "rem-lock".parse::<UfSpec>().unwrap_err();
+        assert!(err.contains("requires a splice strategy"), "{err}");
+        let err = "jtb+compress".parse::<UfSpec>().unwrap_err();
+        assert!(err.contains("pairs only with FindNaive"), "{err}");
+        let err = "async+split-one".parse::<UfSpec>().unwrap_err();
+        assert!(err.contains("no splice"), "{err}");
+        // Later tokens of the same kind overwrite earlier ones (the
+        // grammar is last-wins), so this is the *valid* halve find.
+        assert_eq!(
+            "async+split+halve".parse::<UfSpec>().unwrap(),
+            UfSpec::new(UniteKind::Async, FindKind::Halve)
+        );
+    }
+
+    #[test]
     fn excluded_combination_rejected() {
         let bad = UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Compress);
         assert!(!bad.is_valid());
