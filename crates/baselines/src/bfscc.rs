@@ -25,9 +25,9 @@ pub fn bfscc(g: &CsrGraph) -> Vec<VertexId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cc_graph::build_undirected;
     use cc_graph::generators::{grid2d, rmat_default};
     use cc_graph::stats::{component_stats, same_partition};
-    use cc_graph::build_undirected;
 
     #[test]
     fn bfscc_single_component() {

@@ -77,13 +77,12 @@ fn main() {
     let initial: Vec<u32> = (0..g.num_vertices() as u32).collect();
     let expect = cc_unionfind::oracle_labels(el.num_vertices, &el.edges);
 
-    println!(
-        "== dispatch: dyn (Box<dyn Unite> + hop write) vs static (monomorphized, NoCount) ==",
-    );
+    println!("== dispatch: dyn (Box<dyn Unite> + hop write) vs static (monomorphized, NoCount) ==",);
     println!("graph: rmat scale={scale}, {m} directed edges; best of {reps} runs\n");
 
     let mut t = Table::new(vec!["Variant", "dyn ns/edge", "static ns/edge", "speedup"]);
     let mut rows = Vec::new();
+    let mut speedups = Vec::new();
     for spec in measured_variants() {
         let name = spec.name();
         if let Some(f) = &filter {
@@ -99,6 +98,7 @@ fn main() {
         let dyn_ns = dyn_secs * 1e9 / m as f64;
         let static_ns = static_secs * 1e9 / m as f64;
         let speedup = dyn_ns / static_ns;
+        speedups.push(speedup);
         t.row(vec![
             name.clone(),
             format!("{dyn_ns:.3}"),
@@ -120,10 +120,19 @@ fn main() {
         t.print();
     }
 
+    // The headline the regression gate watches: per-variant speedups are
+    // noisy micro-timings (especially at --test sizes), but their
+    // geometric mean across the variant table is stable run to run.
+    // `null` when a name filter emptied the table — never a made-up 1.0.
+    let geomean_speedup = if speedups.is_empty() {
+        "null".to_string()
+    } else {
+        format!("{:.4}", cc_bench::harness::geomean(&speedups))
+    };
     let json = format!(
         "{{\n  \"bench\": \"dispatch\",\n  \"test_mode\": {},\n  \"graph\": \
          {{\"generator\": \"rmat\", \"scale\": {}, \"directed_edges\": {}}},\n  \
-         \"best_of\": {},\n  \"variants\": [\n{}\n  ]\n}}\n",
+         \"best_of\": {},\n  \"geomean_speedup\": {geomean_speedup},\n  \"variants\": [\n{}\n  ]\n}}\n",
         test_mode,
         scale,
         m,

@@ -21,10 +21,14 @@ fn bench_sampling(c: &mut Criterion) {
             });
         }
         group.bench_function(format!("{gname}/bfs"), |b| {
-            b.iter(|| black_box(run_sampling(g, &SamplingMethod::bfs_default(), 5, false).frequent_count))
+            b.iter(|| {
+                black_box(run_sampling(g, &SamplingMethod::bfs_default(), 5, false).frequent_count)
+            })
         });
         group.bench_function(format!("{gname}/ldd"), |b| {
-            b.iter(|| black_box(run_sampling(g, &SamplingMethod::ldd_default(), 5, false).frequent_count))
+            b.iter(|| {
+                black_box(run_sampling(g, &SamplingMethod::ldd_default(), 5, false).frequent_count)
+            })
         });
     }
     group.finish();

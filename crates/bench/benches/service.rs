@@ -34,8 +34,8 @@ fn bench_engine(c: &mut Criterion) {
     for shards in [1usize, 4, 8] {
         group.bench_function(format!("waitfree/shards_{shards}"), |b| {
             b.iter(|| {
-                let e = build_engine(n, shards, &UfSpec::fastest(), ExecMode::Auto, 1)
-                    .expect("engine");
+                let e =
+                    build_engine(n, shards, &UfSpec::fastest(), ExecMode::Auto, 1).expect("engine");
                 for (i, chunk) in mixed_batch(n, ops, 9).chunks(4096).enumerate() {
                     black_box(e.process_batch(black_box(chunk)));
                     black_box(i);
@@ -46,8 +46,7 @@ fn bench_engine(c: &mut Criterion) {
     }
     group.bench_function("phased/shards_4", |b| {
         b.iter(|| {
-            let e = build_engine(n, 4, &UfSpec::fastest(), ExecMode::Phased, 1)
-                .expect("engine");
+            let e = build_engine(n, 4, &UfSpec::fastest(), ExecMode::Phased, 1).expect("engine");
             for chunk in mixed_batch(n, ops, 9).chunks(4096) {
                 black_box(e.process_batch(black_box(chunk)));
             }

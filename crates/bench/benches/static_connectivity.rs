@@ -19,9 +19,7 @@ fn bench_static(c: &mut Criterion) {
         ("ldd", SamplingMethod::ldd_default()),
     ] {
         group.bench_function(format!("rem_cas/{sname}"), |b| {
-            b.iter(|| {
-                black_box(connectivity_seeded(&g, &sampling, &FinishMethod::fastest(), 3))
-            })
+            b.iter(|| black_box(connectivity_seeded(&g, &sampling, &FinishMethod::fastest(), 3)))
         });
     }
     for (fname, finish) in [

@@ -16,7 +16,13 @@ fn bench_streaming(c: &mut Criterion) {
     group.throughput(Throughput::Elements(batch.len() as u64));
     for (name, alg) in [
         ("rem_cas", StreamAlgorithm::UnionFind(UfSpec::fastest())),
-        ("async", StreamAlgorithm::UnionFind(UfSpec::new(cc_unionfind::UniteKind::Async, cc_unionfind::FindKind::Naive))),
+        (
+            "async",
+            StreamAlgorithm::UnionFind(UfSpec::new(
+                cc_unionfind::UniteKind::Async,
+                cc_unionfind::FindKind::Naive,
+            )),
+        ),
         ("shiloach_vishkin", StreamAlgorithm::ShiloachVishkin),
         ("liu_tarjan_crfa", StreamAlgorithm::LiuTarjan(LtScheme::crfa())),
     ] {

@@ -54,13 +54,9 @@ fn drive(
     batch_ops: usize,
     durability: Option<DurabilityConfig>,
 ) -> RunResult {
-    let mut svc = Service::start(ServiceConfig {
-        n,
-        shards: 4,
-        durability,
-        ..ServiceConfig::default()
-    })
-    .expect("service starts");
+    let mut svc =
+        Service::start(ServiceConfig { n, shards: 4, durability, ..ServiceConfig::default() })
+            .expect("service starts");
     let t0 = Instant::now();
     let per_thread: Vec<Vec<(u32, u32)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
@@ -101,7 +97,10 @@ fn verify_recovery(n: usize, dir: &std::path::Path, edges: &[(u32, u32)]) -> boo
     let mut svc = Service::start(ServiceConfig {
         n,
         shards: 4,
-        durability: Some(DurabilityConfig { fsync: FsyncPolicy::Off, ..DurabilityConfig::new(dir) }),
+        durability: Some(DurabilityConfig {
+            fsync: FsyncPolicy::Off,
+            ..DurabilityConfig::new(dir)
+        }),
         ..ServiceConfig::default()
     })
     .expect("recovery succeeds");
@@ -140,7 +139,8 @@ fn main() {
             }
         }
         let dir = tmp_dir(p.name);
-        let durability = p.fsync.map(|fsync| DurabilityConfig { fsync, ..DurabilityConfig::new(&dir) });
+        let durability =
+            p.fsync.map(|fsync| DurabilityConfig { fsync, ..DurabilityConfig::new(&dir) });
         let run = drive(n, clients, batches, batch_ops, durability);
         let verified = match p.fsync {
             Some(_) => verify_recovery(n, &dir, &run.edges),
@@ -171,7 +171,10 @@ fn main() {
     }
 
     if test_mode {
-        println!("wal: test ok ({} policies recovered and verified against the oracle)", rows.len());
+        println!(
+            "wal: test ok ({} policies recovered and verified against the oracle)",
+            rows.len()
+        );
     } else {
         t.print();
     }

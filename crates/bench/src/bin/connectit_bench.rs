@@ -1,0 +1,104 @@
+//! `connectit-bench` — benchmark artifact tooling. The one subcommand,
+//! `check`, is the CI bench-regression gate: it compares freshly emitted
+//! `BENCH_*.json` artifacts against committed baselines and exits
+//! non-zero on any regression, printing a markdown table per artifact.
+//!
+//! ```text
+//! connectit-bench check [--baselines DIR] [--fresh DIR] [--tolerance F]
+//!                       [NAME...]
+//! ```
+//!
+//! `NAME`s are artifact stems (`wal`, `dispatch`, `replication` by
+//! default; `BENCH_<name>.json` is loaded from both directories).
+//! Scale-free ratios and correctness counters are gated (see
+//! `cc_bench::regression::gate_for`); absolute timings are reported as
+//! `info` only — they are machine-bound and the baseline was written on
+//! a different machine. `--tolerance` sets the default per-metric
+//! tolerance (1.25 unless overridden by the gate table; correctness
+//! metrics are always exact).
+
+use cc_bench::regression::check_artifact;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_BENCHES: [&str; 3] = ["wal", "dispatch", "replication"];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: connectit-bench check [--baselines DIR] [--fresh DIR] [--tolerance F] [NAME...]\n\
+         \x20  compares fresh BENCH_<NAME>.json artifacts in --fresh (default .) against\n\
+         \x20  the committed baselines in --baselines (default baselines/); exits non-zero\n\
+         \x20  on any gated-metric regression. Default NAMEs: wal dispatch replication"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("check") {
+        return usage();
+    }
+    let mut baselines = PathBuf::from("baselines");
+    let mut fresh = PathBuf::from(".");
+    let mut tolerance = 1.25f64;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baselines" => match it.next() {
+                Some(v) => baselines = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--fresh" => match it.next() {
+                Some(v) => fresh = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1.0 => tolerance = v,
+                _ => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            flag if flag.starts_with('-') => {
+                eprintln!("connectit-bench: unknown flag {flag:?}");
+                return usage();
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = DEFAULT_BENCHES.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut regressions = 0usize;
+    let mut failures = 0usize;
+    for name in &names {
+        let artifact = format!("BENCH_{name}.json");
+        match check_artifact(&artifact, &baselines, &fresh, tolerance) {
+            Ok(report) => {
+                println!("{}", report.markdown());
+                let r = report.regressions();
+                if r > 0 {
+                    eprintln!("connectit-bench: {artifact}: {r} metric(s) REGRESSED");
+                }
+                regressions += r;
+            }
+            Err(e) => {
+                eprintln!("connectit-bench: {artifact}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if regressions + failures > 0 {
+        eprintln!(
+            "connectit-bench: check FAILED ({regressions} regression(s), {failures} unreadable \
+             artifact(s); default tolerance {tolerance}x)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "connectit-bench: check ok ({} artifact(s), default tolerance {tolerance}x)",
+            names.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -5,9 +5,7 @@
 //! (0 = quick default, 1 = medium, 2 = large).
 
 use cc_graph::builder::{build_undirected, build_undirected_ordered};
-use cc_graph::generators::{
-    barabasi_albert, clustered_web, disjoint_union, grid2d, rmat_default,
-};
+use cc_graph::generators::{barabasi_albert, clustered_web, disjoint_union, grid2d, rmat_default};
 use cc_graph::{CsrGraph, EdgeList};
 
 /// A named benchmark graph.
@@ -22,11 +20,7 @@ pub struct Dataset {
 
 /// Benchmark scale factor from `CC_BENCH_SCALE` (0, 1, or 2).
 pub fn bench_scale() -> u32 {
-    std::env::var("CC_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0)
-        .min(2)
+    std::env::var("CC_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0).min(2)
 }
 
 /// Builds the full registry at the given scale.
@@ -78,7 +72,9 @@ pub fn registry(scale: u32) -> Vec<Dataset> {
 pub fn sweep_registry(scale: u32) -> Vec<Dataset> {
     registry(scale)
         .into_iter()
-        .filter(|d| matches!(d.name, "road_sim" | "friendster_sim" | "clueweb_sim" | "hyperlink_sim"))
+        .filter(|d| {
+            matches!(d.name, "road_sim" | "friendster_sim" | "clueweb_sim" | "hyperlink_sim")
+        })
         .collect()
 }
 

@@ -50,12 +50,7 @@ pub fn run(scale: u32) {
         };
         let (eb, _) = time_best_of(r, || work(true));
         let (vb, _) = time_best_of(r, || work(false));
-        t.row(vec![
-            d.name.to_string(),
-            fmt_secs(eb),
-            fmt_secs(vb),
-            fmt_ratio(vb / eb),
-        ]);
+        t.row(vec![d.name.to_string(), fmt_secs(eb), fmt_secs(vb), fmt_ratio(vb / eb)]);
     }
     t.print();
 
@@ -81,12 +76,7 @@ pub fn run(scale: u32) {
         );
         let (te, (exact, _)) = time_best_of(r, || identify_frequent(&labels));
         let (ts, sampled) = time_best_of(r, || sampled_frequent(&labels, 1000, 7));
-        t.row(vec![
-            d.name.to_string(),
-            fmt_secs(te),
-            fmt_secs(ts),
-            (exact == sampled).to_string(),
-        ]);
+        t.row(vec![d.name.to_string(), fmt_secs(te), fmt_secs(ts), (exact == sampled).to_string()]);
     }
     t.print();
     println!("(expected: both agree whenever a giant component exists; exact is cheap)");
@@ -96,8 +86,7 @@ pub fn run(scale: u32) {
 fn top_down_bfs(g: &CsrGraph, src: VertexId) -> usize {
     use std::sync::atomic::AtomicU32;
     let n = g.num_vertices();
-    let parents: Vec<AtomicU32> =
-        cc_parallel::parallel_tabulate(n, |_| AtomicU32::new(NO_VERTEX));
+    let parents: Vec<AtomicU32> = cc_parallel::parallel_tabulate(n, |_| AtomicU32::new(NO_VERTEX));
     parents[src as usize].store(src, Ordering::Relaxed);
     let mut frontier = vec![src];
     let mut visited = 1usize;

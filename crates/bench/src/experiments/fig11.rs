@@ -20,7 +20,8 @@ pub fn run(scale: u32) {
         let per: Vec<f64> = datasets
             .iter()
             .map(|d| {
-                time_best_of(r, || connectivity_seeded(&d.graph, &SamplingMethod::None, &finish, 3)).0
+                time_best_of(r, || connectivity_seeded(&d.graph, &SamplingMethod::None, &finish, 3))
+                    .0
             })
             .collect();
         rows.push((scheme.name(), per));
@@ -38,9 +39,8 @@ pub fn run(scale: u32) {
         .collect();
 
     let nd = datasets.len();
-    let best: Vec<f64> = (0..nd)
-        .map(|i| rows.iter().map(|(_, v)| v[i]).fold(f64::INFINITY, f64::min))
-        .collect();
+    let best: Vec<f64> =
+        (0..nd).map(|i| rows.iter().map(|(_, v)| v[i]).fold(f64::INFINITY, f64::min)).collect();
     let slowdown = |per: &Vec<f64>| {
         let ratios: Vec<f64> = per.iter().zip(&best).map(|(t, b)| t / b).collect();
         geomean(&ratios)

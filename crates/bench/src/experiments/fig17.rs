@@ -28,10 +28,8 @@ fn rem_cas_variants() -> Vec<(String, UfSpec)> {
 
 /// Regenerates the insert-to-query ratio sweep.
 pub fn run(scale: u32) {
-    let datasets: Vec<_> = registry(scale)
-        .into_iter()
-        .filter(|d| matches!(d.name, "orkut_sim" | "lj_sim"))
-        .collect();
+    let datasets: Vec<_> =
+        registry(scale).into_iter().filter(|d| matches!(d.name, "orkut_sim" | "lj_sim")).collect();
     let ratios = [0.05f64, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
     for d in datasets {
         let n = d.graph.num_vertices();

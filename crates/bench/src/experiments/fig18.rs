@@ -53,13 +53,8 @@ pub fn run(scale: u32) {
         "p99(s)",
         "median/mean",
     ]);
-    let mut qt = Table::new(vec![
-        "Algorithm",
-        "queries",
-        "query-batch(s)",
-        "mean path",
-        "max path",
-    ]);
+    let mut qt =
+        Table::new(vec!["Algorithm", "queries", "query-batch(s)", "mean path", "max path"]);
     for (name, alg) in latency_algorithms() {
         for bs in [1_000usize, 10_000, 100_000] {
             if bs > edges.len() {
@@ -68,8 +63,7 @@ pub fn run(scale: u32) {
             let s = StreamingConnectivity::new(n, &alg, 1);
             let mut lat: Vec<f64> = Vec::new();
             for chunk in edges.chunks(bs) {
-                let batch: Vec<Update> =
-                    chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                let batch: Vec<Update> = chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
                 let t0 = std::time::Instant::now();
                 s.process_batch(&batch);
                 lat.push(t0.elapsed().as_secs_f64());

@@ -16,13 +16,7 @@ pub fn run(scale: u32) {
         let m = d.graph.num_directed_edges() as f64;
         let n = d.graph.num_vertices() as f64;
         println!("-- {} --", d.name);
-        let mut t = Table::new(vec![
-            "beta",
-            "permute",
-            "time(s)",
-            "inter-cluster %",
-            "coverage %",
-        ]);
+        let mut t = Table::new(vec!["beta", "permute", "time(s)", "inter-cluster %", "coverage %"]);
         for &beta in &betas {
             for permute in [false, true] {
                 let method = SamplingMethod::Ldd { beta, permute };

@@ -13,7 +13,8 @@ use std::collections::HashMap;
 /// Column order mirroring Figure 3.
 fn columns() -> Vec<(String, UniteKind, Option<SpliceKind>)> {
     let mut cols = vec![("Union-JTB".to_string(), UniteKind::Jtb, None)];
-    for (u, label) in [(UniteKind::RemCas, "Union-Rem-CAS"), (UniteKind::RemLock, "Union-Rem-Lock")] {
+    for (u, label) in [(UniteKind::RemCas, "Union-Rem-CAS"), (UniteKind::RemLock, "Union-Rem-Lock")]
+    {
         for s in [SpliceKind::Splice, SpliceKind::SplitOne, SpliceKind::HalveOne] {
             cols.push((format!("{label};{}", short_splice(s)), u, Some(s)));
         }
@@ -65,11 +66,12 @@ pub fn run(scale: u32) {
         }
         // Per-dataset normalization to the fastest variant, then geomean.
         let nd = datasets.len();
-        let best: Vec<f64> = (0..nd)
-            .map(|i| times.values().map(|v| v[i]).fold(f64::INFINITY, f64::min))
-            .collect();
+        let best: Vec<f64> =
+            (0..nd).map(|i| times.values().map(|v| v[i]).fold(f64::INFINITY, f64::min)).collect();
         println!("\n== {title} ==");
-        println!("   (geomean slowdown vs fastest variant, across {nd} graphs; '-' = invalid combo)\n");
+        println!(
+            "   (geomean slowdown vs fastest variant, across {nd} graphs; '-' = invalid combo)\n"
+        );
         let cols = columns();
         // Header.
         print!("{:<14}", "");
@@ -83,8 +85,7 @@ pub fn run(scale: u32) {
                 let spec = UfSpec { unite, find, splice };
                 let cell = if spec.is_valid() {
                     let per = &times[&spec];
-                    let ratios: Vec<f64> =
-                        per.iter().zip(&best).map(|(t, b)| t / b).collect();
+                    let ratios: Vec<f64> = per.iter().zip(&best).map(|(t, b)| t / b).collect();
                     format!("{:.2}", geomean(&ratios))
                 } else {
                     "-".to_string()

@@ -22,7 +22,11 @@ pub fn run(scale: u32) {
     for d in datasets {
         let edges = update_stream(&d.graph, 1.0);
         let n = d.graph.num_vertices();
-        println!("\n== Figure 4/16: throughput vs batch size on {} (m = {}) ==\n", d.name, edges.len());
+        println!(
+            "\n== Figure 4/16: throughput vs batch size on {} (m = {}) ==\n",
+            d.name,
+            edges.len()
+        );
         let mut batch_sizes = vec![1_000usize, 10_000, 100_000, 1_000_000];
         batch_sizes.retain(|&b| b <= edges.len());
         batch_sizes.push(edges.len());

@@ -22,8 +22,7 @@ pub fn run(scale: u32) {
     for d in &datasets {
         for finish in &finishes {
             let sampling = SamplingMethod::kout_default();
-            let (cc_t, _) =
-                time_best_of(r, || connectivity_seeded(&d.graph, &sampling, finish, 3));
+            let (cc_t, _) = time_best_of(r, || connectivity_seeded(&d.graph, &sampling, finish, 3));
             let (sf_t, forest) =
                 time_best_of(r, || spanning_forest(&d.graph, &sampling, finish, 3));
             assert!(

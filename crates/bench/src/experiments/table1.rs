@@ -24,10 +24,7 @@ pub fn run(scale: u32) {
     );
     let mut t = Table::new(vec!["System (algorithm class)", "Time (s)"]);
     let rows: Vec<(&str, f64)> = vec![
-        (
-            "BFS-based (FlashGraph/Mosaic class)",
-            time_best_of(r, || bfscc(&d.graph)).0,
-        ),
+        ("BFS-based (FlashGraph/Mosaic class)", time_best_of(r, || bfscc(&d.graph)).0),
         (
             "LDD-contraction (GBBS record holder)",
             time_best_of(r, || work_efficient_cc(&d.graph, 0.2, 5)).0,
@@ -42,25 +39,32 @@ pub fn run(scale: u32) {
         (
             "Shiloach-Vishkin (Zhang et al. class)",
             time_best_of(r, || {
-                connectivity_seeded(&d.graph, &SamplingMethod::None, &FinishMethod::ShiloachVishkin, 5)
+                connectivity_seeded(
+                    &d.graph,
+                    &SamplingMethod::None,
+                    &FinishMethod::ShiloachVishkin,
+                    5,
+                )
             })
             .0,
         ),
         (
             "ConnectIt (k-out + Union-Rem-CAS)",
             time_best_of(r, || {
-                connectivity_seeded(&d.graph, &SamplingMethod::kout_default(), &FinishMethod::fastest(), 5)
+                connectivity_seeded(
+                    &d.graph,
+                    &SamplingMethod::kout_default(),
+                    &FinishMethod::fastest(),
+                    5,
+                )
             })
             .0,
         ),
     ];
     let best = rows.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
     for (name, secs) in rows {
-        let cell = if secs <= best * 1.0001 {
-            format!("[{}]", fmt_secs(secs))
-        } else {
-            fmt_secs(secs)
-        };
+        let cell =
+            if secs <= best * 1.0001 { format!("[{}]", fmt_secs(secs)) } else { fmt_secs(secs) };
         t.row(vec![name.to_string(), cell]);
     }
     t.print();

@@ -62,10 +62,7 @@ pub fn families(full: bool) -> Vec<Family> {
             name: "Union-Async",
             variants: uf_family(UniteKind::Async, UfSpec::new(UniteKind::Async, FindKind::Naive)),
         },
-        Family {
-            name: "Union-Rem-CAS",
-            variants: uf_family(UniteKind::RemCas, UfSpec::fastest()),
-        },
+        Family { name: "Union-Rem-CAS", variants: uf_family(UniteKind::RemCas, UfSpec::fastest()) },
         Family {
             name: "Union-Rem-Lock",
             variants: uf_family(
@@ -75,10 +72,7 @@ pub fn families(full: bool) -> Vec<Family> {
         },
         Family {
             name: "Union-JTB",
-            variants: uf_family(
-                UniteKind::Jtb,
-                UfSpec::new(UniteKind::Jtb, FindKind::TwoTrySplit),
-            ),
+            variants: uf_family(UniteKind::Jtb, UfSpec::new(UniteKind::Jtb, FindKind::TwoTrySplit)),
         },
         Family { name: "Liu-Tarjan", variants: lt_family() },
         Family { name: "Shiloach-Vishkin", variants: vec![FinishMethod::ShiloachVishkin] },
@@ -96,18 +90,11 @@ pub fn sampling_groups() -> Vec<(&'static str, SamplingMethod)> {
     ]
 }
 
-fn fastest_in_family(
-    d: &Dataset,
-    sampling: &SamplingMethod,
-    family: &Family,
-    r: usize,
-) -> f64 {
+fn fastest_in_family(d: &Dataset, sampling: &SamplingMethod, family: &Family, r: usize) -> f64 {
     family
         .variants
         .iter()
-        .map(|finish| {
-            time_best_of(r, || connectivity_seeded(&d.graph, sampling, finish, 99)).0
-        })
+        .map(|finish| time_best_of(r, || connectivity_seeded(&d.graph, sampling, finish, 99)).0)
         .fold(f64::INFINITY, f64::min)
 }
 
@@ -131,10 +118,8 @@ pub fn run(scale: u32) {
         let mut best_per_dataset = vec![f64::INFINITY; datasets.len()];
         let mut cells: Vec<Vec<f64>> = Vec::new();
         for family in &fams {
-            let row: Vec<f64> = datasets
-                .iter()
-                .map(|d| fastest_in_family(d, &sampling, family, r))
-                .collect();
+            let row: Vec<f64> =
+                datasets.iter().map(|d| fastest_in_family(d, &sampling, family, r)).collect();
             for (b, &x) in best_per_dataset.iter_mut().zip(&row) {
                 *b = b.min(x);
             }
@@ -166,15 +151,10 @@ pub fn run(scale: u32) {
     );
     type SystemRow<'a> = (&'a str, Box<dyn Fn(&Dataset) -> f64>);
     let others: Vec<SystemRow> = vec![
-        (
-            "BFSCC [Ligra]",
-            Box::new(move |d: &Dataset| time_best_of(r, || bfscc(&d.graph)).0),
-        ),
+        ("BFSCC [Ligra]", Box::new(move |d: &Dataset| time_best_of(r, || bfscc(&d.graph)).0)),
         (
             "WorkefficientCC [Shun et al.]",
-            Box::new(move |d: &Dataset| {
-                time_best_of(r, || work_efficient_cc(&d.graph, 0.2, 5)).0
-            }),
+            Box::new(move |d: &Dataset| time_best_of(r, || work_efficient_cc(&d.graph, 0.2, 5)).0),
         ),
         (
             "MultiStep (BFS+LP) [Slota et al.]",
@@ -224,9 +204,7 @@ pub fn run(scale: u32) {
             Box::new(move |d: &Dataset| {
                 let identity: Vec<u32> = (0..d.graph.num_vertices() as u32).collect();
                 time_best_of(r, || {
-                    connectit::shiloach_vishkin::shiloach_vishkin_plain_write(
-                        &d.graph, &identity,
-                    )
+                    connectit::shiloach_vishkin::shiloach_vishkin_plain_write(&d.graph, &identity)
                 })
                 .0
             }),
@@ -234,7 +212,8 @@ pub fn run(scale: u32) {
         (
             "GAPBS Afforest",
             Box::new(move |d: &Dataset| {
-                let sampling = SamplingMethod::KOut { k: 2, variant: connectit::KOutVariant::Afforest };
+                let sampling =
+                    SamplingMethod::KOut { k: 2, variant: connectit::KOutVariant::Afforest };
                 time_best_of(r, || {
                     connectivity_seeded(
                         &d.graph,

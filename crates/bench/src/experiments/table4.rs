@@ -68,8 +68,7 @@ pub fn run(scale: u32) {
         let rates: Vec<f64> = streams
             .iter()
             .map(|(_, n, edges)| {
-                let batch: Vec<Update> =
-                    edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                let batch: Vec<Update> = edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
                 let (secs, _) = time_best_of(r, || {
                     let s = StreamingConnectivity::new(*n, &alg, 1);
                     s.process_batch(&batch);

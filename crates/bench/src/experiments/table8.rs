@@ -28,7 +28,12 @@ pub fn run(scale: u32) {
             connectivity_seeded(&d.graph, &SamplingMethod::None, &FinishMethod::fastest(), 3)
         });
         let (samp_t, _) = time_best_of(r, || {
-            connectivity_seeded(&d.graph, &SamplingMethod::kout_default(), &FinishMethod::fastest(), 3)
+            connectivity_seeded(
+                &d.graph,
+                &SamplingMethod::kout_default(),
+                &FinishMethod::fastest(),
+                3,
+            )
         });
         t.row(vec![
             d.name.to_string(),

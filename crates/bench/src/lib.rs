@@ -14,3 +14,4 @@
 pub mod datasets;
 pub mod experiments;
 pub mod harness;
+pub mod regression;

@@ -1,0 +1,502 @@
+//! The bench-regression gate: compares freshly emitted `BENCH_*.json`
+//! artifacts against committed baselines, metric by metric, and fails on
+//! regressions instead of merely checking the files exist.
+//!
+//! ## What is gated
+//!
+//! Absolute timings are machine-bound, so they are *reported* but never
+//! gated — CI runners and dev boxes disagree wildly. What IS gated is the
+//! scale-free table in [`gate_for`]: dimensionless ratios (static-vs-dyn
+//! `speedup`, WAL `slowdown_vs_memory`, replication `speedup_vs_single`)
+//! and correctness counters (`mismatches`, `recovery_verified`,
+//! `restart_converged`), each with a direction and a tolerance. The
+//! default tolerance is 1.25x; correctness metrics override it to exact.
+//! A metric present on only one side is informational (benches grow new
+//! columns), and `null` metrics are skipped (test-mode runs refuse to
+//! make timing claims).
+//!
+//! The workspace has no serde (no crates.io access), so this module
+//! carries a minimal JSON reader sufficient for the artifacts the
+//! harness itself writes.
+
+use std::path::Path;
+
+/// A parsed JSON value (the subset the bench artifacts use).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parses a JSON document (strict enough for hand-written artifacts;
+/// errors carry the byte offset).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut at = 0usize;
+    let v = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing bytes at offset {at}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(b: &[u8], at: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, at);
+    if *at < b.len() && b[*at] == c {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {at}", c as char, at = *at))
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        None => Err("unexpected end of document".into()),
+        Some(b'{') => {
+            *at += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, at);
+                let key = parse_string(b, at)?;
+                expect(b, at, b':')?;
+                fields.push((key, parse_value(b, at)?));
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {at}", at = *at)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, at)?);
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {at}", at = *at)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, at)?)),
+        Some(b't') if b[*at..].starts_with(b"true") => {
+            *at += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*at..].starts_with(b"false") => {
+            *at += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*at..].starts_with(b"null") => {
+            *at += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *at;
+            while *at < b.len() && matches!(b[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *at += 1;
+            }
+            std::str::from_utf8(&b[start..*at])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("malformed number at offset {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], at: &mut usize) -> Result<String, String> {
+    if b.get(*at) != Some(&b'"') {
+        return Err(format!("expected string at offset {at}", at = *at));
+    }
+    *at += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*at) {
+        *at += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*at).ok_or("unterminated escape")?;
+                *at += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*at..*at + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *at += 4;
+                    }
+                    other => return Err(format!("unknown escape \\{}", other as char)),
+                }
+            }
+            other => out.push(other as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Flattens a document into `(path, value)` metrics. Objects join with
+/// `.`; an array element that is an object is keyed by its first
+/// string-valued field (`policies.batch.ops_per_sec`) so baselines stay
+/// comparable when rows reorder, falling back to the index. Booleans
+/// flatten to 0/1; `null` and strings produce no metric.
+pub fn flatten(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &Json, path: String, out: &mut Vec<(String, f64)>) {
+    let join = |p: &str, k: &str| if p.is_empty() { k.to_string() } else { format!("{p}.{k}") };
+    match v {
+        Json::Null | Json::Str(_) => {}
+        Json::Bool(b) => out.push((path, f64::from(u8::from(*b)))),
+        Json::Num(x) => out.push((path, *x)),
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                walk(v, join(&path, k), out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let key = match item {
+                    Json::Obj(fields) => fields
+                        .iter()
+                        .find_map(|(_, v)| match v {
+                            Json::Str(s) => Some(sanitize(s)),
+                            _ => None,
+                        })
+                        .unwrap_or_else(|| i.to_string()),
+                    _ => i.to_string(),
+                };
+                walk(item, join(&path, &key), out);
+            }
+        }
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// Which way a gated metric is allowed to move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (a drop below `baseline / tol` regresses).
+    Higher,
+    /// Smaller is better (a rise above `baseline * tol` regresses).
+    Lower,
+}
+
+/// The gate table: metric *leaf* name → (direction, tolerance override).
+/// `None` uses the run's default tolerance. Everything else numeric is
+/// reported as informational.
+pub fn gate_for(leaf: &str) -> Option<(Direction, Option<f64>)> {
+    match leaf {
+        // Scale-free timing ratios: gated at the default tolerance.
+        // Per-variant `speedup` stays informational — single-variant
+        // micro-timings flap run to run; the dispatch bench's headline
+        // is the geomean across the whole variant table.
+        "geomean_speedup" => Some((Direction::Higher, None)),
+        "speedup_vs_single" => Some((Direction::Higher, None)),
+        "slowdown_vs_memory" => Some((Direction::Lower, None)),
+        // Correctness: exact, no tolerance at all.
+        "mismatches" => Some((Direction::Lower, Some(1.0))),
+        "recovery_verified" => Some((Direction::Higher, Some(1.0))),
+        "restart_converged" => Some((Direction::Higher, Some(1.0))),
+        _ => None,
+    }
+}
+
+/// One row of the comparison report.
+#[derive(Debug)]
+pub struct MetricRow {
+    /// Flattened metric path.
+    pub metric: String,
+    /// Baseline value, if present.
+    pub baseline: Option<f64>,
+    /// Fresh value, if present.
+    pub fresh: Option<f64>,
+    /// What the gate decided.
+    pub status: Status,
+}
+
+/// Verdict for one metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Gated and within tolerance.
+    Ok,
+    /// Gated and out of tolerance — fails the check.
+    Regressed,
+    /// Not gated (absolute timing, config echo, or one-sided).
+    Info,
+}
+
+/// Compares two flattened metric sets under `default_tol`.
+pub fn compare(
+    baseline: &[(String, f64)],
+    fresh: &[(String, f64)],
+    default_tol: f64,
+) -> Vec<MetricRow> {
+    let lookup =
+        |set: &[(String, f64)], name: &str| set.iter().find(|(k, _)| k == name).map(|&(_, v)| v);
+    let mut names: Vec<&String> = baseline.iter().map(|(k, _)| k).collect();
+    for (k, _) in fresh {
+        if !names.contains(&k) {
+            names.push(k);
+        }
+    }
+    names
+        .into_iter()
+        .map(|name| {
+            let b = lookup(baseline, name);
+            let f = lookup(fresh, name);
+            let leaf = name.rsplit('.').next().unwrap_or(name);
+            let status = match (gate_for(leaf), b, f) {
+                (Some((dir, tol)), Some(b), Some(f)) => {
+                    let tol = tol.unwrap_or(default_tol);
+                    let ok = match dir {
+                        Direction::Higher => f >= b / tol,
+                        Direction::Lower => {
+                            // A zero baseline leaves no headroom at any
+                            // tolerance: 0 mismatches must stay 0.
+                            f <= b * tol && !(b == 0.0 && f > 0.0)
+                        }
+                    };
+                    if ok {
+                        Status::Ok
+                    } else {
+                        Status::Regressed
+                    }
+                }
+                _ => Status::Info,
+            };
+            MetricRow { metric: name.clone(), baseline: b, fresh: f, status }
+        })
+        .collect()
+}
+
+/// The result of checking one artifact pair.
+pub struct CheckReport {
+    /// Artifact name (e.g. `BENCH_wal.json`).
+    pub name: String,
+    /// Per-metric rows, document order.
+    pub rows: Vec<MetricRow>,
+}
+
+impl CheckReport {
+    /// Number of regressed metrics.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.status == Status::Regressed).count()
+    }
+
+    /// Renders the report as a markdown table.
+    pub fn markdown(&self) -> String {
+        let fmt = |v: Option<f64>| v.map_or_else(|| "—".to_string(), |x| format!("{x:.4}"));
+        let mut out = format!(
+            "### {}\n\n| metric | baseline | fresh | ratio | status |\n|---|---:|---:|---:|---|\n",
+            self.name
+        );
+        for r in &self.rows {
+            let ratio = match (r.baseline, r.fresh) {
+                (Some(b), Some(f)) if b != 0.0 => format!("{:.3}", f / b),
+                _ => "—".to_string(),
+            };
+            let status = match r.status {
+                Status::Ok => "ok",
+                Status::Regressed => "**REGRESSED**",
+                Status::Info => "info",
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {ratio} | {status} |\n",
+                r.metric,
+                fmt(r.baseline),
+                fmt(r.fresh)
+            ));
+        }
+        out
+    }
+}
+
+/// Loads and compares one artifact from the baseline and fresh
+/// directories.
+pub fn check_artifact(
+    name: &str,
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    default_tol: f64,
+) -> Result<CheckReport, String> {
+    let load = |dir: &Path| -> Result<Vec<(String, f64)>, String> {
+        let path = dir.join(name);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(flatten(&parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?))
+    };
+    let baseline = load(baseline_dir)?;
+    let fresh = load(fresh_dir)?;
+    Ok(CheckReport { name: name.to_string(), rows: compare(&baseline, &fresh, default_tol) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+      "bench": "wal",
+      "test_mode": true,
+      "n": 4000,
+      "policies": [
+        {"policy": "memory", "ops_per_sec": 100.0, "slowdown_vs_memory": 1.0},
+        {"policy": "batch", "ops_per_sec": 80.0, "slowdown_vs_memory": 1.25,
+         "recovery_verified": true}
+      ],
+      "note": null
+    }"#;
+
+    #[test]
+    fn parse_and_flatten_key_arrays_by_first_string_field() {
+        let doc = parse_json(DOC).expect("parses");
+        let flat = flatten(&doc);
+        let get = |k: &str| flat.iter().find(|(n, _)| n == k).map(|&(_, v)| v);
+        assert_eq!(get("n"), Some(4000.0));
+        assert_eq!(get("test_mode"), Some(1.0));
+        assert_eq!(get("policies.batch.ops_per_sec"), Some(80.0));
+        assert_eq!(get("policies.batch.recovery_verified"), Some(1.0));
+        assert_eq!(get("policies.memory.slowdown_vs_memory"), Some(1.0));
+        // Strings and nulls yield no metric.
+        assert_eq!(get("bench"), None);
+        assert_eq!(get("note"), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_offset() {
+        assert!(parse_json("{\"a\": }").unwrap_err().contains("offset"));
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").unwrap_err().contains("trailing"));
+    }
+
+    fn metrics(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn gate_directions_and_default_tolerance() {
+        let baseline = metrics(&[
+            ("geomean_speedup", 1.2),
+            ("p.slowdown_vs_memory", 1.5),
+            ("ops_per_sec", 1000.0),
+            ("v.speedup", 2.0),
+        ]);
+        // Within tolerance both ways; absolute throughput and noisy
+        // per-variant speedups never gate.
+        let fresh = metrics(&[
+            ("geomean_speedup", 1.0),
+            ("p.slowdown_vs_memory", 1.8),
+            ("ops_per_sec", 10.0),
+            ("v.speedup", 0.5),
+        ]);
+        let rows = compare(&baseline, &fresh, 1.25);
+        let by = |n: &str| rows.iter().find(|r| r.metric == n).expect("row").status;
+        assert_eq!(by("geomean_speedup"), Status::Ok);
+        assert_eq!(by("p.slowdown_vs_memory"), Status::Ok);
+        assert_eq!(by("ops_per_sec"), Status::Info);
+        assert_eq!(by("v.speedup"), Status::Info);
+        // Out of tolerance: a speedup collapse and a slowdown blowup.
+        let bad = metrics(&[("geomean_speedup", 0.9), ("p.slowdown_vs_memory", 2.0)]);
+        let rows = compare(&baseline, &bad, 1.25);
+        let by = |n: &str| rows.iter().find(|r| r.metric == n).map(|r| r.status);
+        assert_eq!(by("geomean_speedup"), Some(Status::Regressed));
+        assert_eq!(by("p.slowdown_vs_memory"), Some(Status::Regressed));
+    }
+
+    #[test]
+    fn correctness_metrics_are_exact_even_at_zero() {
+        let baseline = metrics(&[("t.mismatches", 0.0), ("t.restart_converged", 1.0)]);
+        let clean = compare(
+            &baseline,
+            &metrics(&[("t.mismatches", 0.0), ("t.restart_converged", 1.0)]),
+            1.25,
+        );
+        assert!(clean.iter().all(|r| r.status == Status::Ok));
+        // One mismatch appearing is a regression despite the 0 baseline
+        // (0 * tol leaves no headroom), and a convergence flag dropping
+        // to false regresses exactly.
+        let dirty = compare(
+            &baseline,
+            &metrics(&[("t.mismatches", 1.0), ("t.restart_converged", 0.0)]),
+            1.25,
+        );
+        assert!(dirty.iter().all(|r| r.status == Status::Regressed), "{dirty:?}");
+    }
+
+    #[test]
+    fn one_sided_metrics_are_informational() {
+        let rows =
+            compare(&metrics(&[("old.speedup", 1.0)]), &metrics(&[("new.speedup", 1.0)]), 1.25);
+        assert!(rows.iter().all(|r| r.status == Status::Info));
+    }
+
+    #[test]
+    fn markdown_report_renders_and_counts() {
+        let report = CheckReport {
+            name: "BENCH_x.json".into(),
+            rows: compare(
+                &metrics(&[("geomean_speedup", 2.0), ("b", 1.0)]),
+                &metrics(&[("geomean_speedup", 1.0), ("b", 2.0)]),
+                1.25,
+            ),
+        };
+        assert_eq!(report.regressions(), 1);
+        let md = report.markdown();
+        assert!(md.contains("| geomean_speedup |"), "{md}");
+        assert!(md.contains("**REGRESSED**"), "{md}");
+        assert!(md.contains("| ratio |"), "{md}");
+    }
+}

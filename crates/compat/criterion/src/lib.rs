@@ -55,12 +55,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            sample_size: 10,
-            throughput: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
     }
 
     /// Runs a single free-standing benchmark (stand-in for

@@ -122,10 +122,8 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let std_guard = guard.inner.take().expect("guard present");
-        let (std_guard, res) = self
-            .inner
-            .wait_timeout(std_guard, timeout)
-            .unwrap_or_else(PoisonError::into_inner);
+        let (std_guard, res) =
+            self.inner.wait_timeout(std_guard, timeout).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(std_guard);
         WaitTimeoutResult { timed_out: res.timed_out() }
     }

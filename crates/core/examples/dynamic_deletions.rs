@@ -25,8 +25,7 @@ fn main() {
     // Phase 1: insert-only (incremental fast path).
     let t0 = Instant::now();
     for chunk in edges.chunks(100_000) {
-        let batch: Vec<DynUpdate> =
-            chunk.iter().map(|&(u, v)| DynUpdate::Insert(u, v)).collect();
+        let batch: Vec<DynUpdate> = chunk.iter().map(|&(u, v)| DynUpdate::Insert(u, v)).collect();
         d.process_batch(&batch);
     }
     let insert_time = t0.elapsed().as_secs_f64();

@@ -15,7 +15,12 @@ fn main() {
     let side: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(700);
     eprintln!("building {side}x{side} grid...");
     let g = grid2d(side, side);
-    println!("graph: n = {}, m = {}, diameter = {}", g.num_vertices(), g.num_edges(), 2 * (side - 1));
+    println!(
+        "graph: n = {}, m = {}, diameter = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        2 * (side - 1)
+    );
 
     let configs = [
         ("Union-Rem-CAS, no sampling", SamplingMethod::None, FinishMethod::fastest()),
@@ -26,7 +31,10 @@ fn main() {
         ("Label-Propagation + BFS", SamplingMethod::bfs_default(), FinishMethod::LabelPropagation),
     ];
 
-    println!("\n{:<34} {:>10} {:>10} {:>10}", "configuration", "sample(s)", "finish(s)", "total(s)");
+    println!(
+        "\n{:<34} {:>10} {:>10} {:>10}",
+        "configuration", "sample(s)", "finish(s)", "total(s)"
+    );
     let mut results = Vec::new();
     for (name, sampling, finish) in configs {
         let (labels, stats) = connectivity_timed(&g, &sampling, &finish, 11);

@@ -6,8 +6,8 @@
 //! cargo run --release --example social_network [scale]
 //! ```
 
-use cc_graph::generators::rmat_default;
 use cc_graph::build_undirected;
+use cc_graph::generators::rmat_default;
 use connectit::{connectivity_timed, FinishMethod, LtScheme, SamplingMethod};
 
 fn main() {
@@ -16,11 +16,7 @@ fn main() {
     eprintln!("generating RMAT scale {scale} with {num_edges} edges...");
     let el = rmat_default(scale, num_edges, 42);
     let g = build_undirected(el.num_vertices, &el.edges);
-    println!(
-        "graph: n = {}, m = {} (symmetrized, deduped)",
-        g.num_vertices(),
-        g.num_edges()
-    );
+    println!("graph: n = {}, m = {} (symmetrized, deduped)", g.num_vertices(), g.num_edges());
 
     let finishes = [
         FinishMethod::fastest(),
@@ -57,7 +53,11 @@ fn main() {
 
     // Verify all configurations agree on the answer.
     let reference = connectit::connectivity(&g, &SamplingMethod::None, &FinishMethod::fastest());
-    let check = connectit::connectivity(&g, &SamplingMethod::kout_default(), &FinishMethod::LabelPropagation);
+    let check = connectit::connectivity(
+        &g,
+        &SamplingMethod::kout_default(),
+        &FinishMethod::LabelPropagation,
+    );
     assert!(cc_graph::stats::same_partition(&reference, &check));
     let comps = cc_graph::stats::count_distinct_labels(&reference);
     println!("\ncomponents: {comps}");

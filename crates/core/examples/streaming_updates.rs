@@ -45,8 +45,7 @@ fn main() {
             let s = StreamingConnectivity::new(n, alg, 1);
             let t0 = Instant::now();
             for chunk in stream_edges.chunks(bs) {
-                let batch: Vec<Update> =
-                    chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                let batch: Vec<Update> = chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
                 s.process_batch(&batch);
             }
             let rate = num_edges as f64 / t0.elapsed().as_secs_f64();
@@ -64,13 +63,9 @@ fn main() {
         let mut ops = 0usize;
         let t0 = Instant::now();
         for chunk in stream_edges.chunks(70_000) {
-            let mut batch: Vec<Update> =
-                chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+            let mut batch: Vec<Update> = chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
             for _ in 0..chunk.len() * 3 / 7 {
-                batch.push(Update::Query(
-                    rng.gen_range(0..n as u32),
-                    rng.gen_range(0..n as u32),
-                ));
+                batch.push(Update::Query(rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)));
             }
             ops += batch.len();
             connected += s.process_batch(&batch).iter().filter(|&&c| c).count();

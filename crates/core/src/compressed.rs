@@ -90,9 +90,9 @@ impl KernelVisitor for CompressedVisitor<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cc_graph::build_undirected;
     use cc_graph::generators::{grid2d, rmat_default};
     use cc_graph::stats::{component_stats, same_partition};
-    use cc_graph::build_undirected;
 
     #[test]
     fn compressed_matches_uncompressed_rmat() {

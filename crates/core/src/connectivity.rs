@@ -196,9 +196,9 @@ pub fn num_components(g: &CsrGraph) -> usize {
 mod tests {
     use super::*;
     use crate::liu_tarjan::LtScheme;
+    use cc_graph::build_undirected;
     use cc_graph::generators::{grid2d, rmat_default};
     use cc_graph::stats::{component_stats, same_partition};
-    use cc_graph::build_undirected;
 
     fn all_finishes() -> Vec<FinishMethod> {
         let mut out = vec![
@@ -229,12 +229,7 @@ mod tests {
         for sampling in all_samplings() {
             for finish in all_finishes() {
                 let got = connectivity(&g, &sampling, &finish);
-                assert!(
-                    same_partition(&expect, &got),
-                    "{} + {}",
-                    sampling.name(),
-                    finish.name()
-                );
+                assert!(same_partition(&expect, &got), "{} + {}", sampling.name(), finish.name());
             }
         }
     }
@@ -246,12 +241,7 @@ mod tests {
         for sampling in all_samplings() {
             for finish in all_finishes() {
                 let got = connectivity(&g, &sampling, &finish);
-                assert!(
-                    same_partition(&expect, &got),
-                    "{} + {}",
-                    sampling.name(),
-                    finish.name()
-                );
+                assert!(same_partition(&expect, &got), "{} + {}", sampling.name(), finish.name());
             }
         }
     }

@@ -276,10 +276,7 @@ mod tests {
             }
             let got = d.process_batch(&batch);
             assert_eq!(got, expected);
-            live = reference_edges
-                .iter()
-                .map(|&e| ((e >> 32) as u32, e as u32))
-                .collect();
+            live = reference_edges.iter().map(|&e| ((e >> 32) as u32, e as u32)).collect();
         }
         // Final partition agreement.
         let expect = oracle_labels(n, &live);

@@ -28,9 +28,7 @@ fn decode(x: u64) -> (VertexId, VertexId) {
 impl ForestBuf {
     /// Creates an all-empty buffer for `n` vertices.
     pub fn new(n: usize) -> Self {
-        ForestBuf {
-            slots: parallel_tabulate(n, |_| AtomicU64::new(EMPTY)).into_boxed_slice(),
-        }
+        ForestBuf { slots: parallel_tabulate(n, |_| AtomicU64::new(EMPTY)).into_boxed_slice() }
     }
 
     /// Assigns edge `(u, v)` to `owner`. Each owner is assigned at most

@@ -20,8 +20,7 @@ pub fn label_propagation_finish(
     let key = MinKey::new(frequent);
     let labels: Vec<AtomicU32> = parallel_tabulate(n, |v| AtomicU32::new(initial[v]));
     // Initial frontier: every vertex outside the frequent component.
-    let mut frontier: Vec<VertexId> =
-        pack_indices(n, |v| initial[v] != frequent);
+    let mut frontier: Vec<VertexId> = pack_indices(n, |v| initial[v] != frequent);
     let mut rounds = 0usize;
     while !frontier.is_empty() {
         rounds += 1;

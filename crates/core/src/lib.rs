@@ -34,7 +34,10 @@ pub mod spanning_forest;
 pub mod streaming;
 
 pub use compressed::connectivity_compressed;
-pub use connectivity::{connectivity, connectivity_seeded, connectivity_timed, finish_components, num_components, RunStats};
+pub use connectivity::{
+    connectivity, connectivity_seeded, connectivity_timed, finish_components, num_components,
+    RunStats,
+};
 pub use dynamic::{DynUpdate, DynamicConnectivity};
 pub use liu_tarjan::{LtConnect, LtScheme};
 pub use options::{FinishMethod, KOutVariant, SamplingMethod};

@@ -123,9 +123,9 @@ pub fn run_on_edges(p: &Parents, edges: Vec<Edge>, scheme: LtScheme, key: MinKey
     let mut edges = edges;
     loop {
         // Snapshot roots when RootUp filters update targets.
-        let prev_root: Option<Vec<u8>> = scheme.root_up.then(|| {
-            parallel_tabulate(n, |v| u8::from(p[v].load(Ordering::Relaxed) == v as u32))
-        });
+        let prev_root: Option<Vec<u8>> = scheme
+            .root_up
+            .then(|| parallel_tabulate(n, |v| u8::from(p[v].load(Ordering::Relaxed) == v as u32)));
         let changed = AtomicBool::new(false);
         // Offer `candidate` on behalf of vertex `x`. Without RootUp, `x`'s
         // own parent slot takes the min. With RootUp, the update instead
@@ -223,11 +223,7 @@ pub fn liu_tarjan_finish(
 
 /// Stergiou et al.'s algorithm: ParentConnect against the *previous*
 /// round's parents (two arrays), then shortcut, until stable.
-pub fn stergiou_finish(
-    g: &CsrGraph,
-    initial: &[VertexId],
-    frequent: VertexId,
-) -> Vec<VertexId> {
+pub fn stergiou_finish(g: &CsrGraph, initial: &[VertexId], frequent: VertexId) -> Vec<VertexId> {
     let key = MinKey::new(frequent);
     let cur = parents_from_labels(initial);
     let edges = collect_active_edges(g, initial);
@@ -311,10 +307,20 @@ mod tests {
 
     #[test]
     fn invalid_schemes_rejected() {
-        assert!(!LtScheme { connect: LtConnect::Connect, root_up: false, full_shortcut: false, alter: false }
-            .is_valid());
-        assert!(!LtScheme { connect: LtConnect::ExtendedConnect, root_up: true, full_shortcut: false, alter: false }
-            .is_valid());
+        assert!(!LtScheme {
+            connect: LtConnect::Connect,
+            root_up: false,
+            full_shortcut: false,
+            alter: false
+        }
+        .is_valid());
+        assert!(!LtScheme {
+            connect: LtConnect::ExtendedConnect,
+            root_up: true,
+            full_shortcut: false,
+            alter: false
+        }
+        .is_valid());
     }
 
     #[test]

@@ -20,12 +20,8 @@ pub enum KOutVariant {
 
 impl KOutVariant {
     /// All variants, in the order Figures 22–24 plot them.
-    pub const ALL: [KOutVariant; 4] = [
-        KOutVariant::Afforest,
-        KOutVariant::Pure,
-        KOutVariant::Hybrid,
-        KOutVariant::MaxDegree,
-    ];
+    pub const ALL: [KOutVariant; 4] =
+        [KOutVariant::Afforest, KOutVariant::Pure, KOutVariant::Hybrid, KOutVariant::MaxDegree];
 
     /// Display name matching the paper's plots.
     pub fn name(&self) -> &'static str {

@@ -90,8 +90,8 @@ pub fn identify_frequent(labels: &[VertexId]) -> (VertexId, usize) {
     parallel_for(n, |v| {
         counts[labels[v] as usize].fetch_add(1, Ordering::Relaxed);
     });
-    let idx = parallel_max_index(n, |i| counts[i].load(Ordering::Relaxed))
-        .expect("nonempty labels");
+    let idx =
+        parallel_max_index(n, |i| counts[i].load(Ordering::Relaxed)).expect("nonempty labels");
     (idx as VertexId, counts[idx].load(Ordering::Relaxed) as usize)
 }
 
@@ -163,11 +163,7 @@ fn kout_sample(
                 }
             }
             KOutVariant::MaxDegree => {
-                let best = nbrs
-                    .iter()
-                    .copied()
-                    .max_by_key(|&w| g.degree(w))
-                    .expect("nonempty");
+                let best = nbrs.iter().copied().max_by_key(|&w| g.degree(w)).expect("nonempty");
                 apply(best);
                 for _ in 1..k {
                     apply(nbrs[rng.gen_range(nbrs.len())]);
@@ -193,13 +189,8 @@ fn bfs_sample(g: &CsrGraph, tries: usize, seed: u64, want_forest: bool) -> Sampl
         let res = bfs(g, src);
         if res.num_visited * 10 > n {
             let parents = res.parents;
-            let mut labels: Vec<VertexId> = parallel_tabulate(n, |v| {
-                if parents[v] != NO_VERTEX {
-                    src
-                } else {
-                    v as VertexId
-                }
-            });
+            let mut labels: Vec<VertexId> =
+                parallel_tabulate(n, |v| if parents[v] != NO_VERTEX { src } else { v as VertexId });
             normalize_labels_to_min(&mut labels);
             let frequent = labels[src as usize];
             let parents_ref = &parents;
@@ -219,12 +210,7 @@ fn bfs_sample(g: &CsrGraph, tries: usize, seed: u64, want_forest: bool) -> Sampl
                 });
                 f
             });
-            return SampleOutcome {
-                frequent,
-                frequent_count: res.num_visited,
-                labels,
-                forest,
-            };
+            return SampleOutcome { frequent, frequent_count: res.num_visited, labels, forest };
         }
     }
     // No massive component found: fall back to the identity labeling.
@@ -282,8 +268,8 @@ pub fn satisfies_sampling_contract(labels: &[VertexId]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cc_graph::generators::{clustered_web, grid2d, rmat_default};
     use cc_graph::build_undirected;
+    use cc_graph::generators::{clustered_web, grid2d, rmat_default};
 
     fn rmat_graph() -> CsrGraph {
         let el = rmat_default(12, 40_000, 33);

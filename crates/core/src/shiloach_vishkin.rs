@@ -124,9 +124,7 @@ fn hook(
         }
         Some(f) => {
             // One-shot CAS hook so the responsible edge is unambiguous.
-            if p[hi as usize]
-                .compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
+            if p[hi as usize].compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Relaxed).is_ok()
             {
                 f.assign(hi, u, v);
                 changed.store(true, Ordering::Relaxed);
@@ -156,10 +154,10 @@ fn compress_to_stars(p: &Parents) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cc_graph::generators::{grid2d, rmat_default, star};
-    use cc_graph::NO_VERTEX;
-    use cc_graph::stats::{component_stats, same_partition};
     use cc_graph::build_undirected;
+    use cc_graph::generators::{grid2d, rmat_default, star};
+    use cc_graph::stats::{component_stats, same_partition};
+    use cc_graph::NO_VERTEX;
 
     fn identity(n: usize) -> Vec<u32> {
         (0..n as u32).collect()

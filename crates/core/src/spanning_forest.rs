@@ -20,9 +20,7 @@ use cc_unionfind::{KernelVisitor, NoCount, UniteKernel};
 /// (documented deviation, see DESIGN.md).
 pub fn supports_spanning_forest(finish: &FinishMethod) -> bool {
     match finish {
-        FinishMethod::UnionFind(spec) => {
-            spec.splice != Some(cc_unionfind::SpliceKind::Splice)
-        }
+        FinishMethod::UnionFind(spec) => spec.splice != Some(cc_unionfind::SpliceKind::Splice),
         FinishMethod::ShiloachVishkin => true,
         _ => false,
     }
@@ -40,11 +38,7 @@ pub fn spanning_forest(
     finish: &FinishMethod,
     seed: u64,
 ) -> Vec<Edge> {
-    assert!(
-        supports_spanning_forest(finish),
-        "{} does not support spanning forest",
-        finish.name()
-    );
+    assert!(supports_spanning_forest(finish), "{} does not support spanning forest", finish.name());
     let sample = run_sampling(g, sampling, seed, true);
     let forest = sample.forest.expect("forest requested");
     let initial = &sample.labels;
@@ -116,8 +110,8 @@ pub fn is_valid_spanning_forest(g: &CsrGraph, forest: &[Edge]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cc_graph::generators::{grid2d, rmat_default};
     use cc_graph::build_undirected;
+    use cc_graph::generators::{grid2d, rmat_default};
     use cc_unionfind::{FindKind, SpliceKind, UfSpec, UniteKind};
 
     fn samplings() -> Vec<SamplingMethod> {

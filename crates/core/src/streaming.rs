@@ -522,9 +522,9 @@ impl StreamingConnectivity {
     pub fn insert_phase_concurrent(&self, u: VertexId, v: VertexId) {
         match &self.inner {
             Inner::Uf(uf) => uf.insert_phase_concurrent(u, v),
-            Inner::Classic(_) => panic!(
-                "phase-concurrent inserts require a union-find backend; use process_batch"
-            ),
+            Inner::Classic(_) => {
+                panic!("phase-concurrent inserts require a union-find backend; use process_batch")
+            }
         }
     }
 
@@ -638,11 +638,8 @@ mod tests {
     fn sequential_semantics_small() {
         for alg in algorithms() {
             let s = StreamingConnectivity::new(6, &alg, 1);
-            let r = s.process_batch(&[
-                Update::Query(0, 1),
-                Update::Insert(0, 1),
-                Update::Insert(2, 3),
-            ]);
+            let r =
+                s.process_batch(&[Update::Query(0, 1), Update::Insert(0, 1), Update::Insert(2, 3)]);
             // A query in the same batch as inserts may see them (batch
             // operations are unordered); only its length is guaranteed.
             assert_eq!(r.len(), 1);
@@ -661,8 +658,7 @@ mod tests {
         for alg in algorithms() {
             let s = StreamingConnectivity::new(n, &alg, 7);
             for chunk in el.edges.chunks(1000) {
-                let batch: Vec<Update> =
-                    chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                let batch: Vec<Update> = chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
                 s.process_batch(&batch);
             }
             assert!(same_partition(&expect, &s.labels()), "{}", alg.name());
@@ -787,10 +783,8 @@ mod tests {
     #[test]
     fn from_labels_seeds_components() {
         let labels = vec![0, 0, 0, 3, 3, 5];
-        for alg in [
-            StreamAlgorithm::UnionFind(UfSpec::fastest()),
-            StreamAlgorithm::ShiloachVishkin,
-        ] {
+        for alg in [StreamAlgorithm::UnionFind(UfSpec::fastest()), StreamAlgorithm::ShiloachVishkin]
+        {
             let s = StreamingConnectivity::from_labels(&labels, &alg, 0);
             assert!(s.connected(0, 2), "{}", alg.name());
             assert!(s.connected(3, 4));

@@ -76,8 +76,10 @@ fn gen_stats_cc_forest_roundtrip() {
 #[test]
 fn cc_agrees_across_configurations() {
     let el = tmp("g2.el");
-    let out =
-        cli().args(["gen", "grid", "12", "-o", el.to_str().expect("utf8")]).output().expect("spawn");
+    let out = cli()
+        .args(["gen", "grid", "12", "-o", el.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
     assert!(out.status.success());
     let mut label_sets = Vec::new();
     for (s, f) in [("none", "rem-cas"), ("bfs", "lp"), ("ldd", "sv"), ("kout", "lt")] {

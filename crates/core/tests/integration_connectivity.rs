@@ -57,11 +57,7 @@ fn matrix_multi_component() {
     // Several medium components + isolated vertices.
     let a = rmat_default(8, 1_200, 3);
     let b = rmat_default(7, 500, 4);
-    let el = cc_graph::generators::disjoint_union(&[
-        a,
-        b,
-        cc_graph::EdgeList::new(10, vec![]),
-    ]);
+    let el = cc_graph::generators::disjoint_union(&[a, b, cc_graph::EdgeList::new(10, vec![])]);
     check_graph(&build_undirected(el.num_vertices, &el.edges), "multi");
 }
 
@@ -87,13 +83,7 @@ fn matrix_clustered_web_ordered() {
 
 #[test]
 fn degenerate_graphs() {
-    for g in [
-        CsrGraph::empty(0),
-        CsrGraph::empty(1),
-        CsrGraph::empty(100),
-        path(2),
-        star(3),
-    ] {
+    for g in [CsrGraph::empty(0), CsrGraph::empty(1), CsrGraph::empty(100), path(2), star(3)] {
         let expect = component_stats(&g).labels;
         for finish in [
             FinishMethod::fastest(),

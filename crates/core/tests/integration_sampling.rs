@@ -39,11 +39,7 @@ fn definition_3_1_holds_everywhere() {
     for (tag, g) in graphs() {
         for method in all_methods() {
             let out = run_sampling(&g, &method, 17, false);
-            assert!(
-                satisfies_sampling_contract(&out.labels),
-                "{tag}: {}",
-                method.name()
-            );
+            assert!(satisfies_sampling_contract(&out.labels), "{tag}: {}", method.name());
         }
     }
 }
@@ -82,12 +78,8 @@ fn kout_quality_improves_with_k() {
     let g = build_undirected(el.num_vertices, &el.edges);
     let mut prev_ic = usize::MAX;
     for k in [1usize, 2, 4] {
-        let out = run_sampling(
-            &g,
-            &SamplingMethod::KOut { k, variant: KOutVariant::Hybrid },
-            3,
-            false,
-        );
+        let out =
+            run_sampling(&g, &SamplingMethod::KOut { k, variant: KOutVariant::Hybrid }, 3, false);
         let ic = inter_component_edges(&g, &out.labels);
         assert!(ic <= prev_ic, "k={k}: {ic} > {prev_ic}");
         prev_ic = ic;
@@ -101,24 +93,12 @@ fn afforest_fails_and_hybrid_recovers_on_ordered_web() {
     // Figures 22–24 headline. Same underlying graph, adversarial order.
     let web = clustered_web(200, 32, 6, 0.4, 11);
     let g = build_undirected_ordered(web.num_vertices, &web.edges);
-    let aff = run_sampling(
-        &g,
-        &SamplingMethod::KOut { k: 2, variant: KOutVariant::Afforest },
-        5,
-        false,
-    );
-    let hyb = run_sampling(
-        &g,
-        &SamplingMethod::KOut { k: 2, variant: KOutVariant::Hybrid },
-        5,
-        false,
-    );
-    let pure = run_sampling(
-        &g,
-        &SamplingMethod::KOut { k: 2, variant: KOutVariant::Pure },
-        5,
-        false,
-    );
+    let aff =
+        run_sampling(&g, &SamplingMethod::KOut { k: 2, variant: KOutVariant::Afforest }, 5, false);
+    let hyb =
+        run_sampling(&g, &SamplingMethod::KOut { k: 2, variant: KOutVariant::Hybrid }, 5, false);
+    let pure =
+        run_sampling(&g, &SamplingMethod::KOut { k: 2, variant: KOutVariant::Pure }, 5, false);
     // Afforest's giant is at most a few blocks; the randomized variants
     // find a giant spanning a large fraction of the graph.
     assert!(aff.frequent_count < g.num_vertices() / 10, "afforest {}", aff.frequent_count);
@@ -128,13 +108,13 @@ fn afforest_fails_and_hybrid_recovers_on_ordered_web() {
     // the problem, not the topology).
     let shuffled = shuffle_labels(&web, 13);
     let g2 = build_undirected(shuffled.num_vertices, &shuffled.edges);
-    let aff2 = run_sampling(
-        &g2,
-        &SamplingMethod::KOut { k: 2, variant: KOutVariant::Afforest },
-        5,
-        false,
+    let aff2 =
+        run_sampling(&g2, &SamplingMethod::KOut { k: 2, variant: KOutVariant::Afforest }, 5, false);
+    assert!(
+        aff2.frequent_count > g2.num_vertices() / 2,
+        "shuffled afforest {}",
+        aff2.frequent_count
     );
-    assert!(aff2.frequent_count > g2.num_vertices() / 2, "shuffled afforest {}", aff2.frequent_count);
 }
 
 #[test]
@@ -165,8 +145,5 @@ fn ldd_beta_controls_cut_edges() {
     let large = run_sampling(&g, &SamplingMethod::Ldd { beta: 0.8, permute: false }, 3, false);
     let ic_small = inter_component_edges(&g, &small.labels);
     let ic_large = inter_component_edges(&g, &large.labels);
-    assert!(
-        ic_small < ic_large,
-        "beta 0.05 cuts {ic_small}, beta 0.8 cuts {ic_large}"
-    );
+    assert!(ic_small < ic_large, "beta 0.05 cuts {ic_small}, beta 0.8 cuts {ic_large}");
 }

@@ -2,8 +2,8 @@
 //! combination must produce a valid spanning forest (acyclic, real edges,
 //! spans every component with exactly n - #components edges).
 
-use cc_graph::generators::{disjoint_union, grid2d, rmat_default};
 use cc_graph::build_undirected;
+use cc_graph::generators::{disjoint_union, grid2d, rmat_default};
 use cc_unionfind::{SpliceKind, UfSpec};
 use connectit::{
     is_valid_spanning_forest, spanning_forest, supports_spanning_forest, FinishMethod,
@@ -36,12 +36,7 @@ fn forest_matrix_rmat() {
     for sampling in samplings() {
         for finish in forest_finishes() {
             let f = spanning_forest(&g, &sampling, &finish, 77);
-            assert!(
-                is_valid_spanning_forest(&g, &f),
-                "{} + {}",
-                sampling.name(),
-                finish.name()
-            );
+            assert!(is_valid_spanning_forest(&g, &f), "{} + {}", sampling.name(), finish.name());
         }
     }
 }
@@ -92,7 +87,8 @@ fn forest_repeated_runs_always_valid() {
     let el = rmat_default(10, 8_000, 5);
     let g = build_undirected(el.num_vertices, &el.edges);
     for seed in 0..10u64 {
-        let f = spanning_forest(&g, &SamplingMethod::kout_default(), &FinishMethod::fastest(), seed);
+        let f =
+            spanning_forest(&g, &SamplingMethod::kout_default(), &FinishMethod::fastest(), seed);
         assert!(is_valid_spanning_forest(&g, &f), "seed {seed}");
     }
 }

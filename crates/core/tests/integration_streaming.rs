@@ -16,8 +16,16 @@ fn algorithms() -> Vec<StreamAlgorithm> {
         StreamAlgorithm::UnionFind(UfSpec::new(UniteKind::Hooks, FindKind::Split)),
         StreamAlgorithm::UnionFind(UfSpec::new(UniteKind::Early, FindKind::Naive)),
         StreamAlgorithm::UnionFind(UfSpec::new(UniteKind::Jtb, FindKind::TwoTrySplit)),
-        StreamAlgorithm::UnionFind(UfSpec::rem(UniteKind::RemCas, SpliceKind::Splice, FindKind::Naive)),
-        StreamAlgorithm::UnionFind(UfSpec::rem(UniteKind::RemLock, SpliceKind::HalveOne, FindKind::Halve)),
+        StreamAlgorithm::UnionFind(UfSpec::rem(
+            UniteKind::RemCas,
+            SpliceKind::Splice,
+            FindKind::Naive,
+        )),
+        StreamAlgorithm::UnionFind(UfSpec::rem(
+            UniteKind::RemLock,
+            SpliceKind::HalveOne,
+            FindKind::Halve,
+        )),
         StreamAlgorithm::ShiloachVishkin,
         StreamAlgorithm::LiuTarjan(LtScheme::crfa()),
     ]
@@ -32,15 +40,10 @@ fn insert_only_stream_matches_oracle_across_batch_sizes() {
         for batch_size in [1usize, 17, 1000, el.edges.len()] {
             let s = StreamingConnectivity::new(n, &alg, 4);
             for chunk in el.edges.chunks(batch_size) {
-                let batch: Vec<Update> =
-                    chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+                let batch: Vec<Update> = chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
                 s.process_batch(&batch);
             }
-            assert!(
-                same_partition(&expect, &s.labels()),
-                "{} batch_size={batch_size}",
-                alg.name()
-            );
+            assert!(same_partition(&expect, &s.labels()), "{} batch_size={batch_size}", alg.name());
         }
     }
 }
@@ -62,18 +65,12 @@ fn queries_between_batches_match_sequential_reference() {
                 reference.union(u, v);
             }
             // Pure-query batch: answers must match the reference exactly.
-            let queries: Vec<(u32, u32)> = (0..50)
-                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
-                .collect();
+            let queries: Vec<(u32, u32)> =
+                (0..50).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect();
             let batch: Vec<Update> = queries.iter().map(|&(u, v)| Update::Query(u, v)).collect();
             let answers = s.process_batch(&batch);
             for (i, &(u, v)) in queries.iter().enumerate() {
-                assert_eq!(
-                    answers[i],
-                    reference.connected(u, v),
-                    "{} query ({u},{v})",
-                    alg.name()
-                );
+                assert_eq!(answers[i], reference.connected(u, v), "{} query ({u},{v})", alg.name());
             }
         }
     }

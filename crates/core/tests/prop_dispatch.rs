@@ -8,9 +8,7 @@ use cc_graph::stats::same_partition;
 use cc_graph::{build_undirected, CsrGraph};
 use cc_unionfind::parents::{make_parents, snapshot_labels};
 use cc_unionfind::{SpliceKind, UfSpec};
-use connectit::{
-    connectivity_seeded, spanning_forest, FinishMethod, SamplingMethod,
-};
+use connectit::{connectivity_seeded, spanning_forest, FinishMethod, SamplingMethod};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -40,10 +40,8 @@ fn arb_finish() -> impl Strategy<Value = FinishMethod> {
 fn arb_sampling() -> impl Strategy<Value = SamplingMethod> {
     prop_oneof![
         Just(SamplingMethod::None),
-        (1usize..5, 0usize..4).prop_map(|(k, v)| SamplingMethod::KOut {
-            k,
-            variant: connectit::KOutVariant::ALL[v],
-        }),
+        (1usize..5, 0usize..4)
+            .prop_map(|(k, v)| SamplingMethod::KOut { k, variant: connectit::KOutVariant::ALL[v] }),
         (1usize..4).prop_map(|tries| SamplingMethod::Bfs { tries }),
         (1u32..10, any::<bool>())
             .prop_map(|(b, p)| SamplingMethod::Ldd { beta: b as f64 / 10.0, permute: p }),

@@ -38,12 +38,7 @@ fn wait_free_variants() -> Vec<UfSpec> {
 fn arb_case() -> impl Strategy<Value = (usize, Vec<(bool, u32, u32)>, usize, usize)> {
     (2usize..80).prop_flat_map(|n| {
         let op = (any::<bool>(), 0..n as u32, 0..n as u32);
-        (
-            Just(n),
-            proptest::collection::vec(op, 1..250),
-            1usize..40,
-            0usize..1000,
-        )
+        (Just(n), proptest::collection::vec(op, 1..250), 1usize..40, 0usize..1000)
     })
 }
 

@@ -11,9 +11,7 @@ use cc_graph::generators::{grid2d, rmat_default};
 use cc_graph::stats::same_partition;
 use cc_graph::{build_undirected, CsrGraph};
 use cc_unionfind::{oracle_labels, UfSpec};
-use connectit::{
-    connectivity_seeded, FinishMethod, KOutVariant, LtScheme, SamplingMethod,
-};
+use connectit::{connectivity_seeded, FinishMethod, KOutVariant, LtScheme, SamplingMethod};
 
 fn all_finish_methods() -> Vec<FinishMethod> {
     let mut out: Vec<FinishMethod> =
@@ -27,9 +25,7 @@ fn all_finish_methods() -> Vec<FinishMethod> {
 
 fn all_sampling_methods() -> Vec<SamplingMethod> {
     let mut out = vec![SamplingMethod::None];
-    out.extend(
-        KOutVariant::ALL.iter().map(|&variant| SamplingMethod::KOut { k: 2, variant }),
-    );
+    out.extend(KOutVariant::ALL.iter().map(|&variant| SamplingMethod::KOut { k: 2, variant }));
     out.push(SamplingMethod::bfs_default());
     out.push(SamplingMethod::ldd_default());
     out

@@ -53,8 +53,7 @@ pub fn bfs_multi(g: &CsrGraph, sources: &[VertexId]) -> BfsResult {
 
     while !frontier.is_empty() {
         rounds += 1;
-        let frontier_edges: usize =
-            parallel_sum(frontier.len(), |i| g.degree(frontier[i]));
+        let frontier_edges: usize = parallel_sum(frontier.len(), |i| g.degree(frontier[i]));
         let go_dense = if dense_mode {
             frontier.len() >= n / SPARSE_VERTEX_FRACTION
         } else {
@@ -99,12 +98,7 @@ pub fn bfs_multi(g: &CsrGraph, sources: &[VertexId]) -> BfsResult {
                     for &v in g.neighbors(u) {
                         if parents[v as usize].load(Ordering::Relaxed) == NO_VERTEX
                             && parents[v as usize]
-                                .compare_exchange(
-                                    NO_VERTEX,
-                                    u,
-                                    Ordering::AcqRel,
-                                    Ordering::Relaxed,
-                                )
+                                .compare_exchange(NO_VERTEX, u, Ordering::AcqRel, Ordering::Relaxed)
                                 .is_ok()
                         {
                             local.push(v);
@@ -121,11 +115,7 @@ pub fn bfs_multi(g: &CsrGraph, sources: &[VertexId]) -> BfsResult {
         num_visited += frontier.len();
     }
 
-    BfsResult {
-        parents: cc_parallel::snapshot_u32(&parents),
-        num_visited,
-        rounds,
-    }
+    BfsResult { parents: cc_parallel::snapshot_u32(&parents), num_visited, rounds }
 }
 
 /// Estimates the graph's diameter with `sweeps` alternating BFS sweeps

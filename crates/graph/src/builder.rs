@@ -4,9 +4,7 @@
 //! web graphs: "we symmetrize them before applying our algorithms".
 
 use crate::types::{CsrGraph, Edge, VertexId};
-use cc_parallel::{
-    parallel_for, parallel_for_chunks, parallel_tabulate, scan_exclusive,
-};
+use cc_parallel::{parallel_for, parallel_for_chunks, parallel_tabulate, scan_exclusive};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Builds a symmetric, sorted, deduplicated CSR graph from an undirected
@@ -27,18 +25,12 @@ pub fn build_undirected(n: usize, edges: &[Edge]) -> CsrGraph {
             }
         }
     });
-    let mut offsets: Vec<usize> = parallel_tabulate(n + 1, |i| {
-        if i < n {
-            degs[i].load(Ordering::Relaxed)
-        } else {
-            0
-        }
-    });
+    let mut offsets: Vec<usize> =
+        parallel_tabulate(n + 1, |i| if i < n { degs[i].load(Ordering::Relaxed) } else { 0 });
     let total = scan_exclusive(&mut offsets);
     offsets[n] = total;
     // Scatter both directions using per-vertex cursors.
-    let cursors: Vec<AtomicUsize> =
-        parallel_tabulate(n, |v| AtomicUsize::new(offsets[v]));
+    let cursors: Vec<AtomicUsize> = parallel_tabulate(n, |v| AtomicUsize::new(offsets[v]));
     let mut nbrs: Vec<VertexId> = vec![0; total];
     {
         let slots: &[AtomicU32Cell] = unsafe {
@@ -222,9 +214,8 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(7);
         let n = 5000usize;
-        let edges: Vec<Edge> = (0..60_000)
-            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
-            .collect();
+        let edges: Vec<Edge> =
+            (0..60_000).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect();
         let g = build_undirected(n, &edges);
         // Reference adjacency via BTreeSet.
         let mut adj = vec![std::collections::BTreeSet::new(); n];

@@ -230,9 +230,9 @@ pub fn bfs_with_edge_map(g: &CsrGraph, src: VertexId) -> Vec<VertexId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::build_undirected;
     use crate::generators::{grid2d, rmat_default, star};
     use crate::types::NO_VERTEX;
-    use crate::builder::build_undirected;
 
     #[test]
     fn subset_representations_agree() {
@@ -277,10 +277,7 @@ mod tests {
         let g = build_undirected(el.num_vertices, &el.edges);
         let via_frontier = bfs_with_edge_map(&g, 3);
         let reference = crate::bfs::bfs(&g, 3);
-        assert_eq!(
-            via_frontier.iter().filter(|&&p| p != NO_VERTEX).count(),
-            reference.num_visited
-        );
+        assert_eq!(via_frontier.iter().filter(|&&p| p != NO_VERTEX).count(), reference.num_visited);
     }
 
     #[test]

@@ -209,11 +209,7 @@ pub fn clustered_web(
 pub fn shuffle_labels(el: &EdgeList, seed: u64) -> EdgeList {
     let n = el.num_vertices;
     let perm = random_permutation(n, seed);
-    let edges = el
-        .edges
-        .iter()
-        .map(|&(u, v)| (perm[u as usize], perm[v as usize]))
-        .collect();
+    let edges = el.edges.iter().map(|&(u, v)| (perm[u as usize], perm[v as usize])).collect();
     EdgeList::new(n, edges)
 }
 

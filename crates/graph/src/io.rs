@@ -85,9 +85,7 @@ pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<EdgeLis
                 max_v = max_v.max(u).max(v);
                 edges.push((u, v));
             }
-            _ => {
-                return Err(ParseError::BadLine { line: i + 1, content: trimmed.to_string() })
-            }
+            _ => return Err(ParseError::BadLine { line: i + 1, content: trimmed.to_string() }),
         }
     }
     let n = if edges.is_empty() { 0 } else { max_v as usize + 1 }.max(min_vertices);
@@ -230,18 +228,15 @@ pub mod binary {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             match self {
                 CodecError::Io(e) => write!(f, "i/o error: {e}"),
-                CodecError::BadMagic { expected, found } => write!(
-                    f,
-                    "bad file magic at offset 0: expected {expected:?}, found {found:?}"
-                ),
-                CodecError::TruncatedHeader { offset, have } => write!(
-                    f,
-                    "truncated record header at offset {offset}: {have} of 8 bytes"
-                ),
-                CodecError::TruncatedPayload { offset, want, have } => write!(
-                    f,
-                    "truncated record payload at offset {offset}: {have} of {want} bytes"
-                ),
+                CodecError::BadMagic { expected, found } => {
+                    write!(f, "bad file magic at offset 0: expected {expected:?}, found {found:?}")
+                }
+                CodecError::TruncatedHeader { offset, have } => {
+                    write!(f, "truncated record header at offset {offset}: {have} of 8 bytes")
+                }
+                CodecError::TruncatedPayload { offset, want, have } => {
+                    write!(f, "truncated record payload at offset {offset}: {have} of {want} bytes")
+                }
                 CodecError::CrcMismatch { offset, stored, computed } => write!(
                     f,
                     "crc mismatch at offset {offset}: stored {stored:#010x}, \
@@ -284,10 +279,8 @@ pub mod binary {
         /// short magic also counts: a file can be torn before its header
         /// finished writing.
         pub fn is_truncation(&self) -> bool {
-            matches!(
-                self,
-                CodecError::TruncatedHeader { .. } | CodecError::TruncatedPayload { .. }
-            ) || matches!(self, CodecError::BadMagic { found, .. } if found.len() < MAGIC_LEN)
+            matches!(self, CodecError::TruncatedHeader { .. } | CodecError::TruncatedPayload { .. })
+                || matches!(self, CodecError::BadMagic { found, .. } if found.len() < MAGIC_LEN)
         }
     }
 
@@ -299,10 +292,7 @@ pub mod binary {
     /// Reads and verifies the 8-byte file magic. A short read yields
     /// [`CodecError::BadMagic`] with the partial bytes (which
     /// [`CodecError::is_truncation`] classifies as a torn file).
-    pub fn read_magic<R: Read>(
-        r: &mut R,
-        expected: &[u8; MAGIC_LEN],
-    ) -> Result<(), CodecError> {
+    pub fn read_magic<R: Read>(r: &mut R, expected: &[u8; MAGIC_LEN]) -> Result<(), CodecError> {
         let mut buf = Vec::with_capacity(MAGIC_LEN);
         let mut chunk = [0u8; MAGIC_LEN];
         let mut got = 0;
@@ -392,6 +382,50 @@ pub mod binary {
             }
             self.offset += 8 + len as u64;
             Ok(Some(payload))
+        }
+    }
+
+    /// A [`Read`] adapter that makes [`RecordReader`] safe on a *live
+    /// socket*: transient failures (`Interrupted`, and — for sockets
+    /// carrying a read timeout — `WouldBlock`/`TimedOut`) retry the read
+    /// instead of surfacing mid-record, which would desynchronize the
+    /// frame stream. On each transient failure `keep_going` decides
+    /// whether to retry or give up (e.g. a shutdown flag flipped); giving
+    /// up surfaces the original error. A read timeout therefore never
+    /// tears a record: either the bytes eventually arrive, or the caller
+    /// asked to stop and the whole stream is abandoned.
+    pub struct RetryRead<R, F> {
+        inner: R,
+        keep_going: F,
+    }
+
+    impl<R: Read, F: FnMut() -> bool> RetryRead<R, F> {
+        /// Wraps `inner`; `keep_going` is consulted on every transient
+        /// read failure.
+        pub fn new(inner: R, keep_going: F) -> Self {
+            RetryRead { inner, keep_going }
+        }
+    }
+
+    impl<R: Read, F: FnMut() -> bool> Read for RetryRead<R, F> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            loop {
+                match self.inner.read(buf) {
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if (self.keep_going)() {
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                    r => return r,
+                }
+            }
         }
     }
 
@@ -657,6 +691,65 @@ mod tests {
         let err = read_all(&framed(&[])[..5]).unwrap_err();
         assert!(matches!(&err, binary::CodecError::BadMagic { found, .. } if found.len() == 5));
         assert!(err.is_truncation());
+    }
+
+    /// A reader that interleaves timeout failures between real bytes —
+    /// the shape of a socket with a read timeout delivering a record in
+    /// dribbles.
+    struct Dribble {
+        bytes: Vec<u8>,
+        at: usize,
+        /// Fail with `WouldBlock` before every real byte.
+        block_next: bool,
+    }
+
+    impl std::io::Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.at >= self.bytes.len() {
+                return Ok(0);
+            }
+            if self.block_next {
+                self.block_next = false;
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "not yet"));
+            }
+            self.block_next = true;
+            buf[0] = self.bytes[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn retry_read_keeps_records_whole_across_timeouts() {
+        let buf = framed(&[b"hello", b"streamed"]);
+        let dribble = Dribble { bytes: buf, at: 0, block_next: true };
+        // keep_going => true: every timeout retries, the stream decodes
+        // exactly as if it had arrived in one piece.
+        let mut r = binary::RetryRead::new(dribble, || true);
+        binary::read_magic(&mut r, MAGIC).expect("magic survives timeouts");
+        let mut records = binary::RecordReader::new(r, binary::MAGIC_LEN as u64);
+        assert_eq!(records.next().expect("rec").expect("some"), b"hello".to_vec());
+        assert_eq!(records.next().expect("rec").expect("some"), b"streamed".to_vec());
+        assert!(records.next().expect("eof").is_none());
+    }
+
+    #[test]
+    fn retry_read_surfaces_timeout_when_asked_to_stop() {
+        let buf = framed(&[b"hello"]);
+        let dribble = Dribble { bytes: buf, at: 0, block_next: true };
+        // keep_going flips false after a few retries (a shutdown flag).
+        let mut budget = 3;
+        let mut r = binary::RetryRead::new(dribble, move || {
+            budget -= 1;
+            budget > 0
+        });
+        let err = binary::read_magic(&mut r, MAGIC).unwrap_err();
+        match err {
+            binary::CodecError::Io(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock)
+            }
+            other => panic!("expected Io(WouldBlock), got {other}"),
+        }
     }
 
     #[test]

@@ -55,12 +55,9 @@ pub fn ldd(g: &CsrGraph, beta: f64, permute: bool, seed: u64) -> LddResult {
         // that every graph contracts: a later center only forms where the
         // first ball has not arrived.
         let exponent = beta * round as f64;
-        let target = if exponent > (n as f64).ln() + 1.0 {
-            n
-        } else {
-            exponent.exp().floor() as usize
-        }
-        .clamp(1, n);
+        let target =
+            if exponent > (n as f64).ln() + 1.0 { n } else { exponent.exp().floor() as usize }
+                .clamp(1, n);
         // Activate new centers among still-unclaimed vertices.
         while started < target {
             let v = order[started];
@@ -106,11 +103,7 @@ pub fn ldd(g: &CsrGraph, beta: f64, permute: bool, seed: u64) -> LddResult {
         frontier = locals.into_inner().concat();
     }
 
-    LddResult {
-        labels: snapshot_u32(&labels),
-        parents: snapshot_u32(&parents),
-        rounds: round,
-    }
+    LddResult { labels: snapshot_u32(&labels), parents: snapshot_u32(&parents), rounds: round }
 }
 
 /// Counts the directed edges whose endpoints lie in different clusters.
@@ -128,8 +121,8 @@ pub fn inter_cluster_edges(g: &CsrGraph, labels: &[VertexId]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{grid2d, rmat_default};
     use crate::builder::build_undirected;
+    use crate::generators::{grid2d, rmat_default};
 
     fn check_clusters_valid(g: &CsrGraph, res: &LddResult) {
         let n = g.num_vertices();

@@ -97,10 +97,7 @@ pub fn most_frequent_label(labels: &[VertexId]) -> (VertexId, usize) {
     for &l in labels {
         *counts.entry(l).or_insert(0) += 1;
     }
-    counts
-        .into_iter()
-        .max_by_key(|&(_, c)| c)
-        .unwrap_or((NO_VERTEX, 0))
+    counts.into_iter().max_by_key(|&(_, c)| c).unwrap_or((NO_VERTEX, 0))
 }
 
 #[cfg(test)]

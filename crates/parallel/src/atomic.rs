@@ -75,10 +75,7 @@ mod tests {
         parallel_for(100_000, |i| {
             write_min_u32(&loc, (i as u32).wrapping_mul(2654435761) % 1_000_003);
         });
-        let expect = (0..100_000u32)
-            .map(|i| i.wrapping_mul(2654435761) % 1_000_003)
-            .min()
-            .unwrap();
+        let expect = (0..100_000u32).map(|i| i.wrapping_mul(2654435761) % 1_000_003).min().unwrap();
         assert_eq!(loc.load(Ordering::Relaxed), expect);
     }
 

@@ -67,8 +67,7 @@ where
     let total = scan_exclusive(&mut counts);
     debug_assert_eq!(total, n);
     *counts.last_mut().expect("nonempty") = n;
-    let cursors: Vec<AtomicUsize> =
-        parallel_tabulate(buckets, |b| AtomicUsize::new(counts[b]));
+    let cursors: Vec<AtomicUsize> = parallel_tabulate(buckets, |b| AtomicUsize::new(counts[b]));
     let perm_slots: Vec<AtomicUsize> = parallel_tabulate(n, |_| AtomicUsize::new(0));
     parallel_for_chunks(n, |r| {
         for i in r {

@@ -23,12 +23,14 @@ pub mod pool;
 pub mod rng;
 pub mod scan;
 
-pub use atomic::{atomic_u32_slice, atomic_usize_slice, snapshot_u32, write_max_u32, write_min_u32, write_min_u64};
+pub use atomic::{
+    atomic_u32_slice, atomic_usize_slice, snapshot_u32, write_max_u32, write_min_u32, write_min_u64,
+};
 pub use hist::{counting_sort_indices, histogram, LatencyHist};
 pub use ops::{
     parallel_count, parallel_for, parallel_for_chunks, parallel_for_chunks_grained,
     parallel_for_grained, parallel_max_index, parallel_reduce, parallel_sum, parallel_tabulate,
 };
-pub use rng::SplitMix64;
 pub use pool::{global_pool, num_threads, ThreadPool};
+pub use rng::SplitMix64;
 pub use scan::{flatten_offsets, pack_indices, pack_map, scan_exclusive};

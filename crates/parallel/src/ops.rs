@@ -98,10 +98,7 @@ where
         }
         partials.lock().push(acc);
     });
-    partials
-        .into_inner()
-        .into_iter()
-        .fold(identity, combine)
+    partials.into_inner().into_iter().fold(identity, combine)
 }
 
 /// Sums `map(i)` over `0..n` in parallel.

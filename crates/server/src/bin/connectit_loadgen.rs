@@ -17,8 +17,23 @@
 //!                   [--shards S] [--clients C] [--batches B] [--batch-ops K]
 //!                   [--query-frac F] [--layout blocked|strided]
 //!                   [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]
-//!                   [--seed X] [--shutdown]
+//!                   [--seed X] [--shutdown] [--follower HOST:PORT]...
 //! ```
+//!
+//! ## Split routing (`--follower`, repeatable)
+//!
+//! With one or more `--follower` addresses (tcp mode only), each client
+//! splits its traffic across the replication topology: **inserts go to
+//! the primary** (`--addr`), then the client reads the primary's `EPOCH`
+//! and issues `WAIT <epoch>` on its follower (clients round-robin over
+//! the follower list), and only then sends its **queries to the
+//! follower**. The `WAIT` barrier turns the follower's bounded staleness
+//! into read-your-writes, so every follower answer has exactly one legal
+//! value under the client's private-slice oracle — all follower queries
+//! are validated *exactly*, both positives and negatives. A follower
+//! that dies mid-run is retried (reconnect + re-`WAIT` + re-query, all
+//! idempotent) for `--retry-secs`, which is precisely the
+//! kill-one-follower CI drill.
 //!
 //! `--finish` (pass-through to the in-process service, mirroring
 //! `connectit-serve`) accepts any valid union-find variant as
@@ -74,6 +89,7 @@ struct GenOpts {
     resume: bool,
     state: Option<String>,
     retry_secs: u64,
+    followers: Vec<String>,
 }
 
 impl Default for GenOpts {
@@ -95,6 +111,7 @@ impl Default for GenOpts {
             resume: false,
             state: None,
             retry_secs: 30,
+            followers: Vec::new(),
         }
     }
 }
@@ -107,9 +124,11 @@ fn usage() -> ExitCode {
          \x20                        [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]\n\
          \x20                        [--seed X] [--shutdown]\n\
          \x20                        [--kill-after B --state FILE] [--resume [--state FILE]]\n\
-         \x20                        [--retry-secs S]\n\
+         \x20                        [--retry-secs S] [--follower HOST:PORT]...\n\
          \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress (see\n\
          \x20        connectit-serve --help)\n\
+         \x20  --follower (repeatable): split-route — inserts to --addr (the primary),\n\
+         \x20        queries to the followers behind a WAIT read-your-writes barrier\n\
          \x20  --kill-after B: stop after B batches/client and checkpoint the oracle to\n\
          \x20        --state FILE (tcp mode; the harness then kills/restarts the server)\n\
          \x20  --resume: survive server restarts (reconnect + resubmit in-flight inserts);\n\
@@ -159,16 +178,24 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
             "--seed" => o.seed = next_val(a, &mut it)?.parse().map_err(|_| "bad --seed")?,
             "--shutdown" => o.send_shutdown = true,
             "--kill-after" => {
-                o.kill_after =
-                    Some(next_val(a, &mut it)?.parse().map_err(|_| "bad --kill-after")?)
+                o.kill_after = Some(next_val(a, &mut it)?.parse().map_err(|_| "bad --kill-after")?)
             }
             "--resume" => o.resume = true,
             "--state" => o.state = Some(next_val(a, &mut it)?),
             "--retry-secs" => {
                 o.retry_secs = next_val(a, &mut it)?.parse().map_err(|_| "bad --retry-secs")?
             }
+            "--follower" => {
+                // Repeatable; commas also split for convenience.
+                o.followers.extend(next_val(a, &mut it)?.split(',').map(str::to_string));
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
+    }
+    if !o.followers.is_empty() && o.tcp_addr.is_none() {
+        return Err("--follower split-routing needs --mode tcp (inserts go to --addr, the \
+                    primary)"
+            .into());
     }
     if o.clients == 0 || o.n / o.clients < 2 {
         return Err("need n / clients >= 2".to_string());
@@ -223,10 +250,8 @@ fn read_state(path: &str, o: &GenOpts) -> Result<(usize, Vec<Vec<u32>>), String>
     let mut reader = std::io::BufReader::new(file);
     binary::read_magic(&mut reader, STATE_MAGIC).map_err(|e| fail(&e))?;
     let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
-    let header = records
-        .next()
-        .map_err(|e| fail(&e))?
-        .ok_or_else(|| fail(&"missing header record"))?;
+    let header =
+        records.next().map_err(|e| fail(&e))?.ok_or_else(|| fail(&"missing header record"))?;
     if header.len() != 33 {
         return Err(fail(&format!("header is {} bytes, want 33", header.len())));
     }
@@ -267,6 +292,94 @@ impl Conn {
             Conn::Tcp(c) => c.submit(ops).map_err(|e| e.to_string()),
         }
     }
+
+    fn epoch(&mut self) -> Result<u64, String> {
+        match self {
+            Conn::InProc(c) => Ok(c.epoch()),
+            Conn::Tcp(c) => c.epoch().map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// One client's connection to its follower replica, with the reconnect
+/// resilience the kill-a-follower drill leans on: every operation that
+/// fails is retried against a fresh connection until `--retry-secs`
+/// lapses (reads and `WAIT` are idempotent, so a retry is always safe).
+struct FollowerLink {
+    addr: String,
+    conn: Option<TcpClient>,
+    retry: Duration,
+    /// The largest epoch this follower ever reported: `WAIT` replies
+    /// must never regress (the honesty half of the staleness contract).
+    max_epoch_seen: u64,
+}
+
+impl FollowerLink {
+    fn connect(addr: String, retry_secs: u64) -> FollowerLink {
+        FollowerLink {
+            conn: TcpClient::connect(addr.as_str()).ok(),
+            addr,
+            retry: Duration::from_secs(retry_secs),
+            max_epoch_seen: 0,
+        }
+    }
+
+    /// Runs `op` with reconnect-retry. The closure gets a live client;
+    /// any error drops the connection and retries until the deadline.
+    fn with_retry<T>(
+        &mut self,
+        what: &str,
+        mut op: impl FnMut(&mut TcpClient) -> std::io::Result<T>,
+    ) -> Result<T, String> {
+        let deadline = Instant::now() + self.retry;
+        loop {
+            if let Some(c) = self.conn.as_mut() {
+                match op(c) {
+                    Ok(v) => return Ok(v),
+                    Err(_) => self.conn = None,
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "follower {}: {what} kept failing for {:?} (is it down for good?)",
+                    self.addr, self.retry
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(200));
+            self.conn = TcpClient::connect(self.addr.as_str()).ok();
+        }
+    }
+
+    /// `WAIT`s until the follower reaches `epoch`, then submits the
+    /// query-only batch — as ONE retry unit, so a reconnect (say, to a
+    /// follower that was just SIGKILLed and restarted empty) always
+    /// re-establishes the read-your-writes barrier before re-querying.
+    /// Also checks the honesty half of the staleness contract: the
+    /// follower's reported epoch never regresses.
+    fn wait_and_query(&mut self, epoch: u64, queries: &[Update]) -> Result<Vec<bool>, String> {
+        let timeout_ms = self.retry.as_millis() as u64;
+        let (reached, answers) = self.with_retry("WAIT + queries", |c| {
+            let reached = c.wait_epoch(epoch, timeout_ms)?;
+            let answers = c.submit(queries)?;
+            Ok((reached, answers))
+        })?;
+        if reached < self.max_epoch_seen {
+            return Err(format!(
+                "follower {}: reported epoch went backwards ({reached} after {})",
+                self.addr, self.max_epoch_seen
+            ));
+        }
+        self.max_epoch_seen = reached;
+        if answers.len() != queries.len() {
+            return Err(format!(
+                "follower {}: {} answers to {} queries",
+                self.addr,
+                answers.len(),
+                queries.len()
+            ));
+        }
+        Ok(answers)
+    }
 }
 
 #[derive(Default)]
@@ -282,6 +395,9 @@ struct WorkerReport {
     /// Post-restore sweep queries validating the checkpointed oracle
     /// against the recovered server.
     sweep_checks: u64,
+    /// Queries answered by a follower behind the WAIT barrier (all of
+    /// them exactly validated).
+    follower_verified: u64,
     first_mismatch: Option<String>,
     /// The oracle labeling at exit, captured for `--kill-after`
     /// checkpointing.
@@ -305,11 +421,8 @@ fn submit_resilient(
     let (true, Some(addr)) = (o.resume, o.tcp_addr.as_deref()) else {
         return Err(first_err);
     };
-    let inserts: Vec<Update> = wire_ops
-        .iter()
-        .filter(|op| matches!(op, Update::Insert(..)))
-        .copied()
-        .collect();
+    let inserts: Vec<Update> =
+        wire_ops.iter().filter(|op| matches!(op, Update::Insert(..))).copied().collect();
     let deadline = Instant::now() + Duration::from_secs(o.retry_secs);
     loop {
         std::thread::sleep(Duration::from_millis(200));
@@ -317,6 +430,34 @@ fn submit_resilient(
             if c.submit(&inserts).is_ok() {
                 *conn = Conn::Tcp(Box::new(c));
                 return Ok(None);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "connection lost ({first_err}) and not restored within {}s",
+                o.retry_secs
+            ));
+        }
+    }
+}
+
+/// Reads the primary's epoch, with the same reconnect resilience as
+/// [`submit_resilient`] when `--resume` allows it.
+fn primary_epoch_resilient(o: &GenOpts, conn: &mut Conn) -> Result<u64, String> {
+    let first_err = match conn.epoch() {
+        Ok(e) => return Ok(e),
+        Err(e) => e,
+    };
+    let (true, Some(addr)) = (o.resume, o.tcp_addr.as_deref()) else {
+        return Err(first_err);
+    };
+    let deadline = Instant::now() + Duration::from_secs(o.retry_secs);
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        if let Ok(mut c) = TcpClient::connect(addr) {
+            if let Ok(e) = c.epoch() {
+                *conn = Conn::Tcp(Box::new(c));
+                return Ok(e);
             }
         }
         if Instant::now() >= deadline {
@@ -405,6 +546,10 @@ fn run_worker(
     };
     let mut oracle = SeqUnionFind::new(sz);
     let mut rep = WorkerReport::default();
+    // Split routing: this worker's queries go to one follower replica
+    // (workers round-robin over the list), inserts to the primary.
+    let mut follower = (!o.followers.is_empty())
+        .then(|| FollowerLink::connect(o.followers[idx % o.followers.len()].clone(), o.retry_secs));
     if let Some(labels) = restored {
         for (v, &l) in labels.iter().enumerate() {
             if l as usize != v {
@@ -445,6 +590,56 @@ fn run_worker(
             } else {
                 wire_ops.push(Update::Insert(gu, gv));
             }
+        }
+        if let Some(link) = follower.as_mut() {
+            // Split-route: inserts to the primary first...
+            let inserts: Vec<Update> =
+                wire_ops.iter().copied().filter(|op| matches!(op, Update::Insert(..))).collect();
+            let queries: Vec<Update> =
+                wire_ops.iter().copied().filter(|op| matches!(op, Update::Query(..))).collect();
+            if !inserts.is_empty() {
+                submit_resilient(o, &mut conn, &inserts)?;
+            }
+            for &(is_query, lu, lv) in &local_ops {
+                if !is_query {
+                    oracle.union(lu, lv);
+                }
+            }
+            rep.ops += o.batch_ops as u64;
+            if queries.is_empty() {
+                continue;
+            }
+            // ...then WAIT the primary's epoch on the follower and query
+            // it there. The barrier makes every answer exact: the oracle
+            // already holds this batch's inserts, and the follower is
+            // guaranteed to as well.
+            let target = primary_epoch_resilient(o, &mut conn)?;
+            let answers = link.wait_and_query(target, &queries)?;
+            let mut ai = 0usize;
+            for &(is_query, lu, lv) in &local_ops {
+                if !is_query {
+                    continue;
+                }
+                let got = answers[ai];
+                ai += 1;
+                let want = oracle.connected(lu, lv);
+                rep.queries += 1;
+                rep.exact += 1;
+                rep.follower_verified += 1;
+                if got != want {
+                    rep.mismatches += 1;
+                    rep.first_mismatch.get_or_insert_with(|| {
+                        format!(
+                            "client {idx}: follower {}: query({}, {}) answered {got} behind \
+                             WAIT {target}, oracle says {want}",
+                            link.addr,
+                            to_global(lu as usize),
+                            to_global(lv as usize)
+                        )
+                    });
+                }
+            }
+            continue;
         }
         let answers = submit_resilient(o, &mut conn, &wire_ops)?;
         // Advance the oracle past this batch's insertions (a replayed
@@ -515,23 +710,22 @@ fn main() -> ExitCode {
     };
 
     // A --resume run restores the checkpointed per-client oracles first.
-    let (start_batch, mut restored): (usize, Vec<Option<Vec<u32>>>) =
-        match (o.resume, &o.state) {
-            (true, Some(path)) => match read_state(path, &o) {
-                Ok((done, oracles)) => {
-                    println!(
-                        "connectit-loadgen: resuming from {path}: {done} batches/client \
+    let (start_batch, mut restored): (usize, Vec<Option<Vec<u32>>>) = match (o.resume, &o.state) {
+        (true, Some(path)) => match read_state(path, &o) {
+            Ok((done, oracles)) => {
+                println!(
+                    "connectit-loadgen: resuming from {path}: {done} batches/client \
                          already validated before the restart"
-                    );
-                    (done, oracles.into_iter().map(Some).collect())
-                }
-                Err(e) => {
-                    eprintln!("connectit-loadgen: {e}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            _ => (0, vec![None; o.clients]),
-        };
+                );
+                (done, oracles.into_iter().map(Some).collect())
+            }
+            Err(e) => {
+                eprintln!("connectit-loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => (0, vec![None; o.clients]),
+    };
     if start_batch >= o.batches {
         eprintln!(
             "connectit-loadgen: checkpoint already covers {start_batch} batches; \
@@ -595,6 +789,7 @@ fn main() -> ExitCode {
                 total.mismatches += r.mismatches;
                 total.skipped_batches += r.skipped_batches;
                 total.sweep_checks += r.sweep_checks;
+                total.follower_verified += r.follower_verified;
                 if total.first_mismatch.is_none() {
                     total.first_mismatch = r.first_mismatch;
                 }
@@ -631,24 +826,27 @@ fn main() -> ExitCode {
     let layout = if o.strided { "strided" } else { "blocked" };
     println!(
         "connectit-loadgen: mode={mode} n={} shards={} clients={} batches={} batch_ops={} \
-         query_frac={} layout={layout} alg={}",
+         query_frac={} layout={layout} alg={} followers={}",
         o.n,
         o.shards,
         o.clients,
         o.batches,
         o.batch_ops,
         o.query_frac,
-        o.spec.name()
+        o.spec.name(),
+        o.followers.len()
     );
     println!(
         "ops={} elapsed={:.3}s ops_per_sec={ops_per_sec} verified_queries={} exact={} \
-         intra_batch_transitions={} sweep_checks={} skipped_batches={} mismatches={}",
+         intra_batch_transitions={} sweep_checks={} follower_verified={} skipped_batches={} \
+         mismatches={}",
         total.ops,
         elapsed.as_secs_f64(),
         total.queries,
         total.exact,
         total.transitions,
         total.sweep_checks,
+        total.follower_verified,
         total.skipped_batches,
         total.mismatches
     );

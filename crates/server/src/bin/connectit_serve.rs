@@ -5,6 +5,7 @@
 //!                 [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]
 //!                 [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]
 //!                 [--wal-dir DIR] [--fsync always|batch|off]
+//!                 [--replication-port R | --replicate-from HOST:PORT]
 //! ```
 //!
 //! `--finish` accepts any valid union-find variant as
@@ -20,11 +21,23 @@
 //! also writes a *durable* label snapshot on that epoch cadence, which
 //! bounds replay and prunes covered segments.
 //!
+//! `--replication-port` (primary side; requires `--wal-dir`) additionally
+//! serves the WAL-shipping replication stream to followers on that port.
+//! `--replicate-from HOST:PORT` starts this process as a read-replica
+//! *follower* instead: an in-memory engine fed exclusively by the
+//! primary's replication stream, serving `Q`/`B`/`LABEL`/`COMPONENTS`/
+//! `EPOCH`/`WAIT` (inserts answer `ERR read-only follower …`) at an
+//! honestly-reported replication epoch. See DESIGN.md §8.
+//!
 //! Serves the line protocol documented in `cc_server::net` until a client
 //! sends `SHUTDOWN`, then prints final stats and exits.
 
-use cc_server::{parse_alg, serve, DurabilityConfig, ExecMode, Service, ServiceConfig};
+use cc_server::{
+    parse_alg, serve, serve_replication, DurabilityConfig, ExecMode, Role, Service, ServiceConfig,
+};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
@@ -33,10 +46,13 @@ fn usage() -> ExitCode {
          \x20                      [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]\n\
          \x20                      [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]\n\
          \x20                      [--wal-dir DIR] [--fsync always|batch|off]\n\
+         \x20                      [--replication-port R | --replicate-from HOST:PORT]\n\
          \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress, async+split,\n\
          \x20        jtb+two-try (unites: async|hooks|early|rem-cas|rem-lock|jtb)\n\
          \x20  --wal-dir enables the write-ahead log + crash recovery; --snapshot-every\n\
-         \x20  then also controls the durable snapshot cadence"
+         \x20  then also controls the durable snapshot cadence\n\
+         \x20  --replication-port streams the WAL to followers (requires --wal-dir)\n\
+         \x20  --replicate-from makes this a read-only follower of that primary"
     );
     ExitCode::from(2)
 }
@@ -47,6 +63,8 @@ struct Opts {
     port: u16,
     wal_dir: Option<String>,
     fsync: cc_server::FsyncPolicy,
+    replication_port: Option<u16>,
+    replicate_from: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -56,6 +74,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         port: 7411,
         wal_dir: None,
         fsync: cc_server::FsyncPolicy::Batch,
+        replication_port: None,
+        replicate_from: None,
     };
     let mut it = args.iter();
     let next_val = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -72,8 +92,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             }
             "--bind" => opts.bind = next_val(a, &mut it)?,
             "--port" => {
-                opts.port =
-                    next_val(a, &mut it)?.parse().map_err(|_| "bad --port".to_string())?
+                opts.port = next_val(a, &mut it)?.parse().map_err(|_| "bad --port".to_string())?
             }
             "--alg" => opts.cfg.spec = parse_alg(&next_val(a, &mut it)?)?,
             "--finish" => opts.cfg.spec = next_val(a, &mut it)?.parse()?,
@@ -83,20 +102,42 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     next_val(a, &mut it)?.parse().map_err(|_| "bad --batch-ops".to_string())?
             }
             "--batch-wait-us" => {
-                let us: u64 = next_val(a, &mut it)?
-                    .parse()
-                    .map_err(|_| "bad --batch-wait-us".to_string())?;
+                let us: u64 =
+                    next_val(a, &mut it)?.parse().map_err(|_| "bad --batch-wait-us".to_string())?;
                 opts.cfg.batch_max_wait = Duration::from_micros(us);
             }
             "--snapshot-every" => {
-                opts.cfg.snapshot_every = next_val(a, &mut it)?
-                    .parse()
-                    .map_err(|_| "bad --snapshot-every".to_string())?
+                opts.cfg.snapshot_every =
+                    next_val(a, &mut it)?.parse().map_err(|_| "bad --snapshot-every".to_string())?
             }
             "--wal-dir" => opts.wal_dir = Some(next_val(a, &mut it)?),
             "--fsync" => opts.fsync = next_val(a, &mut it)?.parse()?,
+            "--replication-port" => {
+                opts.replication_port = Some(
+                    next_val(a, &mut it)?
+                        .parse()
+                        .map_err(|_| "bad --replication-port".to_string())?,
+                )
+            }
+            "--replicate-from" => opts.replicate_from = Some(next_val(a, &mut it)?),
             other => return Err(format!("unknown argument {other:?}")),
         }
+    }
+    if opts.replicate_from.is_some() {
+        if opts.wal_dir.is_some() {
+            return Err("--replicate-from starts an in-memory follower; the WAL belongs to \
+                        the primary (drop --wal-dir)"
+                .into());
+        }
+        if opts.replication_port.is_some() {
+            return Err("--replicate-from and --replication-port are mutually exclusive \
+                        (a follower does not re-ship the stream)"
+                .into());
+        }
+        opts.cfg.role = Role::Follower;
+    }
+    if opts.replication_port.is_some() && opts.wal_dir.is_none() {
+        return Err("--replication-port streams the WAL to followers and needs --wal-dir".into());
     }
     if let Some(dir) = &opts.wal_dir {
         opts.cfg.durability = Some(DurabilityConfig {
@@ -137,13 +178,47 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Primary side of replication: stream the WAL directory to followers.
+    let mut hub = None;
+    if let Some(rport) = opts.replication_port {
+        let dir = opts.wal_dir.as_deref().expect("checked in parse_args");
+        match serve_replication(dir, (opts.bind.as_str(), rport)) {
+            Ok(h) => hub = Some(h),
+            Err(e) => {
+                eprintln!("connectit-serve: replication bind failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Follower side: connect to the primary and apply its stream forever.
+    let repl_shutdown = Arc::new(AtomicBool::new(false));
+    let mut receiver = None;
+    if let Some(primary) = &opts.replicate_from {
+        match cc_server::run_follower(client.clone(), primary.clone(), Arc::clone(&repl_shutdown)) {
+            Ok((h, _counters)) => receiver = Some(h),
+            Err(e) => {
+                eprintln!("connectit-serve: replication receiver failed to start: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let wal_info = match &opts.wal_dir {
-        Some(dir) => format!(" wal_dir={dir} fsync={} recovered_epoch={}", opts.fsync, client.epoch()),
+        Some(dir) => {
+            format!(" wal_dir={dir} fsync={} recovered_epoch={}", opts.fsync, client.epoch())
+        }
         None => String::new(),
     };
+    let repl_info = match (&hub, &opts.replicate_from) {
+        (Some(h), _) => format!(" replication_addr={}", h.local_addr()),
+        (None, Some(primary)) => format!(" replicate_from={primary}"),
+        (None, None) => String::new(),
+    };
     println!(
-        "connectit-serve listening on {} n={} shards={} alg={} mode={} batch_ops={} batch_wait={:?}{wal_info}",
+        "connectit-serve listening on {} role={} n={} shards={} alg={} mode={} batch_ops={} batch_wait={:?}{wal_info}{repl_info}",
         server.local_addr(),
+        client.role(),
         client.num_vertices(),
         client.num_shards(),
         opts.cfg.spec.name(),
@@ -152,7 +227,14 @@ fn main() -> ExitCode {
         opts.cfg.batch_max_wait,
     );
     server.wait_shutdown();
+    if let Some(mut h) = hub {
+        h.stop();
+    }
+    repl_shutdown.store(true, Ordering::Release);
     service.shutdown();
+    if let Some(h) = receiver {
+        let _ = h.join();
+    }
     println!("connectit-serve: shutdown; final stats: {}", client.stats());
     if let Ok(wal) = client.wal_stats() {
         println!("connectit-serve: final wal stats: {wal}");

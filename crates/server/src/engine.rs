@@ -160,8 +160,13 @@ pub fn build_engine(
             // The dispatched kernel was built for (n, seed) — exactly the
             // spine's parameters; stateful kernels (locks, ranks, hooks)
             // are O(n) to build, so reuse it rather than rebuilding.
-            let e =
-                ShardedEngine::with_spine_kernel(self.n, self.shards, self.mode, self.seed, kernel)?;
+            let e = ShardedEngine::with_spine_kernel(
+                self.n,
+                self.shards,
+                self.mode,
+                self.seed,
+                kernel,
+            )?;
             Ok(Box::new(e))
         }
     }
@@ -204,12 +209,7 @@ impl<K: UniteKernel> ShardedEngine<K> {
     /// Builds an engine over `n` vertices split into (at most) `shards`
     /// contiguous vertex ranges, every shard and the spine running the
     /// kernel `K` (built from `seed`).
-    pub fn new(
-        n: usize,
-        shards: usize,
-        mode: ExecMode,
-        seed: u64,
-    ) -> Result<Self, EngineError> {
+    pub fn new(n: usize, shards: usize, mode: ExecMode, seed: u64) -> Result<Self, EngineError> {
         if n == 0 {
             return Err(EngineError::EmptyVertexSet);
         }
@@ -322,7 +322,14 @@ impl<K: UniteKernel> Engine for ShardedEngine<K> {
                             && fwd_seen.insert((u.min(v), u.max(v)));
                         intra += 1;
                         fwd += u64::from(forward);
-                        ops.push(EngineOp::Local { shard: su as u32, lu, lv, gu: u, gv: v, forward });
+                        ops.push(EngineOp::Local {
+                            shard: su as u32,
+                            lu,
+                            lv,
+                            gu: u,
+                            gv: v,
+                            forward,
+                        });
                     } else {
                         cross += 1;
                         ops.push(EngineOp::Spine { u, v });
@@ -338,8 +345,7 @@ impl<K: UniteKernel> Engine for ShardedEngine<K> {
         self.counters.cross_inserts.fetch_add(cross, Ordering::Relaxed);
         self.counters.forwarded.fetch_add(fwd, Ordering::Relaxed);
 
-        let results: Vec<AtomicU8> =
-            (0..num_queries).map(|_| AtomicU8::new(0)).collect();
+        let results: Vec<AtomicU8> = (0..num_queries).map(|_| AtomicU8::new(0)).collect();
         match self.mode {
             RunMode::WaitFree => {
                 cc_parallel::parallel_for_chunks(ops.len(), |r| {
@@ -371,9 +377,7 @@ impl<K: UniteKernel> Engine for ShardedEngine<K> {
                                     self.spine.insert_phase_concurrent(gu, gv);
                                 }
                             }
-                            EngineOp::Spine { u, v } => {
-                                self.spine.insert_phase_concurrent(u, v)
-                            }
+                            EngineOp::Spine { u, v } => self.spine.insert_phase_concurrent(u, v),
                             EngineOp::Query { .. } => {}
                         }
                     }
@@ -468,8 +472,10 @@ mod tests {
                 (UfSpec::fastest(), ExecMode::WaitFree),
                 (UfSpec::fastest(), ExecMode::Phased),
                 (splice_spec(), ExecMode::Phased),
-                (UfSpec::rem(UniteKind::RemLock, SpliceKind::SplitOne, FindKind::Naive),
-                 ExecMode::WaitFree),
+                (
+                    UfSpec::rem(UniteKind::RemLock, SpliceKind::SplitOne, FindKind::Naive),
+                    ExecMode::WaitFree,
+                ),
             ] {
                 let e = build_engine(n, shards, &spec, mode, 42).expect("ok");
                 for chunk in el.edges.chunks(997) {
@@ -526,8 +532,7 @@ mod tests {
         let e = build_engine(n, 4, &UfSpec::fastest(), ExecMode::Auto, 0).expect("ok");
         // Hammer one shard with the same spanning path many times over.
         for _ in 0..10 {
-            let batch: Vec<Update> =
-                (0..255u32).map(|i| Update::Insert(i, i + 1)).collect();
+            let batch: Vec<Update> = (0..255u32).map(|i| Update::Insert(i, i + 1)).collect();
             e.process_batch(&batch);
         }
         let c = e.counters();

@@ -23,30 +23,47 @@
 //!   batch at its epoch boundary, plus epoch-keyed durable label
 //!   snapshots so recovery replays only the WAL suffix. Both share the
 //!   binary record codec in `cc_graph::io::binary`.
+//! - [`replication`] — WAL shipping: a primary streams its durable
+//!   history (snapshots + batch records, the same CRC-framed codec the
+//!   disk uses) to read-replica followers, which bootstrap, replay, tail
+//!   live appends, and serve reads at an honestly-reported replication
+//!   epoch (`WAIT` upgrades bounded staleness to read-your-writes).
 //! - [`net`] — a minimal line-based TCP protocol (`I`/`Q`/`B`/`STATS`/
-//!   `FLUSH`/`SNAPSHOT`/`WALSTATS`/…), a one-thread-per-connection
-//!   server, and a blocking [`net::TcpClient`].
+//!   `FLUSH`/`SNAPSHOT`/`WALSTATS`/`WAIT`/`ROLE`/…), a
+//!   one-thread-per-connection server, and a blocking [`net::TcpClient`].
 //!
 //! Binaries: `connectit-serve` (the daemon; `--wal-dir` turns on
-//! durability) and `connectit-loadgen` (a closed-loop load generator that
-//! validates every answered query against the sequential oracle while
-//! measuring throughput, and whose `--kill-after`/`--resume` checkpoint
-//! mode re-validates that oracle across a server crash and restart). See
-//! the README for a quickstart and the protocol reference, and DESIGN.md
-//! §5/§7 for the architecture and durability discussions.
+//! durability, `--replication-port` ships the WAL to followers,
+//! `--replicate-from` runs a follower) and `connectit-loadgen` (a
+//! closed-loop load generator that validates every answered query
+//! against the sequential oracle while measuring throughput; its
+//! `--kill-after`/`--resume` checkpoint mode re-validates that oracle
+//! across a server crash and restart, and `--follower` split-routes
+//! inserts to the primary and exactly-validated queries to replicas).
+//! See the README for a quickstart and the protocol reference, and
+//! DESIGN.md §5/§7/§8 for the architecture, durability, and replication
+//! discussions.
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod net;
+pub mod replication;
 pub mod service;
 pub mod snapshot;
 pub mod wal;
 
-pub use engine::{build_engine, Engine, EngineCounters, EngineError, ExecMode, RunMode, ShardedEngine};
+pub use engine::{
+    build_engine, Engine, EngineCounters, EngineError, ExecMode, RunMode, ShardedEngine,
+};
 pub use net::{serve, TcpClient, TcpServer};
-pub use service::{Client, LabelSnapshot, Service, ServiceConfig, ServiceError, ServiceStats};
-pub use wal::{DurabilityConfig, FsyncPolicy, RecoveryReport, Wal, WalError, WalStats};
+pub use replication::{run_follower, serve_replication, ReplicationHub};
+pub use service::{
+    Client, LabelSnapshot, Role, Service, ServiceConfig, ServiceError, ServiceStats,
+};
+pub use wal::{
+    DurabilityConfig, FsyncPolicy, RecoveryReport, TailEvent, Wal, WalCursor, WalError, WalStats,
+};
 
 /// Creates a unique scratch directory under the system temp dir (pid +
 /// nanosecond stamped). Shared by this crate's durability tests and the
@@ -57,8 +74,7 @@ pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
         .duration_since(std::time::UNIX_EPOCH)
         .expect("clock")
         .as_nanos();
-    let dir =
-        std::env::temp_dir().join(format!("cc_{tag}_{}_{nanos}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("cc_{tag}_{}_{nanos}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("scratch dir creation");
     dir
 }

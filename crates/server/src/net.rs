@@ -14,7 +14,9 @@
 //! | `B k` + `k` op lines | `OK <bits>`                          | submit `k` ops (`I u v` / `Q u v` lines) as one unit; `<bits>` answers the queries in order |
 //! | `LABEL v`            | `L <label>`                          | current component label of `v` |
 //! | `COMPONENTS`         | `C <count>`                          | current component count |
-//! | `EPOCH`              | `E <epoch>`                          | completed batches |
+//! | `EPOCH`              | `E <epoch>`                          | completed batches (on a follower: replication epoch) |
+//! | `WAIT e [ms]`        | `E <epoch>`                          | block until the epoch reaches `e` (default timeout 10000 ms), then report it |
+//! | `ROLE`               | `R primary` / `R follower`           | replication role |
 //! | `STATS`              | `S <key=value ...>`                  | one-line stats dump |
 //! | `FLUSH`              | `OK`                                 | fsync the WAL now, regardless of policy |
 //! | `SNAPSHOT`           | `SNAP <epoch>`                       | write a durable label snapshot at the next batch boundary |
@@ -25,7 +27,15 @@
 //!
 //! The three durability verbs answer `ERR durability is not enabled …`
 //! when the server runs without `--wal-dir`. Malformed requests get
-//! `ERR <reason>` and the connection stays open.
+//! `ERR <reason>` and the connection stays open — except a request line
+//! longer than [`MAX_LINE_BYTES`] (a peer that will never produce a
+//! parseable request) and a rejected `B` header (an undelimitable body
+//! follows), both of which answer `ERR …` and close.
+//!
+//! On a follower (`--replicate-from`), `I` and insert-carrying `B`
+//! bodies answer `ERR read-only follower: route inserts to the primary`;
+//! `WAIT <epoch>` is the bounded-staleness contract — after it returns,
+//! every primary batch up to `<epoch>` is visible here.
 
 use crate::service::{Client, Service, ServiceError};
 use connectit::Update;
@@ -45,6 +55,8 @@ enum Request {
     Label(u32),
     Components,
     Epoch,
+    Wait(u64, u64),
+    Role,
     Stats,
     Flush,
     Snapshot,
@@ -58,10 +70,25 @@ enum Request {
 /// unbounded allocation. [`TcpClient::submit`] enforces it client-side.
 pub const MAX_WIRE_BATCH: usize = 1 << 22;
 
+/// Upper bound on a single request line. A longer line cannot be a valid
+/// request (the longest verb plus two decimal `u32`s is far shorter), so
+/// the server answers `ERR` and closes instead of buffering a peer's
+/// endless line into memory.
+pub const MAX_LINE_BYTES: usize = 1 << 16;
+
+/// Default `WAIT` timeout when the request does not carry one.
+pub const DEFAULT_WAIT_TIMEOUT_MS: u64 = 10_000;
+
 fn parse_u32(tok: Option<&str>) -> Result<u32, String> {
     tok.ok_or_else(|| "missing argument".to_string())?
         .parse()
         .map_err(|_| "argument is not a 32-bit unsigned integer".to_string())
+}
+
+fn parse_u64(tok: Option<&str>) -> Result<u64, String> {
+    tok.ok_or_else(|| "missing argument".to_string())?
+        .parse()
+        .map_err(|_| "argument is not a 64-bit unsigned integer".to_string())
 }
 
 fn parse_request(line: &str) -> Result<Request, String> {
@@ -80,6 +107,15 @@ fn parse_request(line: &str) -> Result<Request, String> {
         "LABEL" => Request::Label(parse_u32(it.next())?),
         "COMPONENTS" => Request::Components,
         "EPOCH" => Request::Epoch,
+        "WAIT" => {
+            let epoch = parse_u64(it.next())?;
+            let timeout_ms = match it.next() {
+                Some(tok) => parse_u64(Some(tok))?,
+                None => DEFAULT_WAIT_TIMEOUT_MS,
+            };
+            Request::Wait(epoch, timeout_ms)
+        }
+        "ROLE" => Request::Role,
         "STATS" => Request::Stats,
         "FLUSH" => Request::Flush,
         "SNAPSHOT" => Request::Snapshot,
@@ -189,11 +225,9 @@ pub fn serve(service: &Service, addr: impl ToSocketAddrs) -> std::io::Result<Tcp
                     let _ = stream.set_nonblocking(false);
                     let conn_client = client.clone();
                     let conn_shared = Arc::clone(&accept_shared);
-                    let _ = std::thread::Builder::new().name("cc-conn".into()).spawn(
-                        move || {
-                            let _ = handle_connection(stream, &conn_client, &conn_shared);
-                        },
-                    );
+                    let _ = std::thread::Builder::new().name("cc-conn".into()).spawn(move || {
+                        let _ = handle_connection(stream, &conn_client, &conn_shared);
+                    });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -205,6 +239,25 @@ pub fn serve(service: &Service, addr: impl ToSocketAddrs) -> std::io::Result<Tcp
     Ok(TcpServer { shared, accept: Some(accept) })
 }
 
+/// Reads one request line with [`MAX_LINE_BYTES`] enforced. `Ok(0)` is
+/// EOF; `Err` with `InvalidData` means the peer exceeded the cap (the
+/// caller answers `ERR` and closes — resynchronizing inside an unbounded
+/// line is hopeless).
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<usize> {
+    line.clear();
+    let got = std::io::Read::take(&mut *reader, MAX_LINE_BYTES as u64).read_line(line)?;
+    if got == MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    Ok(got)
+}
+
 fn handle_connection(
     stream: TcpStream,
     client: &Client,
@@ -214,9 +267,14 @@ fn handle_connection(
     let mut w = BufWriter::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // EOF
+        match read_bounded_line(&mut reader, &mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                writeln!(w, "ERR {e}")?;
+                return w.flush();
+            }
+            Err(e) => return Err(e),
         }
         if line.trim().is_empty() {
             continue;
@@ -245,9 +303,16 @@ fn handle_connection(
                 let mut ops = Vec::with_capacity(k.min(1 << 16));
                 let mut bad: Option<String> = None;
                 for _ in 0..k {
-                    line.clear();
-                    if reader.read_line(&mut line)? == 0 {
-                        return Ok(()); // truncated batch: peer went away
+                    match read_bounded_line(&mut reader, &mut line) {
+                        Ok(0) => return Ok(()), // truncated batch: peer went away
+                        Ok(_) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                            // Oversized body line: the batch framing is
+                            // unrecoverable, same as a rejected header.
+                            writeln!(w, "ERR {e}")?;
+                            return w.flush();
+                        }
+                        Err(e) => return Err(e),
                     }
                     match parse_batch_op(line.trim()) {
                         Ok(op) => ops.push(op),
@@ -277,6 +342,13 @@ fn handle_connection(
             },
             Ok(Request::Components) => writeln!(w, "C {}", client.num_components())?,
             Ok(Request::Epoch) => writeln!(w, "E {}", client.epoch())?,
+            Ok(Request::Wait(epoch, timeout_ms)) => {
+                match client.wait_for_epoch(epoch, Duration::from_millis(timeout_ms)) {
+                    Ok(at) => writeln!(w, "E {at}")?,
+                    Err(e) => writeln!(w, "{}", err_line(&e))?,
+                }
+            }
+            Ok(Request::Role) => writeln!(w, "R {}", client.role())?,
             Ok(Request::Stats) => writeln!(w, "S {}", client.stats())?,
             Ok(Request::Flush) => match client.flush_wal() {
                 Ok(()) => writeln!(w, "OK")?,
@@ -411,6 +483,24 @@ impl TcpClient {
             .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
     }
 
+    /// `WAIT e ms`: blocks until the server's epoch reaches `epoch` (the
+    /// read-your-writes barrier against a follower); returns the epoch
+    /// actually reached. A lapsed timeout is a server-side `ERR`.
+    pub fn wait_epoch(&mut self, epoch: u64, timeout_ms: u64) -> std::io::Result<u64> {
+        let r = self.roundtrip(&format!("WAIT {epoch} {timeout_ms}"))?;
+        r.strip_prefix("E ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
+    /// `ROLE`: `"primary"` or `"follower"`.
+    pub fn role(&mut self) -> std::io::Result<String> {
+        let r = self.roundtrip("ROLE")?;
+        r.strip_prefix("R ")
+            .map(str::to_string)
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
     /// `STATS` (raw one-line dump).
     pub fn stats_line(&mut self) -> std::io::Result<String> {
         let r = self.roundtrip("STATS")?;
@@ -475,6 +565,13 @@ mod tests {
         assert_eq!(parse_request("FLUSH"), Ok(Request::Flush));
         assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
         assert_eq!(parse_request("WALSTATS"), Ok(Request::WalStats));
+        assert_eq!(parse_request("ROLE"), Ok(Request::Role));
+        assert_eq!(parse_request("WAIT 9"), Ok(Request::Wait(9, DEFAULT_WAIT_TIMEOUT_MS)));
+        assert_eq!(parse_request("WAIT 9 250"), Ok(Request::Wait(9, 250)));
+        assert!(parse_request("WAIT").is_err());
+        assert!(parse_request("WAIT x").is_err());
+        assert!(parse_request("WAIT 9 250 7").is_err());
+        assert!(parse_request("ROLE primary").is_err());
         assert!(parse_request("FLUSH now").is_err());
         assert!(parse_request("SNAPSHOT 3").is_err());
         assert!(parse_request("I 3").is_err());

@@ -1,0 +1,695 @@
+//! WAL shipping: the primary streams its durable history — label
+//! snapshots and write-ahead-log batch records — over a length-prefixed
+//! TCP protocol to read-replica followers.
+//!
+//! ## Wire protocol
+//!
+//! Both directions start with the magic [`REPL_MAGIC`] and then carry
+//! [`cc_graph::io::binary`] record frames (`len | crc32 | payload`) — the
+//! exact framing WAL segments and snapshots use on disk, so a shipped
+//! record is byte-identical to its durable source. The first payload byte
+//! tags the record:
+//!
+//! | tag   | payload after the tag                       | direction | meaning |
+//! |-------|---------------------------------------------|-----------|---------|
+//! | `'H'` | `last_epoch: u64 LE`                        | follower → primary | handshake: resume past this epoch |
+//! | `'S'` | [`binary::encode_labels`] `(epoch, labels)` | primary → follower | snapshot bootstrap |
+//! | `'B'` | [`binary::encode_edge_batch`] `(epoch, inserts)` | primary → follower | one WAL batch record |
+//!
+//! ## Primary side
+//!
+//! [`serve_replication`] binds a listener next to the query port. Each
+//! follower connection gets a sender thread that reads the handshake,
+//! decides whether the follower needs a snapshot bootstrap (its epoch
+//! predates the newest durable snapshot — older WAL segments may already
+//! be pruned), and then *tails the WAL directory* through
+//! [`crate::wal::WalCursor`]: the sender reads the same segment files the
+//! service is appending to, so replication needs no hooks in the hot
+//! write path at all. A [`crate::wal::TailEvent::Pruned`] mid-stream
+//! (a durable snapshot retired the cursor's segment) re-bootstraps from
+//! the newest snapshot — correct because connectivity is monotone, so a
+//! snapshot only restates facts the follower may already have.
+//!
+//! ## Follower side
+//!
+//! [`run_follower`] connects (and reconnects, forever, until shutdown) to
+//! the primary, handshakes with the follower's current epoch, and applies
+//! every received record through [`Client::apply_replicated`] /
+//! [`Client::apply_replicated_labels`]. Socket reads carry a timeout
+//! wrapped in [`binary::RetryRead`], so a shutdown request interrupts a
+//! quiet stream without ever tearing a half-received record. Everything
+//! is idempotent end to end: a reconnect may replay a suffix, and the
+//! follower's epoch is a `max`, never a blind store.
+//!
+//! The three follower-recovery invariants this module upholds are spelled
+//! out in DESIGN.md §8.
+
+use crate::service::Client;
+use crate::snapshot;
+use crate::wal::{TailEvent, WalCursor};
+use cc_graph::io::binary;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Magic prefix of both directions of the replication stream.
+pub const REPL_MAGIC: &[u8; 8] = b"CCREPL01";
+
+/// Record tag: follower handshake (`last_epoch: u64 LE`).
+pub const TAG_HELLO: u8 = b'H';
+/// Record tag: label-snapshot bootstrap ([`binary::encode_labels`]).
+pub const TAG_SNAPSHOT: u8 = b'S';
+/// Record tag: one WAL batch ([`binary::encode_edge_batch`]).
+pub const TAG_BATCH: u8 = b'B';
+/// Record tag: idle heartbeat (`last_sent_epoch: u64 LE`). Followers
+/// ignore it; its purpose is making a caught-up sender *write*, so a
+/// dead follower surfaces as a send error instead of a leaked sender
+/// thread polling the WAL forever.
+pub const TAG_PING: u8 = b'P';
+
+/// How long a caught-up sender sleeps before polling the WAL again. Kept
+/// short: this bounds the added replication latency over the primary's
+/// group-commit window.
+const TAIL_POLL: Duration = Duration::from_millis(2);
+
+/// How often a caught-up sender heartbeats the follower.
+const HEARTBEAT: Duration = Duration::from_millis(500);
+
+/// Socket read timeout — the granularity at which blocked reads notice a
+/// shutdown request (reads retry through [`binary::RetryRead`], so a
+/// timeout never tears a record).
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// How long a follower waits between reconnect attempts.
+const RECONNECT_PAUSE: Duration = Duration::from_millis(300);
+
+fn proto_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Counters a live replication endpoint exposes (all monotone).
+#[derive(Debug, Default)]
+pub struct ReplicationCounters {
+    /// Batch records shipped (primary) or applied (follower).
+    pub batches: AtomicU64,
+    /// Snapshot records shipped (primary) or applied (follower).
+    pub snapshots: AtomicU64,
+    /// Follower only: completed (re)connections to the primary.
+    pub connects: AtomicU64,
+}
+
+/// A running replication listener on the primary. Dropping it (or
+/// calling [`ReplicationHub::stop`]) stops accepting and asks every
+/// sender thread to wind down.
+pub struct ReplicationHub {
+    shared: Arc<HubShared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+struct HubShared {
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    counters: ReplicationCounters,
+}
+
+impl ReplicationHub {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Shipped-record counters, summed over all follower connections.
+    pub fn counters(&self) -> &ReplicationCounters {
+        &self.shared.counters
+    }
+
+    /// Stops accepting followers and signals sender threads to exit (they
+    /// notice within one poll interval). Idempotent.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicationHub {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` and serves the WAL directory `wal_dir` to every follower
+/// that connects. The primary's `Service` must already have been started
+/// with durability in the same directory (replication ships the WAL; an
+/// in-memory primary has nothing to ship).
+pub fn serve_replication(
+    wal_dir: impl Into<PathBuf>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ReplicationHub> {
+    let dir = wal_dir.into();
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(HubShared {
+        shutdown: AtomicBool::new(false),
+        local_addr: listener.local_addr()?,
+        counters: ReplicationCounters::default(),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new().name("cc-repl-accept".into()).spawn(move || {
+        while !accept_shared.shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let dir = dir.clone();
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let _ =
+                        std::thread::Builder::new().name("cc-repl-send".into()).spawn(move || {
+                            if let Err(e) = stream_to_follower(stream, &dir, &conn_shared) {
+                                // A follower going away mid-stream is
+                                // normal (it reconnects and handshakes);
+                                // only log decode-side failures.
+                                if e.kind() == std::io::ErrorKind::InvalidData {
+                                    eprintln!("cc-repl-send: {e}");
+                                }
+                            }
+                        });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    })?;
+    Ok(ReplicationHub { shared, accept: Some(accept) })
+}
+
+/// Sends one tagged record frame.
+fn send_record(w: &mut impl Write, tag: u8, payload: &[u8]) -> std::io::Result<()> {
+    let mut framed = Vec::with_capacity(1 + payload.len());
+    framed.push(tag);
+    framed.extend_from_slice(payload);
+    binary::append_record(w, &framed)?;
+    Ok(())
+}
+
+/// Ships the newest durable snapshot if it is ahead of `sent_epoch`;
+/// returns the epoch the follower is now guaranteed to hold. Absence of
+/// any snapshot is fine (a young primary streams from the WAL alone),
+/// but an *unreadable* snapshot store is fatal to the connection: WAL
+/// segments below the snapshot may already be pruned, so degrading to
+/// WAL-only streaming would silently ship a history with holes — the
+/// same state the primary's own recovery refuses to start from.
+fn ship_snapshot_if_newer(
+    w: &mut impl Write,
+    dir: &Path,
+    sent_epoch: u64,
+    shared: &HubShared,
+) -> std::io::Result<u64> {
+    match snapshot::load_latest(dir) {
+        Ok(Some(snap)) if snap.epoch > sent_epoch => {
+            // Counted before the bytes go out, so the counter is never
+            // behind what a follower demonstrably received.
+            shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+            send_record(w, TAG_SNAPSHOT, &binary::encode_labels(snap.epoch, &snap.labels))?;
+            w.flush()?;
+            Ok(snap.epoch)
+        }
+        Ok(_) => Ok(sent_epoch),
+        Err(e) => Err(proto_err(format!(
+            "snapshot store unreadable; refusing to stream a history with holes: {e}"
+        ))),
+    }
+}
+
+/// The per-follower sender loop: handshake, bootstrap, then tail the WAL.
+fn stream_to_follower(stream: TcpStream, dir: &Path, shared: &HubShared) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let keep_going = || !shared.shutdown.load(Ordering::Acquire);
+    let mut reader = BufReader::new(binary::RetryRead::new(stream.try_clone()?, keep_going));
+    binary::read_magic(&mut reader, REPL_MAGIC).map_err(|e| proto_err(e.to_string()))?;
+    let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
+    let hello = records
+        .next()
+        .map_err(|e| proto_err(e.to_string()))?
+        .ok_or_else(|| proto_err("follower closed before the handshake"))?;
+    if hello.len() != 9 || hello[0] != TAG_HELLO {
+        return Err(proto_err(format!(
+            "bad handshake record: {} bytes, tag {:?}",
+            hello.len(),
+            hello.first()
+        )));
+    }
+    let follower_epoch = u64::from_le_bytes(hello[1..9].try_into().expect("8 bytes"));
+
+    let mut w = BufWriter::new(stream);
+    binary::write_magic(&mut w, REPL_MAGIC)?;
+    w.flush()?;
+
+    // Bootstrap: a follower whose epoch predates the newest durable
+    // snapshot may need records that pruning already retired, so it gets
+    // the snapshot; a fresh-enough follower resumes from the WAL alone.
+    let mut sent_epoch = ship_snapshot_if_newer(&mut w, dir, follower_epoch, shared)?;
+
+    let mut cursor = WalCursor::open(dir, 0, binary::MAGIC_LEN as u64);
+    cursor.oldest()?;
+    let mut last_write = std::time::Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match cursor.next() {
+            Ok(TailEvent::Record(epoch, edges)) => {
+                // The WAL holds history the follower already has (its
+                // handshake epoch, or the snapshot's); skip those.
+                if epoch > sent_epoch {
+                    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+                    send_record(&mut w, TAG_BATCH, &binary::encode_edge_batch(epoch, &edges))?;
+                    w.flush()?;
+                    sent_epoch = epoch;
+                    last_write = std::time::Instant::now();
+                }
+            }
+            Ok(TailEvent::CaughtUp) => {
+                // Heartbeat a quiet stream: the write is how a sender
+                // notices its follower died (the WAL poll never would),
+                // bounding this thread's lifetime to one heartbeat past
+                // the disconnect instead of forever.
+                if last_write.elapsed() >= HEARTBEAT {
+                    send_record(&mut w, TAG_PING, &sent_epoch.to_le_bytes())?;
+                    w.flush()?;
+                    last_write = std::time::Instant::now();
+                }
+                std::thread::sleep(TAIL_POLL);
+            }
+            Ok(TailEvent::Pruned) => {
+                // A durable snapshot retired the cursor's segment. The
+                // snapshot covers everything the pruned records held, so
+                // ship it and resume from the oldest surviving segment.
+                sent_epoch = ship_snapshot_if_newer(&mut w, dir, sent_epoch, shared)?;
+                cursor.oldest()?;
+            }
+            Err(e) => return Err(proto_err(format!("wal tail failed: {e}"))),
+        }
+    }
+}
+
+/// Spawns the follower's replication receiver: connects to the primary
+/// at `primary_addr`, handshakes with the follower's current epoch, and
+/// applies the stream through `client` until `shutdown` flips (or the
+/// follower service closes). Reconnects forever on connection loss —
+/// a follower keeps serving (stale) reads while its primary is away.
+/// Returns the thread handle and the live counters.
+pub fn run_follower(
+    client: Client,
+    primary_addr: String,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<(std::thread::JoinHandle<()>, Arc<ReplicationCounters>)> {
+    let counters = Arc::new(ReplicationCounters::default());
+    let thread_counters = Arc::clone(&counters);
+    let handle = std::thread::Builder::new().name("cc-repl-recv".into()).spawn(move || {
+        while !shutdown.load(Ordering::Acquire) {
+            match follow_once(&client, &primary_addr, &shutdown, &thread_counters) {
+                // The follower service itself closed: nothing left to
+                // apply into, so the receiver is done.
+                Ok(StreamEnd::FollowerClosed) => return,
+                Ok(StreamEnd::Disconnected) | Err(_) => {}
+            }
+            // Connection lost (or never made): retry after a pause,
+            // keeping the follower serving whatever it has.
+            let deadline = std::time::Instant::now() + RECONNECT_PAUSE;
+            while std::time::Instant::now() < deadline {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    })?;
+    Ok((handle, counters))
+}
+
+/// Why one connection's apply loop ended.
+enum StreamEnd {
+    /// The socket died (primary restart, network): reconnect.
+    Disconnected,
+    /// The follower service shut down: stop replicating entirely.
+    FollowerClosed,
+}
+
+/// One connection lifetime: handshake, then apply records until the
+/// stream breaks or shutdown.
+fn follow_once(
+    client: &Client,
+    primary_addr: &str,
+    shutdown: &Arc<AtomicBool>,
+    counters: &ReplicationCounters,
+) -> std::io::Result<StreamEnd> {
+    let stream = TcpStream::connect(primary_addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+
+    let mut w = BufWriter::new(stream.try_clone()?);
+    binary::write_magic(&mut w, REPL_MAGIC)?;
+    let mut hello = Vec::with_capacity(9);
+    hello.push(TAG_HELLO);
+    hello.extend_from_slice(&client.epoch().to_le_bytes());
+    binary::append_record(&mut w, &hello)?;
+    w.flush()?;
+
+    let keep = {
+        let shutdown = Arc::clone(shutdown);
+        move || !shutdown.load(Ordering::Acquire)
+    };
+    let mut reader = BufReader::new(binary::RetryRead::new(stream, keep));
+    if binary::read_magic(&mut reader, REPL_MAGIC).is_err() {
+        return Ok(StreamEnd::Disconnected);
+    }
+    counters.connects.fetch_add(1, Ordering::Relaxed);
+    let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
+    loop {
+        let payload = match records.next() {
+            Ok(Some(p)) => p,
+            // Clean EOF, torn record, or timeout-at-shutdown: the
+            // connection is over either way.
+            Ok(None) | Err(_) => return Ok(StreamEnd::Disconnected),
+        };
+        let (Some(&tag), rest) = (payload.first(), &payload[1.min(payload.len())..]) else {
+            return Ok(StreamEnd::Disconnected);
+        };
+        // Counters tick on receipt, before the apply: an observer that
+        // saw the follower's epoch advance must also see the counter
+        // (the apply is what publishes the epoch), and a failed apply
+        // kills the connection anyway.
+        let applied = match tag {
+            // An idle-stream heartbeat: nothing to apply (every epoch it
+            // names already arrived in order on this same stream).
+            TAG_PING => Ok(()),
+            TAG_BATCH => binary::decode_edge_batch(rest, 0)
+                .map_err(|e| proto_err(e.to_string()))
+                .and_then(|(epoch, edges)| {
+                    counters.batches.fetch_add(1, Ordering::Relaxed);
+                    client.apply_replicated(epoch, &edges).map_err(|e| proto_err(e.to_string()))
+                }),
+            TAG_SNAPSHOT => binary::decode_labels(rest, 0)
+                .map_err(|e| proto_err(e.to_string()))
+                .and_then(|(epoch, labels)| {
+                    counters.snapshots.fetch_add(1, Ordering::Relaxed);
+                    client
+                        .apply_replicated_labels(epoch, &labels)
+                        .map_err(|e| proto_err(e.to_string()))
+                }),
+            other => Err(proto_err(format!("unknown replication record tag {other:?}"))),
+        };
+        if let Err(e) = applied {
+            if client.is_closed() {
+                return Ok(StreamEnd::FollowerClosed);
+            }
+            // A malformed or inapplicable record is not recoverable by
+            // reconnecting harder; surface it and let the supervisor
+            // (the serve binary) decide. The reconnect loop will retry —
+            // a primary restarted with different parameters keeps
+            // logging this rather than silently serving a wrong state.
+            eprintln!("cc-repl-recv: apply failed: {e}");
+            return Ok(StreamEnd::Disconnected);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Role, Service, ServiceConfig};
+    use crate::wal::{DurabilityConfig, FsyncPolicy};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        crate::scratch_dir(&format!("repl_{tag}"))
+    }
+
+    fn primary_cfg(n: usize, dir: &Path) -> ServiceConfig {
+        ServiceConfig {
+            n,
+            shards: 2,
+            batch_max_wait: Duration::from_micros(20),
+            durability: Some(DurabilityConfig {
+                fsync: FsyncPolicy::Off,
+                ..DurabilityConfig::new(dir)
+            }),
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn follower(n: usize) -> Service {
+        Service::start(ServiceConfig {
+            n,
+            shards: 2,
+            role: Role::Follower,
+            ..ServiceConfig::default()
+        })
+        .expect("follower starts")
+    }
+
+    fn wait_epoch(c: &Client, target: u64) {
+        c.wait_for_epoch(target, Duration::from_secs(20)).expect("replica catches up");
+    }
+
+    #[test]
+    fn follower_tails_live_primary() {
+        let dir = tmp_dir("tail");
+        let mut primary = Service::start(primary_cfg(64, &dir)).expect("primary");
+        let mut hub = serve_replication(&dir, "127.0.0.1:0").expect("hub");
+        let addr = hub.local_addr().to_string();
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut f = follower(64);
+        let (h, counters) = run_follower(f.client(), addr, Arc::clone(&shutdown)).expect("recv");
+
+        let p = primary.client();
+        p.insert(1, 2).expect("insert");
+        p.insert(2, 3).expect("insert");
+        let e = p.epoch();
+        let fc = f.client();
+        wait_epoch(&fc, e);
+        assert!(fc.query(1, 3).expect("replicated read"));
+        assert!(!fc.query(1, 10).expect("replicated read"));
+        // More traffic while the stream is live.
+        p.insert(10, 11).expect("insert");
+        wait_epoch(&fc, p.epoch());
+        assert!(fc.query(10, 11).expect("replicated read"));
+        assert!(counters.batches.load(Ordering::Relaxed) >= 3);
+        assert_eq!(counters.connects.load(Ordering::Relaxed), 1);
+        assert!(hub.counters().batches.load(Ordering::Relaxed) >= 3);
+
+        shutdown.store(true, Ordering::Release);
+        h.join().expect("receiver exits");
+        hub.stop();
+        primary.shutdown();
+        f.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A raw fake follower: handshakes at `epoch` and returns the framed
+    /// reader for manual record inspection.
+    fn fake_follower(
+        addr: std::net::SocketAddr,
+        epoch: u64,
+    ) -> binary::RecordReader<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let mut w = BufWriter::new(stream.try_clone().expect("clone"));
+        binary::write_magic(&mut w, REPL_MAGIC).expect("magic");
+        let mut hello = vec![TAG_HELLO];
+        hello.extend_from_slice(&epoch.to_le_bytes());
+        binary::append_record(&mut w, &hello).expect("hello");
+        w.flush().expect("flush");
+        let mut reader = BufReader::new(stream);
+        binary::read_magic(&mut reader, REPL_MAGIC).expect("server magic");
+        binary::RecordReader::new(reader, binary::MAGIC_LEN as u64)
+    }
+
+    #[test]
+    fn idle_stream_heartbeats_and_follower_ignores_them() {
+        let dir = tmp_dir("ping");
+        let mut primary = Service::start(primary_cfg(32, &dir)).expect("primary");
+        primary.client().insert(1, 2).expect("insert");
+        let mut hub = serve_replication(&dir, "127.0.0.1:0").expect("hub");
+
+        // Raw inspection: a caught-up sender pings within ~one beat.
+        let mut records = fake_follower(hub.local_addr(), 0);
+        let mut saw_ping = false;
+        for _ in 0..10 {
+            let payload = records.next().expect("framed record").expect("stream open");
+            match payload[0] {
+                TAG_PING => {
+                    assert_eq!(payload.len(), 9, "ping carries the last sent epoch");
+                    saw_ping = true;
+                    break;
+                }
+                TAG_BATCH | TAG_SNAPSHOT => continue, // bootstrap history
+                other => panic!("unexpected tag {other:?}"),
+            }
+        }
+        assert!(saw_ping, "an idle stream must heartbeat");
+        drop(records);
+
+        // A real follower rides out an idle (heartbeat-carrying) stream
+        // and still applies what comes after it.
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut f = follower(32);
+        let (h, _) = run_follower(f.client(), hub.local_addr().to_string(), Arc::clone(&shutdown))
+            .expect("recv");
+        let p = primary.client();
+        wait_epoch(&f.client(), p.epoch());
+        std::thread::sleep(Duration::from_millis(700)); // > one heartbeat
+        p.insert(2, 3).expect("insert after idle");
+        wait_epoch(&f.client(), p.epoch());
+        assert!(f.client().query(1, 3).expect("read"), "stream survived the idle window");
+
+        shutdown.store(true, Ordering::Release);
+        h.join().expect("receiver exits");
+        hub.stop();
+        primary.shutdown();
+        f.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_snapshot_store_fails_the_stream_not_silently_skips() {
+        let dir = tmp_dir("badsnap");
+        let mut primary = Service::start(primary_cfg(16, &dir)).expect("primary");
+        primary.client().insert(0, 1).expect("insert");
+        primary.shutdown();
+        // Snapshot files present but none decodable: the exact state the
+        // primary's own recovery refuses. The sender must drop the
+        // connection rather than stream a WAL whose prefix may be pruned.
+        std::fs::write(dir.join("snap-00000000000000000009.ccsnap"), b"garbage").expect("write");
+        let mut hub = serve_replication(&dir, "127.0.0.1:0").expect("hub");
+        let mut records = fake_follower(hub.local_addr(), 0);
+        let got = records.next();
+        assert!(matches!(got, Ok(None) | Err(_)), "stream must end without records, got {got:?}");
+        hub.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_follower_bootstraps_from_snapshot_after_pruning() {
+        let dir = tmp_dir("boot");
+        let mut primary = Service::start(primary_cfg(32, &dir)).expect("primary");
+        let p = primary.client();
+        p.insert(0, 1).expect("insert");
+        p.insert(1, 2).expect("insert");
+        // The durable snapshot prunes every covered WAL segment, so a
+        // fresh follower cannot be served from the WAL alone.
+        let snap_epoch = p.durable_snapshot().expect("snapshot");
+        assert!(snap_epoch >= 2);
+        p.insert(8, 9).expect("insert past the snapshot");
+        let target = p.epoch();
+
+        let mut hub = serve_replication(&dir, "127.0.0.1:0").expect("hub");
+        let addr = hub.local_addr().to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut f = follower(32);
+        let (h, counters) = run_follower(f.client(), addr, Arc::clone(&shutdown)).expect("recv");
+        let fc = f.client();
+        wait_epoch(&fc, target);
+        assert!(fc.query(0, 2).expect("pre-snapshot fact"));
+        assert!(fc.query(8, 9).expect("post-snapshot fact"));
+        assert!(!fc.query(0, 8).expect("negative"));
+        assert!(counters.snapshots.load(Ordering::Relaxed) >= 1, "bootstrap used the snapshot");
+
+        shutdown.store(true, Ordering::Release);
+        h.join().expect("receiver exits");
+        hub.stop();
+        primary.shutdown();
+        f.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn follower_survives_primary_restart() {
+        let dir = tmp_dir("restart");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut f = follower(48);
+        let fc = f.client();
+
+        let (port, h) = {
+            let mut primary = Service::start(primary_cfg(48, &dir)).expect("primary");
+            let mut hub = serve_replication(&dir, "127.0.0.1:0").expect("hub");
+            let addr = hub.local_addr();
+            let (h, _) =
+                run_follower(f.client(), addr.to_string(), Arc::clone(&shutdown)).expect("recv");
+            let p = primary.client();
+            p.insert(1, 2).expect("insert");
+            wait_epoch(&fc, p.epoch());
+            assert!(fc.query(1, 2).expect("read"));
+            hub.stop();
+            primary.shutdown();
+            (addr.port(), h)
+        };
+
+        // Primary (and hub) come back on the same port from the same WAL
+        // dir; the follower reconnects, handshakes with its epoch, and
+        // resumes the stream.
+        let mut primary = Service::start(primary_cfg(48, &dir)).expect("primary recovers");
+        let mut hub = serve_replication(&dir, format!("127.0.0.1:{port}")).expect("hub rebinds");
+        let p = primary.client();
+        p.insert(2, 3).expect("insert after restart");
+        wait_epoch(&fc, p.epoch());
+        assert!(fc.query(1, 3).expect("fact spanning the restart"));
+
+        shutdown.store(true, Ordering::Release);
+        h.join().expect("receiver exits");
+        hub.stop();
+        primary.shutdown();
+        f.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restarted_follower_reconverges() {
+        let dir = tmp_dir("fresh");
+        let mut primary = Service::start(primary_cfg(32, &dir)).expect("primary");
+        let mut hub = serve_replication(&dir, "127.0.0.1:0").expect("hub");
+        let addr = hub.local_addr().to_string();
+        let p = primary.client();
+        p.insert(5, 6).expect("insert");
+
+        // First follower incarnation.
+        let shutdown1 = Arc::new(AtomicBool::new(false));
+        let mut f1 = follower(32);
+        let (h1, _) =
+            run_follower(f1.client(), addr.clone(), Arc::clone(&shutdown1)).expect("recv");
+        wait_epoch(&f1.client(), p.epoch());
+        // "SIGKILL": drop it without ceremony.
+        shutdown1.store(true, Ordering::Release);
+        h1.join().expect("receiver exits");
+        f1.shutdown();
+
+        p.insert(6, 7).expect("insert while the follower is down");
+        let target = p.epoch();
+
+        // The restarted follower is empty (followers are in-memory) and
+        // must reconverge from the stream alone.
+        let shutdown2 = Arc::new(AtomicBool::new(false));
+        let mut f2 = follower(32);
+        let (h2, _) = run_follower(f2.client(), addr, Arc::clone(&shutdown2)).expect("recv");
+        let fc = f2.client();
+        wait_epoch(&fc, target);
+        assert!(fc.query(5, 7).expect("full history replayed"));
+        assert_eq!(fc.epoch(), target);
+
+        shutdown2.store(true, Ordering::Release);
+        h2.join().expect("receiver exits");
+        hub.stop();
+        primary.shutdown();
+        f2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -32,6 +32,29 @@ use std::time::{Duration, Instant};
 /// Chunk size for replaying recovered state into the engine.
 const REPLAY_CHUNK: usize = 1 << 16;
 
+/// Which side of the replication topology a service plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes, owns the WAL, and (optionally) streams it to
+    /// followers.
+    Primary,
+    /// A read replica: state arrives exclusively through
+    /// [`Client::apply_replicated`] / [`Client::apply_replicated_labels`]
+    /// (fed by `cc_server::replication`); local inserts are rejected and
+    /// queries are answered directly against the engine at the follower's
+    /// honestly-reported replication epoch.
+    Follower,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Primary => write!(f, "primary"),
+            Role::Follower => write!(f, "follower"),
+        }
+    }
+}
+
 /// Configuration of a [`Service`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -59,6 +82,8 @@ pub struct ServiceConfig {
     /// snapshots) in the given directory, including crash recovery from
     /// whatever that directory already holds at startup.
     pub durability: Option<DurabilityConfig>,
+    /// Primary (default) or read-replica follower (see [`Role`]).
+    pub role: Role,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +98,7 @@ impl Default for ServiceConfig {
             snapshot_every: 0,
             seed: 0x5eed,
             durability: None,
+            role: Role::Primary,
         }
     }
 }
@@ -97,6 +123,15 @@ pub enum ServiceError {
     /// A durability-only operation (`FLUSH`, `SNAPSHOT`, `WALSTATS`) was
     /// requested but the service runs without a WAL.
     DurabilityDisabled,
+    /// An insert was submitted to a read-replica follower.
+    ReadOnlyFollower,
+    /// A `WAIT` did not reach its target epoch within the timeout.
+    WaitTimeout {
+        /// The epoch waited for.
+        target: u64,
+        /// The epoch the service had reached when the wait gave up.
+        at: u64,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -110,6 +145,12 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Durability(msg) => write!(f, "durability failure: {msg}"),
             ServiceError::DurabilityDisabled => {
                 write!(f, "durability is not enabled (start the service with a wal dir)")
+            }
+            ServiceError::ReadOnlyFollower => {
+                write!(f, "read-only follower: route inserts to the primary")
+            }
+            ServiceError::WaitTimeout { target, at } => {
+                write!(f, "wait for epoch {target} timed out at epoch {at}")
             }
         }
     }
@@ -247,9 +288,25 @@ struct Inner {
     durable_snapshot_epoch: AtomicU64,
     /// The most recent durability failure, surfaced through `WALSTATS`.
     last_wal_error: Mutex<Option<String>>,
+    /// Serializes replicated applies on a follower (and, on phased
+    /// engines, the read path against them — phase-concurrent engines do
+    /// not take concurrent queries during an insert batch).
+    apply_mx: Mutex<()>,
+    /// Every epoch advance notifies waiters (`WAIT <epoch>`).
+    epoch_mx: Mutex<()>,
+    epoch_cv: Condvar,
+    /// Set by shutdown; the follower read path has no queue to observe
+    /// closure through, so it checks this flag instead.
+    closed: std::sync::atomic::AtomicBool,
 }
 
 impl Inner {
+    fn bump_epoch_to(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        let _g = self.epoch_mx.lock();
+        self.epoch_cv.notify_all();
+    }
+
     fn publish_snapshot(&self, epoch: u64) -> Arc<LabelSnapshot> {
         // Built outside the swap lock from the read-only spine path, so
         // neither writers nor snapshot readers are ever blocked on O(n)
@@ -405,6 +462,11 @@ fn run_batcher(inner: &Arc<Inner>) {
         inner.queries.fetch_add(qrs, Ordering::Relaxed);
         let epoch = inner.epoch.fetch_add(1, Ordering::Release) + 1;
         debug_assert_eq!(epoch, next_epoch);
+        {
+            // Wake any `WAIT <epoch>` blocked on this advance.
+            let _g = inner.epoch_mx.lock();
+            inner.epoch_cv.notify_all();
+        }
         if inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(inner.cfg.snapshot_every) {
             inner.publish_snapshot(epoch);
         }
@@ -479,6 +541,13 @@ impl Service {
         if cfg.batch_max_ops == 0 {
             return Err(ServiceError::Config("batch_max_ops must be at least 1".into()));
         }
+        if cfg.role == Role::Follower && cfg.durability.is_some() {
+            return Err(ServiceError::Config(
+                "a follower is in-memory: durability (the WAL) belongs to the primary it \
+                 replicates from"
+                    .into(),
+            ));
+        }
         let engine = build_engine(cfg.n, cfg.shards, &cfg.spec, cfg.mode, cfg.seed)?;
 
         let mut recovered_epoch = 0u64;
@@ -541,14 +610,11 @@ impl Service {
                 num_components: cfg.n,
             })
         };
+        let role = cfg.role;
         let inner = Arc::new(Inner {
             engine,
             cfg,
-            q: Mutex::new(SubmitQueue {
-                queue: VecDeque::new(),
-                queued_ops: 0,
-                closed: false,
-            }),
+            q: Mutex::new(SubmitQueue { queue: VecDeque::new(), queued_ops: 0, closed: false }),
             work_cv: Condvar::new(),
             epoch: AtomicU64::new(recovered_epoch),
             inserts: AtomicU64::new(0),
@@ -558,13 +624,28 @@ impl Service {
             wal,
             durable_snapshot_epoch: AtomicU64::new(snap_epoch),
             last_wal_error: Mutex::new(None),
+            apply_mx: Mutex::new(()),
+            epoch_mx: Mutex::new(()),
+            epoch_cv: Condvar::new(),
+            closed: std::sync::atomic::AtomicBool::new(false),
         });
-        let b_inner = Arc::clone(&inner);
-        let batcher = std::thread::Builder::new()
-            .name("cc-batch-former".into())
-            .spawn(move || run_batcher(&b_inner))
-            .map_err(|e| ServiceError::Config(format!("failed to spawn batch former: {e}")))?;
-        Ok(Service { inner, batcher: Some(batcher) })
+        // A follower has no batch former: writes arrive only through the
+        // replication apply path, and reads go straight to the engine.
+        let batcher = match role {
+            Role::Follower => None,
+            Role::Primary => {
+                let b_inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("cc-batch-former".into())
+                        .spawn(move || run_batcher(&b_inner))
+                        .map_err(|e| {
+                            ServiceError::Config(format!("failed to spawn batch former: {e}"))
+                        })?,
+                )
+            }
+        };
+        Ok(Service { inner, batcher })
     }
 
     /// A handle for submitting operations; clone freely across threads.
@@ -580,7 +661,13 @@ impl Service {
             let mut q = self.inner.q.lock();
             q.closed = true;
         }
+        self.inner.closed.store(true, Ordering::Release);
         self.inner.work_cv.notify_all();
+        {
+            // Unblock `WAIT`ers: the epoch will never advance again.
+            let _g = self.inner.epoch_mx.lock();
+            self.inner.epoch_cv.notify_all();
+        }
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
         }
@@ -640,7 +727,148 @@ impl Client {
         if ops.is_empty() {
             return Ok(Vec::new());
         }
+        if self.role() == Role::Follower {
+            return self.answer_on_follower(&ops, num_queries);
+        }
         self.enqueue(ops, num_queries, false)
+    }
+
+    /// The follower read path: no batch former, no epoch bump — queries
+    /// are answered straight off the engine at whatever replication
+    /// epoch the follower has reached (readers see at *least* the state
+    /// of the reported [`Client::epoch`]; `WAIT` turns that bound into
+    /// read-your-writes). Inserts are rejected: a follower's only write
+    /// path is the replication stream.
+    fn answer_on_follower(
+        &self,
+        ops: &[Update],
+        num_queries: usize,
+    ) -> Result<Vec<bool>, ServiceError> {
+        if num_queries != ops.len() {
+            return Err(ServiceError::ReadOnlyFollower);
+        }
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(ServiceError::Closed);
+        }
+        let t0 = Instant::now();
+        // Wait-free engines take concurrent reads during an insert batch
+        // (paper Type (i)); phased engines must not, so reads serialize
+        // with the replication apply there.
+        let _guard = match self.inner.engine.mode() {
+            RunMode::WaitFree => None,
+            RunMode::Phased => Some(self.inner.apply_mx.lock()),
+        };
+        let answers = ops
+            .iter()
+            .map(|op| {
+                let (Update::Insert(u, v) | Update::Query(u, v)) = *op;
+                self.inner.engine.connected(u, v)
+            })
+            .collect();
+        self.inner.queries.fetch_add(num_queries as u64, Ordering::Relaxed);
+        self.inner.latency.record_n(
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            num_queries as u64,
+        );
+        Ok(answers)
+    }
+
+    /// Applies one replicated WAL batch — `(epoch, inserts)` exactly as
+    /// the primary logged it — to a follower's engine, then advances the
+    /// follower's epoch to at least `epoch` (idempotent: re-delivered
+    /// records re-apply harmlessly, connectivity being monotone, and the
+    /// epoch never moves backwards). Rejected on a primary.
+    pub fn apply_replicated(&self, epoch: u64, edges: &[(u32, u32)]) -> Result<(), ServiceError> {
+        self.apply_from_stream(epoch, edges, "replicated batch")
+    }
+
+    /// Applies a replicated label snapshot (the bootstrap record): the
+    /// labeling is turned into spanning edges and merged in. Safe at any
+    /// point in the stream — a snapshot only states connectivity facts
+    /// the primary already committed.
+    pub fn apply_replicated_labels(&self, epoch: u64, labels: &[u32]) -> Result<(), ServiceError> {
+        let n = self.num_vertices();
+        if labels.len() != n {
+            return Err(ServiceError::Config(format!(
+                "replicated snapshot covers {} vertices but this follower was started with \
+                 n = {n}; restart with the primary's vertex count",
+                labels.len()
+            )));
+        }
+        let spanning: Vec<(u32, u32)> = labels
+            .iter()
+            .enumerate()
+            .filter(|&(v, &l)| l as usize != v)
+            .map(|(v, &l)| (v as u32, l))
+            .collect();
+        self.apply_from_stream(epoch, &spanning, "replicated snapshot")
+    }
+
+    fn apply_from_stream(
+        &self,
+        epoch: u64,
+        edges: &[(u32, u32)],
+        what: &str,
+    ) -> Result<(), ServiceError> {
+        if self.role() != Role::Follower {
+            return Err(ServiceError::Config(format!(
+                "{what} rejected: this service is a primary, not a follower"
+            )));
+        }
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(ServiceError::Closed);
+        }
+        let n = self.num_vertices();
+        {
+            let _apply = self.inner.apply_mx.lock();
+            replay_edges(
+                self.inner.engine.as_ref(),
+                edges,
+                n,
+                &format!("{what} at epoch {epoch}"),
+            )?;
+        }
+        self.inner.inserts.fetch_add(edges.len() as u64, Ordering::Relaxed);
+        self.inner.bump_epoch_to(epoch);
+        if self.inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(self.inner.cfg.snapshot_every)
+        {
+            self.inner.publish_snapshot(epoch);
+        }
+        Ok(())
+    }
+
+    /// Blocks until the service's epoch reaches `target` (the `WAIT`
+    /// protocol verb: on a follower this is the bounded-staleness
+    /// contract — once it returns, every batch the primary committed up
+    /// to `target` is visible here). Returns the epoch actually reached;
+    /// times out with [`ServiceError::WaitTimeout`].
+    pub fn wait_for_epoch(&self, target: u64, timeout: Duration) -> Result<u64, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.inner.epoch_mx.lock();
+        loop {
+            let at = self.epoch();
+            if at >= target {
+                return Ok(at);
+            }
+            if self.inner.closed.load(Ordering::Acquire) {
+                return Err(ServiceError::Closed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServiceError::WaitTimeout { target, at });
+            }
+            self.inner.epoch_cv.wait_for(&mut g, deadline - now);
+        }
+    }
+
+    /// This service's replication role.
+    pub fn role(&self) -> Role {
+        self.inner.cfg.role
+    }
+
+    /// Whether the service has shut down (new submissions are rejected).
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
     }
 
     /// Queues a submission (or a zero-op control carrying only a
@@ -926,6 +1154,102 @@ mod tests {
             ..ServiceConfig::default()
         })
         .expect("service starts")
+    }
+
+    #[test]
+    fn follower_applies_stream_and_serves_reads_at_honest_epoch() {
+        let mut svc = Service::start(ServiceConfig {
+            n: 64,
+            shards: 4,
+            role: Role::Follower,
+            ..ServiceConfig::default()
+        })
+        .expect("follower starts");
+        let c = svc.client();
+        assert_eq!(c.role(), Role::Follower);
+        assert_eq!(c.epoch(), 0);
+        // Local writes are rejected with the routing hint.
+        assert_eq!(c.insert(1, 2), Err(ServiceError::ReadOnlyFollower));
+        assert_eq!(
+            c.submit(vec![Update::Insert(1, 2), Update::Query(1, 2)]),
+            Err(ServiceError::ReadOnlyFollower)
+        );
+        // The replication stream is the only write path; epochs mirror
+        // the primary's (here: a snapshot at 3 then batches 4 and 5).
+        let mut labels: Vec<u32> = (0..64).collect();
+        labels[2] = 1; // {1, 2} connected at the snapshot
+        c.apply_replicated_labels(3, &labels).expect("snapshot bootstrap");
+        assert_eq!(c.epoch(), 3);
+        c.apply_replicated(4, &[(2, 3)]).expect("batch");
+        c.apply_replicated(5, &[]).expect("query-only epoch");
+        assert_eq!(c.epoch(), 5);
+        assert!(c.query(1, 3).expect("read"));
+        assert!(!c.query(1, 4).expect("read"));
+        // Redelivery (a reconnect replays a suffix) is harmless and the
+        // epoch never regresses.
+        c.apply_replicated(4, &[(2, 3)]).expect("redelivery");
+        assert_eq!(c.epoch(), 5);
+        let stats = c.stats();
+        assert!(stats.queries >= 2);
+        svc.shutdown();
+        assert_eq!(c.query(1, 3), Err(ServiceError::Closed));
+    }
+
+    #[test]
+    fn follower_rejects_durability_and_primary_rejects_apply() {
+        let dir = tmp_dir("follower_wal");
+        let err = match Service::start(ServiceConfig {
+            n: 16,
+            role: Role::Follower,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..ServiceConfig::default()
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("follower + wal must be rejected"),
+        };
+        assert!(err.to_string().contains("belongs to the primary"), "{err}");
+        let mut svc = small_service();
+        let err = svc.client().apply_replicated(1, &[(0, 1)]).expect_err("primary apply");
+        assert!(err.to_string().contains("not a follower"), "{err}");
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wait_for_epoch_blocks_until_reached_and_times_out_honestly() {
+        let mut svc = Service::start(ServiceConfig {
+            n: 32,
+            shards: 2,
+            role: Role::Follower,
+            ..ServiceConfig::default()
+        })
+        .expect("follower starts");
+        let c = svc.client();
+        // Already-reached targets return immediately.
+        assert_eq!(c.wait_for_epoch(0, Duration::from_millis(1)).expect("no wait"), 0);
+        // A timeout reports both sides of the gap.
+        assert_eq!(
+            c.wait_for_epoch(7, Duration::from_millis(20)),
+            Err(ServiceError::WaitTimeout { target: 7, at: 0 })
+        );
+        // A concurrent apply wakes the waiter.
+        let waiter = c.clone();
+        let h = std::thread::spawn(move || waiter.wait_for_epoch(2, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(10));
+        c.apply_replicated(2, &[(0, 1)]).expect("apply");
+        assert_eq!(h.join().expect("thread").expect("wait succeeds"), 2);
+        svc.shutdown();
+        assert_eq!(c.wait_for_epoch(99, Duration::from_secs(10)), Err(ServiceError::Closed));
+    }
+
+    #[test]
+    fn wait_for_epoch_works_on_primary_batches() {
+        let mut svc = small_service();
+        let c = svc.client();
+        c.insert(0, 1).expect("insert");
+        let e = c.epoch();
+        assert!(c.wait_for_epoch(e, Duration::from_secs(5)).expect("reached") >= e);
+        svc.shutdown();
     }
 
     #[test]

@@ -66,8 +66,8 @@ pub fn write_snapshot(dir: &Path, epoch: u64, labels: &[u32]) -> std::io::Result
 /// Reads and fully validates one snapshot file.
 pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u32>), WalError> {
     let codec = |source: binary::CodecError| WalError::Codec { path: path.to_path_buf(), source };
-    let file = File::open(path)
-        .map_err(|e| WalError::Io { path: path.to_path_buf(), source: e })?;
+    let file =
+        File::open(path).map_err(|e| WalError::Io { path: path.to_path_buf(), source: e })?;
     let mut reader = BufReader::new(file);
     binary::read_magic(&mut reader, SNAPSHOT_MAGIC).map_err(codec)?;
     let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
@@ -75,7 +75,8 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u32>), WalError> {
         path: path.to_path_buf(),
         detail: "snapshot has no record".into(),
     })?;
-    let (epoch, labels) = binary::decode_labels(&payload, binary::MAGIC_LEN as u64).map_err(codec)?;
+    let (epoch, labels) =
+        binary::decode_labels(&payload, binary::MAGIC_LEN as u64).map_err(codec)?;
     Ok((epoch, labels))
 }
 
@@ -134,8 +135,9 @@ pub fn load_latest(dir: &Path) -> Result<Option<LoadedSnapshot>, WalError> {
             path: dir.to_path_buf(),
             detail: format!(
                 "{} snapshot file(s) present but none decodable (last failure: {e}); \
-                 refusing to recover as if no snapshot was ever taken"
-            , skipped_corrupt),
+                 refusing to recover as if no snapshot was ever taken",
+                skipped_corrupt
+            ),
         }),
     }
 }

@@ -557,6 +557,194 @@ impl Wal {
             torn_bytes: self.torn_bytes,
         }
     }
+
+    /// A read cursor over this log's directory, positioned at byte
+    /// `offset` of segment `seq` (use `(0, MAGIC_LEN as u64)` for the
+    /// oldest possible position; [`WalCursor::next`] rolls forward to the
+    /// oldest existing segment if `seq` was pruned). The cursor reads the
+    /// segment *files* directly, so it stays valid while this `Wal`
+    /// appends, rolls, and prunes concurrently — the replication sender
+    /// tails a live primary through exactly this API.
+    pub fn tail_from(&self, seq: u64, offset: u64) -> WalCursor {
+        WalCursor::open(&self.cfg.dir, seq, offset)
+    }
+}
+
+/// What one [`WalCursor::next`] step produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TailEvent {
+    /// The next decoded record: `(epoch, inserts)`.
+    Record(u64, Vec<(u32, u32)>),
+    /// No complete record is available *yet*: the cursor sits at the live
+    /// tail (or inside a record the writer has not finished flushing).
+    /// Poll again later; the position is unchanged.
+    CaughtUp,
+    /// The cursor's segment was pruned beneath it (a durable snapshot
+    /// retired it). The caller must re-bootstrap from the newest snapshot
+    /// and then resume from [`WalCursor::oldest`].
+    Pruned,
+}
+
+/// A polling read cursor over a WAL directory, independent of the
+/// [`Wal`] writer (it re-opens segment files as it goes, so a live
+/// primary can keep appending, rolling, and pruning).
+///
+/// The roll rule: a cursor positioned exactly at the end of a segment
+/// first checks whether a *newer* segment file exists — if so, the
+/// segment is sealed and the cursor rolls to the next sequence number
+/// (never reporting the boundary as a torn tail); only when no newer
+/// segment exists is the position the live tail ([`TailEvent::CaughtUp`]).
+/// A truncated record is likewise [`TailEvent::CaughtUp`] — the writer
+/// flushes whole records, but a large record can cross the reader's
+/// glimpse mid-write — whereas a CRC mismatch or garbage framing on a
+/// *complete* record is a hard [`WalError`].
+pub struct WalCursor {
+    dir: PathBuf,
+    seq: u64,
+    offset: u64,
+    /// Position of a truncated read already retried once against a
+    /// sealed segment: a second truncation there is corruption (sealed
+    /// bytes are final), not a flush race.
+    retried_at: Option<(u64, u64)>,
+}
+
+impl WalCursor {
+    /// Opens a cursor over `dir` at byte `offset` of segment `seq`.
+    pub fn open(dir: impl Into<PathBuf>, seq: u64, offset: u64) -> WalCursor {
+        WalCursor { dir: dir.into(), seq, offset, retried_at: None }
+    }
+
+    /// The position as `(segment sequence, byte offset)`.
+    pub fn position(&self) -> (u64, u64) {
+        (self.seq, self.offset)
+    }
+
+    /// Repositions the cursor at the start of the oldest segment still
+    /// on disk (or at segment 0 if the directory is empty) — the resume
+    /// point after [`TailEvent::Pruned`] plus a snapshot re-bootstrap.
+    pub fn oldest(&mut self) -> std::io::Result<()> {
+        self.seq = oldest_segment_seq(&self.dir)?.unwrap_or(0);
+        self.offset = binary::MAGIC_LEN as u64;
+        Ok(())
+    }
+
+    /// Whether any segment file newer than the cursor's exists — i.e.
+    /// whether the cursor's segment is sealed.
+    fn newer_segment_exists(&self) -> std::io::Result<bool> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        for entry in entries.flatten() {
+            if let Some(s) = entry.file_name().to_str().and_then(parse_segment_seq) {
+                if s > self.seq {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Advances one step. See [`TailEvent`] for the three outcomes; a
+    /// returned error means bytes that are actually present failed to
+    /// decode (disk corruption, never a mid-append race).
+    /// (Deliberately not `Iterator`: `CaughtUp` is a poll outcome, not
+    /// an end of stream — mirroring `binary::RecordReader::next`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<TailEvent, WalError> {
+        loop {
+            let path = segment_path(&self.dir, self.seq);
+            let io = |e: std::io::Error| io_err(&path, e);
+            let file = match File::open(&path) {
+                Ok(f) => f,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    // Either the segment was pruned (a newer one exists)
+                    // or we are ahead of the writer (nothing yet).
+                    return if self.newer_segment_exists().map_err(io)? {
+                        Ok(TailEvent::Pruned)
+                    } else {
+                        Ok(TailEvent::CaughtUp)
+                    };
+                }
+                Err(e) => return Err(io_err(&path, e)),
+            };
+            let len = file.metadata().map_err(io)?.len();
+            // Exactly at (or past — the writer may have truncated a torn
+            // tail we never saw) the end of the segment: roll to the next
+            // sequence if one exists, else we are the live tail. This is
+            // the boundary case that must NEVER read as a torn tail.
+            if self.offset >= len {
+                if self.newer_segment_exists().map_err(io)? {
+                    self.seq += 1;
+                    self.offset = binary::MAGIC_LEN as u64;
+                    continue;
+                }
+                return Ok(TailEvent::CaughtUp);
+            }
+            if self.offset < binary::MAGIC_LEN as u64 {
+                // A cursor opened at byte 0 still has to skip the magic
+                // (and a partially-written magic is just the live tail).
+                let mut reader = BufReader::new(&file);
+                if let Err(e) = binary::read_magic(&mut reader, WAL_MAGIC) {
+                    if e.is_truncation() {
+                        return Ok(TailEvent::CaughtUp);
+                    }
+                    return Err(WalError::Codec { path, source: e });
+                }
+                self.offset = binary::MAGIC_LEN as u64;
+                if self.offset >= len {
+                    continue; // magic-only file: re-run the boundary check
+                }
+            }
+            let mut reader = BufReader::new(file);
+            std::io::Seek::seek(&mut reader, std::io::SeekFrom::Start(self.offset)).map_err(io)?;
+            let mut records = binary::RecordReader::new(reader, self.offset);
+            return match records.next() {
+                Ok(Some(payload)) => {
+                    let (epoch, edges) = binary::decode_edge_batch(&payload, self.offset)
+                        .map_err(|e| WalError::Codec { path, source: e })?;
+                    self.offset = records.offset();
+                    self.retried_at = None;
+                    Ok(TailEvent::Record(epoch, edges))
+                }
+                // read_up_to saw clean EOF at the record boundary even
+                // though the length probe said there were bytes: the
+                // writer truncated a torn tail between our two looks.
+                Ok(None) => Ok(TailEvent::CaughtUp),
+                Err(e) if e.is_truncation() => {
+                    // In the live (final) segment this is the writer
+                    // mid-flush — poll again later. If a newer segment
+                    // exists the bytes here are final, but our read may
+                    // still have raced the seal's flush: retry exactly
+                    // once before calling it corruption.
+                    if !self.newer_segment_exists().map_err(io)? {
+                        self.retried_at = None;
+                        return Ok(TailEvent::CaughtUp);
+                    }
+                    if self.retried_at == Some((self.seq, self.offset)) {
+                        return Err(WalError::Codec { path, source: e });
+                    }
+                    self.retried_at = Some((self.seq, self.offset));
+                    continue;
+                }
+                Err(e) => Err(WalError::Codec { path, source: e }),
+            };
+        }
+    }
+}
+
+/// The lowest segment sequence number present in `dir`, if any.
+fn oldest_segment_seq(dir: &Path) -> std::io::Result<Option<u64>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    Ok(entries
+        .flatten()
+        .filter_map(|entry| entry.file_name().to_str().and_then(parse_segment_seq))
+        .min())
 }
 
 #[cfg(test)]
@@ -586,10 +774,7 @@ mod tests {
             assert_eq!(wal.stats().last_epoch, 3);
         }
         let (wal, rep) = Wal::open(&cfg).expect("reopen");
-        assert_eq!(
-            rep.batches,
-            vec![(1, vec![(0, 1), (2, 3)]), (2, vec![]), (3, vec![(1, 2)])]
-        );
+        assert_eq!(rep.batches, vec![(1, vec![(0, 1), (2, 3)]), (2, vec![]), (3, vec![(1, 2)])]);
         assert_eq!(rep.torn_bytes, 0);
         assert_eq!(wal.stats().last_epoch, 3);
         let _ = std::fs::remove_dir_all(&dir);
@@ -757,6 +942,112 @@ mod tests {
         // ...and is a no-op while clean.
         wal.sync_if_due().expect("idle sync");
         assert_eq!(wal.stats().syncs, syncs_after_append + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cursor_tails_live_appends_across_rolls() {
+        let dir = tmp_dir("cursor_tail");
+        let mut cfg = small_cfg(&dir);
+        cfg.segment_max_bytes = 64; // a couple of records per segment
+        let (mut wal, _) = Wal::open(&cfg).expect("open");
+        let mut cursor = wal.tail_from(0, binary::MAGIC_LEN as u64);
+        assert_eq!(cursor.next().expect("tail"), TailEvent::CaughtUp, "empty log");
+        let mut seen = Vec::new();
+        for e in 1..=9u64 {
+            wal.append(e, &[(e as u32, e as u32 + 1)]).expect("append");
+            // The cursor sees every record as soon as it is appended,
+            // rolling through segment boundaries without torn tails.
+            loop {
+                match cursor.next().expect("tail") {
+                    TailEvent::Record(epoch, edges) => {
+                        seen.push((epoch, edges));
+                    }
+                    TailEvent::CaughtUp => break,
+                    TailEvent::Pruned => panic!("nothing pruned yet"),
+                }
+            }
+        }
+        let epochs: Vec<u64> = seen.iter().map(|(e, _)| *e).collect();
+        assert_eq!(epochs, (1..=9).collect::<Vec<_>>());
+        assert!(wal.stats().segments > 2, "test needs several segments");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cursor_at_sealed_segment_end_rolls_instead_of_torn_tail() {
+        let dir = tmp_dir("cursor_boundary");
+        let mut cfg = small_cfg(&dir);
+        cfg.segment_max_bytes = 1; // roll after every record
+        let (mut wal, _) = Wal::open(&cfg).expect("open");
+        wal.append(1, &[(0, 1)]).expect("append");
+        wal.append(2, &[(2, 3)]).expect("append");
+        // Position the cursor EXACTLY at sealed segment 0's end: the
+        // off-by-one trap. It must roll to segment 1 and yield epoch 2,
+        // never report a torn tail or stall.
+        let seg0_len = std::fs::metadata(segment_path(&dir, 0)).expect("meta").len();
+        let mut cursor = wal.tail_from(0, seg0_len);
+        assert_eq!(cursor.next().expect("roll"), TailEvent::Record(2, vec![(2, 3)]));
+        assert_eq!(cursor.next().expect("tail"), TailEvent::CaughtUp);
+        // A cursor positioned at the LIVE segment's exact end is just
+        // caught up, and picks up the next append from there.
+        let (live_seq, _) = cursor.position();
+        wal.append(3, &[(4, 5)]).expect("append");
+        let mut events = Vec::new();
+        loop {
+            match cursor.next().expect("tail") {
+                TailEvent::Record(e, _) => events.push(e),
+                TailEvent::CaughtUp => break,
+                TailEvent::Pruned => panic!("nothing pruned"),
+            }
+        }
+        assert_eq!(events, vec![3]);
+        assert!(cursor.position().0 >= live_seq);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cursor_reports_pruned_and_resumes_from_oldest() {
+        let dir = tmp_dir("cursor_prune");
+        let mut cfg = small_cfg(&dir);
+        cfg.segment_max_bytes = 1;
+        let (mut wal, _) = Wal::open(&cfg).expect("open");
+        for e in 1..=4u64 {
+            wal.append(e, &[(0, e as u32)]).expect("append");
+        }
+        let mut cursor = wal.tail_from(0, binary::MAGIC_LEN as u64);
+        assert!(matches!(cursor.next().expect("tail"), TailEvent::Record(1, _)));
+        // A snapshot retires every sealed segment under the cursor.
+        wal.prune_covered_by(4);
+        assert_eq!(cursor.next().expect("tail"), TailEvent::Pruned);
+        // The documented recovery: re-bootstrap (a snapshot covers the
+        // gap) and resume from the oldest surviving segment.
+        cursor.oldest().expect("oldest");
+        match cursor.next().expect("tail") {
+            TailEvent::Record(e, _) => assert!(e >= 4, "epoch {e} should be past the prune"),
+            TailEvent::CaughtUp => {} // everything pruned except the active tail
+            TailEvent::Pruned => panic!("oldest() must land on a live segment"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cursor_truncated_live_tail_is_caught_up_not_error() {
+        let dir = tmp_dir("cursor_torn");
+        let cfg = small_cfg(&dir);
+        let (mut wal, _) = Wal::open(&cfg).expect("open");
+        wal.append(1, &[(0, 1)]).expect("append");
+        drop(wal); // stop the writer; we fake a torn in-flight record
+        let seg = segment_path(&dir, 0); // the (only) live segment
+        let mut bytes = std::fs::read(&seg).expect("read");
+        bytes.extend_from_slice(&[7, 0, 0, 0]); // half a record header
+        std::fs::write(&seg, &bytes).expect("write");
+        let mut cursor = WalCursor::open(&dir, 0, binary::MAGIC_LEN as u64);
+        assert!(matches!(cursor.next().expect("record 1"), TailEvent::Record(1, _)));
+        assert_eq!(
+            cursor.next().expect("a torn live tail is just not-yet-flushed"),
+            TailEvent::CaughtUp
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -4,7 +4,9 @@
 //! process and verify recovery from its `--wal-dir`.
 
 use cc_parallel::SplitMix64;
-use cc_server::{serve, DurabilityConfig, ExecMode, FsyncPolicy, Service, ServiceConfig, TcpClient};
+use cc_server::{
+    serve, DurabilityConfig, ExecMode, FsyncPolicy, Service, ServiceConfig, TcpClient,
+};
 use cc_unionfind::{FindKind, SeqUnionFind, SpliceKind, UfSpec, UniteKind};
 use connectit::Update;
 use std::io::{BufRead, BufReader, Read};
@@ -17,10 +19,21 @@ fn tmp_dir(tag: &str) -> PathBuf {
     cc_server::scratch_dir(&format!("e2e_{tag}"))
 }
 
-/// Spawns a real `connectit-serve` process and parses its startup line;
-/// keep the returned reader alive (the server's final prints need a live
-/// pipe) and drain it before waiting on the child.
-fn spawn_serve(args: &[&str]) -> (Child, SocketAddr, u64, BufReader<ChildStdout>) {
+/// A spawned `connectit-serve` with its parsed startup line. Keep
+/// `reader` alive (the server's final prints need a live pipe) and drain
+/// it before waiting on the child.
+struct Served {
+    child: Child,
+    addr: SocketAddr,
+    recovered_epoch: u64,
+    /// The `replication_addr=` of a primary started with
+    /// `--replication-port`.
+    replication_addr: Option<SocketAddr>,
+    reader: BufReader<ChildStdout>,
+}
+
+/// Spawns a real `connectit-serve` process and parses its startup line.
+fn spawn_serve_full(args: &[&str]) -> Served {
     let mut child = Command::new(env!("CARGO_BIN_EXE_connectit-serve"))
         .args(args)
         .stdout(Stdio::piped())
@@ -43,7 +56,14 @@ fn spawn_serve(args: &[&str]) -> (Child, SocketAddr, u64, BufReader<ChildStdout>
         .split_whitespace()
         .find_map(|t| t.strip_prefix("recovered_epoch=")?.parse().ok())
         .unwrap_or(0);
-    (child, addr, recovered_epoch, reader)
+    let replication_addr =
+        line.split_whitespace().find_map(|t| t.strip_prefix("replication_addr=")?.parse().ok());
+    Served { child, addr, recovered_epoch, replication_addr, reader }
+}
+
+fn spawn_serve(args: &[&str]) -> (Child, SocketAddr, u64, BufReader<ChildStdout>) {
+    let s = spawn_serve_full(args);
+    (s.child, s.addr, s.recovered_epoch, s.reader)
 }
 
 /// Runs `connectit-loadgen` with the given args; returns (success,
@@ -310,8 +330,8 @@ fn tcp_durability_verbs_end_to_end() {
 
     // The same verbs against a WAL-less server are typed errors, and the
     // connection survives them.
-    let mut svc = Service::start(ServiceConfig { n: 16, ..ServiceConfig::default() })
-        .expect("service");
+    let mut svc =
+        Service::start(ServiceConfig { n: 16, ..ServiceConfig::default() }).expect("service");
     let mut server = serve(&svc, "127.0.0.1:0").expect("bind");
     let mut c = TcpClient::connect(server.local_addr()).expect("connect");
     for r in [c.flush_wal().unwrap_err(), c.durable_snapshot().unwrap_err()] {
@@ -359,8 +379,22 @@ fn binaries_kill_restart_checkpoint_resume() {
 
     let addr_s = addr.to_string();
     let (ok, out) = run_loadgen(&[
-        "--mode", "tcp", "--addr", &addr_s, "--n", "20000", "--clients", "2", "--batches",
-        "24", "--batch-ops", "400", "--kill-after", "12", "--state", state,
+        "--mode",
+        "tcp",
+        "--addr",
+        &addr_s,
+        "--n",
+        "20000",
+        "--clients",
+        "2",
+        "--batches",
+        "24",
+        "--batch-ops",
+        "400",
+        "--kill-after",
+        "12",
+        "--state",
+        state,
     ]);
     assert!(ok, "checkpoint phase failed:\n{out}");
     assert!(out.contains(" mismatches=0"), "{out}");
@@ -388,8 +422,21 @@ fn binaries_kill_restart_checkpoint_resume() {
     // the recovered server, then finish the remaining batches. (No
     // --shutdown: the epoch check below needs the server answering.)
     let (ok, out) = run_loadgen(&[
-        "--mode", "tcp", "--addr", &addr_s, "--n", "20000", "--clients", "2", "--batches",
-        "24", "--batch-ops", "400", "--resume", "--state", state,
+        "--mode",
+        "tcp",
+        "--addr",
+        &addr_s,
+        "--n",
+        "20000",
+        "--clients",
+        "2",
+        "--batches",
+        "24",
+        "--batch-ops",
+        "400",
+        "--resume",
+        "--state",
+        state,
     ]);
     assert!(ok, "resume phase failed:\n{out}");
     assert!(out.contains(" mismatches=0"), "{out}");
@@ -434,8 +481,21 @@ fn binaries_kill_mid_load_and_reconnect() {
     let addr_s = addr.to_string();
     let loadgen = Command::new(env!("CARGO_BIN_EXE_connectit-loadgen"))
         .args([
-            "--mode", "tcp", "--addr", &addr_s, "--n", "8000", "--clients", "2", "--batches",
-            "300", "--batch-ops", "150", "--resume", "--retry-secs", "60",
+            "--mode",
+            "tcp",
+            "--addr",
+            &addr_s,
+            "--n",
+            "8000",
+            "--clients",
+            "2",
+            "--batches",
+            "300",
+            "--batch-ops",
+            "150",
+            "--resume",
+            "--retry-secs",
+            "60",
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
@@ -475,6 +535,142 @@ fn binaries_kill_mid_load_and_reconnect() {
     assert!(c.epoch().expect("epoch") >= epoch_before);
     c.shutdown_server().expect("shutdown");
     drain_and_wait(child, reader);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The replication drill over the real binaries: a durable primary
+/// streams its WAL to two follower processes; the loadgen split-routes
+/// (inserts -> primary, WAIT-barriered queries -> followers) with exact
+/// oracle validation; one follower is SIGKILLed mid-run and restarted
+/// empty, reconverges through the stream, and the run finishes with zero
+/// mismatches.
+#[test]
+fn binaries_replication_topology_kill_one_follower() {
+    let dir = tmp_dir("repl");
+    let wal = dir.join("wal");
+    let wal = wal.to_str().expect("utf8 path").to_string();
+
+    let primary = spawn_serve_full(&[
+        "--n",
+        "30000",
+        "--shards",
+        "4",
+        "--port",
+        "0",
+        "--wal-dir",
+        &wal,
+        "--fsync",
+        "batch",
+        "--snapshot-every",
+        "8",
+        "--replication-port",
+        "0",
+    ]);
+    let paddr = primary.addr.to_string();
+    let raddr = primary.replication_addr.expect("primary prints replication_addr=").to_string();
+
+    let follower_args = |port: &str| {
+        vec![
+            "--n".to_string(),
+            "30000".into(),
+            "--shards".into(),
+            "4".into(),
+            "--port".into(),
+            port.to_string(),
+            "--replicate-from".into(),
+            raddr.clone(),
+        ]
+    };
+    let f1 = spawn_serve_full(&follower_args("0").iter().map(String::as_str).collect::<Vec<_>>());
+    let f2 = spawn_serve_full(&follower_args("0").iter().map(String::as_str).collect::<Vec<_>>());
+    let (f1addr, f2addr) = (f1.addr.to_string(), f2.addr.to_string());
+    {
+        let mut c = TcpClient::connect(f1.addr).expect("connect follower");
+        assert_eq!(c.role().expect("ROLE"), "follower");
+        // Inserts are rejected with the routing hint, connection intact.
+        let err = c.insert(1, 2).expect_err("follower is read-only");
+        assert!(err.to_string().contains("read-only follower"), "{err}");
+        c.ping().expect("alive after ERR");
+    }
+
+    // Background load, split-routed with reconnect resilience.
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_connectit-loadgen"))
+        .args([
+            "--mode",
+            "tcp",
+            "--addr",
+            &paddr,
+            "--n",
+            "30000",
+            "--clients",
+            "2",
+            "--batches",
+            "120",
+            "--batch-ops",
+            "300",
+            "--retry-secs",
+            "60",
+            "--follower",
+            &f1addr,
+            "--follower",
+            &f2addr,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn loadgen");
+
+    // Wait until replication is demonstrably live on follower 1, then
+    // SIGKILL it mid-replay.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "follower 1 never reached epoch 10");
+        if let Ok(mut c) = TcpClient::connect(f1.addr) {
+            if c.epoch().map(|e| e >= 10).unwrap_or(false) {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    hard_kill(f1.child);
+
+    // Restart it on the same port: a follower is in-memory, so this one
+    // comes back EMPTY and must reconverge from the stream alone (its
+    // handshake epoch 0 predates the primary's pruned history, forcing
+    // the snapshot-bootstrap path).
+    let port1 = f1.addr.port().to_string();
+    let f1 =
+        spawn_serve_full(&follower_args(&port1).iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(f1.addr.port(), port1.parse::<u16>().expect("port"));
+
+    let out = loadgen.wait_with_output().expect("loadgen exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "split-routed drill failed:\n{stdout}");
+    assert!(stdout.contains(" mismatches=0"), "{stdout}");
+    let fv: u64 = stdout
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("follower_verified=")?.parse().ok())
+        .expect("follower_verified in output");
+    assert!(fv > 1000, "expected substantial follower-verified traffic:\n{stdout}");
+
+    // Convergence: the restarted follower catches the primary's epoch.
+    let primary_epoch = {
+        let mut c = TcpClient::connect(primary.addr).expect("primary alive");
+        c.epoch().expect("epoch")
+    };
+    let mut c = TcpClient::connect(f1.addr).expect("restarted follower alive");
+    let reached = c.wait_epoch(primary_epoch, 30_000).expect("follower converges");
+    assert!(reached >= primary_epoch);
+
+    // Tear the topology down through the protocol.
+    for s in [f1, f2] {
+        let mut c = TcpClient::connect(s.addr).expect("connect");
+        c.shutdown_server().expect("shutdown follower");
+        drain_and_wait(s.child, s.reader);
+    }
+    let mut c = TcpClient::connect(primary.addr).expect("connect");
+    c.shutdown_server().expect("shutdown primary");
+    drain_and_wait(primary.child, primary.reader);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -86,12 +86,7 @@ fn latest_snapshot_epoch(dir: &Path) -> u64 {
         .expect("wal dir")
         .flatten()
         .filter_map(|e| {
-            e.file_name()
-                .to_str()?
-                .strip_prefix("snap-")?
-                .strip_suffix(".ccsnap")?
-                .parse()
-                .ok()
+            e.file_name().to_str()?.strip_prefix("snap-")?.strip_suffix(".ccsnap")?.parse().ok()
         })
         .max()
         .unwrap_or(0)

@@ -132,10 +132,7 @@ pub fn find_two_try_split<T: Telemetry>(p: &Parents, mut u: u32, t: &mut T) -> u
         }
         t.add(1);
         // Try 1.
-        if p[u as usize]
-            .compare_exchange(v, w, Ordering::AcqRel, Ordering::Relaxed)
-            .is_err()
-        {
+        if p[u as usize].compare_exchange(v, w, Ordering::AcqRel, Ordering::Relaxed).is_err() {
             // Try 2 with refreshed values.
             let v2 = p[u as usize].load(Ordering::Acquire);
             let w2 = p[v2 as usize].load(Ordering::Acquire);

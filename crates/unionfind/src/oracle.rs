@@ -11,11 +11,7 @@ pub struct SeqUnionFind {
 impl SeqUnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        SeqUnionFind {
-            parent: (0..n as u32).collect(),
-            rank: vec![0; n],
-            components: n,
-        }
+        SeqUnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
     }
 
     /// Returns the representative of `x`, compressing the path.

@@ -14,8 +14,8 @@
 use crate::find::{FindCompress, FindHalve, FindNaive, FindSplit};
 use crate::splice::{HalveAtomicOne, SpliceAtomic, SplitAtomicOne};
 use crate::unite::{
-    JtbSimple, JtbTwoTry, UnionAsync, UnionEarly, UnionHooks, UnionJtb, UnionRemCas,
-    UnionRemLock, Unite, UniteKernel,
+    JtbSimple, JtbTwoTry, UnionAsync, UnionEarly, UnionHooks, UnionJtb, UnionRemCas, UnionRemLock,
+    Unite, UniteKernel,
 };
 
 /// The paper's fastest overall kernel type (Section 4.1 takeaway),
@@ -402,11 +402,8 @@ impl std::str::FromStr for UfSpec {
     /// omitted; Rem families require an explicit splice. Invalid
     /// combinations are rejected with the [`UfSpec::validate`] message.
     fn from_str(s: &str) -> Result<Self, String> {
-        let tokens: Vec<&str> = s
-            .split(['+', ':', ','])
-            .map(str::trim)
-            .filter(|t| !t.is_empty())
-            .collect();
+        let tokens: Vec<&str> =
+            s.split(['+', ':', ',']).map(str::trim).filter(|t| !t.is_empty()).collect();
         let mut it = tokens.iter();
         let unite = match it.next().copied() {
             Some("async") => UniteKind::Async,
@@ -490,9 +487,8 @@ mod tests {
                 .unwrap_err();
             assert!(err.contains("Union-JTB"), "{err}");
             // The one excluded splice/find pairing cites the appendix.
-            let err = UfSpec::rem(unite, SpliceKind::Splice, FindKind::Compress)
-                .validate()
-                .unwrap_err();
+            let err =
+                UfSpec::rem(unite, SpliceKind::Splice, FindKind::Compress).validate().unwrap_err();
             assert!(err.contains("SpliceAtomic"), "{err}");
             assert!(err.contains("Appendix B.2.3"), "{err}");
         }
@@ -607,15 +603,9 @@ mod tests {
     #[test]
     fn fastest_is_valid() {
         assert!(UfSpec::fastest().is_valid());
-        assert_eq!(
-            UfSpec::fastest().name(),
-            "Union-Rem-CAS{SplitAtomicOne; FindNaive}"
-        );
+        assert_eq!(UfSpec::fastest().name(), "Union-Rem-CAS{SplitAtomicOne; FindNaive}");
         // The compile-time alias names the same kernel.
-        assert_eq!(
-            UniteKernel::name(&FastestKernel::build(4, 0)),
-            UfSpec::fastest().name()
-        );
+        assert_eq!(UniteKernel::name(&FastestKernel::build(4, 0)), UfSpec::fastest().name());
     }
 
     #[test]

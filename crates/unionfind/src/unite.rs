@@ -271,9 +271,7 @@ impl<F: Find> UniteKernel for UnionEarly<F> {
             // v > u proves they are in different trees).
             let pv = p[v as usize].load(Ordering::Acquire);
             if pv == v {
-                if p[v as usize]
-                    .compare_exchange(v, u, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
+                if p[v as usize].compare_exchange(v, u, Ordering::AcqRel, Ordering::Relaxed).is_ok()
                 {
                     hooked = Some(v);
                     break;
@@ -538,14 +536,8 @@ impl<J: JtbFindStrategy> UniteKernel for UnionJtb<J> {
                 return None;
             }
             // Hook the lower-priority root beneath the higher-priority one.
-            let (lo, hi) = if self.priority(ru) < self.priority(rv) {
-                (ru, rv)
-            } else {
-                (rv, ru)
-            };
-            if p[lo as usize]
-                .compare_exchange(lo, hi, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
+            let (lo, hi) = if self.priority(ru) < self.priority(rv) { (ru, rv) } else { (rv, ru) };
+            if p[lo as usize].compare_exchange(lo, hi, Ordering::AcqRel, Ordering::Relaxed).is_ok()
             {
                 return Some(lo);
             }
@@ -634,15 +626,9 @@ mod tests {
     #[test]
     fn forest_support_flags() {
         assert!(UniteKernel::supports_forest(&UnionAsync::<FindNaive>::new()));
-        assert!(UniteKernel::supports_forest(
-            &UnionRemCas::<SplitAtomicOne, FindNaive>::new()
-        ));
-        assert!(!UniteKernel::supports_forest(
-            &UnionRemCas::<SpliceAtomic, FindNaive>::new()
-        ));
-        assert!(!UniteKernel::concurrent_finds(
-            &UnionRemLock::<SpliceAtomic, FindNaive>::new(4)
-        ));
+        assert!(UniteKernel::supports_forest(&UnionRemCas::<SplitAtomicOne, FindNaive>::new()));
+        assert!(!UniteKernel::supports_forest(&UnionRemCas::<SpliceAtomic, FindNaive>::new()));
+        assert!(!UniteKernel::concurrent_finds(&UnionRemLock::<SpliceAtomic, FindNaive>::new(4)));
     }
 
     #[test]
