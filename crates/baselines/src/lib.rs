@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod bfscc;
+pub mod dynamic_oracle;
 pub mod stinger_sim;
 pub mod workefficient;
 
 pub use bfscc::bfscc;
+pub use dynamic_oracle::DynamicOracle;
 pub use stinger_sim::StingerSim;
 pub use workefficient::work_efficient_cc;

@@ -1,0 +1,290 @@
+//! Fully dynamic connectivity, measured: mixed insert/delete churn
+//! throughput of the generation-engine service, plus the latency of a
+//! forest-deletion rebuild (the only deletion class that costs anything
+//! — the bench also re-asserts, via telemetry, that a non-forest
+//! deletion triggers **zero** rebuilds).
+//!
+//! Every churn run is validated exactly: each client keeps a
+//! `DynamicOracle` over its private vertex slice and answers are only
+//! scored inside a clean generation window (quiesce + generation
+//! sandwich, as in `connectit-loadgen --churn`); a mismatch fails the
+//! bench loudly instead of reporting a throughput.
+//!
+//! Prints a table and emits `BENCH_dynamic.json` (`churn_ops_per_sec`,
+//! `rebuild_ms` stats, and the gated correctness counters `mismatches`
+//! and `nonforest_rebuild_free`). Accepts the criterion-style `--test`
+//! flag (tiny sizes; absolute timings are informational there and never
+//! gated) so `cargo bench -- --test` smoke-runs it in CI.
+
+use cc_baselines::DynamicOracle;
+use cc_bench::harness::{write_bench_json, Table};
+use cc_parallel::SplitMix64;
+use cc_server::{Service, ServiceConfig};
+use connectit::Update;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+const CHURN: f64 = 0.25;
+const QUIESCE: Duration = Duration::from_secs(20);
+
+struct DriveResult {
+    ops: u64,
+    deletes: u64,
+    verified_queries: u64,
+    stale_skipped: u64,
+    mismatches: u64,
+    elapsed: f64,
+}
+
+/// One churn client: mutation batches over a private slice, validated
+/// exactly against a dynamic oracle inside clean generation windows.
+#[allow(clippy::too_many_arguments)]
+fn churn_client(
+    client: &cc_server::Client,
+    idx: usize,
+    sz: usize,
+    batches: usize,
+    batch_ops: usize,
+    queries_per_batch: usize,
+) -> (u64, u64, u64, u64, u64) {
+    let base = (idx * sz) as u32;
+    let mut rng = SplitMix64::new(0xd19a_0000 + idx as u64);
+    let mut oracle = DynamicOracle::new(sz);
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut live_at: HashMap<(u32, u32), usize> = HashMap::new();
+    let delete_cut = (CHURN * (1u64 << 32) as f64) as u64;
+    let (mut ops, mut deletes, mut verified, mut stale, mut mismatches) = (0u64, 0, 0, 0, 0);
+    for _ in 0..batches {
+        let mut wire: Vec<Update> = Vec::with_capacity(batch_ops);
+        for _ in 0..batch_ops {
+            let r = rng.next_u64();
+            if (r & 0xffff_ffff) < delete_cut {
+                let (lu, lv) = if !live.is_empty() && (r >> 32) & 3 != 0 {
+                    live[(rng.next_u64() % live.len() as u64) as usize]
+                } else {
+                    (
+                        ((rng.next_u64() >> 32) as usize % sz) as u32,
+                        ((rng.next_u64() >> 32) as usize % sz) as u32,
+                    )
+                };
+                if oracle.delete(lu, lv) {
+                    let key = (lu.min(lv), lu.max(lv));
+                    if let Some(i) = live_at.remove(&key) {
+                        let last = live.pop().expect("pool and index agree");
+                        if i < live.len() {
+                            live[i] = last;
+                            live_at.insert(last, i);
+                        }
+                    }
+                }
+                wire.push(Update::Delete(base + lu, base + lv));
+                deletes += 1;
+            } else {
+                let lu = ((r >> 32) as usize % sz) as u32;
+                let lv = ((rng.next_u64() >> 32) as usize % sz) as u32;
+                if oracle.insert(lu, lv) {
+                    let key = (lu.min(lv), lu.max(lv));
+                    live_at.insert(key, live.len());
+                    live.push(key);
+                }
+                wire.push(Update::Insert(base + lu, base + lv));
+            }
+        }
+        client.submit(wire).expect("submit");
+        ops += batch_ops as u64;
+        // Exact validation inside a clean generation window.
+        let mut queries: Vec<Update> = Vec::with_capacity(queries_per_batch);
+        let mut expected: Vec<bool> = Vec::with_capacity(queries_per_batch);
+        for _ in 0..queries_per_batch {
+            let lu = ((rng.next_u64() >> 32) as usize % sz) as u32;
+            let lv = ((rng.next_u64() >> 32) as usize % sz) as u32;
+            queries.push(Update::Query(base + lu, base + lv));
+            expected.push(oracle.connected(lu, lv));
+        }
+        ops += queries_per_batch as u64;
+        let mut validated = None;
+        for _ in 0..5 {
+            let _ = client.quiesce(QUIESCE);
+            let g1 = client.generation_info();
+            if g1.dirty {
+                continue;
+            }
+            let answers = client.submit(queries.clone()).expect("query batch");
+            let g2 = client.generation_info();
+            if !g2.dirty && g2.generation == g1.generation {
+                validated = Some(answers);
+                break;
+            }
+        }
+        match validated {
+            Some(answers) => {
+                for (&got, &want) in answers.iter().zip(&expected) {
+                    verified += 1;
+                    mismatches += u64::from(got != want);
+                }
+            }
+            None => stale += queries_per_batch as u64,
+        }
+    }
+    (ops, deletes, verified, stale, mismatches)
+}
+
+/// Drives `clients` churn loops against a fresh service.
+fn drive(
+    n: usize,
+    clients: usize,
+    batches: usize,
+    batch_ops: usize,
+    queries_per_batch: usize,
+) -> DriveResult {
+    let mut svc = Service::start(ServiceConfig { n, shards: 4, ..ServiceConfig::default() })
+        .expect("service starts");
+    let sz = n / clients;
+    let t0 = Instant::now();
+    let per_client: Vec<(u64, u64, u64, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|idx| {
+                let client = svc.client();
+                s.spawn(move || {
+                    churn_client(&client, idx, sz, batches, batch_ops, queries_per_batch)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    svc.shutdown();
+    let mut r = DriveResult {
+        ops: 0,
+        deletes: 0,
+        verified_queries: 0,
+        stale_skipped: 0,
+        mismatches: 0,
+        elapsed,
+    };
+    for (ops, deletes, verified, stale, mismatches) in per_client {
+        r.ops += ops;
+        r.deletes += deletes;
+        r.verified_queries += verified;
+        r.stale_skipped += stale;
+        r.mismatches += mismatches;
+    }
+    r
+}
+
+/// Times forest-deletion rebuilds over a pre-built random graph: each
+/// cycle inserts a fresh forest edge between two reserved (isolated)
+/// vertices, then measures delete → quiesce, which brackets the whole
+/// seal + rebuild + commit path. Also verifies, via telemetry, that a
+/// non-forest deletion rebuilds nothing. Returns (`rebuild_ms` samples,
+/// total rebuilds, nonforest_rebuild_free).
+fn rebuild_latency(n: usize, edges: usize, cycles: usize) -> (Vec<f64>, u64, bool) {
+    let mut svc = Service::start(ServiceConfig { n, shards: 4, ..ServiceConfig::default() })
+        .expect("service starts");
+    let client = svc.client();
+    // Random graph over the first half of the vertex space; the tail
+    // stays isolated for the probe edges.
+    let mut rng = SplitMix64::new(0x4eb1_11d5);
+    let half = (n / 2) as u64;
+    let batch: Vec<Update> = (0..edges)
+        .map(|_| Update::Insert((rng.next_u64() % half) as u32, (rng.next_u64() % half) as u32))
+        .collect();
+    client.submit(batch).expect("seed graph");
+    client.quiesce(QUIESCE).expect("quiesce");
+
+    // Non-forest classification probe: close a cycle over reserved
+    // vertices, then retract the closing edge — zero rebuilds allowed.
+    let (a, b, c) = ((n - 2) as u32, (n - 3) as u32, (n - 4) as u32);
+    client.submit(vec![Update::Insert(a, b), Update::Insert(b, c)]).expect("path");
+    client.quiesce(QUIESCE).expect("quiesce");
+    client.submit(vec![Update::Insert(a, c)]).expect("cycle");
+    client.quiesce(QUIESCE).expect("quiesce");
+    let before = client.generation_info();
+    client.delete(a, c).expect("non-forest delete");
+    let after = client.generation_info();
+    let nonforest_free = !after.dirty
+        && after.counters.rebuilds == before.counters.rebuilds
+        && after.counters.deletes_nonforest == before.counters.deletes_nonforest + 1;
+
+    let mut samples = Vec::with_capacity(cycles);
+    for i in 0..cycles {
+        let u = (n - 6 - 2 * i) as u32;
+        let v = (n - 5 - 2 * i) as u32;
+        client.submit(vec![Update::Insert(u, v)]).expect("probe edge");
+        client.quiesce(QUIESCE).expect("quiesce");
+        let t0 = Instant::now();
+        client.delete(u, v).expect("forest delete");
+        client.quiesce(QUIESCE).expect("rebuild drains");
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let rebuilds = client.generation_info().counters.rebuilds;
+    svc.shutdown();
+    (samples, rebuilds, nonforest_free)
+}
+
+fn main() {
+    let mut test_mode = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--test" {
+            test_mode = true;
+        }
+    }
+    let (n, clients, batches, batch_ops, queries_per_batch, seed_edges, cycles) = if test_mode {
+        (4_000, 2, 10, 400, 24, 2_000, 3)
+    } else {
+        (1 << 18, 4, 32, 4096, 64, 1 << 17, 8)
+    };
+
+    println!("== dynamic: churn throughput + rebuild latency (generation engine) ==");
+    println!(
+        "n={n} clients={clients} batches={batches}x{batch_ops} ops (churn={CHURN}), \
+         {queries_per_batch} exact queries/batch\n"
+    );
+
+    let run = drive(n, clients, batches, batch_ops, queries_per_batch);
+    assert_eq!(
+        run.mismatches, 0,
+        "churn run diverged from the dynamic oracle in a clean generation window"
+    );
+    assert!(run.verified_queries > 0, "no churn query was ever validated");
+    let churn_ops_per_sec = run.ops as f64 / run.elapsed.max(1e-9);
+
+    let (mut samples, rebuilds, nonforest_free) = rebuild_latency(n, seed_edges, cycles);
+    assert!(nonforest_free, "a non-forest deletion triggered a rebuild (or missed its counter)");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let p50 = samples[samples.len() / 2];
+    let max = *samples.last().expect("samples");
+
+    let mut t = Table::new(vec!["Metric", "Value"]);
+    t.row(vec!["churn ops/s".to_string(), format!("{churn_ops_per_sec:.3e}")]);
+    t.row(vec!["deletes".to_string(), run.deletes.to_string()]);
+    t.row(vec!["verified queries".to_string(), run.verified_queries.to_string()]);
+    t.row(vec!["stale skipped".to_string(), run.stale_skipped.to_string()]);
+    t.row(vec!["mismatches".to_string(), run.mismatches.to_string()]);
+    t.row(vec!["rebuild ms (mean/p50/max)".to_string(), format!("{mean:.2}/{p50:.2}/{max:.2}")]);
+    t.row(vec!["rebuilds".to_string(), rebuilds.to_string()]);
+    if test_mode {
+        println!(
+            "dynamic: test ok ({} queries exactly validated, {} deletions, 0 mismatches)",
+            run.verified_queries, run.deletes
+        );
+    } else {
+        t.print();
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"dynamic\",\n  \"test_mode\": {test_mode},\n  \"n\": {n},\n  \
+         \"clients\": {clients},\n  \"batches\": {batches},\n  \"batch_ops\": {batch_ops},\n  \
+         \"churn\": {CHURN},\n  \"churn_ops_per_sec\": {churn_ops_per_sec:.1},\n  \
+         \"deletes\": {},\n  \"verified_queries\": {},\n  \"stale_skipped\": {},\n  \
+         \"mismatches\": {},\n  \"nonforest_rebuild_free\": {nonforest_free},\n  \
+         \"rebuilds\": {rebuilds},\n  \"rebuild_ms\": {{\"mean\": {mean:.3}, \"p50\": \
+         {p50:.3}, \"max\": {max:.3}}}\n}}\n",
+        run.deletes, run.verified_queries, run.stale_skipped, run.mismatches
+    );
+    match write_bench_json("BENCH_dynamic.json", &json) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("dynamic: could not write BENCH_dynamic.json: {e}"),
+    }
+}

@@ -8,8 +8,9 @@
 //!                       [NAME...]
 //! ```
 //!
-//! `NAME`s are artifact stems (`wal`, `dispatch`, `replication` by
-//! default; `BENCH_<name>.json` is loaded from both directories).
+//! `NAME`s are artifact stems (`wal`, `dispatch`, `replication`,
+//! `dynamic` by default; `BENCH_<name>.json` is loaded from both
+//! directories).
 //! Scale-free ratios and correctness counters are gated (see
 //! `cc_bench::regression::gate_for`); absolute timings are reported as
 //! `info` only — they are machine-bound and the baseline was written on
@@ -21,14 +22,15 @@ use cc_bench::regression::check_artifact;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const DEFAULT_BENCHES: [&str; 3] = ["wal", "dispatch", "replication"];
+const DEFAULT_BENCHES: [&str; 4] = ["wal", "dispatch", "replication", "dynamic"];
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: connectit-bench check [--baselines DIR] [--fresh DIR] [--tolerance F] [NAME...]\n\
          \x20  compares fresh BENCH_<NAME>.json artifacts in --fresh (default .) against\n\
          \x20  the committed baselines in --baselines (default baselines/); exits non-zero\n\
-         \x20  on any gated-metric regression. Default NAMEs: wal dispatch replication"
+         \x20  on any gated-metric regression. Default NAMEs: wal dispatch replication\n\
+         \x20  dynamic"
     );
     ExitCode::from(2)
 }

@@ -251,6 +251,7 @@ pub fn gate_for(leaf: &str) -> Option<(Direction, Option<f64>)> {
         "mismatches" => Some((Direction::Lower, Some(1.0))),
         "recovery_verified" => Some((Direction::Higher, Some(1.0))),
         "restart_converged" => Some((Direction::Higher, Some(1.0))),
+        "nonforest_rebuild_free" => Some((Direction::Higher, Some(1.0))),
         _ => None,
     }
 }

@@ -2,19 +2,28 @@
 //! interested in identifying practical parallel algorithms that support
 //! edge deletions"). This module provides the straightforward baseline such
 //! work would be measured against: insertions are incremental (wait-free
-//! union-find, exactly the streaming path), while a batch containing
-//! deletions falls back to recomputing connectivity over the surviving
-//! edge set with the static engine.
+//! union-find, exactly the streaming path), while deletions classify
+//! through [`crate::liveness::LivenessTracker`] — a deletion of an absent
+//! or non-forest (cycle) edge is free, and only a *forest* deletion falls
+//! back to recomputing connectivity over the surviving edge set with the
+//! static engine.
 //!
-//! The recompute path costs `O(n + m)` per deletion batch — fine for
-//! workloads where deletions are rare (the paper's motivation: only a few
-//! percent of tweets are ever deleted), and an honest baseline otherwise.
+//! The recompute path costs `O(n + m)` per forest-deletion batch — fine
+//! for workloads where deletions are rare (the paper's motivation: only a
+//! few percent of tweets are ever deleted), and an honest baseline
+//! otherwise.
 
+use crate::liveness::{DeleteClass, InsertClass, LivenessTracker};
 use crate::options::{FinishMethod, SamplingMethod};
 use cc_graph::{build_undirected, VertexId};
-use cc_unionfind::parents::{find_root_readonly, parents_from_labels, snapshot_labels, Parents};
+use cc_unionfind::parents::{find_root_readonly, parents_from_labels, Parents};
 use cc_unionfind::{KernelVisitor, NoCount, UfSpec, UniteKernel};
-use std::collections::HashSet;
+
+/// The fully-dynamic operation type: deletions share [`crate::Update`]
+/// with the streaming path, so mixed schedules flow through one enum
+/// end-to-end (kept under its historical name for callers of this
+/// module).
+pub use crate::streaming::Update as DynUpdate;
 
 /// The incremental fast path's kernel, erased at *operation* granularity
 /// (deletion batches are sequential anyway): one virtual call per insert
@@ -56,33 +65,17 @@ fn build_kernel(spec: &UfSpec, n: usize, seed: u64) -> Box<dyn DynKernel> {
     spec.dispatch(n, seed, Boxer { n, seed })
 }
 
-/// One fully-dynamic operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum DynUpdate {
-    /// Insert undirected edge `{u, v}` (idempotent).
-    Insert(VertexId, VertexId),
-    /// Delete undirected edge `{u, v}` (no-op if absent).
-    Delete(VertexId, VertexId),
-    /// Ask whether `u` and `v` are currently connected.
-    Query(VertexId, VertexId),
-}
-
-#[inline]
-fn canon(u: VertexId, v: VertexId) -> u64 {
-    let (a, b) = if u < v { (u, v) } else { (v, u) };
-    (u64::from(a) << 32) | u64::from(b)
-}
-
 /// A fully-dynamic connectivity structure: incremental fast path, rebuild
-/// on deletion.
+/// only on *forest* deletions (see [`crate::liveness`]).
 pub struct DynamicConnectivity {
     n: usize,
-    edges: HashSet<u64>,
+    tracker: LivenessTracker,
     parents: Box<Parents>,
     uf: Box<dyn DynKernel>,
     spec: UfSpec,
     seed: u64,
     rebuilds: usize,
+    nonforest_deletes: usize,
 }
 
 impl DynamicConnectivity {
@@ -95,12 +88,13 @@ impl DynamicConnectivity {
         );
         DynamicConnectivity {
             n,
-            edges: HashSet::new(),
+            tracker: LivenessTracker::new(n),
             parents: cc_unionfind::make_parents(n),
             uf: build_kernel(&spec, n, seed),
             spec,
             seed,
             rebuilds: 0,
+            nonforest_deletes: 0,
         }
     }
 
@@ -111,7 +105,7 @@ impl DynamicConnectivity {
 
     /// Number of live edges.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.tracker.num_edges()
     }
 
     /// How many deletion-triggered rebuilds have happened (for tests and
@@ -120,29 +114,38 @@ impl DynamicConnectivity {
         self.rebuilds
     }
 
+    /// How many deletions were classified as non-forest (cycle) edges and
+    /// therefore re-converged for free.
+    pub fn nonforest_deletes(&self) -> usize {
+        self.nonforest_deletes
+    }
+
     /// Applies a batch; returns query answers in order of appearance.
     /// Operations within a batch are applied *sequentially* (unlike the
     /// insert-only streaming path) so that deletions interleave
     /// deterministically with queries.
     pub fn process_batch(&mut self, batch: &[DynUpdate]) -> Vec<bool> {
         let mut answers = Vec::new();
-        let mut dirty = false; // a deletion happened; labels are stale
         for &op in batch {
             match op {
                 DynUpdate::Insert(u, v) => {
-                    if u != v && self.edges.insert(canon(u, v)) && !dirty {
+                    // Merge verdicts keep the incremental labels exact;
+                    // while stale, novel edges wait for the owed rebuild.
+                    if self.tracker.insert(u, v) == InsertClass::Merge {
                         self.uf.unite(&self.parents, u, v);
                     }
                 }
-                DynUpdate::Delete(u, v) => {
-                    if u != v && self.edges.remove(&canon(u, v)) {
-                        dirty = true;
-                    }
-                }
+                DynUpdate::Delete(u, v) => match self.tracker.delete(u, v) {
+                    DeleteClass::Absent => {}
+                    // The forest still spans: the labeling stays exact.
+                    DeleteClass::NonForest => self.nonforest_deletes += 1,
+                    // Staleness is now recorded in the tracker; the next
+                    // query (or batch end) pays for the rebuild.
+                    DeleteClass::Forest => {}
+                },
                 DynUpdate::Query(u, v) => {
-                    if dirty {
+                    if self.tracker.is_stale() {
                         self.rebuild();
-                        dirty = false;
                     }
                     answers.push(
                         find_root_readonly(&self.parents, u)
@@ -151,7 +154,7 @@ impl DynamicConnectivity {
                 }
             }
         }
-        if dirty {
+        if self.tracker.is_stale() {
             self.rebuild();
         }
         answers
@@ -164,15 +167,14 @@ impl DynamicConnectivity {
 
     /// Current labeling snapshot.
     pub fn labels(&self) -> Vec<VertexId> {
-        snapshot_labels(&self.parents)
+        cc_unionfind::parents::snapshot_labels(&self.parents)
     }
 
     /// Recomputes connectivity from the surviving edge set with the static
-    /// two-phase engine.
+    /// two-phase engine, and re-derives the tracker's spanning forest.
     fn rebuild(&mut self) {
         self.rebuilds += 1;
-        let edge_list: Vec<(VertexId, VertexId)> =
-            self.edges.iter().map(|&e| ((e >> 32) as u32, e as u32)).collect();
+        let edge_list = self.tracker.edge_list();
         let g = build_undirected(self.n, &edge_list);
         let labels = crate::connectivity_seeded(
             &g,
@@ -181,6 +183,7 @@ impl DynamicConnectivity {
             self.seed,
         );
         self.parents = parents_from_labels(&labels);
+        self.tracker.rebuild_forest();
         // Fresh instance: stateful variants (hooks arrays) must reset.
         self.uf = self.uf.fresh();
     }
@@ -193,6 +196,10 @@ mod tests {
     use cc_unionfind::{oracle_labels, SeqUnionFind};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn canon(u: u32, v: u32) -> u64 {
+        crate::liveness::canon_edge(u, v)
+    }
 
     #[test]
     fn insert_then_delete_disconnects() {
@@ -220,6 +227,21 @@ mod tests {
         ]);
         let a = d.process_batch(&[DynUpdate::Delete(1, 3), DynUpdate::Query(0, 3)]);
         assert_eq!(a, vec![true]); // the 0-2-3 path survives
+    }
+
+    #[test]
+    fn nonforest_deletes_never_rebuild() {
+        let mut d = DynamicConnectivity::new(4, UfSpec::fastest(), 5);
+        // A triangle: the closing edge is a cycle edge.
+        d.process_batch(&[
+            DynUpdate::Insert(0, 1),
+            DynUpdate::Insert(1, 2),
+            DynUpdate::Insert(2, 0),
+        ]);
+        let a = d.process_batch(&[DynUpdate::Delete(2, 0), DynUpdate::Query(0, 2)]);
+        assert_eq!(a, vec![true]);
+        assert_eq!(d.rebuilds(), 0, "cycle-edge delete must be free");
+        assert_eq!(d.nonforest_deletes(), 1);
     }
 
     #[test]

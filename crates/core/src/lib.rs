@@ -26,6 +26,7 @@ pub mod dynamic;
 pub mod forest;
 pub mod label_prop;
 pub mod liu_tarjan;
+pub mod liveness;
 pub mod minkey;
 pub mod options;
 pub mod sampling;
@@ -40,6 +41,7 @@ pub use connectivity::{
 };
 pub use dynamic::{DynUpdate, DynamicConnectivity};
 pub use liu_tarjan::{LtConnect, LtScheme};
+pub use liveness::{canon_edge, uncanon_edge, DeleteClass, InsertClass, LivenessTracker};
 pub use options::{FinishMethod, KOutVariant, SamplingMethod};
 pub use sampling::{identify_frequent, inter_component_edges, run_sampling, SampleOutcome};
 pub use spanning_forest::{is_valid_spanning_forest, spanning_forest, supports_spanning_forest};

@@ -1,0 +1,297 @@
+//! Edge liveness and forest-aware delete classification: the bookkeeping
+//! that makes deletions cheap *when they can be*.
+//!
+//! A connectivity structure only has to re-converge when a deletion could
+//! actually split a component. [`LivenessTracker`] maintains the live
+//! undirected edge set together with a spanning forest of it (witnessed
+//! by a sequential mirror union-find), so every delete classifies in
+//! O(α) into one of [`DeleteClass`]'s three cases:
+//!
+//! | class                      | what it means                         | cost to re-converge |
+//! |----------------------------|---------------------------------------|---------------------|
+//! | [`DeleteClass::Absent`]    | edge was never live (or already dead) | none                |
+//! | [`DeleteClass::NonForest`] | a cycle edge; the forest still spans  | none                |
+//! | [`DeleteClass::Forest`]    | a forest edge; components may split   | rebuild             |
+//!
+//! The forest maintained here is exactly the kind
+//! [`fn@crate::spanning_forest`] produces: when a structure rebuilds from
+//! scratch it can install the recomputed forest with
+//! [`LivenessTracker::rebuild_forest`], restoring the invariant
+//! `forest ⊆ edges` and `forest spans edges`.
+//!
+//! This module is deliberately sequential — it is the *classifier*, not
+//! the engine. Both [`crate::DynamicConnectivity`] and the server's
+//! generation engine consult it before deciding whether a retraction
+//! needs a rebuild.
+
+use cc_graph::VertexId;
+use cc_unionfind::SeqUnionFind;
+use std::collections::HashSet;
+
+/// Canonical undirected edge key: `(min << 32) | max`.
+#[inline]
+pub fn canon_edge(u: VertexId, v: VertexId) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    (u64::from(a) << 32) | u64::from(b)
+}
+
+/// Inverse of [`canon_edge`].
+#[inline]
+pub fn uncanon_edge(e: u64) -> (VertexId, VertexId) {
+    ((e >> 32) as u32, e as u32)
+}
+
+/// How a delete relates to the tracked forest (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeleteClass {
+    /// The edge is not live: deleting it changes nothing.
+    Absent,
+    /// A live non-forest (cycle) edge: removal cannot split a component,
+    /// so the current labeling stays exact and no rebuild is needed.
+    NonForest,
+    /// A live forest edge: removal may split its component; the caller
+    /// must re-converge before trusting labels again.
+    Forest,
+}
+
+/// How an insert relates to the tracked forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertClass {
+    /// The edge was already live.
+    Duplicate,
+    /// A self-loop or an edge inside an existing component: live now, but
+    /// merge-wise a no-op (it joined the cycle space).
+    Cycle,
+    /// The edge merged two components and joined the forest.
+    Merge,
+}
+
+/// Live edge set + spanning forest + mirror union-find (see module docs).
+///
+/// Invariants between calls: `forest ⊆ edges`; the mirror's partition
+/// equals connectivity over `edges`; `forest` spans that partition.
+/// After a [`DeleteClass::Forest`] removal the mirror and forest are
+/// *stale* (they describe the pre-delete graph) until the caller calls
+/// [`LivenessTracker::rebuild_forest`]; [`LivenessTracker::is_stale`]
+/// reports that state, and while stale every further delete of a live
+/// edge conservatively classifies as [`DeleteClass::Forest`].
+pub struct LivenessTracker {
+    n: usize,
+    edges: HashSet<u64>,
+    forest: HashSet<u64>,
+    mirror: SeqUnionFind,
+    stale: bool,
+}
+
+impl LivenessTracker {
+    /// An empty tracker over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        LivenessTracker {
+            n,
+            edges: HashSet::new(),
+            forest: HashSet::new(),
+            mirror: SeqUnionFind::new(n),
+            stale: false,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of forest edges (≤ `n - 1` when fresh).
+    pub fn num_forest_edges(&self) -> usize {
+        self.forest.len()
+    }
+
+    /// Whether a forest deletion has left the forest/mirror stale (a
+    /// rebuild is owed).
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Whether `{u, v}` is currently live.
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges.contains(&canon_edge(u, v))
+    }
+
+    /// The live edge list (arbitrary order).
+    pub fn edge_list(&self) -> Vec<(VertexId, VertexId)> {
+        self.edges.iter().map(|&e| uncanon_edge(e)).collect()
+    }
+
+    /// Records an insert. Self-loops are never live. While fresh, a
+    /// [`InsertClass::Merge`] extends the forest and the mirror, keeping
+    /// both exact; while stale, novel edges still enter the live set (the
+    /// owed rebuild will see them) but classify as [`InsertClass::Cycle`]
+    /// because the stale mirror cannot witness a merge.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> InsertClass {
+        if u == v {
+            return InsertClass::Cycle;
+        }
+        if !self.edges.insert(canon_edge(u, v)) {
+            return InsertClass::Duplicate;
+        }
+        if !self.stale && self.mirror.union(u, v) {
+            self.forest.insert(canon_edge(u, v));
+            InsertClass::Merge
+        } else {
+            InsertClass::Cycle
+        }
+    }
+
+    /// Classifies and applies a delete: a live edge leaves the live set;
+    /// a [`DeleteClass::Forest`] verdict additionally marks the tracker
+    /// stale. While stale, every live-edge delete is conservatively
+    /// [`DeleteClass::Forest`] (the stale forest cannot prove an edge
+    /// redundant).
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> DeleteClass {
+        let key = canon_edge(u, v);
+        if u == v || !self.edges.remove(&key) {
+            return DeleteClass::Absent;
+        }
+        if !self.stale && !self.forest.contains(&key) {
+            return DeleteClass::NonForest;
+        }
+        self.forest.remove(&key);
+        self.stale = true;
+        DeleteClass::Forest
+    }
+
+    /// Installs an externally computed spanning forest — e.g. the output
+    /// of [`fn@crate::spanning_forest`] over a snapshot of
+    /// [`Self::edge_list`] — rebuilding the mirror from it and clearing
+    /// staleness. The caller guarantees the forest spans the partition of
+    /// the edge set it was computed from; edges that went live *after*
+    /// that snapshot are re-admitted with [`Self::reclassify_live`].
+    pub fn adopt_forest(&mut self, forest: &[(VertexId, VertexId)]) {
+        self.mirror = SeqUnionFind::new(self.n);
+        self.forest.clear();
+        for &(u, v) in forest {
+            if self.mirror.union(u, v) {
+                self.forest.insert(canon_edge(u, v));
+            }
+        }
+        self.stale = false;
+    }
+
+    /// Re-classifies an edge that entered the live set while the tracker
+    /// was stale (its insert-time verdict was conservatively
+    /// [`InsertClass::Cycle`]): under the freshly adopted forest, returns
+    /// `true` iff it merges two components, extending forest and mirror
+    /// exactly like a fresh [`InsertClass::Merge`]. Idempotent for edges
+    /// the adopted forest already spans.
+    pub fn reclassify_live(&mut self, u: VertexId, v: VertexId) -> bool {
+        debug_assert!(!self.stale, "reclassify_live requires a fresh forest");
+        if u == v || !self.edges.contains(&canon_edge(u, v)) {
+            return false;
+        }
+        if self.mirror.union(u, v) {
+            self.forest.insert(canon_edge(u, v));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Recomputes the forest and mirror from the current live edge set
+    /// and clears staleness. O(m α) sequential; callers that already ran
+    /// a parallel rebuild of their labeling do this alongside it.
+    pub fn rebuild_forest(&mut self) {
+        self.mirror = SeqUnionFind::new(self.n);
+        self.forest.clear();
+        for &e in &self.edges {
+            let (u, v) = uncanon_edge(e);
+            if self.mirror.union(u, v) {
+                self.forest.insert(e);
+            }
+        }
+        self.stale = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canon_is_order_free_and_invertible() {
+        assert_eq!(canon_edge(7, 3), canon_edge(3, 7));
+        assert_eq!(uncanon_edge(canon_edge(3, 7)), (3, 7));
+    }
+
+    #[test]
+    fn classification_over_a_triangle() {
+        let mut t = LivenessTracker::new(4);
+        assert_eq!(t.insert(0, 1), InsertClass::Merge);
+        assert_eq!(t.insert(1, 2), InsertClass::Merge);
+        assert_eq!(t.insert(2, 0), InsertClass::Cycle);
+        assert_eq!(t.insert(1, 0), InsertClass::Duplicate);
+        assert_eq!(t.insert(3, 3), InsertClass::Cycle, "self-loop is never live");
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.num_forest_edges(), 2);
+
+        // The cycle edge goes quietly; the forest still spans.
+        assert_eq!(t.delete(0, 2), DeleteClass::NonForest);
+        assert!(!t.is_stale());
+        // Absent and duplicate deletes are no-ops.
+        assert_eq!(t.delete(0, 2), DeleteClass::Absent);
+        assert_eq!(t.delete(3, 0), DeleteClass::Absent);
+        // A forest edge makes the tracker stale...
+        assert_eq!(t.delete(0, 1), DeleteClass::Forest);
+        assert!(t.is_stale());
+        // ...and while stale even a would-be cycle edge is conservative.
+        assert_eq!(t.insert(0, 1), InsertClass::Cycle);
+        assert_eq!(t.delete(0, 1), DeleteClass::Forest);
+
+        t.rebuild_forest();
+        assert!(!t.is_stale());
+        assert_eq!(t.num_edges(), 1);
+        assert_eq!(t.num_forest_edges(), 1);
+        assert_eq!(t.edge_list(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn adopt_forest_and_reclassify_drain_a_stale_window() {
+        let mut t = LivenessTracker::new(6);
+        for (u, v) in [(0, 1), (1, 2), (3, 4)] {
+            t.insert(u, v);
+        }
+        assert_eq!(t.delete(0, 1), DeleteClass::Forest);
+        // Two edges arrive while stale: one bridges the split, one is a
+        // duplicate-in-spirit cycle edge. Both conservatively `Cycle`.
+        assert_eq!(t.insert(2, 3), InsertClass::Cycle);
+        assert_eq!(t.insert(1, 2), InsertClass::Duplicate);
+        // A rebuild over the *pre-insert* snapshot {1-2, 3-4} adopts
+        // that forest, then the stale-window edges re-admit.
+        t.adopt_forest(&[(1, 2), (3, 4)]);
+        assert!(!t.is_stale());
+        assert!(t.reclassify_live(2, 3), "bridging edge merges");
+        assert!(!t.reclassify_live(2, 3), "second pass is a no-op");
+        assert!(!t.reclassify_live(0, 5), "never-live edge is ignored");
+        assert_eq!(t.num_forest_edges(), 3);
+        // The forest now spans: deleting the re-admitted bridge splits.
+        assert_eq!(t.delete(2, 3), DeleteClass::Forest);
+    }
+
+    #[test]
+    fn rebuild_restores_exact_classification() {
+        let mut t = LivenessTracker::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4)] {
+            t.insert(u, v);
+        }
+        assert_eq!(t.delete(0, 1), DeleteClass::Forest);
+        t.rebuild_forest();
+        // Post-rebuild the triangle's surviving edges are both forest
+        // edges (1-2, 2-0 now span {0,1,2}).
+        assert_eq!(t.delete(1, 2), DeleteClass::Forest);
+        t.rebuild_forest();
+        assert_eq!(t.delete(3, 4), DeleteClass::Forest);
+    }
+}

@@ -36,13 +36,24 @@ use cc_unionfind::{
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// One streamed operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Update {
     /// Insert undirected edge `{u, v}`.
     Insert(VertexId, VertexId),
+    /// Delete undirected edge `{u, v}` (no-op if absent). Only
+    /// deletion-capable structures ([`crate::DynamicConnectivity`], the
+    /// server's generation engine) accept it; the monotone streaming
+    /// backends below panic, because silently dropping a retraction would
+    /// serve wrong answers.
+    Delete(VertexId, VertexId),
     /// Ask whether `u` and `v` are currently connected.
     Query(VertexId, VertexId),
 }
+
+/// The panic message every monotone (insert-only) backend raises on a
+/// [`Update::Delete`]: one spelling, asserted by tests.
+pub const DELETE_UNSUPPORTED: &str =
+    "deletions require a deletion-capable engine (monotone streaming backends only coarsen)";
 
 /// Which streaming algorithm backs a [`StreamingConnectivity`] instance.
 #[derive(Clone, Debug)]
@@ -190,6 +201,7 @@ impl<K: UniteKernel> UfStreaming<K> {
                         Update::Insert(u, v) => {
                             kernel.unite(p, u, v, &mut NoCount);
                         }
+                        Update::Delete(..) => panic!("{}", DELETE_UNSUPPORTED),
                         Update::Query(u, v) => {
                             let mut t = CountHops::default();
                             let c = same_set_with(p, |x| kernel.find(p, x, &mut t), u, v);
@@ -206,8 +218,12 @@ impl<K: UniteKernel> UfStreaming<K> {
             // Type (iii): update phase, barrier, query phase.
             parallel_for_chunks(batch.len(), |r| {
                 for i in r {
-                    if let Update::Insert(u, v) = batch[i] {
-                        kernel.unite(p, u, v, &mut NoCount);
+                    match batch[i] {
+                        Update::Insert(u, v) => {
+                            kernel.unite(p, u, v, &mut NoCount);
+                        }
+                        Update::Delete(..) => panic!("{}", DELETE_UNSUPPORTED),
+                        Update::Query(..) => {}
                     }
                 }
             });
@@ -465,6 +481,7 @@ impl StreamingConnectivity {
         let p = &c.parents;
         let inserts: Vec<Edge> = pack_map(batch.len(), |i| match batch[i] {
             Update::Insert(u, v) => Some((u, v)),
+            Update::Delete(..) => panic!("{}", DELETE_UNSUPPORTED),
             Update::Query(..) => None,
         });
         match &c.alg {

@@ -15,7 +15,7 @@
 //! ```text
 //! connectit-loadgen [--mode inproc|tcp] [--addr HOST:PORT] [--n N]
 //!                   [--shards S] [--clients C] [--batches B] [--batch-ops K]
-//!                   [--query-frac F] [--layout blocked|strided]
+//!                   [--query-frac F] [--churn F] [--layout blocked|strided]
 //!                   [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]
 //!                   [--seed X] [--shutdown] [--follower HOST:PORT]...
 //! ```
@@ -34,6 +34,26 @@
 //! that dies mid-run is retried (reconnect + re-`WAIT` + re-query, all
 //! idempotent) for `--retry-secs`, which is precisely the
 //! kill-one-follower CI drill.
+//!
+//! ## Churn mode (`--churn F`)
+//!
+//! With `--churn F` (F in `(0, 1]`), each client's update traffic mixes
+//! deletions in at fraction `F` — mostly retractions of live edges (so
+//! the engine's forest/non-forest classifier gets exercised both ways),
+//! with a sprinkle of absent and duplicate deletions. Deletions break
+//! the monotonicity that bracketing relies on, so churn validation is
+//! *exact* instead: each client keeps a `cc_baselines::DynamicOracle`
+//! (incremental adjacency + BFS) over its private slice, and after each
+//! mutation batch issues `QUIESCE` and a query-only batch *sandwiched*
+//! between two `GEN` probes. If the engine was clean at the same
+//! generation on both sides of the batch, every answer was served from
+//! fully-rebuilt labels that include all of this client's committed
+//! mutations, and must match the oracle bit-for-bit. Batches for which
+//! no clean window appears (another client's rebuild in flight) are
+//! counted as `stale_skipped` rather than guessed at. `--kill-after` /
+//! `--resume` compose with churn: the checkpoint stores each client's
+//! live *edge set* (labels alone cannot seed a deletion oracle), and the
+//! post-restore sweep re-validates it against the recovered server.
 //!
 //! `--finish` (pass-through to the in-process service, mirroring
 //! `connectit-serve`) accepts any valid union-find variant as
@@ -59,17 +79,23 @@
 //! resubmitted (inserts are idempotent), and only that batch's query
 //! answers are skipped.
 
+use cc_baselines::DynamicOracle;
 use cc_graph::io::binary;
 use cc_parallel::SplitMix64;
 use cc_server::{parse_alg, ExecMode, Service, ServiceConfig, TcpClient};
 use cc_unionfind::{SeqUnionFind, UfSpec};
 use connectit::Update;
+use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 /// Magic prefix of the `--state` checkpoint file.
-const STATE_MAGIC: &[u8; 8] = b"CCLGST01";
+const STATE_MAGIC: &[u8; 8] = b"CCLGST02";
+
+/// `QUIESCE` timeout used before each exact churn validation batch. A
+/// lapse is not fatal — the generation sandwich just retries.
+const CHURN_QUIESCE_MS: u64 = 10_000;
 
 #[derive(Clone)]
 struct GenOpts {
@@ -80,6 +106,7 @@ struct GenOpts {
     batches: usize,
     batch_ops: usize,
     query_frac: f64,
+    churn: f64,
     strided: bool,
     spec: UfSpec,
     phased: bool,
@@ -102,6 +129,7 @@ impl Default for GenOpts {
             batches: 64,
             batch_ops: 8192,
             query_frac: 0.5,
+            churn: 0.0,
             strided: false,
             spec: UfSpec::fastest(),
             phased: false,
@@ -120,7 +148,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: connectit-loadgen [--mode inproc|tcp] [--addr HOST:PORT] [--n N]\n\
          \x20                        [--shards S] [--clients C] [--batches B] [--batch-ops K]\n\
-         \x20                        [--query-frac F] [--layout blocked|strided]\n\
+         \x20                        [--query-frac F] [--churn F] [--layout blocked|strided]\n\
          \x20                        [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]\n\
          \x20                        [--seed X] [--shutdown]\n\
          \x20                        [--kill-after B --state FILE] [--resume [--state FILE]]\n\
@@ -132,7 +160,10 @@ fn usage() -> ExitCode {
          \x20  --kill-after B: stop after B batches/client and checkpoint the oracle to\n\
          \x20        --state FILE (tcp mode; the harness then kills/restarts the server)\n\
          \x20  --resume: survive server restarts (reconnect + resubmit in-flight inserts);\n\
-         \x20        with --state FILE, first restore and re-validate the checkpoint"
+         \x20        with --state FILE, first restore and re-validate the checkpoint\n\
+         \x20  --churn F: mix deletions in at fraction F of update traffic and validate\n\
+         \x20        queries EXACTLY against a dynamic oracle (QUIESCE + generation\n\
+         \x20        sandwich); incompatible with --follower"
     );
     ExitCode::from(2)
 }
@@ -167,6 +198,7 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
             "--query-frac" => {
                 o.query_frac = next_val(a, &mut it)?.parse().map_err(|_| "bad --query-frac")?
             }
+            "--churn" => o.churn = next_val(a, &mut it)?.parse().map_err(|_| "bad --churn")?,
             "--layout" => match next_val(a, &mut it)?.as_str() {
                 "blocked" => o.strided = false,
                 "strided" => o.strided = true,
@@ -203,6 +235,14 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
     if !(0.0..=1.0).contains(&o.query_frac) {
         return Err("--query-frac must be in [0, 1]".to_string());
     }
+    if !(0.0..=1.0).contains(&o.churn) {
+        return Err("--churn must be in [0, 1]".to_string());
+    }
+    if o.churn > 0.0 && !o.followers.is_empty() {
+        return Err("--churn validates against a single endpoint (deletes route to the \
+                    primary); drop --follower"
+            .into());
+    }
     if (o.kill_after.is_some() || o.resume) && o.tcp_addr.is_none() {
         return Err("--kill-after/--resume need --mode tcp (the server must outlive us)".into());
     }
@@ -218,13 +258,22 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
     Ok(o)
 }
 
+/// One client's checkpointed oracle state: a label array for the
+/// insert-only workload, or the live edge set (local coordinates) for
+/// churn — labels alone cannot seed a deletion oracle.
+enum ClientCheckpoint {
+    Labels(Vec<u32>),
+    Edges(Vec<(u32, u32)>),
+}
+
 /// Writes the crash-drill checkpoint: a header record (run parameters +
-/// batches completed) then one label-array record per client oracle.
+/// batches completed) then one oracle record per client — labels for an
+/// insert-only run, the live edge set for a churn run.
 fn write_state(
     path: &str,
     o: &GenOpts,
     batches_done: usize,
-    oracles: &[Vec<u32>],
+    states: &[ClientCheckpoint],
 ) -> std::io::Result<()> {
     let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
     binary::write_magic(&mut w, STATE_MAGIC)?;
@@ -234,17 +283,22 @@ fn write_state(
     header.extend_from_slice(&(batches_done as u64).to_le_bytes());
     header.extend_from_slice(&o.seed.to_le_bytes());
     header.push(u8::from(o.strided));
+    header.push(u8::from(o.churn > 0.0));
     binary::append_record(&mut w, &header)?;
-    for (idx, labels) in oracles.iter().enumerate() {
-        binary::append_record(&mut w, &binary::encode_labels(idx as u64, labels))?;
+    for (idx, state) in states.iter().enumerate() {
+        let payload = match state {
+            ClientCheckpoint::Labels(labels) => binary::encode_labels(idx as u64, labels),
+            ClientCheckpoint::Edges(edges) => binary::encode_edge_batch(idx as u64, edges),
+        };
+        binary::append_record(&mut w, &payload)?;
     }
     w.flush()?;
     w.get_ref().sync_data()
 }
 
 /// Reads a [`write_state`] checkpoint back, validating it against the
-/// current run parameters. Returns `(batches_done, per-client labels)`.
-fn read_state(path: &str, o: &GenOpts) -> Result<(usize, Vec<Vec<u32>>), String> {
+/// current run parameters. Returns `(batches_done, per-client states)`.
+fn read_state(path: &str, o: &GenOpts) -> Result<(usize, Vec<ClientCheckpoint>), String> {
     let fail = |e: &dyn std::fmt::Display| format!("state file {path}: {e}");
     let file = std::fs::File::open(path).map_err(|e| fail(&e))?;
     let mut reader = std::io::BufReader::new(file);
@@ -252,31 +306,54 @@ fn read_state(path: &str, o: &GenOpts) -> Result<(usize, Vec<Vec<u32>>), String>
     let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
     let header =
         records.next().map_err(|e| fail(&e))?.ok_or_else(|| fail(&"missing header record"))?;
-    if header.len() != 33 {
-        return Err(fail(&format!("header is {} bytes, want 33", header.len())));
+    if header.len() != 34 {
+        return Err(fail(&format!("header is {} bytes, want 34", header.len())));
     }
     let word = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("8 bytes"));
     let (n, clients, batches_done, seed) = (word(0), word(8), word(16), word(24));
     let strided = header[32] != 0;
+    let churn = header[33] != 0;
     if n != o.n as u64 || clients != o.clients as u64 || seed != o.seed || strided != o.strided {
         return Err(fail(&format!(
             "checkpointed run (n={n} clients={clients} seed={seed} strided={strided}) does \
              not match the flags of this run; resume with the original parameters"
         )));
     }
-    let mut oracles = Vec::with_capacity(o.clients);
+    if churn != (o.churn > 0.0) {
+        return Err(fail(&format!(
+            "checkpoint was written {} --churn but this run is {} it; resume with the \
+             original workload",
+            if churn { "with" } else { "without" },
+            if o.churn > 0.0 { "using" } else { "not using" }
+        )));
+    }
+    let sz = o.n / o.clients;
+    let mut states: Vec<ClientCheckpoint> = Vec::with_capacity(o.clients);
     while let Some(payload) = records.next().map_err(|e| fail(&e))? {
-        let (idx, labels) =
-            binary::decode_labels(&payload, records.offset()).map_err(|e| fail(&e))?;
-        if idx as usize != oracles.len() || labels.len() != o.n / o.clients {
-            return Err(fail(&"client records out of order or mis-sized"));
+        let (idx, state) = if churn {
+            let (idx, edges) =
+                binary::decode_edge_batch(&payload, records.offset()).map_err(|e| fail(&e))?;
+            if edges.iter().any(|&(u, v)| u as usize >= sz || v as usize >= sz) {
+                return Err(fail(&"checkpointed edge outside the client's slice"));
+            }
+            (idx, ClientCheckpoint::Edges(edges))
+        } else {
+            let (idx, labels) =
+                binary::decode_labels(&payload, records.offset()).map_err(|e| fail(&e))?;
+            if labels.len() != sz {
+                return Err(fail(&"client label record mis-sized"));
+            }
+            (idx, ClientCheckpoint::Labels(labels))
+        };
+        if idx as usize != states.len() {
+            return Err(fail(&"client records out of order"));
         }
-        oracles.push(labels);
+        states.push(state);
     }
-    if oracles.len() != o.clients {
-        return Err(fail(&format!("{} client records, want {}", oracles.len(), o.clients)));
+    if states.len() != o.clients {
+        return Err(fail(&format!("{} client records, want {}", states.len(), o.clients)));
     }
-    Ok((batches_done as usize, oracles))
+    Ok((batches_done as usize, states))
 }
 
 /// One transport connection, in-process or TCP.
@@ -297,6 +374,42 @@ impl Conn {
         match self {
             Conn::InProc(c) => Ok(c.epoch()),
             Conn::Tcp(c) => c.epoch().map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Blocks until no generation rebuild is in flight (or the timeout
+    /// lapses, which surfaces as `Err` and is survivable: the caller's
+    /// generation sandwich just won't find a clean window).
+    fn quiesce(&mut self, timeout_ms: u64) -> Result<u64, String> {
+        match self {
+            Conn::InProc(c) => {
+                c.quiesce(Duration::from_millis(timeout_ms)).map_err(|e| e.to_string())
+            }
+            Conn::Tcp(c) => c.quiesce(timeout_ms).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Reads `(generation, dirty)` — one side of the churn sandwich.
+    fn generation(&mut self) -> Result<(u64, bool), String> {
+        match self {
+            Conn::InProc(c) => {
+                let info = c.generation_info();
+                Ok((info.generation, info.dirty))
+            }
+            Conn::Tcp(c) => {
+                let line = c.gen_line().map_err(|e| e.to_string())?;
+                let mut it = line.split_whitespace();
+                let generation = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("bad GEN reply {line:?}"))?;
+                let dirty = match it.next() {
+                    Some("dirty=0") => false,
+                    Some("dirty=1") => true,
+                    _ => return Err(format!("bad GEN reply {line:?}")),
+                };
+                Ok((generation, dirty))
+            }
         }
     }
 }
@@ -398,15 +511,22 @@ struct WorkerReport {
     /// Queries answered by a follower behind the WAIT barrier (all of
     /// them exactly validated).
     follower_verified: u64,
+    /// Deletions submitted (churn mode).
+    deletes: u64,
+    /// Churn queries whose generation sandwich never found a clean
+    /// window; their answers are advisory and were not validated.
+    stale_skipped: u64,
     first_mismatch: Option<String>,
-    /// The oracle labeling at exit, captured for `--kill-after`
+    /// The oracle state at exit, captured for `--kill-after`
     /// checkpointing.
-    final_labels: Option<Vec<u32>>,
+    final_state: Option<ClientCheckpoint>,
 }
 
 /// Submits with crash resilience: on a transport error in `--resume`
 /// mode, reconnects (for up to `--retry-secs`) and resubmits the batch's
-/// insertions — idempotent, so a partially-applied first attempt is
+/// updates. Replaying the full insert/delete sequence in order is
+/// idempotent at the liveness level (each edge ends in the state its
+/// last operation left it in), so a partially-applied first attempt is
 /// harmless. Returns `Ok(None)` for such a replayed batch (its query
 /// answers are unknowable and must be skipped).
 fn submit_resilient(
@@ -421,13 +541,13 @@ fn submit_resilient(
     let (true, Some(addr)) = (o.resume, o.tcp_addr.as_deref()) else {
         return Err(first_err);
     };
-    let inserts: Vec<Update> =
-        wire_ops.iter().filter(|op| matches!(op, Update::Insert(..))).copied().collect();
+    let updates: Vec<Update> =
+        wire_ops.iter().filter(|op| !matches!(op, Update::Query(..))).copied().collect();
     let deadline = Instant::now() + Duration::from_secs(o.retry_secs);
     loop {
         std::thread::sleep(Duration::from_millis(200));
         if let Ok(mut c) = TcpClient::connect(addr) {
-            if c.submit(&inserts).is_ok() {
+            if c.submit(&updates).is_ok() {
                 *conn = Conn::Tcp(Box::new(c));
                 return Ok(None);
             }
@@ -469,20 +589,59 @@ fn primary_epoch_resilient(o: &GenOpts, conn: &mut Conn) -> Result<u64, String> 
     }
 }
 
+/// Submits a query-only batch so its answers are *exact* under churn.
+/// Quiesce (drain any in-flight rebuild), read `(generation, dirty)`,
+/// query, read it again: a rebuild commit always bumps the generation,
+/// so clean-at-the-same-generation on both sides proves the engine was
+/// clean for the whole batch, and every answer was served from live
+/// labels that include all of this client's committed mutations (other
+/// clients never touch this slice). Returns `Ok(None)` when no clean
+/// window appears within a few attempts — the caller counts the batch
+/// as `stale_skipped` instead of guessing.
+fn sandwiched_queries(
+    o: &GenOpts,
+    conn: &mut Conn,
+    queries: &[Update],
+) -> Result<Option<Vec<bool>>, String> {
+    for _ in 0..5 {
+        // A quiesce timeout (or a cut connection — the next call retries
+        // through `submit_resilient`) only costs this attempt.
+        let _ = conn.quiesce(CHURN_QUIESCE_MS);
+        let (g1, dirty1) = match conn.generation() {
+            Ok(g) => g,
+            Err(_) => continue,
+        };
+        if dirty1 {
+            continue;
+        }
+        let Some(answers) = submit_resilient(o, conn, queries)? else {
+            continue;
+        };
+        let (g2, dirty2) = conn.generation()?;
+        if !dirty2 && g2 == g1 {
+            if answers.len() != queries.len() {
+                return Err(format!("answer count {} != queries {}", answers.len(), queries.len()));
+            }
+            return Ok(Some(answers));
+        }
+    }
+    Ok(None)
+}
+
 /// Re-validates a restored oracle against the recovered server: every
 /// `v ~ rep(v)` fact must still hold, and representatives of distinct
 /// components must still be disconnected (slices are private, so both
-/// directions are forced). Returns `(checks, mismatches)`.
+/// directions are forced). `labels` is the oracle's component labeling.
+/// Under churn the sweep queries go through the generation sandwich.
 fn revalidate_restored(
     o: &GenOpts,
     idx: usize,
     conn: &mut Conn,
-    oracle: &mut SeqUnionFind,
+    labels: &[u32],
     to_global: &impl Fn(usize) -> u32,
     rep: &mut WorkerReport,
 ) -> Result<(), String> {
     let sz = o.n / o.clients;
-    let labels = oracle.labels();
     let mut expected: Vec<bool> = Vec::new();
     let mut wire: Vec<Update> = Vec::new();
     // Positives: vertex ~ its component representative.
@@ -501,7 +660,17 @@ fn revalidate_restored(
         expected.push(false);
     }
     for (chunk, expect_chunk) in wire.chunks(4096).zip(expected.chunks(4096)) {
-        let answers = conn.submit(chunk)?;
+        let answers = if o.churn > 0.0 {
+            match sandwiched_queries(o, conn, chunk)? {
+                Some(answers) => answers,
+                None => {
+                    rep.stale_skipped += chunk.len() as u64;
+                    continue;
+                }
+            }
+        } else {
+            conn.submit(chunk)?
+        };
         if answers.len() != expect_chunk.len() {
             return Err(format!(
                 "sweep answer count {} != queries {}",
@@ -514,7 +683,8 @@ fn revalidate_restored(
             if got != want {
                 rep.mismatches += 1;
                 rep.first_mismatch.get_or_insert_with(|| {
-                    let (Update::Query(u, v) | Update::Insert(u, v)) = chunk[i];
+                    let (Update::Insert(u, v) | Update::Delete(u, v) | Update::Query(u, v)) =
+                        chunk[i];
                     format!(
                         "client {idx}: restored-oracle sweep: query({u}, {v}) answered \
                          {got}, checkpoint says {want} — recovery lost or invented an edge"
@@ -534,7 +704,7 @@ fn run_worker(
     idx: usize,
     mut conn: Conn,
     start_batch: usize,
-    restored: Option<Vec<u32>>,
+    restored: Option<ClientCheckpoint>,
 ) -> Result<WorkerReport, String> {
     let sz = o.n / o.clients;
     let to_global = |l: usize| -> u32 {
@@ -550,13 +720,16 @@ fn run_worker(
     // (workers round-robin over the list), inserts to the primary.
     let mut follower = (!o.followers.is_empty())
         .then(|| FollowerLink::connect(o.followers[idx % o.followers.len()].clone(), o.retry_secs));
-    if let Some(labels) = restored {
+    if let Some(state) = restored {
+        let ClientCheckpoint::Labels(labels) = state else {
+            return Err("checkpoint holds an edge set but this run is not --churn".into());
+        };
         for (v, &l) in labels.iter().enumerate() {
             if l as usize != v {
                 oracle.union(v as u32, l);
             }
         }
-        revalidate_restored(o, idx, &mut conn, &mut oracle, &to_global, &mut rep)?;
+        revalidate_restored(o, idx, &mut conn, &oracle.labels(), &to_global, &mut rep)?;
     }
     // Phase-distinct RNG stream: a resumed run must not replay the
     // pre-checkpoint op sequence.
@@ -691,7 +864,145 @@ fn run_worker(
         }
     }
     if o.kill_after.is_some() {
-        rep.final_labels = Some(oracle.labels());
+        rep.final_state = Some(ClientCheckpoint::Labels(oracle.labels()));
+    }
+    Ok(rep)
+}
+
+/// The closed loop for one churn-mode client: mutation batches mixing
+/// inserts and deletes at `--churn`, each followed by an exactly
+/// validated query batch (see the module doc's churn section). The
+/// oracle is a [`DynamicOracle`] over the private slice; a live-edge
+/// pool (vector + index map, O(1) insert/remove/sample) drives deletion
+/// sampling without rescanning the adjacency.
+fn run_churn_worker(
+    o: &GenOpts,
+    idx: usize,
+    mut conn: Conn,
+    start_batch: usize,
+    restored: Option<ClientCheckpoint>,
+) -> Result<WorkerReport, String> {
+    let sz = o.n / o.clients;
+    let to_global = |l: usize| -> u32 {
+        if o.strided {
+            (idx + l * o.clients) as u32
+        } else {
+            (idx * sz + l) as u32
+        }
+    };
+    let mut oracle = DynamicOracle::new(sz);
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut live_at: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut rep = WorkerReport::default();
+    let pool_insert =
+        |live: &mut Vec<(u32, u32)>, live_at: &mut HashMap<(u32, u32), usize>, e: (u32, u32)| {
+            live_at.insert(e, live.len());
+            live.push(e);
+        };
+    let pool_remove =
+        |live: &mut Vec<(u32, u32)>, live_at: &mut HashMap<(u32, u32), usize>, e: (u32, u32)| {
+            if let Some(i) = live_at.remove(&e) {
+                let last = live.pop().expect("pool and index agree");
+                if i < live.len() {
+                    live[i] = last;
+                    live_at.insert(last, i);
+                }
+            }
+        };
+    if let Some(state) = restored {
+        let ClientCheckpoint::Edges(edges) = state else {
+            return Err("checkpoint holds labels but this run is --churn".into());
+        };
+        for &(u, v) in &edges {
+            if oracle.insert(u, v) {
+                pool_insert(&mut live, &mut live_at, (u.min(v), u.max(v)));
+            }
+        }
+        revalidate_restored(o, idx, &mut conn, &oracle.labels(), &to_global, &mut rep)?;
+    }
+    // Phase-distinct RNG stream, exactly as in the insert-only loop.
+    let mut rng = SplitMix64::new(
+        o.seed
+            ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(idx as u64 + 1))
+            ^ (0x2545_f491_4f6c_dd1du64.wrapping_mul(start_batch as u64)),
+    );
+    let delete_cut = (o.churn * (1u64 << 32) as f64) as u64;
+    let num_queries = (o.query_frac * o.batch_ops as f64).max(1.0) as usize;
+    let end_batch = match o.kill_after {
+        Some(k) => o.batches.min(start_batch + k),
+        None => o.batches,
+    };
+    let mut wire_ops: Vec<Update> = Vec::with_capacity(o.batch_ops);
+    for _ in start_batch..end_batch {
+        wire_ops.clear();
+        let mut batch_deletes = 0u64;
+        for _ in 0..o.batch_ops {
+            let r = rng.next_u64();
+            let is_delete = (r & 0xffff_ffff) < delete_cut;
+            if is_delete {
+                // Mostly retract live edges (the engine classifies each
+                // as forest or non-forest); every fourth deletion is a
+                // random pair, covering absent and duplicate deletions.
+                let (lu, lv) = if !live.is_empty() && (r >> 32) & 3 != 0 {
+                    live[(rng.next_u64() % live.len() as u64) as usize]
+                } else {
+                    (
+                        ((rng.next_u64() >> 32) as usize % sz) as u32,
+                        ((rng.next_u64() >> 32) as usize % sz) as u32,
+                    )
+                };
+                if oracle.delete(lu, lv) {
+                    pool_remove(&mut live, &mut live_at, (lu.min(lv), lu.max(lv)));
+                }
+                wire_ops.push(Update::Delete(to_global(lu as usize), to_global(lv as usize)));
+                batch_deletes += 1;
+            } else {
+                let lu = ((r >> 32) as usize % sz) as u32;
+                let lv = ((rng.next_u64() >> 32) as usize % sz) as u32;
+                if oracle.insert(lu, lv) {
+                    pool_insert(&mut live, &mut live_at, (lu.min(lv), lu.max(lv)));
+                }
+                wire_ops.push(Update::Insert(to_global(lu as usize), to_global(lv as usize)));
+            }
+        }
+        submit_resilient(o, &mut conn, &wire_ops)?;
+        rep.ops += o.batch_ops as u64;
+        rep.deletes += batch_deletes;
+        // Exact validation: random intra-slice queries, answered inside
+        // a clean generation window and matched against the oracle.
+        let mut queries: Vec<Update> = Vec::with_capacity(num_queries);
+        let mut expected: Vec<bool> = Vec::with_capacity(num_queries);
+        for _ in 0..num_queries {
+            let lu = ((rng.next_u64() >> 32) as usize % sz) as u32;
+            let lv = ((rng.next_u64() >> 32) as usize % sz) as u32;
+            queries.push(Update::Query(to_global(lu as usize), to_global(lv as usize)));
+            expected.push(oracle.connected(lu, lv));
+        }
+        rep.ops += num_queries as u64;
+        match sandwiched_queries(o, &mut conn, &queries)? {
+            Some(answers) => {
+                for (i, (&got, &want)) in answers.iter().zip(&expected).enumerate() {
+                    rep.queries += 1;
+                    rep.exact += 1;
+                    if got != want {
+                        rep.mismatches += 1;
+                        rep.first_mismatch.get_or_insert_with(|| {
+                            let (Update::Insert(u, v)
+                            | Update::Delete(u, v)
+                            | Update::Query(u, v)) = queries[i];
+                            format!(
+                                "client {idx}: churn: query({u}, {v}) answered {got} in a \
+                                 clean generation window, oracle says {want}"
+                            )
+                        });
+                    }
+                }
+            }
+            None => rep.stale_skipped += num_queries as u64,
+        }
+    }
+    if o.kill_after.is_some() {
+        rep.final_state = Some(ClientCheckpoint::Edges(live));
     }
     Ok(rep)
 }
@@ -710,22 +1021,23 @@ fn main() -> ExitCode {
     };
 
     // A --resume run restores the checkpointed per-client oracles first.
-    let (start_batch, mut restored): (usize, Vec<Option<Vec<u32>>>) = match (o.resume, &o.state) {
-        (true, Some(path)) => match read_state(path, &o) {
-            Ok((done, oracles)) => {
-                println!(
-                    "connectit-loadgen: resuming from {path}: {done} batches/client \
+    let (start_batch, mut restored): (usize, Vec<Option<ClientCheckpoint>>) =
+        match (o.resume, &o.state) {
+            (true, Some(path)) => match read_state(path, &o) {
+                Ok((done, states)) => {
+                    println!(
+                        "connectit-loadgen: resuming from {path}: {done} batches/client \
                          already validated before the restart"
-                );
-                (done, oracles.into_iter().map(Some).collect())
-            }
-            Err(e) => {
-                eprintln!("connectit-loadgen: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        _ => (0, vec![None; o.clients]),
-    };
+                    );
+                    (done, states.into_iter().map(Some).collect())
+                }
+                Err(e) => {
+                    eprintln!("connectit-loadgen: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => (0, std::iter::repeat_with(|| None).take(o.clients).collect()),
+        };
     if start_batch >= o.batches {
         eprintln!(
             "connectit-loadgen: checkpoint already covers {start_batch} batches; \
@@ -769,7 +1081,11 @@ fn main() -> ExitCode {
             };
             handles.push(scope.spawn(move || {
                 let conn = conn.map_err(|e| format!("connect failed: {e}"))?;
-                run_worker(&o, idx, conn, start_batch, restored)
+                if o.churn > 0.0 {
+                    run_churn_worker(&o, idx, conn, start_batch, restored)
+                } else {
+                    run_worker(&o, idx, conn, start_batch, restored)
+                }
             }));
         }
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
@@ -778,7 +1094,7 @@ fn main() -> ExitCode {
 
     let mut total = WorkerReport::default();
     let mut failed = false;
-    let mut final_oracles: Vec<Vec<u32>> = Vec::with_capacity(o.clients);
+    let mut final_states: Vec<ClientCheckpoint> = Vec::with_capacity(o.clients);
     for (i, r) in reports.into_iter().enumerate() {
         match r {
             Ok(mut r) => {
@@ -790,11 +1106,13 @@ fn main() -> ExitCode {
                 total.skipped_batches += r.skipped_batches;
                 total.sweep_checks += r.sweep_checks;
                 total.follower_verified += r.follower_verified;
+                total.deletes += r.deletes;
+                total.stale_skipped += r.stale_skipped;
                 if total.first_mismatch.is_none() {
                     total.first_mismatch = r.first_mismatch;
                 }
-                if let Some(labels) = r.final_labels.take() {
-                    final_oracles.push(labels);
+                if let Some(state) = r.final_state.take() {
+                    final_states.push(state);
                 }
             }
             Err(e) => {
@@ -808,7 +1126,7 @@ fn main() -> ExitCode {
     // run can re-validate across the server restart.
     if let (Some(k), Some(path), false) = (o.kill_after, &o.state, failed) {
         let done = o.batches.min(start_batch + k);
-        match write_state(path, &o, done, &final_oracles) {
+        match write_state(path, &o, done, &final_states) {
             Ok(()) => println!(
                 "connectit-loadgen: checkpoint: {done} batches/client validated, oracle \
                  state saved to {path}; kill/restart the server, then rerun with \
@@ -826,20 +1144,21 @@ fn main() -> ExitCode {
     let layout = if o.strided { "strided" } else { "blocked" };
     println!(
         "connectit-loadgen: mode={mode} n={} shards={} clients={} batches={} batch_ops={} \
-         query_frac={} layout={layout} alg={} followers={}",
+         query_frac={} churn={} layout={layout} alg={} followers={}",
         o.n,
         o.shards,
         o.clients,
         o.batches,
         o.batch_ops,
         o.query_frac,
+        o.churn,
         o.spec.name(),
         o.followers.len()
     );
     println!(
         "ops={} elapsed={:.3}s ops_per_sec={ops_per_sec} verified_queries={} exact={} \
          intra_batch_transitions={} sweep_checks={} follower_verified={} skipped_batches={} \
-         mismatches={}",
+         deletes={} stale_skipped={} mismatches={}",
         total.ops,
         elapsed.as_secs_f64(),
         total.queries,
@@ -848,6 +1167,8 @@ fn main() -> ExitCode {
         total.sweep_checks,
         total.follower_verified,
         total.skipped_batches,
+        total.deletes,
+        total.stale_skipped,
         total.mismatches
     );
     if let Some(m) = &total.first_mismatch {

@@ -335,6 +335,10 @@ impl<K: UniteKernel> Engine for ShardedEngine<K> {
                         ops.push(EngineOp::Spine { u, v });
                     }
                 }
+                // The sharded engine is monotone; the service's generation
+                // layer splits deletion-bearing batches before it ever
+                // reaches this loop.
+                Update::Delete(..) => panic!("{}", connectit::streaming::DELETE_UNSUPPORTED),
                 Update::Query(u, v) => {
                     ops.push(EngineOp::Query { u, v, slot: num_queries });
                     num_queries += 1;

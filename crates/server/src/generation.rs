@@ -1,0 +1,703 @@
+//! The deletion-capable **generation engine**: epoch-partitioned
+//! connectivity over the insert-only [`crate::engine::ShardedEngine`].
+//!
+//! The streaming stack underneath is *monotone* — labels only coarsen, so
+//! a deletion can never be applied in place. This module makes deletions
+//! first-class anyway by partitioning time into **generations**:
+//!
+//! - **Inserts** apply incrementally to the live generation's engine,
+//!   exactly as before (the whole monomorphized fast path is reused).
+//! - **Deletes** classify through [`connectit::LivenessTracker`] against
+//!   a maintained spanning forest. Deleting an absent or non-forest
+//!   (cycle) edge cannot change connectivity and is *free* — no rebuild,
+//!   just a counter. Only a *forest* deletion seals the current
+//!   generation: its labels are frozen, the engine is marked dirty, and a
+//!   background worker rebuilds a fresh generation from the surviving
+//!   edge set (k-out-sampled [`mod@connectit::spanning_forest`] keeps the
+//!   recompute cheap — the new engine replays a forest, not the full
+//!   multiset).
+//! - **Queries** during a rebuild are answered from the last *sealed*
+//!   generation's labels — consistent, honestly stale, and reported as
+//!   such: the `(epoch, generation)` pair extends the service's
+//!   WAIT/EPOCH staleness contract (see `DESIGN.md` §9).
+//!
+//! Inserts and deletes that land while a rebuild is in flight are not
+//! lost: inserts accumulate in the tracker *and* a pending list drained
+//! into the new generation at the swap; a delete of a live edge
+//! invalidates the in-flight edge snapshot and conservatively re-triggers
+//! the rebuild (the stale forest cannot prove the edge redundant).
+//!
+//! Readers never block on a rebuild: they clone an `Arc`'d `View`
+//! (live engine or sealed labels) under a short pointer lock, so the
+//! wait-free read path of Type (i) engines is preserved.
+
+use crate::engine::{build_engine, Engine, ExecMode, RunMode};
+use cc_unionfind::UfSpec;
+use connectit::{
+    spanning_forest, supports_spanning_forest, DeleteClass, FinishMethod, LivenessTracker,
+    SamplingMethod, Update,
+};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Chunk size for replaying a rebuilt forest into a fresh engine.
+const REBUILD_CHUNK: usize = 1 << 16;
+
+/// Monotone telemetry counters of the generation engine. The
+/// `deletes_nonforest` counter is the load-bearing one: the test harness
+/// asserts that cycle-edge deletions re-converge with **zero** rebuilds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GenCounters {
+    /// Completed (committed) generation rebuilds.
+    pub rebuilds: u64,
+    /// Deletions of live non-forest (cycle) edges: free, by construction.
+    pub deletes_nonforest: u64,
+    /// Deletions of absent (or already-dead, or self-loop) edges: no-ops.
+    pub deletes_absent: u64,
+    /// Deletions of forest edges (or conservatively-forest while dirty):
+    /// each seals a generation or re-triggers the in-flight rebuild.
+    pub deletes_forest: u64,
+}
+
+/// A point-in-time view of the generation state (the `GEN` verb).
+#[derive(Clone, Copy, Debug)]
+pub struct GenInfo {
+    /// The generation queries are currently served from.
+    pub generation: u64,
+    /// Whether a rebuild is owed or in flight (queries are sealed).
+    pub dirty: bool,
+    /// Telemetry counters.
+    pub counters: GenCounters,
+}
+
+/// The sealed labeling of a generation: what queries see while the next
+/// generation is being rebuilt.
+struct Sealed {
+    labels: Vec<u32>,
+    num_components: usize,
+}
+
+/// What the read path sees: either the live engine of a clean generation
+/// or the sealed labels of the last one. Swapped atomically (an `Arc`
+/// behind a pointer lock), so readers never wait on a rebuild.
+enum View {
+    Live { engine: Arc<dyn Engine>, generation: u64 },
+    Sealed { sealed: Arc<Sealed>, generation: u64 },
+}
+
+impl View {
+    fn generation(&self) -> u64 {
+        match self {
+            View::Live { generation, .. } | View::Sealed { generation, .. } => *generation,
+        }
+    }
+}
+
+/// Writer-side state: the live engine, the liveness tracker, and the
+/// rebuild bookkeeping. Held by the batch former and the rebuild worker.
+struct WriteState {
+    engine: Arc<dyn Engine>,
+    tracker: LivenessTracker,
+    sealed: Option<Arc<Sealed>>,
+    /// Inserts that arrived while a rebuild was in flight; drained into
+    /// the fresh generation at the swap (idempotent: the rebuild's edge
+    /// snapshot may already contain a prefix of them).
+    pending: Vec<(u32, u32)>,
+    /// A live edge was deleted while a rebuild was in flight: the edge
+    /// snapshot that rebuild is computing over is invalid, go again.
+    retrigger: bool,
+    dirty: bool,
+    generation: u64,
+    counters: GenCounters,
+    /// Shard-counter totals of retired generations' engines
+    /// (`[intra, cross, forwarded]`), so service stats stay monotone
+    /// across rebuilds.
+    retired: [u64; 3],
+}
+
+struct Shared {
+    n: usize,
+    shards: usize,
+    spec: UfSpec,
+    mode: ExecMode,
+    seed: u64,
+    /// Test knob: hold every background rebuild open for at least this
+    /// long, making the dirty window deterministically observable.
+    rebuild_hold: Duration,
+    mx: Mutex<WriteState>,
+    /// Signaled on both clean→dirty (wakes the rebuild worker) and
+    /// dirty→clean (wakes `quiesce` waiters) transitions.
+    cv: Condvar,
+    view: Mutex<Arc<View>>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Freezes the current labels as the sealed generation and marks the
+    /// engine dirty; the rebuild worker takes it from here.
+    fn seal(&self, st: &mut WriteState) {
+        let labels = st.engine.labels_readonly();
+        let num_components = cc_graph::stats::count_distinct_labels(&labels);
+        let sealed = Arc::new(Sealed { labels, num_components });
+        st.sealed = Some(Arc::clone(&sealed));
+        st.dirty = true;
+        *self.view.lock() = Arc::new(View::Sealed { sealed, generation: st.generation });
+        self.cv.notify_all();
+    }
+
+    /// Builds the next generation from a snapshot of the live edge set:
+    /// a k-out-sampled spanning forest (the cheap part — the fresh engine
+    /// replays at most `n - 1` edges, not the full multiset), then a
+    /// fresh sharded engine seeded with it. Runs outside every lock.
+    fn build_generation(&self, edges: &[(u32, u32)]) -> (Vec<(u32, u32)>, Arc<dyn Engine>) {
+        let g = cc_graph::build_undirected(self.n, edges);
+        // Rem+Splice destroys edges' identity mid-phase and cannot
+        // witness a forest; fall back to the fastest supported variant
+        // for the *forest computation only* — the engine itself is still
+        // built with the configured spec.
+        let configured = FinishMethod::UnionFind(self.spec);
+        let finish = if supports_spanning_forest(&configured) {
+            configured
+        } else {
+            FinishMethod::UnionFind(UfSpec::fastest())
+        };
+        let forest = spanning_forest(&g, &SamplingMethod::kout_default(), &finish, self.seed);
+        let fresh: Arc<dyn Engine> = Arc::from(
+            build_engine(self.n, self.shards, &self.spec, self.mode, self.seed)
+                .expect("generation rebuild: engine parameters were validated at startup"),
+        );
+        for chunk in forest.chunks(REBUILD_CHUNK) {
+            let batch: Vec<Update> = chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+            fresh.process_batch(&batch);
+        }
+        (forest, fresh)
+    }
+
+    /// Folds the (about-to-retire) engine's shard counters into the
+    /// monotone totals.
+    fn retire_engine_counters(st: &mut WriteState) {
+        let c = st.engine.counters();
+        st.retired[0] += c.intra_inserts.load(Ordering::Relaxed);
+        st.retired[1] += c.cross_inserts.load(Ordering::Relaxed);
+        st.retired[2] += c.forwarded.load(Ordering::Relaxed);
+    }
+}
+
+/// The background rebuild loop (one dedicated thread per service).
+fn run_rebuilder(shared: &Arc<Shared>) {
+    loop {
+        let edges;
+        {
+            let mut st = shared.mx.lock();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if st.dirty {
+                    break;
+                }
+                shared.cv.wait(&mut st);
+            }
+            st.retrigger = false;
+            edges = st.tracker.edge_list();
+        }
+        if !shared.rebuild_hold.is_zero() {
+            // Sleep in slices so a shutdown is not pinned behind a long
+            // hold (tests use holds of many seconds to freeze a dirty
+            // window open).
+            let until = std::time::Instant::now() + shared.rebuild_hold;
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let left = until.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                std::thread::sleep(left.min(Duration::from_millis(10)));
+            }
+        }
+        let (forest, fresh) = shared.build_generation(&edges);
+        let mut st = shared.mx.lock();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if st.retrigger {
+            // A live edge died mid-rebuild: the snapshot (and its forest)
+            // may span a dead edge. Discard and rebuild from the current
+            // edge set; `pending` stays (the drain below is idempotent).
+            continue;
+        }
+        st.tracker.adopt_forest(&forest);
+        let drained: Vec<(u32, u32)> = std::mem::take(&mut st.pending);
+        let mut merges: Vec<Update> = Vec::new();
+        for (u, v) in drained {
+            if st.tracker.reclassify_live(u, v) {
+                merges.push(Update::Insert(u, v));
+            }
+        }
+        if !merges.is_empty() {
+            fresh.process_batch(&merges);
+        }
+        Shared::retire_engine_counters(&mut st);
+        st.engine = fresh;
+        st.generation += 1;
+        st.dirty = false;
+        st.sealed = None;
+        st.counters.rebuilds += 1;
+        *shared.view.lock() =
+            Arc::new(View::Live { engine: Arc::clone(&st.engine), generation: st.generation });
+        shared.cv.notify_all();
+    }
+}
+
+/// The deletion-capable engine (see module docs). One per service;
+/// dropping it stops and joins the rebuild worker.
+pub struct GenerationEngine {
+    shared: Arc<Shared>,
+    resolved_mode: RunMode,
+    algorithm: String,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GenerationEngine {
+    /// Builds an empty generation engine (generation 0, clean) and spawns
+    /// its rebuild worker. The error string carries the rejected
+    /// configuration's reason (see [`crate::engine::EngineError`]).
+    pub fn new(
+        n: usize,
+        shards: usize,
+        spec: &UfSpec,
+        mode: ExecMode,
+        seed: u64,
+        rebuild_hold: Duration,
+    ) -> Result<GenerationEngine, String> {
+        let engine: Arc<dyn Engine> =
+            Arc::from(build_engine(n, shards, spec, mode, seed).map_err(|e| e.to_string())?);
+        let resolved_mode = engine.mode();
+        let algorithm = engine.algorithm_name();
+        let view = Arc::new(View::Live { engine: Arc::clone(&engine), generation: 0 });
+        let shared = Arc::new(Shared {
+            n,
+            shards,
+            spec: *spec,
+            mode,
+            seed,
+            rebuild_hold,
+            mx: Mutex::new(WriteState {
+                engine,
+                tracker: LivenessTracker::new(n),
+                sealed: None,
+                pending: Vec::new(),
+                retrigger: false,
+                dirty: false,
+                generation: 0,
+                counters: GenCounters::default(),
+                retired: [0; 3],
+            }),
+            cv: Condvar::new(),
+            view: Mutex::new(view),
+            shutdown: AtomicBool::new(false),
+        });
+        let w_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("cc-gen-rebuild".into())
+            .spawn(move || run_rebuilder(&w_shared))
+            .map_err(|e| format!("failed to spawn rebuild worker: {e}"))?;
+        Ok(GenerationEngine { shared, resolved_mode, algorithm, worker: Some(worker) })
+    }
+
+    fn view(&self) -> Arc<View> {
+        Arc::clone(&self.shared.view.lock())
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Number of vertex-range shards per generation.
+    pub fn num_shards(&self) -> usize {
+        self.shared.shards
+    }
+
+    /// The resolved execution discipline (stable across rebuilds: every
+    /// generation is built from the same spec).
+    pub fn mode(&self) -> RunMode {
+        self.resolved_mode
+    }
+
+    /// The union-find variant's display name.
+    pub fn algorithm_name(&self) -> String {
+        self.algorithm.clone()
+    }
+
+    /// Applies a mixed insert/delete/query batch; returns query answers
+    /// in order of appearance. Inserts and queries between deletions run
+    /// through the live engine with the usual concurrent-batch semantics;
+    /// each deletion is a sequential cut point (operations before it see
+    /// the pre-delete state, operations after it the post-delete state).
+    /// While dirty, inserts accumulate for the next generation and
+    /// queries answer from the sealed one.
+    pub fn process_batch(&self, batch: &[Update]) -> Vec<bool> {
+        let mut st = self.shared.mx.lock();
+        let mut answers: Vec<bool> = Vec::new();
+        let mut run: Vec<Update> = Vec::new();
+        for &op in batch {
+            match op {
+                Update::Insert(u, v) => {
+                    st.tracker.insert(u, v);
+                    if st.dirty {
+                        st.pending.push((u, v));
+                    } else {
+                        run.push(op);
+                    }
+                }
+                Update::Query(u, v) => {
+                    if st.dirty {
+                        let s = st.sealed.as_ref().expect("dirty implies a sealed generation");
+                        answers.push(s.labels[u as usize] == s.labels[v as usize]);
+                    } else {
+                        run.push(op);
+                    }
+                }
+                Update::Delete(u, v) => {
+                    // Flush the engine-bound run first, so classification
+                    // (and a possible seal) sees a consistent engine.
+                    flush_run(&mut st, &mut run, &mut answers);
+                    match st.tracker.delete(u, v) {
+                        DeleteClass::Absent => st.counters.deletes_absent += 1,
+                        DeleteClass::NonForest => st.counters.deletes_nonforest += 1,
+                        DeleteClass::Forest => {
+                            st.counters.deletes_forest += 1;
+                            if st.dirty {
+                                st.retrigger = true;
+                            } else {
+                                self.shared.seal(&mut st);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        flush_run(&mut st, &mut run, &mut answers);
+        answers
+    }
+
+    /// Connectivity query against the serving view (live engine, or the
+    /// sealed labels while a rebuild is in flight). Never blocks on a
+    /// rebuild.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        match &*self.view() {
+            View::Live { engine, .. } => engine.connected(u, v),
+            View::Sealed { sealed, .. } => sealed.labels[u as usize] == sealed.labels[v as usize],
+        }
+    }
+
+    /// Component label of `v` in the serving view.
+    pub fn current_label(&self, v: u32) -> u32 {
+        match &*self.view() {
+            View::Live { engine, .. } => engine.current_label(v),
+            View::Sealed { sealed, .. } => sealed.labels[v as usize],
+        }
+    }
+
+    /// Number of components in the serving view.
+    pub fn num_components(&self) -> usize {
+        match &*self.view() {
+            View::Live { engine, .. } => engine.num_components(),
+            View::Sealed { sealed, .. } => sealed.num_components,
+        }
+    }
+
+    /// Read-only labeling of the serving view.
+    pub fn labels_readonly(&self) -> Vec<u32> {
+        match &*self.view() {
+            View::Live { engine, .. } => engine.labels_readonly(),
+            View::Sealed { sealed, .. } => sealed.labels.clone(),
+        }
+    }
+
+    /// The serving generation and telemetry counters (the `GEN` verb).
+    pub fn info(&self) -> GenInfo {
+        let st = self.shared.mx.lock();
+        GenInfo { generation: st.generation, dirty: st.dirty, counters: st.counters }
+    }
+
+    /// The serving generation number, read off the view — never contends
+    /// with the writer lock.
+    pub fn generation(&self) -> u64 {
+        self.view().generation()
+    }
+
+    /// Whether a rebuild is owed or in flight.
+    pub fn is_dirty(&self) -> bool {
+        self.shared.mx.lock().dirty
+    }
+
+    /// Number of live edges in the tracker.
+    pub fn num_live_edges(&self) -> usize {
+        self.shared.mx.lock().tracker.num_edges()
+    }
+
+    /// Blocks until the engine is clean (no rebuild owed or in flight);
+    /// returns the generation reached, or `Err` with the generation still
+    /// serving when the timeout lapses or the engine shuts down.
+    pub fn quiesce(&self, timeout: Duration) -> Result<u64, u64> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.mx.lock();
+        loop {
+            if !st.dirty {
+                return Ok(st.generation);
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(st.generation);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(st.generation);
+            }
+            self.shared.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// A consistent `(labels, live edge list)` pair for durable
+    /// snapshots — only while clean. While dirty the tracker runs ahead
+    /// of the sealed labels, so durable and replicated snapshots are
+    /// deferred (see the sealed-generation audit in `DESIGN.md` §9).
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_parts(&self) -> Option<(Vec<u32>, Vec<(u32, u32)>)> {
+        let st = self.shared.mx.lock();
+        if st.dirty {
+            return None;
+        }
+        Some((st.engine.labels_readonly(), st.tracker.edge_list()))
+    }
+
+    /// Monotone shard-counter totals `(intra, cross, forwarded)` summed
+    /// across all generations' engines.
+    pub fn shard_counters(&self) -> (u64, u64, u64) {
+        let st = self.shared.mx.lock();
+        let c = st.engine.counters();
+        (
+            st.retired[0] + c.intra_inserts.load(Ordering::Relaxed),
+            st.retired[1] + c.cross_inserts.load(Ordering::Relaxed),
+            st.retired[2] + c.forwarded.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Recovery: feeds one replayed WAL batch into the *tracker only*
+    /// (queries are skipped; classification counters stay at zero — they
+    /// are live-traffic telemetry). The engine is materialized once at
+    /// [`Self::finish_recovery`], so a deletion-bearing history costs one
+    /// rebuild total, not one per forest delete.
+    pub fn recover_ops(&self, ops: &[Update]) {
+        let mut st = self.shared.mx.lock();
+        for &op in ops {
+            match op {
+                Update::Insert(u, v) => {
+                    st.tracker.insert(u, v);
+                }
+                Update::Delete(u, v) => {
+                    st.tracker.delete(u, v);
+                }
+                Update::Query(..) => {}
+            }
+        }
+    }
+
+    /// Recovery: feeds a durable snapshot's live edge set into the
+    /// tracker (the edge multiset *is* the state — labels follow from
+    /// it at [`Self::finish_recovery`]).
+    pub fn recover_edges(&self, edges: &[(u32, u32)]) {
+        let mut st = self.shared.mx.lock();
+        for &(u, v) in edges {
+            st.tracker.insert(u, v);
+        }
+    }
+
+    /// Finishes recovery: materializes generation 0's engine from the
+    /// recovered edge set (one spanning-forest rebuild, regardless of how
+    /// many deletions the history held) and leaves the engine clean.
+    pub fn finish_recovery(&self) {
+        let edges = { self.shared.mx.lock().tracker.edge_list() };
+        if edges.is_empty() {
+            let mut st = self.shared.mx.lock();
+            st.tracker.rebuild_forest();
+            return;
+        }
+        let (forest, fresh) = self.shared.build_generation(&edges);
+        let mut st = self.shared.mx.lock();
+        st.tracker.adopt_forest(&forest);
+        Shared::retire_engine_counters(&mut st);
+        st.engine = fresh;
+        *self.shared.view.lock() =
+            Arc::new(View::Live { engine: Arc::clone(&st.engine), generation: st.generation });
+    }
+}
+
+fn flush_run(st: &mut WriteState, run: &mut Vec<Update>, answers: &mut Vec<bool>) {
+    if run.is_empty() {
+        return;
+    }
+    let sub = std::mem::take(run);
+    answers.extend(st.engine.process_batch(&sub));
+}
+
+impl Drop for GenerationEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.mx.lock();
+            self.shared.cv.notify_all();
+        }
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_baselines::DynamicOracle;
+
+    fn gen_engine(n: usize, hold: Duration) -> GenerationEngine {
+        GenerationEngine::new(n, 2, &UfSpec::fastest(), ExecMode::Auto, 7, hold)
+            .expect("engine builds")
+    }
+
+    fn quiesced(g: &GenerationEngine) -> u64 {
+        g.quiesce(Duration::from_secs(30)).expect("quiesce")
+    }
+
+    #[test]
+    fn nonforest_deletes_are_free_and_forest_deletes_seal() {
+        let g = gen_engine(8, Duration::ZERO);
+        g.process_batch(&[
+            Update::Insert(0, 1),
+            Update::Insert(1, 2),
+            Update::Insert(2, 0), // closes the triangle: a cycle edge
+        ]);
+        assert_eq!(g.generation(), 0);
+        // Deleting any one triangle edge cannot split: once the tracker
+        // has it as non-forest, the delete is free.
+        let a = g.process_batch(&[Update::Delete(2, 0), Update::Query(0, 2)]);
+        assert_eq!(a, vec![true]);
+        let info = g.info();
+        assert_eq!(info.counters.rebuilds, 0, "cycle-edge delete must be free");
+        assert_eq!(info.counters.deletes_nonforest, 1);
+        assert!(!info.dirty);
+        // Deleting a forest edge seals and rebuilds.
+        let a = g.process_batch(&[Update::Delete(0, 1), Update::Query(0, 2)]);
+        // The query may see sealed (pre-delete: connected) or the rebuilt
+        // generation (split) depending on rebuild timing — both are valid
+        // under the staleness contract; after quiescing it is exact.
+        assert_eq!(a.len(), 1);
+        assert!(quiesced(&g) >= 1);
+        assert!(!g.connected(0, 2));
+        assert!(g.connected(1, 2));
+        let info = g.info();
+        assert_eq!(info.counters.deletes_forest, 1);
+        assert!(info.counters.rebuilds >= 1);
+    }
+
+    #[test]
+    fn sealed_generation_serves_stale_but_consistent_answers() {
+        let g = gen_engine(8, Duration::from_millis(200));
+        g.process_batch(&[Update::Insert(0, 1), Update::Insert(1, 2)]);
+        g.process_batch(&[Update::Delete(1, 2)]);
+        // The hold keeps the rebuild in flight: the sealed generation
+        // still answers the pre-delete state, and says so.
+        assert!(g.is_dirty());
+        assert_eq!(g.generation(), 0);
+        assert!(g.connected(0, 2), "sealed labels are the pre-delete state");
+        let a = g.process_batch(&[Update::Query(0, 2)]);
+        assert_eq!(a, vec![true]);
+        assert!(quiesced(&g) >= 1);
+        assert!(!g.connected(0, 2), "the rebuilt generation sees the cut");
+    }
+
+    #[test]
+    fn inserts_during_rebuild_land_in_the_next_generation() {
+        let g = gen_engine(16, Duration::from_millis(100));
+        g.process_batch(&[Update::Insert(0, 1), Update::Insert(2, 3)]);
+        g.process_batch(&[Update::Delete(0, 1)]);
+        assert!(g.is_dirty());
+        // These arrive mid-rebuild: they must survive the swap.
+        g.process_batch(&[Update::Insert(0, 2), Update::Insert(1, 3)]);
+        quiesced(&g);
+        assert!(g.connected(0, 3), "pending inserts drained into the new generation");
+        // 0-2-3-1 spans all four: 0 and 1 reconnect through the pending
+        // inserts even though their direct edge died.
+        assert!(g.connected(0, 1));
+    }
+
+    #[test]
+    fn deletes_during_rebuild_retrigger() {
+        let g = gen_engine(16, Duration::from_millis(80));
+        g.process_batch(&[Update::Insert(0, 1), Update::Insert(1, 2), Update::Insert(3, 4)]);
+        g.process_batch(&[Update::Delete(0, 1)]);
+        assert!(g.is_dirty());
+        // A second live-edge delete while the first rebuild is in flight:
+        // its snapshot is now invalid and must be discarded.
+        g.process_batch(&[Update::Delete(3, 4)]);
+        quiesced(&g);
+        assert!(!g.connected(3, 4), "the retriggered rebuild saw the second delete");
+        assert!(!g.connected(0, 1));
+        assert!(g.connected(1, 2));
+        assert!(g.info().counters.deletes_forest >= 2);
+    }
+
+    #[test]
+    fn agrees_with_the_dynamic_oracle_under_quiesced_churn() {
+        let n = 64usize;
+        let g = gen_engine(n, Duration::ZERO);
+        let mut oracle = DynamicOracle::new(n);
+        // Deterministic churn: apply I/D traffic, quiesce, then validate
+        // a query round exactly (the harness pattern the server tests and
+        // the loadgen's --churn mode both use).
+        for round in 0..12u32 {
+            let mut muts: Vec<Update> = Vec::new();
+            for i in 0..40u32 {
+                let x = round * 191 + i * 37;
+                let (u, v) = (x % n as u32, (x * 13 + 1) % n as u32);
+                muts.push(if x % 4 == 3 { Update::Delete(u, v) } else { Update::Insert(u, v) });
+            }
+            g.process_batch(&muts);
+            for &op in &muts {
+                oracle.apply(op);
+            }
+            quiesced(&g);
+            let queries: Vec<Update> =
+                (0..n as u32).map(|u| Update::Query(u, (u * 7 + 3) % n as u32)).collect();
+            let got = g.process_batch(&queries);
+            let want = oracle.apply_batch(&queries);
+            assert_eq!(got, want, "round {round}");
+        }
+        assert!(cc_graph::stats::same_partition(&oracle.labels(), &g.labels_readonly()));
+    }
+
+    #[test]
+    fn recovery_materializes_one_generation() {
+        let g = gen_engine(16, Duration::ZERO);
+        g.recover_edges(&[(0, 1), (1, 2)]);
+        g.recover_ops(&[
+            Update::Insert(3, 4),
+            Update::Delete(1, 2),
+            Update::Insert(2, 3),
+            Update::Query(0, 4), // skipped
+        ]);
+        g.finish_recovery();
+        assert!(!g.is_dirty());
+        assert_eq!(g.generation(), 0);
+        assert_eq!(g.info().counters.rebuilds, 0, "recovery is not a live rebuild");
+        assert!(g.connected(0, 1));
+        // 1-2 died; 2-3-4 live; 0-1 live.
+        assert!(!g.connected(0, 2));
+        assert!(g.connected(2, 4));
+        assert_eq!(g.num_live_edges(), 3);
+    }
+}

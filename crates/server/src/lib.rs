@@ -2,7 +2,8 @@
 //!
 //! A sharded, concurrent connectivity *service* over the ConnectIt
 //! streaming engine: the batch-incremental machinery of Section 3.5 turned
-//! into a long-running system serving heavy mixed insert/query traffic.
+//! into a long-running system serving heavy mixed insert/delete/query
+//! traffic.
 //!
 //! Layers, bottom up:
 //!
@@ -13,6 +14,12 @@
 //!   shard is amortized by the shard's vertex count, not its edge
 //!   traffic). Batches run wait-free (paper Type (i)) or phase-concurrent
 //!   (Type (iii)) on the shared `cc_parallel` pool.
+//! - [`generation::GenerationEngine`] — fully dynamic connectivity by
+//!   epoch-partitioned generations: inserts stay incremental, a *forest*
+//!   deletion seals the labels and rebuilds in the background (non-forest
+//!   and absent deletions are free), and queries during a rebuild serve
+//!   the sealed generation with an honest `(epoch, generation)` staleness
+//!   report (DESIGN.md §9).
 //! - [`service::Service`] — a time/size-bounded batch former coalescing
 //!   many clients' submissions into engine batches, epoch-versioned
 //!   `Arc`-swapped label snapshots (reads never block writers),
@@ -28,8 +35,8 @@
 //!   disk uses) to read-replica followers, which bootstrap, replay, tail
 //!   live appends, and serve reads at an honestly-reported replication
 //!   epoch (`WAIT` upgrades bounded staleness to read-your-writes).
-//! - [`net`] — a minimal line-based TCP protocol (`I`/`Q`/`B`/`STATS`/
-//!   `FLUSH`/`SNAPSHOT`/`WALSTATS`/`WAIT`/`ROLE`/…), a
+//! - [`net`] — a minimal line-based TCP protocol (`I`/`D`/`Q`/`B`/`GEN`/
+//!   `QUIESCE`/`STATS`/`FLUSH`/`SNAPSHOT`/`WALSTATS`/`WAIT`/`ROLE`/…), a
 //!   one-thread-per-connection server, and a blocking [`net::TcpClient`].
 //!
 //! Binaries: `connectit-serve` (the daemon; `--wal-dir` turns on
@@ -38,15 +45,18 @@
 //! closed-loop load generator that validates every answered query
 //! against the sequential oracle while measuring throughput; its
 //! `--kill-after`/`--resume` checkpoint mode re-validates that oracle
-//! across a server crash and restart, and `--follower` split-routes
-//! inserts to the primary and exactly-validated queries to replicas).
-//! See the README for a quickstart and the protocol reference, and
-//! DESIGN.md §5/§7/§8 for the architecture, durability, and replication
+//! across a server crash and restart, `--churn` mixes in deletions
+//! validated exactly against an incremental dynamic oracle, and
+//! `--follower` split-routes updates to the primary and
+//! exactly-validated queries to replicas). See the README for a
+//! quickstart and the protocol reference, and DESIGN.md §5/§7/§8/§9 for
+//! the architecture, durability, replication, and dynamic-connectivity
 //! discussions.
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod generation;
 pub mod net;
 pub mod replication;
 pub mod service;
@@ -56,6 +66,7 @@ pub mod wal;
 pub use engine::{
     build_engine, Engine, EngineCounters, EngineError, ExecMode, RunMode, ShardedEngine,
 };
+pub use generation::{GenCounters, GenInfo, GenerationEngine};
 pub use net::{serve, TcpClient, TcpServer};
 pub use replication::{run_follower, serve_replication, ReplicationHub};
 pub use service::{

@@ -10,16 +10,19 @@
 //! | Request              | Reply                                | Meaning |
 //! |----------------------|--------------------------------------|---------|
 //! | `I u v`              | `OK`                                 | insert edge `{u, v}` |
-//! | `Q u v`              | `1` / `0`                            | connectivity query |
-//! | `B k` + `k` op lines | `OK <bits>`                          | submit `k` ops (`I u v` / `Q u v` lines) as one unit; `<bits>` answers the queries in order |
+//! | `D u v`              | `OK`                                 | delete edge `{u, v}` (absent and cycle edges are free; a spanning-forest edge triggers a background generation rebuild) |
+//! | `Q u v`              | `1` / `0` (`1 G <gen>` while dirty)  | connectivity query; while a rebuild is in flight the reply names the sealed generation it was served from |
+//! | `B k` + `k` op lines | `OK <bits>`                          | submit `k` ops (`I u v` / `D u v` / `Q u v` lines) as one unit; `<bits>` answers the queries in order |
 //! | `LABEL v`            | `L <label>`                          | current component label of `v` |
 //! | `COMPONENTS`         | `C <count>`                          | current component count |
 //! | `EPOCH`              | `E <epoch>`                          | completed batches (on a follower: replication epoch) |
 //! | `WAIT e [ms]`        | `E <epoch>`                          | block until the epoch reaches `e` (default timeout 10000 ms), then report it |
+//! | `GEN`                | `G <gen> dirty=<0/1> <counters>`     | generation info: serving generation, rebuild-in-flight flag, delete-classification counters |
+//! | `QUIESCE [ms]`       | `G <gen>`                            | block until no rebuild is in flight (default timeout 10000 ms); afterwards queries are exact until the next forest deletion |
 //! | `ROLE`               | `R primary` / `R follower`           | replication role |
 //! | `STATS`              | `S <key=value ...>`                  | one-line stats dump |
 //! | `FLUSH`              | `OK`                                 | fsync the WAL now, regardless of policy |
-//! | `SNAPSHOT`           | `SNAP <epoch>`                       | write a durable label snapshot at the next batch boundary |
+//! | `SNAPSHOT`           | `SNAP <epoch>`                       | write a durable snapshot (labels + live edge set) at the next batch boundary |
 //! | `WALSTATS`           | `W <key=value ...>`                  | one-line WAL stats dump |
 //! | `PING`               | `PONG`                               | liveness |
 //! | `QUIT`               | — (connection closes)                | end this connection |
@@ -32,10 +35,11 @@
 //! parseable request) and a rejected `B` header (an undelimitable body
 //! follows), both of which answer `ERR …` and close.
 //!
-//! On a follower (`--replicate-from`), `I` and insert-carrying `B`
-//! bodies answer `ERR read-only follower: route inserts to the primary`;
+//! On a follower (`--replicate-from`), `I`, `D`, and update-carrying `B`
+//! bodies answer `ERR read-only follower: route updates to the primary`;
 //! `WAIT <epoch>` is the bounded-staleness contract — after it returns,
-//! every primary batch up to `<epoch>` is visible here.
+//! every primary batch up to `<epoch>` is visible here. The `(epoch,
+//! generation)` staleness story is spelled out in DESIGN.md §9.
 
 use crate::service::{Client, Service, ServiceError};
 use connectit::Update;
@@ -50,12 +54,15 @@ use std::time::Duration;
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Request {
     Insert(u32, u32),
+    Delete(u32, u32),
     Query(u32, u32),
     Batch(usize),
     Label(u32),
     Components,
     Epoch,
     Wait(u64, u64),
+    Gen,
+    Quiesce(u64),
     Role,
     Stats,
     Flush,
@@ -96,6 +103,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
     let cmd = it.next().ok_or_else(|| "empty request".to_string())?;
     let req = match cmd {
         "I" => Request::Insert(parse_u32(it.next())?, parse_u32(it.next())?),
+        "D" => Request::Delete(parse_u32(it.next())?, parse_u32(it.next())?),
         "Q" => Request::Query(parse_u32(it.next())?, parse_u32(it.next())?),
         "B" => {
             let k = parse_u32(it.next())? as usize;
@@ -115,6 +123,14 @@ fn parse_request(line: &str) -> Result<Request, String> {
             };
             Request::Wait(epoch, timeout_ms)
         }
+        "GEN" => Request::Gen,
+        "QUIESCE" => {
+            let timeout_ms = match it.next() {
+                Some(tok) => parse_u64(Some(tok))?,
+                None => DEFAULT_WAIT_TIMEOUT_MS,
+            };
+            Request::Quiesce(timeout_ms)
+        }
         "ROLE" => Request::Role,
         "STATS" => Request::Stats,
         "FLUSH" => Request::Flush,
@@ -131,13 +147,14 @@ fn parse_request(line: &str) -> Result<Request, String> {
     Ok(req)
 }
 
-/// Parses one `I u v` / `Q u v` line of a `B` batch body.
+/// Parses one `I u v` / `D u v` / `Q u v` line of a `B` batch body.
 fn parse_batch_op(line: &str) -> Result<Update, String> {
     let mut it = line.split_whitespace();
     let op = match it.next() {
         Some("I") => Update::Insert(parse_u32(it.next())?, parse_u32(it.next())?),
+        Some("D") => Update::Delete(parse_u32(it.next())?, parse_u32(it.next())?),
         Some("Q") => Update::Query(parse_u32(it.next())?, parse_u32(it.next())?),
-        _ => return Err("batch op must be `I u v` or `Q u v`".to_string()),
+        _ => return Err("batch op must be `I u v`, `D u v`, or `Q u v`".to_string()),
     };
     if it.next().is_some() {
         return Err("trailing arguments in batch op".to_string());
@@ -295,8 +312,22 @@ fn handle_connection(
                 Ok(()) => writeln!(w, "OK")?,
                 Err(e) => writeln!(w, "{}", err_line(&e))?,
             },
+            Ok(Request::Delete(u, v)) => match client.delete(u, v) {
+                Ok(()) => writeln!(w, "OK")?,
+                Err(e) => writeln!(w, "{}", err_line(&e))?,
+            },
             Ok(Request::Query(u, v)) => match client.query(u, v) {
-                Ok(c) => writeln!(w, "{}", u8::from(c))?,
+                Ok(c) => {
+                    // Staleness honesty: while a rebuild is in flight the
+                    // answer came from the sealed generation, and the
+                    // reply says which one. A clean engine answers bare.
+                    let info = client.generation_info();
+                    if info.dirty {
+                        writeln!(w, "{} G {}", u8::from(c), info.generation)?;
+                    } else {
+                        writeln!(w, "{}", u8::from(c))?;
+                    }
+                }
                 Err(e) => writeln!(w, "{}", err_line(&e))?,
             },
             Ok(Request::Batch(k)) => {
@@ -345,6 +376,25 @@ fn handle_connection(
             Ok(Request::Wait(epoch, timeout_ms)) => {
                 match client.wait_for_epoch(epoch, Duration::from_millis(timeout_ms)) {
                     Ok(at) => writeln!(w, "E {at}")?,
+                    Err(e) => writeln!(w, "{}", err_line(&e))?,
+                }
+            }
+            Ok(Request::Gen) => {
+                let info = client.generation_info();
+                writeln!(
+                    w,
+                    "G {} dirty={} rebuilds={} forest={} nonforest={} absent={}",
+                    info.generation,
+                    u8::from(info.dirty),
+                    info.counters.rebuilds,
+                    info.counters.deletes_forest,
+                    info.counters.deletes_nonforest,
+                    info.counters.deletes_absent,
+                )?;
+            }
+            Ok(Request::Quiesce(timeout_ms)) => {
+                match client.quiesce(Duration::from_millis(timeout_ms)) {
+                    Ok(generation) => writeln!(w, "G {generation}")?,
                     Err(e) => writeln!(w, "{}", err_line(&e))?,
                 }
             }
@@ -425,13 +475,42 @@ impl TcpClient {
         }
     }
 
-    /// `Q u v`.
-    pub fn query(&mut self, u: u32, v: u32) -> std::io::Result<bool> {
-        match self.roundtrip(&format!("Q {u} {v}"))?.as_str() {
-            "1" => Ok(true),
-            "0" => Ok(false),
-            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+    /// `D u v`.
+    pub fn delete(&mut self, u: u32, v: u32) -> std::io::Result<()> {
+        let r = self.roundtrip(&format!("D {u} {v}"))?;
+        if r == "OK" {
+            Ok(())
+        } else {
+            Err(proto_err(format!("unexpected reply {r:?}")))
         }
+    }
+
+    /// `Q u v`. Discards the staleness suffix; use
+    /// [`TcpClient::query_gen`] to observe it.
+    pub fn query(&mut self, u: u32, v: u32) -> std::io::Result<bool> {
+        self.query_gen(u, v).map(|(c, _)| c)
+    }
+
+    /// `Q u v`, keeping the staleness report: `Some(generation)` when the
+    /// reply carried a `G <gen>` suffix (a rebuild was in flight and the
+    /// answer was served from that sealed generation), `None` when the
+    /// engine was clean.
+    pub fn query_gen(&mut self, u: u32, v: u32) -> std::io::Result<(bool, Option<u64>)> {
+        let r = self.roundtrip(&format!("Q {u} {v}"))?;
+        let mut it = r.split_whitespace();
+        let connected = match it.next() {
+            Some("1") => true,
+            Some("0") => false,
+            _ => return Err(proto_err(format!("unexpected reply {r:?}"))),
+        };
+        let generation = match (it.next(), it.next(), it.next()) {
+            (None, _, _) => None,
+            (Some("G"), Some(g), None) => {
+                Some(g.parse().map_err(|_| proto_err(format!("unexpected reply {r:?}")))?)
+            }
+            _ => return Err(proto_err(format!("unexpected reply {r:?}"))),
+        };
+        Ok((connected, generation))
     }
 
     /// `B k`: submits a group of operations as one unit; returns the
@@ -448,6 +527,7 @@ impl TcpClient {
         for op in ops {
             match *op {
                 Update::Insert(u, v) => writeln!(self.writer, "I {u} {v}")?,
+                Update::Delete(u, v) => writeln!(self.writer, "D {u} {v}")?,
                 Update::Query(u, v) => writeln!(self.writer, "Q {u} {v}")?,
             }
         }
@@ -489,6 +569,24 @@ impl TcpClient {
     pub fn wait_epoch(&mut self, epoch: u64, timeout_ms: u64) -> std::io::Result<u64> {
         let r = self.roundtrip(&format!("WAIT {epoch} {timeout_ms}"))?;
         r.strip_prefix("E ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
+    /// `GEN` (raw one-line generation info, `<gen> dirty=<0/1> …`).
+    pub fn gen_line(&mut self) -> std::io::Result<String> {
+        let r = self.roundtrip("GEN")?;
+        r.strip_prefix("G ")
+            .map(str::to_string)
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
+    /// `QUIESCE ms`: blocks until no generation rebuild is in flight;
+    /// returns the clean generation then serving. A lapsed timeout is a
+    /// server-side `ERR`.
+    pub fn quiesce(&mut self, timeout_ms: u64) -> std::io::Result<u64> {
+        let r = self.roundtrip(&format!("QUIESCE {timeout_ms}"))?;
+        r.strip_prefix("G ")
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
     }
@@ -557,6 +655,7 @@ mod tests {
     #[test]
     fn request_grammar() {
         assert_eq!(parse_request("I 3 4"), Ok(Request::Insert(3, 4)));
+        assert_eq!(parse_request("D 3 4"), Ok(Request::Delete(3, 4)));
         assert_eq!(parse_request("Q 0 9"), Ok(Request::Query(0, 9)));
         assert_eq!(parse_request("B 128"), Ok(Request::Batch(128)));
         assert_eq!(parse_request("LABEL 7"), Ok(Request::Label(7)));
@@ -568,6 +667,12 @@ mod tests {
         assert_eq!(parse_request("ROLE"), Ok(Request::Role));
         assert_eq!(parse_request("WAIT 9"), Ok(Request::Wait(9, DEFAULT_WAIT_TIMEOUT_MS)));
         assert_eq!(parse_request("WAIT 9 250"), Ok(Request::Wait(9, 250)));
+        assert_eq!(parse_request("GEN"), Ok(Request::Gen));
+        assert_eq!(parse_request("QUIESCE"), Ok(Request::Quiesce(DEFAULT_WAIT_TIMEOUT_MS)));
+        assert_eq!(parse_request("QUIESCE 250"), Ok(Request::Quiesce(250)));
+        assert!(parse_request("QUIESCE x").is_err());
+        assert!(parse_request("QUIESCE 250 7").is_err());
+        assert!(parse_request("GEN 1").is_err());
         assert!(parse_request("WAIT").is_err());
         assert!(parse_request("WAIT x").is_err());
         assert!(parse_request("WAIT 9 250 7").is_err());
@@ -575,6 +680,8 @@ mod tests {
         assert!(parse_request("FLUSH now").is_err());
         assert!(parse_request("SNAPSHOT 3").is_err());
         assert!(parse_request("I 3").is_err());
+        assert!(parse_request("D 3").is_err());
+        assert!(parse_request("D 3 4 5").is_err());
         assert!(parse_request("I 3 4 5").is_err());
         assert!(parse_request("Q -1 4").is_err());
         assert!(parse_request("NOPE").is_err());
@@ -585,9 +692,11 @@ mod tests {
     #[test]
     fn batch_op_grammar() {
         assert_eq!(parse_batch_op("I 1 2"), Ok(Update::Insert(1, 2)));
+        assert_eq!(parse_batch_op("D 1 2"), Ok(Update::Delete(1, 2)));
         assert_eq!(parse_batch_op("Q 5 6"), Ok(Update::Query(5, 6)));
         assert!(parse_batch_op("X 1 2").is_err());
         assert!(parse_batch_op("I one 2").is_err());
+        assert!(parse_batch_op("D one 2").is_err());
         assert!(parse_batch_op("I 1 2 3").is_err());
     }
 }

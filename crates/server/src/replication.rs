@@ -13,8 +13,10 @@
 //! | tag   | payload after the tag                       | direction | meaning |
 //! |-------|---------------------------------------------|-----------|---------|
 //! | `'H'` | `last_epoch: u64 LE`                        | follower → primary | handshake: resume past this epoch |
-//! | `'S'` | [`binary::encode_labels`] `(epoch, labels)` | primary → follower | snapshot bootstrap |
-//! | `'B'` | [`binary::encode_edge_batch`] `(epoch, inserts)` | primary → follower | one WAL batch record |
+//! | `'S'` | [`binary::encode_labels`] `(epoch, labels)` | primary → follower | legacy label bootstrap (label-only snapshot) |
+//! | `'E'` | [`binary::encode_edge_batch`] `(epoch, live edges)` | primary → follower | snapshot bootstrap: the exact live edge set |
+//! | `'B'` | [`binary::encode_edge_batch`] `(epoch, inserts)` | primary → follower | one insert-only WAL batch record |
+//! | `'D'` | [`wal::encode_update_batch`] `(epoch, ops)` | primary → follower | one deletion-bearing WAL batch record |
 //!
 //! ## Primary side
 //!
@@ -27,27 +29,37 @@
 //! service is appending to, so replication needs no hooks in the hot
 //! write path at all. A [`crate::wal::TailEvent::Pruned`] mid-stream
 //! (a durable snapshot retired the cursor's segment) re-bootstraps from
-//! the newest snapshot — correct because connectivity is monotone, so a
-//! snapshot only restates facts the follower may already have.
+//! the newest snapshot — correct because the snapshot states *exactly*
+//! the live edge set at its epoch, which is ahead of everything shipped
+//! so far (every deletion the follower already applied happened at an
+//! earlier epoch and is reflected in that set). When a snapshot carries
+//! its edge set, that set ships (`'E'`) *instead of* the labeling:
+//! label-derived spanning edges would teach the follower's liveness
+//! tracker phantom edges and corrupt its later delete classification.
+//! The label record (`'S'`) survives only for legacy label-only
+//! snapshot stores, whose histories are insert-only by construction.
 //!
 //! ## Follower side
 //!
 //! [`run_follower`] connects (and reconnects, forever, until shutdown) to
 //! the primary, handshakes with the follower's current epoch, and applies
 //! every received record through [`Client::apply_replicated`] /
-//! [`Client::apply_replicated_labels`]. Socket reads carry a timeout
-//! wrapped in [`binary::RetryRead`], so a shutdown request interrupts a
-//! quiet stream without ever tearing a half-received record. Everything
-//! is idempotent end to end: a reconnect may replay a suffix, and the
-//! follower's epoch is a `max`, never a blind store.
+//! [`Client::apply_replicated_ops`] / [`Client::apply_replicated_labels`].
+//! Socket reads carry a timeout wrapped in [`binary::RetryRead`], so a
+//! shutdown request interrupts a quiet stream without ever tearing a
+//! half-received record. Everything is idempotent end to end: a reconnect
+//! replays a *contiguous suffix* of the history in order, so each edge's
+//! liveness is re-decided by the same last operation that decided it the
+//! first time, and the follower's epoch is a `max`, never a blind store.
 //!
 //! The three follower-recovery invariants this module upholds are spelled
 //! out in DESIGN.md §8.
 
 use crate::service::Client;
 use crate::snapshot;
-use crate::wal::{TailEvent, WalCursor};
+use crate::wal::{self, TailEvent, WalCursor};
 use cc_graph::io::binary;
+use connectit::Update;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
@@ -60,10 +72,18 @@ pub const REPL_MAGIC: &[u8; 8] = b"CCREPL01";
 
 /// Record tag: follower handshake (`last_epoch: u64 LE`).
 pub const TAG_HELLO: u8 = b'H';
-/// Record tag: label-snapshot bootstrap ([`binary::encode_labels`]).
+/// Record tag: legacy label-snapshot bootstrap
+/// ([`binary::encode_labels`]; shipped only when the durable snapshot
+/// has no edge set).
 pub const TAG_SNAPSHOT: u8 = b'S';
-/// Record tag: one WAL batch ([`binary::encode_edge_batch`]).
+/// Record tag: edge-set snapshot bootstrap ([`binary::encode_edge_batch`]
+/// over the exact live edge set at the snapshot epoch).
+pub const TAG_EDGES: u8 = b'E';
+/// Record tag: one insert-only WAL batch ([`binary::encode_edge_batch`]).
 pub const TAG_BATCH: u8 = b'B';
+/// Record tag: one deletion-bearing WAL batch
+/// ([`wal::encode_update_batch`], inserts and deletions in order).
+pub const TAG_DELTA: u8 = b'D';
 /// Record tag: idle heartbeat (`last_sent_epoch: u64 LE`). Followers
 /// ignore it; its purpose is making a caught-up sender *write*, so a
 /// dead follower surfaces as a send error instead of a leaked sender
@@ -214,7 +234,19 @@ fn ship_snapshot_if_newer(
             // Counted before the bytes go out, so the counter is never
             // behind what a follower demonstrably received.
             shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
-            send_record(w, TAG_SNAPSHOT, &binary::encode_labels(snap.epoch, &snap.labels))?;
+            match &snap.edges {
+                // Ship the real live edge set when the snapshot has one:
+                // the follower's liveness tracker then holds exactly the
+                // primary's edges, so later deletions classify the same
+                // way on both sides. (Labels would do for connectivity,
+                // but their derived spanning edges are phantoms.)
+                Some(edges) => {
+                    send_record(w, TAG_EDGES, &binary::encode_edge_batch(snap.epoch, edges))?;
+                }
+                None => {
+                    send_record(w, TAG_SNAPSHOT, &binary::encode_labels(snap.epoch, &snap.labels))?;
+                }
+            }
             w.flush()?;
             Ok(snap.epoch)
         }
@@ -264,12 +296,31 @@ fn stream_to_follower(stream: TcpStream, dir: &Path, shared: &HubShared) -> std:
             return Ok(());
         }
         match cursor.next() {
-            Ok(TailEvent::Record(epoch, edges)) => {
+            Ok(TailEvent::Record(epoch, ops)) => {
                 // The WAL holds history the follower already has (its
                 // handshake epoch, or the snapshot's); skip those.
                 if epoch > sent_epoch {
                     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-                    send_record(&mut w, TAG_BATCH, &binary::encode_edge_batch(epoch, &edges))?;
+                    // Insert-only batches keep the compact legacy frame;
+                    // a batch with any deletion ships as an op record so
+                    // the follower replays it in submission order.
+                    let edges: Option<Vec<(u32, u32)>> = ops
+                        .iter()
+                        .map(|op| match *op {
+                            Update::Insert(u, v) => Some((u, v)),
+                            _ => None,
+                        })
+                        .collect();
+                    match edges {
+                        Some(edges) => send_record(
+                            &mut w,
+                            TAG_BATCH,
+                            &binary::encode_edge_batch(epoch, &edges),
+                        )?,
+                        None => {
+                            send_record(&mut w, TAG_DELTA, &wal::encode_update_batch(epoch, &ops))?
+                        }
+                    }
                     w.flush()?;
                     sent_epoch = epoch;
                     last_write = std::time::Instant::now();
@@ -395,6 +446,18 @@ fn follow_once(
                 .map_err(|e| proto_err(e.to_string()))
                 .and_then(|(epoch, edges)| {
                     counters.batches.fetch_add(1, Ordering::Relaxed);
+                    client.apply_replicated(epoch, &edges).map_err(|e| proto_err(e.to_string()))
+                }),
+            TAG_DELTA => wal::decode_update_batch(rest, 0)
+                .map_err(|e| proto_err(e.to_string()))
+                .and_then(|(epoch, ops)| {
+                    counters.batches.fetch_add(1, Ordering::Relaxed);
+                    client.apply_replicated_ops(epoch, &ops).map_err(|e| proto_err(e.to_string()))
+                }),
+            TAG_EDGES => binary::decode_edge_batch(rest, 0)
+                .map_err(|e| proto_err(e.to_string()))
+                .and_then(|(epoch, edges)| {
+                    counters.snapshots.fetch_add(1, Ordering::Relaxed);
                     client.apply_replicated(epoch, &edges).map_err(|e| proto_err(e.to_string()))
                 }),
             TAG_SNAPSHOT => binary::decode_labels(rest, 0)
@@ -532,7 +595,7 @@ mod tests {
                     saw_ping = true;
                     break;
                 }
-                TAG_BATCH | TAG_SNAPSHOT => continue, // bootstrap history
+                TAG_BATCH | TAG_DELTA | TAG_SNAPSHOT | TAG_EDGES => continue, // bootstrap history
                 other => panic!("unexpected tag {other:?}"),
             }
         }
@@ -602,6 +665,91 @@ mod tests {
         assert!(fc.query(0, 2).expect("pre-snapshot fact"));
         assert!(fc.query(8, 9).expect("post-snapshot fact"));
         assert!(!fc.query(0, 8).expect("negative"));
+        assert!(counters.snapshots.load(Ordering::Relaxed) >= 1, "bootstrap used the snapshot");
+
+        shutdown.store(true, Ordering::Release);
+        h.join().expect("receiver exits");
+        hub.stop();
+        primary.shutdown();
+        f.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn follower_replays_deletions_in_order() {
+        let dir = tmp_dir("delete");
+        let mut primary = Service::start(primary_cfg(64, &dir)).expect("primary");
+        let mut hub = serve_replication(&dir, "127.0.0.1:0").expect("hub");
+        let addr = hub.local_addr().to_string();
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut f = follower(64);
+        let (h, counters) = run_follower(f.client(), addr, Arc::clone(&shutdown)).expect("recv");
+
+        let p = primary.client();
+        p.insert(1, 2).expect("insert");
+        p.insert(2, 3).expect("insert");
+        p.insert(1, 3).expect("cycle edge");
+        // A non-forest deletion (free) and a forest deletion (rebuild)
+        // both cross the wire as `'D'` records and replay in order.
+        p.delete(1, 3).expect("non-forest delete");
+        p.delete(2, 3).expect("forest delete");
+        let fc = f.client();
+        wait_epoch(&fc, p.epoch());
+        // The follower's own rebuild may still be in flight; quiesce so
+        // the read below is exact rather than sealed-generation stale.
+        fc.quiesce(Duration::from_secs(20)).expect("follower quiesces");
+        assert!(fc.query(1, 2).expect("still connected"));
+        assert!(!fc.query(2, 3).expect("severed by the replayed deletions"));
+        let info = fc.generation_info();
+        assert_eq!(info.counters.deletes_nonforest, 1, "cycle delete classified: {info:?}");
+        assert!(counters.batches.load(Ordering::Relaxed) >= 5);
+
+        shutdown.store(true, Ordering::Release);
+        h.join().expect("receiver exits");
+        hub.stop();
+        primary.shutdown();
+        f.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deletion_aware_bootstrap_ships_the_edge_set_not_labels() {
+        let dir = tmp_dir("edgeboot");
+        let mut primary = Service::start(primary_cfg(32, &dir)).expect("primary");
+        let p = primary.client();
+        p.insert(0, 1).expect("insert");
+        p.insert(1, 2).expect("insert");
+        p.insert(0, 2).expect("cycle edge");
+        p.quiesce(Duration::from_secs(20)).expect("clean for the snapshot");
+        let snap_epoch = p.durable_snapshot().expect("snapshot with edges");
+        assert!(snap_epoch >= 3);
+
+        // Raw inspection: the bootstrap record is the edge set, not the
+        // labeling (phantom spanning edges would mis-classify the
+        // follower's later deletes).
+        let mut hub = serve_replication(&dir, "127.0.0.1:0").expect("hub");
+        let mut records = fake_follower(hub.local_addr(), 0);
+        let payload = records.next().expect("framed record").expect("stream open");
+        assert_eq!(payload[0], TAG_EDGES, "bootstrap must ship the live edge set");
+        let (epoch, edges) = binary::decode_edge_batch(&payload[1..], 0).expect("decode");
+        assert_eq!(epoch, snap_epoch);
+        assert_eq!(edges.len(), 3, "all three live edges, the cycle edge included");
+        drop(records);
+
+        // A real follower bootstrapped this way classifies a post-
+        // snapshot forest deletion exactly like the primary does.
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut f = follower(32);
+        let (h, counters) =
+            run_follower(f.client(), hub.local_addr().to_string(), Arc::clone(&shutdown))
+                .expect("recv");
+        p.delete(0, 1).expect("forest delete past the snapshot");
+        let fc = f.client();
+        wait_epoch(&fc, p.epoch());
+        fc.quiesce(Duration::from_secs(20)).expect("follower quiesces");
+        assert!(fc.query(0, 1).expect("cycle closed the gap: still connected"));
+        assert_eq!(fc.generation_info().counters.deletes_absent, 0, "no phantom edges");
         assert!(counters.snapshots.load(Ordering::Relaxed) >= 1, "bootstrap used the snapshot");
 
         shutdown.store(true, Ordering::Release);

@@ -1,8 +1,9 @@
 //! The long-running connectivity service: a time/size-bounded batch
-//! former in front of a [`crate::engine::ShardedEngine`] (held behind
-//! the batch-granular [`Engine`] trait, so the per-edge loops stay
-//! monomorphized), with epoch-versioned label snapshots and
-//! per-operation latency tracking.
+//! former in front of a [`crate::generation::GenerationEngine`] (a
+//! [`crate::engine::ShardedEngine`] per generation, so the per-edge
+//! loops stay monomorphized, plus the edge-liveness tracker and the
+//! background rebuilder that give the service deletions), with
+//! epoch-versioned label snapshots and per-operation latency tracking.
 //!
 //! Clients ([`Client`], cheaply cloneable) enqueue submissions — each a
 //! small vector of [`Update`]s — and block on a per-submission reply
@@ -10,14 +11,15 @@
 //! to [`ServiceConfig::batch_max_wait`] to coalesce traffic from many
 //! clients into one engine batch of at most
 //! [`ServiceConfig::batch_max_ops`] operations, then runs it through
-//! [`Engine::process_batch`] on the shared `cc_parallel` pool (the
+//! [`crate::engine::Engine::process_batch`] on the shared `cc_parallel` pool (the
 //! same pool the rest of the workspace reuses — no second thread fleet)
 //! and fans the query answers back out. Every completed batch bumps the
 //! service epoch; label snapshots are published as `Arc`-swapped
 //! immutable values, so readers never block writers and writers never
 //! wait for readers.
 
-use crate::engine::{build_engine, Engine, EngineError, ExecMode, RunMode};
+use crate::engine::{EngineError, ExecMode, RunMode};
+use crate::generation::{GenInfo, GenerationEngine};
 use crate::snapshot;
 use crate::wal::{DurabilityConfig, Wal, WalError};
 use cc_parallel::hist::LatencyHist;
@@ -32,6 +34,11 @@ use std::time::{Duration, Instant};
 /// Chunk size for replaying recovered state into the engine.
 const REPLAY_CHUNK: usize = 1 << 16;
 
+/// How long the batcher waits for an in-flight generation rebuild before
+/// declining an explicit `SNAPSHOT` request (durable snapshots are only
+/// taken on clean generations; see `DESIGN.md` §9).
+const SNAPSHOT_QUIESCE_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Which side of the replication topology a service plays.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Role {
@@ -39,10 +46,11 @@ pub enum Role {
     /// followers.
     Primary,
     /// A read replica: state arrives exclusively through
-    /// [`Client::apply_replicated`] / [`Client::apply_replicated_labels`]
-    /// (fed by `cc_server::replication`); local inserts are rejected and
-    /// queries are answered directly against the engine at the follower's
-    /// honestly-reported replication epoch.
+    /// [`Client::apply_replicated`] / [`Client::apply_replicated_ops`] /
+    /// [`Client::apply_replicated_labels`] (fed by
+    /// `cc_server::replication`); local writes — inserts *and* deletes —
+    /// are rejected, and queries are answered directly against the engine
+    /// at the follower's honestly-reported replication epoch.
     Follower,
 }
 
@@ -78,6 +86,11 @@ pub struct ServiceConfig {
     pub snapshot_every: u64,
     /// Seed for the union-find variants that use randomness.
     pub seed: u64,
+    /// Test knob: hold every background generation rebuild open for at
+    /// least this long, making the dirty window (sealed-generation
+    /// queries, `G <gen>` staleness reporting) deterministically
+    /// observable. Zero (the default) in production.
+    pub rebuild_hold: Duration,
     /// Durability: `Some` turns on the write-ahead log (and durable
     /// snapshots) in the given directory, including crash recovery from
     /// whatever that directory already holds at startup.
@@ -97,6 +110,7 @@ impl Default for ServiceConfig {
             batch_max_wait: Duration::from_micros(100),
             snapshot_every: 0,
             seed: 0x5eed,
+            rebuild_hold: Duration::ZERO,
             durability: None,
             role: Role::Primary,
         }
@@ -123,13 +137,19 @@ pub enum ServiceError {
     /// A durability-only operation (`FLUSH`, `SNAPSHOT`, `WALSTATS`) was
     /// requested but the service runs without a WAL.
     DurabilityDisabled,
-    /// An insert was submitted to a read-replica follower.
+    /// An insert or delete was submitted to a read-replica follower.
     ReadOnlyFollower,
     /// A `WAIT` did not reach its target epoch within the timeout.
     WaitTimeout {
         /// The epoch waited for.
         target: u64,
         /// The epoch the service had reached when the wait gave up.
+        at: u64,
+    },
+    /// A `QUIESCE` did not see the generation engine come clean within
+    /// the timeout (a rebuild was still in flight).
+    QuiesceTimeout {
+        /// The generation still serving when the wait gave up.
         at: u64,
     },
 }
@@ -147,10 +167,13 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "durability is not enabled (start the service with a wal dir)")
             }
             ServiceError::ReadOnlyFollower => {
-                write!(f, "read-only follower: route inserts to the primary")
+                write!(f, "read-only follower: route updates to the primary")
             }
             ServiceError::WaitTimeout { target, at } => {
                 write!(f, "wait for epoch {target} timed out at epoch {at}")
+            }
+            ServiceError::QuiesceTimeout { at } => {
+                write!(f, "quiesce timed out at generation {at}")
             }
         }
     }
@@ -189,6 +212,8 @@ pub struct ServiceStats {
     pub ops: u64,
     /// Insert operations processed so far.
     pub inserts: u64,
+    /// Delete operations processed so far.
+    pub deletes: u64,
     /// Query operations processed so far.
     pub queries: u64,
     /// Intra-shard insertions.
@@ -211,11 +236,12 @@ impl std::fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "epoch={} ops={} inserts={} queries={} intra={} cross={} forwarded={} \
+            "epoch={} ops={} inserts={} deletes={} queries={} intra={} cross={} forwarded={} \
              components={} latency[{}]",
             self.epoch,
             self.ops,
             self.inserts,
+            self.deletes,
             self.queries,
             self.intra_inserts,
             self.cross_inserts,
@@ -230,6 +256,7 @@ impl std::fmt::Display for ServiceStats {
 struct Pending {
     ops: Vec<Update>,
     num_queries: usize,
+    num_deletes: usize,
     enqueued: Instant,
     reply: Arc<ReplySlot>,
     /// Ask the batcher to write a durable snapshot after the batch this
@@ -272,12 +299,13 @@ struct SubmitQueue {
 }
 
 struct Inner {
-    engine: Box<dyn Engine>,
+    engine: GenerationEngine,
     cfg: ServiceConfig,
     q: Mutex<SubmitQueue>,
     work_cv: Condvar,
     epoch: AtomicU64,
     inserts: AtomicU64,
+    deletes: AtomicU64,
     queries: AtomicU64,
     latency: LatencyHist,
     snapshot: Mutex<Arc<LabelSnapshot>>,
@@ -339,19 +367,31 @@ impl Inner {
         }
     }
 
-    /// Writes a durable snapshot of the current labeling, keyed by
-    /// `epoch`. Called only from the batcher between batches, so the
-    /// engine is quiescent and the labels are exact for that epoch. On
+    /// Writes a durable snapshot — the labeling *and* the live edge set,
+    /// a consistent pair — keyed by `epoch`. Called only from the batcher
+    /// between batches, so no new operations race it; a generation
+    /// rebuild may still be in flight, though, and a dirty engine has no
+    /// consistent pair to offer (the tracker runs ahead of the sealed
+    /// labels). `wait` bounds how long to quiesce first: cadence
+    /// snapshots pass zero and silently defer to a later epoch, the
+    /// explicit `SNAPSHOT` verb waits and then reports the deferral. On
     /// success the WAL rolls its active segment and prunes everything the
     /// snapshot covers.
-    fn write_durable_snapshot(&self, epoch: u64) -> Result<(), ServiceError> {
+    /// Returns `Ok(false)` when the snapshot was *deferred* because the
+    /// engine stayed dirty past `wait` — not a durability failure.
+    fn write_durable_snapshot(&self, epoch: u64, wait: Duration) -> Result<bool, ServiceError> {
         let dcfg = self
             .cfg
             .durability
             .as_ref()
             .expect("durable snapshot requested without durability config");
-        let labels = self.engine.labels_readonly();
-        snapshot::write_snapshot(&dcfg.dir, epoch, &labels).map_err(|e| {
+        if !wait.is_zero() {
+            let _ = self.engine.quiesce(wait);
+        }
+        let Some((labels, edges)) = self.engine.snapshot_parts() else {
+            return Ok(false);
+        };
+        snapshot::write_snapshot(&dcfg.dir, epoch, &labels, &edges).map_err(|e| {
             ServiceError::Durability(format!("snapshot write in {}: {e}", dcfg.dir.display()))
         })?;
         self.durable_snapshot_epoch.store(epoch, Ordering::Release);
@@ -361,7 +401,7 @@ impl Inner {
             w.roll()?;
             w.prune_covered_by(epoch);
         }
-        Ok(())
+        Ok(true)
     }
 }
 
@@ -420,21 +460,16 @@ fn run_batcher(inner: &Arc<Inner>) {
             batch.extend_from_slice(&p.ops);
         }
 
-        // Write-ahead: log the batch's insertions under the epoch it is
-        // about to commit as, *before* touching the engine. If the log
-        // cannot take the record, the batch is rejected wholesale (the
-        // engine is not mutated), so the in-memory state never runs ahead
-        // of what a restart could reconstruct.
+        // Write-ahead: log the batch's mutations — inserts *and
+        // deletions*, in submission order — under the epoch it is about
+        // to commit as, *before* touching the engine. If the log cannot
+        // take the record, the batch is rejected wholesale (the engine is
+        // not mutated), so the in-memory state never runs ahead of what a
+        // restart could reconstruct. Insert-only batches keep the
+        // original `'I'` record kind on disk and on the wire.
         let next_epoch = inner.epoch.load(Ordering::Relaxed) + 1;
         if let Some(w) = &inner.wal {
-            let edges: Vec<(u32, u32)> = batch
-                .iter()
-                .filter_map(|op| match *op {
-                    Update::Insert(u, v) => Some((u, v)),
-                    Update::Query(..) => None,
-                })
-                .collect();
-            if let Err(e) = w.lock().append(next_epoch, &edges) {
+            if let Err(e) = w.lock().append_ops(next_epoch, &batch) {
                 let err = ServiceError::from(e);
                 inner.note_wal_error(&err.to_string());
                 for p in pendings {
@@ -448,10 +483,11 @@ fn run_batcher(inner: &Arc<Inner>) {
         // Account everything *before* fulfilling any reply, so a client
         // that returns from `submit` observes stats covering its batch.
         let done_at = Instant::now();
-        let (mut ins, mut qrs) = (0u64, 0u64);
+        let (mut ins, mut dels, mut qrs) = (0u64, 0u64, 0u64);
         for p in &pendings {
             qrs += p.num_queries as u64;
-            ins += (p.ops.len() - p.num_queries) as u64;
+            dels += p.num_deletes as u64;
+            ins += (p.ops.len() - p.num_queries - p.num_deletes) as u64;
             let elapsed = done_at.saturating_duration_since(p.enqueued);
             inner.latency.record_n(
                 u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
@@ -459,6 +495,7 @@ fn run_batcher(inner: &Arc<Inner>) {
             );
         }
         inner.inserts.fetch_add(ins, Ordering::Relaxed);
+        inner.deletes.fetch_add(dels, Ordering::Relaxed);
         inner.queries.fetch_add(qrs, Ordering::Relaxed);
         let epoch = inner.epoch.fetch_add(1, Ordering::Release) + 1;
         debug_assert_eq!(epoch, next_epoch);
@@ -482,9 +519,22 @@ fn run_batcher(inner: &Arc<Inner>) {
             && (snapshot_requested
                 || (durable_cadence > 0 && epoch.is_multiple_of(durable_cadence)))
         {
-            if let Err(e) = inner.write_durable_snapshot(epoch) {
-                inner.note_wal_error(&e.to_string());
-                snapshot_err = Some(e);
+            // Explicit requests wait out an in-flight rebuild (someone is
+            // blocked on the answer); cadence snapshots defer silently to
+            // a later epoch.
+            let wait = if snapshot_requested { SNAPSHOT_QUIESCE_TIMEOUT } else { Duration::ZERO };
+            match inner.write_durable_snapshot(epoch, wait) {
+                Ok(true) => {}
+                Ok(false) if snapshot_requested => {
+                    snapshot_err = Some(ServiceError::Durability(
+                        "durable snapshot deferred: a generation rebuild is in flight".into(),
+                    ));
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    inner.note_wal_error(&e.to_string());
+                    snapshot_err = Some(e);
+                }
             }
         }
 
@@ -508,14 +558,9 @@ pub struct Service {
     batcher: Option<std::thread::JoinHandle<()>>,
 }
 
-/// Applies recovered edges to the engine in bounded batches, validating
-/// the vertex range first (`what` names the source for the error).
-fn replay_edges(
-    engine: &dyn Engine,
-    edges: &[(u32, u32)],
-    n: usize,
-    what: &str,
-) -> Result<(), ServiceError> {
+/// Validates that every endpoint of `edges` lies in `0..n` (`what` names
+/// the source for the error).
+fn validate_edges(edges: &[(u32, u32)], n: usize, what: &str) -> Result<(), ServiceError> {
     for &(u, v) in edges {
         if u as usize >= n || v as usize >= n {
             return Err(ServiceError::Config(format!(
@@ -525,15 +570,27 @@ fn replay_edges(
             )));
         }
     }
-    for chunk in edges.chunks(REPLAY_CHUNK) {
-        let batch: Vec<Update> = chunk.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
-        engine.process_batch(&batch);
+    Ok(())
+}
+
+/// [`validate_edges`] over a mixed operation list.
+fn validate_ops(ops: &[Update], n: usize, what: &str) -> Result<(), ServiceError> {
+    for op in ops {
+        let (Update::Insert(u, v) | Update::Delete(u, v) | Update::Query(u, v)) = *op;
+        if u as usize >= n || v as usize >= n {
+            return Err(ServiceError::Config(format!(
+                "{what} references vertex {} but the service was started with n = {n}; \
+                 restart with the original vertex count",
+                u.max(v)
+            )));
+        }
     }
     Ok(())
 }
 
 impl Service {
-    /// Starts the service: builds the sharded engine, and — when
+    /// Starts the service: builds the generation engine (a sharded
+    /// engine per generation plus the edge-liveness tracker), and — when
     /// durability is configured — rebuilds it from the newest durable
     /// snapshot plus the WAL suffix past it, resuming at the recovered
     /// epoch before spawning the batch former.
@@ -548,7 +605,15 @@ impl Service {
                     .into(),
             ));
         }
-        let engine = build_engine(cfg.n, cfg.shards, &cfg.spec, cfg.mode, cfg.seed)?;
+        let engine = GenerationEngine::new(
+            cfg.n,
+            cfg.shards,
+            &cfg.spec,
+            cfg.mode,
+            cfg.seed,
+            cfg.rebuild_hold,
+        )
+        .map_err(ServiceError::Config)?;
 
         let mut recovered_epoch = 0u64;
         let mut snap_epoch = 0u64;
@@ -556,7 +621,11 @@ impl Service {
         if let Some(dcfg) = &cfg.durability {
             // Scan (and re-open) the log first — this also creates the
             // directory — then seed from the newest snapshot and replay
-            // only the records past its epoch.
+            // only the records past its epoch. Recovery feeds the
+            // liveness tracker only; `finish_recovery` materializes
+            // generation 0 with a single rebuild at the end, so a
+            // deletion-heavy history does not pay one rebuild per
+            // retraction.
             let (w, report) = Wal::open(dcfg)?;
             if let Some(snap) = snapshot::load_latest(&dcfg.dir)? {
                 if snap.labels.len() != cfg.n {
@@ -568,34 +637,38 @@ impl Service {
                         cfg.n
                     )));
                 }
-                let spanning: Vec<(u32, u32)> = snap
-                    .labels
-                    .iter()
-                    .enumerate()
-                    .filter(|&(v, &l)| l as usize != v)
-                    .map(|(v, &l)| (v as u32, l))
-                    .collect();
-                replay_edges(
-                    engine.as_ref(),
-                    &spanning,
-                    cfg.n,
-                    &format!("snapshot at epoch {}", snap.epoch),
-                )?;
+                // New-format snapshots carry the live edge set (exact
+                // liveness for later retractions); legacy label-only
+                // files degrade to spanning edges, sound over the
+                // insert-only histories that wrote them.
+                let edges: Vec<(u32, u32)> = match snap.edges {
+                    Some(edges) => edges,
+                    None => snap
+                        .labels
+                        .iter()
+                        .enumerate()
+                        .filter(|&(v, &l)| l as usize != v)
+                        .map(|(v, &l)| (v as u32, l))
+                        .collect(),
+                };
+                validate_edges(&edges, cfg.n, &format!("snapshot at epoch {}", snap.epoch))?;
+                for chunk in edges.chunks(REPLAY_CHUNK) {
+                    engine.recover_edges(chunk);
+                }
                 snap_epoch = snap.epoch;
                 recovered_epoch = snap.epoch;
             }
-            for (epoch, edges) in &report.batches {
+            for (epoch, ops) in &report.batches {
                 if *epoch <= snap_epoch {
                     continue; // covered by the snapshot
                 }
-                replay_edges(
-                    engine.as_ref(),
-                    edges,
-                    cfg.n,
-                    &format!("wal record at epoch {epoch}"),
-                )?;
+                validate_ops(ops, cfg.n, &format!("wal record at epoch {epoch}"))?;
+                for chunk in ops.chunks(REPLAY_CHUNK) {
+                    engine.recover_ops(chunk);
+                }
                 recovered_epoch = recovered_epoch.max(*epoch);
             }
+            engine.finish_recovery();
             wal = Some(Mutex::new(w));
         }
 
@@ -618,6 +691,7 @@ impl Service {
             work_cv: Condvar::new(),
             epoch: AtomicU64::new(recovered_epoch),
             inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             latency: LatencyHist::new(),
             snapshot: Mutex::new(initial),
@@ -715,14 +789,16 @@ impl Client {
     pub fn submit(&self, ops: Vec<Update>) -> Result<Vec<bool>, ServiceError> {
         let n = self.num_vertices();
         let mut num_queries = 0usize;
+        let mut num_deletes = 0usize;
         for op in &ops {
-            let (Update::Insert(u, v) | Update::Query(u, v)) = *op;
+            let (Update::Insert(u, v) | Update::Delete(u, v) | Update::Query(u, v)) = *op;
             for x in [u, v] {
                 if x as usize >= n {
                     return Err(ServiceError::VertexOutOfRange { v: x, n });
                 }
             }
             num_queries += usize::from(matches!(op, Update::Query(..)));
+            num_deletes += usize::from(matches!(op, Update::Delete(..)));
         }
         if ops.is_empty() {
             return Ok(Vec::new());
@@ -730,15 +806,15 @@ impl Client {
         if self.role() == Role::Follower {
             return self.answer_on_follower(&ops, num_queries);
         }
-        self.enqueue(ops, num_queries, false)
+        self.enqueue(ops, num_queries, num_deletes, false)
     }
 
     /// The follower read path: no batch former, no epoch bump — queries
     /// are answered straight off the engine at whatever replication
     /// epoch the follower has reached (readers see at *least* the state
     /// of the reported [`Client::epoch`]; `WAIT` turns that bound into
-    /// read-your-writes). Inserts are rejected: a follower's only write
-    /// path is the replication stream.
+    /// read-your-writes). Inserts and deletes are rejected: a follower's
+    /// only write path is the replication stream.
     fn answer_on_follower(
         &self,
         ops: &[Update],
@@ -761,7 +837,7 @@ impl Client {
         let answers = ops
             .iter()
             .map(|op| {
-                let (Update::Insert(u, v) | Update::Query(u, v)) = *op;
+                let (Update::Insert(u, v) | Update::Delete(u, v) | Update::Query(u, v)) = *op;
                 self.inner.engine.connected(u, v)
             })
             .collect();
@@ -773,19 +849,36 @@ impl Client {
         Ok(answers)
     }
 
-    /// Applies one replicated WAL batch — `(epoch, inserts)` exactly as
-    /// the primary logged it — to a follower's engine, then advances the
-    /// follower's epoch to at least `epoch` (idempotent: re-delivered
-    /// records re-apply harmlessly, connectivity being monotone, and the
-    /// epoch never moves backwards). Rejected on a primary.
+    /// Applies one replicated insert-only WAL batch — `(epoch, inserts)`
+    /// exactly as the primary logged it — to a follower's engine, then
+    /// advances the follower's epoch to at least `epoch` (idempotent:
+    /// re-delivered inserts re-apply harmlessly and the epoch never moves
+    /// backwards). The primary also ships its durable snapshot's *edge
+    /// set* through this path, giving the follower exact liveness for the
+    /// deletions that may follow. Rejected on a primary.
     pub fn apply_replicated(&self, epoch: u64, edges: &[(u32, u32)]) -> Result<(), ServiceError> {
-        self.apply_from_stream(epoch, edges, "replicated batch")
+        let ops: Vec<Update> = edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+        self.apply_from_stream(epoch, &ops, "replicated batch")
     }
 
-    /// Applies a replicated label snapshot (the bootstrap record): the
-    /// labeling is turned into spanning edges and merged in. Safe at any
-    /// point in the stream — a snapshot only states connectivity facts
-    /// the primary already committed.
+    /// Applies one replicated deletion-bearing WAL batch — `(epoch, ops)`
+    /// exactly as the primary logged it, inserts and deletions in
+    /// submission order. Redelivering a *contiguous suffix* of the
+    /// history through the head (what a reconnect replays) is idempotent:
+    /// each edge's liveness is decided by the last operation that touches
+    /// it, and the replay repeats those last operations in order.
+    /// Rejected on a primary.
+    pub fn apply_replicated_ops(&self, epoch: u64, ops: &[Update]) -> Result<(), ServiceError> {
+        self.apply_from_stream(epoch, ops, "replicated delta")
+    }
+
+    /// Applies a replicated label snapshot (the legacy bootstrap record,
+    /// shipped only for insert-only histories): the labeling is turned
+    /// into spanning edges and merged in. Safe at any point in such a
+    /// stream — the snapshot only states connectivity facts the primary
+    /// already committed. Deletion-bearing primaries bootstrap via
+    /// [`Client::apply_replicated`] with the real edge set instead, so
+    /// the follower's liveness tracker never learns phantom edges.
     pub fn apply_replicated_labels(&self, epoch: u64, labels: &[u32]) -> Result<(), ServiceError> {
         let n = self.num_vertices();
         if labels.len() != n {
@@ -795,11 +888,11 @@ impl Client {
                 labels.len()
             )));
         }
-        let spanning: Vec<(u32, u32)> = labels
+        let spanning: Vec<Update> = labels
             .iter()
             .enumerate()
             .filter(|&(v, &l)| l as usize != v)
-            .map(|(v, &l)| (v as u32, l))
+            .map(|(v, &l)| Update::Insert(v as u32, l))
             .collect();
         self.apply_from_stream(epoch, &spanning, "replicated snapshot")
     }
@@ -807,7 +900,7 @@ impl Client {
     fn apply_from_stream(
         &self,
         epoch: u64,
-        edges: &[(u32, u32)],
+        ops: &[Update],
         what: &str,
     ) -> Result<(), ServiceError> {
         if self.role() != Role::Follower {
@@ -819,16 +912,23 @@ impl Client {
             return Err(ServiceError::Closed);
         }
         let n = self.num_vertices();
+        validate_ops(ops, n, &format!("{what} at epoch {epoch}"))?;
+        let (mut ins, mut dels) = (0u64, 0u64);
+        for op in ops {
+            match op {
+                Update::Insert(..) => ins += 1,
+                Update::Delete(..) => dels += 1,
+                Update::Query(..) => {}
+            }
+        }
         {
             let _apply = self.inner.apply_mx.lock();
-            replay_edges(
-                self.inner.engine.as_ref(),
-                edges,
-                n,
-                &format!("{what} at epoch {epoch}"),
-            )?;
+            for chunk in ops.chunks(REPLAY_CHUNK) {
+                self.inner.engine.process_batch(chunk);
+            }
         }
-        self.inner.inserts.fetch_add(edges.len() as u64, Ordering::Relaxed);
+        self.inner.inserts.fetch_add(ins, Ordering::Relaxed);
+        self.inner.deletes.fetch_add(dels, Ordering::Relaxed);
         self.inner.bump_epoch_to(epoch);
         if self.inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(self.inner.cfg.snapshot_every)
         {
@@ -877,6 +977,7 @@ impl Client {
         &self,
         ops: Vec<Update>,
         num_queries: usize,
+        num_deletes: usize,
         durable_snapshot: bool,
     ) -> Result<Vec<bool>, ServiceError> {
         let reply = ReplySlot::new();
@@ -888,6 +989,7 @@ impl Client {
             q.queued_ops += ops.len();
             q.queue.push_back(Pending {
                 num_queries,
+                num_deletes,
                 ops,
                 enqueued: Instant::now(),
                 reply: Arc::clone(&reply),
@@ -901,6 +1003,16 @@ impl Client {
     /// Inserts one edge (batched like any submission).
     pub fn insert(&self, u: u32, v: u32) -> Result<(), ServiceError> {
         self.submit(vec![Update::Insert(u, v)]).map(|_| ())
+    }
+
+    /// Deletes one edge (batched like any submission). Deleting an edge
+    /// that is absent — never inserted, or already deleted — is a no-op,
+    /// as is deleting a live non-forest edge (a cycle edge cannot change
+    /// connectivity). Deleting a spanning-forest edge seals the current
+    /// generation and schedules a background rebuild; queries serve the
+    /// sealed labels until the next generation commits (`DESIGN.md` §9).
+    pub fn delete(&self, u: u32, v: u32) -> Result<(), ServiceError> {
+        self.submit(vec![Update::Delete(u, v)]).map(|_| ())
     }
 
     /// Asks whether `u` and `v` are connected (batched like any
@@ -927,7 +1039,8 @@ impl Client {
     }
 
     /// The current component label of `v` without snapshotting the whole
-    /// labeling. Exact between batches.
+    /// labeling. Exact between batches on a clean generation; while a
+    /// rebuild is in flight it reads the sealed generation's labels.
     pub fn current_label(&self, v: u32) -> Result<u32, ServiceError> {
         let n = self.num_vertices();
         if v as usize >= n {
@@ -990,8 +1103,25 @@ impl Client {
         if !self.wal_enabled() {
             return Err(ServiceError::DurabilityDisabled);
         }
-        self.enqueue(Vec::new(), 0, true)?;
+        self.enqueue(Vec::new(), 0, 0, true)?;
         Ok(self.inner.durable_snapshot_epoch.load(Ordering::Acquire))
+    }
+
+    /// The generation currently serving queries, its dirty flag, and the
+    /// engine's delete-classification counters (the `GEN` protocol verb).
+    pub fn generation_info(&self) -> GenInfo {
+        self.inner.engine.info()
+    }
+
+    /// Blocks until no generation rebuild is in flight (the `QUIESCE`
+    /// protocol verb) and returns the clean generation then serving.
+    /// Once it returns — and until the next forest deletion — queries
+    /// are exact, not sealed-generation stale, which is what the churn
+    /// loadgen's exact validation phases rely on. Times out with
+    /// [`ServiceError::QuiesceTimeout`], reporting the generation still
+    /// serving.
+    pub fn quiesce(&self, timeout: Duration) -> Result<u64, ServiceError> {
+        self.inner.engine.quiesce(timeout).map_err(|at| ServiceError::QuiesceTimeout { at })
     }
 
     /// One-line WAL statistics (the `WALSTATS` protocol verb): policy,
@@ -1011,19 +1141,23 @@ impl Client {
         Ok(format!("{stats} snap_epoch={snap_epoch} last_error={last_error}"))
     }
 
-    /// A point-in-time stats view.
+    /// A point-in-time stats view. The shard counters aggregate across
+    /// generation rebuilds (retired engines' counts are folded in), so
+    /// they never regress.
     pub fn stats(&self) -> ServiceStats {
-        let c = self.inner.engine.counters();
+        let (intra_inserts, cross_inserts, forwarded) = self.inner.engine.shard_counters();
         let inserts = self.inner.inserts.load(Ordering::Relaxed);
+        let deletes = self.inner.deletes.load(Ordering::Relaxed);
         let queries = self.inner.queries.load(Ordering::Relaxed);
         ServiceStats {
             epoch: self.epoch(),
-            ops: inserts + queries,
+            ops: inserts + deletes + queries,
             inserts,
+            deletes,
             queries,
-            intra_inserts: c.intra_inserts.load(Ordering::Relaxed),
-            cross_inserts: c.cross_inserts.load(Ordering::Relaxed),
-            forwarded: c.forwarded.load(Ordering::Relaxed),
+            intra_inserts,
+            cross_inserts,
+            forwarded,
             num_components: self.inner.engine.num_components(),
             latency_ns: self.inner.latency.percentiles(),
             latency_summary: self.inner.latency.to_string(),

@@ -4,8 +4,15 @@
 //! (and sealed segments below it can be pruned).
 //!
 //! One file per snapshot, `snap-<epoch>.ccsnap`: the magic `CCSNAP01`
-//! followed by a single [`cc_graph::io::binary`] record whose payload is
-//! [`cc_graph::io::binary::encode_labels`] — `(epoch, labels)`. Files are
+//! followed by a [`cc_graph::io::binary`] record whose payload is
+//! [`cc_graph::io::binary::encode_labels`] — `(epoch, labels)` — and,
+//! since the generation engine made deletions first-class, a second
+//! record holding the **live edge set** at the same epoch
+//! ([`cc_graph::io::binary::encode_edge_batch`]). Labels alone cannot
+//! classify a later retraction (they forget which edges witnessed the
+//! partition), so a deletion-capable recovery replays the edge set;
+//! legacy single-record files still load (`edges: None`) and remain
+//! sound for insert-only histories. Files are
 //! written to a `.tmp` sibling, fsynced, then renamed, so a crash
 //! mid-write never leaves a plausible-but-partial snapshot under the real
 //! name; stray `.tmp` files are ignored (and cleaned) by the loader.
@@ -38,6 +45,9 @@ pub struct LoadedSnapshot {
     pub epoch: u64,
     /// Component label per vertex at that epoch.
     pub labels: Vec<u32>,
+    /// The live edge set at that epoch; `None` for legacy label-only
+    /// snapshot files (sound only over insert-only histories).
+    pub edges: Option<Vec<(u32, u32)>>,
     /// Newer snapshot files that failed to decode and were skipped (a
     /// non-zero count means recovery fell back and will replay more WAL).
     pub skipped_corrupt: usize,
@@ -48,13 +58,19 @@ pub struct LoadedSnapshot {
 /// caller prunes the previous snapshot and covered WAL segments next,
 /// and a machine crash must never journal those unlinks without the
 /// rename that justified them.
-pub fn write_snapshot(dir: &Path, epoch: u64, labels: &[u32]) -> std::io::Result<PathBuf> {
+pub fn write_snapshot(
+    dir: &Path,
+    epoch: u64,
+    labels: &[u32],
+    edges: &[(u32, u32)],
+) -> std::io::Result<PathBuf> {
     let final_path = snapshot_path(dir, epoch);
     let tmp_path = final_path.with_extension("ccsnap.tmp");
     {
         let mut w = BufWriter::new(File::create(&tmp_path)?);
         binary::write_magic(&mut w, SNAPSHOT_MAGIC)?;
         binary::append_record(&mut w, &binary::encode_labels(epoch, labels))?;
+        binary::append_record(&mut w, &binary::encode_edge_batch(epoch, edges))?;
         w.flush()?;
         w.get_ref().sync_data()?;
     }
@@ -63,8 +79,11 @@ pub fn write_snapshot(dir: &Path, epoch: u64, labels: &[u32]) -> std::io::Result
     Ok(final_path)
 }
 
-/// Reads and fully validates one snapshot file.
-pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u32>), WalError> {
+/// Reads and fully validates one snapshot file: the labels record plus,
+/// in the deletion-capable format, the live edge set frozen at the same
+/// epoch (`None` when reading a legacy label-only file).
+#[allow(clippy::type_complexity)]
+pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u32>, Option<Vec<(u32, u32)>>), WalError> {
     let codec = |source: binary::CodecError| WalError::Codec { path: path.to_path_buf(), source };
     let file =
         File::open(path).map_err(|e| WalError::Io { path: path.to_path_buf(), source: e })?;
@@ -77,7 +96,23 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u32>), WalError> {
     })?;
     let (epoch, labels) =
         binary::decode_labels(&payload, binary::MAGIC_LEN as u64).map_err(codec)?;
-    Ok((epoch, labels))
+    let edges = match records.next().map_err(codec)? {
+        None => None,
+        Some(payload) => {
+            let at = records.offset();
+            let (edge_epoch, edges) = binary::decode_edge_batch(&payload, at).map_err(codec)?;
+            if edge_epoch != epoch {
+                return Err(WalError::Corrupt {
+                    path: path.to_path_buf(),
+                    detail: format!(
+                        "snapshot labels frozen at epoch {epoch} but edge set at {edge_epoch}"
+                    ),
+                });
+            }
+            Some(edges)
+        }
+    };
+    Ok((epoch, labels, edges))
 }
 
 /// Loads the newest decodable snapshot in `dir` (`Ok(None)` if there is
@@ -113,10 +148,10 @@ pub fn load_latest(dir: &Path) -> Result<Option<LoadedSnapshot>, WalError> {
     for &epoch in epochs.iter().rev() {
         let path = snapshot_path(dir, epoch);
         match read_snapshot(&path) {
-            Ok((stored_epoch, labels)) if stored_epoch == epoch => {
-                return Ok(Some(LoadedSnapshot { epoch, labels, skipped_corrupt }));
+            Ok((stored_epoch, labels, edges)) if stored_epoch == epoch => {
+                return Ok(Some(LoadedSnapshot { epoch, labels, edges, skipped_corrupt }));
             }
-            Ok((stored_epoch, _)) => {
+            Ok((stored_epoch, ..)) => {
                 skipped_corrupt += 1;
                 last_err = Some(WalError::Corrupt {
                     path,
@@ -170,12 +205,47 @@ mod tests {
         let dir = tmp_dir("roundtrip");
         let old: Vec<u32> = (0..10).collect();
         let new: Vec<u32> = vec![0; 10];
-        write_snapshot(&dir, 3, &old).expect("write");
-        write_snapshot(&dir, 8, &new).expect("write");
+        write_snapshot(&dir, 3, &old, &[]).expect("write");
+        write_snapshot(&dir, 8, &new, &[(0, 1), (1, 2)]).expect("write");
         let snap = load_latest(&dir).expect("load").expect("some");
         assert_eq!(snap.epoch, 8);
         assert_eq!(snap.labels, new);
+        assert_eq!(snap.edges, Some(vec![(0, 1), (1, 2)]));
         assert_eq!(snap.skipped_corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_label_only_snapshots_still_load() {
+        use std::io::Write as _;
+        let dir = tmp_dir("legacy");
+        // Hand-write the pre-deletion single-record format.
+        let path = snapshot_path(&dir, 4);
+        let mut w = std::io::BufWriter::new(File::create(&path).expect("create"));
+        binary::write_magic(&mut w, SNAPSHOT_MAGIC).expect("magic");
+        binary::append_record(&mut w, &binary::encode_labels(4, &[0, 0, 2])).expect("record");
+        w.flush().expect("flush");
+        drop(w);
+        let snap = load_latest(&dir).expect("load").expect("some");
+        assert_eq!(snap.epoch, 4);
+        assert_eq!(snap.labels, vec![0, 0, 2]);
+        assert_eq!(snap.edges, None, "legacy files report no edge set");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_edge_record_epoch_is_corrupt() {
+        use std::io::Write as _;
+        let dir = tmp_dir("mismatch");
+        let path = snapshot_path(&dir, 6);
+        let mut w = std::io::BufWriter::new(File::create(&path).expect("create"));
+        binary::write_magic(&mut w, SNAPSHOT_MAGIC).expect("magic");
+        binary::append_record(&mut w, &binary::encode_labels(6, &[0, 0])).expect("labels");
+        binary::append_record(&mut w, &binary::encode_edge_batch(5, &[(0, 1)])).expect("edges");
+        w.flush().expect("flush");
+        drop(w);
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(err.to_string().contains("edge set at 5"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -183,8 +253,8 @@ mod tests {
     fn corrupt_newest_falls_back_to_older() {
         let dir = tmp_dir("fallback");
         let good: Vec<u32> = (0..6).collect();
-        write_snapshot(&dir, 2, &good).expect("write");
-        write_snapshot(&dir, 5, &[9; 6]).expect("write");
+        write_snapshot(&dir, 2, &good, &[]).expect("write");
+        write_snapshot(&dir, 5, &[9; 6], &[]).expect("write");
         // Flip a byte in the newest snapshot's payload.
         let newest = snapshot_path(&dir, 5);
         let mut bytes = std::fs::read(&newest).expect("read");
@@ -204,7 +274,7 @@ mod tests {
     #[test]
     fn all_snapshots_corrupt_is_a_hard_error_not_fresh_start() {
         let dir = tmp_dir("allcorrupt");
-        write_snapshot(&dir, 7, &[0, 0, 2]).expect("write");
+        write_snapshot(&dir, 7, &[0, 0, 2], &[]).expect("write");
         let path = snapshot_path(&dir, 7);
         let mut bytes = std::fs::read(&path).expect("read");
         let last = bytes.len() - 1;
@@ -243,7 +313,7 @@ mod tests {
     fn prune_drops_only_older() {
         let dir = tmp_dir("prune");
         for e in [1u64, 4, 9] {
-            write_snapshot(&dir, e, &[0, 1]).expect("write");
+            write_snapshot(&dir, e, &[0, 1], &[]).expect("write");
         }
         prune_older_than(&dir, 9);
         assert!(!snapshot_path(&dir, 1).exists());

@@ -5,11 +5,21 @@
 //!
 //! A WAL directory holds numbered segments `wal-<seq>.log`. Each segment
 //! starts with the magic `CCWALS01` and is a sequence of
-//! [`cc_graph::io::binary`] records whose payloads are
-//! [`cc_graph::io::binary::encode_edge_batch`] — `(epoch, inserts)` for
-//! one applied service batch. Epochs are strictly increasing across
-//! records; a batch with no insertions still gets a (12-byte) record so
-//! the recovered epoch matches the served epoch exactly.
+//! [`cc_graph::io::binary`] records. A record payload's first byte is its
+//! **kind**:
+//!
+//! - [`REC_INSERTS`] (`'I'`) — an insert-only batch; the body is
+//!   [`cc_graph::io::binary::encode_edge_batch`] `(epoch, inserts)`.
+//! - [`REC_OPS`] (`'D'`) — a deletion-bearing batch; the body is
+//!   [`encode_update_batch`] `(epoch, ops)`, preserving the in-batch
+//!   order of inserts and deletes (queries are never durable).
+//!
+//! An unknown kind byte on a CRC-valid record is *corruption*, never a
+//! skippable tail: silently dropping a record whose retractions we do not
+//! understand would recover a wrong partition. Epochs are strictly
+//! increasing across records; a batch with no durable ops still gets a
+//! (13-byte) record so the recovered epoch matches the served epoch
+//! exactly.
 //!
 //! ## Commit protocol
 //!
@@ -42,6 +52,7 @@
 //! Appends always go to a fresh segment, never after a torn tail.
 
 use cc_graph::io::binary::{self, CodecError};
+use connectit::Update;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -49,6 +60,107 @@ use std::time::{Duration, Instant};
 
 /// Magic prefix of every WAL segment.
 pub const WAL_MAGIC: &[u8; 8] = b"CCWALS01";
+
+/// Record kind byte: insert-only batch (edge-batch body).
+pub const REC_INSERTS: u8 = b'I';
+/// Record kind byte: deletion-bearing batch (update-batch body).
+pub const REC_OPS: u8 = b'D';
+
+/// Op tag inside an [`encode_update_batch`] body: insert.
+const OP_INSERT: u8 = b'I';
+/// Op tag inside an [`encode_update_batch`] body: delete.
+const OP_DELETE: u8 = b'D';
+
+/// Encodes a mixed insert/delete batch body: `epoch (u64 LE)`,
+/// `m (u32 LE)`, then `m` ops as `tag (u8: 'I'|'D'), u (u32 LE),
+/// v (u32 LE)` in batch order. Queries are skipped — they are not
+/// durable. This is the body of [`REC_OPS`] WAL records and of the
+/// replication stream's delta records.
+pub fn encode_update_batch(epoch: u64, ops: &[Update]) -> Vec<u8> {
+    let m = ops.iter().filter(|op| !matches!(op, Update::Query(..))).count();
+    let mut out = Vec::with_capacity(12 + 9 * m);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    for op in ops {
+        let (tag, u, v) = match *op {
+            Update::Insert(u, v) => (OP_INSERT, u, v),
+            Update::Delete(u, v) => (OP_DELETE, u, v),
+            Update::Query(..) => continue,
+        };
+        out.push(tag);
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an [`encode_update_batch`] body; `offset` is the enclosing
+/// record's byte offset, used only for error context.
+pub fn decode_update_batch(payload: &[u8], offset: u64) -> Result<(u64, Vec<Update>), CodecError> {
+    let bad = |reason: String| CodecError::BadPayload { offset, reason };
+    if payload.len() < 12 {
+        return Err(bad(format!("update batch header needs 12 bytes, have {}", payload.len())));
+    }
+    let epoch = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let m = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
+    if payload.len() != 12 + 9 * m {
+        return Err(bad(format!(
+            "update batch of {m} ops needs {} bytes, have {}",
+            12 + 9 * m,
+            payload.len()
+        )));
+    }
+    let mut ops = Vec::with_capacity(m);
+    for i in 0..m {
+        let at = 12 + 9 * i;
+        let u = u32::from_le_bytes(payload[at + 1..at + 5].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(payload[at + 5..at + 9].try_into().expect("4 bytes"));
+        ops.push(match payload[at] {
+            OP_INSERT => Update::Insert(u, v),
+            OP_DELETE => Update::Delete(u, v),
+            other => return Err(bad(format!("unknown op tag {other:?} at op {i}"))),
+        });
+    }
+    Ok((epoch, ops))
+}
+
+/// Builds one WAL record payload for a durable batch: compact
+/// [`REC_INSERTS`] when no deletion is present, [`REC_OPS`] otherwise.
+fn encode_wal_payload(epoch: u64, ops: &[Update]) -> Vec<u8> {
+    if ops.iter().any(|op| matches!(op, Update::Delete(..))) {
+        let mut out = Vec::with_capacity(1 + 12 + 9 * ops.len());
+        out.push(REC_OPS);
+        out.extend_from_slice(&encode_update_batch(epoch, ops));
+        out
+    } else {
+        let edges: Vec<(u32, u32)> = ops
+            .iter()
+            .filter_map(|op| match *op {
+                Update::Insert(u, v) => Some((u, v)),
+                _ => None,
+            })
+            .collect();
+        let mut out = Vec::with_capacity(1 + 12 + 8 * edges.len());
+        out.push(REC_INSERTS);
+        out.extend_from_slice(&binary::encode_edge_batch(epoch, &edges));
+        out
+    }
+}
+
+/// Decodes one WAL record payload (either kind) into `(epoch, ops)`.
+pub fn decode_wal_payload(payload: &[u8], offset: u64) -> Result<(u64, Vec<Update>), CodecError> {
+    match payload.first() {
+        Some(&REC_INSERTS) => {
+            let (epoch, edges) = binary::decode_edge_batch(&payload[1..], offset)?;
+            Ok((epoch, edges.into_iter().map(|(u, v)| Update::Insert(u, v)).collect()))
+        }
+        Some(&REC_OPS) => decode_update_batch(&payload[1..], offset),
+        other => Err(CodecError::BadPayload {
+            offset,
+            reason: format!("unknown wal record kind {other:?}"),
+        }),
+    }
+}
 
 /// When to `fdatasync` the log (see the module docs for the guarantees).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -183,8 +295,9 @@ pub struct SealedSegment {
 /// What a [`Wal::open`] recovery scan found.
 #[derive(Debug, Default)]
 pub struct RecoveryReport {
-    /// Decoded `(epoch, inserts)` records across all segments, in order.
-    pub batches: Vec<(u64, Vec<(u32, u32)>)>,
+    /// Decoded `(epoch, ops)` records across all segments, in order
+    /// (inserts and deletes; queries are never durable).
+    pub batches: Vec<(u64, Vec<Update>)>,
     /// Segments scanned.
     pub segments_scanned: usize,
     /// Bytes dropped from a torn final-segment tail (0 for a clean log).
@@ -271,7 +384,10 @@ fn scan_segment(path: &Path, is_last: bool, report: &mut RecoveryReport) -> Resu
         match records.next() {
             Ok(None) => break,
             Ok(Some(payload)) => {
-                let (epoch, edges) = binary::decode_edge_batch(&payload, at)
+                // A CRC-valid record that fails here (unknown kind or op
+                // tag, bad body) is corruption even in the final segment:
+                // only `records.next()` failures can be a torn tail.
+                let (epoch, ops) = decode_wal_payload(&payload, at)
                     .map_err(|e| WalError::Codec { path: path.to_path_buf(), source: e })?;
                 if epoch <= last_epoch {
                     return Err(WalError::Corrupt {
@@ -283,7 +399,7 @@ fn scan_segment(path: &Path, is_last: bool, report: &mut RecoveryReport) -> Resu
                     });
                 }
                 last_epoch = epoch;
-                report.batches.push((epoch, edges));
+                report.batches.push((epoch, ops));
             }
             Err(e) => {
                 // Any malformed record ends the scan: a torn tail in the
@@ -441,6 +557,15 @@ impl Wal {
     /// after garbage or a duplicate; an unrecoverable rollback poisons
     /// the log (all later appends fail fast).
     pub fn append(&mut self, epoch: u64, edges: &[(u32, u32)]) -> Result<(), WalError> {
+        let ops: Vec<Update> = edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+        self.append_ops(epoch, &ops)
+    }
+
+    /// [`Self::append`] for mixed insert/delete batches: the record kind
+    /// is chosen per batch (compact [`REC_INSERTS`] when monotone,
+    /// [`REC_OPS`] when a deletion must replay in order). Queries in
+    /// `ops` are skipped — they are not durable.
+    pub fn append_ops(&mut self, epoch: u64, ops: &[Update]) -> Result<(), WalError> {
         if self.poisoned {
             return Err(WalError::Corrupt {
                 path: self.seg_path.clone(),
@@ -449,7 +574,7 @@ impl Wal {
                     .into(),
             });
         }
-        let payload = binary::encode_edge_batch(epoch, edges);
+        let payload = encode_wal_payload(epoch, ops);
         let res = (|| -> std::io::Result<u64> {
             let written = binary::append_record(&mut self.file, &payload)?;
             self.file.flush()?;
@@ -573,8 +698,9 @@ impl Wal {
 /// What one [`WalCursor::next`] step produced.
 #[derive(Debug, PartialEq, Eq)]
 pub enum TailEvent {
-    /// The next decoded record: `(epoch, inserts)`.
-    Record(u64, Vec<(u32, u32)>),
+    /// The next decoded record: `(epoch, ops)` — inserts and deletes in
+    /// batch order.
+    Record(u64, Vec<Update>),
     /// No complete record is available *yet*: the cursor sits at the live
     /// tail (or inside a record the writer has not finished flushing).
     /// Poll again later; the position is unchanged.
@@ -702,11 +828,11 @@ impl WalCursor {
             let mut records = binary::RecordReader::new(reader, self.offset);
             return match records.next() {
                 Ok(Some(payload)) => {
-                    let (epoch, edges) = binary::decode_edge_batch(&payload, self.offset)
+                    let (epoch, ops) = decode_wal_payload(&payload, self.offset)
                         .map_err(|e| WalError::Codec { path, source: e })?;
                     self.offset = records.offset();
                     self.retried_at = None;
-                    Ok(TailEvent::Record(epoch, edges))
+                    Ok(TailEvent::Record(epoch, ops))
                 }
                 // read_up_to saw clean EOF at the record boundary even
                 // though the length probe said there were bytes: the
@@ -759,6 +885,10 @@ mod tests {
         DurabilityConfig { fsync: FsyncPolicy::Off, ..DurabilityConfig::new(dir) }
     }
 
+    fn ins(edges: &[(u32, u32)]) -> Vec<Update> {
+        edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect()
+    }
+
     #[test]
     fn append_and_recover_roundtrip() {
         let dir = tmp_dir("roundtrip");
@@ -774,9 +904,81 @@ mod tests {
             assert_eq!(wal.stats().last_epoch, 3);
         }
         let (wal, rep) = Wal::open(&cfg).expect("reopen");
-        assert_eq!(rep.batches, vec![(1, vec![(0, 1), (2, 3)]), (2, vec![]), (3, vec![(1, 2)])]);
+        assert_eq!(
+            rep.batches,
+            vec![(1, ins(&[(0, 1), (2, 3)])), (2, vec![]), (3, ins(&[(1, 2)]))]
+        );
         assert_eq!(rep.torn_bytes, 0);
         assert_eq!(wal.stats().last_epoch, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deletion_bearing_batches_recover_in_order() {
+        let dir = tmp_dir("ops_roundtrip");
+        let cfg = small_cfg(&dir);
+        let mixed = vec![
+            Update::Insert(0, 1),
+            Update::Delete(4, 5),
+            Update::Query(0, 1), // never durable
+            Update::Insert(1, 2),
+            Update::Delete(0, 1),
+        ];
+        {
+            let (mut wal, _) = Wal::open(&cfg).expect("open");
+            wal.append_ops(1, &ins(&[(4, 5)])).expect("append");
+            wal.append_ops(2, &mixed).expect("append mixed");
+            wal.append_ops(3, &[Update::Query(1, 2)]).expect("append query-only");
+            wal.flush().expect("flush");
+        }
+        let (_, rep) = Wal::open(&cfg).expect("reopen");
+        let want_mixed = vec![
+            Update::Insert(0, 1),
+            Update::Delete(4, 5),
+            Update::Insert(1, 2),
+            Update::Delete(0, 1),
+        ];
+        assert_eq!(rep.batches, vec![(1, ins(&[(4, 5)])), (2, want_mixed), (3, vec![])]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_batch_codec_roundtrips_and_rejects_bad_tags() {
+        let ops = vec![Update::Insert(7, 9), Update::Delete(9, 7), Update::Insert(0, 1)];
+        let body = encode_update_batch(42, &ops);
+        assert_eq!(decode_update_batch(&body, 0).expect("decode"), (42, ops));
+        let mut bad = body.clone();
+        bad[12] = b'Q'; // first op tag
+        let err = decode_update_batch(&bad, 0).unwrap_err();
+        assert!(err.to_string().contains("unknown op tag"), "{err}");
+        // Truncated bodies are length-checked, not silently short-read.
+        let err = decode_update_batch(&body[..body.len() - 1], 0).unwrap_err();
+        assert!(err.to_string().contains("needs"), "{err}");
+    }
+
+    #[test]
+    fn unknown_record_kind_is_corruption_not_a_skippable_tail() {
+        let dir = tmp_dir("unknown_kind");
+        let cfg = small_cfg(&dir);
+        {
+            let (mut wal, _) = Wal::open(&cfg).expect("open");
+            wal.append(1, &[(0, 1)]).expect("append");
+            wal.flush().expect("flush");
+        }
+        // Hand-append a CRC-valid record whose kind byte is unknown: a
+        // future format, or bit rot that kept the checksum honest. Either
+        // way recovery must refuse, not drop it as a torn tail.
+        let seg = segment_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&seg).expect("open seg");
+        let mut payload = vec![b'X'];
+        payload.extend_from_slice(&binary::encode_edge_batch(2, &[(2, 3)]));
+        binary::append_record(&mut f, &payload).expect("append record");
+        f.sync_data().expect("sync");
+        let msg = match Wal::open(&cfg) {
+            Err(e) => e.to_string(),
+            Ok((_, rep)) => panic!("must not open: {:?}", rep.batches),
+        };
+        assert!(msg.contains("unknown wal record kind"), "{msg}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -795,10 +997,10 @@ mod tests {
         let bytes = std::fs::read(&seg).expect("read");
         std::fs::write(&seg, &bytes[..bytes.len() - 5]).expect("truncate");
         let (wal, rep) = Wal::open(&cfg).expect("reopen");
-        assert_eq!(rep.batches, vec![(1, vec![(0, 1)])]);
-        // Record 2 is 8 (frame) + 20 (epoch + count + 1 edge) bytes; 5
-        // were chopped, so 23 torn bytes remain on disk and are dropped.
-        assert_eq!(rep.torn_bytes, 23);
+        assert_eq!(rep.batches, vec![(1, ins(&[(0, 1)]))]);
+        // Record 2 is 8 (frame) + 21 (kind + epoch + count + 1 edge)
+        // bytes; 5 were chopped, so 24 torn bytes remain and are dropped.
+        assert_eq!(rep.torn_bytes, 24);
         assert!(rep.torn_detail.as_deref().expect("detail").contains("offset"));
         assert!(wal.stats().torn_bytes > 0);
         // The drop was physical: the torn segment is no longer final
@@ -807,7 +1009,7 @@ mod tests {
         drop(wal);
         for round in 0..2 {
             let (_, rep) = Wal::open(&cfg).expect("torn tail must not brick later restarts");
-            assert_eq!(rep.batches, vec![(1, vec![(0, 1)])], "round {round}");
+            assert_eq!(rep.batches, vec![(1, ins(&[(0, 1)]))], "round {round}");
             assert_eq!(rep.torn_bytes, 0, "round {round}: tail was truncated away");
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -824,7 +1026,7 @@ mod tests {
         // A second segment torn inside its magic (creation crashed).
         std::fs::write(segment_path(&dir, 1), b"CCW").expect("write");
         let (_, rep) = Wal::open(&cfg).expect("open tolerates torn magic");
-        assert_eq!(rep.batches, vec![(1, vec![(0, 1)])]);
+        assert_eq!(rep.batches, vec![(1, ins(&[(0, 1)]))]);
         assert!(rep.torn_bytes > 0);
         assert!(!segment_path(&dir, 1).exists(), "torn-magic file removed");
         let (_, rep) = Wal::open(&cfg).expect("and later restarts stay clean");
@@ -987,7 +1189,7 @@ mod tests {
         // never report a torn tail or stall.
         let seg0_len = std::fs::metadata(segment_path(&dir, 0)).expect("meta").len();
         let mut cursor = wal.tail_from(0, seg0_len);
-        assert_eq!(cursor.next().expect("roll"), TailEvent::Record(2, vec![(2, 3)]));
+        assert_eq!(cursor.next().expect("roll"), TailEvent::Record(2, ins(&[(2, 3)])));
         assert_eq!(cursor.next().expect("tail"), TailEvent::CaughtUp);
         // A cursor positioned at the LIVE segment's exact end is just
         // caught up, and picks up the next append from there.

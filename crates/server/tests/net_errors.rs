@@ -10,11 +10,19 @@ use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
 
 fn start(role: Role) -> (Service, TcpServer, SocketAddr) {
+    start_holding(role, Duration::ZERO)
+}
+
+/// Like [`start`], but with a generation-rebuild hold — the test knob
+/// that keeps the engine dirty long enough to observe the staleness
+/// reporting deterministically.
+fn start_holding(role: Role, rebuild_hold: Duration) -> (Service, TcpServer, SocketAddr) {
     let svc = Service::start(ServiceConfig {
         n: 64,
         shards: 2,
         role,
         batch_max_wait: Duration::from_micros(20),
+        rebuild_hold,
         ..ServiceConfig::default()
     })
     .expect("service starts");
@@ -53,6 +61,12 @@ fn malformed_verbs_answer_exact_err_spellings_and_stay_open() {
         ("I three 4", "ERR argument is not a 32-bit unsigned integer"),
         ("Q -1 4", "ERR argument is not a 32-bit unsigned integer"),
         ("I 3 4 5", "ERR trailing arguments after I"),
+        ("D 3", "ERR missing argument"),
+        ("D three 4", "ERR argument is not a 32-bit unsigned integer"),
+        ("D 3 4 5", "ERR trailing arguments after D"),
+        ("GEN now", "ERR trailing arguments after GEN"),
+        ("QUIESCE x", "ERR argument is not a 64-bit unsigned integer"),
+        ("QUIESCE 5 6", "ERR trailing arguments after QUIESCE"),
         ("PING now", "ERR trailing arguments after PING"),
         ("LABEL", "ERR missing argument"),
         ("WAIT", "ERR missing argument"),
@@ -152,21 +166,57 @@ fn wait_timeout_spelling_and_success_paths() {
 }
 
 #[test]
-fn follower_rejects_inserts_with_routing_hint() {
+fn follower_rejects_updates_with_routing_hint() {
     let (mut svc, mut server, addr) = start(Role::Follower);
     let (mut r, mut w) = raw(addr);
     send_line(&mut w, "I 1 2");
-    assert_eq!(read_line(&mut r), "ERR read-only follower: route inserts to the primary");
-    // A batch containing even one insert is rejected wholesale...
+    assert_eq!(read_line(&mut r), "ERR read-only follower: route updates to the primary");
+    // Deletions are updates too.
+    send_line(&mut w, "D 1 2");
+    assert_eq!(read_line(&mut r), "ERR read-only follower: route updates to the primary");
+    // A batch containing even one update is rejected wholesale...
     send_line(&mut w, "B 2");
     send_line(&mut w, "I 1 2");
     send_line(&mut w, "Q 1 2");
-    assert_eq!(read_line(&mut r), "ERR read-only follower: route inserts to the primary");
+    assert_eq!(read_line(&mut r), "ERR read-only follower: route updates to the primary");
+    send_line(&mut w, "B 2");
+    send_line(&mut w, "D 1 2");
+    send_line(&mut w, "Q 1 2");
+    assert_eq!(read_line(&mut r), "ERR read-only follower: route updates to the primary");
     // ...while a query-only batch works (answers against empty state).
     send_line(&mut w, "B 2");
     send_line(&mut w, "Q 1 2");
     send_line(&mut w, "Q 3 3");
     assert_eq!(read_line(&mut r), "OK 01");
+    server.stop();
+    svc.shutdown();
+}
+
+#[test]
+fn stale_queries_report_their_generation_and_quiesce_timeouts_spell_it() {
+    // A 60s rebuild hold pins the engine dirty across the whole test.
+    let (mut svc, mut server, addr) = start_holding(Role::Primary, Duration::from_secs(60));
+    let (mut r, mut w) = raw(addr);
+    send_line(&mut w, "I 1 2");
+    assert_eq!(read_line(&mut r), "OK");
+    // Clean engine: a bare answer, no staleness suffix.
+    send_line(&mut w, "Q 1 2");
+    assert_eq!(read_line(&mut r), "1");
+    // Deleting the forest edge seals generation 0 and starts a (held)
+    // rebuild: the engine is now dirty.
+    send_line(&mut w, "D 1 2");
+    assert_eq!(read_line(&mut r), "OK");
+    send_line(&mut w, "GEN");
+    let gen = read_line(&mut r);
+    assert!(gen.starts_with("G 0 dirty=1 "), "engine must be dirty under the hold: {gen}");
+    // A query during the rebuild serves the sealed generation — the
+    // pre-deletion labels — and says so: `<answer> G <generation>`.
+    send_line(&mut w, "Q 1 2");
+    assert_eq!(read_line(&mut r), "1 G 0");
+    // QUIESCE cannot drain a held rebuild; the timeout names the
+    // generation it was stuck at.
+    send_line(&mut w, "QUIESCE 50");
+    assert_eq!(read_line(&mut r), "ERR quiesce timed out at generation 0");
     server.stop();
     svc.shutdown();
 }

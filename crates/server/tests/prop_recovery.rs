@@ -1,20 +1,24 @@
 //! Crash-point property tests for the durability subsystem: random op
-//! sequences are served through a durable service, then the WAL is
-//! truncated at **every** record boundary (and at points mid-record,
-//! including mid-magic) and recovered. For each crash point the recovered
-//! partition must equal the sequential oracle over exactly the durable
-//! prefix — torn tails are detected and dropped, never replayed — and
-//! the resumed epoch must match the number of surviving batches.
+//! sequences — inserts, **deletions**, and queries — are served through
+//! a durable service, then the WAL is truncated at **every** record
+//! boundary (and at points mid-record, including mid-magic) and
+//! recovered. For each crash point the recovered partition must equal
+//! the dynamic oracle over exactly the durable prefix — torn tails are
+//! detected and dropped, never replayed, and deletion-bearing (`'D'`)
+//! records replay in order rather than being dropped as unknown record
+//! types — and the resumed epoch must match the number of surviving
+//! batches.
 //!
 //! Truncation points (and the epoch each surviving record carries) are
-//! computed here with an independent walk of the segment frames, so a
-//! recovery scan that kept one record too many or too few fails against
-//! the oracle, not against itself.
+//! computed here with an independent walk of the segment frames (using
+//! the kind-aware payload decoder, so both `'I'` and `'D'` records are
+//! covered), so a recovery scan that kept one record too many or too
+//! few fails against the oracle, not against itself.
 
+use cc_baselines::DynamicOracle;
 use cc_graph::io::binary;
 use cc_graph::stats::same_partition;
-use cc_server::{DurabilityConfig, FsyncPolicy, Service, ServiceConfig};
-use cc_unionfind::SeqUnionFind;
+use cc_server::{wal, DurabilityConfig, FsyncPolicy, Service, ServiceConfig};
 use connectit::Update;
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
@@ -56,7 +60,7 @@ fn walk_segment(path: &Path) -> (Vec<Extent>, u64) {
         match r.next().expect("untruncated segment decodes") {
             None => break,
             Some(payload) => {
-                let (epoch, _) = binary::decode_edge_batch(&payload, start).expect("edge batch");
+                let (epoch, _) = wal::decode_wal_payload(&payload, start).expect("wal record");
                 extents.push(Extent { start, end: r.offset(), epoch });
             }
         }
@@ -92,25 +96,24 @@ fn latest_snapshot_epoch(dir: &Path) -> u64 {
         .unwrap_or(0)
 }
 
-/// Oracle labeling after the inserts of batches `0..prefix`.
+/// Dynamic-oracle labeling after the updates of batches `0..prefix`
+/// applied **in order** (deletions make the order load-bearing).
 fn oracle_prefix(n: usize, batches: &[Vec<Update>], prefix: usize) -> Vec<u32> {
-    let mut oracle = SeqUnionFind::new(n);
+    let mut oracle = DynamicOracle::new(n);
     for batch in &batches[..prefix] {
-        for op in batch {
-            if let Update::Insert(u, v) = *op {
-                oracle.union(u, v);
-            }
-        }
+        oracle.apply_batch(batch);
     }
     oracle.labels()
 }
 
-/// Strategy: vertex count, a flat op script, a batch size to cut it
-/// into, and a durable-snapshot cadence (0 = none).
+/// Strategy: vertex count, a flat op script (kind 0–4 insert, 5–6
+/// delete, 7 query — enough deletions that most cases carry `'D'`
+/// records), a batch size to cut it into, and a durable-snapshot
+/// cadence (0 = none).
 #[allow(clippy::type_complexity)]
-fn arb_case() -> impl Strategy<Value = (usize, Vec<(bool, u32, u32)>, usize, u64)> {
+fn arb_case() -> impl Strategy<Value = (usize, Vec<(u8, u32, u32)>, usize, u64)> {
     (8usize..48).prop_flat_map(|n| {
-        let op = (any::<bool>(), 0..n as u32, 0..n as u32);
+        let op = (0u8..8, 0..n as u32, 0..n as u32);
         (Just(n), proptest::collection::vec(op, 20..160), 1usize..25, 0u64..4)
     })
 }
@@ -129,7 +132,11 @@ proptest! {
             .map(|chunk| {
                 chunk
                     .iter()
-                    .map(|&(q, u, v)| if q { Update::Query(u, v) } else { Update::Insert(u, v) })
+                    .map(|&(kind, u, v)| match kind {
+                        0..=4 => Update::Insert(u, v),
+                        5 | 6 => Update::Delete(u, v),
+                        _ => Update::Query(u, v),
+                    })
                     .collect()
             })
             .collect();
