@@ -342,8 +342,31 @@ impl GenerationEngine {
     /// While dirty, inserts accumulate for the next generation and
     /// queries answer from the sealed one.
     pub fn process_batch(&self, batch: &[Update]) -> Vec<bool> {
+        self.process_batch_tagged(batch).into_iter().map(|(a, _)| a).collect()
+    }
+
+    /// [`Self::process_batch`], additionally tagging each answer with the
+    /// sealed generation it was served from (`Some(gen)` iff the engine
+    /// was dirty at the moment that query was answered, `None` for exact
+    /// live-engine answers). The tag is decided under the same lock that
+    /// answered the query, so it can never disagree with the answer's
+    /// source the way a separate dirty-flag read could.
+    pub fn process_batch_tagged(&self, batch: &[Update]) -> Vec<(bool, Option<u64>)> {
         let mut st = self.shared.mx.lock();
-        let mut answers: Vec<bool> = Vec::new();
+        let mut answers: Vec<(bool, Option<u64>)> = Vec::new();
+        self.apply_batch_locked(&mut st, batch, &mut answers);
+        answers
+    }
+
+    /// The batch loop proper, with the writer lock already held. Shared
+    /// by [`Self::process_batch_tagged`] and
+    /// [`Self::converge_to_edge_set`].
+    fn apply_batch_locked(
+        &self,
+        st: &mut WriteState,
+        batch: &[Update],
+        answers: &mut Vec<(bool, Option<u64>)>,
+    ) {
         let mut run: Vec<Update> = Vec::new();
         for &op in batch {
             match op {
@@ -358,7 +381,10 @@ impl GenerationEngine {
                 Update::Query(u, v) => {
                     if st.dirty {
                         let s = st.sealed.as_ref().expect("dirty implies a sealed generation");
-                        answers.push(s.labels[u as usize] == s.labels[v as usize]);
+                        answers.push((
+                            s.labels[u as usize] == s.labels[v as usize],
+                            Some(st.generation),
+                        ));
                     } else {
                         run.push(op);
                     }
@@ -366,7 +392,7 @@ impl GenerationEngine {
                 Update::Delete(u, v) => {
                     // Flush the engine-bound run first, so classification
                     // (and a possible seal) sees a consistent engine.
-                    flush_run(&mut st, &mut run, &mut answers);
+                    flush_run(st, &mut run, answers);
                     match st.tracker.delete(u, v) {
                         DeleteClass::Absent => st.counters.deletes_absent += 1,
                         DeleteClass::NonForest => st.counters.deletes_nonforest += 1,
@@ -375,24 +401,71 @@ impl GenerationEngine {
                             if st.dirty {
                                 st.retrigger = true;
                             } else {
-                                self.shared.seal(&mut st);
+                                self.shared.seal(st);
                             }
                         }
                     }
                 }
             }
         }
-        flush_run(&mut st, &mut run, &mut answers);
-        answers
+        flush_run(st, &mut run, answers);
+    }
+
+    /// Makes the live edge set exactly `target` (self-loops excluded —
+    /// they are never live): edges live here but absent from `target` are
+    /// deleted, edges in `target` but not live here are inserted, all
+    /// under one writer lock. Deletions classify as usual, so retracting
+    /// a forest edge seals the current generation and schedules a
+    /// rebuild. Returns `(inserts, deletes)` applied.
+    ///
+    /// This is the follower's snapshot-bootstrap primitive: a replica
+    /// whose missed deletions were pruned from the primary's WAL cannot
+    /// learn them as operations, but the snapshot states the exact live
+    /// set — converging to it retracts every stale edge in one step.
+    pub fn converge_to_edge_set(&self, target: &[(u32, u32)]) -> (u64, u64) {
+        let mut st = self.shared.mx.lock();
+        let target_set: std::collections::HashSet<u64> = target
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .map(|&(u, v)| connectit::canon_edge(u, v))
+            .collect();
+        let mut ops: Vec<Update> = Vec::new();
+        for (u, v) in st.tracker.edge_list() {
+            if !target_set.contains(&connectit::canon_edge(u, v)) {
+                ops.push(Update::Delete(u, v));
+            }
+        }
+        let deletes = ops.len() as u64;
+        for &e in &target_set {
+            let (u, v) = connectit::uncanon_edge(e);
+            if !st.tracker.contains(u, v) {
+                ops.push(Update::Insert(u, v));
+            }
+        }
+        let inserts = ops.len() as u64 - deletes;
+        let mut answers = Vec::new();
+        self.apply_batch_locked(&mut st, &ops, &mut answers);
+        (inserts, deletes)
     }
 
     /// Connectivity query against the serving view (live engine, or the
     /// sealed labels while a rebuild is in flight). Never blocks on a
     /// rebuild.
     pub fn connected(&self, u: u32, v: u32) -> bool {
+        self.connected_with_gen(u, v).0
+    }
+
+    /// [`Self::connected`], tagged with the sealed generation the answer
+    /// came from (`Some(gen)` iff a rebuild was in flight). Both halves
+    /// come from the *same* view read, so the tag is atomic with the
+    /// answer — a seal or commit between two separate reads cannot
+    /// mislabel it.
+    pub fn connected_with_gen(&self, u: u32, v: u32) -> (bool, Option<u64>) {
         match &*self.view() {
-            View::Live { engine, .. } => engine.connected(u, v),
-            View::Sealed { sealed, .. } => sealed.labels[u as usize] == sealed.labels[v as usize],
+            View::Live { engine, .. } => (engine.connected(u, v), None),
+            View::Sealed { sealed, generation } => {
+                (sealed.labels[u as usize] == sealed.labels[v as usize], Some(*generation))
+            }
         }
     }
 
@@ -538,12 +611,12 @@ impl GenerationEngine {
     }
 }
 
-fn flush_run(st: &mut WriteState, run: &mut Vec<Update>, answers: &mut Vec<bool>) {
+fn flush_run(st: &mut WriteState, run: &mut Vec<Update>, answers: &mut Vec<(bool, Option<u64>)>) {
     if run.is_empty() {
         return;
     }
     let sub = std::mem::take(run);
-    answers.extend(st.engine.process_batch(&sub));
+    answers.extend(st.engine.process_batch(&sub).into_iter().map(|a| (a, None)));
 }
 
 impl Drop for GenerationEngine {
@@ -678,6 +751,47 @@ mod tests {
             assert_eq!(got, want, "round {round}");
         }
         assert!(cc_graph::stats::same_partition(&oracle.labels(), &g.labels_readonly()));
+    }
+
+    #[test]
+    fn tagged_answers_name_the_sealed_generation_atomically() {
+        let g = gen_engine(8, Duration::from_millis(200));
+        g.process_batch(&[Update::Insert(0, 1), Update::Insert(1, 2)]);
+        assert_eq!(
+            g.process_batch_tagged(&[Update::Query(0, 2)]),
+            vec![(true, None)],
+            "clean answers are untagged"
+        );
+        assert_eq!(g.connected_with_gen(0, 2), (true, None));
+        g.process_batch(&[Update::Delete(1, 2)]);
+        assert!(g.is_dirty());
+        assert_eq!(
+            g.process_batch_tagged(&[Update::Query(0, 2)]),
+            vec![(true, Some(0))],
+            "sealed answers carry the generation that served them"
+        );
+        assert_eq!(g.connected_with_gen(0, 2), (true, Some(0)));
+        assert!(quiesced(&g) >= 1);
+        assert_eq!(g.connected_with_gen(0, 2), (false, None));
+    }
+
+    #[test]
+    fn converge_to_edge_set_retracts_stale_edges_and_adds_missing_ones() {
+        let g = gen_engine(16, Duration::ZERO);
+        g.process_batch(&[Update::Insert(0, 1), Update::Insert(1, 2), Update::Insert(3, 4)]);
+        // Target: (0,1) survives, (1,2) and (3,4) must be retracted,
+        // (5,6) is new; the self-loop is ignored (never live).
+        let (ins, dels) = g.converge_to_edge_set(&[(0, 1), (5, 6), (7, 7)]);
+        assert_eq!((ins, dels), (1, 2));
+        quiesced(&g);
+        assert!(g.connected(0, 1));
+        assert!(!g.connected(1, 2), "stale edge retracted by convergence");
+        assert!(!g.connected(3, 4), "stale edge retracted by convergence");
+        assert!(g.connected(5, 6));
+        assert_eq!(g.num_live_edges(), 2);
+        // Converging to the set already held is a no-op (orientation-free).
+        assert_eq!(g.converge_to_edge_set(&[(1, 0), (5, 6)]), (0, 0));
+        assert!(!g.is_dirty());
     }
 
     #[test]

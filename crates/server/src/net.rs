@@ -11,7 +11,8 @@
 //! |----------------------|--------------------------------------|---------|
 //! | `I u v`              | `OK`                                 | insert edge `{u, v}` |
 //! | `D u v`              | `OK`                                 | delete edge `{u, v}` (absent and cycle edges are free; a spanning-forest edge triggers a background generation rebuild) |
-//! | `Q u v`              | `1` / `0` (`1 G <gen>` while dirty)  | connectivity query; while a rebuild is in flight the reply names the sealed generation it was served from |
+//! | `Q u v`              | `1` / `0`                            | connectivity query (the reply is always exactly one bit — wire-stable across releases) |
+//! | `QG u v`             | `1` / `0` (`1 G <gen>` while stale)  | connectivity query with staleness: when the answer came from a sealed generation (a rebuild was in flight), the reply names it; the bit and the generation are read atomically |
 //! | `B k` + `k` op lines | `OK <bits>`                          | submit `k` ops (`I u v` / `D u v` / `Q u v` lines) as one unit; `<bits>` answers the queries in order |
 //! | `LABEL v`            | `L <label>`                          | current component label of `v` |
 //! | `COMPONENTS`         | `C <count>`                          | current component count |
@@ -56,6 +57,7 @@ enum Request {
     Insert(u32, u32),
     Delete(u32, u32),
     Query(u32, u32),
+    QueryGen(u32, u32),
     Batch(usize),
     Label(u32),
     Components,
@@ -105,6 +107,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
         "I" => Request::Insert(parse_u32(it.next())?, parse_u32(it.next())?),
         "D" => Request::Delete(parse_u32(it.next())?, parse_u32(it.next())?),
         "Q" => Request::Query(parse_u32(it.next())?, parse_u32(it.next())?),
+        "QG" => Request::QueryGen(parse_u32(it.next())?, parse_u32(it.next())?),
         "B" => {
             let k = parse_u32(it.next())? as usize;
             if k > MAX_WIRE_BATCH {
@@ -317,17 +320,17 @@ fn handle_connection(
                 Err(e) => writeln!(w, "{}", err_line(&e))?,
             },
             Ok(Request::Query(u, v)) => match client.query(u, v) {
-                Ok(c) => {
-                    // Staleness honesty: while a rebuild is in flight the
-                    // answer came from the sealed generation, and the
-                    // reply says which one. A clean engine answers bare.
-                    let info = client.generation_info();
-                    if info.dirty {
-                        writeln!(w, "{} G {}", u8::from(c), info.generation)?;
-                    } else {
-                        writeln!(w, "{}", u8::from(c))?;
-                    }
-                }
+                // Exactly one bit, always: pre-QG clients parse this.
+                Ok(c) => writeln!(w, "{}", u8::from(c))?,
+                Err(e) => writeln!(w, "{}", err_line(&e))?,
+            },
+            Ok(Request::QueryGen(u, v)) => match client.query_gen(u, v) {
+                // Staleness honesty: when the answer came from a sealed
+                // generation the reply names it; the tag was decided
+                // under the same lock as the answer, so a seal or commit
+                // racing this request can never mislabel it.
+                Ok((c, Some(generation))) => writeln!(w, "{} G {generation}", u8::from(c))?,
+                Ok((c, None)) => writeln!(w, "{}", u8::from(c))?,
                 Err(e) => writeln!(w, "{}", err_line(&e))?,
             },
             Ok(Request::Batch(k)) => {
@@ -485,18 +488,23 @@ impl TcpClient {
         }
     }
 
-    /// `Q u v`. Discards the staleness suffix; use
-    /// [`TcpClient::query_gen`] to observe it.
+    /// `Q u v`: the bare connectivity bit (wire-stable across releases).
+    /// Use [`TcpClient::query_gen`] to observe staleness.
     pub fn query(&mut self, u: u32, v: u32) -> std::io::Result<bool> {
-        self.query_gen(u, v).map(|(c, _)| c)
+        let r = self.roundtrip(&format!("Q {u} {v}"))?;
+        match r.as_str() {
+            "1" => Ok(true),
+            "0" => Ok(false),
+            _ => Err(proto_err(format!("unexpected reply {r:?}"))),
+        }
     }
 
-    /// `Q u v`, keeping the staleness report: `Some(generation)` when the
-    /// reply carried a `G <gen>` suffix (a rebuild was in flight and the
-    /// answer was served from that sealed generation), `None` when the
-    /// engine was clean.
+    /// `QG u v`, keeping the staleness report: `Some(generation)` when
+    /// the reply carried a `G <gen>` suffix (a rebuild was in flight and
+    /// the answer was served from that sealed generation), `None` when
+    /// the answer is exact.
     pub fn query_gen(&mut self, u: u32, v: u32) -> std::io::Result<(bool, Option<u64>)> {
-        let r = self.roundtrip(&format!("Q {u} {v}"))?;
+        let r = self.roundtrip(&format!("QG {u} {v}"))?;
         let mut it = r.split_whitespace();
         let connected = match it.next() {
             Some("1") => true,
@@ -657,6 +665,9 @@ mod tests {
         assert_eq!(parse_request("I 3 4"), Ok(Request::Insert(3, 4)));
         assert_eq!(parse_request("D 3 4"), Ok(Request::Delete(3, 4)));
         assert_eq!(parse_request("Q 0 9"), Ok(Request::Query(0, 9)));
+        assert_eq!(parse_request("QG 0 9"), Ok(Request::QueryGen(0, 9)));
+        assert!(parse_request("QG 0").is_err());
+        assert!(parse_request("QG 0 9 2").is_err());
         assert_eq!(parse_request("B 128"), Ok(Request::Batch(128)));
         assert_eq!(parse_request("LABEL 7"), Ok(Request::Label(7)));
         assert_eq!(parse_request("  PING "), Ok(Request::Ping));

@@ -31,8 +31,13 @@
 //! (a durable snapshot retired the cursor's segment) re-bootstraps from
 //! the newest snapshot — correct because the snapshot states *exactly*
 //! the live edge set at its epoch, which is ahead of everything shipped
-//! so far (every deletion the follower already applied happened at an
-//! earlier epoch and is reflected in that set). When a snapshot carries
+//! so far, and the follower applies it by *converging* to that set
+//! ([`Client::apply_replicated_edge_set`]): missing edges are inserted
+//! and, crucially, live edges absent from the snapshot are retracted.
+//! The retraction matters whenever the follower's epoch predates the
+//! snapshot by more than the surviving WAL — deletions committed in
+//! that gap were pruned with their segments, so no later record would
+//! ever remove the follower's stale edges. When a snapshot carries
 //! its edge set, that set ships (`'E'`) *instead of* the labeling:
 //! label-derived spanning edges would teach the follower's liveness
 //! tracker phantom edges and corrupt its later delete classification.
@@ -44,7 +49,8 @@
 //! [`run_follower`] connects (and reconnects, forever, until shutdown) to
 //! the primary, handshakes with the follower's current epoch, and applies
 //! every received record through [`Client::apply_replicated`] /
-//! [`Client::apply_replicated_ops`] / [`Client::apply_replicated_labels`].
+//! [`Client::apply_replicated_ops`] / [`Client::apply_replicated_edge_set`]
+//! / [`Client::apply_replicated_labels`].
 //! Socket reads carry a timeout wrapped in [`binary::RetryRead`], so a
 //! shutdown request interrupts a quiet stream without ever tearing a
 //! half-received record. Everything is idempotent end to end: a reconnect
@@ -458,7 +464,9 @@ fn follow_once(
                 .map_err(|e| proto_err(e.to_string()))
                 .and_then(|(epoch, edges)| {
                     counters.snapshots.fetch_add(1, Ordering::Relaxed);
-                    client.apply_replicated(epoch, &edges).map_err(|e| proto_err(e.to_string()))
+                    client
+                        .apply_replicated_edge_set(epoch, &edges)
+                        .map_err(|e| proto_err(e.to_string()))
                 }),
             TAG_SNAPSHOT => binary::decode_labels(rest, 0)
                 .map_err(|e| proto_err(e.to_string()))
@@ -794,6 +802,59 @@ mod tests {
 
         shutdown.store(true, Ordering::Release);
         h.join().expect("receiver exits");
+        hub.stop();
+        primary.shutdown();
+        f.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The pruning hole: a follower disconnects, the primary deletes an
+    /// edge the follower holds, and a durable snapshot prunes the WAL
+    /// segment carrying that deletion. On reconnect the follower's only
+    /// source of truth is the edge-set bootstrap — which must *retract*
+    /// the stale edge, not merely add missing ones, or the phantom stays
+    /// live forever.
+    #[test]
+    fn follower_retracts_edges_deleted_while_disconnected() {
+        let dir = tmp_dir("retract");
+        let mut primary = Service::start(primary_cfg(32, &dir)).expect("primary");
+        let mut hub = serve_replication(&dir, "127.0.0.1:0").expect("hub");
+        let addr = hub.local_addr().to_string();
+        let p = primary.client();
+        p.insert(0, 1).expect("insert");
+        p.insert(1, 2).expect("insert");
+
+        // The follower catches up, then loses its connection — but the
+        // service (and its liveness tracker) stays alive.
+        let shutdown1 = Arc::new(AtomicBool::new(false));
+        let mut f = follower(32);
+        let (h1, _) = run_follower(f.client(), addr.clone(), Arc::clone(&shutdown1)).expect("recv");
+        let fc = f.client();
+        wait_epoch(&fc, p.epoch());
+        assert!(fc.query(1, 2).expect("replicated read"));
+        shutdown1.store(true, Ordering::Release);
+        h1.join().expect("receiver exits");
+
+        // While the follower is away: a forest deletion commits, and the
+        // durable snapshot prunes the WAL segment that carried it.
+        p.delete(1, 2).expect("forest delete while disconnected");
+        p.quiesce(Duration::from_secs(20)).expect("primary rebuild commits");
+        let snap_epoch = p.durable_snapshot().expect("snapshot prunes the deletion");
+        assert!(snap_epoch > fc.epoch(), "the follower's epoch predates the snapshot");
+
+        // Reconnect. The handshake epoch predates the snapshot, so the
+        // sender bootstraps with the edge set; converging to it must
+        // retract the follower's stale 1-2 edge.
+        let shutdown2 = Arc::new(AtomicBool::new(false));
+        let (h2, counters) = run_follower(f.client(), addr, Arc::clone(&shutdown2)).expect("recv");
+        wait_epoch(&fc, snap_epoch);
+        fc.quiesce(Duration::from_secs(20)).expect("follower rebuild commits");
+        assert!(!fc.query(1, 2).expect("read"), "pruned deletion must still take effect");
+        assert!(fc.query(0, 1).expect("read"), "surviving edge stays live");
+        assert!(counters.snapshots.load(Ordering::Relaxed) >= 1, "reconnect used the bootstrap");
+
+        shutdown2.store(true, Ordering::Release);
+        h2.join().expect("receiver exits");
         hub.stop();
         primary.shutdown();
         f.shutdown();

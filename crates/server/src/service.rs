@@ -264,9 +264,15 @@ struct Pending {
     durable_snapshot: bool,
 }
 
+/// A query answer paired with the sealed generation it was served from
+/// (`None` when the engine was clean): the tag travels with the answer
+/// from the moment the engine produced both under one lock, so the wire
+/// layer never has to re-derive staleness with a racy second read.
+type TaggedAnswers = Vec<(bool, Option<u64>)>;
+
 /// A single-use reply mailbox a submitting thread blocks on.
 struct ReplySlot {
-    state: Mutex<Option<Result<Vec<bool>, ServiceError>>>,
+    state: Mutex<Option<Result<TaggedAnswers, ServiceError>>>,
     cv: Condvar,
 }
 
@@ -275,12 +281,12 @@ impl ReplySlot {
         Arc::new(ReplySlot { state: Mutex::new(None), cv: Condvar::new() })
     }
 
-    fn fulfill(&self, r: Result<Vec<bool>, ServiceError>) {
+    fn fulfill(&self, r: Result<TaggedAnswers, ServiceError>) {
         *self.state.lock() = Some(r);
         self.cv.notify_all();
     }
 
-    fn wait(&self) -> Result<Vec<bool>, ServiceError> {
+    fn wait(&self) -> Result<TaggedAnswers, ServiceError> {
         let mut g = self.state.lock();
         loop {
             if let Some(r) = g.take() {
@@ -478,7 +484,7 @@ fn run_batcher(inner: &Arc<Inner>) {
                 continue;
             }
         }
-        let answers = inner.engine.process_batch(&batch);
+        let answers = inner.engine.process_batch_tagged(&batch);
 
         // Account everything *before* fulfilling any reply, so a client
         // that returns from `submit` observes stats covering its batch.
@@ -787,6 +793,15 @@ impl Client {
     /// operations grouped into the same service batch (batch semantics
     /// are concurrent); all earlier completed submissions are visible.
     pub fn submit(&self, ops: Vec<Update>) -> Result<Vec<bool>, ServiceError> {
+        Ok(self.submit_tagged(ops)?.into_iter().map(|(a, _)| a).collect())
+    }
+
+    /// [`Self::submit`], with each query answer tagged by the sealed
+    /// generation it was served from (`Some(gen)` iff a rebuild was in
+    /// flight when that query was answered, `None` for exact answers).
+    /// The tag is produced by the engine under the same lock (or from
+    /// the same view read) as the answer, so it is atomic with it.
+    pub fn submit_tagged(&self, ops: Vec<Update>) -> Result<TaggedAnswers, ServiceError> {
         let n = self.num_vertices();
         let mut num_queries = 0usize;
         let mut num_deletes = 0usize;
@@ -819,7 +834,7 @@ impl Client {
         &self,
         ops: &[Update],
         num_queries: usize,
-    ) -> Result<Vec<bool>, ServiceError> {
+    ) -> Result<TaggedAnswers, ServiceError> {
         if num_queries != ops.len() {
             return Err(ServiceError::ReadOnlyFollower);
         }
@@ -838,7 +853,7 @@ impl Client {
             .iter()
             .map(|op| {
                 let (Update::Insert(u, v) | Update::Delete(u, v) | Update::Query(u, v)) = *op;
-                self.inner.engine.connected(u, v)
+                self.inner.engine.connected_with_gen(u, v)
             })
             .collect();
         self.inner.queries.fetch_add(num_queries as u64, Ordering::Relaxed);
@@ -859,6 +874,46 @@ impl Client {
     pub fn apply_replicated(&self, epoch: u64, edges: &[(u32, u32)]) -> Result<(), ServiceError> {
         let ops: Vec<Update> = edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
         self.apply_from_stream(epoch, &ops, "replicated batch")
+    }
+
+    /// Converges this follower's live edge set to *exactly* `edges` — the
+    /// primary's durable snapshot shipped as an edge-set bootstrap. Unlike
+    /// [`Client::apply_replicated`], which can only add, this retracts
+    /// live edges absent from the snapshot: a follower that reconnects
+    /// past a WAL prune horizon may hold edges whose deletions it never
+    /// saw, and replaying the surviving WAL suffix would leave those
+    /// phantoms live forever. Retractions classify through the normal
+    /// delete path, so a forest retraction seals and rebuilds exactly as
+    /// a replicated delete would. Idempotent; rejected on a primary.
+    pub fn apply_replicated_edge_set(
+        &self,
+        epoch: u64,
+        edges: &[(u32, u32)],
+    ) -> Result<(), ServiceError> {
+        if self.role() != Role::Follower {
+            return Err(ServiceError::Config(
+                "replicated edge-set bootstrap rejected: this service is a primary, not a \
+                 follower"
+                    .to_string(),
+            ));
+        }
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(ServiceError::Closed);
+        }
+        let n = self.num_vertices();
+        validate_edges(edges, n, &format!("replicated edge-set bootstrap at epoch {epoch}"))?;
+        let (ins, dels) = {
+            let _apply = self.inner.apply_mx.lock();
+            self.inner.engine.converge_to_edge_set(edges)
+        };
+        self.inner.inserts.fetch_add(ins, Ordering::Relaxed);
+        self.inner.deletes.fetch_add(dels, Ordering::Relaxed);
+        self.inner.bump_epoch_to(epoch);
+        if self.inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(self.inner.cfg.snapshot_every)
+        {
+            self.inner.publish_snapshot(epoch);
+        }
+        Ok(())
     }
 
     /// Applies one replicated deletion-bearing WAL batch — `(epoch, ops)`
@@ -979,7 +1034,7 @@ impl Client {
         num_queries: usize,
         num_deletes: usize,
         durable_snapshot: bool,
-    ) -> Result<Vec<bool>, ServiceError> {
+    ) -> Result<TaggedAnswers, ServiceError> {
         let reply = ReplySlot::new();
         {
             let mut q = self.inner.q.lock();
@@ -1019,6 +1074,15 @@ impl Client {
     /// submission; linearized at its batch).
     pub fn query(&self, u: u32, v: u32) -> Result<bool, ServiceError> {
         Ok(self.submit(vec![Update::Query(u, v)])?[0])
+    }
+
+    /// [`Self::query`], additionally reporting the sealed generation the
+    /// answer was served from: `(answer, None)` for an exact answer,
+    /// `(answer, Some(gen))` when a rebuild was in flight and the answer
+    /// came from generation `gen`'s sealed labels. The pair is read
+    /// atomically with the answer (the `QG` protocol verb).
+    pub fn query_gen(&self, u: u32, v: u32) -> Result<(bool, Option<u64>), ServiceError> {
+        Ok(self.submit_tagged(vec![Update::Query(u, v)])?[0])
     }
 
     /// Lock-free read-side query: answered directly against the live

@@ -4,9 +4,9 @@
 //! ## Format
 //!
 //! A WAL directory holds numbered segments `wal-<seq>.log`. Each segment
-//! starts with the magic `CCWALS01` and is a sequence of
-//! [`cc_graph::io::binary`] records. A record payload's first byte is its
-//! **kind**:
+//! starts with a version magic — `CCWALS02` for segments this release
+//! writes — and is a sequence of [`cc_graph::io::binary`] records. In a
+//! v2 segment a record payload's first byte is its **kind**:
 //!
 //! - [`REC_INSERTS`] (`'I'`) — an insert-only batch; the body is
 //!   [`cc_graph::io::binary::encode_edge_batch`] `(epoch, inserts)`.
@@ -14,9 +14,16 @@
 //!   [`encode_update_batch`] `(epoch, ops)`, preserving the in-batch
 //!   order of inserts and deletes (queries are never durable).
 //!
-//! An unknown kind byte on a CRC-valid record is *corruption*, never a
-//! skippable tail: silently dropping a record whose retractions we do not
-//! understand would recover a wrong partition. Epochs are strictly
+//! Segments written before the kind byte existed carry the magic
+//! `CCWALS01` and hold raw edge-batch bodies (insert-only histories by
+//! construction). Readers decode each segment by the magic it opens
+//! with, so a directory mixing v1 segments and newly appended v2
+//! segments recovers — and replicates — seamlessly; writers only ever
+//! start v2 segments.
+//!
+//! An unknown kind byte on a CRC-valid v2 record is *corruption*, never
+//! a skippable tail: silently dropping a record whose retractions we do
+//! not understand would recover a wrong partition. Epochs are strictly
 //! increasing across records; a batch with no durable ops still gets a
 //! (13-byte) record so the recovered epoch matches the served epoch
 //! exactly.
@@ -58,8 +65,14 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// Magic prefix of every WAL segment.
-pub const WAL_MAGIC: &[u8; 8] = b"CCWALS01";
+/// Magic prefix of every WAL segment this release writes (v2: every
+/// record payload leads with a kind byte).
+pub const WAL_MAGIC: &[u8; 8] = b"CCWALS02";
+
+/// Magic prefix of legacy v1 segments (raw insert-only edge-batch
+/// records, no kind byte). Read-only: recognized by the recovery scan
+/// and the tail cursor, never written.
+pub const WAL_MAGIC_V1: &[u8; 8] = b"CCWALS01";
 
 /// Record kind byte: insert-only batch (edge-batch body).
 pub const REC_INSERTS: u8 = b'I';
@@ -159,6 +172,34 @@ pub fn decode_wal_payload(payload: &[u8], offset: u64) -> Result<(u64, Vec<Updat
             offset,
             reason: format!("unknown wal record kind {other:?}"),
         }),
+    }
+}
+
+/// Reads a segment's leading magic and returns its format version (1 for
+/// legacy [`WAL_MAGIC_V1`], 2 for [`WAL_MAGIC`]). Any other complete
+/// magic — and any truncation — surfaces as the underlying
+/// [`CodecError`], so callers keep their torn-tail handling.
+fn read_segment_version(r: &mut impl std::io::Read) -> Result<u8, CodecError> {
+    match binary::read_magic(r, WAL_MAGIC) {
+        Ok(()) => Ok(2),
+        Err(CodecError::BadMagic { found, .. }) if found.as_slice() == WAL_MAGIC_V1 => Ok(1),
+        Err(e) => Err(e),
+    }
+}
+
+/// Decodes one record payload according to its segment's format version:
+/// v1 payloads are raw insert-only edge-batch bodies, v2 payloads lead
+/// with a kind byte ([`decode_wal_payload`]).
+fn decode_segment_payload(
+    version: u8,
+    payload: &[u8],
+    offset: u64,
+) -> Result<(u64, Vec<Update>), CodecError> {
+    if version == 1 {
+        let (epoch, edges) = binary::decode_edge_batch(payload, offset)?;
+        Ok((epoch, edges.into_iter().map(|(u, v)| Update::Insert(u, v)).collect()))
+    } else {
+        decode_wal_payload(payload, offset)
     }
 }
 
@@ -369,15 +410,18 @@ fn scan_segment(path: &Path, is_last: bool, report: &mut RecoveryReport) -> Resu
             Some(format!("{}: dropped torn tail at offset {at}: {e}", path.display()));
         report.torn_at = Some((path.to_path_buf(), at));
     };
-    if let Err(e) = binary::read_magic(&mut reader, WAL_MAGIC) {
-        // A file torn inside (or before) its magic is an interrupted
-        // segment creation; a complete-but-wrong magic is corruption.
-        if is_last && e.is_truncation() {
-            torn(report, 0, &e);
-            return Ok(0);
+    let version = match read_segment_version(&mut reader) {
+        Ok(v) => v,
+        Err(e) => {
+            // A file torn inside (or before) its magic is an interrupted
+            // segment creation; a complete-but-wrong magic is corruption.
+            if is_last && e.is_truncation() {
+                torn(report, 0, &e);
+                return Ok(0);
+            }
+            return Err(WalError::Codec { path: path.to_path_buf(), source: e });
         }
-        return Err(WalError::Codec { path: path.to_path_buf(), source: e });
-    }
+    };
     let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
     loop {
         let at = records.offset();
@@ -387,7 +431,7 @@ fn scan_segment(path: &Path, is_last: bool, report: &mut RecoveryReport) -> Resu
                 // A CRC-valid record that fails here (unknown kind or op
                 // tag, bad body) is corruption even in the final segment:
                 // only `records.next()` failures can be a torn tail.
-                let (epoch, ops) = decode_wal_payload(&payload, at)
+                let (epoch, ops) = decode_segment_payload(version, &payload, at)
                     .map_err(|e| WalError::Codec { path: path.to_path_buf(), source: e })?;
                 if epoch <= last_epoch {
                     return Err(WalError::Corrupt {
@@ -728,6 +772,9 @@ pub struct WalCursor {
     dir: PathBuf,
     seq: u64,
     offset: u64,
+    /// The current segment's format version, read lazily from its magic
+    /// (None until the first read of each segment).
+    seg_version: Option<u8>,
     /// Position of a truncated read already retried once against a
     /// sealed segment: a second truncation there is corruption (sealed
     /// bytes are final), not a flush race.
@@ -737,7 +784,7 @@ pub struct WalCursor {
 impl WalCursor {
     /// Opens a cursor over `dir` at byte `offset` of segment `seq`.
     pub fn open(dir: impl Into<PathBuf>, seq: u64, offset: u64) -> WalCursor {
-        WalCursor { dir: dir.into(), seq, offset, retried_at: None }
+        WalCursor { dir: dir.into(), seq, offset, seg_version: None, retried_at: None }
     }
 
     /// The position as `(segment sequence, byte offset)`.
@@ -751,6 +798,7 @@ impl WalCursor {
     pub fn oldest(&mut self) -> std::io::Result<()> {
         self.seq = oldest_segment_seq(&self.dir)?.unwrap_or(0);
         self.offset = binary::MAGIC_LEN as u64;
+        self.seg_version = None;
         Ok(())
     }
 
@@ -804,31 +852,36 @@ impl WalCursor {
                 if self.newer_segment_exists().map_err(io)? {
                     self.seq += 1;
                     self.offset = binary::MAGIC_LEN as u64;
+                    self.seg_version = None;
                     continue;
                 }
                 return Ok(TailEvent::CaughtUp);
             }
-            if self.offset < binary::MAGIC_LEN as u64 {
-                // A cursor opened at byte 0 still has to skip the magic
-                // (and a partially-written magic is just the live tail).
+            if self.seg_version.is_none() || self.offset < binary::MAGIC_LEN as u64 {
+                // First touch of this segment (or a cursor opened at byte
+                // 0): read the magic to learn the record format — and to
+                // skip it. A partially-written magic is just the live
+                // tail.
                 let mut reader = BufReader::new(&file);
-                if let Err(e) = binary::read_magic(&mut reader, WAL_MAGIC) {
-                    if e.is_truncation() {
-                        return Ok(TailEvent::CaughtUp);
-                    }
-                    return Err(WalError::Codec { path, source: e });
+                match read_segment_version(&mut reader) {
+                    Ok(v) => self.seg_version = Some(v),
+                    Err(e) if e.is_truncation() => return Ok(TailEvent::CaughtUp),
+                    Err(e) => return Err(WalError::Codec { path, source: e }),
                 }
-                self.offset = binary::MAGIC_LEN as u64;
-                if self.offset >= len {
-                    continue; // magic-only file: re-run the boundary check
+                if self.offset < binary::MAGIC_LEN as u64 {
+                    self.offset = binary::MAGIC_LEN as u64;
+                    if self.offset >= len {
+                        continue; // magic-only file: re-run the boundary check
+                    }
                 }
             }
+            let version = self.seg_version.expect("read above");
             let mut reader = BufReader::new(file);
             std::io::Seek::seek(&mut reader, std::io::SeekFrom::Start(self.offset)).map_err(io)?;
             let mut records = binary::RecordReader::new(reader, self.offset);
             return match records.next() {
                 Ok(Some(payload)) => {
-                    let (epoch, ops) = decode_wal_payload(&payload, self.offset)
+                    let (epoch, ops) = decode_segment_payload(version, &payload, self.offset)
                         .map_err(|e| WalError::Codec { path, source: e })?;
                     self.offset = records.offset();
                     self.retried_at = None;
@@ -1250,6 +1303,63 @@ mod tests {
             cursor.next().expect("a torn live tail is just not-yet-flushed"),
             TailEvent::CaughtUp
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Hand-writes a legacy v1 segment: `CCWALS01` magic, then raw
+    /// insert-only edge-batch record bodies (no kind byte) — exactly what
+    /// the release before the kind-byte format left on disk.
+    fn write_v1_segment(dir: &Path, seq: u64, batches: &[(u64, Vec<(u32, u32)>)]) {
+        std::fs::create_dir_all(dir).expect("mkdir");
+        let mut f = BufWriter::new(File::create(segment_path(dir, seq)).expect("create"));
+        binary::write_magic(&mut f, WAL_MAGIC_V1).expect("magic");
+        for (epoch, edges) in batches {
+            binary::append_record(&mut f, &binary::encode_edge_batch(*epoch, edges))
+                .expect("record");
+        }
+        f.flush().expect("flush");
+    }
+
+    #[test]
+    fn legacy_v1_segments_recover_and_upgrade_in_place() {
+        let dir = tmp_dir("v1_upgrade");
+        write_v1_segment(&dir, 0, &[(1, vec![(0, 1)]), (2, vec![(2, 3)])]);
+        let cfg = small_cfg(&dir);
+        {
+            // Opening an old-format directory recovers its history...
+            let (mut wal, rep) = Wal::open(&cfg).expect("v1 wal must still open");
+            assert_eq!(rep.batches, vec![(1, ins(&[(0, 1)])), (2, ins(&[(2, 3)]))]);
+            assert_eq!(rep.torn_bytes, 0);
+            // ...and new appends (deletions included) go to a fresh v2
+            // segment alongside the untouched v1 one.
+            wal.append_ops(3, &[Update::Delete(0, 1)]).expect("append past the upgrade");
+            wal.flush().expect("flush");
+        }
+        let v2_seg = std::fs::read(segment_path(&dir, 1)).expect("new segment");
+        assert_eq!(&v2_seg[..binary::MAGIC_LEN], WAL_MAGIC, "appends use the current format");
+        // A mixed-version directory recovers both formats in order.
+        let (_, rep) = Wal::open(&cfg).expect("mixed-version reopen");
+        assert_eq!(
+            rep.batches,
+            vec![(1, ins(&[(0, 1)])), (2, ins(&[(2, 3)])), (3, vec![Update::Delete(0, 1)]),]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cursor_tails_across_a_v1_to_v2_boundary() {
+        let dir = tmp_dir("v1_cursor");
+        write_v1_segment(&dir, 0, &[(1, vec![(0, 1)])]);
+        let cfg = small_cfg(&dir);
+        let (mut wal, _) = Wal::open(&cfg).expect("open");
+        wal.append_ops(2, &[Update::Insert(1, 2), Update::Delete(0, 1)]).expect("append");
+        let mut cursor = wal.tail_from(0, binary::MAGIC_LEN as u64);
+        assert_eq!(cursor.next().expect("v1 record"), TailEvent::Record(1, ins(&[(0, 1)])));
+        assert_eq!(
+            cursor.next().expect("v2 record across the boundary"),
+            TailEvent::Record(2, vec![Update::Insert(1, 2), Update::Delete(0, 1)])
+        );
+        assert_eq!(cursor.next().expect("tail"), TailEvent::CaughtUp);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

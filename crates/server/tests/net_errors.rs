@@ -199,8 +199,10 @@ fn stale_queries_report_their_generation_and_quiesce_timeouts_spell_it() {
     let (mut r, mut w) = raw(addr);
     send_line(&mut w, "I 1 2");
     assert_eq!(read_line(&mut r), "OK");
-    // Clean engine: a bare answer, no staleness suffix.
+    // Clean engine: both query verbs answer bare.
     send_line(&mut w, "Q 1 2");
+    assert_eq!(read_line(&mut r), "1");
+    send_line(&mut w, "QG 1 2");
     assert_eq!(read_line(&mut r), "1");
     // Deleting the forest edge seals generation 0 and starts a (held)
     // rebuild: the engine is now dirty.
@@ -209,9 +211,12 @@ fn stale_queries_report_their_generation_and_quiesce_timeouts_spell_it() {
     send_line(&mut w, "GEN");
     let gen = read_line(&mut r);
     assert!(gen.starts_with("G 0 dirty=1 "), "engine must be dirty under the hold: {gen}");
-    // A query during the rebuild serves the sealed generation — the
+    // Bare `Q` stays exactly one bit even mid-rebuild — old clients
+    // parse it — while `QG` serves the sealed generation — the
     // pre-deletion labels — and says so: `<answer> G <generation>`.
     send_line(&mut w, "Q 1 2");
+    assert_eq!(read_line(&mut r), "1");
+    send_line(&mut w, "QG 1 2");
     assert_eq!(read_line(&mut r), "1 G 0");
     // QUIESCE cannot drain a held rebuild; the timeout names the
     // generation it was stuck at.
