@@ -9,7 +9,7 @@
 //! ```
 //!
 //! `NAME`s are artifact stems (`wal`, `dispatch`, `replication`,
-//! `dynamic` by default; `BENCH_<name>.json` is loaded from both
+//! `dynamic`, `obs` by default; `BENCH_<name>.json` is loaded from both
 //! directories).
 //! Scale-free ratios and correctness counters are gated (see
 //! `cc_bench::regression::gate_for`); absolute timings are reported as
@@ -22,7 +22,7 @@ use cc_bench::regression::check_artifact;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const DEFAULT_BENCHES: [&str; 4] = ["wal", "dispatch", "replication", "dynamic"];
+const DEFAULT_BENCHES: [&str; 5] = ["wal", "dispatch", "replication", "dynamic", "obs"];
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -30,7 +30,7 @@ fn usage() -> ExitCode {
          \x20  compares fresh BENCH_<NAME>.json artifacts in --fresh (default .) against\n\
          \x20  the committed baselines in --baselines (default baselines/); exits non-zero\n\
          \x20  on any gated-metric regression. Default NAMEs: wal dispatch replication\n\
-         \x20  dynamic"
+         \x20  dynamic obs"
     );
     ExitCode::from(2)
 }

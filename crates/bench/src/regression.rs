@@ -252,6 +252,12 @@ pub fn gate_for(leaf: &str) -> Option<(Direction, Option<f64>)> {
         "recovery_verified" => Some((Direction::Higher, Some(1.0))),
         "restart_converged" => Some((Direction::Higher, Some(1.0))),
         "nonforest_rebuild_free" => Some((Direction::Higher, Some(1.0))),
+        // Observability: the instrumentation-overhead bound is absolute
+        // (the obs bench asserts <= 1.05x and reports the verdict as a
+        // flag), so the flag gates exactly; the ratio itself is also
+        // held near 1 at the default tolerance.
+        "overhead_within_bound" => Some((Direction::Higher, Some(1.0))),
+        "overhead_ratio" => Some((Direction::Lower, None)),
         _ => None,
     }
 }

@@ -367,6 +367,52 @@ mod tests {
     }
 
     #[test]
+    fn latency_empty_percentiles_and_display_are_stable() {
+        let h = LatencyHist::new();
+        assert_eq!(h.percentiles(), [0, 0, 0, 0]);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.max(), 0);
+        // The empty rendering is pinned verbatim: STATS exposes it and
+        // scripts parse the key=value pairs.
+        assert_eq!(h.to_string(), "n=0 mean=0ns p50=0ns p90=0ns p99=0ns p999=0ns max=0ns");
+        // Zero-count records are no-ops, not 0-valued samples.
+        h.record_n(500, 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn latency_single_value_display_is_exact_and_stable() {
+        let h = LatencyHist::new();
+        h.record_n(10, 100);
+        // Values below 2^SUB_BITS land in exact buckets, so every
+        // percentile reproduces the sample and the line is deterministic.
+        assert_eq!(h.to_string(), "n=100 mean=10ns p50=10ns p90=10ns p99=10ns p999=10ns max=10ns");
+    }
+
+    #[test]
+    fn latency_top_bucket_saturates() {
+        let h = LatencyHist::new();
+        // u64::MAX maps into the last bucket — no index overflow — and
+        // the overflowing Duration conversion clamps instead of panicking.
+        assert_eq!(latency_bucket(u64::MAX), HIST_BUCKETS - 1);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record_duration(Duration::from_secs(u64::MAX / 4)); // > u64::MAX ns
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        // Quantiles stay within the recorded range (bucket lower bounds
+        // are clamped to the exact min/max).
+        assert!(h.quantile(1.0) >= u64::MAX - 1);
+        assert!(h.quantile(0.5) >= u64::MAX - 1);
+        // The saturated sum must render, not panic (mean is clamped
+        // arithmetic over wrapped atomics — only stability is promised).
+        let _ = h.mean();
+        assert!(h.to_string().starts_with("n=3 "));
+    }
+
+    #[test]
     fn counting_sort_groups_by_key() {
         let n = 100_000;
         let keys: Vec<u32> = (0..n).map(|i| ((i * 7919) % 101) as u32).collect();

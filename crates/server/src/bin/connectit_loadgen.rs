@@ -117,6 +117,7 @@ struct GenOpts {
     state: Option<String>,
     retry_secs: u64,
     followers: Vec<String>,
+    metrics_out: Option<String>,
 }
 
 impl Default for GenOpts {
@@ -140,6 +141,7 @@ impl Default for GenOpts {
             state: None,
             retry_secs: 30,
             followers: Vec::new(),
+            metrics_out: None,
         }
     }
 }
@@ -153,6 +155,7 @@ fn usage() -> ExitCode {
          \x20                        [--seed X] [--shutdown]\n\
          \x20                        [--kill-after B --state FILE] [--resume [--state FILE]]\n\
          \x20                        [--retry-secs S] [--follower HOST:PORT]...\n\
+         \x20                        [--metrics-out FILE]\n\
          \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress (see\n\
          \x20        connectit-serve --help)\n\
          \x20  --follower (repeatable): split-route — inserts to --addr (the primary),\n\
@@ -163,7 +166,9 @@ fn usage() -> ExitCode {
          \x20        with --state FILE, first restore and re-validate the checkpoint\n\
          \x20  --churn F: mix deletions in at fraction F of update traffic and validate\n\
          \x20        queries EXACTLY against a dynamic oracle (QUIESCE + generation\n\
-         \x20        sandwich); incompatible with --follower"
+         \x20        sandwich); incompatible with --follower\n\
+         \x20  --metrics-out FILE: after the run, scrape the server's METRICS exposition\n\
+         \x20        (in-proc or over TCP) and write it to FILE, `# EOF` terminated"
     );
     ExitCode::from(2)
 }
@@ -214,6 +219,7 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
             }
             "--resume" => o.resume = true,
             "--state" => o.state = Some(next_val(a, &mut it)?),
+            "--metrics-out" => o.metrics_out = Some(next_val(a, &mut it)?),
             "--retry-secs" => {
                 o.retry_secs = next_val(a, &mut it)?.parse().map_err(|_| "bad --retry-secs")?
             }
@@ -1007,6 +1013,18 @@ fn run_churn_worker(
     Ok(rep)
 }
 
+/// Writes a scraped `METRICS` exposition to `path`, restoring the `# EOF`
+/// wire terminator so the file parses exactly like a live scrape.
+fn write_metrics_file(path: &str, lines: &[String]) -> std::io::Result<()> {
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>() + 8);
+    for l in lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out.push_str("# EOF\n");
+    std::fs::write(path, out)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -1179,11 +1197,28 @@ fn main() -> ExitCode {
     // `--shutdown` delivery is fatal: the caller (e.g. CI) is about to
     // `wait` on the server process.
     match (&service, &o.tcp_addr) {
-        (Some(svc), _) => println!("server: {}", svc.client().stats()),
+        (Some(svc), _) => {
+            println!("server: {}", svc.client().stats());
+            if let Some(path) = &o.metrics_out {
+                if let Err(e) = write_metrics_file(path, &svc.client().render_metrics()) {
+                    eprintln!("connectit-loadgen: metrics write to {path} failed: {e}");
+                    failed = true;
+                }
+            }
+        }
         (None, Some(addr)) => match TcpClient::connect(addr.as_str()) {
             Ok(mut c) => {
                 if let Ok(s) = c.stats_line() {
                     println!("server: {s}");
+                }
+                if let Some(path) = &o.metrics_out {
+                    match c.metrics().and_then(|lines| write_metrics_file(path, &lines)) {
+                        Ok(()) => {}
+                        Err(e) => {
+                            eprintln!("connectit-loadgen: metrics scrape to {path} failed: {e}");
+                            failed = true;
+                        }
+                    }
                 }
                 if o.send_shutdown {
                     if let Err(e) = c.shutdown_server() {

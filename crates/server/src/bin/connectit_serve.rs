@@ -33,7 +33,8 @@
 //! sends `SHUTDOWN`, then prints final stats and exits.
 
 use cc_server::{
-    parse_alg, serve, serve_replication, DurabilityConfig, ExecMode, Role, Service, ServiceConfig,
+    parse_alg, serve, serve_replication_observed, DurabilityConfig, ExecMode, Role, Service,
+    ServiceConfig,
 };
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -179,11 +180,31 @@ fn main() -> ExitCode {
         }
     };
 
-    // Primary side of replication: stream the WAL directory to followers.
+    // Durability on: a panic anywhere in the process flushes the flight
+    // recorder to the run's trace file before unwinding, so the restart
+    // can surface the final recorded events (the service's own periodic
+    // and shutdown flushes append to the same file).
+    if let Some(dir) = &opts.wal_dir {
+        let obs = client.observability();
+        let path = std::path::Path::new(dir).join(format!("trace-{}.log", std::process::id()));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = obs.recorder.flush_to_file(&path);
+            prev(info);
+        }));
+    }
+
+    // Primary side of replication: stream the WAL directory to followers
+    // with the service's observability plane attached (per-follower lag
+    // gauges, shipped-record counters, lifecycle events).
     let mut hub = None;
     if let Some(rport) = opts.replication_port {
         let dir = opts.wal_dir.as_deref().expect("checked in parse_args");
-        match serve_replication(dir, (opts.bind.as_str(), rport)) {
+        match serve_replication_observed(
+            dir,
+            (opts.bind.as_str(), rport),
+            Some(client.observability()),
+        ) {
             Ok(h) => hub = Some(h),
             Err(e) => {
                 eprintln!("connectit-serve: replication bind failed: {e}");

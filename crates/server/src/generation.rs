@@ -32,6 +32,7 @@
 //! wait-free read path of Type (i) engines is preserved.
 
 use crate::engine::{build_engine, Engine, ExecMode, RunMode};
+use crate::obs::{Event, Obs};
 use cc_unionfind::UfSpec;
 use connectit::{
     spanning_forest, supports_spanning_forest, DeleteClass, FinishMethod, LivenessTracker,
@@ -132,6 +133,11 @@ struct Shared {
     cv: Condvar,
     view: Mutex<Arc<View>>,
     shutdown: AtomicBool,
+    /// Metrics/trace sink: rebuild lifecycle and delete-classification
+    /// counters are mirrored into the registry at the moment they change
+    /// (under the writer lock already held), so a `METRICS` scrape never
+    /// needs `mx` to report on this engine.
+    obs: Option<Arc<Obs>>,
 }
 
 impl Shared {
@@ -144,6 +150,11 @@ impl Shared {
         st.sealed = Some(Arc::clone(&sealed));
         st.dirty = true;
         *self.view.lock() = Arc::new(View::Sealed { sealed, generation: st.generation });
+        if let Some(o) = &self.obs {
+            o.metrics.rebuilds_sealed_total.inc();
+            o.metrics.gen_dirty.set(1);
+            o.recorder.record(Event::RebuildSealed { generation: st.generation });
+        }
         self.cv.notify_all();
     }
 
@@ -219,6 +230,7 @@ fn run_rebuilder(shared: &Arc<Shared>) {
                 std::thread::sleep(left.min(Duration::from_millis(10)));
             }
         }
+        let build_start = Instant::now();
         let (forest, fresh) = shared.build_generation(&edges);
         let mut st = shared.mx.lock();
         if shared.shutdown.load(Ordering::Acquire) {
@@ -232,6 +244,7 @@ fn run_rebuilder(shared: &Arc<Shared>) {
         }
         st.tracker.adopt_forest(&forest);
         let drained: Vec<(u32, u32)> = std::mem::take(&mut st.pending);
+        let num_drained = drained.len() as u64;
         let mut merges: Vec<Update> = Vec::new();
         for (u, v) in drained {
             if st.tracker.reclassify_live(u, v) {
@@ -249,6 +262,17 @@ fn run_rebuilder(shared: &Arc<Shared>) {
         st.counters.rebuilds += 1;
         *shared.view.lock() =
             Arc::new(View::Live { engine: Arc::clone(&st.engine), generation: st.generation });
+        if let Some(o) = &shared.obs {
+            o.metrics.rebuilds_committed_total.inc();
+            o.metrics.generation.set_max(st.generation);
+            o.metrics.gen_dirty.set(0);
+            o.metrics.rebuild_duration_ns.record_duration(build_start.elapsed());
+            o.metrics.rebuild_drained_ops.record(num_drained);
+            o.recorder.record(Event::RebuildCommitted {
+                generation: st.generation,
+                drained: num_drained,
+            });
+        }
         shared.cv.notify_all();
     }
 }
@@ -266,6 +290,8 @@ impl GenerationEngine {
     /// Builds an empty generation engine (generation 0, clean) and spawns
     /// its rebuild worker. The error string carries the rejected
     /// configuration's reason (see [`crate::engine::EngineError`]).
+    /// `obs`, when given, receives rebuild lifecycle events and the
+    /// delete-classification counters as they happen.
     pub fn new(
         n: usize,
         shards: usize,
@@ -273,6 +299,7 @@ impl GenerationEngine {
         mode: ExecMode,
         seed: u64,
         rebuild_hold: Duration,
+        obs: Option<Arc<Obs>>,
     ) -> Result<GenerationEngine, String> {
         let engine: Arc<dyn Engine> =
             Arc::from(build_engine(n, shards, spec, mode, seed).map_err(|e| e.to_string())?);
@@ -300,6 +327,7 @@ impl GenerationEngine {
             cv: Condvar::new(),
             view: Mutex::new(view),
             shutdown: AtomicBool::new(false),
+            obs,
         });
         let w_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -393,11 +421,25 @@ impl GenerationEngine {
                     // Flush the engine-bound run first, so classification
                     // (and a possible seal) sees a consistent engine.
                     flush_run(st, &mut run, answers);
+                    let obs = self.shared.obs.as_deref();
                     match st.tracker.delete(u, v) {
-                        DeleteClass::Absent => st.counters.deletes_absent += 1,
-                        DeleteClass::NonForest => st.counters.deletes_nonforest += 1,
+                        DeleteClass::Absent => {
+                            st.counters.deletes_absent += 1;
+                            if let Some(o) = obs {
+                                o.metrics.deletes_absent_total.inc();
+                            }
+                        }
+                        DeleteClass::NonForest => {
+                            st.counters.deletes_nonforest += 1;
+                            if let Some(o) = obs {
+                                o.metrics.deletes_nonforest_total.inc();
+                            }
+                        }
                         DeleteClass::Forest => {
                             st.counters.deletes_forest += 1;
+                            if let Some(o) = obs {
+                                o.metrics.deletes_forest_total.inc();
+                            }
                             if st.dirty {
                                 st.retrigger = true;
                             } else {
@@ -638,7 +680,7 @@ mod tests {
     use cc_baselines::DynamicOracle;
 
     fn gen_engine(n: usize, hold: Duration) -> GenerationEngine {
-        GenerationEngine::new(n, 2, &UfSpec::fastest(), ExecMode::Auto, 7, hold)
+        GenerationEngine::new(n, 2, &UfSpec::fastest(), ExecMode::Auto, 7, hold, None)
             .expect("engine builds")
     }
 

@@ -36,8 +36,15 @@
 //!   live appends, and serve reads at an honestly-reported replication
 //!   epoch (`WAIT` upgrades bounded staleness to read-your-writes).
 //! - [`net`] — a minimal line-based TCP protocol (`I`/`D`/`Q`/`B`/`GEN`/
-//!   `QUIESCE`/`STATS`/`FLUSH`/`SNAPSHOT`/`WALSTATS`/`WAIT`/`ROLE`/…), a
-//!   one-thread-per-connection server, and a blocking [`net::TcpClient`].
+//!   `QUIESCE`/`STATS`/`FLUSH`/`SNAPSHOT`/`WALSTATS`/`METRICS`/`TRACE`/
+//!   `WAIT`/`ROLE`/…), a one-thread-per-connection server, and a
+//!   blocking [`net::TcpClient`].
+//! - [`obs`] — the observability plane: a per-service metrics registry
+//!   (relaxed-atomic counters/gauges/histograms mirrored at write time,
+//!   scraped lock-free by the multi-line `METRICS` verb) and a
+//!   fixed-capacity lock-free flight recorder of lifecycle events
+//!   (`TRACE [n]`, flushed to `<wal-dir>/trace-<pid>.log` on shutdown
+//!   for crash post-mortems). Contract in DESIGN.md §10.
 //!
 //! Binaries: `connectit-serve` (the daemon; `--wal-dir` turns on
 //! durability, `--replication-port` ships the WAL to followers,
@@ -58,6 +65,7 @@
 pub mod engine;
 pub mod generation;
 pub mod net;
+pub mod obs;
 pub mod replication;
 pub mod service;
 pub mod snapshot;
@@ -68,7 +76,10 @@ pub use engine::{
 };
 pub use generation::{GenCounters, GenInfo, GenerationEngine};
 pub use net::{serve, TcpClient, TcpServer};
-pub use replication::{run_follower, serve_replication, ReplicationHub};
+pub use obs::{Metrics, Obs, Recorder};
+pub use replication::{
+    run_follower, serve_replication, serve_replication_observed, ReplicationHub,
+};
 pub use service::{
     Client, LabelSnapshot, Role, Service, ServiceConfig, ServiceError, ServiceStats,
 };

@@ -25,6 +25,8 @@
 //! | `FLUSH`              | `OK`                                 | fsync the WAL now, regardless of policy |
 //! | `SNAPSHOT`           | `SNAP <epoch>`                       | write a durable snapshot (labels + live edge set) at the next batch boundary |
 //! | `WALSTATS`           | `W <key=value ...>`                  | one-line WAL stats dump |
+//! | `METRICS`            | typed lines, then `# EOF`            | multi-line Prometheus-style dump of the metrics registry (the only verbs with multi-line replies are `METRICS` and `TRACE`; both end with a literal `# EOF` line) |
+//! | `TRACE [n]`          | `T …` lines, then `# EOF`            | last `n` flight-recorder events (default [`DEFAULT_TRACE_EVENTS`]), oldest first |
 //! | `PING`               | `PONG`                               | liveness |
 //! | `QUIT`               | — (connection closes)                | end this connection |
 //! | `SHUTDOWN`           | `BYE`                                | stop accepting; wake [`TcpServer::wait_shutdown`] |
@@ -42,7 +44,8 @@
 //! every primary batch up to `<epoch>` is visible here. The `(epoch,
 //! generation)` staleness story is spelled out in DESIGN.md §9.
 
-use crate::service::{Client, Service, ServiceError};
+use crate::obs::{CloseReason, Event, Obs, DEFAULT_TRACE_EVENTS};
+use crate::service::{Client, Service};
 use connectit::Update;
 use parking_lot::{Condvar, Mutex};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -70,6 +73,8 @@ enum Request {
     Flush,
     Snapshot,
     WalStats,
+    Metrics,
+    Trace(usize),
     Ping,
     Quit,
     Shutdown,
@@ -139,6 +144,14 @@ fn parse_request(line: &str) -> Result<Request, String> {
         "FLUSH" => Request::Flush,
         "SNAPSHOT" => Request::Snapshot,
         "WALSTATS" => Request::WalStats,
+        "METRICS" => Request::Metrics,
+        "TRACE" => {
+            let n = match it.next() {
+                Some(tok) => parse_u64(Some(tok))? as usize,
+                None => DEFAULT_TRACE_EVENTS,
+            };
+            Request::Trace(n)
+        }
         "PING" => Request::Ping,
         "QUIT" => Request::Quit,
         "SHUTDOWN" => Request::Shutdown,
@@ -165,8 +178,41 @@ fn parse_batch_op(line: &str) -> Result<Update, String> {
     Ok(op)
 }
 
-fn err_line(e: &ServiceError) -> String {
-    format!("ERR {e}")
+/// Writes one `ERR <reason>` reply and counts it: every error line the
+/// server emits, whatever the cause, moves `request_errors_total`.
+fn write_err(
+    w: &mut BufWriter<TcpStream>,
+    obs: &Obs,
+    msg: impl std::fmt::Display,
+) -> std::io::Result<()> {
+    obs.metrics.request_errors_total.inc();
+    writeln!(w, "ERR {msg}")
+}
+
+/// Mirrors one connection's lifetime into the registry: counted on
+/// accept, decremented on drop — so `connections_live` is correct no
+/// matter which of the handler's many exits ran — and stamped into the
+/// flight recorder with the close reason the handler recorded.
+struct ConnGuard {
+    obs: Arc<Obs>,
+    reason: CloseReason,
+}
+
+impl ConnGuard {
+    fn new(obs: Arc<Obs>) -> ConnGuard {
+        obs.metrics.connections_total.inc();
+        obs.metrics.connections_live.inc();
+        // `IoError` is the default so an early `?` return (peer reset,
+        // broken pipe) needs no bookkeeping; orderly exits overwrite it.
+        ConnGuard { obs, reason: CloseReason::IoError }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.obs.metrics.connections_live.dec();
+        self.obs.recorder.record(Event::ConnClosed { reason: self.reason });
+    }
 }
 
 struct ServerShared {
@@ -283,15 +329,21 @@ fn handle_connection(
     client: &Client,
     shared: &ServerShared,
 ) -> std::io::Result<()> {
+    let obs = client.observability();
+    let mut guard = ConnGuard::new(Arc::clone(&obs));
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut w = BufWriter::new(stream);
     let mut line = String::new();
     loop {
         match read_bounded_line(&mut reader, &mut line) {
-            Ok(0) => return Ok(()), // EOF
+            Ok(0) => {
+                guard.reason = CloseReason::Eof;
+                return Ok(());
+            }
             Ok(_) => {}
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                writeln!(w, "ERR {e}")?;
+                guard.reason = CloseReason::OversizedLine;
+                write_err(&mut w, &obs, e)?;
                 return w.flush();
             }
             Err(e) => return Err(e),
@@ -299,30 +351,39 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(line.trim()) {
+        let parsed = parse_request(line.trim());
+        if parsed.is_ok() {
+            // Count by verb only once the line parsed: a request that
+            // never was one shows up in `request_errors_total` instead.
+            if let Some(verb) = line.split_whitespace().next() {
+                obs.metrics.record_request(verb);
+            }
+        }
+        match parsed {
             Err(msg) => {
-                writeln!(w, "ERR {msg}")?;
+                write_err(&mut w, &obs, msg)?;
                 // A rejected `B` header is a framing error: the peer is
                 // about to stream body lines we cannot delimit, so
                 // interpreting them as top-level requests would both
                 // execute a rejected batch and desynchronize every later
                 // reply. Close instead.
                 if line.split_whitespace().next() == Some("B") {
+                    guard.reason = CloseReason::BadBatchHeader;
                     return w.flush();
                 }
             }
             Ok(Request::Insert(u, v)) => match client.insert(u, v) {
                 Ok(()) => writeln!(w, "OK")?,
-                Err(e) => writeln!(w, "{}", err_line(&e))?,
+                Err(e) => write_err(&mut w, &obs, e)?,
             },
             Ok(Request::Delete(u, v)) => match client.delete(u, v) {
                 Ok(()) => writeln!(w, "OK")?,
-                Err(e) => writeln!(w, "{}", err_line(&e))?,
+                Err(e) => write_err(&mut w, &obs, e)?,
             },
             Ok(Request::Query(u, v)) => match client.query(u, v) {
                 // Exactly one bit, always: pre-QG clients parse this.
                 Ok(c) => writeln!(w, "{}", u8::from(c))?,
-                Err(e) => writeln!(w, "{}", err_line(&e))?,
+                Err(e) => write_err(&mut w, &obs, e)?,
             },
             Ok(Request::QueryGen(u, v)) => match client.query_gen(u, v) {
                 // Staleness honesty: when the answer came from a sealed
@@ -331,19 +392,24 @@ fn handle_connection(
                 // racing this request can never mislabel it.
                 Ok((c, Some(generation))) => writeln!(w, "{} G {generation}", u8::from(c))?,
                 Ok((c, None)) => writeln!(w, "{}", u8::from(c))?,
-                Err(e) => writeln!(w, "{}", err_line(&e))?,
+                Err(e) => write_err(&mut w, &obs, e)?,
             },
             Ok(Request::Batch(k)) => {
                 let mut ops = Vec::with_capacity(k.min(1 << 16));
                 let mut bad: Option<String> = None;
                 for _ in 0..k {
                     match read_bounded_line(&mut reader, &mut line) {
-                        Ok(0) => return Ok(()), // truncated batch: peer went away
+                        Ok(0) => {
+                            // Truncated batch: peer went away.
+                            guard.reason = CloseReason::TruncatedBatch;
+                            return Ok(());
+                        }
                         Ok(_) => {}
                         Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                             // Oversized body line: the batch framing is
                             // unrecoverable, same as a rejected header.
-                            writeln!(w, "ERR {e}")?;
+                            guard.reason = CloseReason::OversizedLine;
+                            write_err(&mut w, &obs, e)?;
                             return w.flush();
                         }
                         Err(e) => return Err(e),
@@ -354,7 +420,7 @@ fn handle_connection(
                     }
                 }
                 if let Some(msg) = bad {
-                    writeln!(w, "ERR {msg}")?;
+                    write_err(&mut w, &obs, msg)?;
                 } else {
                     match client.submit(ops) {
                         Ok(answers) => {
@@ -366,20 +432,20 @@ fn handle_connection(
                                 writeln!(w, "OK {bits}")?;
                             }
                         }
-                        Err(e) => writeln!(w, "{}", err_line(&e))?,
+                        Err(e) => write_err(&mut w, &obs, e)?,
                     }
                 }
             }
             Ok(Request::Label(v)) => match client.current_label(v) {
                 Ok(l) => writeln!(w, "L {l}")?,
-                Err(e) => writeln!(w, "{}", err_line(&e))?,
+                Err(e) => write_err(&mut w, &obs, e)?,
             },
             Ok(Request::Components) => writeln!(w, "C {}", client.num_components())?,
             Ok(Request::Epoch) => writeln!(w, "E {}", client.epoch())?,
             Ok(Request::Wait(epoch, timeout_ms)) => {
                 match client.wait_for_epoch(epoch, Duration::from_millis(timeout_ms)) {
                     Ok(at) => writeln!(w, "E {at}")?,
-                    Err(e) => writeln!(w, "{}", err_line(&e))?,
+                    Err(e) => write_err(&mut w, &obs, e)?,
                 }
             }
             Ok(Request::Gen) => {
@@ -398,29 +464,45 @@ fn handle_connection(
             Ok(Request::Quiesce(timeout_ms)) => {
                 match client.quiesce(Duration::from_millis(timeout_ms)) {
                     Ok(generation) => writeln!(w, "G {generation}")?,
-                    Err(e) => writeln!(w, "{}", err_line(&e))?,
+                    Err(e) => write_err(&mut w, &obs, e)?,
                 }
             }
             Ok(Request::Role) => writeln!(w, "R {}", client.role())?,
             Ok(Request::Stats) => writeln!(w, "S {}", client.stats())?,
             Ok(Request::Flush) => match client.flush_wal() {
                 Ok(()) => writeln!(w, "OK")?,
-                Err(e) => writeln!(w, "{}", err_line(&e))?,
+                Err(e) => write_err(&mut w, &obs, e)?,
             },
             Ok(Request::Snapshot) => match client.durable_snapshot() {
                 Ok(epoch) => writeln!(w, "SNAP {epoch}")?,
-                Err(e) => writeln!(w, "{}", err_line(&e))?,
+                Err(e) => write_err(&mut w, &obs, e)?,
             },
             Ok(Request::WalStats) => match client.wal_stats() {
                 Ok(s) => writeln!(w, "W {s}")?,
-                Err(e) => writeln!(w, "{}", err_line(&e))?,
+                Err(e) => write_err(&mut w, &obs, e)?,
             },
+            Ok(Request::Metrics) => {
+                for l in client.render_metrics() {
+                    writeln!(w, "{l}")?;
+                }
+                writeln!(w, "# EOF")?;
+            }
+            Ok(Request::Trace(n)) => {
+                for l in client.trace_events(n) {
+                    writeln!(w, "{l}")?;
+                }
+                writeln!(w, "# EOF")?;
+            }
             Ok(Request::Ping) => writeln!(w, "PONG")?,
-            Ok(Request::Quit) => return w.flush(),
+            Ok(Request::Quit) => {
+                guard.reason = CloseReason::Quit;
+                return w.flush();
+            }
             Ok(Request::Shutdown) => {
                 writeln!(w, "BYE")?;
                 w.flush()?;
                 shared.request_shutdown();
+                guard.reason = CloseReason::Shutdown;
                 return Ok(());
             }
         }
@@ -639,6 +721,46 @@ impl TcpClient {
             .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
     }
 
+    /// Reads a multi-line reply (`METRICS` / `TRACE`) up to its `# EOF`
+    /// terminator; the terminator is consumed and not returned.
+    fn read_multiline(&mut self) -> std::io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(proto_err("connection closed mid-dump (no `# EOF`)"));
+            }
+            let line = line.trim_end();
+            if line == "# EOF" {
+                return Ok(out);
+            }
+            if let Some(msg) = line.strip_prefix("ERR ") {
+                return Err(proto_err(format!("server error: {msg}")));
+            }
+            out.push(line.to_string());
+        }
+    }
+
+    /// `METRICS`: the full Prometheus-style exposition, one element per
+    /// line (`# TYPE …` comments included, `# EOF` terminator stripped).
+    pub fn metrics(&mut self) -> std::io::Result<Vec<String>> {
+        writeln!(self.writer, "METRICS")?;
+        self.writer.flush()?;
+        self.read_multiline()
+    }
+
+    /// `TRACE [n]`: the last `n` flight-recorder events (server default
+    /// when `None`), oldest first, `# EOF` terminator stripped.
+    pub fn trace(&mut self, n: Option<usize>) -> std::io::Result<Vec<String>> {
+        match n {
+            Some(n) => writeln!(self.writer, "TRACE {n}")?,
+            None => writeln!(self.writer, "TRACE")?,
+        }
+        self.writer.flush()?;
+        self.read_multiline()
+    }
+
     /// `PING`.
     pub fn ping(&mut self) -> std::io::Result<()> {
         match self.roundtrip("PING")?.as_str() {
@@ -675,6 +797,12 @@ mod tests {
         assert_eq!(parse_request("FLUSH"), Ok(Request::Flush));
         assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
         assert_eq!(parse_request("WALSTATS"), Ok(Request::WalStats));
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+        assert_eq!(parse_request("TRACE"), Ok(Request::Trace(DEFAULT_TRACE_EVENTS)));
+        assert_eq!(parse_request("TRACE 7"), Ok(Request::Trace(7)));
+        assert!(parse_request("METRICS all").is_err());
+        assert!(parse_request("TRACE x").is_err());
+        assert!(parse_request("TRACE 7 9").is_err());
         assert_eq!(parse_request("ROLE"), Ok(Request::Role));
         assert_eq!(parse_request("WAIT 9"), Ok(Request::Wait(9, DEFAULT_WAIT_TIMEOUT_MS)));
         assert_eq!(parse_request("WAIT 9 250"), Ok(Request::Wait(9, 250)));

@@ -61,6 +61,7 @@
 //! The three follower-recovery invariants this module upholds are spelled
 //! out in DESIGN.md §8.
 
+use crate::obs::{Event, FollowerSlot, Obs};
 use crate::service::Client;
 use crate::snapshot;
 use crate::wal::{self, TailEvent, WalCursor};
@@ -139,6 +140,11 @@ struct HubShared {
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     counters: ReplicationCounters,
+    /// The primary service's observability plane, when the hub was
+    /// started with [`serve_replication_observed`]: per-follower slots
+    /// (epoch lag, records/bytes shipped) and lifecycle events mirror
+    /// into it alongside the legacy [`ReplicationCounters`].
+    obs: Option<Arc<Obs>>,
 }
 
 impl ReplicationHub {
@@ -176,6 +182,20 @@ pub fn serve_replication(
     wal_dir: impl Into<PathBuf>,
     addr: impl ToSocketAddrs,
 ) -> std::io::Result<ReplicationHub> {
+    serve_replication_observed(wal_dir, addr, None)
+}
+
+/// [`serve_replication`] with the primary service's observability plane
+/// attached: each follower connection additionally registers a
+/// per-follower telemetry slot (rendered as `connectit_follower_*`
+/// series by `METRICS`), mirrors shipped records/bytes into the
+/// registry, and stamps connect / caught-up / pruned-rebootstrap
+/// lifecycle events into the flight recorder.
+pub fn serve_replication_observed(
+    wal_dir: impl Into<PathBuf>,
+    addr: impl ToSocketAddrs,
+    obs: Option<Arc<Obs>>,
+) -> std::io::Result<ReplicationHub> {
     let dir = wal_dir.into();
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
@@ -183,6 +203,7 @@ pub fn serve_replication(
         shutdown: AtomicBool::new(false),
         local_addr: listener.local_addr()?,
         counters: ReplicationCounters::default(),
+        obs,
     });
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::Builder::new().name("cc-repl-accept".into()).spawn(move || {
@@ -240,19 +261,20 @@ fn ship_snapshot_if_newer(
             // Counted before the bytes go out, so the counter is never
             // behind what a follower demonstrably received.
             shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
-            match &snap.edges {
-                // Ship the real live edge set when the snapshot has one:
-                // the follower's liveness tracker then holds exactly the
-                // primary's edges, so later deletions classify the same
-                // way on both sides. (Labels would do for connectivity,
-                // but their derived spanning edges are phantoms.)
-                Some(edges) => {
-                    send_record(w, TAG_EDGES, &binary::encode_edge_batch(snap.epoch, edges))?;
-                }
-                None => {
-                    send_record(w, TAG_SNAPSHOT, &binary::encode_labels(snap.epoch, &snap.labels))?;
-                }
+            // Ship the real live edge set when the snapshot has one:
+            // the follower's liveness tracker then holds exactly the
+            // primary's edges, so later deletions classify the same
+            // way on both sides. (Labels would do for connectivity,
+            // but their derived spanning edges are phantoms.)
+            let (tag, payload) = match &snap.edges {
+                Some(edges) => (TAG_EDGES, binary::encode_edge_batch(snap.epoch, edges)),
+                None => (TAG_SNAPSHOT, binary::encode_labels(snap.epoch, &snap.labels)),
+            };
+            if let Some(obs) = &shared.obs {
+                obs.metrics.repl_snapshots_shipped_total.inc();
+                obs.metrics.repl_bytes_shipped_total.add(payload.len() as u64 + 1);
             }
+            send_record(w, tag, &payload)?;
             w.flush()?;
             Ok(snap.epoch)
         }
@@ -260,6 +282,21 @@ fn ship_snapshot_if_newer(
         Err(e) => Err(proto_err(format!(
             "snapshot store unreadable; refusing to stream a history with holes: {e}"
         ))),
+    }
+}
+
+/// Keeps a follower's telemetry slot registered for exactly the sender
+/// thread's lifetime: dropping the guard (any exit path, `?` included)
+/// removes the slot, so `METRICS` never renders series for a follower
+/// that is gone.
+struct FollowerGuard {
+    obs: Arc<Obs>,
+    slot: Arc<FollowerSlot>,
+}
+
+impl Drop for FollowerGuard {
+    fn drop(&mut self) {
+        self.obs.metrics.unregister_follower(self.slot.id);
     }
 }
 
@@ -284,6 +321,12 @@ fn stream_to_follower(stream: TcpStream, dir: &Path, shared: &HubShared) -> std:
         )));
     }
     let follower_epoch = u64::from_le_bytes(hello[1..9].try_into().expect("8 bytes"));
+    let guard = shared.obs.as_ref().map(|obs| {
+        obs.metrics.repl_connects_total.inc();
+        let slot = obs.metrics.register_follower(follower_epoch);
+        obs.recorder.record(Event::FollowerConnected { id: slot.id, epoch: follower_epoch });
+        FollowerGuard { obs: Arc::clone(obs), slot }
+    });
 
     let mut w = BufWriter::new(stream);
     binary::write_magic(&mut w, REPL_MAGIC)?;
@@ -293,10 +336,14 @@ fn stream_to_follower(stream: TcpStream, dir: &Path, shared: &HubShared) -> std:
     // snapshot may need records that pruning already retired, so it gets
     // the snapshot; a fresh-enough follower resumes from the WAL alone.
     let mut sent_epoch = ship_snapshot_if_newer(&mut w, dir, follower_epoch, shared)?;
+    if let Some(g) = &guard {
+        g.slot.sent_epoch.store(sent_epoch, Ordering::Relaxed);
+    }
 
     let mut cursor = WalCursor::open(dir, 0, binary::MAGIC_LEN as u64);
     cursor.oldest()?;
     let mut last_write = std::time::Instant::now();
+    let mut reported_caught_up = false;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return Ok(());
@@ -317,22 +364,35 @@ fn stream_to_follower(stream: TcpStream, dir: &Path, shared: &HubShared) -> std:
                             _ => None,
                         })
                         .collect();
-                    match edges {
-                        Some(edges) => send_record(
-                            &mut w,
-                            TAG_BATCH,
-                            &binary::encode_edge_batch(epoch, &edges),
-                        )?,
-                        None => {
-                            send_record(&mut w, TAG_DELTA, &wal::encode_update_batch(epoch, &ops))?
-                        }
+                    let (tag, payload) = match edges {
+                        Some(edges) => (TAG_BATCH, binary::encode_edge_batch(epoch, &edges)),
+                        None => (TAG_DELTA, wal::encode_update_batch(epoch, &ops)),
+                    };
+                    if let Some(g) = &guard {
+                        g.obs.metrics.repl_records_shipped_total.inc();
+                        g.obs.metrics.repl_bytes_shipped_total.add(payload.len() as u64 + 1);
+                        g.slot.records.fetch_add(1, Ordering::Relaxed);
+                        g.slot.bytes.fetch_add(payload.len() as u64 + 1, Ordering::Relaxed);
+                        g.slot.sent_epoch.store(epoch, Ordering::Relaxed);
                     }
+                    send_record(&mut w, tag, &payload)?;
                     w.flush()?;
                     sent_epoch = epoch;
                     last_write = std::time::Instant::now();
                 }
             }
             Ok(TailEvent::CaughtUp) => {
+                // The first catch-up after the bootstrap replay is the
+                // interesting lifecycle fact; steady-state polling would
+                // flood the recorder, so it is stamped once.
+                if !reported_caught_up {
+                    reported_caught_up = true;
+                    if let Some(g) = &guard {
+                        g.obs
+                            .recorder
+                            .record(Event::FollowerCaughtUp { id: g.slot.id, epoch: sent_epoch });
+                    }
+                }
                 // Heartbeat a quiet stream: the write is how a sender
                 // notices its follower died (the WAL poll never would),
                 // bounding this thread's lifetime to one heartbeat past
@@ -348,7 +408,13 @@ fn stream_to_follower(stream: TcpStream, dir: &Path, shared: &HubShared) -> std:
                 // A durable snapshot retired the cursor's segment. The
                 // snapshot covers everything the pruned records held, so
                 // ship it and resume from the oldest surviving segment.
+                if let Some(g) = &guard {
+                    g.obs.recorder.record(Event::FollowerPruned { id: g.slot.id });
+                }
                 sent_epoch = ship_snapshot_if_newer(&mut w, dir, sent_epoch, shared)?;
+                if let Some(g) = &guard {
+                    g.slot.sent_epoch.store(sent_epoch, Ordering::Relaxed);
+                }
                 cursor.oldest()?;
             }
             Err(e) => return Err(proto_err(format!("wal tail failed: {e}"))),
@@ -407,6 +473,7 @@ fn follow_once(
     shutdown: &Arc<AtomicBool>,
     counters: &ReplicationCounters,
 ) -> std::io::Result<StreamEnd> {
+    let obs = client.observability();
     let stream = TcpStream::connect(primary_addr)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
@@ -429,6 +496,7 @@ fn follow_once(
         return Ok(StreamEnd::Disconnected);
     }
     counters.connects.fetch_add(1, Ordering::Relaxed);
+    obs.metrics.repl_connects_total.inc();
     let mut records = binary::RecordReader::new(reader, binary::MAGIC_LEN as u64);
     loop {
         let payload = match records.next() {
@@ -452,18 +520,21 @@ fn follow_once(
                 .map_err(|e| proto_err(e.to_string()))
                 .and_then(|(epoch, edges)| {
                     counters.batches.fetch_add(1, Ordering::Relaxed);
+                    obs.metrics.repl_records_applied_total.inc();
                     client.apply_replicated(epoch, &edges).map_err(|e| proto_err(e.to_string()))
                 }),
             TAG_DELTA => wal::decode_update_batch(rest, 0)
                 .map_err(|e| proto_err(e.to_string()))
                 .and_then(|(epoch, ops)| {
                     counters.batches.fetch_add(1, Ordering::Relaxed);
+                    obs.metrics.repl_records_applied_total.inc();
                     client.apply_replicated_ops(epoch, &ops).map_err(|e| proto_err(e.to_string()))
                 }),
             TAG_EDGES => binary::decode_edge_batch(rest, 0)
                 .map_err(|e| proto_err(e.to_string()))
                 .and_then(|(epoch, edges)| {
                     counters.snapshots.fetch_add(1, Ordering::Relaxed);
+                    obs.metrics.repl_snapshots_applied_total.inc();
                     client
                         .apply_replicated_edge_set(epoch, &edges)
                         .map_err(|e| proto_err(e.to_string()))
@@ -472,6 +543,7 @@ fn follow_once(
                 .map_err(|e| proto_err(e.to_string()))
                 .and_then(|(epoch, labels)| {
                     counters.snapshots.fetch_add(1, Ordering::Relaxed);
+                    obs.metrics.repl_snapshots_applied_total.inc();
                     client
                         .apply_replicated_labels(epoch, &labels)
                         .map_err(|e| proto_err(e.to_string()))
@@ -763,6 +835,55 @@ mod tests {
         shutdown.store(true, Ordering::Release);
         h.join().expect("receiver exits");
         hub.stop();
+        primary.shutdown();
+        f.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observed_hub_registers_follower_slots() {
+        let dir = tmp_dir("obs");
+        let mut primary = Service::start(primary_cfg(32, &dir)).expect("primary");
+        let p = primary.client();
+        let obs = p.observability();
+        let mut hub =
+            serve_replication_observed(&dir, "127.0.0.1:0", Some(Arc::clone(&obs))).expect("hub");
+        p.insert(1, 2).expect("insert");
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut f = follower(32);
+        let (h, _) = run_follower(f.client(), hub.local_addr().to_string(), Arc::clone(&shutdown))
+            .expect("recv");
+        wait_epoch(&f.client(), p.epoch());
+
+        // Primary side: the slot exists, ships are mirrored, and the
+        // per-follower series render.
+        assert_eq!(obs.metrics.followers_live.get(), 1);
+        assert!(obs.metrics.repl_records_shipped_total.get() >= 1);
+        assert!(obs.metrics.repl_bytes_shipped_total.get() > 0);
+        assert_eq!(obs.metrics.repl_connects_total.get(), 1);
+        let lines = obs.metrics.render().join("\n");
+        assert!(
+            lines.contains("connectit_follower_epoch_lag{follower=\"1\"}"),
+            "per-follower lag series missing:\n{lines}"
+        );
+        // Follower side: applies and connects mirror into its own plane.
+        let fobs = f.client().observability();
+        assert!(fobs.metrics.repl_records_applied_total.get() >= 1);
+        assert_eq!(fobs.metrics.repl_connects_total.get(), 1);
+
+        shutdown.store(true, Ordering::Release);
+        h.join().expect("receiver exits");
+        hub.stop();
+        // The sender thread notices the hub shutdown within one poll and
+        // its guard unregisters the slot.
+        for _ in 0..500 {
+            if obs.metrics.followers_live.get() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(obs.metrics.followers_live.get(), 0, "slot must unregister on disconnect");
         primary.shutdown();
         f.shutdown();
         let _ = std::fs::remove_dir_all(&dir);

@@ -20,13 +20,14 @@
 
 use crate::engine::{EngineError, ExecMode, RunMode};
 use crate::generation::{GenInfo, GenerationEngine};
+use crate::obs::{self, Event, Obs};
 use crate::snapshot;
-use crate::wal::{DurabilityConfig, Wal, WalError};
-use cc_parallel::hist::LatencyHist;
+use crate::wal::{DurabilityConfig, Wal, WalError, WalStats};
 use cc_unionfind::UfSpec;
 use connectit::Update;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,6 +39,14 @@ const REPLAY_CHUNK: usize = 1 << 16;
 /// declining an explicit `SNAPSHOT` request (durable snapshots are only
 /// taken on clean generations; see `DESIGN.md` §9).
 const SNAPSHOT_QUIESCE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How often the batcher appends fresh flight-recorder events to the
+/// trace file while durability is on: a SIGKILL loses at most this
+/// window of events (plus whatever the ring had not yet flushed).
+const TRACE_FLUSH_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Trailing lines of a previous run's trace file surfaced on recovery.
+const TRACE_TAIL_LINES: usize = 20;
 
 /// Which side of the replication topology a service plays.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -310,10 +319,14 @@ struct Inner {
     q: Mutex<SubmitQueue>,
     work_cv: Condvar,
     epoch: AtomicU64,
-    inserts: AtomicU64,
-    deletes: AtomicU64,
-    queries: AtomicU64,
-    latency: LatencyHist,
+    /// The observability plane. The registry's `inserts/deletes/queries`
+    /// counters and `latency_ns` histogram are the *authoritative*
+    /// service counters (`stats()` reads them back); everything else in
+    /// it is a write-time mirror of subsystem state.
+    obs: Arc<Obs>,
+    /// Where the flight recorder flushes (`<wal-dir>/trace-<pid>.log`);
+    /// `None` without durability (the ring stays in memory for `TRACE`).
+    trace_path: Option<PathBuf>,
     snapshot: Mutex<Arc<LabelSnapshot>>,
     /// The write-ahead log, when durability is on. Locked by the batcher
     /// for appends and by clients for `FLUSH`/`WALSTATS`.
@@ -337,6 +350,7 @@ struct Inner {
 impl Inner {
     fn bump_epoch_to(&self, epoch: u64) {
         self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        self.obs.metrics.epoch.set_max(epoch);
         let _g = self.epoch_mx.lock();
         self.epoch_cv.notify_all();
     }
@@ -354,11 +368,30 @@ impl Inner {
         if published.epoch <= epoch {
             *published = Arc::clone(&snap);
         }
+        drop(published);
+        // Mirror for the lock-free scrape: `connectit_components` reports
+        // the last *published* component count, refreshed exactly when a
+        // snapshot is (counting components on every batch would put O(n)
+        // work on the hot path).
+        self.obs.metrics.components.set(num_components as u64);
+        self.obs
+            .recorder
+            .record(Event::SnapshotPublished { epoch, components: num_components as u64 });
         snap
     }
 
     fn note_wal_error(&self, msg: &str) {
         *self.last_wal_error.lock() = Some(msg.to_string());
+    }
+
+    /// Appends fresh flight-recorder events to the trace file. Best
+    /// effort and a no-op without durability: the trace file is a
+    /// post-mortem aid, and observability must never take the service
+    /// down with it.
+    fn flush_trace(&self) {
+        if let Some(path) = &self.trace_path {
+            self.obs.recorder.flush_to_file(path).ok();
+        }
     }
 
     /// The batcher's idle tick: sync pending WAL bytes once the
@@ -401,6 +434,7 @@ impl Inner {
             ServiceError::Durability(format!("snapshot write in {}: {e}", dcfg.dir.display()))
         })?;
         self.durable_snapshot_epoch.store(epoch, Ordering::Release);
+        self.obs.metrics.durable_snapshot_epoch.set_max(epoch);
         snapshot::prune_older_than(&dcfg.dir, epoch);
         if let Some(w) = &self.wal {
             let mut w = w.lock();
@@ -414,7 +448,12 @@ impl Inner {
 /// The batch former: runs on a dedicated thread until the service closes
 /// and the queue drains.
 fn run_batcher(inner: &Arc<Inner>) {
+    let mut last_trace_flush = Instant::now();
     loop {
+        if last_trace_flush.elapsed() >= TRACE_FLUSH_INTERVAL {
+            inner.flush_trace();
+            last_trace_flush = Instant::now();
+        }
         let mut pendings: Vec<Pending> = Vec::new();
         {
             let mut q = inner.q.lock();
@@ -430,9 +469,14 @@ fn run_batcher(inner: &Arc<Inner>) {
                     // with no new append to piggyback on, so sync the
                     // pending WAL bytes — with the queue lock released,
                     // because clients block on it to submit and an
-                    // fdatasync can take milliseconds.
+                    // fdatasync can take milliseconds. Fresh trace events
+                    // ride along to the trace file on the same cadence.
                     drop(q);
                     inner.maybe_sync_wal();
+                    if last_trace_flush.elapsed() >= TRACE_FLUSH_INTERVAL {
+                        inner.flush_trace();
+                        last_trace_flush = Instant::now();
+                    }
                     q = inner.q.lock();
                 }
             }
@@ -466,6 +510,22 @@ fn run_batcher(inner: &Arc<Inner>) {
             batch.extend_from_slice(&p.ops);
         }
 
+        // Stage boundaries of the per-batch latency breakdown: queue
+        // wait (per submission, below) → WAL append (fsync inside, timed
+        // by the WAL itself) → engine apply → snapshot publish. All
+        // instrumentation is a few relaxed atomics per *batch*, not per
+        // operation — that amortization is the near-zero-cost claim the
+        // obs bench gate holds us to.
+        let metrics = &inner.obs.metrics;
+        let formed_at = Instant::now();
+        let next_epoch = inner.epoch.load(Ordering::Relaxed) + 1;
+        metrics.batches_total.inc();
+        inner.obs.recorder.record(Event::BatchFormed { epoch: next_epoch, ops: total as u64 });
+        for p in &pendings {
+            let waited = formed_at.saturating_duration_since(p.enqueued);
+            metrics.queue_wait_ns.record_duration(waited);
+        }
+
         // Write-ahead: log the batch's mutations — inserts *and
         // deletions*, in submission order — under the epoch it is about
         // to commit as, *before* touching the engine. If the log cannot
@@ -473,37 +533,44 @@ fn run_batcher(inner: &Arc<Inner>) {
         // not mutated), so the in-memory state never runs ahead of what a
         // restart could reconstruct. Insert-only batches keep the
         // original `'I'` record kind on disk and on the wire.
-        let next_epoch = inner.epoch.load(Ordering::Relaxed) + 1;
         if let Some(w) = &inner.wal {
-            if let Err(e) = w.lock().append_ops(next_epoch, &batch) {
+            let append_start = Instant::now();
+            let append_res = w.lock().append_ops(next_epoch, &batch);
+            metrics.wal_append_ns.record_duration(append_start.elapsed());
+            if let Err(e) = append_res {
                 let err = ServiceError::from(e);
                 inner.note_wal_error(&err.to_string());
+                metrics.batch_rejects_total.inc();
                 for p in pendings {
                     p.reply.fulfill(Err(err.clone()));
                 }
                 continue;
             }
         }
+        let apply_start = Instant::now();
         let answers = inner.engine.process_batch_tagged(&batch);
 
         // Account everything *before* fulfilling any reply, so a client
         // that returns from `submit` observes stats covering its batch.
         let done_at = Instant::now();
+        metrics.apply_ns.record_duration(done_at.saturating_duration_since(apply_start));
+        inner.obs.recorder.record(Event::EngineApplied { epoch: next_epoch, ops: total as u64 });
         let (mut ins, mut dels, mut qrs) = (0u64, 0u64, 0u64);
         for p in &pendings {
             qrs += p.num_queries as u64;
             dels += p.num_deletes as u64;
             ins += (p.ops.len() - p.num_queries - p.num_deletes) as u64;
             let elapsed = done_at.saturating_duration_since(p.enqueued);
-            inner.latency.record_n(
+            metrics.latency_ns.record_n(
                 u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
                 p.ops.len() as u64,
             );
         }
-        inner.inserts.fetch_add(ins, Ordering::Relaxed);
-        inner.deletes.fetch_add(dels, Ordering::Relaxed);
-        inner.queries.fetch_add(qrs, Ordering::Relaxed);
+        metrics.inserts_total.add(ins);
+        metrics.deletes_total.add(dels);
+        metrics.queries_total.add(qrs);
         let epoch = inner.epoch.fetch_add(1, Ordering::Release) + 1;
+        metrics.epoch.set_max(epoch);
         debug_assert_eq!(epoch, next_epoch);
         {
             // Wake any `WAIT <epoch>` blocked on this advance.
@@ -511,7 +578,9 @@ fn run_batcher(inner: &Arc<Inner>) {
             inner.epoch_cv.notify_all();
         }
         if inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(inner.cfg.snapshot_every) {
+            let publish_start = Instant::now();
             inner.publish_snapshot(epoch);
+            metrics.publish_ns.record_duration(publish_start.elapsed());
         }
 
         // Durable snapshots: on the configured epoch cadence, or when a
@@ -611,6 +680,7 @@ impl Service {
                     .into(),
             ));
         }
+        let obs = Obs::new();
         let engine = GenerationEngine::new(
             cfg.n,
             cfg.shards,
@@ -618,12 +688,14 @@ impl Service {
             cfg.mode,
             cfg.seed,
             cfg.rebuild_hold,
+            Some(Arc::clone(&obs)),
         )
         .map_err(ServiceError::Config)?;
 
         let mut recovered_epoch = 0u64;
         let mut snap_epoch = 0u64;
         let mut wal = None;
+        let mut trace_path = None;
         if let Some(dcfg) = &cfg.durability {
             // Scan (and re-open) the log first — this also creates the
             // directory — then seed from the newest snapshot and replay
@@ -675,7 +747,19 @@ impl Service {
                 recovered_epoch = recovered_epoch.max(*epoch);
             }
             engine.finish_recovery();
+            let mut w = w;
+            w.attach_obs(Arc::clone(&obs));
             wal = Some(Mutex::new(w));
+            // Surface (and consume) the trace a previous run flushed here
+            // — after a SIGKILL this is the crash post-mortem — then
+            // claim this run's own trace file.
+            for (file, tail) in obs::drain_previous_traces(&dcfg.dir, TRACE_TAIL_LINES) {
+                eprintln!("recovered flight-recorder tail from {file}:");
+                for line in tail {
+                    eprintln!("  {line}");
+                }
+            }
+            trace_path = Some(dcfg.dir.join(format!("trace-{}.log", std::process::id())));
         }
 
         let initial = if recovered_epoch > 0 {
@@ -690,16 +774,17 @@ impl Service {
             })
         };
         let role = cfg.role;
+        obs.metrics.epoch.set_max(recovered_epoch);
+        obs.metrics.durable_snapshot_epoch.set_max(snap_epoch);
+        obs.metrics.components.set(initial.num_components as u64);
         let inner = Arc::new(Inner {
             engine,
             cfg,
             q: Mutex::new(SubmitQueue { queue: VecDeque::new(), queued_ops: 0, closed: false }),
             work_cv: Condvar::new(),
             epoch: AtomicU64::new(recovered_epoch),
-            inserts: AtomicU64::new(0),
-            deletes: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            latency: LatencyHist::new(),
+            obs,
+            trace_path,
             snapshot: Mutex::new(initial),
             wal,
             durable_snapshot_epoch: AtomicU64::new(snap_epoch),
@@ -756,6 +841,9 @@ impl Service {
                 self.inner.note_wal_error(&e.to_string());
             }
         }
+        // The ring's remaining events go to the trace file last, so the
+        // final shutdown fsync is itself on record for the next run.
+        self.inner.flush_trace();
     }
 }
 
@@ -856,8 +944,8 @@ impl Client {
                 self.inner.engine.connected_with_gen(u, v)
             })
             .collect();
-        self.inner.queries.fetch_add(num_queries as u64, Ordering::Relaxed);
-        self.inner.latency.record_n(
+        self.inner.obs.metrics.queries_total.add(num_queries as u64);
+        self.inner.obs.metrics.latency_ns.record_n(
             u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
             num_queries as u64,
         );
@@ -906,8 +994,8 @@ impl Client {
             let _apply = self.inner.apply_mx.lock();
             self.inner.engine.converge_to_edge_set(edges)
         };
-        self.inner.inserts.fetch_add(ins, Ordering::Relaxed);
-        self.inner.deletes.fetch_add(dels, Ordering::Relaxed);
+        self.inner.obs.metrics.inserts_total.add(ins);
+        self.inner.obs.metrics.deletes_total.add(dels);
         self.inner.bump_epoch_to(epoch);
         if self.inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(self.inner.cfg.snapshot_every)
         {
@@ -982,8 +1070,8 @@ impl Client {
                 self.inner.engine.process_batch(chunk);
             }
         }
-        self.inner.inserts.fetch_add(ins, Ordering::Relaxed);
-        self.inner.deletes.fetch_add(dels, Ordering::Relaxed);
+        self.inner.obs.metrics.inserts_total.add(ins);
+        self.inner.obs.metrics.deletes_total.add(dels);
         self.inner.bump_epoch_to(epoch);
         if self.inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(self.inner.cfg.snapshot_every)
         {
@@ -1191,28 +1279,49 @@ impl Client {
     /// One-line WAL statistics (the `WALSTATS` protocol verb): policy,
     /// segment/record/byte/sync counters, the last logged and
     /// last-snapshotted epochs, torn bytes dropped by recovery, and the
-    /// most recent durability error if any.
+    /// most recent durability error if any. A compat shim over the
+    /// metrics registry — the counters are the WAL's write-time mirrors,
+    /// so this takes no WAL lock and its wire spelling is unchanged.
     pub fn wal_stats(&self) -> Result<String, ServiceError> {
-        let w = self.inner.wal.as_ref().ok_or(ServiceError::DurabilityDisabled)?;
-        let stats = w.lock().stats();
+        if self.inner.wal.is_none() {
+            return Err(ServiceError::DurabilityDisabled);
+        }
+        let m = &self.inner.obs.metrics;
+        let stats = WalStats {
+            policy: self
+                .inner
+                .cfg
+                .durability
+                .as_ref()
+                .expect("a live wal implies a durability config")
+                .fsync,
+            segments: m.wal_segments.get(),
+            records: m.wal_records_total.get(),
+            appended_bytes: m.wal_bytes_total.get(),
+            syncs: m.wal_fsyncs_total.get(),
+            last_epoch: m.wal_last_epoch.get(),
+            torn_bytes: m.wal_torn_bytes.get(),
+        };
         let snap_epoch = self.inner.durable_snapshot_epoch.load(Ordering::Acquire);
         let last_error = self
             .inner
             .last_wal_error
             .lock()
             .as_deref()
-            .map_or_else(|| "-".to_string(), |e| format!("{e:?}"));
+            .map_or_else(|| "-".to_string(), sanitize_error_token);
         Ok(format!("{stats} snap_epoch={snap_epoch} last_error={last_error}"))
     }
 
-    /// A point-in-time stats view. The shard counters aggregate across
-    /// generation rebuilds (retired engines' counts are folded in), so
-    /// they never regress.
+    /// A point-in-time stats view — a compat shim over the metrics
+    /// registry for the op counters and latency histogram. The shard
+    /// counters aggregate across generation rebuilds (retired engines'
+    /// counts are folded in), so they never regress.
     pub fn stats(&self) -> ServiceStats {
         let (intra_inserts, cross_inserts, forwarded) = self.inner.engine.shard_counters();
-        let inserts = self.inner.inserts.load(Ordering::Relaxed);
-        let deletes = self.inner.deletes.load(Ordering::Relaxed);
-        let queries = self.inner.queries.load(Ordering::Relaxed);
+        let m = &self.inner.obs.metrics;
+        let inserts = m.inserts_total.get();
+        let deletes = m.deletes_total.get();
+        let queries = m.queries_total.get();
         ServiceStats {
             epoch: self.epoch(),
             ops: inserts + deletes + queries,
@@ -1223,9 +1332,44 @@ impl Client {
             cross_inserts,
             forwarded,
             num_components: self.inner.engine.num_components(),
-            latency_ns: self.inner.latency.percentiles(),
-            latency_summary: self.inner.latency.to_string(),
+            latency_ns: m.latency_ns.percentiles(),
+            latency_summary: m.latency_ns.to_string(),
         }
+    }
+
+    /// The service's observability plane (shared by the wire layer, the
+    /// replication hub, and embedders that want to scrape in-process).
+    pub fn observability(&self) -> Arc<Obs> {
+        Arc::clone(&self.inner.obs)
+    }
+
+    /// Renders the metrics registry in the `METRICS` verb's exposition
+    /// format, without the `# EOF` terminator (the wire layer and file
+    /// writers append it). Lock-free: every value is a relaxed atomic
+    /// load of a write-time mirror — no batcher, WAL, or engine lock.
+    pub fn render_metrics(&self) -> Vec<String> {
+        self.inner.obs.metrics.render()
+    }
+
+    /// Renders the most recent `n` flight-recorder events (the `TRACE`
+    /// verb), oldest first, without the `# EOF` terminator.
+    pub fn trace_events(&self, n: usize) -> Vec<String> {
+        self.inner.obs.recorder.render_last(n)
+    }
+}
+
+/// Collapses a free-form error message into one whitespace-free token so
+/// it can ride the one-line `key=value` grammar of `WALSTATS`: a
+/// `Durability` error carries paths, offsets, and io::Error text with
+/// spaces (and potentially newlines), and interpolating it raw would
+/// break every split-on-whitespace `STATS` parser. Whitespace runs
+/// become a single `_`; an empty message renders as the `-` sentinel.
+fn sanitize_error_token(s: &str) -> String {
+    let out = s.split_whitespace().collect::<Vec<_>>().join("_");
+    if out.is_empty() {
+        "-".to_string()
+    } else {
+        out
     }
 }
 
@@ -1313,6 +1457,33 @@ mod tests {
         assert!(c.query(0, 2).expect("query"));
         assert!(c.query(8, 9).expect("query"));
         assert!(!c.query(0, 8).expect("query"));
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_stats_last_error_is_one_whitespace_free_token() {
+        assert_eq!(sanitize_error_token(""), "-");
+        assert_eq!(sanitize_error_token("plain"), "plain");
+        assert_eq!(
+            sanitize_error_token("wal append failed: No space left\non device (os error 28)"),
+            "wal_append_failed:_No_space_left_on_device_(os_error_28)"
+        );
+        let dir = tmp_dir("last_error");
+        let mut svc = Service::start(durable_cfg(16, &dir)).expect("service");
+        let c = svc.client();
+        c.insert(0, 1).expect("insert");
+        // Plant a multi-word, multi-line error the way the append / sync
+        // paths do, then check the one-line grammar survives it: the
+        // whole dump must stay a single line of whitespace-free
+        // `key=value` tokens.
+        c.inner.note_wal_error("boom with spaces\nand a newline");
+        let stats = c.wal_stats().expect("wal stats");
+        assert!(stats.contains("last_error=boom_with_spaces_and_a_newline"), "{stats}");
+        assert_eq!(stats.lines().count(), 1, "{stats}");
+        for token in stats.split(' ') {
+            assert!(token.contains('='), "non key=value token {token:?} in {stats}");
+        }
         svc.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -58,11 +58,13 @@
 //! surfaced as a typed [`WalError`] with segment and offset context.
 //! Appends always go to a fresh segment, never after a torn tail.
 
+use crate::obs::{Event, Obs};
 use cc_graph::io::binary::{self, CodecError};
 use connectit::Update;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Magic prefix of every WAL segment this release writes (v2: every
@@ -480,6 +482,10 @@ pub struct Wal {
     /// segment's contents are undefined past `seg_bytes`, so further
     /// appends would be written after garbage and lost at recovery.
     poisoned: bool,
+    /// Metrics/trace sink ([`Wal::attach_obs`]); counters and gauges are
+    /// mirrored at each mutation so `WALSTATS`/`METRICS` never need this
+    /// log's lock to report on it.
+    obs: Option<Arc<Obs>>,
 }
 
 impl Wal {
@@ -554,16 +560,36 @@ impl Wal {
             last_sync: Instant::now(),
             dirty: false,
             poisoned: false,
+            obs: None,
         };
         Ok((wal, report))
     }
 
+    /// Attaches the observability plane and immediately mirrors this
+    /// log's current state (segments, recovered last epoch, torn bytes)
+    /// into the registry, so a scrape right after recovery is already
+    /// truthful.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        let stats = self.stats();
+        obs.metrics.wal_segments.set(stats.segments);
+        obs.metrics.wal_last_epoch.set(stats.last_epoch);
+        obs.metrics.wal_torn_bytes.set(stats.torn_bytes);
+        self.obs = Some(obs);
+    }
+
     fn sync(&mut self) -> std::io::Result<()> {
+        let t0 = Instant::now();
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
         self.syncs += 1;
         self.last_sync = Instant::now();
         self.dirty = false;
+        if let Some(o) = &self.obs {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            o.metrics.wal_fsyncs_total.inc();
+            o.metrics.fsync_ns.record(nanos);
+            o.recorder.record(Event::FsyncDone { nanos });
+        }
         Ok(())
     }
 
@@ -645,6 +671,12 @@ impl Wal {
         self.appended_bytes += written;
         self.records += 1;
         self.last_epoch = epoch;
+        if let Some(o) = &self.obs {
+            o.metrics.wal_records_total.inc();
+            o.metrics.wal_bytes_total.add(written);
+            o.metrics.wal_last_epoch.set_max(epoch);
+            o.recorder.record(Event::WalAppend { epoch, bytes: written });
+        }
         if self.seg_bytes >= self.cfg.segment_max_bytes {
             self.roll()?;
         }
@@ -694,6 +726,10 @@ impl Wal {
         file.flush().map_err(|e| io_err(&self.seg_path, e))?;
         self.file = file;
         self.seg_bytes = binary::MAGIC_LEN as u64;
+        if let Some(o) = &self.obs {
+            o.metrics.wal_rolls_total.inc();
+            o.metrics.wal_segments.set(self.sealed.len() as u64 + 1);
+        }
         Ok(())
     }
 
@@ -711,6 +747,10 @@ impl Wal {
                 true
             }
         });
+        if let Some(o) = &self.obs {
+            o.metrics.wal_prunes_total.add(removed as u64);
+            o.metrics.wal_segments.set(self.sealed.len() as u64 + 1);
+        }
         removed
     }
 

@@ -192,6 +192,110 @@ fn follower_rejects_updates_with_routing_hint() {
     svc.shutdown();
 }
 
+/// Reads a multi-line (`METRICS` / `TRACE`) reply up to its `# EOF`
+/// terminator, exclusive.
+fn read_dump(r: &mut BufReader<TcpStream>) -> Vec<String> {
+    let mut lines = Vec::new();
+    loop {
+        let l = read_line(r);
+        if l == "# EOF" {
+            return lines;
+        }
+        assert!(!l.is_empty(), "dump must terminate with `# EOF`, saw an empty line first");
+        lines.push(l);
+    }
+}
+
+#[test]
+fn metrics_exposition_grammar_is_typed_terminated_and_parseable() {
+    let (mut svc, mut server, addr) = start(Role::Primary);
+    let (mut r, mut w) = raw(addr);
+    // Argument errors spell exactly like every other verb's.
+    send_line(&mut w, "METRICS all");
+    assert_eq!(read_line(&mut r), "ERR trailing arguments after METRICS");
+    send_line(&mut w, "TRACE x");
+    assert_eq!(read_line(&mut r), "ERR argument is not a 64-bit unsigned integer");
+    send_line(&mut w, "TRACE 5 9");
+    assert_eq!(read_line(&mut r), "ERR trailing arguments after TRACE");
+    // Move some traffic so counters and the recorder are non-trivial.
+    send_line(&mut w, "I 1 2");
+    assert_eq!(read_line(&mut r), "OK");
+    send_line(&mut w, "Q 1 2");
+    assert_eq!(read_line(&mut r), "1");
+
+    send_line(&mut w, "METRICS");
+    let lines = read_dump(&mut r);
+    assert!(lines[0].starts_with("# TYPE connectit_"), "first line must be typed: {}", lines[0]);
+    for l in &lines {
+        if let Some(rest) = l.strip_prefix('#') {
+            // Comments are exactly `# TYPE connectit_<name> <kind>`.
+            let mut it = rest.trim_start().split(' ');
+            assert_eq!(it.next(), Some("TYPE"), "{l}");
+            assert!(it.next().is_some_and(|n| n.starts_with("connectit_")), "{l}");
+            let kind = it.next().expect("kind");
+            assert!(matches!(kind, "counter" | "gauge" | "summary"), "{l}");
+            assert_eq!(it.next(), None, "{l}");
+        } else {
+            // Samples are `connectit_<name>[{label="v"}] <u64>`.
+            let (name, value) = l.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {l}"));
+            assert!(name.starts_with("connectit_"), "{l}");
+            value.parse::<u64>().unwrap_or_else(|_| panic!("unparseable value in {l}"));
+        }
+    }
+    let text = lines.join("\n");
+    assert!(text.contains("connectit_inserts_total 1"), "{text}");
+    assert!(text.contains("connectit_queries_total 1"), "{text}");
+    assert!(text.contains("connectit_requests_total{verb=\"Q\"} 1"), "{text}");
+    assert!(text.contains("connectit_connections_live 1"), "{text}");
+    // The three argument errors above were counted.
+    assert!(text.contains("connectit_request_errors_total 3"), "{text}");
+
+    // TRACE: wire-stable `T <seq> <t_us> <Kind> k=v ...` lines.
+    send_line(&mut w, "TRACE");
+    let tlines = read_dump(&mut r);
+    assert!(!tlines.is_empty(), "batches committed; the recorder must hold events");
+    for l in &tlines {
+        let mut it = l.split(' ');
+        assert_eq!(it.next(), Some("T"), "{l}");
+        it.next().expect("seq").parse::<u64>().expect("seq is numeric");
+        it.next().expect("at_us").parse::<u64>().expect("timestamp is numeric");
+        assert!(it.next().is_some(), "missing event kind in {l}");
+    }
+    assert!(tlines.iter().any(|l| l.contains("BatchFormed")), "{tlines:?}");
+    assert!(tlines.iter().any(|l| l.contains("EngineApplied")), "{tlines:?}");
+    // A second scrape on the same connection: counters are monotone and
+    // the requests counter saw the first METRICS + TRACE round.
+    send_line(&mut w, "METRICS");
+    let text2 = read_dump(&mut r).join("\n");
+    assert!(text2.contains("connectit_requests_total{verb=\"METRICS\"} 2"), "{text2}");
+    assert!(text2.contains("connectit_requests_total{verb=\"TRACE\"} 1"), "{text2}");
+    server.stop();
+    svc.shutdown();
+}
+
+#[test]
+fn stats_and_walstats_shims_stay_wire_stable_over_the_registry() {
+    let (mut svc, mut server, addr) = start(Role::Primary);
+    let (mut r, mut w) = raw(addr);
+    send_line(&mut w, "I 1 2");
+    assert_eq!(read_line(&mut r), "OK");
+    // STATS keeps its one-line `S key=value ...` spelling, now read from
+    // the same registry METRICS exposes.
+    send_line(&mut w, "STATS");
+    let s = read_line(&mut r);
+    assert!(s.starts_with("S epoch="), "{s}");
+    assert!(s.contains(" inserts=1 "), "{s}");
+    assert!(s.contains(" latency[n=1 "), "{s}");
+    // WALSTATS without durability keeps its typed refusal.
+    send_line(&mut w, "WALSTATS");
+    assert_eq!(
+        read_line(&mut r),
+        "ERR durability is not enabled (start the service with a wal dir)"
+    );
+    server.stop();
+    svc.shutdown();
+}
+
 #[test]
 fn stale_queries_report_their_generation_and_quiesce_timeouts_spell_it() {
     // A 60s rebuild hold pins the engine dirty across the whole test.

@@ -1,0 +1,169 @@
+//! End-to-end observability contract: a churn workload (inserts,
+//! deletes, queries, rebuilds, fsyncs) must populate the metrics
+//! registry and the flight recorder, counters must be monotone across
+//! scrapes, and the recorder's trace file must survive a shutdown and
+//! be consumed (logged and removed) by the next run's recovery.
+
+use cc_server::wal::{DurabilityConfig, FsyncPolicy};
+use cc_server::{Service, ServiceConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cc_obs_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn durable_cfg(n: usize, dir: &std::path::Path) -> ServiceConfig {
+    ServiceConfig {
+        n,
+        shards: 2,
+        batch_max_wait: Duration::from_micros(20),
+        // `Always` so every appended batch records an fsync sample.
+        durability: Some(DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            ..DurabilityConfig::new(dir)
+        }),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Flattens an exposition dump into series-name → value, dropping
+/// `# TYPE` comments. Labeled series keep their labels in the key.
+fn scrape(lines: &[String]) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for l in lines {
+        if l.starts_with('#') {
+            continue;
+        }
+        let (name, val) = l.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {l}"));
+        assert!(name.starts_with("connectit_"), "series outside the namespace: {l}");
+        out.insert(name.to_string(), val.parse::<u64>().unwrap_or_else(|_| panic!("{l}")));
+    }
+    out
+}
+
+/// Drives inserts, deletes and queries through `rounds` cycles of
+/// build-then-tear-down churn over a small ring of vertices.
+fn churn(c: &cc_server::Client, rounds: u32) {
+    for r in 0..rounds {
+        for v in 0..31u32 {
+            c.insert(v, v + 1).expect("insert");
+        }
+        assert!(c.query(0, 31).expect("query"), "chain connects end to end");
+        // Tear out a mid-chain edge: a forest delete, which dirties the
+        // generation engine and schedules a rebuild. Quiesce before
+        // asserting — queries in the dirty window are answered (stale)
+        // from the sealed generation by design.
+        c.delete(15, 16).expect("delete");
+        c.quiesce(Duration::from_secs(10)).expect("quiesce");
+        assert!(!c.query(0, 31).expect("query"), "round {r}: cut chain disconnects");
+    }
+}
+
+#[test]
+fn churn_populates_registry_and_counters_stay_monotone() {
+    let dir = tmp_dir("churn");
+    let mut svc = Service::start(durable_cfg(64, &dir)).expect("service");
+    let c = svc.client();
+    churn(&c, 4);
+
+    let first = scrape(&c.render_metrics());
+    // Every instrumented layer reported: batcher, WAL, fsync path,
+    // generation rebuilds.
+    assert!(first["connectit_inserts_total"] >= 4 * 31, "{first:?}");
+    assert!(first["connectit_deletes_total"] >= 4, "{first:?}");
+    assert!(first["connectit_queries_total"] >= 8, "{first:?}");
+    assert!(first["connectit_batches_total"] >= 1, "{first:?}");
+    assert!(first["connectit_wal_records_total"] >= 1, "{first:?}");
+    assert!(first["connectit_wal_bytes_total"] > 0, "{first:?}");
+    assert!(first["connectit_wal_fsyncs_total"] >= 1, "{first:?}");
+    assert!(first["connectit_rebuilds_committed_total"] >= 1, "{first:?}");
+    // The histograms behind the summaries are non-empty.
+    assert!(first["connectit_fsync_ns_count"] >= 1, "{first:?}");
+    assert!(first["connectit_rebuild_duration_ns_count"] >= 1, "{first:?}");
+    assert!(first["connectit_latency_ns_count"] > 0, "{first:?}");
+
+    // More churn, then a second scrape: every `_total` counter is
+    // monotone non-decreasing, and the write-path ones strictly grew.
+    churn(&c, 2);
+    let second = scrape(&c.render_metrics());
+    for (name, &v1) in &first {
+        if name.contains("_total") {
+            let v2 = *second.get(name).unwrap_or_else(|| panic!("{name} vanished"));
+            assert!(v2 >= v1, "{name} went backwards: {v1} -> {v2}");
+        }
+    }
+    assert!(second["connectit_inserts_total"] > first["connectit_inserts_total"]);
+    assert!(second["connectit_wal_fsyncs_total"] > first["connectit_wal_fsyncs_total"]);
+    assert!(
+        second["connectit_rebuilds_committed_total"] > first["connectit_rebuilds_committed_total"]
+    );
+
+    // The flight recorder saw the whole lifecycle.
+    let trace = c.trace_events(4096).join("\n");
+    for kind in [
+        "BatchFormed",
+        "WalAppend",
+        "FsyncDone",
+        "EngineApplied",
+        "RebuildSealed",
+        "RebuildCommitted",
+    ] {
+        assert!(trace.contains(kind), "no {kind} event in trace:\n{trace}");
+    }
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_file_flushes_on_shutdown_and_recovery_consumes_it() {
+    let dir = tmp_dir("trace_cycle");
+    let trace_path = dir.join(format!("trace-{}.log", std::process::id()));
+    {
+        let mut svc = Service::start(durable_cfg(64, &dir)).expect("service");
+        let c = svc.client();
+        churn(&c, 2);
+        svc.shutdown();
+    }
+    // Shutdown flushed the ring to `<wal-dir>/trace-<pid>.log` in the
+    // wire format `T <seq> <t_us> <Kind> k=v ...`.
+    let flushed = std::fs::read_to_string(&trace_path).expect("trace file flushed on shutdown");
+    assert!(!flushed.trim().is_empty(), "trace file is empty");
+    for l in flushed.lines() {
+        let mut it = l.split(' ');
+        assert_eq!(it.next(), Some("T"), "bad trace line {l:?}");
+        it.next().expect("seq").parse::<u64>().expect("seq");
+        it.next().expect("at_us").parse::<u64>().expect("timestamp");
+        assert!(it.next().is_some(), "missing kind in {l:?}");
+    }
+    assert!(flushed.contains("FsyncDone"), "{flushed}");
+
+    // Plant a leftover trace from a "killed" run alongside: recovery
+    // must consume (remove) every trace-*.log it finds, including ours
+    // from the previous block — this is the SIGKILL post-mortem path.
+    let planted = dir.join("trace-99999.log");
+    std::fs::write(&planted, "T 1 0 FsyncDone nanos=42\n").expect("plant trace");
+    {
+        let mut svc = Service::start(durable_cfg(64, &dir)).expect("recovers");
+        assert!(!planted.exists(), "planted trace consumed by recovery");
+        let c = svc.client();
+        assert!(c.query_now(0, 1).expect("query"), "recovered state intact");
+        // One write so the second run's ring holds events for the
+        // shutdown flush to write out.
+        c.insert(15, 16).expect("insert");
+        svc.shutdown();
+    }
+    // The restart drained the old file, then its own shutdown flushed a
+    // fresh one (same pid, same path) holding only the new run's events.
+    let refreshed = std::fs::read_to_string(&trace_path).expect("second run flushed its trace");
+    assert!(refreshed.starts_with("T 1 "), "fresh trace restarts sequence:\n{refreshed}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
