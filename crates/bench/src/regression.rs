@@ -258,6 +258,15 @@ pub fn gate_for(leaf: &str) -> Option<(Direction, Option<f64>)> {
         // held near 1 at the default tolerance.
         "overhead_within_bound" => Some((Direction::Higher, Some(1.0))),
         "overhead_ratio" => Some((Direction::Lower, None)),
+        // Networking: the pipelined-binary-vs-text speedup holds at the
+        // default tolerance, and the two behavior flags (2x reached,
+        // cross-connection coalescing observed) gate exactly. Test-mode
+        // runs emit `speedup_vs_text: null` (skipped) and omit the 2x
+        // flag (one-sided, informational) — timing claims are full-mode
+        // only; the flags and `mismatches` still gate in CI.
+        "speedup_vs_text" => Some((Direction::Higher, None)),
+        "pipelined_2x_vs_text" => Some((Direction::Higher, Some(1.0))),
+        "coalesce_width_gt1" => Some((Direction::Higher, Some(1.0))),
         _ => None,
     }
 }

@@ -1,0 +1,749 @@
+//! Offline stand-in for [`mio`](https://docs.rs/mio): the readiness-polling
+//! subset `cc-server`'s sharded event loop needs.
+//!
+//! The build environment for this workspace has no crates.io access, so this
+//! crate implements exactly the `Poll` / `Events` / `Token` / `Interest` /
+//! `Waker` surface the server uses, over two backends:
+//!
+//! - **epoll** (Linux, the default): one `epoll` instance per [`Poll`],
+//!   level-triggered, with the registered fd carried in the event payload.
+//! - **`poll(2)`** (portable fallback, and forced by
+//!   `CC_MIO_FORCE_POLL=1` or [`Poll::with_poll_fallback`] so the fallback
+//!   is exercised in tests on Linux too): the registration table is
+//!   re-rendered into a `pollfd` array on every wait.
+//!
+//! Deliberate deviations from real mio, chosen for an offline shim:
+//! registration takes `&impl AsRawFd` instead of a `Source` trait (callers
+//! must keep the fd alive and deregister before closing), readiness is
+//! level-triggered on both backends (real mio is edge-triggered), and
+//! [`Waker`] is a non-blocking pipe rather than an eventfd — the poll
+//! backends drain it internally, so a wake is consumed by delivering its
+//! event, exactly like mio's.
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies a registered event source in delivered [`Event`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both (combine with `|`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// The union of two interests (the `const` form of `|`).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether this interest includes readability.
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether this interest includes writability.
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One delivered readiness event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Whether the source is ready for reading (errors and hang-ups are
+    /// folded in, so a dead peer is always surfaced to the read path).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Whether the source is ready for writing.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+}
+
+/// A reusable buffer of delivered events.
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { inner: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Iterates the events delivered by the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last poll delivered no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Raw syscall bindings against the libc `std` already links — no crates.io
+/// `libc` crate is available in this environment.
+mod sys {
+    use std::io;
+    use std::os::fd::RawFd;
+
+    #[repr(C)]
+    pub struct Pollfd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut Pollfd, nfds: std::ffi::c_ulong, timeout: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn poll_fds(fds: &mut [Pollfd], timeout_ms: i32) -> io::Result<usize> {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(rc as usize)
+    }
+
+    /// Reads and discards everything currently readable from `fd` (used to
+    /// drain waker pipes; the fd is non-blocking).
+    pub fn drain(fd: RawFd) {
+        let mut buf = [0u8; 64];
+        loop {
+            let rc = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+            if rc <= 0 {
+                return;
+            }
+        }
+    }
+
+    pub fn write_byte(fd: RawFd) -> io::Result<()> {
+        let byte = 1u8;
+        let rc = unsafe { write(fd, &byte, 1) };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            // A full pipe means a wake is already pending — mission
+            // accomplished.
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    pub fn close_fd(fd: RawFd) {
+        unsafe {
+            close(fd);
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    mod linux {
+        use std::io;
+        use std::os::fd::RawFd;
+
+        // The kernel ABI packs `epoll_event` on x86_64 only.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+        pub const EPOLL_CTL_ADD: i32 = 1;
+        pub const EPOLL_CTL_DEL: i32 = 2;
+        pub const EPOLL_CTL_MOD: i32 = 3;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+
+        const O_NONBLOCK: i32 = 0o4000;
+        const O_CLOEXEC: i32 = 0o2000000;
+
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+            fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+            fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        }
+
+        pub fn create() -> io::Result<RawFd> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(fd)
+        }
+
+        pub fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data: fd as u64 };
+            let ptr = if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut ev };
+            if unsafe { epoll_ctl(epfd, op, fd, ptr) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(
+            epfd: RawFd,
+            buf: &mut Vec<EpollEvent>,
+            max: usize,
+            timeout_ms: i32,
+        ) -> io::Result<usize> {
+            buf.clear();
+            buf.reserve(max);
+            let rc = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), max as i32, timeout_ms) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // epoll_wait wrote `rc` initialized events into the spare
+            // capacity reserved above.
+            unsafe { buf.set_len(rc as usize) };
+            Ok(rc as usize)
+        }
+
+        pub fn nonblocking_pipe() -> io::Result<(RawFd, RawFd)> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok((fds[0], fds[1]))
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub use linux::*;
+
+    #[cfg(not(target_os = "linux"))]
+    mod portable {
+        use std::io;
+        use std::os::fd::RawFd;
+
+        const F_SETFL: i32 = 4;
+        const O_NONBLOCK: i32 = 0o4000;
+
+        extern "C" {
+            fn pipe(fds: *mut i32) -> i32;
+            fn fcntl(fd: i32, cmd: i32, ...) -> i32;
+        }
+
+        pub fn nonblocking_pipe() -> io::Result<(RawFd, RawFd)> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+            }
+            Ok((fds[0], fds[1]))
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub use portable::*;
+}
+
+/// Shared registration state: every backend maps delivered fds back to
+/// tokens through this table, and waker read-ends are drained through it.
+struct Shared {
+    regs: Mutex<HashMap<RawFd, (Token, Interest)>>,
+    waker_fds: Mutex<Vec<RawFd>>,
+    backend: BackendImpl,
+}
+
+enum BackendImpl {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: RawFd,
+    },
+    PollSyscall,
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let BackendImpl::Epoll { epfd } = self.backend {
+            sys::close_fd(epfd);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut m = sys::EPOLLRDHUP;
+    if interest.is_readable() {
+        m |= sys::EPOLLIN;
+    }
+    if interest.is_writable() {
+        m |= sys::EPOLLOUT;
+    }
+    m
+}
+
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                // Round up so a 100µs deadline does not busy-spin at 0ms.
+                i32::try_from(d.as_millis().max(1)).unwrap_or(i32::MAX)
+            }
+        }
+    }
+}
+
+/// The registration handle: shared by [`Poll`] and every [`Waker`], and
+/// cheaply cloneable across threads.
+#[derive(Clone)]
+pub struct Registry {
+    shared: Arc<Shared>,
+}
+
+impl Registry {
+    fn register_fd(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut regs = self.shared.regs.lock();
+        if regs.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("fd {fd} is already registered"),
+            ));
+        }
+        match self.shared.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll { epfd } => {
+                sys::ctl(epfd, sys::EPOLL_CTL_ADD, fd, epoll_mask(interest))?;
+            }
+            BackendImpl::PollSyscall => {}
+        }
+        regs.insert(fd, (token, interest));
+        Ok(())
+    }
+
+    /// Registers an event source under `token` with the given interest.
+    /// The caller owns the fd: keep it alive while registered, and
+    /// [`Registry::deregister`] before closing it.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.register_fd(source.as_raw_fd(), token, interest)
+    }
+
+    /// Replaces an existing registration's token and interest.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut regs = self.shared.regs.lock();
+        if !regs.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} is not registered"),
+            ));
+        }
+        match self.shared.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll { epfd } => {
+                sys::ctl(epfd, sys::EPOLL_CTL_MOD, fd, epoll_mask(interest))?;
+            }
+            BackendImpl::PollSyscall => {}
+        }
+        regs.insert(fd, (token, interest));
+        Ok(())
+    }
+
+    /// Removes a registration. Safe to call for an fd that was never
+    /// registered (a no-op), so close paths need no bookkeeping.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.deregister_fd(source.as_raw_fd())
+    }
+
+    fn deregister_fd(&self, fd: RawFd) -> io::Result<()> {
+        let mut regs = self.shared.regs.lock();
+        if regs.remove(&fd).is_none() {
+            return Ok(());
+        }
+        match self.shared.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll { epfd } => {
+                // The fd may already be closed (kernel auto-removed it);
+                // that is fine, the table entry is what mattered.
+                let _ = sys::ctl(epfd, sys::EPOLL_CTL_DEL, fd, 0);
+            }
+            BackendImpl::PollSyscall => {}
+        }
+        Ok(())
+    }
+}
+
+/// The readiness poller. One per event-loop thread; [`Registry`] clones
+/// (and [`Waker`]s built from them) may be shared across threads.
+pub struct Poll {
+    registry: Registry,
+    #[cfg(target_os = "linux")]
+    epoll_buf: Vec<sys::EpollEvent>,
+}
+
+impl Poll {
+    /// A poller on the platform's best backend — epoll on Linux, `poll(2)`
+    /// elsewhere. `CC_MIO_FORCE_POLL=1` forces the `poll(2)` fallback.
+    pub fn new() -> io::Result<Poll> {
+        if std::env::var("CC_MIO_FORCE_POLL").is_ok_and(|v| v == "1") {
+            return Poll::with_poll_fallback();
+        }
+        #[cfg(target_os = "linux")]
+        {
+            let epfd = sys::create()?;
+            Ok(Poll {
+                registry: Registry {
+                    shared: Arc::new(Shared {
+                        regs: Mutex::new(HashMap::new()),
+                        waker_fds: Mutex::new(Vec::new()),
+                        backend: BackendImpl::Epoll { epfd },
+                    }),
+                },
+                epoll_buf: Vec::new(),
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        Poll::with_poll_fallback()
+    }
+
+    /// A poller on the portable `poll(2)` backend, regardless of platform.
+    pub fn with_poll_fallback() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                shared: Arc::new(Shared {
+                    regs: Mutex::new(HashMap::new()),
+                    waker_fds: Mutex::new(Vec::new()),
+                    backend: BackendImpl::PollSyscall,
+                }),
+            },
+            #[cfg(target_os = "linux")]
+            epoll_buf: Vec::new(),
+        })
+    }
+
+    /// The registration handle.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Waits for readiness on the registered sources, filling `events`.
+    /// `None` blocks indefinitely; `Some(d)` returns (possibly empty)
+    /// after at most roughly `d`. Waker pipes are drained before their
+    /// events are delivered, so one `wake()` is one delivered event.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.inner.clear();
+        let ms = timeout_ms(timeout);
+        let shared = Arc::clone(&self.registry.shared);
+        match shared.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll { epfd } => {
+                let n = match sys::wait(epfd, &mut self.epoll_buf, events.capacity, ms) {
+                    Ok(n) => n,
+                    // A signal is a spurious (empty) wakeup, like mio's.
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                    Err(e) => return Err(e),
+                };
+                let regs = shared.regs.lock();
+                let wakers = shared.waker_fds.lock();
+                for raw in self.epoll_buf.iter().take(n) {
+                    let fd = raw.data as RawFd;
+                    let Some(&(token, _)) = regs.get(&fd) else { continue };
+                    if wakers.contains(&fd) {
+                        sys::drain(fd);
+                    }
+                    let bits = raw.events;
+                    let closed = bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+                    events.inner.push(Event {
+                        token,
+                        readable: bits & sys::EPOLLIN != 0 || closed,
+                        writable: bits & sys::EPOLLOUT != 0 || closed,
+                    });
+                }
+            }
+            BackendImpl::PollSyscall => {
+                let mut fds: Vec<sys::Pollfd> = {
+                    let regs = shared.regs.lock();
+                    regs.iter()
+                        .map(|(&fd, &(_, interest))| sys::Pollfd {
+                            fd,
+                            events: {
+                                let mut e = 0i16;
+                                if interest.is_readable() {
+                                    e |= sys::POLLIN;
+                                }
+                                if interest.is_writable() {
+                                    e |= sys::POLLOUT;
+                                }
+                                e
+                            },
+                            revents: 0,
+                        })
+                        .collect()
+                };
+                let n = if fds.is_empty() {
+                    // Nothing registered: just honor the timeout.
+                    if ms != 0 {
+                        std::thread::sleep(Duration::from_millis(if ms < 0 {
+                            10
+                        } else {
+                            ms as u64
+                        }));
+                    }
+                    0
+                } else {
+                    match sys::poll_fds(&mut fds, ms) {
+                        Ok(n) => n,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                        Err(e) => return Err(e),
+                    }
+                };
+                if n > 0 {
+                    let regs = shared.regs.lock();
+                    let wakers = shared.waker_fds.lock();
+                    for pfd in fds.iter().filter(|p| p.revents != 0) {
+                        if events.inner.len() >= events.capacity {
+                            break;
+                        }
+                        let Some(&(token, _)) = regs.get(&pfd.fd) else { continue };
+                        if pfd.revents & sys::POLLNVAL != 0 {
+                            continue; // closed behind our back; skip
+                        }
+                        if wakers.contains(&pfd.fd) {
+                            sys::drain(pfd.fd);
+                        }
+                        let closed = pfd.revents & (sys::POLLERR | sys::POLLHUP) != 0;
+                        events.inner.push(Event {
+                            token,
+                            readable: pfd.revents & sys::POLLIN != 0 || closed,
+                            writable: pfd.revents & sys::POLLOUT != 0 || closed,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from another thread: the
+/// poller gets one event carrying the waker's token. Send + Sync; clone
+/// the `Arc` you wrap it in rather than the waker itself.
+pub struct Waker {
+    registry: Registry,
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// A waker delivering `token` to the poll behind `registry`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let (read_fd, write_fd) = sys::nonblocking_pipe()?;
+        registry.shared.waker_fds.lock().push(read_fd);
+        registry.register_fd(read_fd, token, Interest::READABLE)?;
+        Ok(Waker { registry: registry.clone(), read_fd, write_fd })
+    }
+
+    /// Wakes the poller. Cheap, non-blocking, and coalescing: a pending
+    /// undelivered wake absorbs further wakes.
+    pub fn wake(&self) -> io::Result<()> {
+        sys::write_byte(self.write_fd)
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        let _ = self.registry.deregister_fd(self.read_fd);
+        self.registry.shared.waker_fds.lock().retain(|&fd| fd != self.read_fd);
+        sys::close_fd(self.read_fd);
+        sys::close_fd(self.write_fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a = TcpStream::connect(l.local_addr().expect("addr")).expect("connect");
+        let (b, _) = l.accept().expect("accept");
+        a.set_nonblocking(true).expect("nonblocking");
+        b.set_nonblocking(true).expect("nonblocking");
+        (a, b)
+    }
+
+    fn backends() -> Vec<Poll> {
+        vec![Poll::new().expect("poll"), Poll::with_poll_fallback().expect("poll2")]
+    }
+
+    #[test]
+    fn readable_event_is_delivered_with_token() {
+        for mut poll in backends() {
+            let (a, mut b) = pair();
+            poll.registry().register(&a, Token(7), Interest::READABLE).expect("register");
+            let mut events = Events::with_capacity(8);
+            poll.poll(&mut events, Some(Duration::from_millis(0))).expect("poll");
+            assert!(events.is_empty(), "no data yet");
+            b.write_all(b"x").expect("write");
+            poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+            let ev = events.iter().next().expect("one event");
+            assert_eq!(ev.token(), Token(7));
+            assert!(ev.is_readable());
+            poll.registry().deregister(&a).expect("deregister");
+            poll.poll(&mut events, Some(Duration::from_millis(0))).expect("poll");
+            assert!(events.is_empty(), "deregistered fd is silent");
+        }
+    }
+
+    #[test]
+    fn writable_interest_and_reregister() {
+        for mut poll in backends() {
+            let (a, _b) = pair();
+            poll.registry().register(&a, Token(1), Interest::READABLE).expect("register");
+            let mut events = Events::with_capacity(8);
+            poll.poll(&mut events, Some(Duration::from_millis(0))).expect("poll");
+            assert!(events.is_empty());
+            poll.registry()
+                .reregister(&a, Token(2), Interest::READABLE | Interest::WRITABLE)
+                .expect("reregister");
+            poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+            let ev = events.iter().next().expect("writable now");
+            assert_eq!(ev.token(), Token(2));
+            assert!(ev.is_writable());
+        }
+    }
+
+    #[test]
+    fn peer_close_is_surfaced_as_readable() {
+        for mut poll in backends() {
+            let (a, b) = pair();
+            poll.registry().register(&a, Token(3), Interest::READABLE).expect("register");
+            drop(b);
+            let mut events = Events::with_capacity(8);
+            poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+            let ev = events.iter().next().expect("close event");
+            assert!(ev.is_readable(), "hang-up folds into readability");
+            let mut a = a;
+            let mut buf = [0u8; 8];
+            assert_eq!(a.read(&mut buf).expect("eof"), 0);
+        }
+    }
+
+    #[test]
+    fn waker_wakes_across_threads_and_coalesces() {
+        for mut poll in backends() {
+            let waker = Arc::new(Waker::new(poll.registry(), Token(0)).expect("waker"));
+            let w2 = Arc::clone(&waker);
+            let h = std::thread::spawn(move || {
+                w2.wake().expect("wake");
+                w2.wake().expect("wake again");
+            });
+            // Both wakes are pending before delivery, so the drain below
+            // consumes them together.
+            h.join().expect("join");
+            let mut events = Events::with_capacity(8);
+            poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+            assert_eq!(events.iter().next().expect("woken").token(), Token(0));
+            // Drained on delivery: no event storm afterwards.
+            poll.poll(&mut events, Some(Duration::from_millis(10))).expect("poll");
+            assert!(events.is_empty(), "wakes coalesced and drained");
+        }
+    }
+
+    #[test]
+    fn double_register_is_rejected_and_deregister_is_idempotent() {
+        for poll in backends() {
+            let (a, _b) = pair();
+            poll.registry().register(&a, Token(1), Interest::READABLE).expect("register");
+            let err = poll.registry().register(&a, Token(2), Interest::READABLE).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+            poll.registry().deregister(&a).expect("deregister");
+            poll.registry().deregister(&a).expect("idempotent");
+            let err = poll.registry().reregister(&a, Token(1), Interest::READABLE).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        }
+    }
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        for mut poll in backends() {
+            let (a, _b) = pair();
+            poll.registry().register(&a, Token(1), Interest::READABLE).expect("register");
+            let mut events = Events::with_capacity(8);
+            let t0 = std::time::Instant::now();
+            poll.poll(&mut events, Some(Duration::from_millis(30))).expect("poll");
+            assert!(events.is_empty());
+            assert!(t0.elapsed() >= Duration::from_millis(25), "timeout honored");
+        }
+    }
+}

@@ -18,7 +18,20 @@
 //!                   [--query-frac F] [--churn F] [--layout blocked|strided]
 //!                   [--alg fastest|async|rem-splice] [--finish SPEC] [--phased]
 //!                   [--seed X] [--shutdown] [--follower HOST:PORT]...
+//!                   [--binary [--pipeline N]]
 //! ```
+//!
+//! ## Binary mode (`--binary [--pipeline N]`)
+//!
+//! `--binary` drives the framed binary protocol (DESIGN.md §11) on the
+//! same server port — the server sniffs the first byte. All oracle
+//! validation applies unchanged: the transport swaps under the same
+//! closed loop. `--pipeline N` splits each batch into up to `N` framed
+//! requests kept in flight concurrently on the connection; replies are
+//! reassembled by correlation id, so the protocol's out-of-order
+//! completion contract is exercised on every batch. Bracketing stays
+//! sound because the oracle brackets the whole pipelined group exactly
+//! as it brackets one batch.
 //!
 //! ## Split routing (`--follower`, repeatable)
 //!
@@ -82,7 +95,7 @@
 use cc_baselines::DynamicOracle;
 use cc_graph::io::binary;
 use cc_parallel::SplitMix64;
-use cc_server::{parse_alg, ExecMode, Service, ServiceConfig, TcpClient};
+use cc_server::{parse_alg, BinClient, ExecMode, Reply, Service, ServiceConfig, TcpClient};
 use cc_unionfind::{SeqUnionFind, UfSpec};
 use connectit::Update;
 use std::collections::HashMap;
@@ -118,6 +131,8 @@ struct GenOpts {
     retry_secs: u64,
     followers: Vec<String>,
     metrics_out: Option<String>,
+    binary: bool,
+    pipeline: usize,
 }
 
 impl Default for GenOpts {
@@ -142,6 +157,8 @@ impl Default for GenOpts {
             retry_secs: 30,
             followers: Vec::new(),
             metrics_out: None,
+            binary: false,
+            pipeline: 1,
         }
     }
 }
@@ -155,7 +172,7 @@ fn usage() -> ExitCode {
          \x20                        [--seed X] [--shutdown]\n\
          \x20                        [--kill-after B --state FILE] [--resume [--state FILE]]\n\
          \x20                        [--retry-secs S] [--follower HOST:PORT]...\n\
-         \x20                        [--metrics-out FILE]\n\
+         \x20                        [--metrics-out FILE] [--binary [--pipeline N]]\n\
          \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress (see\n\
          \x20        connectit-serve --help)\n\
          \x20  --follower (repeatable): split-route — inserts to --addr (the primary),\n\
@@ -168,7 +185,11 @@ fn usage() -> ExitCode {
          \x20        queries EXACTLY against a dynamic oracle (QUIESCE + generation\n\
          \x20        sandwich); incompatible with --follower\n\
          \x20  --metrics-out FILE: after the run, scrape the server's METRICS exposition\n\
-         \x20        (in-proc or over TCP) and write it to FILE, `# EOF` terminated"
+         \x20        (in-proc or over TCP) and write it to FILE, `# EOF` terminated\n\
+         \x20  --binary: drive the pipelined binary protocol (tcp mode; same port, the\n\
+         \x20        server sniffs the first byte); all oracle validation applies unchanged\n\
+         \x20  --pipeline N: with --binary, keep up to N request frames in flight per\n\
+         \x20        connection (batches split into N windows reaped out of order)"
     );
     ExitCode::from(2)
 }
@@ -220,6 +241,10 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
             "--resume" => o.resume = true,
             "--state" => o.state = Some(next_val(a, &mut it)?),
             "--metrics-out" => o.metrics_out = Some(next_val(a, &mut it)?),
+            "--binary" => o.binary = true,
+            "--pipeline" => {
+                o.pipeline = next_val(a, &mut it)?.parse().map_err(|_| "bad --pipeline")?
+            }
             "--retry-secs" => {
                 o.retry_secs = next_val(a, &mut it)?.parse().map_err(|_| "bad --retry-secs")?
             }
@@ -260,6 +285,17 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
     }
     if o.kill_after.is_some() && o.send_shutdown {
         return Err("--kill-after keeps the server running; drop --shutdown".into());
+    }
+    if o.binary && o.tcp_addr.is_none() {
+        return Err("--binary needs --mode tcp (the protocol lives on the wire)".into());
+    }
+    if o.pipeline == 0 {
+        return Err("--pipeline must be at least 1".to_string());
+    }
+    if o.pipeline > 1 && !o.binary {
+        return Err("--pipeline needs --binary (the text protocol is strictly \
+                    request/reply)"
+            .into());
     }
     Ok(o)
 }
@@ -362,10 +398,128 @@ fn read_state(path: &str, o: &GenOpts) -> Result<(usize, Vec<ClientCheckpoint>),
     Ok((batches_done as usize, states))
 }
 
-/// One transport connection, in-process or TCP.
+/// One wire connection: the text line protocol or the pipelined binary
+/// protocol, both on the server's single port (first-byte sniff).
+enum Wire {
+    Text(Box<TcpClient>),
+    /// Binary with a pipeline window: submitted batches are split into up
+    /// to `usize` framed `B` requests kept in flight concurrently and
+    /// reaped in whatever order the server completes them.
+    Bin(Box<BinClient>, usize),
+}
+
+impl Wire {
+    fn connect(addr: &str, o: &GenOpts) -> std::io::Result<Wire> {
+        if o.binary {
+            Ok(Wire::Bin(Box::new(BinClient::connect(addr)?), o.pipeline))
+        } else {
+            Ok(Wire::Text(Box::new(TcpClient::connect(addr)?)))
+        }
+    }
+
+    /// Submits a mixed batch; answers in query submission order. On the
+    /// binary wire this is the pipelined hot path.
+    fn submit(&mut self, ops: &[Update]) -> std::io::Result<Vec<bool>> {
+        match self {
+            Wire::Text(c) => c.submit(ops),
+            Wire::Bin(c, windows) => {
+                // Split into up to `windows` framed requests, all in
+                // flight at once. Reaping is order-free: answers are
+                // reassembled by correlation id, so out-of-order
+                // completion (the protocol's contract) is exercised, not
+                // just tolerated.
+                let chunk = ops.len().div_ceil((*windows).max(1)).max(1);
+                let mut order: Vec<u64> = Vec::new();
+                for window in ops.chunks(chunk) {
+                    order.push(c.send_batch(window)?);
+                }
+                let mut by_corr: HashMap<u64, Vec<bool>> = HashMap::new();
+                while c.in_flight() > 0 {
+                    let (corr, reply) = c.reap()?;
+                    let answers = match reply {
+                        Reply::Answers(a) => a.iter().map(|&(bit, _)| bit).collect(),
+                        Reply::Err(msg) => {
+                            return Err(std::io::Error::other(format!("server error: {msg}")))
+                        }
+                        other => {
+                            return Err(std::io::Error::other(format!(
+                                "unexpected B reply {other:?}"
+                            )))
+                        }
+                    };
+                    by_corr.insert(corr, answers);
+                }
+                let mut out = Vec::new();
+                for corr in order {
+                    out.extend(by_corr.remove(&corr).ok_or_else(|| {
+                        std::io::Error::other(format!("no reply for correlation id {corr}"))
+                    })?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn epoch(&mut self) -> std::io::Result<u64> {
+        match self {
+            Wire::Text(c) => c.epoch(),
+            Wire::Bin(c, _) => c.epoch(),
+        }
+    }
+
+    fn wait_epoch(&mut self, epoch: u64, timeout_ms: u64) -> std::io::Result<u64> {
+        match self {
+            Wire::Text(c) => c.wait_epoch(epoch, timeout_ms),
+            Wire::Bin(c, _) => c.wait_epoch(epoch, timeout_ms),
+        }
+    }
+
+    fn quiesce(&mut self, timeout_ms: u64) -> std::io::Result<u64> {
+        match self {
+            Wire::Text(c) => c.quiesce(timeout_ms),
+            Wire::Bin(c, _) => c.quiesce(timeout_ms),
+        }
+    }
+
+    /// Reads `(generation, dirty)` — one side of the churn sandwich.
+    fn generation(&mut self) -> std::io::Result<(u64, bool)> {
+        let bad = |line: &dyn std::fmt::Debug| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad GEN reply {line:?}"))
+        };
+        match self {
+            Wire::Text(c) => {
+                let line = c.gen_line()?;
+                let mut it = line.split_whitespace();
+                let generation =
+                    it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad(&line))?;
+                let dirty = match it.next() {
+                    Some("dirty=0") => false,
+                    Some("dirty=1") => true,
+                    _ => return Err(bad(&line)),
+                };
+                Ok((generation, dirty))
+            }
+            Wire::Bin(c, _) => {
+                let corr = c.send_gen()?;
+                loop {
+                    let (got, reply) = c.reap()?;
+                    if got != corr {
+                        continue;
+                    }
+                    return match reply {
+                        Reply::Gen { generation, dirty, .. } => Ok((generation, dirty)),
+                        other => Err(bad(&other)),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// One transport connection, in-process or over the wire.
 enum Conn {
     InProc(cc_server::Client),
-    Tcp(Box<TcpClient>),
+    Tcp(Box<Wire>),
 }
 
 impl Conn {
@@ -402,20 +556,7 @@ impl Conn {
                 let info = c.generation_info();
                 Ok((info.generation, info.dirty))
             }
-            Conn::Tcp(c) => {
-                let line = c.gen_line().map_err(|e| e.to_string())?;
-                let mut it = line.split_whitespace();
-                let generation = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| format!("bad GEN reply {line:?}"))?;
-                let dirty = match it.next() {
-                    Some("dirty=0") => false,
-                    Some("dirty=1") => true,
-                    _ => return Err(format!("bad GEN reply {line:?}")),
-                };
-                Ok((generation, dirty))
-            }
+            Conn::Tcp(c) => c.generation().map_err(|e| e.to_string()),
         }
     }
 }
@@ -426,19 +567,21 @@ impl Conn {
 /// lapses (reads and `WAIT` are idempotent, so a retry is always safe).
 struct FollowerLink {
     addr: String,
-    conn: Option<TcpClient>,
+    conn: Option<Wire>,
     retry: Duration,
+    opts: GenOpts,
     /// The largest epoch this follower ever reported: `WAIT` replies
     /// must never regress (the honesty half of the staleness contract).
     max_epoch_seen: u64,
 }
 
 impl FollowerLink {
-    fn connect(addr: String, retry_secs: u64) -> FollowerLink {
+    fn connect(addr: String, o: &GenOpts) -> FollowerLink {
         FollowerLink {
-            conn: TcpClient::connect(addr.as_str()).ok(),
+            conn: Wire::connect(addr.as_str(), o).ok(),
             addr,
-            retry: Duration::from_secs(retry_secs),
+            retry: Duration::from_secs(o.retry_secs),
+            opts: o.clone(),
             max_epoch_seen: 0,
         }
     }
@@ -448,7 +591,7 @@ impl FollowerLink {
     fn with_retry<T>(
         &mut self,
         what: &str,
-        mut op: impl FnMut(&mut TcpClient) -> std::io::Result<T>,
+        mut op: impl FnMut(&mut Wire) -> std::io::Result<T>,
     ) -> Result<T, String> {
         let deadline = Instant::now() + self.retry;
         loop {
@@ -465,7 +608,7 @@ impl FollowerLink {
                 ));
             }
             std::thread::sleep(Duration::from_millis(200));
-            self.conn = TcpClient::connect(self.addr.as_str()).ok();
+            self.conn = Wire::connect(self.addr.as_str(), &self.opts).ok();
         }
     }
 
@@ -552,7 +695,7 @@ fn submit_resilient(
     let deadline = Instant::now() + Duration::from_secs(o.retry_secs);
     loop {
         std::thread::sleep(Duration::from_millis(200));
-        if let Ok(mut c) = TcpClient::connect(addr) {
+        if let Ok(mut c) = Wire::connect(addr, o) {
             if c.submit(&updates).is_ok() {
                 *conn = Conn::Tcp(Box::new(c));
                 return Ok(None);
@@ -580,7 +723,7 @@ fn primary_epoch_resilient(o: &GenOpts, conn: &mut Conn) -> Result<u64, String> 
     let deadline = Instant::now() + Duration::from_secs(o.retry_secs);
     loop {
         std::thread::sleep(Duration::from_millis(200));
-        if let Ok(mut c) = TcpClient::connect(addr) {
+        if let Ok(mut c) = Wire::connect(addr, o) {
             if let Ok(e) = c.epoch() {
                 *conn = Conn::Tcp(Box::new(c));
                 return Ok(e);
@@ -725,7 +868,7 @@ fn run_worker(
     // Split routing: this worker's queries go to one follower replica
     // (workers round-robin over the list), inserts to the primary.
     let mut follower = (!o.followers.is_empty())
-        .then(|| FollowerLink::connect(o.followers[idx % o.followers.len()].clone(), o.retry_secs));
+        .then(|| FollowerLink::connect(o.followers[idx % o.followers.len()].clone(), o));
     if let Some(state) = restored {
         let ClientCheckpoint::Labels(labels) = state else {
             return Err("checkpoint holds an edge set but this run is not --churn".into());
@@ -1093,7 +1236,7 @@ fn main() -> ExitCode {
             let conn = match (&service, &o.tcp_addr) {
                 (Some(svc), _) => Ok(Conn::InProc(svc.client())),
                 (None, Some(addr)) => {
-                    TcpClient::connect(addr.as_str()).map(|c| Conn::Tcp(Box::new(c)))
+                    Wire::connect(addr.as_str(), &o).map(|c| Conn::Tcp(Box::new(c)))
                 }
                 (None, None) => unreachable!("inproc mode always has a service"),
             };
@@ -1158,11 +1301,15 @@ fn main() -> ExitCode {
     }
 
     let ops_per_sec = (total.ops as f64 / elapsed.as_secs_f64()) as u64;
-    let mode = if o.tcp_addr.is_some() { "tcp" } else { "inproc" };
+    let mode = match (&o.tcp_addr, o.binary) {
+        (Some(_), true) => "tcp-binary",
+        (Some(_), false) => "tcp",
+        (None, _) => "inproc",
+    };
     let layout = if o.strided { "strided" } else { "blocked" };
     println!(
         "connectit-loadgen: mode={mode} n={} shards={} clients={} batches={} batch_ops={} \
-         query_frac={} churn={} layout={layout} alg={} followers={}",
+         query_frac={} churn={} layout={layout} alg={} followers={} pipeline={}",
         o.n,
         o.shards,
         o.clients,
@@ -1171,7 +1318,8 @@ fn main() -> ExitCode {
         o.query_frac,
         o.churn,
         o.spec.name(),
-        o.followers.len()
+        o.followers.len(),
+        o.pipeline
     );
     println!(
         "ops={} elapsed={:.3}s ops_per_sec={ops_per_sec} verified_queries={} exact={} \

@@ -6,7 +6,13 @@
 //!                 [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]
 //!                 [--wal-dir DIR] [--fsync always|batch|off]
 //!                 [--replication-port R | --replicate-from HOST:PORT]
+//!                 [--net-shards S] [--idle-timeout-ms MS]
 //! ```
+//!
+//! `--net-shards` sets the number of event-loop shards in the wire front
+//! end (default: one per core, capped at 8); `--idle-timeout-ms` closes
+//! connections (text and binary alike) idle past the limit with a typed
+//! `idle-timeout` close reason in the flight recorder.
 //!
 //! `--finish` accepts any valid union-find variant as
 //! `unite[+splice][+find]` (e.g. `rem-lock+halve-one+compress`,
@@ -33,8 +39,8 @@
 //! sends `SHUTDOWN`, then prints final stats and exits.
 
 use cc_server::{
-    parse_alg, serve, serve_replication_observed, DurabilityConfig, ExecMode, Role, Service,
-    ServiceConfig,
+    parse_alg, serve_replication_observed, serve_with, DurabilityConfig, ExecMode, NetConfig, Role,
+    Service, ServiceConfig,
 };
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,12 +54,15 @@ fn usage() -> ExitCode {
          \x20                      [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]\n\
          \x20                      [--wal-dir DIR] [--fsync always|batch|off]\n\
          \x20                      [--replication-port R | --replicate-from HOST:PORT]\n\
+         \x20                      [--net-shards S] [--idle-timeout-ms MS]\n\
          \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress, async+split,\n\
          \x20        jtb+two-try (unites: async|hooks|early|rem-cas|rem-lock|jtb)\n\
          \x20  --wal-dir enables the write-ahead log + crash recovery; --snapshot-every\n\
          \x20  then also controls the durable snapshot cadence\n\
          \x20  --replication-port streams the WAL to followers (requires --wal-dir)\n\
-         \x20  --replicate-from makes this a read-only follower of that primary"
+         \x20  --replicate-from makes this a read-only follower of that primary\n\
+         \x20  --net-shards: event-loop shards in the wire front end (default: one per\n\
+         \x20  core, capped at 8); --idle-timeout-ms: close idle connections typed"
     );
     ExitCode::from(2)
 }
@@ -66,6 +75,7 @@ struct Opts {
     fsync: cc_server::FsyncPolicy,
     replication_port: Option<u16>,
     replicate_from: Option<String>,
+    net: NetConfig,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -77,6 +87,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         fsync: cc_server::FsyncPolicy::Batch,
         replication_port: None,
         replicate_from: None,
+        net: NetConfig::default(),
     };
     let mut it = args.iter();
     let next_val = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -121,6 +132,22 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 )
             }
             "--replicate-from" => opts.replicate_from = Some(next_val(a, &mut it)?),
+            "--net-shards" => {
+                opts.net.shards =
+                    next_val(a, &mut it)?.parse().map_err(|_| "bad --net-shards".to_string())?;
+                if opts.net.shards == 0 {
+                    return Err("--net-shards must be at least 1".into());
+                }
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = next_val(a, &mut it)?
+                    .parse()
+                    .map_err(|_| "bad --idle-timeout-ms".to_string())?;
+                if ms == 0 {
+                    return Err("--idle-timeout-ms must be at least 1".into());
+                }
+                opts.net.idle_timeout = Some(Duration::from_millis(ms));
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -172,7 +199,7 @@ fn main() -> ExitCode {
         }
     };
     let client = service.client();
-    let mut server = match serve(&service, (opts.bind.as_str(), opts.port)) {
+    let mut server = match serve_with(&service, (opts.bind.as_str(), opts.port), opts.net.clone()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("connectit-serve: bind failed: {e}");

@@ -1,0 +1,832 @@
+//! The sharded readiness event loop: the wire-speed front door.
+//!
+//! `start` (via [`crate::net::serve`]) binds one listener and spawns N
+//! shard threads (`cc-net-<i>`), each owning its accepted connections
+//! through the offline `mio` shim (epoll on Linux, `poll(2)` fallback).
+//! The accept thread round-robins fresh sockets — `TCP_NODELAY` already
+//! set — to shard inboxes and wakes the shard's poll.
+//!
+//! ## Protocol sniff
+//!
+//! A shard reads the first byte of each adopted connection: `0xCC` (the
+//! [`crate::binproto::STREAM_MAGIC`] opener, which no text verb starts
+//! with) selects the in-loop binary protocol; anything else hands the
+//! socket — sniffed bytes replayed — to a dedicated text thread running
+//! the unchanged line protocol, so the text wire format stays stable on
+//! the same port.
+//!
+//! ## Cross-connection batch execution
+//!
+//! The perf move this module exists for: each poll round, a shard drains
+//! every ready connection's frames *first*, then executes the round's
+//! decoded requests in two grouped strokes:
+//!
+//! - all `Q`/`QG` reads (and, on a follower, query-only `B` bodies) go
+//!   through **one** [`crate::service::Client::query_many_tagged`] call —
+//!   one epoch-snapshot/view acquire answers every read the round
+//!   collected, across all connections;
+//! - all `I`/`D`/`B` updates concatenate into **one**
+//!   [`crate::service::Client::submit_tagged_async`] group per round, so
+//!   the batch former sees one submission where thread-per-connection
+//!   served dozens, and the shard never parks waiting for the batch — the
+//!   ticket's completion callback wakes the poll and answers are routed
+//!   back per correlation id (responses complete out of order by design).
+//!
+//! The coalesce width (requests per grouped stroke) is recorded in
+//! `net_coalesce_width`; per-connection in-flight depth in
+//! `net_pipeline_depth`; frames in `frames_total{dir=…}`; per-shard
+//! connection counts in `net_shard_connections{shard=…}`.
+//!
+//! ## Backpressure and lifecycle
+//!
+//! Responses drain greedily; leftovers queue per connection and drive
+//! `WRITABLE` interest. A write queue above [`NetConfig::max_wbuf`] drops
+//! read interest until the peer drains it, bounding memory per slow
+//! reader. Frame-level damage answers a correlation-id-0 `ERR` frame and
+//! closes with a typed `bad-frame` reason; idle connections (when
+//! [`NetConfig::idle_timeout`] is set) close `idle-timeout`; every close
+//! lands in the flight recorder. Blocking verbs (`WAIT`, `QUIESCE`) are
+//! offloaded to short-lived helper threads so a barrier never stalls a
+//! shard's other connections.
+
+use crate::binproto::{
+    self, encode_reply, frame, BinRequest, FrameAssembler, Reply, RequestError, SNIFF_BYTE,
+};
+use crate::net::{handle_connection, ServerShared, TcpServer};
+use crate::obs::{CloseReason, Event, Gauge, Obs};
+use crate::service::{Client, Role, Service, ServiceError, SubmitTicket};
+use connectit::Update;
+use mio::{Events, Interest, Poll, Token, Waker};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Front-end tuning for [`crate::net::serve_with`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Event-loop shards (threads). Each owns its connections end to end.
+    pub shards: usize,
+    /// Per-connection read/idle timeout, text and binary alike. `None`
+    /// (the default) never times a connection out.
+    pub idle_timeout: Option<Duration>,
+    /// Write-queue cap per connection: above it, read interest is dropped
+    /// until the peer drains, so one slow reader cannot balloon memory.
+    pub max_wbuf: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 8);
+        NetConfig { shards, idle_timeout: None, max_wbuf: 1 << 20 }
+    }
+}
+
+/// The waker's token; connections get tokens from 1 up, never reused.
+const WAKER: Token = Token(0);
+
+/// How long a shard sleeps in poll with nothing ready: bounds shutdown
+/// latency and idle-sweep granularity.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Binds `addr` and runs the sharded front end over `service`.
+pub(crate) fn start(
+    service: &Service,
+    addr: impl ToSocketAddrs,
+    cfg: NetConfig,
+) -> io::Result<TcpServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(ServerShared::new(listener.local_addr()?));
+    let client = service.client();
+    let obs = client.observability();
+    let nshards = cfg.shards.max(1);
+    let gauges = obs.metrics.register_net_shards(nshards);
+
+    let mut inboxes = Vec::with_capacity(nshards);
+    let mut wakers = Vec::with_capacity(nshards);
+    let mut handles = Vec::with_capacity(nshards);
+    for (i, gauge) in gauges.into_iter().enumerate() {
+        let mut shard = Shard::new(i, client.clone(), Arc::clone(&shared), &cfg, gauge)?;
+        inboxes.push(Arc::clone(&shard.inbox));
+        wakers.push(Arc::clone(&shard.waker));
+        handles.push(
+            std::thread::Builder::new().name(format!("cc-net-{i}")).spawn(move || shard.run())?,
+        );
+    }
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new().name("cc-accept".into()).spawn(move || {
+        let mut next = 0usize;
+        while !accept_shared.shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // TCP_NODELAY on every accepted socket: pipelined
+                    // frames and one-line replies must not eat Nagle
+                    // delays (only the client side set it before).
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    inboxes[next].lock().push(stream);
+                    let _ = wakers[next].wake();
+                    next = (next + 1) % inboxes.len();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        // Wake every shard so they observe the shutdown flag promptly.
+        for w in &wakers {
+            let _ = w.wake();
+        }
+    })?;
+
+    Ok(TcpServer { shared, accept: Some(accept), shards: handles })
+}
+
+/// One connection owned by a shard.
+struct Conn {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    /// First byte examined: the connection is committed to binary.
+    sniffed: bool,
+    /// Bytes read before the sniff decision (replayed on text handoff).
+    prefix: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    interest: Interest,
+    /// `connections_total`/`connections_live` counted (binary confirmed).
+    counted: bool,
+    /// Requests decoded but not yet answered on this connection.
+    inflight: u64,
+    last_activity: Instant,
+    /// Set when the connection must close once its write queue drains.
+    closing: Option<CloseReason>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            asm: FrameAssembler::new(),
+            sniffed: false,
+            prefix: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            interest: Interest::READABLE,
+            counted: false,
+            inflight: 0,
+            last_activity: Instant::now(),
+            closing: None,
+        }
+    }
+}
+
+/// A read request collected into the round's single view acquire.
+struct QueryReq {
+    token: usize,
+    corr: u64,
+    tag: u8,
+    start: usize,
+    len: usize,
+}
+
+/// An update-bearing request's slot in the round's grouped submission.
+struct Route {
+    token: usize,
+    corr: u64,
+    /// The request's verb tag: `B` answers `Answers` (possibly empty),
+    /// bare `I`/`D` answer `Ok`.
+    tag: u8,
+    q_start: usize,
+    q_len: usize,
+}
+
+/// One grouped submission in flight at the batch former.
+struct PendingGroup {
+    ticket: SubmitTicket,
+    routes: Vec<Route>,
+}
+
+/// Per-round accumulation across all ready connections.
+#[derive(Default)]
+struct Round {
+    pairs: Vec<(u32, u32)>,
+    queries: Vec<QueryReq>,
+    group_ops: Vec<Update>,
+    group_queries: usize,
+    routes: Vec<Route>,
+}
+
+struct Shard {
+    id: usize,
+    client: Client,
+    obs: Arc<Obs>,
+    shared: Arc<ServerShared>,
+    poll: Poll,
+    waker: Arc<Waker>,
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    /// Results of offloaded blocking verbs (`WAIT`/`QUIESCE`).
+    done: Arc<Mutex<Vec<(usize, u64, Reply)>>>,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    groups: Vec<PendingGroup>,
+    gauge: Arc<Gauge>,
+    idle_timeout: Option<Duration>,
+    max_wbuf: usize,
+    num_vertices: usize,
+    is_follower: bool,
+}
+
+impl Shard {
+    fn new(
+        id: usize,
+        client: Client,
+        shared: Arc<ServerShared>,
+        cfg: &NetConfig,
+        gauge: Arc<Gauge>,
+    ) -> io::Result<Shard> {
+        let poll = Poll::new()?;
+        let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
+        let obs = client.observability();
+        let num_vertices = client.num_vertices();
+        let is_follower = client.role() == Role::Follower;
+        Ok(Shard {
+            id,
+            client,
+            obs,
+            shared,
+            poll,
+            waker,
+            inbox: Arc::new(Mutex::new(Vec::new())),
+            done: Arc::new(Mutex::new(Vec::new())),
+            conns: HashMap::new(),
+            next_token: 1,
+            groups: Vec::new(),
+            gauge,
+            idle_timeout: cfg.idle_timeout,
+            max_wbuf: cfg.max_wbuf,
+            num_vertices,
+            is_follower,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events = Events::with_capacity(256);
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            if self.poll.poll(&mut events, Some(POLL_TICK)).is_err() {
+                break;
+            }
+            self.adopt_new();
+            let ready: Vec<(usize, bool, bool)> = events
+                .iter()
+                .filter(|e| e.token() != WAKER)
+                .map(|e| (e.token().0, e.is_readable(), e.is_writable()))
+                .collect();
+            let mut round = Round::default();
+            for &(token, readable, writable) in &ready {
+                if readable {
+                    self.handle_readable(token, &mut round);
+                }
+                if writable {
+                    self.flush_conn(token);
+                }
+            }
+            self.execute_round(round);
+            self.drain_offloads();
+            self.drain_groups();
+            self.sweep_idle();
+        }
+        // Orderly teardown: every surviving connection closes `shutdown`.
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for t in tokens {
+            self.close(t, CloseReason::Shutdown);
+        }
+        let _ = self.id;
+    }
+
+    fn adopt_new(&mut self) {
+        let fresh: Vec<TcpStream> = std::mem::take(&mut *self.inbox.lock());
+        for stream in fresh {
+            let token = self.next_token;
+            self.next_token += 1;
+            if self.poll.registry().register(&stream, Token(token), Interest::READABLE).is_err() {
+                continue;
+            }
+            self.conns.insert(token, Conn::new(stream));
+            self.gauge.inc();
+        }
+    }
+
+    /// Drains readable bytes, sniffs the protocol on first contact, and
+    /// collects complete frames into the round.
+    fn handle_readable(&mut self, token: usize, round: &mut Round) {
+        enum After {
+            Keep,
+            HandoffText,
+            Close(CloseReason),
+            /// Best-effort `ERR` then typed close (frame damage).
+            Poison(String),
+        }
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut after = After::Keep;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            let mut tmp = [0u8; 1 << 16];
+            'read: loop {
+                match conn.stream.read(&mut tmp) {
+                    Ok(0) => {
+                        after = After::Close(CloseReason::Eof);
+                        break 'read;
+                    }
+                    Ok(n) => {
+                        conn.last_activity = Instant::now();
+                        if !conn.sniffed {
+                            conn.prefix.extend_from_slice(&tmp[..n]);
+                            if conn.prefix[0] != SNIFF_BYTE {
+                                after = After::HandoffText;
+                                break 'read;
+                            }
+                            // Binary confirmed: this is the moment the
+                            // connection enters the global counters (text
+                            // connections count via ConnGuard instead).
+                            conn.sniffed = true;
+                            conn.counted = true;
+                            self.obs.metrics.connections_total.inc();
+                            self.obs.metrics.connections_live.inc();
+                            let prefix = std::mem::take(&mut conn.prefix);
+                            conn.asm.push(&prefix);
+                        } else {
+                            conn.asm.push(&tmp[..n]);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'read,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue 'read,
+                    Err(_) => {
+                        after = After::Close(CloseReason::IoError);
+                        break 'read;
+                    }
+                }
+            }
+            if conn.sniffed && conn.closing.is_none() {
+                loop {
+                    match conn.asm.next_frame() {
+                        Ok(Some(payload)) => frames.push(payload),
+                        Ok(None) => break,
+                        Err(fe) => {
+                            after = After::Poison(fe.to_string());
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        for payload in frames {
+            self.obs.metrics.frames_in_total.inc();
+            self.on_frame(token, &payload, round);
+        }
+        match after {
+            After::Keep => {}
+            After::HandoffText => self.handoff_text(token),
+            After::Close(reason) => self.close(token, reason),
+            After::Poison(msg) => {
+                self.queue_reply(token, 0, Reply::Err(msg), false);
+                self.close_after_flush(token, CloseReason::BadFrame);
+            }
+        }
+    }
+
+    /// Decodes one request frame and routes it into the round (reads and
+    /// updates), answers it inline (`EPOCH`/`GEN`/`PING`), or offloads it
+    /// (`WAIT`/`QUIESCE`).
+    fn on_frame(&mut self, token: usize, payload: &[u8], round: &mut Round) {
+        let (corr, req) = match binproto::decode_request(payload) {
+            Ok(ok) => ok,
+            Err(e @ RequestError::ShortHeader(_)) => {
+                self.queue_reply(token, 0, Reply::Err(e.to_string()), false);
+                self.close_after_flush(token, CloseReason::BadFrame);
+                return;
+            }
+            Err(e) => {
+                let corr = e.corr().unwrap_or(0);
+                self.queue_reply(token, corr, Reply::Err(e.to_string()), false);
+                return;
+            }
+        };
+        let verb_name = match req {
+            BinRequest::Insert(..) => "I",
+            BinRequest::Delete(..) => "D",
+            BinRequest::Query(..) => "Q",
+            BinRequest::QueryGen(..) => "QG",
+            BinRequest::Batch(_) => "B",
+            BinRequest::Epoch => "EPOCH",
+            BinRequest::Wait { .. } => "WAIT",
+            BinRequest::Ping => "PING",
+            BinRequest::Quiesce { .. } => "QUIESCE",
+            BinRequest::Gen => "GEN",
+        };
+        self.obs.metrics.record_request(verb_name);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.inflight += 1;
+            self.obs.metrics.net_pipeline_depth.record(conn.inflight);
+        }
+        // Per-request validation up front, so one bad request gets its
+        // own ERR instead of poisoning the whole grouped submission.
+        if let Some(bad) = self.out_of_range(&req) {
+            let n = self.num_vertices;
+            let msg = ServiceError::VertexOutOfRange { v: bad, n }.to_string();
+            self.queue_reply(token, corr, Reply::Err(msg), true);
+            return;
+        }
+        if self.is_follower && carries_updates(&req) {
+            self.queue_reply(
+                token,
+                corr,
+                Reply::Err(ServiceError::ReadOnlyFollower.to_string()),
+                true,
+            );
+            return;
+        }
+        match req {
+            BinRequest::Query(u, v) | BinRequest::QueryGen(u, v) => {
+                let tag = if matches!(req, BinRequest::Query(..)) {
+                    binproto::verb::QUERY
+                } else {
+                    binproto::verb::QUERY_GEN
+                };
+                round.queries.push(QueryReq { token, corr, tag, start: round.pairs.len(), len: 1 });
+                round.pairs.push((u, v));
+            }
+            BinRequest::Batch(ops) if self.is_follower => {
+                // Query-only (updates were rejected above): answer the
+                // whole body from the round's shared view acquire.
+                let start = round.pairs.len();
+                let len = ops.len();
+                for op in &ops {
+                    let (Update::Insert(u, v) | Update::Delete(u, v) | Update::Query(u, v)) = *op;
+                    round.pairs.push((u, v));
+                }
+                round.queries.push(QueryReq {
+                    token,
+                    corr,
+                    tag: binproto::verb::BATCH,
+                    start,
+                    len,
+                });
+            }
+            BinRequest::Insert(u, v) => {
+                round.routes.push(Route {
+                    token,
+                    corr,
+                    tag: binproto::verb::INSERT,
+                    q_start: round.group_queries,
+                    q_len: 0,
+                });
+                round.group_ops.push(Update::Insert(u, v));
+            }
+            BinRequest::Delete(u, v) => {
+                round.routes.push(Route {
+                    token,
+                    corr,
+                    tag: binproto::verb::DELETE,
+                    q_start: round.group_queries,
+                    q_len: 0,
+                });
+                round.group_ops.push(Update::Delete(u, v));
+            }
+            BinRequest::Batch(ops) => {
+                let q_len = ops.iter().filter(|op| matches!(op, Update::Query(..))).count();
+                round.routes.push(Route {
+                    token,
+                    corr,
+                    tag: binproto::verb::BATCH,
+                    q_start: round.group_queries,
+                    q_len,
+                });
+                round.group_queries += q_len;
+                round.group_ops.extend(ops);
+            }
+            BinRequest::Epoch => {
+                let e = self.client.epoch();
+                self.queue_reply(token, corr, Reply::Value(e), true);
+            }
+            BinRequest::Gen => {
+                let info = self.client.generation_info();
+                self.queue_reply(
+                    token,
+                    corr,
+                    Reply::Gen {
+                        generation: info.generation,
+                        dirty: info.dirty,
+                        rebuilds: info.counters.rebuilds,
+                        forest: info.counters.deletes_forest,
+                        nonforest: info.counters.deletes_nonforest,
+                        absent: info.counters.deletes_absent,
+                    },
+                    true,
+                );
+            }
+            BinRequest::Ping => self.queue_reply(token, corr, Reply::Ok, true),
+            BinRequest::Wait { epoch, timeout_ms } => {
+                self.offload(token, corr, move |client| {
+                    match client.wait_for_epoch(epoch, Duration::from_millis(timeout_ms)) {
+                        Ok(at) => Reply::Value(at),
+                        Err(e) => Reply::Err(e.to_string()),
+                    }
+                });
+            }
+            BinRequest::Quiesce { timeout_ms } => {
+                self.offload(token, corr, move |client| {
+                    match client.quiesce(Duration::from_millis(timeout_ms)) {
+                        Ok(generation) => Reply::Value(generation),
+                        Err(e) => Reply::Err(e.to_string()),
+                    }
+                });
+            }
+        }
+    }
+
+    /// First out-of-range vertex in the request, if any.
+    fn out_of_range(&self, req: &BinRequest) -> Option<u32> {
+        let n = self.num_vertices;
+        let check = |u: u32, v: u32| [u, v].into_iter().find(|&x| x as usize >= n);
+        match req {
+            BinRequest::Insert(u, v)
+            | BinRequest::Delete(u, v)
+            | BinRequest::Query(u, v)
+            | BinRequest::QueryGen(u, v) => check(*u, *v),
+            BinRequest::Batch(ops) => ops.iter().find_map(|op| {
+                let (Update::Insert(u, v) | Update::Delete(u, v) | Update::Query(u, v)) = *op;
+                check(u, v)
+            }),
+            _ => None,
+        }
+    }
+
+    /// Runs a blocking verb on a helper thread; the result lands in the
+    /// shard's done-queue and wakes the poll.
+    fn offload(
+        &self,
+        token: usize,
+        corr: u64,
+        work: impl FnOnce(&Client) -> Reply + Send + 'static,
+    ) {
+        let client = self.client.clone();
+        let done = Arc::clone(&self.done);
+        let waker = Arc::clone(&self.waker);
+        let spawned = std::thread::Builder::new().name("cc-net-wait".into()).spawn(move || {
+            let reply = work(&client);
+            done.lock().push((token, corr, reply));
+            let _ = waker.wake();
+        });
+        if spawned.is_err() {
+            self.done.lock().push((
+                token,
+                corr,
+                Reply::Err("server out of threads for blocking verb".to_string()),
+            ));
+        }
+    }
+
+    /// Executes the round's two grouped strokes: one view acquire for all
+    /// collected reads, one batch-former submission for all updates.
+    fn execute_round(&mut self, round: Round) {
+        let Round { pairs, queries, group_ops, routes, .. } = round;
+        if !queries.is_empty() {
+            self.obs.metrics.net_coalesce_width.record(queries.len() as u64);
+            match self.client.query_many_tagged(&pairs) {
+                Ok(answers) => {
+                    for q in queries {
+                        let slice = &answers[q.start..q.start + q.len];
+                        let reply = match q.tag {
+                            binproto::verb::QUERY => Reply::Bit(slice[0].0),
+                            binproto::verb::QUERY_GEN => Reply::BitGen(slice[0].0, slice[0].1),
+                            _ => Reply::Answers(slice.to_vec()),
+                        };
+                        self.queue_reply(q.token, q.corr, reply, true);
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    for q in queries {
+                        self.queue_reply(q.token, q.corr, Reply::Err(msg.clone()), true);
+                    }
+                }
+            }
+        }
+        if !routes.is_empty() {
+            self.obs.metrics.net_coalesce_width.record(routes.len() as u64);
+            let waker = Arc::clone(&self.waker);
+            let notify: Box<dyn Fn() + Send + Sync> = Box::new(move || {
+                let _ = waker.wake();
+            });
+            match self.client.submit_tagged_async(group_ops, Some(notify)) {
+                Ok(ticket) => self.groups.push(PendingGroup { ticket, routes }),
+                Err(e) => {
+                    let msg = e.to_string();
+                    for r in routes {
+                        self.queue_reply(r.token, r.corr, Reply::Err(msg.clone()), true);
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_offloads(&mut self) {
+        let finished: Vec<(usize, u64, Reply)> = std::mem::take(&mut *self.done.lock());
+        for (token, corr, reply) in finished {
+            self.queue_reply(token, corr, reply, true);
+        }
+    }
+
+    /// Routes completed grouped submissions back per correlation id.
+    fn drain_groups(&mut self) {
+        let mut i = 0;
+        while i < self.groups.len() {
+            let Some(result) = self.groups[i].ticket.try_take() else {
+                i += 1;
+                continue;
+            };
+            let group = self.groups.swap_remove(i);
+            match result {
+                Ok(answers) => {
+                    for r in group.routes {
+                        let reply = if r.tag == binproto::verb::BATCH {
+                            Reply::Answers(answers[r.q_start..r.q_start + r.q_len].to_vec())
+                        } else {
+                            Reply::Ok
+                        };
+                        self.queue_reply(r.token, r.corr, reply, true);
+                    }
+                }
+                Err(e) => {
+                    // The whole group shared one batch; a rejected batch
+                    // (WAL failure, shutdown) is everyone's error — the
+                    // same contract text submissions co-batched by the
+                    // former already have.
+                    let msg = e.to_string();
+                    for r in group.routes {
+                        self.queue_reply(r.token, r.corr, Reply::Err(msg.clone()), true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encodes a response frame onto the connection's write queue and
+    /// drains it as far as the socket allows.
+    fn queue_reply(&mut self, token: usize, corr: u64, reply: Reply, dec_inflight: bool) {
+        if matches!(reply, Reply::Err(_)) {
+            self.obs.metrics.request_errors_total.inc();
+        }
+        {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            conn.wbuf.extend_from_slice(&frame(&encode_reply(corr, &reply)));
+            if dec_inflight {
+                conn.inflight = conn.inflight.saturating_sub(1);
+            }
+        }
+        self.obs.metrics.frames_out_total.inc();
+        self.flush_conn(token);
+    }
+
+    /// Drains the write queue; manages `WRITABLE` interest, backpressure,
+    /// and deferred closes.
+    fn flush_conn(&mut self, token: usize) {
+        let mut close_now = None;
+        let mut reregister = None;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            loop {
+                if conn.wpos >= conn.wbuf.len() {
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                    break;
+                }
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        close_now = Some(CloseReason::IoError);
+                        break;
+                    }
+                    Ok(n) => conn.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close_now = Some(CloseReason::IoError);
+                        break;
+                    }
+                }
+            }
+            if close_now.is_none() {
+                let backlog = conn.wbuf.len() - conn.wpos;
+                if backlog == 0 {
+                    if let Some(reason) = conn.closing {
+                        close_now = Some(reason);
+                    }
+                }
+                let want = if backlog == 0 {
+                    if conn.closing.is_some() {
+                        conn.interest // about to close; interest moot
+                    } else {
+                        Interest::READABLE
+                    }
+                } else if backlog > self.max_wbuf || conn.closing.is_some() {
+                    // Backpressure: stop reading until the peer drains.
+                    Interest::WRITABLE
+                } else {
+                    Interest::READABLE | Interest::WRITABLE
+                };
+                if want != conn.interest {
+                    conn.interest = want;
+                    reregister = Some(want);
+                }
+            }
+        }
+        if let Some(reason) = close_now {
+            self.close(token, reason);
+        } else if let Some(want) = reregister {
+            let conn = &self.conns[&token];
+            let _ = self.poll.registry().reregister(&conn.stream, Token(token), want);
+        }
+    }
+
+    fn close_after_flush(&mut self, token: usize, reason: CloseReason) {
+        let pending = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            conn.closing = Some(reason);
+            conn.wbuf.len() - conn.wpos
+        };
+        if pending == 0 {
+            self.close(token, reason);
+        } else {
+            self.flush_conn(token);
+        }
+    }
+
+    fn close(&mut self, token: usize, reason: CloseReason) {
+        let Some(conn) = self.conns.remove(&token) else { return };
+        let _ = self.poll.registry().deregister(&conn.stream);
+        self.gauge.dec();
+        if conn.counted {
+            self.obs.metrics.connections_live.dec();
+        } else {
+            // Closed before the sniff decided a protocol: count the
+            // connection's whole life here so `connections_total` and the
+            // flight record match the thread-per-connection behavior.
+            self.obs.metrics.connections_total.inc();
+        }
+        self.obs.recorder.record(Event::ConnClosed { reason });
+    }
+
+    /// Hands a text connection (first byte was not the binary sniff byte)
+    /// to a dedicated blocking thread, replaying the sniffed bytes.
+    fn handoff_text(&mut self, token: usize) {
+        let Some(conn) = self.conns.remove(&token) else { return };
+        let _ = self.poll.registry().deregister(&conn.stream);
+        self.gauge.dec();
+        let Conn { stream, prefix, .. } = conn;
+        if stream.set_nonblocking(false).is_err() {
+            self.obs.metrics.connections_total.inc();
+            self.obs.recorder.record(Event::ConnClosed { reason: CloseReason::IoError });
+            return;
+        }
+        if let Some(t) = self.idle_timeout {
+            let _ = stream.set_read_timeout(Some(t));
+        }
+        let client = self.client.clone();
+        let shared = Arc::clone(&self.shared);
+        let _ = std::thread::Builder::new().name("cc-conn".into()).spawn(move || {
+            let _ = handle_connection(stream, prefix, &client, &shared);
+        });
+    }
+
+    /// Closes binary/unsniffed connections idle past the timeout.
+    fn sweep_idle(&mut self) {
+        let Some(limit) = self.idle_timeout else { return };
+        let now = Instant::now();
+        let idle: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.closing.is_none() && now.duration_since(c.last_activity) > limit)
+            .map(|(&t, _)| t)
+            .collect();
+        for t in idle {
+            self.close(t, CloseReason::IdleTimeout);
+        }
+    }
+}
+
+/// Whether a request carries inserts or deletes (rejected on followers).
+fn carries_updates(req: &BinRequest) -> bool {
+    match req {
+        BinRequest::Insert(..) | BinRequest::Delete(..) => true,
+        BinRequest::Batch(ops) => ops.iter().any(|op| !matches!(op, Update::Query(..))),
+        _ => false,
+    }
+}

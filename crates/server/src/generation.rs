@@ -511,6 +511,24 @@ impl GenerationEngine {
         }
     }
 
+    /// [`Self::connected_with_gen`] over many pairs against **one** view
+    /// acquire: every answer in the result comes from the same serving
+    /// view, which is what makes cross-connection read coalescing in the
+    /// network shards both cheap and consistent.
+    pub fn connected_many_with_gen(&self, pairs: &[(u32, u32)]) -> Vec<(bool, Option<u64>)> {
+        match &*self.view() {
+            View::Live { engine, .. } => {
+                pairs.iter().map(|&(u, v)| (engine.connected(u, v), None)).collect()
+            }
+            View::Sealed { sealed, generation } => pairs
+                .iter()
+                .map(|&(u, v)| {
+                    (sealed.labels[u as usize] == sealed.labels[v as usize], Some(*generation))
+                })
+                .collect(),
+        }
+    }
+
     /// Component label of `v` in the serving view.
     pub fn current_label(&self, v: u32) -> u32 {
         match &*self.view() {

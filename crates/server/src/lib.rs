@@ -35,10 +35,20 @@
 //!   disk uses) to read-replica followers, which bootstrap, replay, tail
 //!   live appends, and serve reads at an honestly-reported replication
 //!   epoch (`WAIT` upgrades bounded staleness to read-your-writes).
-//! - [`net`] — a minimal line-based TCP protocol (`I`/`D`/`Q`/`B`/`GEN`/
-//!   `QUIESCE`/`STATS`/`FLUSH`/`SNAPSHOT`/`WALSTATS`/`METRICS`/`TRACE`/
-//!   `WAIT`/`ROLE`/…), a one-thread-per-connection server, and a
-//!   blocking [`net::TcpClient`].
+//! - [`net`] / [`evloop`] / [`binproto`] — the wire front end: a sharded,
+//!   readiness-polled event loop (epoll via the offline `mio` shim, with
+//!   a portable `poll(2)` fallback) serving two protocols on one port,
+//!   told apart by a first-byte sniff. The line-based text protocol
+//!   (`I`/`D`/`Q`/`B`/`GEN`/`QUIESCE`/`STATS`/`FLUSH`/`SNAPSHOT`/
+//!   `WALSTATS`/`METRICS`/`TRACE`/`WAIT`/`ROLE`/…) remains the debug
+//!   door, handled by a dedicated thread per connection with a blocking
+//!   [`net::TcpClient`]. The binary protocol ([`binproto`]) frames
+//!   correlation-tagged requests in the `cc_graph::io::binary` codec so
+//!   clients pipeline many in-flight requests per connection
+//!   ([`binproto::BinClient`]); each shard coalesces decoded reads
+//!   across all its ready connections into one epoch-snapshot acquire
+//!   and groups updates into single batch-former submissions
+//!   (DESIGN.md §11).
 //! - [`obs`] — the observability plane: a per-service metrics registry
 //!   (relaxed-atomic counters/gauges/histograms mirrored at write time,
 //!   scraped lock-free by the multi-line `METRICS` verb) and a
@@ -62,7 +72,9 @@
 
 #![warn(missing_docs)]
 
+pub mod binproto;
 pub mod engine;
+pub mod evloop;
 pub mod generation;
 pub mod net;
 pub mod obs;
@@ -71,11 +83,13 @@ pub mod service;
 pub mod snapshot;
 pub mod wal;
 
+pub use binproto::{BinClient, Reply};
 pub use engine::{
     build_engine, Engine, EngineCounters, EngineError, ExecMode, RunMode, ShardedEngine,
 };
+pub use evloop::NetConfig;
 pub use generation::{GenCounters, GenInfo, GenerationEngine};
-pub use net::{serve, TcpClient, TcpServer};
+pub use net::{serve, serve_with, TcpClient, TcpServer};
 pub use obs::{Metrics, Obs, Recorder};
 pub use replication::{
     run_follower, serve_replication, serve_replication_observed, ReplicationHub,

@@ -1,6 +1,14 @@
-//! Minimal line-based TCP protocol over the service (std-only — the
-//! workspace has no crates.io access, so there is no async runtime; one
-//! thread per connection, which is plenty for the batched protocol).
+//! The line-based text protocol over the service, and the TCP front door
+//! shared with the binary protocol (std-only — the workspace has no
+//! crates.io access, so there is no async runtime).
+//!
+//! Accepted connections land on the sharded readiness event loop in
+//! [`crate::evloop`], which sniffs the first byte: `0xCC` (the
+//! [`crate::binproto::STREAM_MAGIC`] opener, which no text verb starts
+//! with) selects the pipelined binary protocol served in-loop; anything
+//! else hands the connection — sniffed bytes replayed — to a dedicated
+//! text thread running `handle_connection` below, preserving the text
+//! protocol byte for byte as the debug door on the same port.
 //!
 //! ## Protocol
 //!
@@ -49,7 +57,7 @@ use crate::service::{Client, Service};
 use connectit::Update;
 use parking_lot::{Condvar, Mutex};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -215,15 +223,24 @@ impl Drop for ConnGuard {
     }
 }
 
-struct ServerShared {
-    shutdown: AtomicBool,
-    done_mx: Mutex<bool>,
-    done_cv: Condvar,
-    local_addr: SocketAddr,
+pub(crate) struct ServerShared {
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) done_mx: Mutex<bool>,
+    pub(crate) done_cv: Condvar,
+    pub(crate) local_addr: SocketAddr,
 }
 
 impl ServerShared {
-    fn request_shutdown(&self) {
+    pub(crate) fn new(local_addr: SocketAddr) -> ServerShared {
+        ServerShared {
+            shutdown: AtomicBool::new(false),
+            done_mx: Mutex::new(false),
+            done_cv: Condvar::new(),
+            local_addr,
+        }
+    }
+
+    pub(crate) fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
         *self.done_mx.lock() = true;
         self.done_cv.notify_all();
@@ -233,12 +250,15 @@ impl ServerShared {
     }
 }
 
-/// A running TCP front-end over a [`Service`]. Connections are served one
-/// thread each; the accept loop stops when a `SHUTDOWN` request arrives or
-/// [`TcpServer::stop`] is called.
+/// A running TCP front-end over a [`Service`]: the accept thread plus N
+/// event-loop shards (see [`crate::evloop`]). Binary connections are
+/// served in-loop; text connections get a dedicated thread each. The
+/// server stops when a `SHUTDOWN` request arrives or [`TcpServer::stop`]
+/// is called.
 pub struct TcpServer {
-    shared: Arc<ServerShared>,
-    accept: Option<std::thread::JoinHandle<()>>,
+    pub(crate) shared: Arc<ServerShared>,
+    pub(crate) accept: Option<std::thread::JoinHandle<()>>,
+    pub(crate) shards: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl TcpServer {
@@ -259,6 +279,9 @@ impl TcpServer {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        for h in self.shards.drain(..) {
+            let _ = h.join();
+        }
     }
 
     /// Initiates shutdown from the hosting process.
@@ -268,51 +291,30 @@ impl TcpServer {
     }
 }
 
-/// Binds `addr` and serves the given service over the line protocol.
-/// Returns immediately; the accept loop runs on a background thread.
+/// Binds `addr` and serves the given service on both protocols (the
+/// text debug door and the pipelined binary protocol, sniffed per
+/// connection) with default [`crate::evloop::NetConfig`] settings.
+/// Returns immediately; the accept loop and event-loop shards run on
+/// background threads.
 pub fn serve(service: &Service, addr: impl ToSocketAddrs) -> std::io::Result<TcpServer> {
-    let listener = TcpListener::bind(addr)?;
-    // Non-blocking accept with a short poll on the shutdown flag: the
-    // loop exits promptly on SHUTDOWN without needing to receive (or
-    // fabricate) another connection.
-    listener.set_nonblocking(true)?;
-    let shared = Arc::new(ServerShared {
-        shutdown: AtomicBool::new(false),
-        done_mx: Mutex::new(false),
-        done_cv: Condvar::new(),
-        local_addr: listener.local_addr()?,
-    });
-    let accept_shared = Arc::clone(&shared);
-    let client = service.client();
-    let accept = std::thread::Builder::new().name("cc-accept".into()).spawn(move || {
-        while !accept_shared.shutdown.load(Ordering::Acquire) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = stream.set_nonblocking(false);
-                    let conn_client = client.clone();
-                    let conn_shared = Arc::clone(&accept_shared);
-                    let _ = std::thread::Builder::new().name("cc-conn".into()).spawn(move || {
-                        let _ = handle_connection(stream, &conn_client, &conn_shared);
-                    });
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
-            }
-        }
-    })?;
-    Ok(TcpServer { shared, accept: Some(accept) })
+    serve_with(service, addr, crate::evloop::NetConfig::default())
+}
+
+/// [`serve`] with explicit front-end tuning (shard count, idle timeout,
+/// write-buffer backpressure cap).
+pub fn serve_with(
+    service: &Service,
+    addr: impl ToSocketAddrs,
+    cfg: crate::evloop::NetConfig,
+) -> std::io::Result<TcpServer> {
+    crate::evloop::start(service, addr, cfg)
 }
 
 /// Reads one request line with [`MAX_LINE_BYTES`] enforced. `Ok(0)` is
 /// EOF; `Err` with `InvalidData` means the peer exceeded the cap (the
 /// caller answers `ERR` and closes — resynchronizing inside an unbounded
 /// line is hopeless).
-fn read_bounded_line(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> std::io::Result<usize> {
+fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> std::io::Result<usize> {
     line.clear();
     let got = std::io::Read::take(&mut *reader, MAX_LINE_BYTES as u64).read_line(line)?;
     if got == MAX_LINE_BYTES && !line.ends_with('\n') {
@@ -324,14 +326,21 @@ fn read_bounded_line(
     Ok(got)
 }
 
-fn handle_connection(
+/// Serves one text-protocol connection to completion. `prefix` replays
+/// the bytes the event-loop shard consumed while sniffing the protocol,
+/// so the handoff is invisible to the peer. A read timing out (the
+/// configured per-connection idle timeout, armed via `SO_RCVTIMEO` by
+/// the shard before handoff) closes with a typed `idle-timeout` reason.
+pub(crate) fn handle_connection(
     stream: TcpStream,
+    prefix: Vec<u8>,
     client: &Client,
     shared: &ServerShared,
 ) -> std::io::Result<()> {
     let obs = client.observability();
     let mut guard = ConnGuard::new(Arc::clone(&obs));
-    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut reader =
+        BufReader::new(std::io::Read::chain(std::io::Cursor::new(prefix), stream.try_clone()?));
     let mut w = BufWriter::new(stream);
     let mut line = String::new();
     loop {
@@ -345,6 +354,13 @@ fn handle_connection(
                 guard.reason = CloseReason::OversizedLine;
                 write_err(&mut w, &obs, e)?;
                 return w.flush();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                guard.reason = CloseReason::IdleTimeout;
+                return Ok(());
             }
             Err(e) => return Err(e),
         }
@@ -411,6 +427,13 @@ fn handle_connection(
                             guard.reason = CloseReason::OversizedLine;
                             write_err(&mut w, &obs, e)?;
                             return w.flush();
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            guard.reason = CloseReason::IdleTimeout;
+                            return Ok(());
                         }
                         Err(e) => return Err(e),
                     }

@@ -188,6 +188,11 @@ pub struct Metrics {
     pub connections_total: Counter,
     pub connections_live: Gauge,
     pub request_errors_total: Counter,
+    pub frames_in_total: Counter,
+    pub frames_out_total: Counter,
+    pub net_coalesce_width: LatencyHist,
+    pub net_pipeline_depth: LatencyHist,
+    net_shards: Mutex<Vec<Arc<Gauge>>>,
     requests: [Counter; VERB_NAMES.len()],
     // replication plane
     pub repl_records_shipped_total: Counter,
@@ -245,6 +250,11 @@ impl Metrics {
             connections_total: Counter::default(),
             connections_live: Gauge::default(),
             request_errors_total: Counter::default(),
+            frames_in_total: Counter::default(),
+            frames_out_total: Counter::default(),
+            net_coalesce_width: LatencyHist::new(),
+            net_pipeline_depth: LatencyHist::new(),
+            net_shards: Mutex::new(Vec::new()),
             requests: std::array::from_fn(|_| Counter::default()),
             repl_records_shipped_total: Counter::default(),
             repl_bytes_shipped_total: Counter::default(),
@@ -270,6 +280,16 @@ impl Metrics {
     /// The request count of one verb (testing / tooling).
     pub fn requests_for(&self, verb: &str) -> u64 {
         VERB_NAMES.iter().position(|&v| v == verb).map_or(0, |i| self.requests[i].get())
+    }
+
+    /// Registers the event-loop shard table: one connection gauge per
+    /// shard, exported as `net_shard_connections{shard="i"}`. Called once
+    /// at server start; calling again (tests restarting a server on the
+    /// same registry) replaces the table.
+    pub fn register_net_shards(&self, n: usize) -> Vec<Arc<Gauge>> {
+        let gauges: Vec<Arc<Gauge>> = (0..n).map(|_| Arc::new(Gauge::default())).collect();
+        *self.net_shards.lock() = gauges.clone();
+        gauges
     }
 
     /// Registers a follower connection and returns its telemetry slot.
@@ -358,6 +378,16 @@ impl Metrics {
         counter(&mut out, "connections_total", &self.connections_total);
         gauge(&mut out, "connections_live", &self.connections_live);
         counter(&mut out, "request_errors_total", &self.request_errors_total);
+        out.push("# TYPE connectit_frames_total counter".to_string());
+        out.push(format!("connectit_frames_total{{dir=\"in\"}} {}", self.frames_in_total.get()));
+        out.push(format!("connectit_frames_total{{dir=\"out\"}} {}", self.frames_out_total.get()));
+        summary(&mut out, "net_coalesce_width", &self.net_coalesce_width);
+        summary(&mut out, "net_pipeline_depth", &self.net_pipeline_depth);
+        let shards: Vec<Arc<Gauge>> = self.net_shards.lock().clone();
+        out.push("# TYPE connectit_net_shard_connections gauge".to_string());
+        for (i, g) in shards.iter().enumerate() {
+            out.push(format!("connectit_net_shard_connections{{shard=\"{i}\"}} {}", g.get()));
+        }
         out.push("# TYPE connectit_requests_total counter".to_string());
         for (i, name) in VERB_NAMES.iter().enumerate() {
             out.push(format!(
@@ -444,6 +474,22 @@ mod tests {
         assert!(has("connectit_latency_ns{quantile=\"0.999\"}"));
         assert!(has("connectit_latency_ns_count 1"));
         assert!(has("# TYPE connectit_follower_epoch_lag gauge"));
+    }
+
+    #[test]
+    fn net_plane_series_render() {
+        let m = Metrics::new();
+        m.frames_in_total.add(5);
+        m.frames_out_total.add(4);
+        m.net_coalesce_width.record(3);
+        let shards = m.register_net_shards(2);
+        shards[1].inc();
+        let lines = m.render().join("\n");
+        assert!(lines.contains("connectit_frames_total{dir=\"in\"} 5"));
+        assert!(lines.contains("connectit_frames_total{dir=\"out\"} 4"));
+        assert!(lines.contains("connectit_net_coalesce_width_count 1"));
+        assert!(lines.contains("connectit_net_shard_connections{shard=\"0\"} 0"));
+        assert!(lines.contains("connectit_net_shard_connections{shard=\"1\"} 1"));
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub enum CloseReason {
     TruncatedBatch,
     /// Read or write on the socket failed.
     IoError,
+    /// Connection sat idle past the configured read/idle timeout.
+    IdleTimeout,
+    /// Binary stream damage: bad magic, CRC mismatch, oversized or
+    /// short-headered frame.
+    BadFrame,
 }
 
 impl CloseReason {
@@ -68,6 +73,8 @@ impl CloseReason {
             CloseReason::BadBatchHeader => 4,
             CloseReason::TruncatedBatch => 5,
             CloseReason::IoError => 6,
+            CloseReason::IdleTimeout => 7,
+            CloseReason::BadFrame => 8,
         }
     }
 
@@ -79,6 +86,8 @@ impl CloseReason {
             3 => "oversized-line",
             4 => "bad-batch-header",
             5 => "truncated-batch",
+            7 => "idle-timeout",
+            8 => "bad-frame",
             _ => "io-error",
         }
     }
@@ -382,6 +391,8 @@ mod tests {
             Event::FollowerCaughtUp { id: 1, epoch: 5 },
             Event::FollowerPruned { id: 1 },
             Event::ConnClosed { reason: CloseReason::Quit },
+            Event::ConnClosed { reason: CloseReason::IdleTimeout },
+            Event::ConnClosed { reason: CloseReason::BadFrame },
         ] {
             r.record(ev);
         }
@@ -398,6 +409,8 @@ mod tests {
             "FollowerCaughtUp follower=1 epoch=5",
             "FollowerPruned follower=1",
             "ConnClosed reason=quit",
+            "ConnClosed reason=idle-timeout",
+            "ConnClosed reason=bad-frame",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -277,22 +277,33 @@ struct Pending {
 /// (`None` when the engine was clean): the tag travels with the answer
 /// from the moment the engine produced both under one lock, so the wire
 /// layer never has to re-derive staleness with a racy second read.
-type TaggedAnswers = Vec<(bool, Option<u64>)>;
+pub type TaggedAnswers = Vec<(bool, Option<u64>)>;
 
-/// A single-use reply mailbox a submitting thread blocks on.
+/// A single-use reply mailbox a submitting thread blocks on (or, through
+/// [`SubmitTicket`], polls after a completion callback).
 struct ReplySlot {
     state: Mutex<Option<Result<TaggedAnswers, ServiceError>>>,
     cv: Condvar,
+    /// Fired after the result is stored — the event-loop shards hang a
+    /// poll waker here so a fulfilled ticket wakes the owning shard.
+    notify: Option<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl ReplySlot {
     fn new() -> Arc<Self> {
-        Arc::new(ReplySlot { state: Mutex::new(None), cv: Condvar::new() })
+        Self::with_notify(None)
+    }
+
+    fn with_notify(notify: Option<Box<dyn Fn() + Send + Sync>>) -> Arc<Self> {
+        Arc::new(ReplySlot { state: Mutex::new(None), cv: Condvar::new(), notify })
     }
 
     fn fulfill(&self, r: Result<TaggedAnswers, ServiceError>) {
         *self.state.lock() = Some(r);
         self.cv.notify_all();
+        if let Some(f) = &self.notify {
+            f();
+        }
     }
 
     fn wait(&self) -> Result<TaggedAnswers, ServiceError> {
@@ -304,6 +315,28 @@ impl ReplySlot {
             // Timeout is a lost-wakeup backstop, mirroring the pool.
             self.cv.wait_for(&mut g, Duration::from_millis(10));
         }
+    }
+}
+
+/// Handle to an asynchronously submitted operation group (see
+/// [`Client::submit_tagged_async`]): poll with [`SubmitTicket::try_take`]
+/// after the completion callback fires, or block with
+/// [`SubmitTicket::wait`].
+pub struct SubmitTicket {
+    reply: Arc<ReplySlot>,
+}
+
+impl SubmitTicket {
+    /// Takes the result if the batch containing the submission has
+    /// completed; `None` while it is still in flight. A taken result is
+    /// gone — callers poll until `Some`, then stop.
+    pub fn try_take(&self) -> Option<Result<TaggedAnswers, ServiceError>> {
+        self.reply.state.lock().take()
+    }
+
+    /// Blocks until the result is available (the synchronous fallback).
+    pub fn wait(&self) -> Result<TaggedAnswers, ServiceError> {
+        self.reply.wait()
     }
 }
 
@@ -910,6 +943,100 @@ impl Client {
             return self.answer_on_follower(&ops, num_queries);
         }
         self.enqueue(ops, num_queries, num_deletes, false)
+    }
+
+    /// [`Self::submit_tagged`] without blocking: the group is queued for
+    /// the batch former and a [`SubmitTicket`] comes back immediately.
+    /// `notify` (if any) fires once the result is stored — the network
+    /// shards pass their poll waker so a completed batch wakes the event
+    /// loop instead of parking a thread per submission. Validation errors
+    /// are still synchronous; on a follower the ticket is fulfilled
+    /// before returning (the follower read path has no batch former).
+    pub fn submit_tagged_async(
+        &self,
+        ops: Vec<Update>,
+        notify: Option<Box<dyn Fn() + Send + Sync>>,
+    ) -> Result<SubmitTicket, ServiceError> {
+        let n = self.num_vertices();
+        let mut num_queries = 0usize;
+        let mut num_deletes = 0usize;
+        for op in &ops {
+            let (Update::Insert(u, v) | Update::Delete(u, v) | Update::Query(u, v)) = *op;
+            for x in [u, v] {
+                if x as usize >= n {
+                    return Err(ServiceError::VertexOutOfRange { v: x, n });
+                }
+            }
+            num_queries += usize::from(matches!(op, Update::Query(..)));
+            num_deletes += usize::from(matches!(op, Update::Delete(..)));
+        }
+        let reply = ReplySlot::with_notify(notify);
+        if ops.is_empty() {
+            reply.fulfill(Ok(Vec::new()));
+            return Ok(SubmitTicket { reply });
+        }
+        if self.role() == Role::Follower {
+            reply.fulfill(self.answer_on_follower(&ops, num_queries));
+            return Ok(SubmitTicket { reply });
+        }
+        {
+            let mut q = self.inner.q.lock();
+            if q.closed {
+                return Err(ServiceError::Closed);
+            }
+            q.queued_ops += ops.len();
+            q.queue.push_back(Pending {
+                num_queries,
+                num_deletes,
+                ops,
+                enqueued: Instant::now(),
+                reply: Arc::clone(&reply),
+                durable_snapshot: false,
+            });
+        }
+        self.inner.work_cv.notify_all();
+        Ok(SubmitTicket { reply })
+    }
+
+    /// Answers many connectivity queries against **one** view acquire,
+    /// skipping the batch former: the read-coalescing primitive behind
+    /// cross-connection batch execution in the network shards. On
+    /// wait-free engines the whole group runs concurrently with in-flight
+    /// batches; on a phased follower it serializes with the replication
+    /// apply (one lock for the whole group instead of one per query). On
+    /// a phased *primary* direct reads would race the batch former, so
+    /// the group falls back to one batched submission — still a single
+    /// epoch acquire, just a linearized one.
+    pub fn query_many_tagged(&self, pairs: &[(u32, u32)]) -> Result<TaggedAnswers, ServiceError> {
+        let n = self.num_vertices();
+        for &(u, v) in pairs {
+            for x in [u, v] {
+                if x as usize >= n {
+                    return Err(ServiceError::VertexOutOfRange { v: x, n });
+                }
+            }
+        }
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(ServiceError::Closed);
+        }
+        if self.inner.engine.mode() == RunMode::Phased && self.role() == Role::Primary {
+            return self.submit_tagged(pairs.iter().map(|&(u, v)| Update::Query(u, v)).collect());
+        }
+        let t0 = Instant::now();
+        let _guard = match self.inner.engine.mode() {
+            RunMode::WaitFree => None,
+            RunMode::Phased => Some(self.inner.apply_mx.lock()),
+        };
+        let answers = self.inner.engine.connected_many_with_gen(pairs);
+        self.inner.obs.metrics.queries_total.add(pairs.len() as u64);
+        self.inner.obs.metrics.latency_ns.record_n(
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            pairs.len() as u64,
+        );
+        Ok(answers)
     }
 
     /// The follower read path: no batch former, no epoch bump — queries

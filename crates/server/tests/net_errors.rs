@@ -329,3 +329,224 @@ fn stale_queries_report_their_generation_and_quiesce_timeouts_spell_it() {
     server.stop();
     svc.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Binary protocol pins. Same port, same server: frames open with the
+// 0xCC sniff byte, everything else above stays on the text door. The
+// binary ERR spellings below are wire API exactly like the text ones.
+// ---------------------------------------------------------------------------
+
+use cc_graph::io::binary::{crc32, RecordReader};
+use cc_server::binproto::{self, BinClient, Reply, MAX_FRAME_PAYLOAD, STREAM_MAGIC};
+use connectit::Update;
+
+/// Opens a raw binary connection: magic written, reader positioned after
+/// it. Frames are then hand-rolled so damage can be injected.
+fn raw_bin(addr: SocketAddr) -> (RecordReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut w = stream.try_clone().expect("clone");
+    w.write_all(&STREAM_MAGIC).expect("magic");
+    (RecordReader::new(stream, 0), w)
+}
+
+/// `len|crc|payload` with an optionally corrupted CRC.
+fn send_frame(w: &mut TcpStream, payload: &[u8], crc_xor: u32) {
+    let mut f = Vec::with_capacity(8 + payload.len());
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(&(crc32(payload) ^ crc_xor).to_le_bytes());
+    f.extend_from_slice(payload);
+    w.write_all(&f).expect("frame");
+}
+
+/// One response frame, split into `(corr, status, body)`.
+fn read_reply(r: &mut RecordReader<TcpStream>) -> (u64, u8, Vec<u8>) {
+    let p = r.next().expect("read frame").expect("frame, not EOF");
+    assert!(p.len() >= 9, "response shorter than its header: {p:?}");
+    (u64::from_le_bytes(p[0..8].try_into().unwrap()), p[8], p[9..].to_vec())
+}
+
+fn expect_err(r: &mut RecordReader<TcpStream>, want_corr: u64, want: &str) {
+    let (corr, status, body) = read_reply(r);
+    assert_eq!(corr, want_corr);
+    assert_eq!(status, binproto::STATUS_ERR, "expected ERR, got status {status}");
+    assert_eq!(String::from_utf8(body).expect("utf-8"), want);
+}
+
+fn expect_eof(r: &mut RecordReader<TcpStream>) {
+    match r.next() {
+        Ok(None) => {}
+        Ok(Some(p)) => panic!("expected close, got frame {p:?}"),
+        // A reset instead of a clean FIN also proves the close.
+        Err(_) => {}
+    }
+}
+
+#[test]
+fn binary_and_text_share_the_port_and_requests_pipeline() {
+    let (mut svc, mut server, addr) = start(Role::Primary);
+    let mut bin = BinClient::connect(addr).expect("binary connect");
+    // A text connection next door is untouched by the binary traffic.
+    let (mut tr, mut tw) = raw(addr);
+
+    bin.ping().expect("ping");
+    bin.insert(1, 2).expect("insert");
+    bin.insert(2, 3).expect("insert");
+    assert!(bin.query(1, 3).expect("query"));
+    assert!(!bin.query(1, 4).expect("query"));
+    assert_eq!(bin.query_gen(1, 3).expect("qg"), (true, None));
+    let answers = bin
+        .submit(&[Update::Insert(10, 11), Update::Query(10, 11), Update::Query(10, 12)])
+        .expect("batch");
+    assert_eq!(answers.len(), 2);
+    assert!(answers[0].0 && !answers[1].0);
+    let e = bin.epoch().expect("epoch");
+    assert_eq!(bin.wait_epoch(e, 1000).expect("wait"), e);
+    let g = bin.quiesce(10_000).expect("quiesce");
+    assert_eq!(g, 0, "no deletions: still generation 0");
+
+    // Pipelining: many in-flight requests on one connection, answers
+    // collected by correlation id in whatever order they complete.
+    let mut want = std::collections::HashMap::new();
+    for i in 0..64u32 {
+        let corr = bin.send_query(1, 2 + (i % 3)).expect("send");
+        want.insert(corr, (i % 3) < 2);
+    }
+    assert_eq!(bin.in_flight(), 64);
+    while bin.in_flight() > 0 {
+        let (corr, reply) = bin.reap().expect("reap");
+        let expected = want.remove(&corr).expect("known corr id");
+        assert_eq!(reply, Reply::Bit(expected), "corr {corr}");
+    }
+    assert!(want.is_empty());
+
+    // The text door still answers, and sees the binary traffic's state.
+    send_line(&mut tw, "Q 1 3");
+    assert_eq!(read_line(&mut tr), "1");
+    send_line(&mut tw, "PING");
+    assert_eq!(read_line(&mut tr), "PONG");
+    server.stop();
+    svc.shutdown();
+}
+
+#[test]
+fn binary_request_errors_answer_exact_spellings_and_stay_open() {
+    let (mut svc, mut server, addr) = start(Role::Primary);
+    let (mut r, mut w) = raw_bin(addr);
+    // Unknown verb tag.
+    let mut p = 7u64.to_le_bytes().to_vec();
+    p.push(0xFF);
+    send_frame(&mut w, &p, 0);
+    expect_err(&mut r, 7, "unknown binary verb 0xff");
+    // Fixed-layout verb with short arguments.
+    let mut p = 8u64.to_le_bytes().to_vec();
+    p.push(binproto::verb::QUERY);
+    p.extend_from_slice(&[1, 2, 3]);
+    send_frame(&mut w, &p, 0);
+    expect_err(&mut r, 8, "bad Q payload: need 8 bytes, have 3");
+    // Batch with an unknown op tag.
+    let mut p = 9u64.to_le_bytes().to_vec();
+    p.push(binproto::verb::BATCH);
+    p.extend_from_slice(&1u32.to_le_bytes());
+    p.push(9);
+    p.extend_from_slice(&1u32.to_le_bytes());
+    p.extend_from_slice(&2u32.to_le_bytes());
+    send_frame(&mut w, &p, 0);
+    expect_err(&mut r, 9, "bad B payload: unknown batch op tag 0x09");
+    // Batch header promising more ops than the wire cap.
+    let mut p = 10u64.to_le_bytes().to_vec();
+    p.push(binproto::verb::BATCH);
+    p.extend_from_slice(&((MAX_WIRE_BATCH + 1) as u32).to_le_bytes());
+    send_frame(&mut w, &p, 0);
+    expect_err(&mut r, 10, &format!("batch too large (max {MAX_WIRE_BATCH})"));
+    // Out-of-range vertices reuse the service spelling, per request.
+    send_frame(&mut w, &binproto::encode_request(11, &binproto::BinRequest::Query(99, 0)), 0);
+    expect_err(&mut r, 11, "vertex 99 out of range (n = 64)");
+    // All recoverable: the connection still answers.
+    send_frame(&mut w, &binproto::encode_request(12, &binproto::BinRequest::Ping), 0);
+    assert_eq!(read_reply(&mut r), (12, binproto::STATUS_OK, vec![]));
+    server.stop();
+    svc.shutdown();
+}
+
+#[test]
+fn binary_frame_damage_gets_a_typed_err_and_close() {
+    let (mut svc, mut server, addr) = start(Role::Primary);
+    // CRC damage: corr-0 ERR, then close (`bad-frame`).
+    {
+        let (mut r, mut w) = raw_bin(addr);
+        let p = binproto::encode_request(1, &binproto::BinRequest::Ping);
+        let stored = crc32(&p) ^ 1;
+        let computed = crc32(&p);
+        send_frame(&mut w, &p, 1);
+        expect_err(
+            &mut r,
+            0,
+            &format!("bad frame: crc mismatch (stored {stored:#010x}, computed {computed:#010x})"),
+        );
+        expect_eof(&mut r);
+    }
+    // Oversized declared length: refused before buffering the payload.
+    {
+        let (mut r, mut w) = raw_bin(addr);
+        let huge = MAX_FRAME_PAYLOAD + 1;
+        w.write_all(&huge.to_le_bytes()).expect("len");
+        w.write_all(&0u32.to_le_bytes()).expect("crc");
+        expect_err(
+            &mut r,
+            0,
+            &format!("bad frame: oversized payload {huge} (max {MAX_FRAME_PAYLOAD})"),
+        );
+        expect_eof(&mut r);
+    }
+    // Sniff byte followed by a wrong magic suffix.
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+        let mut w = stream.try_clone().expect("clone");
+        w.write_all(&[binproto::SNIFF_BYTE, b'X', b'X', b'X', b'X', b'X', b'X', b'\n'])
+            .expect("bad magic");
+        let mut r = RecordReader::new(stream, 0);
+        expect_err(&mut r, 0, "bad frame: unknown binary stream magic");
+        expect_eof(&mut r);
+    }
+    // A request frame shorter than its 9-byte header poisons the stream.
+    {
+        let (mut r, mut w) = raw_bin(addr);
+        send_frame(&mut w, &[1, 2, 3], 0);
+        expect_err(&mut r, 0, "bad frame: request header needs 9 bytes, have 3");
+        expect_eof(&mut r);
+    }
+    // The server survived all four autopsies.
+    let mut bin = BinClient::connect(addr).expect("connect");
+    bin.ping().expect("ping");
+    server.stop();
+    svc.shutdown();
+}
+
+#[test]
+fn binary_follower_rejects_updates_and_serves_query_batches() {
+    let (mut svc, mut server, addr) = start(Role::Follower);
+    let mut bin = BinClient::connect(addr).expect("connect");
+    let deny = "read-only follower: route updates to the primary";
+    let corr = bin.send_insert(1, 2).expect("send");
+    assert_eq!(bin.reap().expect("reap"), (corr, Reply::Err(deny.into())));
+    let corr = bin.send_delete(1, 2).expect("send");
+    assert_eq!(bin.reap().expect("reap"), (corr, Reply::Err(deny.into())));
+    // One update poisons the whole batch, exactly like the text door...
+    let corr = bin.send_batch(&[Update::Insert(1, 2), Update::Query(1, 2)]).expect("send");
+    assert_eq!(bin.reap().expect("reap"), (corr, Reply::Err(deny.into())));
+    // ...while query-only batches answer against the replicated state.
+    let answers = bin.submit(&[Update::Query(1, 2), Update::Query(3, 3)]).expect("submit");
+    assert_eq!(answers, vec![(false, None), (true, None)]);
+    assert!(!bin.query(1, 2).expect("query"));
+    // WAIT keeps the text spelling for a timed-out barrier.
+    let corr = bin.send_wait(5, 50).expect("send");
+    assert_eq!(
+        bin.reap().expect("reap"),
+        (corr, Reply::Err("wait for epoch 5 timed out at epoch 0".into()))
+    );
+    server.stop();
+    svc.shutdown();
+}

@@ -167,3 +167,72 @@ fn trace_file_flushes_on_shutdown_and_recovery_consumes_it() {
     assert!(refreshed.starts_with("T 1 "), "fresh trace restarts sequence:\n{refreshed}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The net plane: binary load must populate the per-shard connection
+/// gauges, the frame counters (split by direction), and the coalesce /
+/// pipeline-depth histograms, all monotone across scrapes.
+#[test]
+fn binary_load_populates_net_plane_series_and_stays_monotone() {
+    let mut svc = Service::start(ServiceConfig {
+        n: 256,
+        shards: 2,
+        batch_max_wait: Duration::from_micros(20),
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let c = svc.client();
+    let mut server = cc_server::serve(&svc, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let drive = |bin: &mut cc_server::BinClient| {
+        // A pipelined burst (reads and updates) so the shard's rounds
+        // have something to coalesce and the depth histogram something
+        // to record.
+        for i in 0..32u32 {
+            bin.send_insert(i, i + 1).expect("send");
+            bin.send_query(0, i + 1).expect("send");
+        }
+        while bin.in_flight() > 0 {
+            bin.reap().expect("reap");
+        }
+    };
+    let mut bin = cc_server::BinClient::connect(addr).expect("connect");
+    drive(&mut bin);
+
+    let first = scrape(&c.render_metrics());
+    // Exactly one connection live, owned by exactly one shard.
+    let shard_series: Vec<(&String, u64)> = first
+        .iter()
+        .filter(|(k, _)| k.starts_with("connectit_net_shard_connections{shard="))
+        .map(|(k, &v)| (k, v))
+        .collect();
+    assert!(!shard_series.is_empty(), "per-shard gauges missing: {first:?}");
+    assert_eq!(shard_series.iter().map(|&(_, v)| v).sum::<u64>(), 1, "{shard_series:?}");
+    assert!(first["connectit_frames_total{dir=\"in\"}"] >= 64, "{first:?}");
+    assert!(first["connectit_frames_total{dir=\"out\"}"] >= 64, "{first:?}");
+    assert!(first["connectit_net_coalesce_width_count"] >= 1, "{first:?}");
+    assert!(first["connectit_net_pipeline_depth_count"] >= 64, "{first:?}");
+    assert!(first["connectit_connections_live"] >= 1, "{first:?}");
+
+    // More load: every net counter is monotone, frames strictly grew.
+    drive(&mut bin);
+    let second = scrape(&c.render_metrics());
+    for (name, &v1) in &first {
+        if name.contains("_total") {
+            let v2 = *second.get(name).unwrap_or_else(|| panic!("{name} vanished"));
+            assert!(v2 >= v1, "{name} went backwards: {v1} -> {v2}");
+        }
+    }
+    assert!(
+        second["connectit_frames_total{dir=\"in\"}"] > first["connectit_frames_total{dir=\"in\"}"]
+    );
+    assert!(
+        second["connectit_frames_total{dir=\"out\"}"]
+            > first["connectit_frames_total{dir=\"out\"}"]
+    );
+    assert!(
+        second["connectit_net_pipeline_depth_count"] > first["connectit_net_pipeline_depth_count"]
+    );
+    server.stop();
+    svc.shutdown();
+}
