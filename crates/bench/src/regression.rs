@@ -267,6 +267,11 @@ pub fn gate_for(leaf: &str) -> Option<(Direction, Option<f64>)> {
         "speedup_vs_text" => Some((Direction::Higher, None)),
         "pipelined_2x_vs_text" => Some((Direction::Higher, Some(1.0))),
         "coalesce_width_gt1" => Some((Direction::Higher, Some(1.0))),
+        // Analytics: the delta-maintained publish-path count must keep
+        // beating the O(n) scan it replaced. Test-mode runs emit `null`
+        // (skipped — no timing claims); `mismatches` gates exactly via
+        // the correctness row above.
+        "publish_speedup" => Some((Direction::Higher, None)),
         _ => None,
     }
 }

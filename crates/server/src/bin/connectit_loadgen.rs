@@ -481,6 +481,32 @@ impl Wire {
         }
     }
 
+    /// `TOPK k`: `(entries, epoch, generation, sealed)`, sizes descending.
+    #[allow(clippy::type_complexity)]
+    fn topk(&mut self, k: usize) -> std::io::Result<(Vec<(u32, u64)>, u64, u64, bool)> {
+        match self {
+            Wire::Text(c) => c.topk(Some(k)),
+            Wire::Bin(c, _) => c.topk(k.min(u8::MAX as usize) as u8),
+        }
+    }
+
+    /// `HIST`: `(components, dense buckets, epoch, generation, sealed)`.
+    #[allow(clippy::type_complexity)]
+    fn hist(&mut self) -> std::io::Result<(u64, Vec<u64>, u64, u64, bool)> {
+        match self {
+            Wire::Text(c) => c.hist(),
+            Wire::Bin(c, _) => c.hist(),
+        }
+    }
+
+    /// `SIZE v`: `(size, root)` of `v`'s component.
+    fn component_size(&mut self, v: u32) -> std::io::Result<(u64, u32)> {
+        match self {
+            Wire::Text(c) => c.component_size(v),
+            Wire::Bin(c, _) => c.component_size(v),
+        }
+    }
+
     /// Reads `(generation, dirty)` — one side of the churn sandwich.
     fn generation(&mut self) -> std::io::Result<(u64, bool)> {
         let bad = |line: &dyn std::fmt::Debug| {
@@ -557,6 +583,40 @@ impl Conn {
                 Ok((info.generation, info.dirty))
             }
             Conn::Tcp(c) => c.generation().map_err(|e| e.to_string()),
+        }
+    }
+
+    /// `TOPK k`: size-descending `(root, size)` entries (singletons
+    /// excluded by the verb's contract).
+    fn topk(&mut self, k: usize) -> Result<Vec<(u32, u64)>, String> {
+        match self {
+            Conn::InProc(c) => Ok(c.topk(k).0),
+            Conn::Tcp(c) => c.topk(k).map(|(entries, ..)| entries).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// `HIST`: `(components, dense log2 buckets)`.
+    fn hist(&mut self) -> Result<(u64, Vec<u64>), String> {
+        match self {
+            Conn::InProc(c) => {
+                let view = c.analytics();
+                Ok((view.components, view.hist.to_vec()))
+            }
+            Conn::Tcp(c) => {
+                c.hist().map(|(comp, buckets, ..)| (comp, buckets)).map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// `SIZE v`: the size of `v`'s component.
+    fn component_size(&mut self, v: u32) -> Result<u64, String> {
+        match self {
+            Conn::InProc(c) => {
+                c.component_size(v).map(|(_root, size)| size).map_err(|e| e.to_string())
+            }
+            Conn::Tcp(c) => {
+                c.component_size(v).map(|(size, _root)| size).map_err(|e| e.to_string())
+            }
         }
     }
 }
@@ -665,10 +725,17 @@ struct WorkerReport {
     /// Churn queries whose generation sandwich never found a clean
     /// window; their answers are advisory and were not validated.
     stale_skipped: u64,
+    /// Analytics answers (`TOPK`/`HIST`/`SIZE`) validated exactly
+    /// against the oracle partition (churn mode).
+    analytics_checks: u64,
     first_mismatch: Option<String>,
     /// The oracle state at exit, captured for `--kill-after`
     /// checkpointing.
     final_state: Option<ClientCheckpoint>,
+    /// The oracle's final component-size multiset over this client's
+    /// private slice (churn mode), aggregated by the end-of-run global
+    /// `TOPK`/`HIST` validation.
+    final_sizes: Option<Vec<u64>>,
 }
 
 /// Submits with crash resilience: on a transport error in `--resume`
@@ -1149,11 +1216,130 @@ fn run_churn_worker(
             }
             None => rep.stale_skipped += num_queries as u64,
         }
+        // Analytics spot checks: `SIZE` for a few random slice vertices,
+        // validated exactly against the oracle component's cardinality
+        // inside its own clean generation window. Slices are private, so
+        // the expected size depends on no other client. The vertices are
+        // drawn before the retry loop to keep the RNG stream independent
+        // of window-timing luck.
+        let spots: Vec<u32> =
+            (0..4).map(|_| ((rng.next_u64() >> 32) as usize % sz) as u32).collect();
+        let mut window_found = false;
+        for _ in 0..5 {
+            let _ = conn.quiesce(CHURN_QUIESCE_MS);
+            let Ok((g1, false)) = conn.generation() else { continue };
+            let labels = oracle.labels();
+            let mut size_of: HashMap<u32, u64> = HashMap::new();
+            for &l in &labels {
+                *size_of.entry(l).or_insert(0) += 1;
+            }
+            let sized: Option<Vec<u64>> =
+                spots.iter().map(|&lv| conn.component_size(to_global(lv as usize)).ok()).collect();
+            let Some(sized) = sized else { continue };
+            let Ok((g2, false)) = conn.generation() else { continue };
+            if g2 != g1 {
+                continue;
+            }
+            for (&lv, &got) in spots.iter().zip(&sized) {
+                rep.analytics_checks += 1;
+                let want = size_of[&labels[lv as usize]];
+                if got != want {
+                    rep.mismatches += 1;
+                    rep.first_mismatch.get_or_insert_with(|| {
+                        format!(
+                            "client {idx}: churn: SIZE {} answered {got} in a clean \
+                             generation window, oracle component has {want} vertices",
+                            to_global(lv as usize)
+                        )
+                    });
+                }
+            }
+            window_found = true;
+            break;
+        }
+        if !window_found {
+            rep.stale_skipped += spots.len() as u64;
+        }
     }
+    // The final slice partition, for the global TOPK/HIST validation.
+    let labels = oracle.labels();
+    let mut size_of: HashMap<u32, u64> = HashMap::new();
+    for &l in &labels {
+        *size_of.entry(l).or_insert(0) += 1;
+    }
+    rep.final_sizes = Some(size_of.into_values().collect());
     if o.kill_after.is_some() {
         rep.final_state = Some(ClientCheckpoint::Edges(live));
     }
     Ok(rep)
+}
+
+/// End-of-run global analytics validation (churn mode). Clients own
+/// disjoint private slices, so the expected component-size multiset
+/// over the whole vertex space is exactly the union of every client's
+/// final slice partition plus the `n % clients` vertices no slice
+/// covers (global singletons forever). `TOPK`, `HIST`, and the live
+/// component count must match that multiset bit-for-bit inside a clean
+/// generation window — the analytics plane's deltas and rebuild resyncs
+/// have no room for drift.
+fn validate_global_analytics(
+    o: &GenOpts,
+    conn: &mut Conn,
+    client_sizes: &[Vec<u64>],
+    total: &mut WorkerReport,
+) -> Result<(), String> {
+    let leftover = o.n - (o.n / o.clients) * o.clients;
+    let mut sizes: Vec<u64> = client_sizes.iter().flatten().copied().collect();
+    sizes.extend(std::iter::repeat_n(1u64, leftover));
+    let expected_components = sizes.len() as u64;
+    let mut expected_hist = vec![0u64; cc_server::HIST_BUCKETS];
+    for &s in &sizes {
+        expected_hist[(63 - s.leading_zeros()) as usize] += 1;
+    }
+    // TOPK excludes singletons and materializes at most TOPK_CAP.
+    let mut expected_topk: Vec<u64> = sizes.into_iter().filter(|&s| s >= 2).collect();
+    expected_topk.sort_unstable_by(|a, b| b.cmp(a));
+    expected_topk.truncate(cc_server::TOPK_CAP);
+
+    for _ in 0..5 {
+        let _ = conn.quiesce(CHURN_QUIESCE_MS);
+        let Ok((g1, false)) = conn.generation() else { continue };
+        let (Ok(entries), Ok((components, hist))) = (conn.topk(cc_server::TOPK_CAP), conn.hist())
+        else {
+            continue;
+        };
+        let Ok((g2, false)) = conn.generation() else { continue };
+        if g2 != g1 {
+            continue;
+        }
+        let mut check = |what: &str, ok: bool, detail: String| {
+            total.analytics_checks += 1;
+            if !ok {
+                total.mismatches += 1;
+                total
+                    .first_mismatch
+                    .get_or_insert_with(|| format!("global analytics: {what}: {detail}"));
+            }
+        };
+        check(
+            "component count",
+            components == expected_components,
+            format!("HIST reported {components}, oracle partition has {expected_components}"),
+        );
+        check(
+            "HIST",
+            hist == expected_hist,
+            format!("buckets {hist:?} != oracle {expected_hist:?}"),
+        );
+        let got_topk: Vec<u64> = entries.iter().map(|&(_, s)| s).collect();
+        check(
+            "TOPK",
+            got_topk == expected_topk,
+            format!("sizes {got_topk:?} != oracle {expected_topk:?}"),
+        );
+        return Ok(());
+    }
+    Err("no clean generation window for the end-of-run analytics validation".into())
 }
 
 /// Writes a scraped `METRICS` exposition to `path`, restoring the `# EOF`
@@ -1256,6 +1442,7 @@ fn main() -> ExitCode {
     let mut total = WorkerReport::default();
     let mut failed = false;
     let mut final_states: Vec<ClientCheckpoint> = Vec::with_capacity(o.clients);
+    let mut final_sizes: Vec<Vec<u64>> = Vec::with_capacity(o.clients);
     for (i, r) in reports.into_iter().enumerate() {
         match r {
             Ok(mut r) => {
@@ -1269,15 +1456,42 @@ fn main() -> ExitCode {
                 total.follower_verified += r.follower_verified;
                 total.deletes += r.deletes;
                 total.stale_skipped += r.stale_skipped;
+                total.analytics_checks += r.analytics_checks;
                 if total.first_mismatch.is_none() {
                     total.first_mismatch = r.first_mismatch;
                 }
                 if let Some(state) = r.final_state.take() {
                     final_states.push(state);
                 }
+                if let Some(sizes) = r.final_sizes.take() {
+                    final_sizes.push(sizes);
+                }
             }
             Err(e) => {
                 eprintln!("connectit-loadgen: client {i} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    // Global analytics validation: with every churn worker's final slice
+    // partition in hand, TOPK/HIST and the component count over the full
+    // vertex space have exactly one legal value.
+    if o.churn > 0.0 && !failed && final_sizes.len() == o.clients {
+        let conn = match (&service, &o.tcp_addr) {
+            (Some(svc), _) => Ok(Conn::InProc(svc.client())),
+            (None, Some(addr)) => Wire::connect(addr.as_str(), &o).map(|c| Conn::Tcp(Box::new(c))),
+            (None, None) => unreachable!("inproc mode always has a service"),
+        };
+        match conn {
+            Ok(mut conn) => {
+                if let Err(e) = validate_global_analytics(&o, &mut conn, &final_sizes, &mut total) {
+                    eprintln!("connectit-loadgen: {e}");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("connectit-loadgen: analytics validation connect failed: {e}");
                 failed = true;
             }
         }
@@ -1324,7 +1538,7 @@ fn main() -> ExitCode {
     println!(
         "ops={} elapsed={:.3}s ops_per_sec={ops_per_sec} verified_queries={} exact={} \
          intra_batch_transitions={} sweep_checks={} follower_verified={} skipped_batches={} \
-         deletes={} stale_skipped={} mismatches={}",
+         deletes={} stale_skipped={} analytics_checks={} mismatches={}",
         total.ops,
         elapsed.as_secs_f64(),
         total.queries,
@@ -1335,6 +1549,7 @@ fn main() -> ExitCode {
         total.skipped_batches,
         total.deletes,
         total.stale_skipped,
+        total.analytics_checks,
         total.mismatches
     );
     if let Some(m) = &total.first_mismatch {

@@ -30,6 +30,9 @@
 //! | 0x08 | PING    | none                                        |
 //! | 0x09 | QUIESCE | `timeout_ms:u64le`                          |
 //! | 0x0A | GEN     | none                                        |
+//! | 0x0B | TOPK    | `k:u8`                                      |
+//! | 0x0C | HIST    | none                                        |
+//! | 0x0D | SIZE    | `v:u32le`                                   |
 //!
 //! ## Response frames
 //!
@@ -92,6 +95,12 @@ pub mod verb {
     pub const QUIESCE: u8 = 0x09;
     /// Generation/rebuild counters.
     pub const GEN: u8 = 0x0A;
+    /// Top-k largest components from the analytics view.
+    pub const TOPK: u8 = 0x0B;
+    /// Component-size histogram from the analytics view.
+    pub const HIST: u8 = 0x0C;
+    /// Size and root of one vertex's component.
+    pub const SIZE: u8 = 0x0D;
 }
 
 /// A decoded binary request (header already stripped).
@@ -125,6 +134,16 @@ pub enum BinRequest {
     },
     /// `GEN`
     Gen,
+    /// `TOPK k` — top-k largest (multi-vertex) components.
+    Topk {
+        /// How many components to return (clamped server-side to the
+        /// materialized cap).
+        k: u8,
+    },
+    /// `HIST` — component-size histogram.
+    Hist,
+    /// `SIZE v` — size and root of `v`'s component.
+    Size(u32),
 }
 
 /// Frame-level damage: the stream can no longer be trusted, so the server
@@ -317,6 +336,18 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, BinRequest), RequestError>
             fixed("GEN", 0)?;
             BinRequest::Gen
         }
+        verb::TOPK => {
+            fixed("TOPK", 1)?;
+            BinRequest::Topk { k: args[0] }
+        }
+        verb::HIST => {
+            fixed("HIST", 0)?;
+            BinRequest::Hist
+        }
+        verb::SIZE => {
+            fixed("SIZE", 4)?;
+            BinRequest::Size(rd_u32(args))
+        }
         t => return Err(RequestError::UnknownVerb { corr, tag: t }),
     };
     Ok((corr, req))
@@ -373,6 +404,15 @@ pub fn encode_request(corr: u64, req: &BinRequest) -> Vec<u8> {
             p.extend_from_slice(&timeout_ms.to_le_bytes());
         }
         BinRequest::Gen => p.push(verb::GEN),
+        BinRequest::Topk { k } => {
+            p.push(verb::TOPK);
+            p.push(*k);
+        }
+        BinRequest::Hist => p.push(verb::HIST),
+        BinRequest::Size(v) => {
+            p.push(verb::SIZE);
+            p.extend_from_slice(&v.to_le_bytes());
+        }
     }
     p
 }
@@ -411,6 +451,39 @@ pub enum Reply {
         nonforest: u64,
         /// Deletes of absent edges observed.
         absent: u64,
+    },
+    /// `TOPK` answer: view stamp plus `(root, size)` pairs, largest first.
+    Topk {
+        /// Last delta epoch folded into the published view.
+        epoch: u64,
+        /// Generation the view belongs to.
+        generation: u64,
+        /// Whether the view is frozen at a sealed generation.
+        sealed: bool,
+        /// `(root, size)` pairs, size-descending; singletons excluded.
+        entries: Vec<(u32, u64)>,
+    },
+    /// `HIST` answer: view stamp, live component count, and the full
+    /// log2-bucketed size histogram (bucket `b` counts components of size
+    /// in `[2^b, 2^(b+1))`).
+    Hist {
+        /// Last delta epoch folded into the published view.
+        epoch: u64,
+        /// Generation the view belongs to.
+        generation: u64,
+        /// Whether the view is frozen at a sealed generation.
+        sealed: bool,
+        /// Live component count (histogram buckets sum to this).
+        components: u64,
+        /// All histogram buckets, including zeros.
+        buckets: Vec<u64>,
+    },
+    /// `SIZE` answer: the component's size and canonical root.
+    Size {
+        /// Number of vertices in the component.
+        size: u64,
+        /// Root (representative vertex) of the component.
+        root: u32,
     },
     /// ERR with the text-protocol message spelling.
     Err(String),
@@ -453,6 +526,33 @@ pub fn encode_reply(corr: u64, reply: &Reply) -> Vec<u8> {
             for v in [rebuilds, forest, nonforest, absent] {
                 p.extend_from_slice(&v.to_le_bytes());
             }
+        }
+        Reply::Topk { epoch, generation, sealed, entries } => {
+            p.push(STATUS_OK);
+            p.extend_from_slice(&epoch.to_le_bytes());
+            p.extend_from_slice(&generation.to_le_bytes());
+            p.push(*sealed as u8);
+            p.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for &(root, size) in entries {
+                p.extend_from_slice(&root.to_le_bytes());
+                p.extend_from_slice(&size.to_le_bytes());
+            }
+        }
+        Reply::Hist { epoch, generation, sealed, components, buckets } => {
+            p.push(STATUS_OK);
+            p.extend_from_slice(&epoch.to_le_bytes());
+            p.extend_from_slice(&generation.to_le_bytes());
+            p.push(*sealed as u8);
+            p.extend_from_slice(&components.to_le_bytes());
+            p.extend_from_slice(&(buckets.len() as u32).to_le_bytes());
+            for b in buckets {
+                p.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        Reply::Size { size, root } => {
+            p.push(STATUS_OK);
+            p.extend_from_slice(&size.to_le_bytes());
+            p.extend_from_slice(&root.to_le_bytes());
         }
     }
     p
@@ -535,6 +635,51 @@ pub fn decode_reply(payload: &[u8], req_verb: u8) -> io::Result<(u64, Reply)> {
                 nonforest: rd_u64(&body[25..]),
                 absent: rd_u64(&body[33..]),
             }
+        }
+        verb::TOPK => {
+            if body.len() < 21 {
+                return Err(bad_reply("TOPK"));
+            }
+            let k = rd_u32(&body[17..]) as usize;
+            if body.len() != 21 + k * 12 {
+                return Err(bad_reply("TOPK"));
+            }
+            let mut entries = Vec::with_capacity(k);
+            for chunk in body[21..].chunks_exact(12) {
+                entries.push((rd_u32(chunk), rd_u64(&chunk[4..])));
+            }
+            Reply::Topk {
+                epoch: rd_u64(body),
+                generation: rd_u64(&body[8..]),
+                sealed: body[16] != 0,
+                entries,
+            }
+        }
+        verb::HIST => {
+            if body.len() < 29 {
+                return Err(bad_reply("HIST"));
+            }
+            let k = rd_u32(&body[25..]) as usize;
+            if body.len() != 29 + k * 8 {
+                return Err(bad_reply("HIST"));
+            }
+            let mut buckets = Vec::with_capacity(k);
+            for chunk in body[29..].chunks_exact(8) {
+                buckets.push(rd_u64(chunk));
+            }
+            Reply::Hist {
+                epoch: rd_u64(body),
+                generation: rd_u64(&body[8..]),
+                sealed: body[16] != 0,
+                components: rd_u64(&body[17..]),
+                buckets,
+            }
+        }
+        verb::SIZE => {
+            if body.len() != 12 {
+                return Err(bad_reply("SIZE"));
+            }
+            Reply::Size { size: rd_u64(body), root: rd_u32(&body[8..]) }
         }
         _ => return Err(bad_reply("unknown-verb")),
     };
@@ -669,6 +814,9 @@ impl BinClient {
             BinRequest::Ping => verb::PING,
             BinRequest::Quiesce { .. } => verb::QUIESCE,
             BinRequest::Gen => verb::GEN,
+            BinRequest::Topk { .. } => verb::TOPK,
+            BinRequest::Hist => verb::HIST,
+            BinRequest::Size(_) => verb::SIZE,
         };
         append_record(&mut self.writer, &encode_request(corr, req))?;
         self.pending.insert(corr, tag);
@@ -723,6 +871,21 @@ impl BinClient {
     /// Pipelines a `GEN` read; returns its correlation id.
     pub fn send_gen(&mut self) -> io::Result<u64> {
         self.send(&BinRequest::Gen)
+    }
+
+    /// Pipelines a `TOPK` read; returns its correlation id.
+    pub fn send_topk(&mut self, k: u8) -> io::Result<u64> {
+        self.send(&BinRequest::Topk { k })
+    }
+
+    /// Pipelines a `HIST` read; returns its correlation id.
+    pub fn send_hist(&mut self) -> io::Result<u64> {
+        self.send(&BinRequest::Hist)
+    }
+
+    /// Pipelines a `SIZE` read; returns its correlation id.
+    pub fn send_size(&mut self, v: u32) -> io::Result<u64> {
+        self.send(&BinRequest::Size(v))
     }
 
     /// Pushes buffered request bytes onto the wire.
@@ -846,6 +1009,41 @@ impl BinClient {
         let corr = self.send_ping()?;
         Self::expect_ok(self.reap_exact(corr)?).map(|_| ())
     }
+
+    /// Synchronous `TOPK` read: `(entries, epoch, generation, sealed)`,
+    /// entries size-descending with singletons excluded.
+    #[allow(clippy::type_complexity)]
+    pub fn topk(&mut self, k: u8) -> io::Result<(Vec<(u32, u64)>, u64, u64, bool)> {
+        let corr = self.send_topk(k)?;
+        match Self::expect_ok(self.reap_exact(corr)?)? {
+            Reply::Topk { epoch, generation, sealed, entries } => {
+                Ok((entries, epoch, generation, sealed))
+            }
+            other => Err(io::Error::other(format!("unexpected TOPK reply {other:?}"))),
+        }
+    }
+
+    /// Synchronous `HIST` read: `(components, buckets, epoch, generation,
+    /// sealed)` with the dense log2 bucket array.
+    #[allow(clippy::type_complexity)]
+    pub fn hist(&mut self) -> io::Result<(u64, Vec<u64>, u64, u64, bool)> {
+        let corr = self.send_hist()?;
+        match Self::expect_ok(self.reap_exact(corr)?)? {
+            Reply::Hist { epoch, generation, sealed, components, buckets } => {
+                Ok((components, buckets, epoch, generation, sealed))
+            }
+            other => Err(io::Error::other(format!("unexpected HIST reply {other:?}"))),
+        }
+    }
+
+    /// Synchronous `SIZE` read: `(size, root)` of `v`'s component.
+    pub fn component_size(&mut self, v: u32) -> io::Result<(u64, u32)> {
+        let corr = self.send_size(v)?;
+        match Self::expect_ok(self.reap_exact(corr)?)? {
+            Reply::Size { size, root } => Ok((size, root)),
+            other => Err(io::Error::other(format!("unexpected SIZE reply {other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -876,6 +1074,9 @@ mod tests {
         roundtrip(BinRequest::Ping);
         roundtrip(BinRequest::Quiesce { timeout_ms: 9 });
         roundtrip(BinRequest::Gen);
+        roundtrip(BinRequest::Topk { k: 10 });
+        roundtrip(BinRequest::Hist);
+        roundtrip(BinRequest::Size(7));
     }
 
     #[test]
@@ -898,6 +1099,27 @@ mod tests {
                 },
                 verb::GEN,
             ),
+            (
+                Reply::Topk {
+                    epoch: 12,
+                    generation: 2,
+                    sealed: true,
+                    entries: vec![(0, 40), (9, 7)],
+                },
+                verb::TOPK,
+            ),
+            (Reply::Topk { epoch: 0, generation: 0, sealed: false, entries: vec![] }, verb::TOPK),
+            (
+                Reply::Hist {
+                    epoch: 5,
+                    generation: 1,
+                    sealed: false,
+                    components: 6,
+                    buckets: vec![4, 0, 1, 1],
+                },
+                verb::HIST,
+            ),
+            (Reply::Size { size: 17, root: 3 }, verb::SIZE),
             (Reply::Err("vertex 9 out of range (n = 4)".into()), verb::QUERY),
         ];
         for (reply, tag) in cases {

@@ -430,6 +430,9 @@ impl Shard {
             BinRequest::Ping => "PING",
             BinRequest::Quiesce { .. } => "QUIESCE",
             BinRequest::Gen => "GEN",
+            BinRequest::Topk { .. } => "TOPK",
+            BinRequest::Hist => "HIST",
+            BinRequest::Size(_) => "SIZE",
         };
         self.obs.metrics.record_request(verb_name);
         if let Some(conn) = self.conns.get_mut(&token) {
@@ -533,6 +536,37 @@ impl Shard {
                 );
             }
             BinRequest::Ping => self.queue_reply(token, corr, Reply::Ok, true),
+            BinRequest::Topk { k } => {
+                let (entries, epoch, generation, sealed) = self.client.topk(k as usize);
+                self.queue_reply(
+                    token,
+                    corr,
+                    Reply::Topk { epoch, generation, sealed, entries },
+                    true,
+                );
+            }
+            BinRequest::Hist => {
+                let view = self.client.analytics();
+                self.queue_reply(
+                    token,
+                    corr,
+                    Reply::Hist {
+                        epoch: view.epoch,
+                        generation: view.generation,
+                        sealed: view.sealed,
+                        components: view.components,
+                        buckets: view.hist.to_vec(),
+                    },
+                    true,
+                );
+            }
+            BinRequest::Size(v) => {
+                let reply = match self.client.component_size(v) {
+                    Ok((root, size)) => Reply::Size { size, root },
+                    Err(e) => Reply::Err(e.to_string()),
+                };
+                self.queue_reply(token, corr, reply, true);
+            }
             BinRequest::Wait { epoch, timeout_ms } => {
                 self.offload(token, corr, move |client| {
                     match client.wait_for_epoch(epoch, Duration::from_millis(timeout_ms)) {
@@ -565,6 +599,7 @@ impl Shard {
                 let (Update::Insert(u, v) | Update::Delete(u, v) | Update::Query(u, v)) = *op;
                 check(u, v)
             }),
+            BinRequest::Size(v) => check(*v, *v),
             _ => None,
         }
     }

@@ -31,15 +31,16 @@
 //! (live engine or sealed labels) under a short pointer lock, so the
 //! wait-free read path of Type (i) engines is preserved.
 
+use crate::analytics::{Analytics, AnalyticsView};
 use crate::engine::{build_engine, Engine, ExecMode, RunMode};
 use crate::obs::{Event, Obs};
 use cc_unionfind::UfSpec;
 use connectit::{
-    spanning_forest, supports_spanning_forest, DeleteClass, FinishMethod, LivenessTracker,
-    SamplingMethod, Update,
+    spanning_forest, supports_spanning_forest, DeleteClass, FinishMethod, InsertClass,
+    LivenessTracker, SamplingMethod, Update,
 };
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -116,6 +117,9 @@ struct WriteState {
     /// (`[intra, cross, forwarded]`), so service stats stay monotone
     /// across rebuilds.
     retired: [u64; 3],
+    /// The analytics plane's writer state: every clean-path merge folds
+    /// its delta in here; a commit resyncs it wholesale (DESIGN.md §12).
+    analytics: Analytics,
 }
 
 struct Shared {
@@ -132,6 +136,13 @@ struct Shared {
     /// dirty→clean (wakes `quiesce` waiters) transitions.
     cv: Condvar,
     view: Mutex<Arc<View>>,
+    /// The published analytics view (`TOPK`/`HIST`/`SIZE`), swapped
+    /// whole like `view` so analytical reads never take `mx`.
+    aview: Mutex<Arc<AnalyticsView>>,
+    /// High-water mark of the epochs handed to
+    /// [`GenerationEngine::publish_analytics`]; a publication deferred
+    /// by a dirty window is republished at this epoch by the commit.
+    published_epoch: AtomicU64,
     shutdown: AtomicBool,
     /// Metrics/trace sink: rebuild lifecycle and delete-classification
     /// counters are mirrored into the registry at the moment they change
@@ -145,17 +156,40 @@ impl Shared {
     /// engine dirty; the rebuild worker takes it from here.
     fn seal(&self, st: &mut WriteState) {
         let labels = st.engine.labels_readonly();
-        let num_components = cc_graph::stats::count_distinct_labels(&labels);
+        // The delta-maintained count replaces the old O(n)
+        // `count_distinct_labels` scan: the engine-bound run was flushed
+        // before the delete classified, so engine labels, tracker mirror
+        // and analytics aggregates all describe the same partition here.
+        let num_components = st.analytics.components() as usize;
+        debug_assert_eq!(
+            num_components,
+            cc_graph::stats::count_distinct_labels(&labels),
+            "analytics delta count diverged from the sealed labels"
+        );
         let sealed = Arc::new(Sealed { labels, num_components });
         st.sealed = Some(Arc::clone(&sealed));
         st.dirty = true;
         *self.view.lock() = Arc::new(View::Sealed { sealed, generation: st.generation });
+        // Freeze the analytics view at the seal-time partition; deltas
+        // are suspended until the commit resyncs wholesale.
+        self.publish_analytics_locked(st, true);
         if let Some(o) = &self.obs {
             o.metrics.rebuilds_sealed_total.inc();
             o.metrics.gen_dirty.set(1);
             o.recorder.record(Event::RebuildSealed { generation: st.generation });
         }
         self.cv.notify_all();
+    }
+
+    /// Swaps in a fresh [`AnalyticsView`] of the writer aggregates,
+    /// stamped with the epoch high-water mark, and mirrors the live
+    /// component count into the metrics gauge. Caller holds `mx`.
+    fn publish_analytics_locked(&self, st: &WriteState, sealed: bool) {
+        let epoch = self.published_epoch.load(Ordering::Acquire);
+        *self.aview.lock() = Arc::new(st.analytics.view(epoch, st.generation, sealed));
+        if let Some(o) = &self.obs {
+            o.metrics.components.set(st.analytics.components());
+        }
     }
 
     /// Builds the next generation from a snapshot of the live edge set:
@@ -262,6 +296,13 @@ fn run_rebuilder(shared: &Arc<Shared>) {
         st.counters.rebuilds += 1;
         *shared.view.lock() =
             Arc::new(View::Live { engine: Arc::clone(&st.engine), generation: st.generation });
+        // The deletion rebuild invalidated every delta: resync the
+        // analytics plane wholesale from the fresh labels (the drained
+        // pending merges are already in them) and republish at the
+        // epoch high-water mark the dirty window deferred.
+        let labels = st.engine.labels_readonly();
+        st.analytics.resync(&labels);
+        shared.publish_analytics_locked(&st, false);
         if let Some(o) = &shared.obs {
             o.metrics.rebuilds_committed_total.inc();
             o.metrics.generation.set_max(st.generation);
@@ -306,6 +347,8 @@ impl GenerationEngine {
         let resolved_mode = engine.mode();
         let algorithm = engine.algorithm_name();
         let view = Arc::new(View::Live { engine: Arc::clone(&engine), generation: 0 });
+        let analytics = Analytics::fresh(n);
+        let aview = Arc::new(analytics.view(0, 0, false));
         let shared = Arc::new(Shared {
             n,
             shards,
@@ -323,9 +366,12 @@ impl GenerationEngine {
                 generation: 0,
                 counters: GenCounters::default(),
                 retired: [0; 3],
+                analytics,
             }),
             cv: Condvar::new(),
             view: Mutex::new(view),
+            aview: Mutex::new(aview),
+            published_epoch: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             obs,
         });
@@ -399,10 +445,21 @@ impl GenerationEngine {
         for &op in batch {
             match op {
                 Update::Insert(u, v) => {
-                    st.tracker.insert(u, v);
+                    let class = st.tracker.insert(u, v);
                     if st.dirty {
+                        // Deltas are suspended while sealed (the stale
+                        // tracker classifies everything `Cycle` anyway);
+                        // the commit's resync covers these.
                         st.pending.push((u, v));
                     } else {
+                        if class == InsertClass::Merge {
+                            // The one point where two components join:
+                            // fold the delta into the analytics plane.
+                            st.analytics.merge(u, v);
+                            if let Some(o) = &self.shared.obs {
+                                o.metrics.components.set(st.analytics.components());
+                            }
+                        }
                         run.push(op);
                     }
                 }
@@ -668,6 +725,50 @@ impl GenerationEngine {
         st.engine = fresh;
         *self.shared.view.lock() =
             Arc::new(View::Live { engine: Arc::clone(&st.engine), generation: st.generation });
+        // Recovery bypassed the per-insert delta hook (the tracker alone
+        // absorbed the history): resync the analytics plane from the
+        // materialized labels and publish the initial view.
+        let labels = st.engine.labels_readonly();
+        st.analytics.resync(&labels);
+        self.shared.publish_analytics_locked(&st, false);
+    }
+
+    /// Publishes the analytics view at batch epoch `epoch` (a
+    /// high-water mark — concurrent callers cannot regress it). While a
+    /// rebuild is in flight this is a no-op beyond recording the epoch:
+    /// the view stays frozen (sealed) at the seal-time partition and the
+    /// commit republishes the resynced aggregates at the recorded mark.
+    pub fn publish_analytics(&self, epoch: u64) {
+        self.shared.published_epoch.fetch_max(epoch, Ordering::AcqRel);
+        let st = self.shared.mx.lock();
+        if st.dirty {
+            return;
+        }
+        self.shared.publish_analytics_locked(&st, false);
+    }
+
+    /// The current analytics view — one `Arc` clone, never contends
+    /// with the writer lock (`TOPK`/`HIST`/`SIZE` read path).
+    pub fn analytics_view(&self) -> Arc<AnalyticsView> {
+        Arc::clone(&self.shared.aview.lock())
+    }
+
+    /// A consistent `(labels, num_components)` pair for snapshot
+    /// publication: the count is the delta-maintained one (sealed
+    /// generations cached it at seal time), so no O(n) label scan runs
+    /// on the publish path.
+    pub fn labels_with_components(&self) -> (Vec<u32>, usize) {
+        let st = self.shared.mx.lock();
+        if let Some(s) = &st.sealed {
+            (s.labels.clone(), s.num_components)
+        } else {
+            (st.engine.labels_readonly(), st.analytics.components() as usize)
+        }
+    }
+
+    /// The delta-maintained live component count.
+    pub fn components_live(&self) -> u64 {
+        self.shared.mx.lock().analytics.components()
     }
 }
 
@@ -852,6 +953,63 @@ mod tests {
         // Converging to the set already held is a no-op (orientation-free).
         assert_eq!(g.converge_to_edge_set(&[(1, 0), (5, 6)]), (0, 0));
         assert!(!g.is_dirty());
+    }
+
+    #[test]
+    fn delta_count_pins_to_full_scan_across_schedules() {
+        // The satellite bugfix pin: the delta-maintained component count
+        // must equal a full `count_distinct_labels` scan after every
+        // quiesced round of a mixed insert/delete/rebuild schedule (the
+        // seal path additionally cross-checks via its debug assertion).
+        let n = 48usize;
+        let g = gen_engine(n, Duration::ZERO);
+        for round in 0..10u32 {
+            let mut muts: Vec<Update> = Vec::new();
+            for i in 0..30u32 {
+                let x = round * 173 + i * 41;
+                let (u, v) = (x % n as u32, (x * 11 + 3) % n as u32);
+                muts.push(if x % 5 == 4 { Update::Delete(u, v) } else { Update::Insert(u, v) });
+            }
+            g.process_batch(&muts);
+            quiesced(&g);
+            g.publish_analytics(u64::from(round) + 1);
+            let scan = cc_graph::stats::count_distinct_labels(&g.labels_readonly());
+            assert_eq!(g.components_live() as usize, scan, "round {round}");
+            let view = g.analytics_view();
+            assert_eq!(view.components as usize, scan, "round {round} (view)");
+            assert_eq!(view.hist.iter().sum::<u64>(), view.components, "round {round} (hist)");
+        }
+        assert!(g.info().counters.rebuilds >= 1, "schedule must exercise rebuilds");
+    }
+
+    #[test]
+    fn analytics_view_tracks_merges_and_seals_honestly() {
+        let g = gen_engine(8, Duration::from_millis(200));
+        g.process_batch(&[Update::Insert(0, 1), Update::Insert(1, 2)]);
+        g.publish_analytics(1);
+        let v = g.analytics_view();
+        assert_eq!((v.epoch, v.generation, v.sealed), (1, 0, false));
+        assert_eq!(v.components, 6);
+        assert_eq!(v.hist[0], 5, "five singletons");
+        assert_eq!(v.hist[1], 1, "one component of three");
+        assert_eq!(v.topk(10).len(), 1, "singletons are excluded from TOPK");
+        assert_eq!(v.topk[0].1, 3);
+        assert_eq!(v.component_of(2).1, 3);
+        g.process_batch(&[Update::Delete(1, 2)]);
+        assert!(g.is_dirty());
+        let v = g.analytics_view();
+        assert!(v.sealed, "forest delete freezes the analytics view");
+        assert_eq!(v.components, 6, "sealed view keeps the pre-delete partition");
+        g.publish_analytics(2);
+        assert!(g.analytics_view().sealed, "publication is deferred while dirty");
+        assert!(quiesced(&g) >= 1);
+        let v = g.analytics_view();
+        assert!(!v.sealed);
+        assert_eq!(v.epoch, 2, "commit republishes at the deferred epoch mark");
+        assert_eq!(v.generation, g.generation());
+        assert_eq!(v.components, 7);
+        assert_eq!(v.component_of(0).1, 2, "0-1 survives the rebuild");
+        assert_eq!(v.component_of(2).1, 1, "2 is a singleton again");
     }
 
     #[test]

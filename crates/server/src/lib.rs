@@ -25,6 +25,11 @@
 //!   `Arc`-swapped label snapshots (reads never block writers),
 //!   per-operation latency tracking via `cc_parallel::hist::LatencyHist`,
 //!   and a cloneable in-process [`service::Client`].
+//! - [`analytics`] — the incremental analytics plane: merge deltas and
+//!   rebuild resyncs maintain the live component count, size histogram,
+//!   top-k components and per-component sizes in an epoch-versioned,
+//!   `Arc`-swapped [`analytics::AnalyticsView`] (served by the
+//!   `TOPK`/`HIST`/`SIZE` verbs, routable to followers; DESIGN.md §12).
 //! - [`wal`] / [`snapshot`] — the durability subsystem: a segmented,
 //!   checksummed, group-committed write-ahead log recording each applied
 //!   batch at its epoch boundary, plus epoch-keyed durable label
@@ -72,6 +77,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod binproto;
 pub mod engine;
 pub mod evloop;
@@ -83,6 +89,7 @@ pub mod service;
 pub mod snapshot;
 pub mod wal;
 
+pub use analytics::{AnalyticsCore, AnalyticsView, HIST_BUCKETS, TOPK_CAP};
 pub use binproto::{BinClient, Reply};
 pub use engine::{
     build_engine, Engine, EngineCounters, EngineError, ExecMode, RunMode, ShardedEngine,

@@ -24,6 +24,9 @@
 //! | `B k` + `k` op lines | `OK <bits>`                          | submit `k` ops (`I u v` / `D u v` / `Q u v` lines) as one unit; `<bits>` answers the queries in order |
 //! | `LABEL v`            | `L <label>`                          | current component label of `v` |
 //! | `COMPONENTS`         | `C <count>`                          | current component count |
+//! | `TOPK [k]`           | `K k=<m> epoch=<e> gen=<g> sealed=<0/1> <root>:<size> …` | the `m ≤ k` largest components as `root:size` pairs, descending (singletons excluded; default `k` is [`DEFAULT_TOPK`], at most [`crate::analytics::TOPK_CAP`]) |
+//! | `HIST`               | `H components=<c> epoch=<e> gen=<g> sealed=<0/1> <b>:<count> …` | component-size histogram: bucket `b` counts components of `2^b ≤ size < 2^(b+1)`; zero buckets are omitted |
+//! | `SIZE v`             | `Z <size> root=<r>`                  | member count (and current representative) of `v`'s component |
 //! | `EPOCH`              | `E <epoch>`                          | completed batches (on a follower: replication epoch) |
 //! | `WAIT e [ms]`        | `E <epoch>`                          | block until the epoch reaches `e` (default timeout 10000 ms), then report it |
 //! | `GEN`                | `G <gen> dirty=<0/1> <counters>`     | generation info: serving generation, rebuild-in-flight flag, delete-classification counters |
@@ -50,7 +53,11 @@
 //! bodies answer `ERR read-only follower: route updates to the primary`;
 //! `WAIT <epoch>` is the bounded-staleness contract — after it returns,
 //! every primary batch up to `<epoch>` is visible here. The `(epoch,
-//! generation)` staleness story is spelled out in DESIGN.md §9.
+//! generation)` staleness story is spelled out in DESIGN.md §9. The
+//! analytics verbs (`TOPK`/`HIST`/`SIZE`) are served from the local
+//! analytics view on either role — followers tail the same history, so
+//! their views converge at the honestly-reported epoch; route heavy
+//! analytical reads there by default (DESIGN.md §12).
 
 use crate::obs::{CloseReason, Event, Obs, DEFAULT_TRACE_EVENTS};
 use crate::service::{Client, Service};
@@ -72,6 +79,9 @@ enum Request {
     Batch(usize),
     Label(u32),
     Components,
+    Topk(usize),
+    Hist,
+    Size(u32),
     Epoch,
     Wait(u64, u64),
     Gen,
@@ -100,6 +110,9 @@ pub const MAX_LINE_BYTES: usize = 1 << 16;
 
 /// Default `WAIT` timeout when the request does not carry one.
 pub const DEFAULT_WAIT_TIMEOUT_MS: u64 = 10_000;
+
+/// Default `TOPK` arity when the request does not carry one.
+pub const DEFAULT_TOPK: usize = 10;
 
 fn parse_u32(tok: Option<&str>) -> Result<u32, String> {
     tok.ok_or_else(|| "missing argument".to_string())?
@@ -130,6 +143,15 @@ fn parse_request(line: &str) -> Result<Request, String> {
         }
         "LABEL" => Request::Label(parse_u32(it.next())?),
         "COMPONENTS" => Request::Components,
+        "TOPK" => {
+            let k = match it.next() {
+                Some(tok) => parse_u64(Some(tok))? as usize,
+                None => DEFAULT_TOPK,
+            };
+            Request::Topk(k)
+        }
+        "HIST" => Request::Hist,
+        "SIZE" => Request::Size(parse_u32(it.next())?),
         "EPOCH" => Request::Epoch,
         "WAIT" => {
             let epoch = parse_u64(it.next())?;
@@ -464,6 +486,38 @@ pub(crate) fn handle_connection(
                 Err(e) => write_err(&mut w, &obs, e)?,
             },
             Ok(Request::Components) => writeln!(w, "C {}", client.num_components())?,
+            Ok(Request::Topk(k)) => {
+                let (items, epoch, generation, sealed) = client.topk(k);
+                let mut reply = format!(
+                    "K k={} epoch={epoch} gen={generation} sealed={}",
+                    items.len(),
+                    u8::from(sealed)
+                );
+                for (root, size) in items {
+                    reply.push_str(&format!(" {root}:{size}"));
+                }
+                writeln!(w, "{reply}")?;
+            }
+            Ok(Request::Hist) => {
+                let view = client.analytics();
+                let mut reply = format!(
+                    "H components={} epoch={} gen={} sealed={}",
+                    view.components,
+                    view.epoch,
+                    view.generation,
+                    u8::from(view.sealed)
+                );
+                for (b, &count) in view.hist.iter().enumerate() {
+                    if count > 0 {
+                        reply.push_str(&format!(" {b}:{count}"));
+                    }
+                }
+                writeln!(w, "{reply}")?;
+            }
+            Ok(Request::Size(v)) => match client.component_size(v) {
+                Ok((root, size)) => writeln!(w, "Z {size} root={root}")?,
+                Err(e) => write_err(&mut w, &obs, e)?,
+            },
             Ok(Request::Epoch) => writeln!(w, "E {}", client.epoch())?,
             Ok(Request::Wait(epoch, timeout_ms)) => {
                 match client.wait_for_epoch(epoch, Duration::from_millis(timeout_ms)) {
@@ -542,6 +596,16 @@ pub struct TcpClient {
 
 fn proto_err(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Consumes one `key=value` token from an analytics reply.
+fn parse_tagged(it: &mut std::str::SplitWhitespace<'_>, key: &str) -> Result<u64, ()> {
+    let tok = it.next().ok_or(())?;
+    let (k, v) = tok.split_once('=').ok_or(())?;
+    if k != key {
+        return Err(());
+    }
+    v.parse().map_err(|_| ())
 }
 
 impl TcpClient {
@@ -666,6 +730,78 @@ impl TcpClient {
         r.strip_prefix("C ")
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))
+    }
+
+    /// `TOPK [k]`: the largest components as `(root, size)` pairs in
+    /// descending size order (singletons excluded), plus the analytics
+    /// view's `(epoch, generation, sealed)` stamp. `None` asks for the
+    /// server default ([`DEFAULT_TOPK`]).
+    #[allow(clippy::type_complexity)]
+    pub fn topk(&mut self, k: Option<usize>) -> std::io::Result<(Vec<(u32, u64)>, u64, u64, bool)> {
+        let r = match k {
+            Some(k) => self.roundtrip(&format!("TOPK {k}"))?,
+            None => self.roundtrip("TOPK")?,
+        };
+        let rest =
+            r.strip_prefix("K ").ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))?;
+        let mut it = rest.split_whitespace();
+        let count = parse_tagged(&mut it, "k").map_err(|_| proto_err(r.clone()))?;
+        let epoch = parse_tagged(&mut it, "epoch").map_err(|_| proto_err(r.clone()))?;
+        let generation = parse_tagged(&mut it, "gen").map_err(|_| proto_err(r.clone()))?;
+        let sealed = parse_tagged(&mut it, "sealed").map_err(|_| proto_err(r.clone()))? != 0;
+        let mut items = Vec::with_capacity(count as usize);
+        for tok in it {
+            let (root, size) =
+                tok.split_once(':').ok_or_else(|| proto_err(format!("bad pair in {r:?}")))?;
+            items.push((
+                root.parse().map_err(|_| proto_err(format!("bad pair in {r:?}")))?,
+                size.parse().map_err(|_| proto_err(format!("bad pair in {r:?}")))?,
+            ));
+        }
+        if items.len() as u64 != count {
+            return Err(proto_err(format!("k={count} but {} pairs in {r:?}", items.len())));
+        }
+        Ok((items, epoch, generation, sealed))
+    }
+
+    /// `HIST`: `(components, dense histogram, epoch, generation,
+    /// sealed)`. The histogram is expanded back to all
+    /// [`crate::analytics::HIST_BUCKETS`] power-of-two buckets.
+    #[allow(clippy::type_complexity)]
+    pub fn hist(&mut self) -> std::io::Result<(u64, Vec<u64>, u64, u64, bool)> {
+        let r = self.roundtrip("HIST")?;
+        let rest =
+            r.strip_prefix("H ").ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))?;
+        let mut it = rest.split_whitespace();
+        let components = parse_tagged(&mut it, "components").map_err(|_| proto_err(r.clone()))?;
+        let epoch = parse_tagged(&mut it, "epoch").map_err(|_| proto_err(r.clone()))?;
+        let generation = parse_tagged(&mut it, "gen").map_err(|_| proto_err(r.clone()))?;
+        let sealed = parse_tagged(&mut it, "sealed").map_err(|_| proto_err(r.clone()))? != 0;
+        let mut hist = vec![0u64; crate::analytics::HIST_BUCKETS];
+        for tok in it {
+            let (b, count) =
+                tok.split_once(':').ok_or_else(|| proto_err(format!("bad bucket in {r:?}")))?;
+            let b: usize = b.parse().map_err(|_| proto_err(format!("bad bucket in {r:?}")))?;
+            if b >= hist.len() {
+                return Err(proto_err(format!("bucket {b} out of range in {r:?}")));
+            }
+            hist[b] = count.parse().map_err(|_| proto_err(format!("bad bucket in {r:?}")))?;
+        }
+        Ok((components, hist, epoch, generation, sealed))
+    }
+
+    /// `SIZE v`: `(size, root)` of `v`'s component.
+    pub fn component_size(&mut self, v: u32) -> std::io::Result<(u64, u32)> {
+        let r = self.roundtrip(&format!("SIZE {v}"))?;
+        let rest =
+            r.strip_prefix("Z ").ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))?;
+        let (size, root) = rest
+            .split_once(" root=")
+            .ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))?;
+        match (size.parse(), root.parse()) {
+            (Ok(size), Ok(root)) => Ok((size, root)),
+            _ => Err(proto_err(format!("unexpected reply {r:?}"))),
+        }
     }
 
     /// `EPOCH`.
@@ -815,6 +951,16 @@ mod tests {
         assert!(parse_request("QG 0 9 2").is_err());
         assert_eq!(parse_request("B 128"), Ok(Request::Batch(128)));
         assert_eq!(parse_request("LABEL 7"), Ok(Request::Label(7)));
+        assert_eq!(parse_request("TOPK"), Ok(Request::Topk(DEFAULT_TOPK)));
+        assert_eq!(parse_request("TOPK 5"), Ok(Request::Topk(5)));
+        assert!(parse_request("TOPK x").is_err());
+        assert!(parse_request("TOPK 5 6").is_err());
+        assert_eq!(parse_request("HIST"), Ok(Request::Hist));
+        assert!(parse_request("HIST 1").is_err());
+        assert_eq!(parse_request("SIZE 9"), Ok(Request::Size(9)));
+        assert!(parse_request("SIZE").is_err());
+        assert!(parse_request("SIZE x").is_err());
+        assert!(parse_request("SIZE 9 1").is_err());
         assert_eq!(parse_request("  PING "), Ok(Request::Ping));
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
         assert_eq!(parse_request("FLUSH"), Ok(Request::Flush));

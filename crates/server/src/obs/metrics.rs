@@ -100,7 +100,7 @@ impl Gauge {
 
 /// Protocol verbs with a per-verb request counter, in export order.
 /// `METRICS` and `TRACE` count themselves like any other verb.
-pub const VERB_NAMES: [&str; 21] = [
+pub const VERB_NAMES: [&str; 24] = [
     "I",
     "D",
     "Q",
@@ -122,6 +122,9 @@ pub const VERB_NAMES: [&str; 21] = [
     "SHUTDOWN",
     "METRICS",
     "TRACE",
+    "TOPK",
+    "HIST",
+    "SIZE",
 ];
 
 /// Per-follower replication telemetry, registered by the hub's sender

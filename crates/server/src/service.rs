@@ -18,6 +18,7 @@
 //! immutable values, so readers never block writers and writers never
 //! wait for readers.
 
+use crate::analytics::AnalyticsView;
 use crate::engine::{EngineError, ExecMode, RunMode};
 use crate::generation::{GenInfo, GenerationEngine};
 use crate::obs::{self, Event, Obs};
@@ -389,24 +390,23 @@ impl Inner {
     }
 
     fn publish_snapshot(&self, epoch: u64) -> Arc<LabelSnapshot> {
-        // Built outside the swap lock from the read-only spine path, so
-        // neither writers nor snapshot readers are ever blocked on O(n)
-        // work. The O(n) build can race another publisher (an on-demand
-        // `snapshot_now` vs the periodic batcher snapshot), so the swap
-        // is guarded to keep the published epoch monotone.
-        let labels = self.engine.labels_readonly();
-        let num_components = cc_graph::stats::count_distinct_labels(&labels);
+        // The component count is the analytics plane's delta-maintained
+        // one: publishing no longer performs the O(n) distinct-label
+        // scan it used to (the label copy itself remains, same as the
+        // durable-snapshot path). The build can race another publisher
+        // (an on-demand `snapshot_now` vs the periodic batcher
+        // snapshot), so the swap is guarded to keep the published epoch
+        // monotone.
+        let (labels, num_components) = self.engine.labels_with_components();
         let snap = Arc::new(LabelSnapshot { epoch, labels, num_components });
         let mut published = self.snapshot.lock();
         if published.epoch <= epoch {
             *published = Arc::clone(&snap);
         }
         drop(published);
-        // Mirror for the lock-free scrape: `connectit_components` reports
-        // the last *published* component count, refreshed exactly when a
-        // snapshot is (counting components on every batch would put O(n)
-        // work on the hot path).
-        self.obs.metrics.components.set(num_components as u64);
+        // The `connectit_components` gauge is kept live at merge/commit
+        // time by the analytics plane; the publish event only records
+        // what this snapshot saw.
         self.obs
             .recorder
             .record(Event::SnapshotPublished { epoch, components: num_components as u64 });
@@ -610,6 +610,9 @@ fn run_batcher(inner: &Arc<Inner>) {
             let _g = inner.epoch_mx.lock();
             inner.epoch_cv.notify_all();
         }
+        // Advance the analytics view to this batch's epoch (deferred to
+        // the rebuild commit while the engine is dirty).
+        inner.engine.publish_analytics(epoch);
         if inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(inner.cfg.snapshot_every) {
             let publish_start = Instant::now();
             inner.publish_snapshot(epoch);
@@ -796,8 +799,10 @@ impl Service {
         }
 
         let initial = if recovered_epoch > 0 {
-            let labels = engine.labels_readonly();
-            let num_components = cc_graph::stats::count_distinct_labels(&labels);
+            // The recovery resync left the analytics plane describing the
+            // recovered partition: its delta count replaces the old O(n)
+            // distinct-label scan here too.
+            let (labels, num_components) = engine.labels_with_components();
             Arc::new(LabelSnapshot { epoch: recovered_epoch, labels, num_components })
         } else {
             Arc::new(LabelSnapshot {
@@ -810,6 +815,9 @@ impl Service {
         obs.metrics.epoch.set_max(recovered_epoch);
         obs.metrics.durable_snapshot_epoch.set_max(snap_epoch);
         obs.metrics.components.set(initial.num_components as u64);
+        // Stamp the analytics view with the recovered epoch so TOPK/HIST
+        // report an honest starting point.
+        engine.publish_analytics(recovered_epoch);
         let inner = Arc::new(Inner {
             engine,
             cfg,
@@ -1124,6 +1132,9 @@ impl Client {
         self.inner.obs.metrics.inserts_total.add(ins);
         self.inner.obs.metrics.deletes_total.add(dels);
         self.inner.bump_epoch_to(epoch);
+        // The follower tails the same history, so its analytics view
+        // converges at the honestly-replicated epoch.
+        self.inner.engine.publish_analytics(epoch);
         if self.inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(self.inner.cfg.snapshot_every)
         {
             self.inner.publish_snapshot(epoch);
@@ -1200,6 +1211,9 @@ impl Client {
         self.inner.obs.metrics.inserts_total.add(ins);
         self.inner.obs.metrics.deletes_total.add(dels);
         self.inner.bump_epoch_to(epoch);
+        // Same contract as the edge-set bootstrap: the analytics view
+        // advances with every applied replicated batch.
+        self.inner.engine.publish_analytics(epoch);
         if self.inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(self.inner.cfg.snapshot_every)
         {
             self.inner.publish_snapshot(epoch);
@@ -1328,10 +1342,42 @@ impl Client {
         Ok(self.inner.engine.current_label(v))
     }
 
-    /// Current number of connected components (read-only; may lag an
-    /// in-flight batch).
+    /// Current number of connected components, served O(1) from the
+    /// delta-maintained analytics publication — no label scan. May lag
+    /// an in-flight batch (the batcher publishes before fulfilling its
+    /// pendings, so a client always observes its own completed writes);
+    /// during a sealed generation it reports the frozen pre-deletion
+    /// partition, exactly like `Q` does.
     pub fn num_components(&self) -> usize {
-        self.inner.engine.num_components()
+        self.inner.engine.analytics_view().components as usize
+    }
+
+    /// The current analytics view — one `Arc` clone off the
+    /// epoch-versioned publication, never contending with the write
+    /// path. Backs the `TOPK`, `HIST` and `SIZE` protocol verbs; on a
+    /// follower it converges at the honestly-replicated epoch.
+    pub fn analytics(&self) -> Arc<AnalyticsView> {
+        self.inner.engine.analytics_view()
+    }
+
+    /// The `k` largest components as `(root, size)` in descending size
+    /// order (singletons excluded; at most
+    /// [`crate::analytics::TOPK_CAP`] are materialized per view),
+    /// with the view's `(epoch, generation, sealed)` stamp.
+    pub fn topk(&self, k: usize) -> (Vec<(u32, u64)>, u64, u64, bool) {
+        let view = self.inner.engine.analytics_view();
+        (view.topk(k).to_vec(), view.epoch, view.generation, view.sealed)
+    }
+
+    /// `(root, size)` of `v`'s component, read lock-free from the
+    /// analytics core (the `SIZE` verb). Between publications the
+    /// answer may run ahead of the view's epoch, never behind it.
+    pub fn component_size(&self, v: u32) -> Result<(u32, u64), ServiceError> {
+        let n = self.num_vertices();
+        if v as usize >= n {
+            return Err(ServiceError::VertexOutOfRange { v, n });
+        }
+        Ok(self.inner.engine.analytics_view().component_of(v))
     }
 
     /// Number of completed batches (the current epoch).
@@ -1458,7 +1504,7 @@ impl Client {
             intra_inserts,
             cross_inserts,
             forwarded,
-            num_components: self.inner.engine.num_components(),
+            num_components: self.inner.engine.analytics_view().components as usize,
             latency_ns: m.latency_ns.percentiles(),
             latency_summary: m.latency_ns.to_string(),
         }

@@ -74,6 +74,13 @@ fn malformed_verbs_answer_exact_err_spellings_and_stay_open() {
         ("WAIT 1 2 3", "ERR trailing arguments after WAIT"),
         ("ROLE primary", "ERR trailing arguments after ROLE"),
         ("SNAPSHOT 3", "ERR trailing arguments after SNAPSHOT"),
+        ("TOPK x", "ERR argument is not a 64-bit unsigned integer"),
+        ("TOPK 5 6", "ERR trailing arguments after TOPK"),
+        ("HIST now", "ERR trailing arguments after HIST"),
+        ("SIZE", "ERR missing argument"),
+        ("SIZE big", "ERR argument is not a 32-bit unsigned integer"),
+        ("SIZE 1 2", "ERR trailing arguments after SIZE"),
+        ("SIZE 64", "ERR vertex 64 out of range (n = 64)"),
     ] {
         send_line(&mut w, request);
         assert_eq!(read_line(&mut r), want, "request {request:?}");

@@ -168,6 +168,60 @@ fn trace_file_flushes_on_shutdown_and_recovery_consumes_it() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `connectit_components` gauge must move at merge/commit time, not
+/// only at snapshot publish. This service runs with `snapshot_every: 0`
+/// — label snapshots are never published — so before the analytics
+/// plane took over the gauge it would have sat frozen at `n` forever;
+/// now every connecting insert and every rebuild commit refreshes it.
+#[test]
+fn components_gauge_is_live_between_snapshots() {
+    let mut svc = Service::start(ServiceConfig {
+        n: 64,
+        shards: 2,
+        batch_max_wait: Duration::from_micros(20),
+        // Deliberately no snapshot cadence: the old code path (gauge set
+        // only inside publish_snapshot) would never run here.
+        snapshot_every: 0,
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let c = svc.client();
+
+    let at_start = scrape(&c.render_metrics());
+    assert_eq!(at_start["connectit_components"], 64, "fresh service: all singletons");
+
+    // Ten connecting inserts -> ten merges folded into the gauge as the
+    // batches apply, no snapshot in sight.
+    for v in 0..10u32 {
+        c.insert(v, v + 1).expect("insert");
+    }
+    c.quiesce(Duration::from_secs(10)).expect("quiesce");
+    let after_chain = scrape(&c.render_metrics());
+    assert_eq!(after_chain["connectit_components"], 54, "{after_chain:?}");
+
+    // Duplicate and cycle inserts merge nothing; the gauge holds.
+    c.insert(0, 1).expect("dup insert");
+    c.insert(0, 10).expect("cycle insert");
+    c.quiesce(Duration::from_secs(10)).expect("quiesce");
+    let after_cycles = scrape(&c.render_metrics());
+    assert_eq!(after_cycles["connectit_components"], 54, "{after_cycles:?}");
+
+    // A forest delete splits the chain; once the rebuild commits the
+    // gauge reflects the split (the 0-10 cycle edge keeps 0..=10 with
+    // one redundant edge, so deleting 5-6 does NOT split that loop —
+    // delete a true bridge instead: grow a spur and cut it).
+    c.insert(20, 21).expect("spur");
+    c.quiesce(Duration::from_secs(10)).expect("quiesce");
+    let with_spur = scrape(&c.render_metrics());
+    assert_eq!(with_spur["connectit_components"], 53, "{with_spur:?}");
+    c.delete(20, 21).expect("cut spur");
+    c.quiesce(Duration::from_secs(10)).expect("quiesce");
+    let after_cut = scrape(&c.render_metrics());
+    assert_eq!(after_cut["connectit_components"], 54, "{after_cut:?}");
+
+    svc.shutdown();
+}
+
 /// The net plane: binary load must populate the per-shard connection
 /// gauges, the frame counters (split by direction), and the coalesce /
 /// pipeline-depth histograms, all monotone across scrapes.
