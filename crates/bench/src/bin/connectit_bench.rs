@@ -9,7 +9,8 @@
 //! ```
 //!
 //! `NAME`s are artifact stems (`wal`, `dispatch`, `replication`,
-//! `dynamic`, `obs`, `net`, `analytics` by default; `BENCH_<name>.json`
+//! `dynamic`, `obs`, `net`, `analytics`, `subs` by default;
+//! `BENCH_<name>.json`
 //! is loaded from both directories).
 //! Scale-free ratios and correctness counters are gated (see
 //! `cc_bench::regression::gate_for`); absolute timings are reported as
@@ -22,8 +23,8 @@ use cc_bench::regression::check_artifact;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const DEFAULT_BENCHES: [&str; 7] =
-    ["wal", "dispatch", "replication", "dynamic", "obs", "net", "analytics"];
+const DEFAULT_BENCHES: [&str; 8] =
+    ["wal", "dispatch", "replication", "dynamic", "obs", "net", "analytics", "subs"];
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -31,7 +32,7 @@ fn usage() -> ExitCode {
          \x20  compares fresh BENCH_<NAME>.json artifacts in --fresh (default .) against\n\
          \x20  the committed baselines in --baselines (default baselines/); exits non-zero\n\
          \x20  on any gated-metric regression. Default NAMEs: wal dispatch replication\n\
-         \x20  dynamic obs net analytics"
+         \x20  dynamic obs net analytics subs"
     );
     ExitCode::from(2)
 }

@@ -91,14 +91,35 @@
 //! retried for `--retry-secs`, the interrupted batch's insertions are
 //! resubmitted (inserts are idempotent), and only that batch's query
 //! answers are skipped.
+//!
+//! ## Subscription mode (`--subscribe`)
+//!
+//! With `--subscribe` (tcp text mode), each client registers pair
+//! subscriptions (`SUB u v`) against an insert-only stream over its
+//! private slice and validates the push-delivery contract *exactly*:
+//! a subscription fires exactly once, if and only if its pair is
+//! connected, stamped with an epoch inside the `(EPOCH-before,
+//! EPOCH-after]` window of the batch that connected it — connectivity
+//! is monotone without deletions, so there is no slack in any of those
+//! clauses. Registrations over already-connected pairs must fire
+//! immediately; cancelled subscriptions must stay silent forever; a
+//! missed, duplicate, ghost, early, or mis-stamped event counts into
+//! `sub_mismatches` and fails the run. Composes with
+//! `--kill-after`/`--resume`: subscriptions are registered `DURABLE`,
+//! checkpointed to a `FILE.subs` sidecar, and re-attached after the
+//! server restart with `SUB ATTACH id after_seq` — which absorbs the
+//! recovery re-fire of already-acknowledged pairs while still
+//! demanding the fire a connected-but-unfired pair is owed.
 
 use cc_baselines::DynamicOracle;
 use cc_graph::io::binary;
 use cc_parallel::SplitMix64;
-use cc_server::{parse_alg, BinClient, ExecMode, Reply, Service, ServiceConfig, TcpClient};
+use cc_server::{
+    parse_alg, BinClient, ExecMode, Reply, Service, ServiceConfig, SubEvent, SubKind, TcpClient,
+};
 use cc_unionfind::{SeqUnionFind, UfSpec};
 use connectit::Update;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -133,6 +154,7 @@ struct GenOpts {
     metrics_out: Option<String>,
     binary: bool,
     pipeline: usize,
+    subscribe: bool,
 }
 
 impl Default for GenOpts {
@@ -159,6 +181,7 @@ impl Default for GenOpts {
             metrics_out: None,
             binary: false,
             pipeline: 1,
+            subscribe: false,
         }
     }
 }
@@ -173,6 +196,7 @@ fn usage() -> ExitCode {
          \x20                        [--kill-after B --state FILE] [--resume [--state FILE]]\n\
          \x20                        [--retry-secs S] [--follower HOST:PORT]...\n\
          \x20                        [--metrics-out FILE] [--binary [--pipeline N]]\n\
+         \x20                        [--subscribe]\n\
          \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress (see\n\
          \x20        connectit-serve --help)\n\
          \x20  --follower (repeatable): split-route — inserts to --addr (the primary),\n\
@@ -189,7 +213,12 @@ fn usage() -> ExitCode {
          \x20  --binary: drive the pipelined binary protocol (tcp mode; same port, the\n\
          \x20        server sniffs the first byte); all oracle validation applies unchanged\n\
          \x20  --pipeline N: with --binary, keep up to N request frames in flight per\n\
-         \x20        connection (batches split into N windows reaped out of order)"
+         \x20        connection (batches split into N windows reaped out of order)\n\
+         \x20  --subscribe: register pair subscriptions (SUB u v) alongside an insert-only\n\
+         \x20        stream and validate every pushed event exactly — no missed, duplicate,\n\
+         \x20        ghost, or mis-stamped fires (tcp text mode; incompatible with --binary,\n\
+         \x20        --churn and --follower); composes with --kill-after/--resume using a\n\
+         \x20        durable-subscription sidecar next to --state FILE"
     );
     ExitCode::from(2)
 }
@@ -242,6 +271,7 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
             "--state" => o.state = Some(next_val(a, &mut it)?),
             "--metrics-out" => o.metrics_out = Some(next_val(a, &mut it)?),
             "--binary" => o.binary = true,
+            "--subscribe" => o.subscribe = true,
             "--pipeline" => {
                 o.pipeline = next_val(a, &mut it)?.parse().map_err(|_| "bad --pipeline")?
             }
@@ -296,6 +326,22 @@ fn parse_args(args: &[String]) -> Result<GenOpts, String> {
         return Err("--pipeline needs --binary (the text protocol is strictly \
                     request/reply)"
             .into());
+    }
+    if o.subscribe {
+        if o.tcp_addr.is_none() {
+            return Err("--subscribe needs --mode tcp (events are pushed over the wire)".into());
+        }
+        if o.binary {
+            return Err("--subscribe drives the text protocol's push lines; drop --binary".into());
+        }
+        if o.churn > 0.0 {
+            return Err("--subscribe validates one-shot pair fires over an insert-only \
+                        stream (monotone connectivity makes expectations exact); drop --churn"
+                .into());
+        }
+        if !o.followers.is_empty() {
+            return Err("--subscribe registers on the primary; drop --follower".into());
+        }
     }
     Ok(o)
 }
@@ -728,10 +774,20 @@ struct WorkerReport {
     /// Analytics answers (`TOPK`/`HIST`/`SIZE`) validated exactly
     /// against the oracle partition (churn mode).
     analytics_checks: u64,
+    /// Pair subscriptions registered (`--subscribe`).
+    subs_registered: u64,
+    /// Push events received (`--subscribe`).
+    sub_events: u64,
+    /// Subscription contract violations: missed, duplicated, ghost,
+    /// early, or mis-stamped fires (`--subscribe`).
+    sub_mismatches: u64,
     first_mismatch: Option<String>,
     /// The oracle state at exit, captured for `--kill-after`
     /// checkpointing.
     final_state: Option<ClientCheckpoint>,
+    /// Live durable subscriptions at exit, captured for the
+    /// `--kill-after` sidecar so a `--resume` run can re-attach them.
+    final_subs: Option<Vec<SavedSub>>,
     /// The oracle's final component-size multiset over this client's
     /// private slice (churn mode), aggregated by the end-of-run global
     /// `TOPK`/`HIST` validation.
@@ -1085,6 +1141,363 @@ fn run_worker(
     Ok(rep)
 }
 
+/// Magic first line of the `--subscribe` crash-drill sidecar (written
+/// next to `--state FILE` as `FILE.subs`).
+const SUB_STATE_MAGIC: &str = "CCLGSUBS01";
+
+/// A durable subscription carried across a `--kill-after` checkpoint:
+/// enough to re-`SUB ATTACH` after the server restarts and to absorb
+/// recovery re-fires without double-counting.
+#[derive(Clone)]
+struct SavedSub {
+    id: u64,
+    lu: u32,
+    lv: u32,
+    fired: bool,
+}
+
+/// Per-subscription expectation state in the `--subscribe` worker.
+struct SubTrack {
+    lu: u32,
+    lv: u32,
+    /// A fire is owed within this epoch window `(lo, hi]`. `(0, MAX)`
+    /// means "any epoch": registration-time fires (the pair was already
+    /// connected when `SUB` was accepted) and recovery re-evaluations.
+    /// `None` means no fire is legal yet — the oracle says the pair is
+    /// still disconnected.
+    expect: Option<(u64, u64)>,
+    fired: bool,
+}
+
+/// Writes the durable-subscription sidecar: one `client` header per
+/// worker, then `<id> <lu> <lv> <fired>` lines.
+fn write_sub_state(path: &str, per_client: &[Vec<SavedSub>]) -> std::io::Result<()> {
+    let mut out = String::from(SUB_STATE_MAGIC);
+    out.push('\n');
+    for (idx, subs) in per_client.iter().enumerate() {
+        out.push_str(&format!("client {idx} {}\n", subs.len()));
+        for s in subs {
+            out.push_str(&format!("{} {} {} {}\n", s.id, s.lu, s.lv, u8::from(s.fired)));
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Reads a [`write_sub_state`] sidecar back.
+fn read_sub_state(path: &str, clients: usize) -> Result<Vec<Vec<SavedSub>>, String> {
+    let fail = |e: &dyn std::fmt::Display| format!("subscription sidecar {path}: {e}");
+    let text = std::fs::read_to_string(path).map_err(|e| fail(&e))?;
+    let mut lines = text.lines();
+    if lines.next() != Some(SUB_STATE_MAGIC) {
+        return Err(fail(&"bad magic"));
+    }
+    let mut out: Vec<Vec<SavedSub>> = Vec::with_capacity(clients);
+    while let Some(header) = lines.next() {
+        let mut it = header.split_whitespace();
+        if it.next() != Some("client") {
+            return Err(fail(&"bad client header"));
+        }
+        let idx: usize =
+            it.next().and_then(|s| s.parse().ok()).ok_or_else(|| fail(&"bad client index"))?;
+        let count: usize =
+            it.next().and_then(|s| s.parse().ok()).ok_or_else(|| fail(&"bad sub count"))?;
+        if idx != out.len() {
+            return Err(fail(&"client records out of order"));
+        }
+        let mut subs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| fail(&"truncated sub record"))?;
+            let mut f = line.split_whitespace();
+            let mut num = || f.next().and_then(|s| s.parse::<u64>().ok());
+            let (Some(id), Some(lu), Some(lv), Some(fired)) = (num(), num(), num(), num()) else {
+                return Err(fail(&"bad sub record"));
+            };
+            subs.push(SavedSub { id, lu: lu as u32, lv: lv as u32, fired: fired != 0 });
+        }
+        out.push(subs);
+    }
+    if out.len() != clients {
+        return Err(fail(&format!("{} client records, want {clients}", out.len())));
+    }
+    Ok(out)
+}
+
+/// Records one subscription contract violation.
+fn sub_mismatch(rep: &mut WorkerReport, idx: usize, msg: String) {
+    rep.sub_mismatches += 1;
+    rep.first_mismatch.get_or_insert_with(|| format!("client {idx}: subscription: {msg}"));
+}
+
+/// Classifies every received push event against the worker's
+/// expectation table: ghost (fired after `UNSUB`), unknown id, wrong
+/// kind/endpoints, duplicate, early (oracle says still disconnected),
+/// or epoch outside the committing batch's window. A legal fire settles
+/// its subscription.
+fn process_sub_events(
+    events: Vec<SubEvent>,
+    idx: usize,
+    subs: &mut HashMap<u64, SubTrack>,
+    cancelled: &HashSet<u64>,
+    rep: &mut WorkerReport,
+) {
+    for ev in events {
+        rep.sub_events += 1;
+        if cancelled.contains(&ev.id) {
+            sub_mismatch(rep, idx, format!("ghost event for sub {} after UNSUB", ev.id));
+            continue;
+        }
+        let Some(t) = subs.get_mut(&ev.id) else {
+            sub_mismatch(rep, idx, format!("event for unknown sub {}", ev.id));
+            continue;
+        };
+        if ev.kind != SubKind::Pair {
+            sub_mismatch(rep, idx, format!("sub {}: non-pair event kind", ev.id));
+            continue;
+        }
+        if t.fired {
+            sub_mismatch(
+                rep,
+                idx,
+                format!("sub {}: duplicate fire (seq {}, epoch {})", ev.id, ev.seq, ev.epoch),
+            );
+            continue;
+        }
+        if ev.seq != 1 {
+            sub_mismatch(rep, idx, format!("sub {}: first fire carries seq {}", ev.id, ev.seq));
+        }
+        match t.expect {
+            None => sub_mismatch(
+                rep,
+                idx,
+                format!(
+                    "sub {}: fired at epoch {} before the oracle saw ({}, {}) connect \
+                     (early fire)",
+                    ev.id, ev.epoch, t.lu, t.lv
+                ),
+            ),
+            Some((lo, hi)) => {
+                if ev.epoch <= lo || ev.epoch > hi {
+                    sub_mismatch(
+                        rep,
+                        idx,
+                        format!(
+                            "sub {}: fire epoch {} outside the committing window ({lo}, {hi}]",
+                            ev.id, ev.epoch
+                        ),
+                    );
+                }
+            }
+        }
+        t.fired = true;
+        t.expect = None;
+    }
+}
+
+/// The closed loop for one `--subscribe` client: an insert-only stream
+/// over the private slice, with pair subscriptions registered against
+/// it and every pushed event validated *exactly*. Connectivity is
+/// monotone without deletions, so the contract has no slack: a pair
+/// subscription fires exactly once, if and only if the pair is
+/// connected, stamped with an epoch inside the `(EPOCH-before,
+/// EPOCH-after]` window of the batch that connected it (registrations
+/// over already-connected pairs fire immediately, at any epoch). A
+/// cancelled subscription must stay silent forever. With
+/// `--kill-after`/`--resume` the subscriptions are durable: the worker
+/// re-attaches them with `SUB ATTACH id after_seq` after the server
+/// restarts, absorbing the recovery re-fire of already-acknowledged
+/// pairs while still demanding the fire that a connected-but-unfired
+/// pair is owed.
+fn run_sub_worker(
+    o: &GenOpts,
+    idx: usize,
+    start_batch: usize,
+    restored: Option<ClientCheckpoint>,
+    resumed_subs: Vec<SavedSub>,
+) -> Result<WorkerReport, String> {
+    let sz = o.n / o.clients;
+    let to_global = |l: usize| -> u32 {
+        if o.strided {
+            (idx + l * o.clients) as u32
+        } else {
+            (idx * sz + l) as u32
+        }
+    };
+    let addr = o.tcp_addr.as_deref().expect("--subscribe is tcp-only");
+    let mut client = TcpClient::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    // Insert-only workload: a sequential union-find is an exact oracle.
+    let mut oracle = SeqUnionFind::new(sz);
+    let mut rep = WorkerReport::default();
+    let mut subs: HashMap<u64, SubTrack> = HashMap::new();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let durable = o.kill_after.is_some() || o.resume;
+
+    if let Some(state) = restored {
+        let ClientCheckpoint::Labels(labels) = state else {
+            return Err("checkpoint holds an edge set but --subscribe runs insert-only".into());
+        };
+        for (v, &l) in labels.iter().enumerate() {
+            if l as usize != v {
+                oracle.union(v as u32, l);
+            }
+        }
+    }
+    // Re-attach durable subscriptions that survived the restart.
+    // `after_seq = 1` for already-acknowledged fires absorbs the
+    // recovery re-fire server-side; receiving one anyway is a
+    // duplicate-delivery bug. A connected-but-unfired pair is owed a
+    // fire from recovery's re-evaluation — at whatever epoch the
+    // recovered engine stamps it.
+    for s in resumed_subs {
+        client
+            .attach_sub(s.id, u64::from(s.fired))
+            .map_err(|e| format!("SUB ATTACH {} failed: {e}", s.id))?;
+        let expect = (!s.fired && oracle.connected(s.lu, s.lv)).then_some((0u64, u64::MAX));
+        subs.insert(s.id, SubTrack { lu: s.lu, lv: s.lv, expect, fired: s.fired });
+    }
+
+    // Phase-distinct RNG stream, mirroring [`run_worker`].
+    let mut rng = SplitMix64::new(
+        o.seed
+            ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(idx as u64 + 1))
+            ^ (0x2545_f491_4f6c_dd1du64.wrapping_mul(start_batch as u64)),
+    );
+    let mut live_edges: Vec<(u32, u32)> = Vec::new();
+    let mut wire_ops: Vec<Update> = Vec::with_capacity(o.batch_ops);
+    let mut batch_edges: Vec<(u32, u32)> = Vec::with_capacity(o.batch_ops);
+    let end_batch = match o.kill_after {
+        Some(k) => o.batches.min(start_batch + k),
+        None => o.batches,
+    };
+    for batch in start_batch..end_batch {
+        // Register two fresh pair subscriptions: one over a known live
+        // edge (already connected — must fire immediately), one random
+        // (usually pending until some batch connects it).
+        for pick_connected in [true, false] {
+            let (lu, lv) = if pick_connected && !live_edges.is_empty() {
+                live_edges[(rng.next_u64() % live_edges.len() as u64) as usize]
+            } else {
+                (
+                    ((rng.next_u64() >> 32) as usize % sz) as u32,
+                    ((rng.next_u64() >> 32) as usize % sz) as u32,
+                )
+            };
+            let (id, _epoch) = client
+                .subscribe_pair(to_global(lu as usize), to_global(lv as usize), durable)
+                .map_err(|e| format!("SUB failed: {e}"))?;
+            let expect = oracle.connected(lu, lv).then_some((0u64, u64::MAX));
+            subs.insert(id, SubTrack { lu, lv, expect, fired: false });
+            rep.subs_registered += 1;
+        }
+        // Every few batches, cancel one idle (never fired, still
+        // disconnected, so no fire can be in flight) subscription and
+        // hold it to silence forever.
+        if batch % 4 == 3 {
+            let victim =
+                subs.iter().find(|(_, t)| !t.fired && t.expect.is_none()).map(|(&id, _)| id);
+            if let Some(id) = victim {
+                client.unsubscribe(id).map_err(|e| format!("UNSUB {id} failed: {e}"))?;
+                subs.remove(&id);
+                cancelled.insert(id);
+            }
+        }
+        // The insert batch, bracketed by EPOCH reads: everything it
+        // commits lands at an epoch in (e_pre, e_post].
+        wire_ops.clear();
+        batch_edges.clear();
+        for _ in 0..o.batch_ops {
+            let lu = ((rng.next_u64() >> 32) as usize % sz) as u32;
+            let lv = ((rng.next_u64() >> 32) as usize % sz) as u32;
+            batch_edges.push((lu, lv));
+            wire_ops.push(Update::Insert(to_global(lu as usize), to_global(lv as usize)));
+        }
+        let e_pre = client.epoch().map_err(|e| e.to_string())?;
+        client.submit(&wire_ops).map_err(|e| e.to_string())?;
+        let e_post = client.epoch().map_err(|e| e.to_string())?;
+        rep.ops += o.batch_ops as u64;
+        for &(lu, lv) in &batch_edges {
+            oracle.union(lu, lv);
+            live_edges.push((lu, lv));
+        }
+        // Pending subscriptions whose endpoints this batch connected now
+        // owe a fire stamped inside the batch's committing window.
+        for t in subs.values_mut() {
+            if !t.fired && t.expect.is_none() && oracle.connected(t.lu, t.lv) {
+                t.expect = Some((e_pre, e_post));
+            }
+        }
+        // Events stashed while reading replies (plus any already pushed
+        // but not yet read) are classified after the oracle advanced, so
+        // this batch's fires meet their freshly-set windows.
+        let mut evs = client.take_events();
+        evs.extend(client.poll_events(Duration::from_millis(1)).map_err(|e| e.to_string())?);
+        process_sub_events(evs, idx, &mut subs, &cancelled, &mut rep);
+    }
+
+    // Drain: every owed fire must arrive; silence past the deadline is a
+    // missed delivery.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while subs.values().any(|t| t.expect.is_some()) && Instant::now() < deadline {
+        let evs = client.poll_events(Duration::from_millis(200)).map_err(|e| e.to_string())?;
+        process_sub_events(evs, idx, &mut subs, &cancelled, &mut rep);
+    }
+    for (id, t) in &subs {
+        if let Some((lo, hi)) = t.expect {
+            sub_mismatch(
+                &mut rep,
+                idx,
+                format!(
+                    "sub {id}: pair ({}, {}) connected in window ({lo}, {hi}] but no event \
+                     arrived (missed delivery)",
+                    to_global(t.lu as usize),
+                    to_global(t.lv as usize)
+                ),
+            );
+        }
+    }
+
+    // Cross-check the server's registry: every live subscription must be
+    // listed with the fired flag we observed; cancelled ids must be gone.
+    // (SUBS is global, but ids are unique across clients.)
+    let listing = client.subs().map_err(|e| e.to_string())?;
+    let listed: HashMap<u64, bool> = listing
+        .iter()
+        .filter_map(|line| {
+            let mut it = line.split_whitespace();
+            let id: u64 = it.next()?.parse().ok()?;
+            Some((id, it.nth(5)? == "1"))
+        })
+        .collect();
+    for (id, t) in &subs {
+        match listed.get(id) {
+            None => sub_mismatch(&mut rep, idx, format!("sub {id} missing from SUBS listing")),
+            Some(&f) if f != t.fired => sub_mismatch(
+                &mut rep,
+                idx,
+                format!(
+                    "sub {id}: SUBS lists fired={f} but this client observed fired={}",
+                    t.fired
+                ),
+            ),
+            _ => {}
+        }
+    }
+    for id in &cancelled {
+        if listed.contains_key(id) {
+            sub_mismatch(&mut rep, idx, format!("cancelled sub {id} still in SUBS listing"));
+        }
+    }
+
+    if o.kill_after.is_some() {
+        rep.final_state = Some(ClientCheckpoint::Labels(oracle.labels()));
+        rep.final_subs = Some(
+            subs.iter()
+                .map(|(&id, t)| SavedSub { id, lu: t.lu, lv: t.lv, fired: t.fired })
+                .collect(),
+        );
+    }
+    Ok(rep)
+}
+
 /// The closed loop for one churn-mode client: mutation batches mixing
 /// inserts and deletes at `--churn`, each followed by an exactly
 /// validated query batch (see the module doc's churn section). The
@@ -1392,6 +1805,18 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // A --subscribe resume also restores the durable-subscription
+    // sidecar so each worker can re-attach and keep validating.
+    let mut resumed_subs: Vec<Vec<SavedSub>> = match (o.subscribe && o.resume, &o.state) {
+        (true, Some(path)) => match read_sub_state(&format!("{path}.subs"), o.clients) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("connectit-loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => vec![Vec::new(); o.clients],
+    };
 
     // In-process mode hosts its own service; TCP mode talks to a running
     // connectit-serve.
@@ -1419,15 +1844,24 @@ fn main() -> ExitCode {
         for idx in 0..o.clients {
             let o = o.clone();
             let restored = restored[idx].take();
-            let conn = match (&service, &o.tcp_addr) {
-                (Some(svc), _) => Ok(Conn::InProc(svc.client())),
-                (None, Some(addr)) => {
-                    Wire::connect(addr.as_str(), &o).map(|c| Conn::Tcp(Box::new(c)))
+            let resumed = std::mem::take(&mut resumed_subs[idx]);
+            // The subscription worker owns its own text connection (push
+            // lines interleave with replies on it).
+            let conn = match (&service, &o.tcp_addr, o.subscribe) {
+                (_, _, true) => None,
+                (Some(svc), _, _) => Some(Ok(Conn::InProc(svc.client()))),
+                (None, Some(addr), _) => {
+                    Some(Wire::connect(addr.as_str(), &o).map(|c| Conn::Tcp(Box::new(c))))
                 }
-                (None, None) => unreachable!("inproc mode always has a service"),
+                (None, None, _) => unreachable!("inproc mode always has a service"),
             };
             handles.push(scope.spawn(move || {
-                let conn = conn.map_err(|e| format!("connect failed: {e}"))?;
+                if o.subscribe {
+                    return run_sub_worker(&o, idx, start_batch, restored, resumed);
+                }
+                let conn = conn
+                    .expect("non-subscribe workers have a connection")
+                    .map_err(|e| format!("connect failed: {e}"))?;
                 if o.churn > 0.0 {
                     run_churn_worker(&o, idx, conn, start_batch, restored)
                 } else {
@@ -1443,6 +1877,7 @@ fn main() -> ExitCode {
     let mut failed = false;
     let mut final_states: Vec<ClientCheckpoint> = Vec::with_capacity(o.clients);
     let mut final_sizes: Vec<Vec<u64>> = Vec::with_capacity(o.clients);
+    let mut final_subs: Vec<Vec<SavedSub>> = Vec::with_capacity(o.clients);
     for (i, r) in reports.into_iter().enumerate() {
         match r {
             Ok(mut r) => {
@@ -1457,6 +1892,9 @@ fn main() -> ExitCode {
                 total.deletes += r.deletes;
                 total.stale_skipped += r.stale_skipped;
                 total.analytics_checks += r.analytics_checks;
+                total.subs_registered += r.subs_registered;
+                total.sub_events += r.sub_events;
+                total.sub_mismatches += r.sub_mismatches;
                 if total.first_mismatch.is_none() {
                     total.first_mismatch = r.first_mismatch;
                 }
@@ -1465,6 +1903,9 @@ fn main() -> ExitCode {
                 }
                 if let Some(sizes) = r.final_sizes.take() {
                     final_sizes.push(sizes);
+                }
+                if let Some(subs) = r.final_subs.take() {
+                    final_subs.push(subs);
                 }
             }
             Err(e) => {
@@ -1512,6 +1953,19 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
+        if o.subscribe && !failed {
+            let side = format!("{path}.subs");
+            match write_sub_state(&side, &final_subs) {
+                Ok(()) => println!(
+                    "connectit-loadgen: durable subscriptions saved to {side}; they will be \
+                     re-attached on --resume"
+                ),
+                Err(e) => {
+                    eprintln!("connectit-loadgen: sidecar write to {side} failed: {e}");
+                    failed = true;
+                }
+            }
+        }
     }
 
     let ops_per_sec = (total.ops as f64 / elapsed.as_secs_f64()) as u64;
@@ -1538,7 +1992,8 @@ fn main() -> ExitCode {
     println!(
         "ops={} elapsed={:.3}s ops_per_sec={ops_per_sec} verified_queries={} exact={} \
          intra_batch_transitions={} sweep_checks={} follower_verified={} skipped_batches={} \
-         deletes={} stale_skipped={} analytics_checks={} mismatches={}",
+         deletes={} stale_skipped={} analytics_checks={} subs_registered={} sub_events={} \
+         sub_mismatches={} mismatches={}",
         total.ops,
         elapsed.as_secs_f64(),
         total.queries,
@@ -1550,6 +2005,9 @@ fn main() -> ExitCode {
         total.deletes,
         total.stale_skipped,
         total.analytics_checks,
+        total.subs_registered,
+        total.sub_events,
+        total.sub_mismatches,
         total.mismatches
     );
     if let Some(m) = &total.first_mismatch {
@@ -1603,7 +2061,7 @@ fn main() -> ExitCode {
         svc.shutdown();
     }
 
-    if failed || total.mismatches > 0 || ops_per_sec == 0 {
+    if failed || total.mismatches > 0 || total.sub_mismatches > 0 || ops_per_sec == 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

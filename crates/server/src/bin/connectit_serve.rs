@@ -54,7 +54,7 @@ fn usage() -> ExitCode {
          \x20                      [--batch-ops K] [--batch-wait-us U] [--snapshot-every B]\n\
          \x20                      [--wal-dir DIR] [--fsync always|batch|off]\n\
          \x20                      [--replication-port R | --replicate-from HOST:PORT]\n\
-         \x20                      [--net-shards S] [--idle-timeout-ms MS]\n\
+         \x20                      [--net-shards S] [--idle-timeout-ms MS] [--sub-queue-cap K]\n\
          \x20  SPEC: unite[+splice][+find], e.g. rem-lock+halve-one+compress, async+split,\n\
          \x20        jtb+two-try (unites: async|hooks|early|rem-cas|rem-lock|jtb)\n\
          \x20  --wal-dir enables the write-ahead log + crash recovery; --snapshot-every\n\
@@ -62,7 +62,9 @@ fn usage() -> ExitCode {
          \x20  --replication-port streams the WAL to followers (requires --wal-dir)\n\
          \x20  --replicate-from makes this a read-only follower of that primary\n\
          \x20  --net-shards: event-loop shards in the wire front end (default: one per\n\
-         \x20  core, capped at 8); --idle-timeout-ms: close idle connections typed"
+         \x20  core, capped at 8); --idle-timeout-ms: close idle connections typed;\n\
+         \x20  --sub-queue-cap: pending subscription events a slow text consumer may\n\
+         \x20  queue before a typed sub-overflow close (default 4096)"
     );
     ExitCode::from(2)
 }
@@ -147,6 +149,13 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     return Err("--idle-timeout-ms must be at least 1".into());
                 }
                 opts.net.idle_timeout = Some(Duration::from_millis(ms));
+            }
+            "--sub-queue-cap" => {
+                opts.net.sub_queue_cap =
+                    next_val(a, &mut it)?.parse().map_err(|_| "bad --sub-queue-cap".to_string())?;
+                if opts.net.sub_queue_cap == 0 {
+                    return Err("--sub-queue-cap must be at least 1".into());
+                }
             }
             other => return Err(format!("unknown argument {other:?}")),
         }

@@ -33,6 +33,8 @@
 //! | 0x0B | TOPK    | `k:u8`                                      |
 //! | 0x0C | HIST    | none                                        |
 //! | 0x0D | SIZE    | `v:u32le`                                   |
+//! | 0x0E | SUB     | `kind:u8 u:u32le v:u32le flags:u8` (kind 0=pair 1=component, flags bit0=durable) |
+//! | 0x0F | UNSUB   | `id:u64le`                                  |
 //!
 //! ## Response frames
 //!
@@ -47,8 +49,27 @@
 //! ERR frame and leave the connection open; frame-level damage (bad magic,
 //! CRC mismatch, oversized or truncated frames) earns a best-effort ERR
 //! frame with correlation id 0 and a typed `bad-frame` close.
+//!
+//! ## Event frames
+//!
+//! A `SUB` registration turns the connection into an event stream as well:
+//! when the subscription fires, the server pushes an unsolicited frame
+//! carrying status [`STATUS_EVT`] (`2`) and the **registration's**
+//! correlation id, interleaved with ordinary replies:
+//!
+//! ```text
+//! payload := corr_id:u64le  0x02  id:u64le kind:u8 u:u32le v:u32le
+//!            root:u32le size:u64le epoch:u64le generation:u64le seq:u64le
+//! ```
+//!
+//! Clients must therefore tolerate frames whose correlation id belongs to
+//! no in-flight request — [`BinClient::reap`] stashes them for
+//! [`BinClient::take_events`]. Delivery and slow-consumer semantics are
+//! those of the text door's `! EVT` lines (see `PROTOCOL.md`): a
+//! connection that lets pushed events back up past the server's write
+//! budget is closed with a typed `sub-overflow` close.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -56,6 +77,7 @@ use cc_graph::io::binary::{append_record, crc32, RecordReader, MAGIC_LEN};
 use connectit::Update;
 
 use crate::net::MAX_WIRE_BATCH;
+use crate::subs::{SubEvent, SubKind};
 
 /// First byte of [`STREAM_MAGIC`]; no text verb starts with it, so the
 /// server's first-byte sniff is unambiguous.
@@ -72,6 +94,10 @@ pub const MAX_FRAME_PAYLOAD: u32 = 1 << 26;
 pub const STATUS_OK: u8 = 0;
 /// Response status byte: request failed, UTF-8 message follows.
 pub const STATUS_ERR: u8 = 1;
+/// Response status byte: unsolicited subscription event; the correlation
+/// id is the one from the `SUB` registration and the body is the fixed
+/// 53-byte event layout (see the module docs).
+pub const STATUS_EVT: u8 = 2;
 
 /// Verb tags (request header byte 8).
 pub mod verb {
@@ -101,7 +127,31 @@ pub mod verb {
     pub const HIST: u8 = 0x0C;
     /// Size and root of one vertex's component.
     pub const SIZE: u8 = 0x0D;
+    /// Register a pair or component subscription.
+    pub const SUBSCRIBE: u8 = 0x0E;
+    /// Cancel a subscription by id.
+    pub const UNSUBSCRIBE: u8 = 0x0F;
 }
+
+/// Every binary verb, `(text-door name, tag)`, in tag order. The doc-drift
+/// test checks `PROTOCOL.md` documents each tag.
+pub const BIN_VERBS: &[(&str, u8)] = &[
+    ("I", verb::INSERT),
+    ("D", verb::DELETE),
+    ("Q", verb::QUERY),
+    ("QG", verb::QUERY_GEN),
+    ("B", verb::BATCH),
+    ("EPOCH", verb::EPOCH),
+    ("WAIT", verb::WAIT),
+    ("PING", verb::PING),
+    ("QUIESCE", verb::QUIESCE),
+    ("GEN", verb::GEN),
+    ("TOPK", verb::TOPK),
+    ("HIST", verb::HIST),
+    ("SIZE", verb::SIZE),
+    ("SUB", verb::SUBSCRIBE),
+    ("UNSUB", verb::UNSUBSCRIBE),
+];
 
 /// A decoded binary request (header already stripped).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -144,6 +194,22 @@ pub enum BinRequest {
     Hist,
     /// `SIZE v` — size and root of `v`'s component.
     Size(u32),
+    /// `SUB` — register a subscription.
+    Subscribe {
+        /// Pair or component subscription.
+        kind: SubKind,
+        /// First endpoint (equals `v` for component subscriptions).
+        u: u32,
+        /// Second endpoint / watched vertex.
+        v: u32,
+        /// Whether the registration is WAL-logged and survives restart.
+        durable: bool,
+    },
+    /// `UNSUB id` — cancel a subscription.
+    Unsubscribe {
+        /// Id returned by the `SUB` registration.
+        id: u64,
+    },
 }
 
 /// Frame-level damage: the stream can no longer be trusted, so the server
@@ -215,6 +281,13 @@ pub enum RequestError {
         /// The offending op tag.
         tag: u8,
     },
+    /// `SUB` kind byte outside 0/1.
+    BadSubKind {
+        /// Correlation id to answer on.
+        corr: u64,
+        /// The offending kind byte.
+        kind: u8,
+    },
 }
 
 impl RequestError {
@@ -225,7 +298,8 @@ impl RequestError {
             RequestError::UnknownVerb { corr, .. }
             | RequestError::BadArgs { corr, .. }
             | RequestError::BatchTooLarge { corr }
-            | RequestError::BadBatchTag { corr, .. } => Some(corr),
+            | RequestError::BadBatchTag { corr, .. }
+            | RequestError::BadSubKind { corr, .. } => Some(corr),
         }
     }
 }
@@ -247,6 +321,9 @@ impl std::fmt::Display for RequestError {
             }
             RequestError::BadBatchTag { tag, .. } => {
                 write!(f, "bad B payload: unknown batch op tag {tag:#04x}")
+            }
+            RequestError::BadSubKind { kind, .. } => {
+                write!(f, "bad SUB payload: unknown subscription kind {kind:#04x}")
             }
         }
     }
@@ -348,6 +425,21 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, BinRequest), RequestError>
             fixed("SIZE", 4)?;
             BinRequest::Size(rd_u32(args))
         }
+        verb::SUBSCRIBE => {
+            fixed("SUB", 10)?;
+            let kind = SubKind::from_code(args[0])
+                .ok_or(RequestError::BadSubKind { corr, kind: args[0] })?;
+            BinRequest::Subscribe {
+                kind,
+                u: rd_u32(&args[1..]),
+                v: rd_u32(&args[5..]),
+                durable: args[9] & 1 != 0,
+            }
+        }
+        verb::UNSUBSCRIBE => {
+            fixed("UNSUB", 8)?;
+            BinRequest::Unsubscribe { id: rd_u64(args) }
+        }
         t => return Err(RequestError::UnknownVerb { corr, tag: t }),
     };
     Ok((corr, req))
@@ -412,6 +504,17 @@ pub fn encode_request(corr: u64, req: &BinRequest) -> Vec<u8> {
         BinRequest::Size(v) => {
             p.push(verb::SIZE);
             p.extend_from_slice(&v.to_le_bytes());
+        }
+        BinRequest::Subscribe { kind, u, v, durable } => {
+            p.push(verb::SUBSCRIBE);
+            p.push(kind.code());
+            p.extend_from_slice(&u.to_le_bytes());
+            p.extend_from_slice(&v.to_le_bytes());
+            p.push(*durable as u8);
+        }
+        BinRequest::Unsubscribe { id } => {
+            p.push(verb::UNSUBSCRIBE);
+            p.extend_from_slice(&id.to_le_bytes());
         }
     }
     p
@@ -485,6 +588,14 @@ pub enum Reply {
         /// Root (representative vertex) of the component.
         root: u32,
     },
+    /// `SUB` answer: the subscription id plus the committed epoch at
+    /// registration (events only report merges after this epoch).
+    Subscribed {
+        /// Server-assigned subscription id.
+        id: u64,
+        /// Committed epoch when the registration took effect.
+        epoch: u64,
+    },
     /// ERR with the text-protocol message spelling.
     Err(String),
 }
@@ -554,8 +665,56 @@ pub fn encode_reply(corr: u64, reply: &Reply) -> Vec<u8> {
             p.extend_from_slice(&size.to_le_bytes());
             p.extend_from_slice(&root.to_le_bytes());
         }
+        Reply::Subscribed { id, epoch } => {
+            p.push(STATUS_OK);
+            p.extend_from_slice(&id.to_le_bytes());
+            p.extend_from_slice(&epoch.to_le_bytes());
+        }
     }
     p
+}
+
+/// Encodes an unsolicited event frame payload: `corr|STATUS_EVT|event`,
+/// where `corr` is the `SUB` registration's correlation id.
+pub fn encode_event(corr: u64, ev: &SubEvent) -> Vec<u8> {
+    let mut p = Vec::with_capacity(9 + 53);
+    p.extend_from_slice(&corr.to_le_bytes());
+    p.push(STATUS_EVT);
+    p.extend_from_slice(&ev.id.to_le_bytes());
+    p.push(ev.kind.code());
+    p.extend_from_slice(&ev.u.to_le_bytes());
+    p.extend_from_slice(&ev.v.to_le_bytes());
+    p.extend_from_slice(&ev.root.to_le_bytes());
+    p.extend_from_slice(&ev.size.to_le_bytes());
+    p.extend_from_slice(&ev.epoch.to_le_bytes());
+    p.extend_from_slice(&ev.generation.to_le_bytes());
+    p.extend_from_slice(&ev.seq.to_le_bytes());
+    p
+}
+
+/// Decodes an event frame payload (status byte already known to be
+/// [`STATUS_EVT`]). Returns `(registration_corr, event)`.
+pub fn decode_event(payload: &[u8]) -> io::Result<(u64, SubEvent)> {
+    if payload.len() != 9 + 53 || payload[8] != STATUS_EVT {
+        return Err(bad_reply("EVT"));
+    }
+    let corr = rd_u64(payload);
+    let b = &payload[9..];
+    let kind = SubKind::from_code(b[8]).ok_or_else(|| bad_reply("EVT"))?;
+    Ok((
+        corr,
+        SubEvent {
+            id: rd_u64(b),
+            kind,
+            u: rd_u32(&b[9..]),
+            v: rd_u32(&b[13..]),
+            root: rd_u32(&b[17..]),
+            size: rd_u64(&b[21..]),
+            epoch: rd_u64(&b[29..]),
+            generation: rd_u64(&b[37..]),
+            seq: rd_u64(&b[45..]),
+        },
+    ))
 }
 
 fn push_tagged(p: &mut Vec<u8>, bit: bool, gen: Option<u64>) {
@@ -592,7 +751,13 @@ pub fn decode_reply(payload: &[u8], req_verb: u8) -> io::Result<(u64, Reply)> {
         return Err(bad_reply("unknown-status"));
     }
     let reply = match req_verb {
-        verb::INSERT | verb::DELETE | verb::PING => Reply::Ok,
+        verb::INSERT | verb::DELETE | verb::PING | verb::UNSUBSCRIBE => Reply::Ok,
+        verb::SUBSCRIBE => {
+            if body.len() != 16 {
+                return Err(bad_reply("SUB"));
+            }
+            Reply::Subscribed { id: rd_u64(body), epoch: rd_u64(&body[8..]) }
+        }
         verb::QUERY => {
             if body.len() != 1 {
                 return Err(bad_reply("Q"));
@@ -782,6 +947,9 @@ pub struct BinClient {
     /// corr -> request verb tag, so responses can be decoded.
     pending: HashMap<u64, u8>,
     next_corr: u64,
+    /// Pushed subscription events reaped while waiting for replies, as
+    /// `(registration_corr, event)`; drained by [`BinClient::take_events`].
+    events: VecDeque<(u64, SubEvent)>,
 }
 
 impl BinClient {
@@ -792,7 +960,13 @@ impl BinClient {
         let reader = RecordReader::new(stream.try_clone()?, 0);
         let mut writer = io::BufWriter::new(stream);
         writer.write_all(&STREAM_MAGIC)?;
-        Ok(BinClient { writer, reader, pending: HashMap::new(), next_corr: 1 })
+        Ok(BinClient {
+            writer,
+            reader,
+            pending: HashMap::new(),
+            next_corr: 1,
+            events: VecDeque::new(),
+        })
     }
 
     /// Requests sent but not yet reaped.
@@ -817,6 +991,8 @@ impl BinClient {
             BinRequest::Topk { .. } => verb::TOPK,
             BinRequest::Hist => verb::HIST,
             BinRequest::Size(_) => verb::SIZE,
+            BinRequest::Subscribe { .. } => verb::SUBSCRIBE,
+            BinRequest::Unsubscribe { .. } => verb::UNSUBSCRIBE,
         };
         append_record(&mut self.writer, &encode_request(corr, req))?;
         self.pending.insert(corr, tag);
@@ -888,14 +1064,67 @@ impl BinClient {
         self.send(&BinRequest::Size(v))
     }
 
+    /// Pipelines a `SUB` registration; returns its correlation id (also
+    /// the id future event frames for this subscription will carry).
+    pub fn send_subscribe(
+        &mut self,
+        kind: SubKind,
+        u: u32,
+        v: u32,
+        durable: bool,
+    ) -> io::Result<u64> {
+        self.send(&BinRequest::Subscribe { kind, u, v, durable })
+    }
+
+    /// Pipelines an `UNSUB`; returns its correlation id.
+    pub fn send_unsubscribe(&mut self, id: u64) -> io::Result<u64> {
+        self.send(&BinRequest::Unsubscribe { id })
+    }
+
     /// Pushes buffered request bytes onto the wire.
     pub fn flush(&mut self) -> io::Result<()> {
         self.writer.flush()
     }
 
     /// Flushes, then blocks for the next response frame — not necessarily
-    /// for the oldest request; the server completes out of order.
+    /// for the oldest request; the server completes out of order. Pushed
+    /// event frames encountered on the way are stashed for
+    /// [`BinClient::take_events`], never returned here.
     pub fn reap(&mut self) -> io::Result<(u64, Reply)> {
+        self.flush()?;
+        loop {
+            let payload = self
+                .reader
+                .next()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+                })?;
+            if payload.len() < 9 {
+                return Err(bad_reply("short"));
+            }
+            if payload[8] == STATUS_EVT {
+                self.events.push_back(decode_event(&payload)?);
+                continue;
+            }
+            let corr = rd_u64(&payload);
+            let tag = self.pending.remove(&corr).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unknown correlation id {corr}"),
+                )
+            })?;
+            return decode_reply(&payload, tag);
+        }
+    }
+
+    /// Blocks for the next pushed subscription event, draining any stashed
+    /// ones first. Frames answering in-flight requests are an error here —
+    /// reap those before waiting on the event stream.
+    pub fn recv_event(&mut self) -> io::Result<(u64, SubEvent)> {
+        if let Some(ev) = self.events.pop_front() {
+            return Ok(ev);
+        }
         self.flush()?;
         let payload = self
             .reader
@@ -904,17 +1133,12 @@ impl BinClient {
             .ok_or_else(|| {
                 io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
             })?;
-        if payload.len() < 9 {
-            return Err(bad_reply("short"));
-        }
-        let corr = rd_u64(&payload);
-        let tag = self.pending.remove(&corr).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("response for unknown correlation id {corr}"),
-            )
-        })?;
-        decode_reply(&payload, tag)
+        decode_event(&payload)
+    }
+
+    /// Drains every event stashed by [`BinClient::reap`] so far.
+    pub fn take_events(&mut self) -> Vec<(u64, SubEvent)> {
+        self.events.drain(..).collect()
     }
 
     /// Reaps until `corr` answers, buffering nothing: out-of-order replies
@@ -1036,6 +1260,28 @@ impl BinClient {
         }
     }
 
+    /// Synchronous `SUB` registration: `(subscription_id, epoch, corr)`.
+    /// Events for this subscription arrive tagged with `corr`.
+    pub fn subscribe(
+        &mut self,
+        kind: SubKind,
+        u: u32,
+        v: u32,
+        durable: bool,
+    ) -> io::Result<(u64, u64, u64)> {
+        let corr = self.send_subscribe(kind, u, v, durable)?;
+        match Self::expect_ok(self.reap_exact(corr)?)? {
+            Reply::Subscribed { id, epoch } => Ok((id, epoch, corr)),
+            other => Err(io::Error::other(format!("unexpected SUB reply {other:?}"))),
+        }
+    }
+
+    /// Synchronous `UNSUB`.
+    pub fn unsubscribe(&mut self, id: u64) -> io::Result<()> {
+        let corr = self.send_unsubscribe(id)?;
+        Self::expect_ok(self.reap_exact(corr)?).map(|_| ())
+    }
+
     /// Synchronous `SIZE` read: `(size, root)` of `v`'s component.
     pub fn component_size(&mut self, v: u32) -> io::Result<(u64, u32)> {
         let corr = self.send_size(v)?;
@@ -1077,6 +1323,9 @@ mod tests {
         roundtrip(BinRequest::Topk { k: 10 });
         roundtrip(BinRequest::Hist);
         roundtrip(BinRequest::Size(7));
+        roundtrip(BinRequest::Subscribe { kind: SubKind::Pair, u: 3, v: 9, durable: true });
+        roundtrip(BinRequest::Subscribe { kind: SubKind::Component, u: 5, v: 5, durable: false });
+        roundtrip(BinRequest::Unsubscribe { id: 0x0102_0304_0506_0708 });
     }
 
     #[test]
@@ -1120,6 +1369,8 @@ mod tests {
                 verb::HIST,
             ),
             (Reply::Size { size: 17, root: 3 }, verb::SIZE),
+            (Reply::Subscribed { id: 12, epoch: 400 }, verb::SUBSCRIBE),
+            (Reply::Ok, verb::UNSUBSCRIBE),
             (Reply::Err("vertex 9 out of range (n = 4)".into()), verb::QUERY),
         ];
         for (reply, tag) in cases {
@@ -1201,5 +1452,43 @@ mod tests {
             RequestError::BatchTooLarge { corr: 0 }.to_string(),
             format!("batch too large (max {MAX_WIRE_BATCH})")
         );
+        assert_eq!(
+            RequestError::BadSubKind { corr: 0, kind: 7 }.to_string(),
+            "bad SUB payload: unknown subscription kind 0x07"
+        );
+    }
+
+    #[test]
+    fn event_frames_roundtrip() {
+        let ev = SubEvent {
+            id: 42,
+            kind: SubKind::Component,
+            u: 6,
+            v: 6,
+            root: 2,
+            size: 17,
+            epoch: 900,
+            generation: 3,
+            seq: 5,
+        };
+        let payload = encode_event(77, &ev);
+        assert_eq!(payload.len(), 9 + 53);
+        assert_eq!(payload[8], STATUS_EVT);
+        let (corr, got) = decode_event(&payload).expect("decode");
+        assert_eq!(corr, 77);
+        assert_eq!(got, ev);
+        // A truncated event frame is rejected, not misread.
+        assert!(decode_event(&payload[..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn bad_sub_kind_is_recoverable() {
+        let mut payload = encode_request(
+            9,
+            &BinRequest::Subscribe { kind: SubKind::Pair, u: 1, v: 2, durable: false },
+        );
+        payload[9] = 0x07; // corrupt the kind byte
+        let err = decode_request(&payload).expect_err("bad kind must not decode");
+        assert_eq!(err.corr(), Some(9), "recoverable: answers on the request corr");
     }
 }

@@ -50,11 +50,13 @@
 //! shard's other connections.
 
 use crate::binproto::{
-    self, encode_reply, frame, BinRequest, FrameAssembler, Reply, RequestError, SNIFF_BYTE,
+    self, encode_event, encode_reply, frame, BinRequest, FrameAssembler, Reply, RequestError,
+    SNIFF_BYTE,
 };
 use crate::net::{handle_connection, ServerShared, TcpServer};
 use crate::obs::{CloseReason, Event, Gauge, Obs};
 use crate::service::{Client, Role, Service, ServiceError, SubmitTicket};
+use crate::subs::{SubEvent, SubSink};
 use connectit::Update;
 use mio::{Events, Interest, Poll, Token, Waker};
 use parking_lot::Mutex;
@@ -76,12 +78,18 @@ pub struct NetConfig {
     /// Write-queue cap per connection: above it, read interest is dropped
     /// until the peer drains, so one slow reader cannot balloon memory.
     pub max_wbuf: usize,
+    /// Pending subscription events a **text** connection's push queue may
+    /// hold before the server declares the consumer too slow and closes
+    /// the connection with a typed `sub-overflow`. Binary connections are
+    /// bounded by [`NetConfig::max_wbuf`] instead: an event append that
+    /// pushes the write queue past it closes the connection the same way.
+    pub sub_queue_cap: usize,
 }
 
 impl Default for NetConfig {
     fn default() -> NetConfig {
         let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 8);
-        NetConfig { shards, idle_timeout: None, max_wbuf: 1 << 20 }
+        NetConfig { shards, idle_timeout: None, max_wbuf: 1 << 20, sub_queue_cap: 4096 }
     }
 }
 
@@ -168,6 +176,10 @@ struct Conn {
     last_activity: Instant,
     /// Set when the connection must close once its write queue drains.
     closing: Option<CloseReason>,
+    /// Subscriptions registered on this connection, `(id, durable)`.
+    /// Ephemeral ones die with the connection; durable ones detach and
+    /// keep accumulating events server-side for a later `SUB ATTACH`.
+    subs: Vec<(u64, bool)>,
 }
 
 impl Conn {
@@ -184,7 +196,32 @@ impl Conn {
             inflight: 0,
             last_activity: Instant::now(),
             closing: None,
+            subs: Vec::new(),
         }
+    }
+}
+
+/// A shard's subscription push queue: `(token, encoded event frame)`
+/// pairs parked by delivering threads, drained each poll round.
+type PushQueue = Arc<Mutex<Vec<(usize, Vec<u8>)>>>;
+
+/// Event sink for a binary-door subscription: encodes the event frame on
+/// the delivering thread (usually the batcher) and parks it on the shard's
+/// push queue; the woken shard appends it to the connection's write queue.
+struct BinSink {
+    events: PushQueue,
+    waker: Arc<Waker>,
+    token: usize,
+    /// Correlation id of the `SUB` registration; every event frame for
+    /// this subscription carries it.
+    corr: u64,
+}
+
+impl SubSink for BinSink {
+    fn deliver(&self, ev: &SubEvent) -> bool {
+        self.events.lock().push((self.token, frame(&encode_event(self.corr, ev))));
+        let _ = self.waker.wake();
+        true
     }
 }
 
@@ -234,12 +271,16 @@ struct Shard {
     inbox: Arc<Mutex<Vec<TcpStream>>>,
     /// Results of offloaded blocking verbs (`WAIT`/`QUIESCE`).
     done: Arc<Mutex<Vec<(usize, u64, Reply)>>>,
+    /// Subscription event frames pushed by [`BinSink`]s from delivering
+    /// threads; drained each poll round.
+    events: PushQueue,
     conns: HashMap<usize, Conn>,
     next_token: usize,
     groups: Vec<PendingGroup>,
     gauge: Arc<Gauge>,
     idle_timeout: Option<Duration>,
     max_wbuf: usize,
+    sub_queue_cap: usize,
     num_vertices: usize,
     is_follower: bool,
 }
@@ -266,12 +307,14 @@ impl Shard {
             waker,
             inbox: Arc::new(Mutex::new(Vec::new())),
             done: Arc::new(Mutex::new(Vec::new())),
+            events: Arc::new(Mutex::new(Vec::new())),
             conns: HashMap::new(),
             next_token: 1,
             groups: Vec::new(),
             gauge,
             idle_timeout: cfg.idle_timeout,
             max_wbuf: cfg.max_wbuf,
+            sub_queue_cap: cfg.sub_queue_cap,
             num_vertices,
             is_follower,
         })
@@ -301,6 +344,7 @@ impl Shard {
             self.execute_round(round);
             self.drain_offloads();
             self.drain_groups();
+            self.drain_events();
             self.sweep_idle();
         }
         // Orderly teardown: every surviving connection closes `shutdown`.
@@ -433,6 +477,8 @@ impl Shard {
             BinRequest::Topk { .. } => "TOPK",
             BinRequest::Hist => "HIST",
             BinRequest::Size(_) => "SIZE",
+            BinRequest::Subscribe { .. } => "SUB",
+            BinRequest::Unsubscribe { .. } => "UNSUB",
         };
         self.obs.metrics.record_request(verb_name);
         if let Some(conn) = self.conns.get_mut(&token) {
@@ -583,6 +629,39 @@ impl Shard {
                     }
                 });
             }
+            BinRequest::Subscribe { kind, u, v, durable } => {
+                let sink: Arc<dyn SubSink> = Arc::new(BinSink {
+                    events: Arc::clone(&self.events),
+                    waker: Arc::clone(&self.waker),
+                    token,
+                    corr,
+                });
+                // The reply is queued before drain_events runs this round,
+                // so the `Subscribed` frame always precedes the first
+                // event frame even when the registration fires instantly.
+                let reply = match self.client.subscribe(kind, u, v, durable, Some(sink)) {
+                    Ok((id, epoch)) => {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.subs.push((id, durable));
+                        }
+                        Reply::Subscribed { id, epoch }
+                    }
+                    Err(e) => Reply::Err(e.to_string()),
+                };
+                self.queue_reply(token, corr, reply, true);
+            }
+            BinRequest::Unsubscribe { id } => {
+                let reply = match self.client.unsubscribe(id) {
+                    Ok(()) => {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.subs.retain(|&(sid, _)| sid != id);
+                        }
+                        Reply::Ok
+                    }
+                    Err(e) => Reply::Err(e.to_string()),
+                };
+                self.queue_reply(token, corr, reply, true);
+            }
         }
     }
 
@@ -677,6 +756,31 @@ impl Shard {
         let finished: Vec<(usize, u64, Reply)> = std::mem::take(&mut *self.done.lock());
         for (token, corr, reply) in finished {
             self.queue_reply(token, corr, reply, true);
+        }
+    }
+
+    /// Appends pushed subscription event frames to their connections'
+    /// write queues. Unlike replies, events arrive regardless of whether
+    /// the peer is reading, so a write queue blown past `max_wbuf` here is
+    /// a slow consumer — the connection closes with a typed
+    /// `sub-overflow`, never a silent drop.
+    fn drain_events(&mut self) {
+        let pushed: Vec<(usize, Vec<u8>)> = std::mem::take(&mut *self.events.lock());
+        for (token, bytes) in pushed {
+            let overflow = {
+                let Some(conn) = self.conns.get_mut(&token) else { continue };
+                if conn.closing.is_some() {
+                    continue;
+                }
+                conn.wbuf.extend_from_slice(&bytes);
+                conn.wbuf.len() - conn.wpos > self.max_wbuf
+            };
+            self.obs.metrics.frames_out_total.inc();
+            if overflow {
+                self.close(token, CloseReason::SubOverflow);
+            } else {
+                self.flush_conn(token);
+            }
         }
     }
 
@@ -807,6 +911,15 @@ impl Shard {
     fn close(&mut self, token: usize, reason: CloseReason) {
         let Some(conn) = self.conns.remove(&token) else { return };
         let _ = self.poll.registry().deregister(&conn.stream);
+        // Ephemeral subscriptions die with the connection; durable ones
+        // only lose their sink and keep accumulating for `SUB ATTACH`.
+        for &(id, durable) in &conn.subs {
+            if durable {
+                self.client.detach_sub(id);
+            } else {
+                let _ = self.client.unsubscribe(id);
+            }
+        }
         self.gauge.dec();
         if conn.counted {
             self.obs.metrics.connections_live.dec();
@@ -836,8 +949,9 @@ impl Shard {
         }
         let client = self.client.clone();
         let shared = Arc::clone(&self.shared);
+        let sub_queue_cap = self.sub_queue_cap;
         let _ = std::thread::Builder::new().name("cc-conn".into()).spawn(move || {
-            let _ = handle_connection(stream, prefix, &client, &shared);
+            let _ = handle_connection(stream, prefix, &client, &shared, sub_queue_cap);
         });
     }
 

@@ -34,6 +34,7 @@
 use crate::analytics::{Analytics, AnalyticsView};
 use crate::engine::{build_engine, Engine, ExecMode, RunMode};
 use crate::obs::{Event, Obs};
+use crate::subs::{PendingEvent, SubInfo, SubKind, SubsCore};
 use cc_unionfind::UfSpec;
 use connectit::{
     spanning_forest, supports_spanning_forest, DeleteClass, FinishMethod, InsertClass,
@@ -120,6 +121,10 @@ struct WriteState {
     /// The analytics plane's writer state: every clean-path merge folds
     /// its delta in here; a commit resyncs it wholesale (DESIGN.md §12).
     analytics: Analytics,
+    /// The subscription plane's trigger index: consumes the same merge
+    /// stream as `analytics`, buffers fires for the batcher to stamp and
+    /// dispatch (DESIGN.md §13).
+    subs: SubsCore,
 }
 
 struct Shared {
@@ -302,6 +307,13 @@ fn run_rebuilder(shared: &Arc<Shared>) {
         // epoch high-water mark the dirty window deferred.
         let labels = st.engine.labels_readonly();
         st.analytics.resync(&labels);
+        // Re-arm the trigger index against the fresh labeling: pending
+        // pairs the drained inserts connected fire here (stamped at the
+        // deferred epoch high-water mark), and every component
+        // subscription observes the new generation's identity change.
+        let commit_epoch = shared.published_epoch.load(Ordering::Acquire);
+        let gen = st.generation;
+        st.subs.on_commit(&labels, gen, Some(commit_epoch), true);
         shared.publish_analytics_locked(&st, false);
         if let Some(o) = &shared.obs {
             o.metrics.rebuilds_committed_total.inc();
@@ -367,6 +379,7 @@ impl GenerationEngine {
                 counters: GenCounters::default(),
                 retired: [0; 3],
                 analytics,
+                subs: SubsCore::new(n),
             }),
             cv: Condvar::new(),
             view: Mutex::new(view),
@@ -454,8 +467,11 @@ impl GenerationEngine {
                     } else {
                         if class == InsertClass::Merge {
                             // The one point where two components join:
-                            // fold the delta into the analytics plane.
+                            // fold the delta into the analytics plane and
+                            // fire any subscription watching either side.
                             st.analytics.merge(u, v);
+                            let gen = st.generation;
+                            st.subs.merge(u, v, gen);
                             if let Some(o) = &self.shared.obs {
                                 o.metrics.components.set(st.analytics.components());
                             }
@@ -716,6 +732,11 @@ impl GenerationEngine {
         if edges.is_empty() {
             let mut st = self.shared.mx.lock();
             st.tracker.rebuild_forest();
+            if !st.subs.is_empty() {
+                let labels = st.engine.labels_readonly();
+                let gen = st.generation;
+                st.subs.on_commit(&labels, gen, None, true);
+            }
             return;
         }
         let (forest, fresh) = self.shared.build_generation(&edges);
@@ -730,6 +751,14 @@ impl GenerationEngine {
         // materialized labels and publish the initial view.
         let labels = st.engine.labels_readonly();
         st.analytics.resync(&labels);
+        // Recovered durable subscriptions arm here, against the
+        // materialized labeling: a pending pair the history connected
+        // fires (stamped at the first post-recovery drain — a possible
+        // duplicate of a pre-crash delivery, which the per-subscription
+        // sequence numbers let clients absorb), and component
+        // subscriptions observe the restart's identity reset.
+        let gen = st.generation;
+        st.subs.on_commit(&labels, gen, None, true);
         self.shared.publish_analytics_locked(&st, false);
     }
 
@@ -769,6 +798,81 @@ impl GenerationEngine {
     /// The delta-maintained live component count.
     pub fn components_live(&self) -> u64 {
         self.shared.mx.lock().analytics.components()
+    }
+
+    /// Registers a subscription under a caller-assigned id (the service
+    /// reserves ids through its dispatch so a registration-time fire can
+    /// never outrun its delivery channel). An already-connected pair
+    /// fires immediately, stamped at the next drain.
+    pub fn subs_register(
+        &self,
+        id: u64,
+        kind: SubKind,
+        u: u32,
+        v: u32,
+        durable: bool,
+        registered_epoch: u64,
+    ) {
+        let mut st = self.shared.mx.lock();
+        let labels = if st.subs.is_synced() { None } else { Some(st.engine.labels_readonly()) };
+        let gen = st.generation;
+        st.subs.register(id, kind, u, v, durable, registered_epoch, gen, labels.as_deref());
+    }
+
+    /// Recovery replay of a WAL `'S'` register record: the entry is
+    /// stored but its trigger stays unarmed until
+    /// [`Self::finish_recovery`] evaluates it against the materialized
+    /// labeling (so replay order versus batch records cannot matter).
+    pub fn subs_register_recovered(
+        &self,
+        id: u64,
+        kind: SubKind,
+        u: u32,
+        v: u32,
+        registered_epoch: u64,
+    ) {
+        let mut st = self.shared.mx.lock();
+        let gen = st.generation;
+        st.subs.register(id, kind, u, v, true, registered_epoch, gen, None);
+    }
+
+    /// Cancels a subscription. Returns its durability, or `None` for an
+    /// unknown id.
+    pub fn subs_cancel(&self, id: u64) -> Option<bool> {
+        self.shared.mx.lock().subs.cancel(id)
+    }
+
+    /// Number of registered subscriptions.
+    pub fn subs_len(&self) -> usize {
+        self.shared.mx.lock().subs.len()
+    }
+
+    /// Lists every registered subscription, id-ascending (the `SUBS`
+    /// verb).
+    pub fn subs_list(&self) -> Vec<SubInfo> {
+        self.shared.mx.lock().subs.list()
+    }
+
+    /// Drains buffered subscription fires, stamping unstamped ones with
+    /// `epoch` (see [`crate::subs::SubsCore::drain_fires`]). Called by
+    /// the batch former right after it publishes that epoch, and by the
+    /// follower apply path at its replicated epoch.
+    pub fn drain_sub_fires(&self, epoch: u64) -> Vec<PendingEvent> {
+        let mut st = self.shared.mx.lock();
+        st.subs.drain_fires(epoch)
+    }
+
+    /// Drains buffered subscription fires only when all of them are
+    /// pre-stamped (see [`crate::subs::SubsCore::drain_stamped_fires`]);
+    /// the registration-time prompt delivery path uses this so it can
+    /// never mis-stamp an applied-but-unpublished batch's merge fires.
+    pub fn drain_sub_fires_stamped(&self) -> Vec<PendingEvent> {
+        self.shared.mx.lock().subs.drain_stamped_fires()
+    }
+
+    /// Whether any buffered subscription fire awaits a drain.
+    pub fn has_sub_fires(&self) -> bool {
+        self.shared.mx.lock().subs.has_fires()
     }
 }
 

@@ -30,6 +30,13 @@
 //!   top-k components and per-component sizes in an epoch-versioned,
 //!   `Arc`-swapped [`analytics::AnalyticsView`] (served by the
 //!   `TOPK`/`HIST`/`SIZE` verbs, routable to followers; DESIGN.md §12).
+//! - [`subs`] — the subscription plane: `SUB u v` / `SUB COMPONENT v`
+//!   register triggers in a union-find-keyed index that consumes the
+//!   same merge stream as analytics; events push at the exact
+//!   `(epoch, generation)` the merge committed, durable subscriptions
+//!   survive restarts via WAL `'S'` records, and slow consumers are
+//!   dropped with a typed close rather than losing events silently
+//!   (DESIGN.md §13, PROTOCOL.md).
 //! - [`wal`] / [`snapshot`] — the durability subsystem: a segmented,
 //!   checksummed, group-committed write-ahead log recording each applied
 //!   batch at its epoch boundary, plus epoch-keyed durable label
@@ -87,6 +94,7 @@ pub mod obs;
 pub mod replication;
 pub mod service;
 pub mod snapshot;
+pub mod subs;
 pub mod wal;
 
 pub use analytics::{AnalyticsCore, AnalyticsView, HIST_BUCKETS, TOPK_CAP};
@@ -104,6 +112,7 @@ pub use replication::{
 pub use service::{
     Client, LabelSnapshot, Role, Service, ServiceConfig, ServiceError, ServiceStats,
 };
+pub use subs::{SubEvent, SubInfo, SubKind, SubSink};
 pub use wal::{
     DurabilityConfig, FsyncPolicy, RecoveryReport, TailEvent, Wal, WalCursor, WalError, WalStats,
 };

@@ -36,11 +36,25 @@
 //! | `FLUSH`              | `OK`                                 | fsync the WAL now, regardless of policy |
 //! | `SNAPSHOT`           | `SNAP <epoch>`                       | write a durable snapshot (labels + live edge set) at the next batch boundary |
 //! | `WALSTATS`           | `W <key=value ...>`                  | one-line WAL stats dump |
-//! | `METRICS`            | typed lines, then `# EOF`            | multi-line Prometheus-style dump of the metrics registry (the only verbs with multi-line replies are `METRICS` and `TRACE`; both end with a literal `# EOF` line) |
+//! | `METRICS`            | typed lines, then `# EOF`            | multi-line Prometheus-style dump of the metrics registry (the only verbs with multi-line replies are `METRICS`, `TRACE`, and `SUBS`; all end with a literal `# EOF` line) |
 //! | `TRACE [n]`          | `T …` lines, then `# EOF`            | last `n` flight-recorder events (default [`DEFAULT_TRACE_EVENTS`]), oldest first |
+//! | `SUB u v [DURABLE]`  | `S <id> <epoch>`                     | subscribe: push an event when `u` and `v` connect (one-shot; fires immediately if already connected). `DURABLE` logs the subscription to the WAL so it survives restarts |
+//! | `SUB COMPONENT v [DURABLE]` | `S <id> <epoch>`              | subscribe to every identity change of `v`'s component (merges and rebuild commits) |
+//! | `SUB ATTACH id [after_seq]` | `S <id> <epoch>`              | re-bind this connection to a durable subscription and replay retained events with `seq > after_seq` |
+//! | `UNSUB id`           | `OK`                                 | cancel a subscription |
+//! | `SUBS`               | `<id> <kind> <u> <v> <epoch> <durable> <fired>` lines, then `# EOF` | list live subscriptions |
 //! | `PING`               | `PONG`                               | liveness |
 //! | `QUIT`               | — (connection closes)                | end this connection |
 //! | `SHUTDOWN`           | `BYE`                                | stop accepting; wake [`TcpServer::wait_shutdown`] |
+//!
+//! Subscription events arrive as *unsolicited* push lines prefixed
+//! `! ` — `! EVT <id> <seq> <epoch> <gen> PAIR <u> <v> root=<r>
+//! size=<s>` or `! EVT <id> <seq> <epoch> <gen> COMPONENT <v> root=<r>
+//! size=<s>` — interleaved between replies (never inside a multi-line
+//! dump). [`TcpClient`] stashes them; see PROTOCOL.md for the full
+//! delivery contract. A subscriber that stops reading until the
+//! server-side push queue fills is disconnected with a typed
+//! `sub-overflow` close — events are never silently dropped.
 //!
 //! The three durability verbs answer `ERR durability is not enabled …`
 //! when the server runs without `--wal-dir`. Malformed requests get
@@ -61,13 +75,15 @@
 
 use crate::obs::{CloseReason, Event, Obs, DEFAULT_TRACE_EVENTS};
 use crate::service::{Client, Service};
+use crate::subs::{SubEvent, SubKind, SubSink};
 use connectit::Update;
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -93,10 +109,46 @@ enum Request {
     WalStats,
     Metrics,
     Trace(usize),
+    Sub { component: bool, u: u32, v: u32, durable: bool },
+    SubAttach { id: u64, after_seq: u64 },
+    Unsub(u64),
+    Subs,
     Ping,
     Quit,
     Shutdown,
 }
+
+/// Every verb the text parser accepts. Exported so the doc-drift test
+/// can hold `PROTOCOL.md` to the parser's actual vocabulary.
+pub const TEXT_VERBS: &[&str] = &[
+    "I",
+    "D",
+    "Q",
+    "QG",
+    "B",
+    "LABEL",
+    "COMPONENTS",
+    "TOPK",
+    "HIST",
+    "SIZE",
+    "EPOCH",
+    "WAIT",
+    "GEN",
+    "QUIESCE",
+    "ROLE",
+    "STATS",
+    "FLUSH",
+    "SNAPSHOT",
+    "WALSTATS",
+    "METRICS",
+    "TRACE",
+    "SUB",
+    "UNSUB",
+    "SUBS",
+    "PING",
+    "QUIT",
+    "SHUTDOWN",
+];
 
 /// Upper bound on `B k` batch sizes, so a hostile header cannot trigger an
 /// unbounded allocation. [`TcpClient::submit`] enforces it client-side.
@@ -182,6 +234,29 @@ fn parse_request(line: &str) -> Result<Request, String> {
             };
             Request::Trace(n)
         }
+        "SUB" => match it.next() {
+            Some("COMPONENT") => {
+                let v = parse_u32(it.next())?;
+                let durable = parse_sub_flag(&mut it)?;
+                Request::Sub { component: true, u: v, v, durable }
+            }
+            Some("ATTACH") => {
+                let id = parse_u64(it.next())?;
+                let after_seq = match it.next() {
+                    Some(tok) => parse_u64(Some(tok))?,
+                    None => 0,
+                };
+                Request::SubAttach { id, after_seq }
+            }
+            tok => {
+                let u = parse_u32(tok)?;
+                let v = parse_u32(it.next())?;
+                let durable = parse_sub_flag(&mut it)?;
+                Request::Sub { component: false, u, v, durable }
+            }
+        },
+        "UNSUB" => Request::Unsub(parse_u64(it.next())?),
+        "SUBS" => Request::Subs,
         "PING" => Request::Ping,
         "QUIT" => Request::Quit,
         "SHUTDOWN" => Request::Shutdown,
@@ -191,6 +266,15 @@ fn parse_request(line: &str) -> Result<Request, String> {
         return Err(format!("trailing arguments after {cmd}"));
     }
     Ok(req)
+}
+
+/// Parses the optional trailing `DURABLE` flag of a `SUB` request.
+fn parse_sub_flag(it: &mut std::str::SplitWhitespace<'_>) -> Result<bool, String> {
+    match it.next() {
+        None => Ok(false),
+        Some("DURABLE") => Ok(true),
+        Some(other) => Err(format!("unknown SUB flag {other:?} (expected DURABLE)")),
+    }
 }
 
 /// Parses one `I u v` / `D u v` / `Q u v` line of a `B` batch body.
@@ -348,22 +432,186 @@ fn read_bounded_line(reader: &mut impl BufRead, line: &mut String) -> std::io::R
     Ok(got)
 }
 
+/// The server side of a text subscription: a bounded queue between the
+/// service's delivery path and this connection's pusher thread. The
+/// service must never block on (or allocate unboundedly for) a slow
+/// consumer, so a full queue marks the sink dead, flags the overflow,
+/// and shuts the socket down — the connection closes with a typed
+/// `sub-overflow` reason rather than dropping events silently.
+struct TextSink {
+    queue: Mutex<VecDeque<SubEvent>>,
+    cv: Condvar,
+    cap: usize,
+    dead: AtomicBool,
+    overflow: AtomicBool,
+    stream: TcpStream,
+}
+
+impl SubSink for TextSink {
+    fn deliver(&self, ev: &SubEvent) -> bool {
+        if self.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut q = self.queue.lock();
+        if q.len() >= self.cap {
+            drop(q);
+            self.dead.store(true, Ordering::Release);
+            self.overflow.store(true, Ordering::Release);
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+            self.cv.notify_all();
+            return false;
+        }
+        q.push_back(*ev);
+        drop(q);
+        self.cv.notify_all();
+        true
+    }
+}
+
+/// Writes one `! EVT …` push line (the grammar in the module table).
+fn write_evt_line(w: &mut BufWriter<TcpStream>, ev: &SubEvent) -> std::io::Result<()> {
+    match ev.kind {
+        SubKind::Pair => writeln!(
+            w,
+            "! EVT {} {} {} {} PAIR {} {} root={} size={}",
+            ev.id, ev.seq, ev.epoch, ev.generation, ev.u, ev.v, ev.root, ev.size
+        ),
+        SubKind::Component => writeln!(
+            w,
+            "! EVT {} {} {} {} COMPONENT {} root={} size={}",
+            ev.id, ev.seq, ev.epoch, ev.generation, ev.v, ev.root, ev.size
+        ),
+    }
+}
+
+/// The per-connection pusher thread: drains the sink's queue and writes
+/// `! EVT` lines under the shared writer lock, so pushes interleave with
+/// replies only at line boundaries (never inside a multi-line dump).
+fn run_pusher(sink: &TextSink, writer: &Mutex<BufWriter<TcpStream>>) {
+    let mut batch: Vec<SubEvent> = Vec::new();
+    loop {
+        {
+            let mut q = sink.queue.lock();
+            while q.is_empty() {
+                if sink.dead.load(Ordering::Acquire) {
+                    return;
+                }
+                sink.cv.wait_for(&mut q, Duration::from_millis(100));
+            }
+            batch.extend(q.drain(..));
+        }
+        let mut w = writer.lock();
+        for ev in batch.drain(..) {
+            if write_evt_line(&mut w, &ev).is_err() {
+                sink.dead.store(true, Ordering::Release);
+                return;
+            }
+        }
+        if w.flush().is_err() {
+            sink.dead.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
+/// One text connection's subscription state: the shared sink (created
+/// lazily on the first `SUB`/`SUB ATTACH`), its pusher thread, and the
+/// ids bound to this connection for teardown.
+struct SubConnState {
+    stream: TcpStream,
+    cap: usize,
+    sink: Option<Arc<TextSink>>,
+    pusher: Option<std::thread::JoinHandle<()>>,
+    subs: Vec<(u64, bool)>,
+}
+
+impl SubConnState {
+    fn ensure_sink(
+        &mut self,
+        writer: &Arc<Mutex<BufWriter<TcpStream>>>,
+    ) -> std::io::Result<Arc<TextSink>> {
+        if let Some(s) = &self.sink {
+            return Ok(Arc::clone(s));
+        }
+        let sink = Arc::new(TextSink {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cap: self.cap,
+            dead: AtomicBool::new(false),
+            overflow: AtomicBool::new(false),
+            stream: self.stream.try_clone()?,
+        });
+        let psink = Arc::clone(&sink);
+        let pwriter = Arc::clone(writer);
+        self.pusher = Some(
+            std::thread::Builder::new()
+                .name("cc-sub-push".into())
+                .spawn(move || run_pusher(&psink, &pwriter))?,
+        );
+        self.sink = Some(Arc::clone(&sink));
+        Ok(sink)
+    }
+}
+
 /// Serves one text-protocol connection to completion. `prefix` replays
 /// the bytes the event-loop shard consumed while sniffing the protocol,
 /// so the handoff is invisible to the peer. A read timing out (the
 /// configured per-connection idle timeout, armed via `SO_RCVTIMEO` by
 /// the shard before handoff) closes with a typed `idle-timeout` reason.
+/// `sub_queue_cap` bounds the per-connection subscription push queue
+/// ([`crate::evloop::NetConfig::sub_queue_cap`]).
 pub(crate) fn handle_connection(
     stream: TcpStream,
     prefix: Vec<u8>,
     client: &Client,
     shared: &ServerShared,
+    sub_queue_cap: usize,
 ) -> std::io::Result<()> {
     let obs = client.observability();
     let mut guard = ConnGuard::new(Arc::clone(&obs));
-    let mut reader =
+    let reader =
         BufReader::new(std::io::Read::chain(std::io::Cursor::new(prefix), stream.try_clone()?));
-    let mut w = BufWriter::new(stream);
+    let writer = Arc::new(Mutex::new(BufWriter::new(stream.try_clone()?)));
+    let mut st =
+        SubConnState { stream, cap: sub_queue_cap, sink: None, pusher: None, subs: Vec::new() };
+    let res = serve_text(reader, &writer, client, shared, &obs, &mut guard, &mut st);
+    // Subscription teardown: ephemeral subscriptions die with the
+    // connection; durable ones detach and keep retaining for a later
+    // `SUB ATTACH`.
+    for (id, durable) in st.subs.drain(..) {
+        if durable {
+            client.detach_sub(id);
+        } else {
+            let _ = client.unsubscribe(id);
+        }
+    }
+    if let Some(sink) = st.sink.take() {
+        sink.dead.store(true, Ordering::Release);
+        sink.cv.notify_all();
+        if sink.overflow.load(Ordering::Acquire) {
+            guard.reason = CloseReason::SubOverflow;
+        }
+    }
+    if let Some(h) = st.pusher.take() {
+        let _ = h.join();
+    }
+    res
+}
+
+/// The request/reply loop of [`handle_connection`]. The writer is
+/// behind a mutex shared with the pusher thread; it is locked per
+/// request (after the line is read, so an idle connection never starves
+/// event pushes) and replies flush before the lock drops, keeping the
+/// reply-then-event order observable client-side.
+fn serve_text(
+    mut reader: BufReader<std::io::Chain<std::io::Cursor<Vec<u8>>, TcpStream>>,
+    writer: &Arc<Mutex<BufWriter<TcpStream>>>,
+    client: &Client,
+    shared: &ServerShared,
+    obs: &Arc<Obs>,
+    guard: &mut ConnGuard,
+    st: &mut SubConnState,
+) -> std::io::Result<()> {
     let mut line = String::new();
     loop {
         match read_bounded_line(&mut reader, &mut line) {
@@ -374,7 +622,8 @@ pub(crate) fn handle_connection(
             Ok(_) => {}
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 guard.reason = CloseReason::OversizedLine;
-                write_err(&mut w, &obs, e)?;
+                let mut w = writer.lock();
+                write_err(&mut w, obs, e)?;
                 return w.flush();
             }
             Err(e)
@@ -397,9 +646,10 @@ pub(crate) fn handle_connection(
                 obs.metrics.record_request(verb);
             }
         }
+        let mut w = writer.lock();
         match parsed {
             Err(msg) => {
-                write_err(&mut w, &obs, msg)?;
+                write_err(&mut w, obs, msg)?;
                 // A rejected `B` header is a framing error: the peer is
                 // about to stream body lines we cannot delimit, so
                 // interpreting them as top-level requests would both
@@ -412,16 +662,16 @@ pub(crate) fn handle_connection(
             }
             Ok(Request::Insert(u, v)) => match client.insert(u, v) {
                 Ok(()) => writeln!(w, "OK")?,
-                Err(e) => write_err(&mut w, &obs, e)?,
+                Err(e) => write_err(&mut w, obs, e)?,
             },
             Ok(Request::Delete(u, v)) => match client.delete(u, v) {
                 Ok(()) => writeln!(w, "OK")?,
-                Err(e) => write_err(&mut w, &obs, e)?,
+                Err(e) => write_err(&mut w, obs, e)?,
             },
             Ok(Request::Query(u, v)) => match client.query(u, v) {
                 // Exactly one bit, always: pre-QG clients parse this.
                 Ok(c) => writeln!(w, "{}", u8::from(c))?,
-                Err(e) => write_err(&mut w, &obs, e)?,
+                Err(e) => write_err(&mut w, obs, e)?,
             },
             Ok(Request::QueryGen(u, v)) => match client.query_gen(u, v) {
                 // Staleness honesty: when the answer came from a sealed
@@ -430,7 +680,7 @@ pub(crate) fn handle_connection(
                 // racing this request can never mislabel it.
                 Ok((c, Some(generation))) => writeln!(w, "{} G {generation}", u8::from(c))?,
                 Ok((c, None)) => writeln!(w, "{}", u8::from(c))?,
-                Err(e) => write_err(&mut w, &obs, e)?,
+                Err(e) => write_err(&mut w, obs, e)?,
             },
             Ok(Request::Batch(k)) => {
                 let mut ops = Vec::with_capacity(k.min(1 << 16));
@@ -447,7 +697,7 @@ pub(crate) fn handle_connection(
                             // Oversized body line: the batch framing is
                             // unrecoverable, same as a rejected header.
                             guard.reason = CloseReason::OversizedLine;
-                            write_err(&mut w, &obs, e)?;
+                            write_err(&mut w, obs, e)?;
                             return w.flush();
                         }
                         Err(e)
@@ -465,7 +715,7 @@ pub(crate) fn handle_connection(
                     }
                 }
                 if let Some(msg) = bad {
-                    write_err(&mut w, &obs, msg)?;
+                    write_err(&mut w, obs, msg)?;
                 } else {
                     match client.submit(ops) {
                         Ok(answers) => {
@@ -477,13 +727,13 @@ pub(crate) fn handle_connection(
                                 writeln!(w, "OK {bits}")?;
                             }
                         }
-                        Err(e) => write_err(&mut w, &obs, e)?,
+                        Err(e) => write_err(&mut w, obs, e)?,
                     }
                 }
             }
             Ok(Request::Label(v)) => match client.current_label(v) {
                 Ok(l) => writeln!(w, "L {l}")?,
-                Err(e) => write_err(&mut w, &obs, e)?,
+                Err(e) => write_err(&mut w, obs, e)?,
             },
             Ok(Request::Components) => writeln!(w, "C {}", client.num_components())?,
             Ok(Request::Topk(k)) => {
@@ -516,13 +766,13 @@ pub(crate) fn handle_connection(
             }
             Ok(Request::Size(v)) => match client.component_size(v) {
                 Ok((root, size)) => writeln!(w, "Z {size} root={root}")?,
-                Err(e) => write_err(&mut w, &obs, e)?,
+                Err(e) => write_err(&mut w, obs, e)?,
             },
             Ok(Request::Epoch) => writeln!(w, "E {}", client.epoch())?,
             Ok(Request::Wait(epoch, timeout_ms)) => {
                 match client.wait_for_epoch(epoch, Duration::from_millis(timeout_ms)) {
                     Ok(at) => writeln!(w, "E {at}")?,
-                    Err(e) => write_err(&mut w, &obs, e)?,
+                    Err(e) => write_err(&mut w, obs, e)?,
                 }
             }
             Ok(Request::Gen) => {
@@ -541,22 +791,22 @@ pub(crate) fn handle_connection(
             Ok(Request::Quiesce(timeout_ms)) => {
                 match client.quiesce(Duration::from_millis(timeout_ms)) {
                     Ok(generation) => writeln!(w, "G {generation}")?,
-                    Err(e) => write_err(&mut w, &obs, e)?,
+                    Err(e) => write_err(&mut w, obs, e)?,
                 }
             }
             Ok(Request::Role) => writeln!(w, "R {}", client.role())?,
             Ok(Request::Stats) => writeln!(w, "S {}", client.stats())?,
             Ok(Request::Flush) => match client.flush_wal() {
                 Ok(()) => writeln!(w, "OK")?,
-                Err(e) => write_err(&mut w, &obs, e)?,
+                Err(e) => write_err(&mut w, obs, e)?,
             },
             Ok(Request::Snapshot) => match client.durable_snapshot() {
                 Ok(epoch) => writeln!(w, "SNAP {epoch}")?,
-                Err(e) => write_err(&mut w, &obs, e)?,
+                Err(e) => write_err(&mut w, obs, e)?,
             },
             Ok(Request::WalStats) => match client.wal_stats() {
                 Ok(s) => writeln!(w, "W {s}")?,
-                Err(e) => write_err(&mut w, &obs, e)?,
+                Err(e) => write_err(&mut w, obs, e)?,
             },
             Ok(Request::Metrics) => {
                 for l in client.render_metrics() {
@@ -567,6 +817,56 @@ pub(crate) fn handle_connection(
             Ok(Request::Trace(n)) => {
                 for l in client.trace_events(n) {
                     writeln!(w, "{l}")?;
+                }
+                writeln!(w, "# EOF")?;
+            }
+            Ok(Request::Sub { component, u, v, durable }) => match st.ensure_sink(writer) {
+                Err(e) => write_err(&mut w, obs, e)?,
+                Ok(sink) => {
+                    let kind = if component { SubKind::Component } else { SubKind::Pair };
+                    match client.subscribe(kind, u, v, durable, Some(sink as Arc<dyn SubSink>)) {
+                        Ok((id, epoch)) => {
+                            st.subs.push((id, durable));
+                            writeln!(w, "S {id} {epoch}")?;
+                        }
+                        Err(e) => write_err(&mut w, obs, e)?,
+                    }
+                }
+            },
+            Ok(Request::SubAttach { id, after_seq }) => match st.ensure_sink(writer) {
+                Err(e) => write_err(&mut w, obs, e)?,
+                Ok(sink) => match client.attach_sub(id, after_seq, sink as Arc<dyn SubSink>) {
+                    Ok(_last_seq) => {
+                        st.subs.push((id, true));
+                        writeln!(w, "S {id} {}", client.epoch())?;
+                    }
+                    Err(e) => write_err(&mut w, obs, e)?,
+                },
+            },
+            Ok(Request::Unsub(id)) => match client.unsubscribe(id) {
+                Ok(()) => {
+                    st.subs.retain(|&(sid, _)| sid != id);
+                    writeln!(w, "OK")?;
+                }
+                Err(e) => write_err(&mut w, obs, e)?,
+            },
+            Ok(Request::Subs) => {
+                for s in client.subs_info() {
+                    let kind = match s.kind {
+                        SubKind::Pair => "PAIR",
+                        SubKind::Component => "COMPONENT",
+                    };
+                    writeln!(
+                        w,
+                        "{} {} {} {} {} {} {}",
+                        s.id,
+                        kind,
+                        s.u,
+                        s.v,
+                        s.registered_epoch,
+                        u8::from(s.durable),
+                        u8::from(s.fired)
+                    )?;
                 }
                 writeln!(w, "# EOF")?;
             }
@@ -589,9 +889,46 @@ pub(crate) fn handle_connection(
 
 /// A blocking client for the line protocol, used by the load generator,
 /// the end-to-end tests, and anyone scripting against `connectit-serve`.
+///
+/// Subscription push lines (`! EVT …`) can arrive between replies; every
+/// read path stashes them into an internal queue — drain it with
+/// [`TcpClient::take_events`], or block for fresh ones with
+/// [`TcpClient::poll_events`].
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    events: VecDeque<SubEvent>,
+    /// Bytes of a line cut short by a [`TcpClient::poll_events`] read
+    /// timeout, re-prefixed to the next read so no byte is ever lost.
+    partial: String,
+}
+
+/// Parses one `! EVT …` push line back into a [`SubEvent`].
+fn parse_event_line(line: &str) -> Option<SubEvent> {
+    let rest = line.strip_prefix("! EVT ")?;
+    let mut it = rest.split_whitespace();
+    let id = it.next()?.parse().ok()?;
+    let seq = it.next()?.parse().ok()?;
+    let epoch = it.next()?.parse().ok()?;
+    let generation = it.next()?.parse().ok()?;
+    let (kind, u, v) = match it.next()? {
+        "PAIR" => {
+            let u = it.next()?.parse().ok()?;
+            let v = it.next()?.parse().ok()?;
+            (SubKind::Pair, u, v)
+        }
+        "COMPONENT" => {
+            let v: u32 = it.next()?.parse().ok()?;
+            (SubKind::Component, v, v)
+        }
+        _ => return None,
+    };
+    let root = it.next()?.strip_prefix("root=")?.parse().ok()?;
+    let size = it.next()?.strip_prefix("size=")?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(SubEvent { id, kind, u, v, root, size, epoch, generation, seq })
 }
 
 fn proto_err(msg: impl Into<String>) -> std::io::Error {
@@ -616,19 +953,44 @@ impl TcpClient {
         Ok(TcpClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            events: VecDeque::new(),
+            partial: String::new(),
         })
     }
 
-    fn read_reply(&mut self) -> std::io::Result<String> {
-        let mut line = String::new();
+    /// Reads one complete line, resuming any partial line a
+    /// [`TcpClient::poll_events`] timeout left behind.
+    fn next_line(&mut self) -> std::io::Result<String> {
+        let mut line = std::mem::take(&mut self.partial);
         if self.reader.read_line(&mut line)? == 0 {
-            return Err(proto_err("connection closed by server"));
+            if line.is_empty() {
+                return Err(proto_err("connection closed by server"));
+            }
+            return Err(proto_err("connection closed mid-line"));
         }
-        let line = line.trim_end().to_string();
-        if let Some(msg) = line.strip_prefix("ERR ") {
-            return Err(proto_err(format!("server error: {msg}")));
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Validates and stashes one `! `-prefixed push line.
+    fn stash_event_line(&mut self, line: &str) -> std::io::Result<()> {
+        let ev = parse_event_line(line)
+            .ok_or_else(|| proto_err(format!("unexpected push line {line:?}")))?;
+        self.events.push_back(ev);
+        Ok(())
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<String> {
+        loop {
+            let line = self.next_line()?;
+            if line.starts_with("! ") {
+                self.stash_event_line(&line)?;
+                continue;
+            }
+            if let Some(msg) = line.strip_prefix("ERR ") {
+                return Err(proto_err(format!("server error: {msg}")));
+            }
+            return Ok(line);
         }
-        Ok(line)
     }
 
     fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
@@ -884,13 +1246,18 @@ impl TcpClient {
     /// terminator; the terminator is consumed and not returned.
     fn read_multiline(&mut self) -> std::io::Result<Vec<String>> {
         let mut out = Vec::new();
-        let mut line = String::new();
         loop {
-            line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(proto_err("connection closed mid-dump (no `# EOF`)"));
+            let line = match self.next_line() {
+                Ok(line) => line,
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    return Err(proto_err("connection closed mid-dump (no `# EOF`)"));
+                }
+                Err(e) => return Err(e),
+            };
+            if line.starts_with("! ") {
+                self.stash_event_line(&line)?;
+                continue;
             }
-            let line = line.trim_end();
             if line == "# EOF" {
                 return Ok(out);
             }
@@ -935,6 +1302,107 @@ impl TcpClient {
             other => Err(proto_err(format!("unexpected reply {other:?}"))),
         }
     }
+
+    fn parse_sub_reply(r: &str) -> std::io::Result<(u64, u64)> {
+        let rest =
+            r.strip_prefix("S ").ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))?;
+        let (id, epoch) =
+            rest.split_once(' ').ok_or_else(|| proto_err(format!("unexpected reply {r:?}")))?;
+        match (id.parse(), epoch.parse()) {
+            (Ok(id), Ok(epoch)) => Ok((id, epoch)),
+            _ => Err(proto_err(format!("unexpected reply {r:?}"))),
+        }
+    }
+
+    /// `SUB u v [DURABLE]`: returns `(id, registration_epoch)`.
+    pub fn subscribe_pair(&mut self, u: u32, v: u32, durable: bool) -> std::io::Result<(u64, u64)> {
+        let req = if durable { format!("SUB {u} {v} DURABLE") } else { format!("SUB {u} {v}") };
+        let r = self.roundtrip(&req)?;
+        Self::parse_sub_reply(&r)
+    }
+
+    /// `SUB COMPONENT v [DURABLE]`: returns `(id, registration_epoch)`.
+    pub fn subscribe_component(&mut self, v: u32, durable: bool) -> std::io::Result<(u64, u64)> {
+        let req = if durable {
+            format!("SUB COMPONENT {v} DURABLE")
+        } else {
+            format!("SUB COMPONENT {v}")
+        };
+        let r = self.roundtrip(&req)?;
+        Self::parse_sub_reply(&r)
+    }
+
+    /// `SUB ATTACH id [after_seq]`: re-binds this connection to a
+    /// durable subscription; the server replays retained events with
+    /// `seq > after_seq` (they land in the event queue). Returns
+    /// `(id, epoch)`.
+    pub fn attach_sub(&mut self, id: u64, after_seq: u64) -> std::io::Result<(u64, u64)> {
+        let r = self.roundtrip(&format!("SUB ATTACH {id} {after_seq}"))?;
+        Self::parse_sub_reply(&r)
+    }
+
+    /// `UNSUB id`.
+    pub fn unsubscribe(&mut self, id: u64) -> std::io::Result<()> {
+        match self.roundtrip(&format!("UNSUB {id}"))?.as_str() {
+            "OK" => Ok(()),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// `SUBS`: the raw subscription-list lines (`# EOF` stripped).
+    pub fn subs(&mut self) -> std::io::Result<Vec<String>> {
+        writeln!(self.writer, "SUBS")?;
+        self.writer.flush()?;
+        self.read_multiline()
+    }
+
+    /// Drains the already-stashed push events without touching the wire.
+    pub fn take_events(&mut self) -> Vec<SubEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Blocks up to `timeout` for push events: returns stashed ones
+    /// immediately, otherwise reads the socket under a read timeout.
+    /// Must only be called with no request in flight (the only lines
+    /// that can arrive are pushes). An empty result means the timeout
+    /// lapsed quietly.
+    pub fn poll_events(&mut self, timeout: Duration) -> std::io::Result<Vec<SubEvent>> {
+        let deadline = Instant::now() + timeout;
+        while self.events.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            self.reader.get_ref().set_read_timeout(Some(deadline - now))?;
+            let mut line = std::mem::take(&mut self.partial);
+            let res = self.reader.read_line(&mut line);
+            self.reader.get_ref().set_read_timeout(None)?;
+            match res {
+                Ok(0) => return Err(proto_err("connection closed by server")),
+                Ok(_) if line.ends_with('\n') => {
+                    let t = line.trim_end();
+                    if !t.is_empty() {
+                        if let Some(msg) = t.strip_prefix("ERR ") {
+                            return Err(proto_err(format!("server error: {msg}")));
+                        }
+                        self.stash_event_line(t)?;
+                    }
+                }
+                Ok(_) => return Err(proto_err("connection closed mid-line")),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Keep whatever bytes arrived before the timeout; the
+                    // next read resumes the line.
+                    self.partial = line;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.events.drain(..).collect())
+    }
 }
 
 #[cfg(test)]
@@ -961,6 +1429,36 @@ mod tests {
         assert!(parse_request("SIZE").is_err());
         assert!(parse_request("SIZE x").is_err());
         assert!(parse_request("SIZE 9 1").is_err());
+        assert_eq!(
+            parse_request("SUB 1 2"),
+            Ok(Request::Sub { component: false, u: 1, v: 2, durable: false })
+        );
+        assert_eq!(
+            parse_request("SUB 1 2 DURABLE"),
+            Ok(Request::Sub { component: false, u: 1, v: 2, durable: true })
+        );
+        assert_eq!(
+            parse_request("SUB COMPONENT 7"),
+            Ok(Request::Sub { component: true, u: 7, v: 7, durable: false })
+        );
+        assert_eq!(
+            parse_request("SUB COMPONENT 7 DURABLE"),
+            Ok(Request::Sub { component: true, u: 7, v: 7, durable: true })
+        );
+        assert_eq!(parse_request("SUB ATTACH 3"), Ok(Request::SubAttach { id: 3, after_seq: 0 }));
+        assert_eq!(parse_request("SUB ATTACH 3 9"), Ok(Request::SubAttach { id: 3, after_seq: 9 }));
+        assert!(parse_request("SUB").is_err());
+        assert!(parse_request("SUB 1").is_err());
+        assert!(parse_request("SUB 1 2 FOREVER").is_err());
+        assert!(parse_request("SUB 1 2 DURABLE 3").is_err());
+        assert!(parse_request("SUB COMPONENT").is_err());
+        assert!(parse_request("SUB ATTACH x").is_err());
+        assert_eq!(parse_request("UNSUB 5"), Ok(Request::Unsub(5)));
+        assert!(parse_request("UNSUB").is_err());
+        assert!(parse_request("UNSUB x").is_err());
+        assert!(parse_request("UNSUB 5 6").is_err());
+        assert_eq!(parse_request("SUBS"), Ok(Request::Subs));
+        assert!(parse_request("SUBS 1").is_err());
         assert_eq!(parse_request("  PING "), Ok(Request::Ping));
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
         assert_eq!(parse_request("FLUSH"), Ok(Request::Flush));
@@ -995,6 +1493,39 @@ mod tests {
         assert!(parse_request("NOPE").is_err());
         assert!(parse_request("B 99999999999").is_err());
         assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn event_line_grammar() {
+        let ev = parse_event_line("! EVT 3 1 42 2 PAIR 5 9 root=5 size=4").unwrap();
+        assert_eq!(
+            (ev.id, ev.seq, ev.epoch, ev.generation, ev.kind, ev.u, ev.v, ev.root, ev.size),
+            (3, 1, 42, 2, SubKind::Pair, 5, 9, 5, 4)
+        );
+        let ev = parse_event_line("! EVT 8 2 7 0 COMPONENT 11 root=4 size=12").unwrap();
+        assert_eq!(
+            (ev.id, ev.seq, ev.epoch, ev.generation, ev.kind, ev.v, ev.root, ev.size),
+            (8, 2, 7, 0, SubKind::Component, 11, 4, 12)
+        );
+        assert!(parse_event_line("! EVT 3 1 42 2 PAIR 5").is_none());
+        assert!(parse_event_line("! EVT 3 1 42 2 WEIRD 5 9 root=5 size=4").is_none());
+        assert!(parse_event_line("! PING").is_none());
+    }
+
+    #[test]
+    fn text_verbs_cover_the_parser() {
+        // Every exported verb must parse to *something* other than
+        // "unknown command" (arguments may still be required).
+        for verb in TEXT_VERBS {
+            let err = parse_request(verb).err();
+            if let Some(msg) = err {
+                assert!(
+                    !msg.starts_with("unknown command"),
+                    "exported verb {verb} not accepted: {msg}"
+                );
+            }
+        }
+        assert!(parse_request("NOPE").unwrap_err().starts_with("unknown command"));
     }
 
     #[test]

@@ -100,7 +100,7 @@ impl Gauge {
 
 /// Protocol verbs with a per-verb request counter, in export order.
 /// `METRICS` and `TRACE` count themselves like any other verb.
-pub const VERB_NAMES: [&str; 24] = [
+pub const VERB_NAMES: [&str; 27] = [
     "I",
     "D",
     "Q",
@@ -125,6 +125,9 @@ pub const VERB_NAMES: [&str; 24] = [
     "TOPK",
     "HIST",
     "SIZE",
+    "SUB",
+    "UNSUB",
+    "SUBS",
 ];
 
 /// Per-follower replication telemetry, registered by the hub's sender
@@ -187,6 +190,10 @@ pub struct Metrics {
     pub gen_dirty: Gauge,
     pub rebuild_duration_ns: LatencyHist,
     pub rebuild_drained_ops: LatencyHist,
+    // subs plane
+    pub subs_active: Gauge,
+    pub sub_events_total: Counter,
+    pub sub_fire_ns: LatencyHist,
     // net plane
     pub connections_total: Counter,
     pub connections_live: Gauge,
@@ -250,6 +257,9 @@ impl Metrics {
             gen_dirty: Gauge::default(),
             rebuild_duration_ns: LatencyHist::new(),
             rebuild_drained_ops: LatencyHist::new(),
+            subs_active: Gauge::default(),
+            sub_events_total: Counter::default(),
+            sub_fire_ns: LatencyHist::new(),
             connections_total: Counter::default(),
             connections_live: Gauge::default(),
             request_errors_total: Counter::default(),
@@ -377,6 +387,10 @@ impl Metrics {
         gauge(&mut out, "gen_dirty", &self.gen_dirty);
         summary(&mut out, "rebuild_duration_ns", &self.rebuild_duration_ns);
         summary(&mut out, "rebuild_drained_ops", &self.rebuild_drained_ops);
+
+        gauge(&mut out, "subs_active", &self.subs_active);
+        counter(&mut out, "sub_events_total", &self.sub_events_total);
+        summary(&mut out, "sub_fire_ns", &self.sub_fire_ns);
 
         counter(&mut out, "connections_total", &self.connections_total);
         gauge(&mut out, "connections_live", &self.connections_live);

@@ -61,6 +61,10 @@ pub enum CloseReason {
     /// Binary stream damage: bad magic, CRC mismatch, oversized or
     /// short-headered frame.
     BadFrame,
+    /// The connection's subscription push queue overflowed (slow
+    /// consumer): the connection is dropped rather than silently losing
+    /// events; durable subscriptions retain for a later `SUB ATTACH`.
+    SubOverflow,
 }
 
 impl CloseReason {
@@ -75,6 +79,7 @@ impl CloseReason {
             CloseReason::IoError => 6,
             CloseReason::IdleTimeout => 7,
             CloseReason::BadFrame => 8,
+            CloseReason::SubOverflow => 9,
         }
     }
 
@@ -88,6 +93,7 @@ impl CloseReason {
             5 => "truncated-batch",
             7 => "idle-timeout",
             8 => "bad-frame",
+            9 => "sub-overflow",
             _ => "io-error",
         }
     }
@@ -167,6 +173,14 @@ pub enum Event {
         /// Why the handler returned.
         reason: CloseReason,
     },
+    /// A subscription event was dispatched (sequence assigned, pushed to
+    /// its sink or retained for replay).
+    SubFired {
+        /// The subscription id.
+        id: u64,
+        /// Epoch the event was stamped with.
+        epoch: u64,
+    },
 }
 
 impl Event {
@@ -183,6 +197,7 @@ impl Event {
             Event::FollowerCaughtUp { id, epoch } => (9, id, epoch),
             Event::FollowerPruned { id } => (10, id, 0),
             Event::ConnClosed { reason } => (11, reason.code(), 0),
+            Event::SubFired { id, epoch } => (12, id, epoch),
         }
     }
 }
@@ -216,6 +231,7 @@ impl fmt::Display for TraceEntry {
             9 => write!(f, "FollowerCaughtUp follower={a} epoch={b}"),
             10 => write!(f, "FollowerPruned follower={a}"),
             11 => write!(f, "ConnClosed reason={}", CloseReason::from_code(a)),
+            12 => write!(f, "SubFired sub={a} epoch={b}"),
             k => write!(f, "Unknown kind={k} a={a} b={b}"),
         }
     }
@@ -393,6 +409,8 @@ mod tests {
             Event::ConnClosed { reason: CloseReason::Quit },
             Event::ConnClosed { reason: CloseReason::IdleTimeout },
             Event::ConnClosed { reason: CloseReason::BadFrame },
+            Event::ConnClosed { reason: CloseReason::SubOverflow },
+            Event::SubFired { id: 4, epoch: 11 },
         ] {
             r.record(ev);
         }
@@ -411,6 +429,8 @@ mod tests {
             "ConnClosed reason=quit",
             "ConnClosed reason=idle-timeout",
             "ConnClosed reason=bad-frame",
+            "ConnClosed reason=sub-overflow",
+            "SubFired sub=4 epoch=11",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

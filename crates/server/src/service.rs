@@ -23,6 +23,7 @@ use crate::engine::{EngineError, ExecMode, RunMode};
 use crate::generation::{GenInfo, GenerationEngine};
 use crate::obs::{self, Event, Obs};
 use crate::snapshot;
+use crate::subs::{AttachError, PendingEvent, SubInfo, SubKind, SubSink, SubWalOp, SubsDispatch};
 use crate::wal::{DurabilityConfig, Wal, WalError, WalStats};
 use cc_unionfind::UfSpec;
 use connectit::Update;
@@ -162,6 +163,13 @@ pub enum ServiceError {
         /// The generation still serving when the wait gave up.
         at: u64,
     },
+    /// An `UNSUB` or `SUB ATTACH` referenced a subscription id this
+    /// service does not hold (never issued, already cancelled, or — for
+    /// an ephemeral subscription — dropped with its connection).
+    UnknownSubscription {
+        /// The offending subscription id.
+        id: u64,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -184,6 +192,9 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::QuiesceTimeout { at } => {
                 write!(f, "quiesce timed out at generation {at}")
+            }
+            ServiceError::UnknownSubscription { id } => {
+                write!(f, "unknown subscription id {id}")
             }
         }
     }
@@ -373,6 +384,15 @@ struct Inner {
     /// engines, the read path against them — phase-concurrent engines do
     /// not take concurrent queries during an insert batch).
     apply_mx: Mutex<()>,
+    /// Per-subscription delivery channels (sequence numbers, retained
+    /// events for detached durable subscribers, and the live sinks).
+    /// The trigger *index* lives in the engine; this is the fan-out side.
+    subs: SubsDispatch,
+    /// Serializes [`Inner::drain_sub_events`]: draining reads the fire
+    /// buffer and hands events to the dispatcher in one critical
+    /// section, so two concurrent drains cannot reorder deliveries
+    /// within a subscription.
+    sub_drain_mx: Mutex<()>,
     /// Every epoch advance notifies waiters (`WAIT <epoch>`).
     epoch_mx: Mutex<()>,
     epoch_cv: Condvar,
@@ -439,6 +459,61 @@ impl Inner {
         }
     }
 
+    /// Drains buffered subscription fires out of the engine and hands
+    /// them to the per-subscription channels. Fires not pre-stamped
+    /// (by a registration or a rebuild commit) are stamped with the
+    /// service epoch read *here* — after the batch that produced them
+    /// advanced it — so every event carries the exact epoch its merge
+    /// committed at. Only epoch-authoritative callers may use this:
+    /// the batcher right after publishing, and the follower apply
+    /// paths at their replicated epoch.
+    fn drain_sub_events(&self) {
+        if !self.engine.has_sub_fires() {
+            return;
+        }
+        let _g = self.sub_drain_mx.lock();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let fires = self.engine.drain_sub_fires(epoch);
+        self.deliver_sub_fires(fires);
+    }
+
+    /// Prompt-path drain, for delivering a registration-time fire
+    /// without waiting on the batcher: it only drains when every
+    /// buffered fire is already stamped. A concurrently applied but
+    /// not-yet-published batch leaves unstamped merge fires in the
+    /// buffer, and stamping those with the still-old committed epoch
+    /// would violate the delivery contract — in that case the whole
+    /// buffer (registration fire included, order preserved) is left
+    /// for the batcher's imminent post-publish drain.
+    fn drain_sub_events_prompt(&self) {
+        if !self.engine.has_sub_fires() {
+            return;
+        }
+        let _g = self.sub_drain_mx.lock();
+        let fires = self.engine.drain_sub_fires_stamped();
+        self.deliver_sub_fires(fires);
+    }
+
+    /// Delivery tail shared by both drains: hands stamped fires to the
+    /// per-subscription channels. Dead ephemeral subscribers found
+    /// during delivery are cancelled so their triggers stop costing
+    /// the merge path.
+    fn deliver_sub_fires(&self, fires: Vec<PendingEvent>) {
+        if fires.is_empty() {
+            return;
+        }
+        let metrics = &self.obs.metrics;
+        let dead = self.subs.deliver(&fires, |ev, at| {
+            metrics.sub_events_total.inc();
+            metrics.sub_fire_ns.record_duration(at.elapsed());
+            self.obs.recorder.record(Event::SubFired { id: ev.id, epoch: ev.epoch });
+        });
+        for id in dead {
+            self.engine.subs_cancel(id);
+        }
+        metrics.subs_active.set(self.engine.subs_len() as u64);
+    }
+
     /// Writes a durable snapshot — the labeling *and* the live edge set,
     /// a consistent pair — keyed by `epoch`. Called only from the batcher
     /// between batches, so no new operations race it; a generation
@@ -473,6 +548,23 @@ impl Inner {
             let mut w = w.lock();
             w.roll()?;
             w.prune_covered_by(epoch);
+            // The snapshot covers *edges*, not subscriptions: pruning
+            // just dropped the segments holding the `'S'` records, so
+            // re-register every live durable subscription into the fresh
+            // active segment (at its original registration epoch —
+            // recovery replays these by id, so repeats are idempotent).
+            for sub in self.engine.subs_list() {
+                if !sub.durable {
+                    continue;
+                }
+                w.append_sub(&SubWalOp::Register {
+                    id: sub.id,
+                    kind: sub.kind,
+                    u: sub.u,
+                    v: sub.v,
+                    epoch: sub.registered_epoch,
+                })?;
+            }
         }
         Ok(true)
     }
@@ -506,6 +598,10 @@ fn run_batcher(inner: &Arc<Inner>) {
                     // ride along to the trace file on the same cadence.
                     drop(q);
                     inner.maybe_sync_wal();
+                    // A rebuild commit may have landed fires while the
+                    // queue sat empty; push them out now rather than at
+                    // the next batch.
+                    inner.drain_sub_events();
                     if last_trace_flush.elapsed() >= TRACE_FLUSH_INTERVAL {
                         inner.flush_trace();
                         last_trace_flush = Instant::now();
@@ -613,6 +709,9 @@ fn run_batcher(inner: &Arc<Inner>) {
         // Advance the analytics view to this batch's epoch (deferred to
         // the rebuild commit while the engine is dirty).
         inner.engine.publish_analytics(epoch);
+        // Push out any subscription fires this batch's merges produced,
+        // stamped with the epoch that just advanced.
+        inner.drain_sub_events();
         if inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(inner.cfg.snapshot_every) {
             let publish_start = Instant::now();
             inner.publish_snapshot(epoch);
@@ -732,6 +831,7 @@ impl Service {
         let mut snap_epoch = 0u64;
         let mut wal = None;
         let mut trace_path = None;
+        let subs_dispatch = SubsDispatch::new();
         if let Some(dcfg) = &cfg.durability {
             // Scan (and re-open) the log first — this also creates the
             // directory — then seed from the newest snapshot and replay
@@ -782,6 +882,36 @@ impl Service {
                 }
                 recovered_epoch = recovered_epoch.max(*epoch);
             }
+            // Replay durable subscriptions before `finish_recovery`: the
+            // triggers register unarmed (labels are not final yet) and
+            // the recovery commit re-evaluates every pending pair
+            // against the recovered labeling, so a pair that connected
+            // while the subscriber was down still fires on restart.
+            let mut max_sub_id = 0u64;
+            for op in &report.sub_ops {
+                match *op {
+                    SubWalOp::Register { id, kind, u, v, epoch } => {
+                        for x in [u, v] {
+                            if x as usize >= cfg.n {
+                                return Err(ServiceError::Config(format!(
+                                    "wal subscription {id} references vertex {x} but the \
+                                     service was started with n = {}; restart with the \
+                                     original vertex count",
+                                    cfg.n
+                                )));
+                            }
+                        }
+                        engine.subs_register_recovered(id, kind, u, v, epoch);
+                        subs_dispatch.open(id, true, None);
+                        max_sub_id = max_sub_id.max(id);
+                    }
+                    SubWalOp::Cancel { id } => {
+                        engine.subs_cancel(id);
+                        subs_dispatch.close(id);
+                    }
+                }
+            }
+            subs_dispatch.bump_next_id(max_sub_id + 1);
             engine.finish_recovery();
             let mut w = w;
             w.attach_obs(Arc::clone(&obs));
@@ -818,6 +948,7 @@ impl Service {
         // Stamp the analytics view with the recovered epoch so TOPK/HIST
         // report an honest starting point.
         engine.publish_analytics(recovered_epoch);
+        obs.metrics.subs_active.set(engine.subs_len() as u64);
         let inner = Arc::new(Inner {
             engine,
             cfg,
@@ -831,6 +962,8 @@ impl Service {
             durable_snapshot_epoch: AtomicU64::new(snap_epoch),
             last_wal_error: Mutex::new(None),
             apply_mx: Mutex::new(()),
+            subs: subs_dispatch,
+            sub_drain_mx: Mutex::new(()),
             epoch_mx: Mutex::new(()),
             epoch_cv: Condvar::new(),
             closed: std::sync::atomic::AtomicBool::new(false),
@@ -1135,6 +1268,7 @@ impl Client {
         // The follower tails the same history, so its analytics view
         // converges at the honestly-replicated epoch.
         self.inner.engine.publish_analytics(epoch);
+        self.inner.drain_sub_events();
         if self.inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(self.inner.cfg.snapshot_every)
         {
             self.inner.publish_snapshot(epoch);
@@ -1214,6 +1348,10 @@ impl Client {
         // Same contract as the edge-set bootstrap: the analytics view
         // advances with every applied replicated batch.
         self.inner.engine.publish_analytics(epoch);
+        // A follower serves subscriptions off the replicated stream: the
+        // merges this apply produced fire at the honestly-replicated
+        // epoch just reached.
+        self.inner.drain_sub_events();
         if self.inner.cfg.snapshot_every > 0 && epoch.is_multiple_of(self.inner.cfg.snapshot_every)
         {
             self.inner.publish_snapshot(epoch);
@@ -1243,6 +1381,120 @@ impl Client {
             }
             self.inner.epoch_cv.wait_for(&mut g, deadline - now);
         }
+    }
+
+    /// Registers a subscription (the `SUB` verb): `kind` selects a pair
+    /// trigger (`u`/`v` — fire once when they connect) or a component
+    /// trigger (`v` watched, `u` ignored — fire on every identity change
+    /// of `v`'s component). `sink` receives pushed events (`None`
+    /// registers detached, as recovery does); `durable` logs an `'S'`
+    /// record so the subscription survives restarts — it requires the
+    /// WAL and is therefore a primary-only option. Returns the assigned
+    /// id and the registration epoch; a pair already connected at
+    /// registration fires immediately (at that epoch).
+    pub fn subscribe(
+        &self,
+        kind: SubKind,
+        u: u32,
+        v: u32,
+        durable: bool,
+        sink: Option<Arc<dyn SubSink>>,
+    ) -> Result<(u64, u64), ServiceError> {
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(ServiceError::Closed);
+        }
+        let n = self.num_vertices();
+        let endpoints: &[u32] = match kind {
+            SubKind::Pair => &[u, v],
+            SubKind::Component => &[v],
+        };
+        for &x in endpoints {
+            if x as usize >= n {
+                return Err(ServiceError::VertexOutOfRange { v: x, n });
+            }
+        }
+        if durable && self.inner.wal.is_none() {
+            return Err(ServiceError::DurabilityDisabled);
+        }
+        let id = self.inner.subs.reserve();
+        // Channel before trigger: a registration-time fire must find its
+        // delivery channel already open.
+        self.inner.subs.open(id, durable, sink);
+        let epoch = self.epoch();
+        if durable {
+            let res = self
+                .inner
+                .wal
+                .as_ref()
+                .expect("checked above")
+                .lock()
+                .append_sub(&SubWalOp::Register { id, kind, u, v, epoch });
+            if let Err(e) = res {
+                self.inner.subs.close(id);
+                let err = ServiceError::from(e);
+                self.inner.note_wal_error(&err.to_string());
+                return Err(err);
+            }
+        }
+        self.inner.engine.subs_register(id, kind, u, v, durable, epoch);
+        self.inner.obs.metrics.subs_active.set(self.inner.engine.subs_len() as u64);
+        // Deliver a registration-time fire (already-connected pair)
+        // promptly instead of waiting for the next batch — but never
+        // stamp another batch's in-flight fires with a stale epoch.
+        self.inner.drain_sub_events_prompt();
+        Ok((id, epoch))
+    }
+
+    /// Cancels a subscription (the `UNSUB` verb). Durable cancellations
+    /// log an `'S'` cancel record (best effort — the trigger is gone
+    /// either way; a failure is surfaced through `WALSTATS` and at worst
+    /// re-registers a one-shot trigger on recovery).
+    pub fn unsubscribe(&self, id: u64) -> Result<(), ServiceError> {
+        let Some(durable) = self.inner.engine.subs_cancel(id) else {
+            return Err(ServiceError::UnknownSubscription { id });
+        };
+        if durable {
+            if let Some(w) = &self.inner.wal {
+                if let Err(e) = w.lock().append_sub(&SubWalOp::Cancel { id }) {
+                    self.inner.note_wal_error(&e.to_string());
+                }
+            }
+        }
+        self.inner.subs.close(id);
+        self.inner.obs.metrics.subs_active.set(self.inner.engine.subs_len() as u64);
+        Ok(())
+    }
+
+    /// Re-binds a sink to a durable subscription (the `SUB ATTACH` verb)
+    /// and replays retained events with sequence numbers past
+    /// `after_seq` — the resume path after a subscriber crash. Returns
+    /// the highest sequence number assigned to the subscription so far.
+    pub fn attach_sub(
+        &self,
+        id: u64,
+        after_seq: u64,
+        sink: Arc<dyn SubSink>,
+    ) -> Result<u64, ServiceError> {
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(ServiceError::Closed);
+        }
+        match self.inner.subs.attach(id, after_seq, sink) {
+            Ok(last_seq) => Ok(last_seq),
+            Err(AttachError::Unknown) => Err(ServiceError::UnknownSubscription { id }),
+        }
+    }
+
+    /// Detaches the sink from a subscription without cancelling it: the
+    /// connection-close path. A durable subscription keeps retaining
+    /// events for a later [`Client::attach_sub`]; an ephemeral one
+    /// should be [`Client::unsubscribe`]d instead.
+    pub fn detach_sub(&self, id: u64) {
+        self.inner.subs.detach(id);
+    }
+
+    /// Lists the live subscriptions (the `SUBS` verb), id-ascending.
+    pub fn subs_info(&self) -> Vec<SubInfo> {
+        self.inner.engine.subs_list()
     }
 
     /// This service's replication role.

@@ -13,6 +13,16 @@
 //! - [`REC_OPS`] (`'D'`) — a deletion-bearing batch; the body is
 //!   [`encode_update_batch`] `(epoch, ops)`, preserving the in-batch
 //!   order of inserts and deletes (queries are never durable).
+//! - [`REC_SUB`] (`'S'`) — a durable subscription registration or
+//!   cancellation ([`encode_sub_record`]): id, kind, pair, and the
+//!   committed epoch at registration. Sub records are interleaved with
+//!   batch records in append order but carry their *own* epoch stamp
+//!   (a registration races batch appends in either direction), so they
+//!   are exempt from the batch records' strict epoch monotonicity and
+//!   are surfaced separately by recovery
+//!   ([`RecoveryReport::sub_ops`]). The replication cursor skips them:
+//!   followers learn subscriptions from their own clients, never from
+//!   the primary's WAL.
 //!
 //! Segments written before the kind byte existed carry the magic
 //! `CCWALS01` and hold raw edge-batch bodies (insert-only histories by
@@ -59,6 +69,7 @@
 //! Appends always go to a fresh segment, never after a torn tail.
 
 use crate::obs::{Event, Obs};
+use crate::subs::{SubKind, SubWalOp};
 use cc_graph::io::binary::{self, CodecError};
 use connectit::Update;
 use std::fs::{File, OpenOptions};
@@ -80,6 +91,14 @@ pub const WAL_MAGIC_V1: &[u8; 8] = b"CCWALS01";
 pub const REC_INSERTS: u8 = b'I';
 /// Record kind byte: deletion-bearing batch (update-batch body).
 pub const REC_OPS: u8 = b'D';
+/// Record kind byte: durable subscription register/cancel
+/// ([`encode_sub_record`] body).
+pub const REC_SUB: u8 = b'S';
+
+/// Sub-record op byte: register.
+const SUB_OP_REGISTER: u8 = 0;
+/// Sub-record op byte: cancel.
+const SUB_OP_CANCEL: u8 = 1;
 
 /// Op tag inside an [`encode_update_batch`] body: insert.
 const OP_INSERT: u8 = b'I';
@@ -137,6 +156,59 @@ pub fn decode_update_batch(payload: &[u8], offset: u64) -> Result<(u64, Vec<Upda
         });
     }
     Ok((epoch, ops))
+}
+
+/// Encodes a durable subscription operation as a full [`REC_SUB`] WAL
+/// record payload (kind byte included): `'S', op (u8)`, `id (u64 LE)`,
+/// and for a registration additionally `kind (u8: 0 pair, 1 component)`,
+/// `u (u32 LE)`, `v (u32 LE)`, `epoch (u64 LE)` — the committed epoch at
+/// registration time, which is where replay resumes the trigger from.
+pub fn encode_sub_record(op: &SubWalOp) -> Vec<u8> {
+    match *op {
+        SubWalOp::Register { id, kind, u, v, epoch } => {
+            let mut out = Vec::with_capacity(27);
+            out.push(REC_SUB);
+            out.push(SUB_OP_REGISTER);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(kind.code());
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out
+        }
+        SubWalOp::Cancel { id } => {
+            let mut out = Vec::with_capacity(10);
+            out.push(REC_SUB);
+            out.push(SUB_OP_CANCEL);
+            out.extend_from_slice(&id.to_le_bytes());
+            out
+        }
+    }
+}
+
+/// Decodes an [`encode_sub_record`] payload (kind byte included);
+/// `offset` is the enclosing record's byte offset, for error context.
+pub fn decode_sub_record(payload: &[u8], offset: u64) -> Result<SubWalOp, CodecError> {
+    let bad = |reason: String| CodecError::BadPayload { offset, reason };
+    if payload.first() != Some(&REC_SUB) || payload.len() < 10 {
+        return Err(bad(format!(
+            "sub record needs >= 10 bytes with kind 'S', have {}",
+            payload.len()
+        )));
+    }
+    let id = u64::from_le_bytes(payload[2..10].try_into().expect("8 bytes"));
+    match payload[1] {
+        SUB_OP_CANCEL if payload.len() == 10 => Ok(SubWalOp::Cancel { id }),
+        SUB_OP_REGISTER if payload.len() == 27 => {
+            let kind = SubKind::from_code(payload[10])
+                .ok_or_else(|| bad(format!("unknown subscription kind {:?}", payload[10])))?;
+            let u = u32::from_le_bytes(payload[11..15].try_into().expect("4 bytes"));
+            let v = u32::from_le_bytes(payload[15..19].try_into().expect("4 bytes"));
+            let epoch = u64::from_le_bytes(payload[19..27].try_into().expect("8 bytes"));
+            Ok(SubWalOp::Register { id, kind, u, v, epoch })
+        }
+        op => Err(bad(format!("bad sub record: op {op:?} with {} bytes", payload.len()))),
+    }
 }
 
 /// Builds one WAL record payload for a durable batch: compact
@@ -341,6 +413,12 @@ pub struct RecoveryReport {
     /// Decoded `(epoch, ops)` records across all segments, in order
     /// (inserts and deletes; queries are never durable).
     pub batches: Vec<(u64, Vec<Update>)>,
+    /// Durable subscription register/cancel records, in log order
+    /// (replayed wholesale after the batches — each registration carries
+    /// its own epoch, and the engine re-evaluates recovered triggers
+    /// against the final recovered labeling, so interleaving with
+    /// `batches` cannot matter).
+    pub sub_ops: Vec<SubWalOp>,
     /// Segments scanned.
     pub segments_scanned: usize,
     /// Bytes dropped from a torn final-segment tail (0 for a clean log).
@@ -433,6 +511,14 @@ fn scan_segment(path: &Path, is_last: bool, report: &mut RecoveryReport) -> Resu
                 // A CRC-valid record that fails here (unknown kind or op
                 // tag, bad body) is corruption even in the final segment:
                 // only `records.next()` failures can be a torn tail.
+                if version >= 2 && payload.first() == Some(&REC_SUB) {
+                    // Sub records carry their own epoch stamp and are
+                    // exempt from the batch epoch monotonicity check.
+                    let op = decode_sub_record(&payload, at)
+                        .map_err(|e| WalError::Codec { path: path.to_path_buf(), source: e })?;
+                    report.sub_ops.push(op);
+                    continue;
+                }
                 let (epoch, ops) = decode_segment_payload(version, &payload, at)
                     .map_err(|e| WalError::Codec { path: path.to_path_buf(), source: e })?;
                 if epoch <= last_epoch {
@@ -683,6 +769,57 @@ impl Wal {
         Ok(())
     }
 
+    /// Appends one durable subscription register/cancel record
+    /// ([`REC_SUB`]) under the same flush/fsync/rollback discipline as
+    /// [`Self::append_ops`]. Sub records never advance the log's batch
+    /// epoch high-water mark — they carry their own epoch stamp inside
+    /// the body.
+    pub fn append_sub(&mut self, op: &SubWalOp) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Corrupt {
+                path: self.seg_path.clone(),
+                detail: "log is poisoned after an unrecoverable append failure; \
+                         restart the service to recover from disk"
+                    .into(),
+            });
+        }
+        let payload = encode_sub_record(op);
+        let res = (|| -> std::io::Result<u64> {
+            let written = binary::append_record(&mut self.file, &payload)?;
+            self.file.flush()?;
+            match self.cfg.fsync {
+                FsyncPolicy::Always => self.sync()?,
+                FsyncPolicy::Batch => {
+                    self.dirty = true;
+                    if self.last_sync.elapsed() >= self.cfg.group_sync_interval {
+                        self.sync()?;
+                    }
+                }
+                FsyncPolicy::Off => {}
+            }
+            Ok(written)
+        })();
+        let written = match res {
+            Ok(w) => w,
+            Err(e) => {
+                self.restore_active_segment();
+                return Err(io_err(&self.seg_path.clone(), e));
+            }
+        };
+        self.seg_bytes += written;
+        self.appended_bytes += written;
+        self.records += 1;
+        if let Some(o) = &self.obs {
+            o.metrics.wal_records_total.inc();
+            o.metrics.wal_bytes_total.add(written);
+            o.recorder.record(Event::WalAppend { epoch: self.last_epoch, bytes: written });
+        }
+        if self.seg_bytes >= self.cfg.segment_max_bytes {
+            self.roll()?;
+        }
+        Ok(())
+    }
+
     /// Syncs pending bytes if the group-commit window has lapsed with no
     /// new append to piggyback on (the batcher calls this while idle, so
     /// the [`FsyncPolicy::Batch`] loss bound holds even when traffic
@@ -921,6 +1058,17 @@ impl WalCursor {
             let mut records = binary::RecordReader::new(reader, self.offset);
             return match records.next() {
                 Ok(Some(payload)) => {
+                    if version >= 2 && payload.first() == Some(&REC_SUB) {
+                        // Subscriptions are primary-local state: the
+                        // replication stream skips them (validated for
+                        // shape, then stepped over) so followers never
+                        // inherit another node's registry.
+                        decode_sub_record(&payload, self.offset)
+                            .map_err(|e| WalError::Codec { path: path.clone(), source: e })?;
+                        self.offset = records.offset();
+                        self.retried_at = None;
+                        continue;
+                    }
                     let (epoch, ops) = decode_segment_payload(version, &payload, self.offset)
                         .map_err(|e| WalError::Codec { path, source: e })?;
                     self.offset = records.offset();
@@ -1047,6 +1195,74 @@ mod tests {
         // Truncated bodies are length-checked, not silently short-read.
         let err = decode_update_batch(&body[..body.len() - 1], 0).unwrap_err();
         assert!(err.to_string().contains("needs"), "{err}");
+    }
+
+    #[test]
+    fn sub_records_interleave_recover_and_skip_replication() {
+        let dir = tmp_dir("sub_records");
+        let cfg = small_cfg(&dir);
+        let reg = SubWalOp::Register { id: 7, kind: SubKind::Pair, u: 3, v: 9, epoch: 2 };
+        let reg2 = SubWalOp::Register { id: 8, kind: SubKind::Component, u: 5, v: 5, epoch: 2 };
+        {
+            let (mut wal, _) = Wal::open(&cfg).expect("open");
+            wal.append(1, &[(0, 1)]).expect("append");
+            wal.append(2, &[(2, 3)]).expect("append");
+            // Registrations stamped at epoch 2 land *between* batch
+            // records 2 and 3: legal, despite the batch monotonicity rule.
+            wal.append_sub(&reg).expect("append sub");
+            wal.append_sub(&reg2).expect("append sub");
+            wal.append(3, &[(4, 5)]).expect("append");
+            wal.append_sub(&SubWalOp::Cancel { id: 8 }).expect("append cancel");
+            wal.flush().expect("flush");
+            assert_eq!(wal.stats().records, 6);
+            assert_eq!(wal.stats().last_epoch, 3, "sub records never advance the epoch");
+        }
+        let (wal, rep) = Wal::open(&cfg).expect("reopen");
+        assert_eq!(rep.batches.len(), 3);
+        assert_eq!(rep.sub_ops, vec![reg, reg2, SubWalOp::Cancel { id: 8 }]);
+        // The replication cursor steps over every sub record: followers
+        // see exactly the batch stream.
+        let mut cur = wal.tail_from(0, binary::MAGIC_LEN as u64);
+        let mut epochs = Vec::new();
+        while let TailEvent::Record(e, _) = cur.next().expect("tail") {
+            epochs.push(e);
+        }
+        assert_eq!(epochs, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sub_record_codec_rejects_bad_shapes() {
+        let reg = SubWalOp::Register { id: 1, kind: SubKind::Component, u: 4, v: 4, epoch: 9 };
+        let enc = encode_sub_record(&reg);
+        assert_eq!(decode_sub_record(&enc, 0).expect("decode"), reg);
+        let cancel = SubWalOp::Cancel { id: u64::MAX };
+        let enc_c = encode_sub_record(&cancel);
+        assert_eq!(decode_sub_record(&enc_c, 0).expect("decode"), cancel);
+        let mut bad_kind = enc.clone();
+        bad_kind[10] = 9;
+        assert!(decode_sub_record(&bad_kind, 0)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown subscription kind"));
+        // A truncated register body is length-checked, not short-read.
+        assert!(decode_sub_record(&enc[..enc.len() - 1], 0).is_err());
+        // And a CRC-valid but malformed sub record is corruption at
+        // recovery, even in the final segment.
+        let dir = tmp_dir("sub_bad");
+        let cfg = small_cfg(&dir);
+        {
+            let (mut wal, _) = Wal::open(&cfg).expect("open");
+            wal.append(1, &[(0, 1)]).expect("append");
+            wal.flush().expect("flush");
+        }
+        let seg = segment_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&seg).expect("open seg");
+        binary::append_record(&mut f, &bad_kind).expect("append record");
+        f.sync_data().expect("sync");
+        let msg = Wal::open(&cfg).map(|_| ()).unwrap_err().to_string();
+        assert!(msg.contains("unknown subscription kind"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

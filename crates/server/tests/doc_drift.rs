@@ -1,0 +1,138 @@
+//! Doc-drift gate: `PROTOCOL.md` is the single authoritative protocol
+//! reference, so it must stay in lock-step with the parser tables the
+//! code actually ships — [`cc_server::net::TEXT_VERBS`] and
+//! [`cc_server::binproto::BIN_VERBS`]. Coverage is checked in both
+//! directions: every verb the parsers accept must be documented, and
+//! every verb the document's tables claim must exist in the parsers.
+
+use cc_server::binproto::BIN_VERBS;
+use cc_server::net::TEXT_VERBS;
+
+const PROTOCOL: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../PROTOCOL.md"));
+
+/// A verb counts as documented when it appears backticked — either
+/// standalone (`` `EPOCH` ``) or opening a grammar form (`` `SUB u v
+/// [DURABLE]` ``).
+fn documented(verb: &str) -> bool {
+    PROTOCOL.contains(&format!("`{verb}`")) || PROTOCOL.contains(&format!("`{verb} "))
+}
+
+/// Extract the section of `PROTOCOL.md` between two headings.
+fn section(start: &str, end: &str) -> &'static str {
+    let s = PROTOCOL.find(start).unwrap_or_else(|| panic!("PROTOCOL.md lost heading {start:?}"));
+    let rest = &PROTOCOL[s..];
+    let e = rest.find(end).unwrap_or_else(|| panic!("PROTOCOL.md lost heading {end:?}"));
+    &rest[..e]
+}
+
+/// First backticked token of a markdown table row (`| `VERB …` | …`).
+fn row_verb(line: &str) -> Option<&str> {
+    let open = line.find('`')? + 1;
+    let rest = &line[open..];
+    let close = rest.find('`')?;
+    Some(rest[..close].split_whitespace().next().unwrap_or(""))
+}
+
+#[test]
+fn every_text_verb_the_parser_accepts_is_documented() {
+    let missing: Vec<&str> = TEXT_VERBS.iter().copied().filter(|v| !documented(v)).collect();
+    assert!(missing.is_empty(), "verbs in TEXT_VERBS but absent from PROTOCOL.md: {missing:?}");
+}
+
+#[test]
+fn every_binary_verb_the_parser_accepts_is_documented() {
+    // Each binary verb must appear both by its text name and by its tag.
+    for (name, tag) in BIN_VERBS {
+        assert!(documented(name), "binary verb {name:?} absent from PROTOCOL.md");
+        let tag = format!("0x{tag:02X}");
+        assert!(
+            PROTOCOL.contains(&tag),
+            "binary tag {tag} (verb {name:?}) absent from PROTOCOL.md"
+        );
+    }
+}
+
+#[test]
+fn every_documented_text_verb_exists_in_the_parser() {
+    // Walk the §1.2 verb-reference table: the first backticked token of
+    // each row must be a verb (or a grammar alternative of one) that
+    // TEXT_VERBS actually contains.
+    let table = section("### 1.2 Verb reference", "### 1.3");
+    let mut rows = 0;
+    for line in table.lines().filter(|l| l.starts_with("| `")) {
+        let verb = row_verb(line).unwrap_or_else(|| panic!("unparseable table row: {line}"));
+        assert!(
+            TEXT_VERBS.contains(&verb),
+            "PROTOCOL.md documents text verb {verb:?}, but the parser does not accept it"
+        );
+        rows += 1;
+    }
+    // Every verb has at least one row; SUB has three grammar forms.
+    assert!(
+        rows >= TEXT_VERBS.len(),
+        "verb table shrank: {rows} rows for {} verbs",
+        TEXT_VERBS.len()
+    );
+}
+
+#[test]
+fn every_documented_binary_verb_exists_in_the_parser_with_the_right_tag() {
+    let table = section("### 2.2 Verb tags", "### 2.3");
+    let mut rows = 0;
+    for line in table.lines().filter(|l| l.starts_with("| 0x")) {
+        let mut cols = line.split('|').skip(1).map(str::trim);
+        let tag = cols.next().unwrap_or("");
+        let name = cols.next().unwrap_or("").trim_matches('`');
+        let tag = u8::from_str_radix(tag.trim_start_matches("0x"), 16)
+            .unwrap_or_else(|_| panic!("unparseable tag in row: {line}"));
+        // The table's verb column uses the long constant name; the text
+        // equivalent column holds the BIN_VERBS key.
+        let text = cols.next().unwrap_or("").trim_matches('`');
+        let entry = BIN_VERBS.iter().find(|(n, _)| *n == text).unwrap_or_else(|| {
+            panic!("PROTOCOL.md documents binary verb {name} ({text}), unknown to the parser")
+        });
+        assert_eq!(entry.1, tag, "PROTOCOL.md tag for {name} disagrees with the parser");
+        rows += 1;
+    }
+    assert_eq!(rows, BIN_VERBS.len(), "binary verb table rows != BIN_VERBS entries");
+}
+
+#[test]
+fn wire_stable_error_spellings_are_documented() {
+    // These exact spellings are pinned on the wire by net_errors.rs;
+    // PROTOCOL.md must quote them verbatim.
+    for err in [
+        "ERR unknown command \"NOPE\"",
+        "ERR missing argument",
+        "ERR argument is not a 32-bit unsigned integer",
+        "ERR argument is not a 64-bit unsigned integer",
+        "ERR unknown SUB flag \"FOREVER\" (expected DURABLE)",
+        "ERR unknown subscription id 42",
+        "ERR durability is not enabled (start the service with a wal dir)",
+        "ERR read-only follower: route updates to the primary",
+        "bad SUB payload: unknown subscription kind 0x07",
+    ] {
+        assert!(PROTOCOL.contains(err), "PROTOCOL.md lost the pinned error spelling {err:?}");
+    }
+}
+
+#[test]
+fn push_line_and_event_frame_grammar_are_documented() {
+    for needle in [
+        "! EVT <id> <seq> <epoch> <gen> PAIR <u> <v> root=<r> size=<s>",
+        "! EVT <id> <seq> <epoch> <gen> COMPONENT <v> root=<r> size=<s>",
+        "root:u32le size:u64le epoch:u64le generation:u64le seq:u64le",
+        "sub-overflow",
+        "# EOF",
+    ] {
+        assert!(PROTOCOL.contains(needle), "PROTOCOL.md lost {needle:?}");
+    }
+}
+
+#[test]
+fn protocol_doc_is_cross_linked() {
+    let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+    let design = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"));
+    assert!(readme.contains("PROTOCOL.md"), "README.md no longer links PROTOCOL.md");
+    assert!(design.contains("PROTOCOL.md"), "DESIGN.md no longer links PROTOCOL.md");
+}

@@ -81,6 +81,21 @@ fn malformed_verbs_answer_exact_err_spellings_and_stay_open() {
         ("SIZE big", "ERR argument is not a 32-bit unsigned integer"),
         ("SIZE 1 2", "ERR trailing arguments after SIZE"),
         ("SIZE 64", "ERR vertex 64 out of range (n = 64)"),
+        ("SUB", "ERR missing argument"),
+        ("SUB 1", "ERR missing argument"),
+        ("SUB one 2", "ERR argument is not a 32-bit unsigned integer"),
+        ("SUB 1 2 FOREVER", "ERR unknown SUB flag \"FOREVER\" (expected DURABLE)"),
+        ("SUB 1 2 DURABLE 3", "ERR trailing arguments after SUB"),
+        ("SUB COMPONENT", "ERR missing argument"),
+        ("SUB ATTACH x", "ERR argument is not a 64-bit unsigned integer"),
+        ("SUB 64 0", "ERR vertex 64 out of range (n = 64)"),
+        ("SUB 1 2 DURABLE", "ERR durability is not enabled (start the service with a wal dir)"),
+        ("SUB ATTACH 42", "ERR unknown subscription id 42"),
+        ("UNSUB", "ERR missing argument"),
+        ("UNSUB x", "ERR argument is not a 64-bit unsigned integer"),
+        ("UNSUB 5 6", "ERR trailing arguments after UNSUB"),
+        ("UNSUB 999", "ERR unknown subscription id 999"),
+        ("SUBS 1", "ERR trailing arguments after SUBS"),
     ] {
         send_line(&mut w, request);
         assert_eq!(read_line(&mut r), want, "request {request:?}");
@@ -334,6 +349,69 @@ fn stale_queries_report_their_generation_and_quiesce_timeouts_spell_it() {
     send_line(&mut w, "QUIESCE 50");
     assert_eq!(read_line(&mut r), "ERR quiesce timed out at generation 0");
     server.stop();
+    svc.shutdown();
+}
+
+#[test]
+fn slow_subscription_consumer_gets_a_typed_overflow_close() {
+    // A push queue of exactly one pending event: the burst below must
+    // overflow it, and the contract is a typed `sub-overflow` close —
+    // never a silent drop.
+    let svc = Service::start(ServiceConfig {
+        n: 64,
+        shards: 2,
+        batch_max_wait: Duration::from_micros(20),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let cfg = cc_server::NetConfig { sub_queue_cap: 1, ..cc_server::NetConfig::default() };
+    let mut server = cc_server::net::serve_with(&svc, "127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // The slow consumer: subscribes to component 1, then never reads.
+    let (mut r, mut w) = raw(addr);
+    send_line(&mut w, "SUB COMPONENT 1");
+    let reply = read_line(&mut r);
+    assert!(reply.starts_with("S "), "subscription must be accepted: {reply}");
+
+    // A second connection merges component 1 forty-eight times in one
+    // batch: the fires land on the push queue far faster than the pusher
+    // thread can drain them past a cap of one.
+    let (mut r2, mut w2) = raw(addr);
+    send_line(&mut w2, "B 48");
+    for i in 0..48 {
+        send_line(&mut w2, &format!("I {i} {}", i + 1));
+    }
+    assert_eq!(read_line(&mut r2), "OK");
+
+    // The slow consumer's connection must close (EOF or reset), with
+    // nothing but `! EVT` push lines before the close.
+    loop {
+        let mut line = String::new();
+        match r.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => assert!(
+                line.starts_with("! EVT "),
+                "only push lines may precede the overflow close, got {line:?}"
+            ),
+            Err(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}");
+                break;
+            }
+        }
+    }
+
+    // The close is typed in the flight recorder, and the server is fine.
+    send_line(&mut w2, "TRACE");
+    let tlines = read_dump(&mut r2);
+    assert!(
+        tlines.iter().any(|l| l.contains("ConnClosed reason=sub-overflow")),
+        "overflow close must be recorded: {tlines:?}"
+    );
+    send_line(&mut w2, "PING");
+    assert_eq!(read_line(&mut r2), "PONG");
+    server.stop();
+    let mut svc = svc;
     svc.shutdown();
 }
 
